@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact.  Results are
+printed to stdout (run with ``pytest benchmarks/ --benchmark-only -s``)
+and written to ``benchmarks/_reports/<experiment>.txt`` so the rendered
+tables survive the run; EXPERIMENTS.md is assembled from those reports.
+
+The stock-data sweep is cached at module scope because Figures 2 and 3
+are, per the paper, two views of the same runs.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro.eval.experiments import ExperimentResult, stock_tolerance_sweep
+from repro.eval.figures import save_figure
+from repro.exceptions import ReproError
+
+REPORT_DIR = Path(__file__).parent / "_reports"
+
+
+@functools.lru_cache(maxsize=1)
+def cached_stock_sweep():
+    """The Experiment 1/2 sweep (one run shared by both figures)."""
+    return stock_tolerance_sweep()
+
+
+def write_report(result: ExperimentResult) -> str:
+    """Render *result*, persist text + SVG figure, return the text."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    name = result.experiment_id.replace("/", "_").lower()
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+    try:
+        save_figure(result, REPORT_DIR / f"{name}.svg")
+    except ReproError:
+        pass  # e.g. zero values on a log axis; the text report stands
+    return text

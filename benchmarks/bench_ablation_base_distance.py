@@ -1,0 +1,27 @@
+"""**A1 / footnote 3** — verification CPU under L1 vs L_inf base distance.
+
+The paper: "the overall performance of all the four methods became
+worse than that with L_inf due to the CPU overhead with L1".  The
+L_inf model abandons the moment no admissible path remains; the L1
+model must accumulate cost before crossing the budget.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import ablation_base_distance
+
+from ._shared import write_report
+
+
+def test_ablation_base_distance(benchmark):
+    result = benchmark.pedantic(
+        ablation_base_distance, rounds=1, iterations=1
+    )
+    print()
+    print(write_report(result))
+
+    linf = result.series["Linf (Def. 2)"]
+    l1 = result.series["L1 (Def. 1)"]
+    # The paper's footnote: L_inf verification is cheaper per pair.
+    for fast, slow in zip(linf, l1):
+        assert fast <= slow

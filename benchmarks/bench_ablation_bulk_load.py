@@ -1,0 +1,23 @@
+"""**A3 / section 4.3.1** — STR bulk loading vs tuple-at-a-time build.
+
+The paper: "If there are a large number of data sequences at the stage
+of initial index construction, we can achieve high performance gains in
+construction by using bulk loading methods."
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import ablation_bulk_load
+
+from ._shared import write_report
+
+
+def test_ablation_bulk_load(benchmark):
+    result = benchmark.pedantic(ablation_bulk_load, rounds=1, iterations=1)
+    print()
+    print(write_report(result))
+
+    bulk = result.series["STR bulk load"]
+    insert = result.series["repeated insert"]
+    # Bulk loading wins at the largest grid point by a clear margin.
+    assert bulk[-1] < insert[-1]

@@ -1,0 +1,73 @@
+"""**A6 / §3.4** — ST-Filter's category-count trade-off.
+
+The paper: "As the number of categories increases, the number of
+candidate subsequences decreases while the suffix tree gets larger due
+to the reduced number of common subsequences.  Thus, ST-Filter has a
+big trade-off between the candidate access and suffix tree access
+costs."  This bench sweeps the category count and measures both sides
+of that trade-off (candidate ratio down, tree size up), plus the
+equal-frequency alternative at the paper's 100 categories.
+"""
+
+from __future__ import annotations
+
+from repro.data.queries import QueryWorkload
+from repro.data.stocks import synthetic_sp500
+from repro.eval.experiments import ExperimentResult, full_scale
+from repro.methods.st_filter import STFilter
+from repro.storage.database import SequenceDatabase
+
+from ._shared import write_report
+
+
+def _run() -> ExperimentResult:
+    n = 545 if full_scale() else 120
+    dataset = synthetic_sp500(n, 60, seed=41)
+    db = SequenceDatabase(page_size=1024)
+    db.insert_many(dataset.sequences)
+    queries = QueryWorkload(dataset.sequences, n_queries=5, seed=3).queries()
+    epsilon = 1.0
+
+    counts = (10, 50, 100, 200)
+    result = ExperimentResult(
+        experiment_id="A6/categories",
+        title=f"ST-Filter category-count trade-off (N={n}, eps={epsilon})",
+        x_label="categories",
+        y_label="value",
+        x_values=list(counts),
+        log_x=True,
+    )
+    ratios = []
+    nodes = []
+    for n_categories in counts:
+        method = STFilter(db, n_categories=n_categories).build()
+        total_candidates = 0
+        for query in queries:
+            total_candidates += method.search(query, epsilon).candidate_count
+        ratios.append(total_candidates / (len(queries) * len(db)))
+        nodes.append(float(method.tree.node_count()))
+    result.series["candidate ratio"] = ratios
+    result.series["tree knodes"] = [v / 1000.0 for v in nodes]
+
+    freq = STFilter(db, n_categories=100, strategy="equal-frequency").build()
+    freq_candidates = sum(
+        freq.search(q, epsilon).candidate_count for q in queries
+    )
+    result.notes.append(
+        "equal-frequency at 100 categories: candidate ratio "
+        f"{freq_candidates / (len(queries) * len(db)):.4f} vs equal-width "
+        f"{ratios[2]:.4f}; tree {freq.tree.node_count()} nodes"
+    )
+    return result
+
+
+def test_ablation_categories(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(write_report(result))
+
+    ratios = result.series["candidate ratio"]
+    nodes = result.series["tree knodes"]
+    # The paper's trade-off: candidates shrink, the tree grows.
+    assert ratios[-1] <= ratios[0]
+    assert nodes[-1] >= nodes[0]

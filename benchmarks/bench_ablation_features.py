@@ -1,0 +1,27 @@
+"""**A2 / section 4.2** — filtering power of the 4-tuple's components.
+
+Quantifies what each component of ``Feature(S)`` buys: Equation 4.1
+(First/Last) and Equation 4.2 (Greatest/Smallest) each prune on their
+own; their combination — the paper's ``D_tw-lb`` — prunes strictly
+better than either half.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import ablation_features
+
+from ._shared import write_report
+
+
+def test_ablation_features(benchmark):
+    result = benchmark.pedantic(ablation_features, rounds=1, iterations=1)
+    print()
+    print(write_report(result))
+
+    full = result.series["All four (D_tw-lb)"]
+    for name in ("First only", "First+Last", "Greatest+Smallest"):
+        for i, partial in enumerate(result.series[name]):
+            assert full[i] <= partial + 1e-12
+    # Adding Last to First can only help.
+    for fl, f in zip(result.series["First+Last"], result.series["First only"]):
+        assert fl <= f + 1e-12

@@ -1,0 +1,35 @@
+"""**Figure 2** — candidate ratio vs tolerance on stock data.
+
+Paper claim: "TW-Sim-Search has the filtering effect slightly better
+than ST-Filter that is much better than LB-Scan"; Naive-Scan's curve is
+the true answer ratio, between 0.2% and 1.7% of the database.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import experiment1_candidate_ratio
+
+from ._shared import cached_stock_sweep, write_report
+
+
+def test_fig2_candidate_ratio(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment1_candidate_ratio(sweep=cached_stock_sweep()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(write_report(result))
+
+    naive = result.series["Naive-Scan"]
+    lb = result.series["LB-Scan"]
+    st = result.series["ST-Filter"]
+    tw = result.series["TW-Sim-Search"]
+    for i in range(len(result.x_values)):
+        # No exact method can fall below the answer ratio.
+        assert lb[i] >= naive[i] - 1e-12
+        assert st[i] >= naive[i] - 1e-12
+        assert tw[i] >= naive[i] - 1e-12
+        # The paper's ordering: TW-Sim-Search filters at least as well
+        # as LB-Scan at every tolerance.
+        assert tw[i] <= lb[i] + 1e-12

@@ -1,0 +1,38 @@
+"""**Figure 3** — elapsed time vs tolerance on stock data.
+
+Paper claims: ST-Filter is the slowest (whole matching bloats the
+suffix tree); LB-Scan edges Naive-Scan; TW-Sim-Search wins overall and
+its margin grows as the tolerance shrinks (4x–43x in the paper's 2001
+hardware balance; CPU-compressed on modern hosts, same trend).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import experiment2_elapsed_stock
+
+from ._shared import cached_stock_sweep, write_report
+
+
+def test_fig3_elapsed_stock(benchmark):
+    result = benchmark.pedantic(
+        lambda: experiment2_elapsed_stock(sweep=cached_stock_sweep()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(write_report(result))
+
+    tw = result.series["TW-Sim-Search"]
+    lb = result.series["LB-Scan"]
+    st = result.series["ST-Filter"]
+    naive = result.series["Naive-Scan"]
+
+    # ST-Filter is the worst method for whole matching at every point.
+    for i in range(len(result.x_values)):
+        assert st[i] > naive[i]
+    # TW-Sim-Search is fastest at the smallest tolerance, and its
+    # speedup over LB-Scan shrinks monotonically-ish as eps grows.
+    assert tw[0] < lb[0]
+    assert tw[0] < naive[0]
+    speedups = [l / t for l, t in zip(lb, tw)]
+    assert speedups[0] == max(speedups)

@@ -1,0 +1,37 @@
+"""**Figure 4** — elapsed time vs number of sequences (log-log).
+
+Paper claims: Naive-Scan / LB-Scan / ST-Filter grow with the database
+size, TW-Sim-Search stays "nearly constant regardless of the number of
+data sequences", and its speedup over the best scan grows with N
+(19x–720x at the paper's scale; grid scaled per DESIGN.md, set
+``REPRO_FULL_SCALE=1`` for the paper's exact grid).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import experiment3_scale_count
+
+from ._shared import write_report
+
+
+def test_fig4_scale_count(benchmark):
+    result = benchmark.pedantic(
+        experiment3_scale_count, rounds=1, iterations=1
+    )
+    print()
+    print(write_report(result))
+
+    counts = result.x_values
+    tw = result.series["TW-Sim-Search"]
+    lb = result.series["LB-Scan"]
+    naive = result.series["Naive-Scan"]
+    growth = counts[-1] / counts[0]
+
+    # Scans grow roughly linearly in N (at least a third of proportional).
+    assert naive[-1] / naive[0] > growth / 3
+    assert lb[-1] / lb[0] > growth / 3
+    # TW-Sim-Search grows far slower than the database.
+    assert tw[-1] / tw[0] < growth / 3
+    # The speedup over LB-Scan increases with N.
+    speedups = [l / t for l, t in zip(lb, tw)]
+    assert speedups[-1] > speedups[0]

@@ -1,0 +1,32 @@
+"""**Figure 5** — elapsed time vs sequence length.
+
+Paper claims: scan methods grow rapidly with the sequence length while
+TW-Sim-Search "remains unchanged relatively"; the speedup over LB-Scan
+(36x–175x at the paper's scale) grows with the length.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import experiment4_scale_length
+
+from ._shared import write_report
+
+
+def test_fig5_scale_length(benchmark):
+    result = benchmark.pedantic(
+        experiment4_scale_length, rounds=1, iterations=1
+    )
+    print()
+    print(write_report(result))
+
+    lengths = result.x_values
+    tw = result.series["TW-Sim-Search"]
+    lb = result.series["LB-Scan"]
+    growth = lengths[-1] / lengths[0]
+
+    # Scans grow with length; the index stays near-flat.
+    assert lb[-1] / lb[0] > growth / 4
+    assert tw[-1] / tw[0] < growth / 4
+    # The speedup over LB-Scan increases with the length.
+    speedups = [l / t for l, t in zip(lb, tw)]
+    assert speedups[-1] > speedups[0]

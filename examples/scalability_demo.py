@@ -1,0 +1,71 @@
+"""Scalability: why the index wins as the database grows (mini Figure 4).
+
+Run:  python examples/scalability_demo.py
+
+Builds random-walk databases of increasing size and measures all four
+methods on the same queries, printing the per-query elapsed time
+(measured CPU + simulated 2001-era disk) and the growing speedup of
+TW-Sim-Search — the paper's Figure-4 story at laptop scale.
+"""
+
+from repro.data import QueryWorkload
+from repro.eval.experiments import make_synthetic_database
+from repro.eval.harness import WorkloadRunner
+from repro.eval.reporting import format_table
+from repro.methods import LBScan, NaiveScan, STFilter, TWSimSearch
+
+
+def main() -> None:
+    epsilon = 0.1
+    length = 80
+    rows = []
+    for n in (200, 800, 3200):
+        db, sequences = make_synthetic_database(n, length, seed=17)
+        runner = WorkloadRunner(
+            db,
+            [
+                lambda d: NaiveScan(d),
+                lambda d: LBScan(d),
+                lambda d: STFilter(d),
+                lambda d: TWSimSearch(d),
+            ],
+        )
+        queries = QueryWorkload(sequences, n_queries=4, seed=17).queries()
+        summary = runner.run(queries, epsilon)
+        rows.append(
+            [
+                n,
+                summary["Naive-Scan"].mean_elapsed,
+                summary["LB-Scan"].mean_elapsed,
+                summary["ST-Filter"].mean_elapsed,
+                summary["TW-Sim-Search"].mean_elapsed,
+                summary.speedup("TW-Sim-Search", "LB-Scan"),
+            ]
+        )
+        print(f"ran N={n} ({length}-element sequences)")
+
+    print()
+    print(
+        format_table(
+            [
+                "N",
+                "Naive-Scan s",
+                "LB-Scan s",
+                "ST-Filter s",
+                "TW-Sim s",
+                "speedup vs LB",
+            ],
+            rows,
+            title=f"elapsed seconds per query (eps={epsilon})",
+        )
+    )
+    print()
+    print(
+        "The scans grow linearly with N; TW-Sim-Search stays nearly flat, "
+        "so its advantage keeps growing — the paper reports up to 720x at "
+        "100,000 sequences."
+    )
+
+
+if __name__ == "__main__":
+    main()

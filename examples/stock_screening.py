@@ -1,0 +1,66 @@
+"""Stock screening: find tickers whose price history matches a pattern.
+
+Run:  python examples/stock_screening.py
+
+The paper's motivating workload: a database of S&P-500-style daily
+price sequences of *different lengths* (different listing dates and
+sampling), searched for tickers whose recent trajectory is similar to a
+target pattern under time warping.  Uses the synthetic S&P-500 stand-in
+(DESIGN.md documents the substitution; point ``load_stock_csv`` at a
+real file to use actual data).
+"""
+
+import numpy as np
+
+from repro import TimeWarpingDatabase
+from repro.data import synthetic_sp500
+
+
+def main() -> None:
+    dataset = synthetic_sp500(seed=42)
+    print(
+        f"dataset: {len(dataset)} tickers, average length "
+        f"{dataset.average_length:.0f} days, source={dataset.source}"
+    )
+
+    db = TimeWarpingDatabase(page_size=1024)
+    db.bulk_load(dataset.sequences)
+    print(f"indexed {len(db)} sequences "
+          f"({db.index.node_count()} R-tree pages)\n")
+
+    # Screen for tickers that traded like TICK0100 did, allowing time
+    # warping (a slower or faster version of the same move matches).
+    target = dataset.sequences[100]
+    pattern = np.asarray(target.values)
+    print(f"target pattern: {target.label}, "
+          f"{len(pattern)} days, range "
+          f"[{pattern.min():.2f}, {pattern.max():.2f}]")
+
+    for epsilon in (1.0, 2.5, 5.0):
+        matches = db.search(pattern, epsilon=epsilon)
+        tickers = [db.label_of(m.seq_id) for m in matches]
+        shown = ", ".join(tickers[:8]) + (" ..." if len(tickers) > 8 else "")
+        print(f"  within eps={epsilon:>4}: {len(matches):>3} ticker(s)  {shown}")
+    print()
+
+    # Nearest peers regardless of tolerance.
+    print(f"5 tickers most similar to {target.label}:")
+    for match in db.knn(pattern, k=5):
+        seq = match.sequence
+        print(
+            f"  {db.label_of(match.seq_id):>9}  D_tw={match.distance:7.3f}  "
+            f"len={len(seq):>3}  last={seq.last:8.2f}"
+        )
+    print()
+
+    # A hand-drawn pattern also works — any length, any level.
+    print("screening for a hand-drawn 'V' recovery around $50:")
+    v_shape = [55, 52, 49, 47, 46, 47, 50, 54, 58]
+    hits = db.search(v_shape, epsilon=6.0)
+    print(f"  {len(hits)} ticker(s) match within eps=6.0; closest three:")
+    for match in hits[:3]:
+        print(f"  {db.label_of(match.seq_id):>9}  D_tw={match.distance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — index-based similarity search under time warping.
+
+A complete, from-scratch reproduction of **Kim, Park & Chu, "An
+Index-Based Approach for Similarity Search Supporting Time Warping in
+Large Sequence Databases" (ICDE 2001)** — the paper behind the LB_Kim
+lower bound.
+
+Quickstart
+----------
+>>> from repro import TimeWarpingDatabase
+>>> db = TimeWarpingDatabase()
+>>> db.insert([20, 21, 21, 20, 20, 23, 23, 23])
+0
+>>> matches = db.search([20, 20, 21, 20, 23], epsilon=0.5)
+>>> [(m.seq_id, m.distance) for m in matches]
+[(0, 0.0)]
+
+Layered public API
+------------------
+* :class:`TimeWarpingDatabase` — the end-to-end facade (storage +
+  4-d feature R-tree + Algorithm-1 search + kNN).
+* :mod:`repro.distance` — DTW (both of the paper's definitions) and
+  every lower bound (``D_tw-lb``/LB_Kim, LB_Yi, LB_Keogh).
+* :mod:`repro.methods` — the four compared search methods with full
+  cost accounting, for experiments.
+* :mod:`repro.index` / :mod:`repro.storage` — the R-tree, suffix tree
+  and paged-storage substrates, usable on their own.
+* :mod:`repro.data` — the paper's data generators and query workloads.
+* :mod:`repro.eval` — the experiment harness regenerating every figure.
+"""
+
+from .core.engine import SearchOutcome, TimeWarpingDatabase
+from .core.features import FeatureVector, extract_feature
+from .core.lower_bound import dtw_lb
+from .core.streaming import StreamMonitor
+from .core.subsequence import SubsequenceIndex, SubsequenceMatch
+from .distance.base import L1, L2, LINF, BaseDistance
+from .distance.dtw import dtw_additive, dtw_distance, dtw_max
+from .exceptions import ReproError, ValidationError
+from .types import Sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TimeWarpingDatabase",
+    "SearchOutcome",
+    "FeatureVector",
+    "extract_feature",
+    "dtw_lb",
+    "StreamMonitor",
+    "SubsequenceIndex",
+    "SubsequenceMatch",
+    "BaseDistance",
+    "L1",
+    "L2",
+    "LINF",
+    "dtw_additive",
+    "dtw_distance",
+    "dtw_max",
+    "ReproError",
+    "ValidationError",
+    "Sequence",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Analysis utilities on top of the similarity-search core.
+
+The paper motivates similarity search as a data-mining primitive; this
+package provides the mining operations users actually run on top of it:
+
+* :mod:`repro.analysis.selfjoin` — the ε-similarity self-join (all
+  pairs within tolerance) with index-accelerated pruning, and the
+  similarity graph it induces.
+* :mod:`repro.analysis.clustering` — clustering over the similarity
+  graph (connected components) with medoid extraction.
+* :mod:`repro.analysis.calibrate` — tolerance calibration: suggest an
+  ε that yields a target result selectivity, from a sample of
+  lower-bound and true distances.
+"""
+
+from .calibrate import DistanceProfile, suggest_epsilon
+from .classify import NearestNeighborClassifier, Prediction
+from .clustering import SimilarityClustering, cluster_by_similarity
+from .selfjoin import SimilarityPair, similarity_graph, similarity_self_join
+
+__all__ = [
+    "DistanceProfile",
+    "suggest_epsilon",
+    "NearestNeighborClassifier",
+    "Prediction",
+    "SimilarityClustering",
+    "cluster_by_similarity",
+    "SimilarityPair",
+    "similarity_graph",
+    "similarity_self_join",
+]

@@ -1,0 +1,134 @@
+"""1-nearest-neighbour classification under time warping.
+
+The classic downstream consumer of a fast DTW stack: label a sequence
+by its nearest labelled example.  The classifier prunes with the
+paper's lower bound exactly the way the search does — candidates are
+visited in ascending ``D_tw-lb`` order and evaluation stops once the
+bound exceeds the best true distance found — so most training examples
+never pay for a DTW evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence as TypingSequence
+
+import numpy as np
+
+from ..core.features import extract_feature
+from ..core.lower_bound import dtw_lb_features
+from ..distance.dtw import dtw_max
+from ..exceptions import ValidationError
+from ..types import SequenceLike, as_array
+
+__all__ = ["NearestNeighborClassifier", "Prediction"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of one classification.
+
+    Attributes
+    ----------
+    label:
+        The predicted class (the nearest example's label).
+    neighbor_index:
+        Index of the nearest training example.
+    distance:
+        Its time-warping distance to the query.
+    dtw_evaluations:
+        Full DTW computations spent (vs ``len(training set)`` for an
+        unpruned 1-NN) — the pruning-power metric.
+    """
+
+    label: str
+    neighbor_index: int
+    distance: float
+    dtw_evaluations: int
+
+
+class NearestNeighborClassifier:
+    """DTW 1-NN with lower-bound pruning.
+
+    Parameters
+    ----------
+    sequences:
+        Training examples.
+    labels:
+        One class label per training example.
+    """
+
+    def __init__(
+        self,
+        sequences: TypingSequence[SequenceLike],
+        labels: TypingSequence[str],
+    ) -> None:
+        if not sequences:
+            raise ValidationError("classifier requires training examples")
+        if len(sequences) != len(labels):
+            raise ValidationError(
+                f"{len(sequences)} sequences but {len(labels)} labels"
+            )
+        self._arrays = [as_array(seq, allow_empty=False) for seq in sequences]
+        self._labels = [str(label) for label in labels]
+        self._features = [extract_feature(arr) for arr in self._arrays]
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    @property
+    def classes(self) -> list[str]:
+        """Distinct class labels, sorted."""
+        return sorted(set(self._labels))
+
+    def predict(self, query: SequenceLike) -> Prediction:
+        """Classify *query* by its nearest training example under DTW."""
+        q = as_array(query, allow_empty=False)
+        q_feature = extract_feature(q)
+        # Visit candidates in ascending lower-bound order.
+        order = sorted(
+            range(len(self._arrays)),
+            key=lambda i: dtw_lb_features(self._features[i], q_feature),
+        )
+        best_distance = np.inf
+        best_index = order[0]
+        evaluations = 0
+        for i in order:
+            bound = dtw_lb_features(self._features[i], q_feature)
+            if bound >= best_distance:
+                break  # no later candidate can beat the incumbent
+            evaluations += 1
+            distance = dtw_max(self._arrays[i], q)
+            if distance < best_distance:
+                best_distance = distance
+                best_index = i
+        return Prediction(
+            label=self._labels[best_index],
+            neighbor_index=best_index,
+            distance=float(best_distance),
+            dtw_evaluations=evaluations,
+        )
+
+    def predict_many(
+        self, queries: TypingSequence[SequenceLike]
+    ) -> list[Prediction]:
+        """Classify several queries."""
+        return [self.predict(q) for q in queries]
+
+    def score(
+        self,
+        queries: TypingSequence[SequenceLike],
+        true_labels: TypingSequence[str],
+    ) -> float:
+        """Accuracy over a labelled test set."""
+        if len(queries) != len(true_labels):
+            raise ValidationError(
+                f"{len(queries)} queries but {len(true_labels)} labels"
+            )
+        if not queries:
+            raise ValidationError("score requires at least one query")
+        hits = sum(
+            self.predict(q).label == str(t)
+            for q, t in zip(queries, true_labels)
+        )
+        return hits / len(queries)

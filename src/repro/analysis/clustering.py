@@ -1,0 +1,99 @@
+"""Clustering sequences by time-warping similarity.
+
+Builds the ε-similarity graph (index-pruned self-join) and groups its
+connected components — the classic density-free clustering for "which
+stocks traded alike" questions.  Each cluster exposes a *medoid*: the
+member minimizing the sum of exact DTW distances to the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence as TypingSequence
+
+from ..distance.dtw import dtw_max
+from ..exceptions import ValidationError
+from ..types import SequenceLike, as_array
+from .selfjoin import similarity_graph
+
+__all__ = ["SimilarityClustering", "cluster_by_similarity"]
+
+
+@dataclass(frozen=True)
+class SimilarityClustering:
+    """Result of :func:`cluster_by_similarity`.
+
+    Attributes
+    ----------
+    clusters:
+        Member index lists, largest cluster first (ties by smallest
+        member); singletons included.
+    epsilon:
+        The tolerance the similarity graph was built with.
+    """
+
+    clusters: list[list[int]]
+    epsilon: float
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters (singletons included)."""
+        return len(self.clusters)
+
+    def cluster_of(self, index: int) -> int:
+        """Position of the cluster containing *index*."""
+        for c, members in enumerate(self.clusters):
+            if index in members:
+                return c
+        raise ValidationError(f"index {index} was not clustered")
+
+    def non_trivial(self) -> list[list[int]]:
+        """Only the clusters with at least two members."""
+        return [c for c in self.clusters if len(c) > 1]
+
+
+def cluster_by_similarity(
+    sequences: TypingSequence[SequenceLike],
+    epsilon: float,
+    *,
+    page_size: int = 1024,
+) -> SimilarityClustering:
+    """Connected components of the ε-similarity graph."""
+    adjacency = similarity_graph(sequences, epsilon, page_size=page_size)
+    seen: set[int] = set()
+    clusters: list[list[int]] = []
+    for start in range(len(sequences)):
+        if start in seen:
+            continue
+        component: list[int] = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        clusters.append(sorted(component))
+    clusters.sort(key=lambda c: (-len(c), c[0]))
+    return SimilarityClustering(clusters=clusters, epsilon=epsilon)
+
+
+def medoid(
+    sequences: TypingSequence[SequenceLike], members: TypingSequence[int]
+) -> int:
+    """The member minimizing total DTW distance to the other members."""
+    if not members:
+        raise ValidationError("medoid requires a non-empty member list")
+    if len(members) == 1:
+        return members[0]
+    arrays = {i: as_array(sequences[i], allow_empty=False) for i in members}
+    best_index = members[0]
+    best_total = float("inf")
+    for i in members:
+        total = sum(dtw_max(arrays[i], arrays[j]) for j in members if j != i)
+        if total < best_total:
+            best_total = total
+            best_index = i
+    return best_index

@@ -1,0 +1,375 @@
+"""Command-line interface for the repro library.
+
+Subcommands::
+
+    repro generate    synthesize a dataset (random walks or stock-like) to CSV
+    repro build       load a CSV dataset into a persistent database file
+    repro info        describe a database file
+    repro query       similarity / kNN search against a database file
+    repro compare     run all search methods on a workload and tabulate costs
+    repro experiment  regenerate a paper figure or ablation (e1..e4, a1..a5)
+    repro report      run the whole experiment battery, emit markdown
+    repro cluster     group a dataset's sequences by warping similarity
+    repro explain     show the optimal warping between a query and a sequence
+
+Every subcommand is importable and testable through :func:`main`, which
+accepts an argv list and returns a process exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence as TypingSequence
+
+import numpy as np
+
+from . import __version__
+from .data.queries import QueryWorkload
+from .data.stocks import load_stock_csv, synthetic_sp500
+from .data.synthetic import random_walk_dataset
+from .distance.dtw import dtw_max
+from .eval import experiments as exp
+from .eval.harness import WorkloadRunner
+from .eval.reporting import format_table
+from .exceptions import ReproError
+from .methods import FastMapMethod, LBScan, NaiveScan, STFilter, TWSimSearch
+from .storage.database import SequenceDatabase
+from .types import Sequence
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS: dict[str, Callable[[], exp.ExperimentResult]] = {
+    "e1": exp.experiment1_candidate_ratio,
+    "e2": exp.experiment2_elapsed_stock,
+    "e3": exp.experiment3_scale_count,
+    "e4": exp.experiment4_scale_length,
+    "a1": exp.ablation_base_distance,
+    "a2": exp.ablation_features,
+    "a3": exp.ablation_bulk_load,
+    "a5": exp.ablation_lower_bounds,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for doc generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Index-based similarity search under time warping "
+        "(Kim/Park/Chu, ICDE 2001).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a dataset to CSV")
+    gen.add_argument("--kind", choices=["walk", "stocks"], default="walk")
+    gen.add_argument("--n", type=int, default=100, help="number of sequences")
+    gen.add_argument("--length", type=int, default=100, help="average length")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--jitter", type=float, default=0.0, help="length jitter (walks only)"
+    )
+    gen.add_argument("--out", required=True, help="output CSV path")
+
+    build = sub.add_parser("build", help="load a CSV into a database file")
+    build.add_argument("--input", required=True, help="CSV dataset")
+    build.add_argument("--out", required=True, help="database file path")
+    build.add_argument("--page-size", type=int, default=1024)
+
+    info = sub.add_parser("info", help="describe a database file")
+    info.add_argument("--db", required=True)
+
+    query = sub.add_parser("query", help="search a database file")
+    query.add_argument("--db", required=True)
+    query.add_argument(
+        "--query",
+        required=True,
+        help="comma-separated elements, or @FILE with one element per line",
+    )
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--epsilon", type=float, help="tolerance search")
+    group.add_argument("--knn", type=int, help="k-nearest-neighbour search")
+
+    compare = sub.add_parser(
+        "compare", help="run all methods on a workload and tabulate costs"
+    )
+    compare.add_argument("--input", help="CSV dataset (default: synthetic stocks)")
+    compare.add_argument("--epsilon", type=float, default=1.0)
+    compare.add_argument("--queries", type=int, default=5)
+    compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument(
+        "--fastmap", action="store_true", help="include the FastMap baseline"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper figure or ablation"
+    )
+    experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
+
+    report = sub.add_parser(
+        "report", help="run the whole experiment battery, emit markdown"
+    )
+    report.add_argument("--out", help="write to this file instead of stdout")
+    report.add_argument(
+        "--skip-stock", action="store_true", help="omit Figures 2-3"
+    )
+    report.add_argument(
+        "--skip-scale", action="store_true", help="omit Figures 4-5"
+    )
+    report.add_argument(
+        "--skip-ablations", action="store_true", help="omit ablations"
+    )
+
+    cluster = sub.add_parser(
+        "cluster", help="group a dataset's sequences by warping similarity"
+    )
+    cluster.add_argument("--input", help="CSV dataset (default: synthetic stocks)")
+    cluster_eps = cluster.add_mutually_exclusive_group(required=True)
+    cluster_eps.add_argument("--epsilon", type=float, help="fixed tolerance")
+    cluster_eps.add_argument(
+        "--selectivity",
+        type=float,
+        help="calibrate the tolerance to this pair selectivity (e.g. 0.01)",
+    )
+    cluster.add_argument("--seed", type=int, default=0)
+
+    explain = sub.add_parser(
+        "explain", help="show the optimal warping between a query and a sequence"
+    )
+    explain.add_argument("--db", required=True)
+    explain.add_argument("--seq", type=int, required=True, help="sequence id")
+    explain.add_argument(
+        "--query",
+        required=True,
+        help="comma-separated elements, or @FILE with one element per line",
+    )
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "walk":
+        sequences = random_walk_dataset(
+            args.n, args.length, seed=args.seed, length_jitter=args.jitter
+        )
+    else:
+        sequences = synthetic_sp500(args.n, args.length, seed=args.seed).sequences
+    out = Path(args.out)
+    with open(out, "w") as f:
+        for seq in sequences:
+            label = seq.label or ""
+            row = ",".join(f"{v:.10g}" for v in seq.values)
+            f.write(f"{label},{row}\n" if label else row + "\n")
+    print(f"wrote {len(sequences)} sequences to {out}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    dataset = load_stock_csv(args.input)
+    db = SequenceDatabase(page_size=args.page_size)
+    db.insert_many(dataset.sequences)
+    db.save(args.out)
+    print(
+        f"built {args.out}: {len(db)} sequences, {db.total_pages} pages "
+        f"of {db.page_size} B"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    db = SequenceDatabase.load(args.db)
+    lengths = [len(db.fetch(i)) for i in db.ids()]
+    print(f"database: {args.db}")
+    print(f"  sequences:      {len(db)}")
+    print(f"  page size:      {db.page_size} B")
+    print(f"  data pages:     {db.total_pages}")
+    print(f"  total elements: {sum(lengths)}")
+    if lengths:
+        print(
+            f"  lengths:        min={min(lengths)} "
+            f"avg={sum(lengths) / len(lengths):.1f} max={max(lengths)}"
+        )
+    return 0
+
+
+def _parse_query(text: str) -> np.ndarray:
+    if text.startswith("@"):
+        lines = Path(text[1:]).read_text().split()
+        return np.array([float(v) for v in lines])
+    return np.array([float(v) for v in text.split(",") if v.strip()])
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = SequenceDatabase.load(args.db)
+    query = _parse_query(args.query)
+    method = TWSimSearch(db, compute_distances=True).build()
+    if args.epsilon is not None:
+        report = method.search(query, args.epsilon)
+        print(
+            f"{len(report.answers)} match(es) within eps={args.epsilon} "
+            f"({report.candidate_count} candidate(s) examined)"
+        )
+        for seq_id in report.answers:
+            print(f"  seq {seq_id}  D_tw={report.distances[seq_id]:.6g}")
+    else:
+        pairs = []
+        for seq_id in db.ids():
+            pairs.append((dtw_max(db.fetch(seq_id).values, query), seq_id))
+        pairs.sort()
+        print(f"{args.knn} nearest neighbour(s):")
+        for dist, seq_id in pairs[: args.knn]:
+            print(f"  seq {seq_id}  D_tw={dist:.6g}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.input:
+        sequences = load_stock_csv(args.input).sequences
+    else:
+        sequences = synthetic_sp500(120, 60, seed=args.seed).sequences
+    db = SequenceDatabase()
+    db.insert_many(sequences)
+    factories = [
+        lambda d: NaiveScan(d),
+        lambda d: LBScan(d),
+        lambda d: STFilter(d),
+        lambda d: TWSimSearch(d),
+    ]
+    if args.fastmap:
+        factories.append(lambda d: FastMapMethod(d))
+    runner = WorkloadRunner(db, factories)
+    queries = QueryWorkload(
+        sequences, n_queries=args.queries, seed=args.seed
+    ).queries()
+    summary = runner.run(queries, args.epsilon)
+    rows = []
+    for name in summary.methods():
+        agg = summary[name]
+        rows.append(
+            [
+                name,
+                agg.mean_answers,
+                agg.mean_candidates,
+                agg.mean_cpu,
+                agg.mean_io,
+                agg.mean_elapsed,
+            ]
+        )
+    print(
+        format_table(
+            ["method", "answers", "candidates", "cpu s", "sim-io s", "elapsed s"],
+            rows,
+            title=(
+                f"{len(db)} sequences, {len(queries)} queries, "
+                f"eps={args.epsilon}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = _EXPERIMENTS[args.id]()
+    print(result.render())
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .analysis import cluster_by_similarity, suggest_epsilon
+    from .analysis.clustering import medoid
+
+    if args.input:
+        sequences = load_stock_csv(args.input).sequences
+    else:
+        sequences = synthetic_sp500(120, 60, seed=args.seed).sequences
+    arrays = [np.asarray(seq.values) for seq in sequences]
+    labels = [seq.label or f"seq{i}" for i, seq in enumerate(sequences)]
+    if args.epsilon is not None:
+        epsilon = args.epsilon
+    else:
+        epsilon = suggest_epsilon(
+            arrays, args.selectivity, seed=args.seed
+        )
+        print(f"calibrated tolerance: eps = {epsilon:.4g}")
+    clustering = cluster_by_similarity(arrays, epsilon)
+    groups = clustering.non_trivial()
+    print(
+        f"{len(sequences)} sequences -> {clustering.n_clusters} cluster(s), "
+        f"{len(groups)} with >= 2 members"
+    )
+    for rank, members in enumerate(groups[:10], 1):
+        archetype = medoid(arrays, members)
+        names = ", ".join(labels[i] for i in members[:6])
+        extra = " ..." if len(members) > 6 else ""
+        print(
+            f"  #{rank}: {len(members)} member(s), medoid {labels[archetype]}: "
+            f"{names}{extra}"
+        )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .distance.alignment import render_alignment
+
+    db = SequenceDatabase.load(args.db)
+    query = _parse_query(args.query)
+    stored = db.fetch(args.seq)
+    print(f"alignment of seq {args.seq} (len {len(stored)}) vs query "
+          f"(len {query.size}):")
+    print(render_alignment(stored.values, query))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .eval.report import generate_report
+
+    report = generate_report(
+        include_stock=not args.skip_stock,
+        include_scale=not args.skip_scale,
+        include_ablations=not args.skip_ablations,
+    )
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"wrote report to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "cluster": _cmd_cluster,
+    "explain": _cmd_explain,
+}
+
+
+def main(argv: TypingSequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

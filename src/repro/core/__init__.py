@@ -1,0 +1,33 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.features` — the 4-tuple time-warping-invariant
+  feature vector ``Feature(S) = (First, Last, Greatest, Smallest)``.
+* :mod:`repro.core.lower_bound` — ``D_tw-lb`` (Definition 3), the
+  metric lower bound of the Definition-2 time-warping distance; known
+  in the literature as **LB_Kim**.
+* :mod:`repro.core.engine` — :class:`TimeWarpingDatabase`, the public
+  facade combining storage, the 4-d R-tree feature index, and the
+  TW-Sim-Search query algorithm (Algorithm 1).
+* :mod:`repro.core.subsequence` — the section-6 extension to
+  subsequence matching via a sliding-window feature index.
+"""
+
+from .engine import SearchOutcome, TimeWarpingDatabase
+from .features import FeatureVector, extract_feature, feature_array
+from .lower_bound import dtw_lb, dtw_lb_features, feature_rect
+from .streaming import StreamMonitor
+from .subsequence import SubsequenceIndex, SubsequenceMatch
+
+__all__ = [
+    "SearchOutcome",
+    "TimeWarpingDatabase",
+    "FeatureVector",
+    "extract_feature",
+    "feature_array",
+    "dtw_lb",
+    "dtw_lb_features",
+    "feature_rect",
+    "StreamMonitor",
+    "SubsequenceIndex",
+    "SubsequenceMatch",
+]

@@ -1,0 +1,295 @@
+""":class:`TimeWarpingDatabase` — the library's public facade.
+
+Wraps a paged :class:`~repro.storage.database.SequenceDatabase` and a
+4-d feature R-tree into the end-to-end system a user adopts: insert
+sequences, then run whole-matching similarity searches under time
+warping with guaranteed-complete results, or k-nearest-neighbour
+queries.  This is the paper's TW-Sim-Search packaged for application
+use (the lower-level :class:`~repro.methods.tw_sim.TWSimSearch` exposes
+the experiment-oriented cost accounting).
+
+Example
+-------
+>>> from repro import TimeWarpingDatabase
+>>> db = TimeWarpingDatabase()
+>>> db.insert([20, 21, 21, 20, 20, 23, 23, 23], label="S")
+0
+>>> db.insert([10, 10, 11, 12], label="T")
+1
+>>> [m.seq_id for m in db.search([20, 20, 21, 20, 23], epsilon=1.0)]
+[0]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..distance.bands import sakoe_chiba_window
+from ..distance.dtw import dtw_max, dtw_max_early_abandon, dtw_max_matrix
+from ..exceptions import ValidationError
+from ..index.rtree.bulk import STRBulkLoader
+from ..index.rtree.persist import load_rtree, save_rtree
+from ..index.rtree.rtree import RTree
+from ..storage.database import SequenceDatabase
+from ..storage.diskmodel import DiskModel
+from ..types import Sequence, SequenceLike, as_sequence
+from .features import extract_feature
+from .lower_bound import feature_rect
+
+__all__ = ["TimeWarpingDatabase", "SearchOutcome"]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """One match of a similarity search.
+
+    Attributes
+    ----------
+    seq_id:
+        The matching sequence's identifier.
+    distance:
+        Its true time-warping distance to the query.
+    sequence:
+        The matching sequence itself.
+    """
+
+    seq_id: int
+    distance: float
+    sequence: Sequence
+
+
+class TimeWarpingDatabase:
+    """A sequence database answering similarity queries under time warping.
+
+    Parameters
+    ----------
+    page_size:
+        Storage/index page size in bytes (paper: 1 KB).
+    disk:
+        Disk timing model for simulated I/O accounting; defaults to the
+        paper's parameters.
+    buffer_pages:
+        LRU buffer pool capacity for the data file.
+    """
+
+    def __init__(
+        self,
+        *,
+        page_size: int = 1024,
+        disk: DiskModel | None = None,
+        buffer_pages: int = 0,
+    ) -> None:
+        self._db = SequenceDatabase(
+            page_size=page_size, disk=disk, buffer_pages=buffer_pages
+        )
+        self._tree = RTree(4, page_size=page_size)
+        self._labels: dict[int, str | None] = {}
+
+    # -- population ---------------------------------------------------------
+
+    def insert(self, sequence: SequenceLike, *, label: str | None = None) -> int:
+        """Store one sequence and index its feature vector; returns its id."""
+        seq = as_sequence(sequence)
+        if len(seq) == 0:
+            raise ValidationError("cannot insert an empty sequence")
+        seq_id = self._db.insert(seq)
+        self._tree.insert_point(extract_feature(seq.values).as_tuple(), seq_id)
+        self._labels[seq_id] = label if label is not None else seq.label
+        return seq_id
+
+    def bulk_load(self, sequences: Iterable[SequenceLike]) -> list[int]:
+        """Store many sequences and STR-pack the index in one pass.
+
+        Substantially faster than repeated :meth:`insert` for initial
+        loads (paper section 4.3.1); existing contents are preserved.
+        """
+        loader = STRBulkLoader(4, page_size=self._db.page_size)
+        for rect, record in self._tree.items():
+            loader.add(rect, record)
+        ids: list[int] = []
+        for sequence in sequences:
+            seq = as_sequence(sequence)
+            if len(seq) == 0:
+                raise ValidationError("cannot insert an empty sequence")
+            seq_id = self._db.insert(seq)
+            loader.add(extract_feature(seq.values).as_tuple(), seq_id)
+            self._labels[seq_id] = seq.label
+            ids.append(seq_id)
+        self._tree = loader.build()
+        return ids
+
+    def delete(self, seq_id: int) -> None:
+        """Remove a sequence from storage and the feature index.
+
+        Raises :class:`~repro.exceptions.SequenceNotFoundError` when the
+        id is not stored.  Storage space is tombstoned; call
+        ``db.storage.compact()`` to reclaim it.
+        """
+        stored = self._db.fetch(seq_id)
+        feature = extract_feature(stored.values)
+        self._tree.delete(feature.as_tuple(), seq_id)
+        self._db.delete(seq_id)
+        self._labels.pop(seq_id, None)
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._db)
+
+    def __contains__(self, seq_id: int) -> bool:
+        return seq_id in self._db
+
+    def get(self, seq_id: int) -> Sequence:
+        """Fetch a stored sequence by id."""
+        return self._db.fetch(seq_id)
+
+    def label_of(self, seq_id: int) -> str | None:
+        """The label the sequence was inserted with, if any."""
+        return self._labels.get(seq_id)
+
+    @property
+    def storage(self) -> SequenceDatabase:
+        """The underlying paged storage (for I/O statistics)."""
+        return self._db
+
+    @property
+    def index(self) -> RTree:
+        """The 4-d feature R-tree."""
+        return self._tree
+
+    # -- queries ----------------------------------------------------------------
+
+    def search(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> list[SearchOutcome]:
+        """All sequences with ``D_tw(S, Q) <= epsilon`` (Algorithm 1).
+
+        Exact and complete: the index prunes with ``D_tw-lb`` (no false
+        dismissal, Theorem 1) and every candidate is verified with the
+        true distance.  Results are sorted by ascending distance.
+
+        *band_radius*, if given, verifies with Sakoe–Chiba-constrained
+        DTW instead (extension): the banded distance only exceeds the
+        unconstrained one, so the same index remains a sound filter —
+        ``D_tw-lb <= D_tw <= D_tw^band`` — while matches are required
+        to align without extreme time distortion.
+        """
+        q = as_sequence(query)
+        if len(q) == 0:
+            raise ValidationError("query sequence must be non-empty")
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        rect = feature_rect(extract_feature(q.values), epsilon)
+        matches: list[SearchOutcome] = []
+        for seq_id in self._tree.range_search(rect):
+            stored = self._db.fetch(seq_id)
+            distance = self._verify_distance(
+                stored.values, q.values, epsilon, band_radius
+            )
+            if distance <= epsilon:
+                matches.append(SearchOutcome(seq_id, distance, stored))
+        matches.sort(key=lambda m: (m.distance, m.seq_id))
+        return matches
+
+    @staticmethod
+    def _verify_distance(
+        s_values, q_values, epsilon: float, band_radius: int | None
+    ) -> float:
+        if band_radius is None:
+            return dtw_max_early_abandon(s_values, q_values, epsilon)
+        window = sakoe_chiba_window(len(s_values), len(q_values), band_radius)
+        return dtw_max_matrix(s_values, q_values, window=window).distance
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the database to three files.
+
+        ``<path>`` holds the data heap, ``<path>.idx`` the feature
+        R-tree (page-exact format), ``<path>.labels`` the label map.
+        """
+        path = Path(path)
+        self._db.save(path)
+        save_rtree(self._tree, path.with_name(path.name + ".idx"))
+        labels = {str(k): v for k, v in self._labels.items() if v is not None}
+        path.with_name(path.name + ".labels").write_text(json.dumps(labels))
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        disk: DiskModel | None = None,
+        buffer_pages: int = 0,
+    ) -> "TimeWarpingDatabase":
+        """Re-open a database persisted with :meth:`save`.
+
+        The index is loaded from ``<path>.idx`` when present, else
+        rebuilt from the data by STR packing.
+        """
+        path = Path(path)
+        instance = cls.__new__(cls)
+        instance._db = SequenceDatabase.load(
+            path, disk=disk, buffer_pages=buffer_pages
+        )
+        index_path = path.with_name(path.name + ".idx")
+        if index_path.exists():
+            instance._tree = load_rtree(index_path)
+        else:
+            loader = STRBulkLoader(4, page_size=instance._db.page_size)
+            for sequence in instance._db.scan():
+                assert sequence.seq_id is not None
+                loader.add(
+                    extract_feature(sequence.values).as_tuple(),
+                    sequence.seq_id,
+                )
+            instance._tree = loader.build()
+        labels_path = path.with_name(path.name + ".labels")
+        instance._labels = {}
+        if labels_path.exists():
+            raw = json.loads(labels_path.read_text())
+            instance._labels = {int(k): v for k, v in raw.items()}
+        return instance
+
+    def knn(self, query: SequenceLike, k: int) -> list[SearchOutcome]:
+        """The *k* sequences with the smallest ``D_tw`` to the query.
+
+        Uses the classical lower-bound kNN refinement: walk index
+        entries in ascending ``D_tw-lb`` order (best-first, exact for a
+        metric lower bound) and verify with the true distance until the
+        *k*-th true distance is no greater than the next lower bound.
+        """
+        q = as_sequence(query)
+        if len(q) == 0:
+            raise ValidationError("query sequence must be non-empty")
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        point = extract_feature(q.values).as_tuple()
+        # Over-fetch lower-bound neighbours lazily: take them in chunks.
+        found: list[SearchOutcome] = []
+        fetched = 0
+        chunk = max(k * 4, 16)
+        while True:
+            neighbours = self._tree.knn(point, fetched + chunk)
+            new = neighbours[fetched:]
+            if not new:
+                break
+            for lb, seq_id in new:
+                fetched += 1
+                if len(found) >= k and lb > found[k - 1].distance:
+                    found = found[:k]
+                    return found
+                stored = self._db.fetch(seq_id)
+                distance = dtw_max(stored.values, q.values)
+                found.append(SearchOutcome(seq_id, distance, stored))
+                found.sort(key=lambda m: (m.distance, m.seq_id))
+            if fetched >= len(self._db):
+                break
+        return found[:k]

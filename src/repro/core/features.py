@@ -1,0 +1,143 @@
+"""The 4-tuple feature vector (paper section 4.2).
+
+``Feature(S) = (First(S), Last(S), Greatest(S), Smallest(S))``.
+
+Time warping stretches a sequence along the time axis by replicating
+elements; none of the four features can change under such replication,
+so the vector is *invariant to time warping* — the property that lets it
+serve as a set of indexing attributes independent of any query.
+Extraction is a single ``O(|S|)`` scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..exceptions import EmptySequenceError, ValidationError
+from ..types import SequenceLike, as_array
+
+__all__ = ["FeatureVector", "extract_feature", "feature_array", "StreamingExtractor"]
+
+
+@dataclass(frozen=True, order=True)
+class FeatureVector:
+    """The paper's 4-tuple ``(First, Last, Greatest, Smallest)``.
+
+    Immutable and hashable; iterates in the paper's component order so
+    it can be passed anywhere a length-4 numeric tuple is expected.
+    """
+
+    first: float
+    last: float
+    greatest: float
+    smallest: float
+
+    def __post_init__(self) -> None:
+        for name in ("first", "last", "greatest", "smallest"):
+            value = getattr(self, name)
+            if not np.isfinite(value):
+                raise ValidationError(f"feature {name!r} must be finite, got {value}")
+        if self.greatest < self.smallest:
+            raise ValidationError(
+                f"greatest ({self.greatest}) < smallest ({self.smallest})"
+            )
+        if not (self.smallest <= self.first <= self.greatest):
+            raise ValidationError("first element must lie within [smallest, greatest]")
+        if not (self.smallest <= self.last <= self.greatest):
+            raise ValidationError("last element must lie within [smallest, greatest]")
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.first
+        yield self.last
+        yield self.greatest
+        yield self.smallest
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """The features as a plain tuple in paper order."""
+        return (self.first, self.last, self.greatest, self.smallest)
+
+    def as_array(self) -> np.ndarray:
+        """The features as a 4-element float64 array."""
+        return np.array(self.as_tuple(), dtype=np.float64)
+
+
+def extract_feature(sequence: SequenceLike) -> FeatureVector:
+    """Extract ``Feature(S)`` from a non-empty sequence in one pass.
+
+    Raises :class:`EmptySequenceError` for an empty input: an empty
+    sequence has no first/last/extreme elements and cannot be indexed.
+    """
+    arr = as_array(sequence, allow_empty=False)
+    return FeatureVector(
+        first=float(arr[0]),
+        last=float(arr[-1]),
+        greatest=float(arr.max()),
+        smallest=float(arr.min()),
+    )
+
+
+def feature_array(sequences: Iterable[SequenceLike]) -> np.ndarray:
+    """Extract features from many sequences into an ``(n, 4)`` array.
+
+    Column order matches the paper: first, last, greatest, smallest.
+    """
+    rows = [extract_feature(seq).as_tuple() for seq in sequences]
+    if not rows:
+        return np.empty((0, 4), dtype=np.float64)
+    return np.array(rows, dtype=np.float64)
+
+
+class StreamingExtractor:
+    """Incremental feature extraction for sequences that arrive element-wise.
+
+    Useful when sequences are read from a stream (e.g. a live ticker)
+    and the full array is never materialized.  ``push`` each element,
+    then call :meth:`finish`.
+    """
+
+    __slots__ = ("_first", "_last", "_greatest", "_smallest", "_count")
+
+    def __init__(self) -> None:
+        self._first = 0.0
+        self._last = 0.0
+        self._greatest = -np.inf
+        self._smallest = np.inf
+        self._count = 0
+
+    def push(self, value: float) -> None:
+        """Feed the next element of the sequence."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValidationError(f"sequence elements must be finite, got {value}")
+        if self._count == 0:
+            self._first = value
+        self._last = value
+        if value > self._greatest:
+            self._greatest = value
+        if value < self._smallest:
+            self._smallest = value
+        self._count += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Feed several elements in order."""
+        for value in values:
+            self.push(value)
+
+    @property
+    def count(self) -> int:
+        """Number of elements pushed so far."""
+        return self._count
+
+    def finish(self) -> FeatureVector:
+        """Return the feature vector of everything pushed so far."""
+        if self._count == 0:
+            raise EmptySequenceError("no elements were pushed")
+        return FeatureVector(
+            first=self._first,
+            last=self._last,
+            greatest=self._greatest,
+            smallest=self._smallest,
+        )

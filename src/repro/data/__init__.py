@@ -1,0 +1,32 @@
+"""Data generators and query workloads (paper section 5.1).
+
+* :mod:`repro.data.synthetic` — the paper's random-walk generator:
+  ``s_i = s_{i-1} + z_i`` with ``z_i ~ U[-0.1, 0.1]`` and
+  ``s_1 ~ U[1, 10]``.
+* :mod:`repro.data.stocks` — an S&P-500-like ensemble standing in for
+  the paper's real stock data (545 sequences, average length 231); also
+  loads real CSV data when available.
+* :mod:`repro.data.queries` — the paper's query workload: perturb a
+  random database sequence element-wise by ``U[-std/2, +std/2]``.
+"""
+
+from .queries import QueryWorkload, perturb_sequence
+from .shapes import CBF_CLASSES, cbf_dataset, cbf_instance
+from .stocks import StockDataset, load_stock_csv, synthetic_sp500
+from .synthetic import random_walk, random_walk_dataset
+from .ucr import load_ucr_dataset, load_ucr_file
+
+__all__ = [
+    "QueryWorkload",
+    "perturb_sequence",
+    "CBF_CLASSES",
+    "cbf_dataset",
+    "cbf_instance",
+    "load_ucr_dataset",
+    "load_ucr_file",
+    "StockDataset",
+    "load_stock_csv",
+    "synthetic_sp500",
+    "random_walk",
+    "random_walk_dataset",
+]

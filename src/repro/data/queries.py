@@ -1,0 +1,90 @@
+"""Query workload generation (paper section 5.1).
+
+"For each experiment, we performed 100 queries with query sequences
+generated as follows: (1) select a random sequence from the database;
+(2) take a random value from an appropriate range for every element;
+and (3) add the value to the element."  The appropriate range is
+``[-std/2, +std/2]`` where ``std`` is the standard deviation of the
+selected sequence (the paper's footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence as TypingSequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..types import Sequence, SequenceLike, as_array
+
+__all__ = ["perturb_sequence", "QueryWorkload"]
+
+
+def perturb_sequence(
+    sequence: SequenceLike,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> Sequence:
+    """Apply the paper's element-wise perturbation to one sequence.
+
+    Each element gets an independent uniform offset from
+    ``[-std/2, +std/2]``, where ``std`` is the sequence's own standard
+    deviation.  A constant sequence (std 0) is returned unchanged.
+    """
+    arr = as_array(sequence, allow_empty=False)
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    std = float(arr.std())
+    if std == 0.0:
+        return Sequence(arr.copy())
+    offsets = generator.uniform(-std / 2.0, std / 2.0, size=arr.size)
+    return Sequence(arr + offsets)
+
+
+class QueryWorkload:
+    """The paper's 100-query workload over a database of sequences.
+
+    Parameters
+    ----------
+    sequences:
+        The database contents queries are derived from.
+    n_queries:
+        Workload size (paper: 100).
+    seed:
+        Reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        sequences: TypingSequence[SequenceLike],
+        *,
+        n_queries: int = 100,
+        seed: int = 7,
+    ) -> None:
+        if not sequences:
+            raise ValidationError("workload requires a non-empty database")
+        if n_queries < 1:
+            raise ValidationError(f"n_queries must be >= 1, got {n_queries}")
+        self._sequences = list(sequences)
+        self._n_queries = n_queries
+        self._seed = seed
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries generated per pass."""
+        return self._n_queries
+
+    def __len__(self) -> int:
+        return self._n_queries
+
+    def __iter__(self) -> Iterator[Sequence]:
+        """Generate the queries (deterministic for a fixed seed)."""
+        rng = np.random.default_rng(self._seed)
+        for _ in range(self._n_queries):
+            base = self._sequences[int(rng.integers(len(self._sequences)))]
+            yield perturb_sequence(base, rng=rng)
+
+    def queries(self) -> list[Sequence]:
+        """Materialize the whole workload as a list."""
+        return list(self)

@@ -1,0 +1,86 @@
+"""Cylinder–Bell–Funnel (CBF) shape sequences.
+
+The classic labelled synthetic benchmark for time-series similarity
+(Saito 1994; used throughout the DTW literature).  Each class is a
+characteristic shape over a noisy baseline, with a random onset and
+duration — so instances of the same class align under time warping but
+not under rigid, position-wise comparison.  Useful for examples and
+tests that need *ground-truth classes*, which the paper's random walks
+lack:
+
+* **cylinder** — a plateau: the signal jumps to a level and holds it;
+* **bell** — a linear ramp up to the level, then a drop;
+* **funnel** — a jump to the level, then a linear decay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..types import Sequence
+
+__all__ = ["cbf_instance", "cbf_dataset", "CBF_CLASSES"]
+
+#: The three class labels in canonical order.
+CBF_CLASSES: tuple[str, str, str] = ("cylinder", "bell", "funnel")
+
+
+def cbf_instance(
+    kind: str,
+    length: int = 128,
+    *,
+    rng: np.random.Generator | int | None = None,
+    noise: float = 0.35,
+) -> Sequence:
+    """One CBF sequence of the given class and length.
+
+    The shape occupies a random window (onset uniform in the first
+    third, duration at least a third of the sequence) at a random
+    level ``~N(6, 1)``, over ``N(0, noise)`` baseline noise.
+    """
+    if kind not in CBF_CLASSES:
+        raise ValidationError(f"kind must be one of {CBF_CLASSES}, got {kind!r}")
+    if length < 8:
+        raise ValidationError(f"length must be >= 8, got {length}")
+    if noise < 0:
+        raise ValidationError(f"noise must be non-negative, got {noise}")
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    values = generator.normal(0.0, noise, size=length)
+    onset = int(generator.integers(0, max(1, length // 3)))
+    duration = int(generator.integers(length // 3, max(length // 3 + 1, 2 * length // 3)))
+    end = min(length, onset + duration)
+    level = float(generator.normal(6.0, 1.0))
+    span = max(1, end - onset)
+    ramp = np.linspace(0.0, 1.0, span)
+    if kind == "cylinder":
+        values[onset:end] += level
+    elif kind == "bell":
+        values[onset:end] += level * ramp
+    else:  # funnel
+        values[onset:end] += level * ramp[::-1]
+    return Sequence(values, label=kind)
+
+
+def cbf_dataset(
+    n_per_class: int,
+    length: int = 128,
+    *,
+    seed: int = 0,
+    noise: float = 0.35,
+) -> list[Sequence]:
+    """A balanced CBF dataset: *n_per_class* instances of each class.
+
+    Instances are interleaved class-by-class; each carries its class
+    name as the label.
+    """
+    if n_per_class < 1:
+        raise ValidationError(f"n_per_class must be >= 1, got {n_per_class}")
+    generator = np.random.default_rng(seed)
+    out: list[Sequence] = []
+    for _ in range(n_per_class):
+        for kind in CBF_CLASSES:
+            out.append(cbf_instance(kind, length, rng=generator, noise=noise))
+    return out

@@ -1,0 +1,94 @@
+"""The paper's synthetic random-walk generator (section 5.1).
+
+Each synthetic sequence ``S = <s_1, ..., s_n>`` follows::
+
+    s_i = s_{i-1} + z_i
+
+where ``z_i`` is IID uniform on ``[-0.1, 0.1]`` and the first element
+``s_1`` is uniform on ``[1, 10]``.  The generator is seeded for
+reproducibility and supports fixed or randomized lengths (the paper
+fixes the average length per experiment).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..types import Sequence
+
+__all__ = ["random_walk", "random_walk_dataset"]
+
+#: The paper's step range for the IID increments.
+STEP_RANGE: tuple[float, float] = (-0.1, 0.1)
+
+#: The paper's range for the first element.
+START_RANGE: tuple[float, float] = (1.0, 10.0)
+
+
+def random_walk(
+    length: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    step_range: tuple[float, float] = STEP_RANGE,
+    start_range: tuple[float, float] = START_RANGE,
+) -> Sequence:
+    """One random-walk sequence of the given *length*."""
+    if length < 1:
+        raise ValidationError(f"length must be >= 1, got {length}")
+    generator = _as_generator(rng)
+    lo, hi = step_range
+    if lo > hi:
+        raise ValidationError(f"invalid step_range {step_range}")
+    s_lo, s_hi = start_range
+    if s_lo > s_hi:
+        raise ValidationError(f"invalid start_range {start_range}")
+    start = generator.uniform(s_lo, s_hi)
+    steps = generator.uniform(lo, hi, size=length - 1)
+    values = np.empty(length)
+    values[0] = start
+    if length > 1:
+        np.cumsum(steps, out=values[1:])
+        values[1:] += start
+    return Sequence(values)
+
+
+def random_walk_dataset(
+    n_sequences: int,
+    length: int,
+    *,
+    seed: int = 0,
+    length_jitter: float = 0.0,
+) -> list[Sequence]:
+    """A dataset of *n_sequences* random walks of average *length*.
+
+    ``length_jitter`` (0..1) draws each sequence's length uniformly
+    from ``[length * (1 - jitter), length * (1 + jitter)]`` so databases
+    of *different-length* sequences — time warping's raison d'être —
+    can be generated; 0 reproduces the paper's fixed-length setting.
+    """
+    if n_sequences < 1:
+        raise ValidationError(f"n_sequences must be >= 1, got {n_sequences}")
+    if not 0.0 <= length_jitter < 1.0:
+        raise ValidationError(
+            f"length_jitter must be in [0, 1), got {length_jitter}"
+        )
+    rng = np.random.default_rng(seed)
+    sequences = []
+    for _ in range(n_sequences):
+        if length_jitter > 0.0:
+            lo = max(1, int(length * (1.0 - length_jitter)))
+            hi = max(lo, int(length * (1.0 + length_jitter)))
+            n = int(rng.integers(lo, hi + 1))
+        else:
+            n = length
+        sequences.append(random_walk(n, rng=rng))
+    return sequences
+
+
+def _as_generator(
+    rng: np.random.Generator | int | None,
+) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

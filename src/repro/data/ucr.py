@@ -1,0 +1,85 @@
+"""UCR time-series archive format loader.
+
+The UCR archive is the standard corpus for DTW evaluation; its files
+are plain text with one sequence per line::
+
+    <label><TAB or comma or spaces><v1> <v2> ... <vn>
+
+The first field is the class label (often an integer).  This loader
+accepts tab-, comma- and whitespace-separated variants, returns
+labelled :class:`~repro.types.Sequence` objects, and can split into the
+archive's conventional ``_TRAIN`` / ``_TEST`` pair when given the
+dataset's directory and name.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..exceptions import ValidationError
+from ..types import Sequence
+
+__all__ = ["load_ucr_file", "load_ucr_dataset"]
+
+
+def load_ucr_file(path: str | Path) -> list[Sequence]:
+    """Load one UCR-format file: label-prefixed rows of values."""
+    path = Path(path)
+    sequences: list[Sequence] = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            for sep in ("\t", ","):
+                if sep in line:
+                    fields = [p for p in line.split(sep) if p.strip()]
+                    break
+            else:
+                fields = line.split()
+            if len(fields) < 2:
+                raise ValidationError(
+                    f"{path}:{line_no}: expected a label and at least one value"
+                )
+            label = fields[0].strip()
+            try:
+                values = [float(v) for v in fields[1:]]
+            except ValueError as error:
+                raise ValidationError(
+                    f"{path}:{line_no}: non-numeric value ({error})"
+                ) from None
+            # UCR labels are usually numeric strings like "1.0"; trim.
+            try:
+                label = f"{float(label):g}"
+            except ValueError:
+                pass
+            sequences.append(Sequence(values, label=label))
+    if not sequences:
+        raise ValidationError(f"{path} contained no sequences")
+    return sequences
+
+
+def load_ucr_dataset(
+    directory: str | Path, name: str
+) -> tuple[list[Sequence], list[Sequence]]:
+    """Load a UCR dataset's ``<name>_TRAIN`` / ``<name>_TEST`` pair.
+
+    Either plain or ``.tsv``-suffixed file names are accepted.
+    """
+    directory = Path(directory)
+    splits = []
+    for suffix in ("_TRAIN", "_TEST"):
+        candidates = [
+            directory / f"{name}{suffix}",
+            directory / f"{name}{suffix}.tsv",
+            directory / f"{name}{suffix}.txt",
+        ]
+        for candidate in candidates:
+            if candidate.exists():
+                splits.append(load_ucr_file(candidate))
+                break
+        else:
+            raise ValidationError(
+                f"no {name}{suffix} file found under {directory}"
+            )
+    return splits[0], splits[1]

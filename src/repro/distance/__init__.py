@@ -1,0 +1,74 @@
+"""Distance substrate: Lp distances, DTW, global constraints, lower bounds.
+
+This package implements every distance the paper touches:
+
+* :mod:`repro.distance.base` — the ``L_p`` family used both as whole-
+  sequence distances and as the ``D_base`` element distance inside DTW.
+* :mod:`repro.distance.dtw` — the time-warping distance, in the paper's
+  two formulations: Definition 1 (additive, any ``L_p`` base) and
+  Definition 2 (the ``L_inf``/max recurrence the paper adopts).
+* :mod:`repro.distance.bands` — Sakoe–Chiba / Itakura global constraints
+  (extension; the paper uses unconstrained warping).
+* :mod:`repro.distance.lb_yi` — the Yi–Jagadish–Faloutsos lower bound
+  used by the LB-Scan baseline.
+* :mod:`repro.distance.lb_keogh` — the LB_Keogh envelope bound
+  (extension, for the lower-bound tightness ablation).
+"""
+
+from .alignment import AlignmentReport, explain_alignment, render_alignment
+from .base import (
+    BaseDistance,
+    L1,
+    L2,
+    LINF,
+    LpDistance,
+    euclidean,
+    manhattan,
+    maximum,
+    lp_distance,
+)
+from .bands import full_window, itakura_window, sakoe_chiba_window
+from .dtw import (
+    DtwResult,
+    dtw_additive,
+    dtw_additive_matrix,
+    dtw_distance,
+    dtw_max,
+    dtw_max_early_abandon,
+    dtw_max_matrix,
+    warping_path,
+)
+from .lb_keogh import lb_keogh, warping_envelope
+from .lb_yi import lb_yi
+from .pairwise import pairwise_dtw, pairwise_dtw_within
+
+__all__ = [
+    "AlignmentReport",
+    "explain_alignment",
+    "render_alignment",
+    "BaseDistance",
+    "L1",
+    "L2",
+    "LINF",
+    "LpDistance",
+    "euclidean",
+    "manhattan",
+    "maximum",
+    "lp_distance",
+    "full_window",
+    "itakura_window",
+    "sakoe_chiba_window",
+    "DtwResult",
+    "dtw_additive",
+    "dtw_additive_matrix",
+    "dtw_distance",
+    "dtw_max",
+    "dtw_max_early_abandon",
+    "dtw_max_matrix",
+    "warping_path",
+    "lb_keogh",
+    "warping_envelope",
+    "lb_yi",
+    "pairwise_dtw",
+    "pairwise_dtw_within",
+]

@@ -1,0 +1,123 @@
+"""Warping-alignment inspection: *why* two sequences match (or don't).
+
+A search result under DTW is opaque — "distance 0.42" — until you see
+which elements were matched to which.  :func:`explain_alignment`
+recovers the optimal Definition-2 warping and reports the element
+mapping ``M`` of the paper's section 4.1: every matched pair, its cost,
+the bottleneck pair realizing the distance, and how much each sequence
+was stretched.  :func:`render_alignment` draws the mapping as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..types import SequenceLike, as_array
+from .dtw import dtw_max_matrix
+
+__all__ = ["AlignmentReport", "explain_alignment", "render_alignment"]
+
+
+@dataclass(frozen=True)
+class AlignmentReport:
+    """The element mapping behind a Definition-2 distance.
+
+    Attributes
+    ----------
+    distance:
+        ``D_tw(S, Q)`` — equals the largest pair cost.
+    pairs:
+        The warping path as ``(i, j)`` index pairs (the mapping ``M``).
+    costs:
+        ``|s_i - q_j|`` per pair, aligned with :attr:`pairs`.
+    bottleneck:
+        The ``(i, j)`` pair realizing the distance (first of them).
+    s_stretch, q_stretch:
+        Path length over each sequence's length — 1.0 means no
+        replication; 2.0 means elements matched twice on average.
+    """
+
+    distance: float
+    pairs: list[tuple[int, int]]
+    costs: list[float]
+    bottleneck: tuple[int, int]
+    s_stretch: float
+    q_stretch: float
+
+    def matched_queries_of(self, i: int) -> list[int]:
+        """Query indexes matched to data element *i*."""
+        return [j for (a, j) in self.pairs if a == i]
+
+    def matched_elements_of(self, j: int) -> list[int]:
+        """Data indexes matched to query element *j*."""
+        return [i for (i, b) in self.pairs if b == j]
+
+
+def explain_alignment(s: SequenceLike, q: SequenceLike) -> AlignmentReport:
+    """Compute the optimal warping of *s* onto *q* and describe it."""
+    s_arr = as_array(s, allow_empty=False)
+    q_arr = as_array(q, allow_empty=False)
+    result = dtw_max_matrix(s_arr, q_arr)
+    pairs = result.path()
+    costs = [float(abs(s_arr[i] - q_arr[j])) for i, j in pairs]
+    worst = int(np.argmax(costs))
+    return AlignmentReport(
+        distance=result.distance,
+        pairs=pairs,
+        costs=costs,
+        bottleneck=pairs[worst],
+        s_stretch=len(pairs) / s_arr.size,
+        q_stretch=len(pairs) / q_arr.size,
+    )
+
+
+def render_alignment(
+    s: SequenceLike,
+    q: SequenceLike,
+    *,
+    max_rows: int = 40,
+    value_format: str = "{:.3g}",
+) -> str:
+    """A text table of the optimal warping between *s* and *q*.
+
+    One row per matched pair: indexes, values, cost, and a marker on
+    the bottleneck pair.  Long alignments are elided in the middle.
+    """
+    if max_rows < 3:
+        raise ValidationError(f"max_rows must be >= 3, got {max_rows}")
+    s_arr = as_array(s, allow_empty=False)
+    q_arr = as_array(q, allow_empty=False)
+    report = explain_alignment(s_arr, q_arr)
+
+    lines = [
+        f"D_tw = {value_format.format(report.distance)}  "
+        f"(bottleneck pair s[{report.bottleneck[0]}] ~ "
+        f"q[{report.bottleneck[1]}]; stretch s x{report.s_stretch:.2f}, "
+        f"q x{report.q_stretch:.2f})",
+        f"{'s idx':>6} {'s val':>10}   {'q idx':>6} {'q val':>10} {'cost':>10}",
+    ]
+
+    rows = list(zip(report.pairs, report.costs))
+    elided = len(rows) > max_rows
+    if elided:
+        head = rows[: max_rows // 2]
+        tail = rows[-(max_rows - max_rows // 2) :]
+        shown: list = head + [None] + tail
+    else:
+        shown = list(rows)
+
+    for item in shown:
+        if item is None:
+            lines.append(f"{'...':>6}")
+            continue
+        (i, j), cost = item
+        marker = "  <- bottleneck" if (i, j) == report.bottleneck else ""
+        lines.append(
+            f"{i:>6} {value_format.format(float(s_arr[i])):>10}   "
+            f"{j:>6} {value_format.format(float(q_arr[j])):>10} "
+            f"{value_format.format(cost):>10}{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Global warping-path constraints (extension to the paper).
+
+The paper uses *unconstrained* time warping.  Later work (Sakoe–Chiba,
+Itakura; popularized for indexing by LB_Keogh) restricts the warping path
+to a band around the diagonal.  We implement the two classical windows so
+that the DTW engine and the LB_Keogh bound can be exercised under
+constraints, and so the lower-bound ablation (bench A5) can compare the
+paper's LB_Kim against constrained-DTW bounds.
+
+A *window* is represented as a list ``rows`` of ``(lo, hi)`` column
+bounds, one per row ``i`` (0-based): cell ``(i, j)`` is admissible iff
+``lo <= j < hi``.  All generators guarantee that the window is
+contiguous per row, monotone, and includes ``(0, 0)`` and ``(n-1, m-1)``
+so a warping path always exists.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ValidationError
+
+__all__ = ["full_window", "sakoe_chiba_window", "itakura_window", "Window"]
+
+#: Per-row ``(lo, hi)`` half-open column bounds.
+Window = list[tuple[int, int]]
+
+
+def _validate_dims(n: int, m: int) -> None:
+    if n <= 0 or m <= 0:
+        raise ValidationError(f"window requires positive dimensions, got {n}x{m}")
+
+
+def full_window(n: int, m: int) -> Window:
+    """The unconstrained window: every cell of the ``n x m`` grid."""
+    _validate_dims(n, m)
+    return [(0, m)] * n
+
+
+def sakoe_chiba_window(n: int, m: int, radius: int) -> Window:
+    """Sakoe–Chiba band of the given *radius* around the (resampled) diagonal.
+
+    For sequences of different lengths the band follows the line
+    ``j = i * (m-1)/(n-1)``; *radius* is measured in columns.  A radius of
+    ``max(n, m)`` or more degenerates to the full window.
+    """
+    _validate_dims(n, m)
+    if radius < 0:
+        raise ValidationError(f"radius must be non-negative, got {radius}")
+    if n == 1:
+        return [(0, m)]
+    rows: Window = []
+    slope = (m - 1) / (n - 1)
+    for i in range(n):
+        center = i * slope
+        lo = max(0, int(center - radius))
+        hi = min(m, int(center + radius) + 1)
+        rows.append((lo, hi))
+    return _make_contiguous(rows, m)
+
+
+def itakura_window(n: int, m: int, max_slope: float = 2.0) -> Window:
+    """Itakura parallelogram with the given maximum local slope.
+
+    The admissible region is bounded by lines of slope ``max_slope`` and
+    ``1/max_slope`` through both corners, forming a parallelogram from
+    ``(0, 0)`` to ``(n-1, m-1)``.
+    """
+    _validate_dims(n, m)
+    if max_slope < 1.0:
+        raise ValidationError(f"max_slope must be >= 1, got {max_slope}")
+    if n == 1:
+        return [(0, m)]
+    min_slope = 1.0 / max_slope
+    rows: Window = []
+    for i in range(n):
+        # Lower bound: must still be reachable from (0,0) slowly and
+        # able to reach (n-1, m-1) quickly.
+        lo = max(min_slope * i, (m - 1) - max_slope * (n - 1 - i))
+        # Upper bound: symmetric.
+        hi = min(max_slope * i, (m - 1) - min_slope * (n - 1 - i))
+        lo_i = max(0, int(lo + 0.5) if lo > 0 else 0)
+        hi_i = min(m, int(hi + 0.5) + 1)
+        rows.append((lo_i, hi_i))
+    return _make_contiguous(rows, m)
+
+
+def _make_contiguous(rows: Window, m: int) -> Window:
+    """Repair a window so each row is non-empty and rows overlap.
+
+    Guarantees a monotone staircase of admissible cells connecting
+    ``(0, 0)`` to the last cell, which DTW requires for a path to exist.
+    """
+    n = len(rows)
+    fixed: Window = []
+    prev_lo, prev_hi = 0, 1
+    for i, (lo, hi) in enumerate(rows):
+        lo = max(0, min(lo, m - 1))
+        hi = max(lo + 1, min(hi, m))
+        # Each row must touch or overlap the previous row's span so the
+        # path can step (diagonal or vertical) without gaps.
+        if lo > prev_hi:
+            lo = prev_hi
+        if hi <= prev_lo:
+            hi = prev_lo + 1
+        fixed.append((lo, hi))
+        prev_lo, prev_hi = lo, hi
+    # Endpoints must be admissible.
+    lo0, hi0 = fixed[0]
+    fixed[0] = (0, hi0)
+    lo_n, hi_n = fixed[-1]
+    fixed[-1] = (min(lo_n, m - 1), m)
+    return fixed

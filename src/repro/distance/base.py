@@ -1,0 +1,141 @@
+"""The ``L_p`` distance family (paper section 2).
+
+Two related roles are covered here:
+
+1. **Whole-sequence distance** between equal-length sequences:
+   ``L_p(S, Q) = (sum_i |s_i - q_i|^p)^(1/p)``, with ``L_inf`` as the
+   limit ``max_i |s_i - q_i|``.
+2. **Element base distance** ``D_base`` inside the time-warping
+   recurrence, which compares two scalars.  For scalars every ``L_p``
+   collapses to ``|x - y|``; what differs is how per-element costs are
+   *accumulated* along a warping path: ``L_1`` sums them, ``L_inf``
+   takes the maximum.  The :class:`BaseDistance` enum captures that
+   accumulation rule and is consumed by :mod:`repro.distance.dtw`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from ..exceptions import LengthMismatchError, ValidationError
+from ..types import SequenceLike, as_array
+
+__all__ = [
+    "BaseDistance",
+    "L1",
+    "L2",
+    "LINF",
+    "LpDistance",
+    "lp_distance",
+    "manhattan",
+    "euclidean",
+    "maximum",
+]
+
+
+class BaseDistance(enum.Enum):
+    """Accumulation rule for per-element costs along a warping path.
+
+    ``L1`` sums absolute differences (classical DTW), ``L2`` sums squared
+    differences and takes a square root at the end, and ``LINF`` — the
+    paper's choice (Definition 2) — takes the maximum absolute
+    difference over the path.
+    """
+
+    L1 = "L1"
+    L2 = "L2"
+    LINF = "Linf"
+
+    @property
+    def p(self) -> float:
+        """The ``p`` exponent; ``inf`` for :attr:`LINF`."""
+        if self is BaseDistance.L1:
+            return 1.0
+        if self is BaseDistance.L2:
+            return 2.0
+        return math.inf
+
+
+#: Convenience aliases.
+L1 = BaseDistance.L1
+L2 = BaseDistance.L2
+LINF = BaseDistance.LINF
+
+
+class LpDistance:
+    """A whole-sequence ``L_p`` distance for a fixed ``p``.
+
+    ``p`` may be any real number ``>= 1`` or ``math.inf``.  Instances are
+    callable: ``LpDistance(2)(s, q)`` is the Euclidean distance.
+    """
+
+    __slots__ = ("_p",)
+
+    def __init__(self, p: float) -> None:
+        if not (p >= 1.0):  # also rejects NaN
+            raise ValidationError(f"L_p requires p >= 1, got {p!r}")
+        self._p = float(p)
+
+    @property
+    def p(self) -> float:
+        """The exponent of this distance."""
+        return self._p
+
+    def __call__(self, s: SequenceLike, q: SequenceLike) -> float:
+        return lp_distance(s, q, p=self._p)
+
+    def __repr__(self) -> str:
+        return f"LpDistance(p={self._p:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LpDistance):
+            return NotImplemented
+        return self._p == other._p
+
+    def __hash__(self) -> int:
+        return hash(("LpDistance", self._p))
+
+
+def lp_distance(s: SequenceLike, q: SequenceLike, *, p: float = 2.0) -> float:
+    """``L_p`` distance between two equal-length sequences.
+
+    Raises :class:`LengthMismatchError` when ``|S| != |Q|`` — the paper
+    stresses that this restriction is exactly why time warping is needed
+    for databases of variable-length sequences.
+    """
+    s_arr = as_array(s)
+    q_arr = as_array(q)
+    if s_arr.size != q_arr.size:
+        raise LengthMismatchError(
+            f"L_p requires equal lengths, got {s_arr.size} and {q_arr.size}"
+        )
+    if not (p >= 1.0):
+        raise ValidationError(f"L_p requires p >= 1, got {p!r}")
+    if s_arr.size == 0:
+        return 0.0
+    diff = np.abs(s_arr - q_arr)
+    if math.isinf(p):
+        return float(diff.max())
+    if p == 1.0:
+        return float(diff.sum())
+    if p == 2.0:
+        return float(np.sqrt(np.square(diff).sum()))
+    return float(np.power(np.power(diff, p).sum(), 1.0 / p))
+
+
+def manhattan(s: SequenceLike, q: SequenceLike) -> float:
+    """``L_1`` (Manhattan) distance between equal-length sequences."""
+    return lp_distance(s, q, p=1.0)
+
+
+def euclidean(s: SequenceLike, q: SequenceLike) -> float:
+    """``L_2`` (Euclidean) distance between equal-length sequences."""
+    return lp_distance(s, q, p=2.0)
+
+
+def maximum(s: SequenceLike, q: SequenceLike) -> float:
+    """``L_inf`` (maximum / Chebyshev) distance between equal-length sequences."""
+    return lp_distance(s, q, p=math.inf)

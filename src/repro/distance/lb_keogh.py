@@ -1,0 +1,85 @@
+"""LB_Keogh — envelope lower bound for *band-constrained* DTW (extension).
+
+Not part of the ICDE 2001 paper (it post-dates it by a year); included
+because the lower-bound tightness ablation (bench A5) compares the
+paper's LB_Kim against the bound that ultimately superseded it.
+
+Given a query ``Q`` and a Sakoe–Chiba radius ``r``, the *warping
+envelope* is::
+
+    U_i = max(q_{i-r} .. q_{i+r})      L_i = min(q_{i-r} .. q_{i+r})
+
+Any warping path admissible under the band matches ``s_i`` only to
+elements within ``[L_i, U_i]``, so the element contributes at least its
+distance to that interval.  Accumulating those contributions under the
+chosen rule (sum for ``L1``, sum-of-squares for ``L2``, max for the
+paper's ``LINF``) lower-bounds the band-constrained DTW.  Requires
+``|S| == |Q|`` (the classical setting of the bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import LengthMismatchError, ValidationError
+from ..types import SequenceLike, as_array
+from .base import BaseDistance, LINF
+
+__all__ = ["warping_envelope", "lb_keogh"]
+
+
+def warping_envelope(
+    q: SequenceLike, radius: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Upper and lower warping envelopes of *q* for a Sakoe–Chiba band.
+
+    Returns ``(upper, lower)`` arrays of the same length as *q* where
+    ``upper[i] = max(q[i-radius : i+radius+1])`` (clipped to the array
+    bounds) and ``lower[i]`` is the corresponding minimum.
+    """
+    arr = as_array(q, allow_empty=False)
+    if radius < 0:
+        raise ValidationError(f"radius must be non-negative, got {radius}")
+    n = arr.size
+    upper = np.empty(n)
+    lower = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - radius)
+        hi = min(n, i + radius + 1)
+        window = arr[lo:hi]
+        upper[i] = window.max()
+        lower[i] = window.min()
+    return upper, lower
+
+
+def lb_keogh(
+    s: SequenceLike,
+    q: SequenceLike,
+    *,
+    radius: int,
+    base: BaseDistance = LINF,
+) -> float:
+    """LB_Keogh lower bound of band-constrained DTW between *s* and *q*.
+
+    *radius* is the Sakoe–Chiba band radius the DTW is constrained to;
+    *base* is the accumulation rule of the bounded DTW.  The envelope is
+    built over *q* (the query) and *s* plays the data-sequence role, the
+    standard orientation for index-time use.
+    """
+    s_arr = as_array(s, allow_empty=False)
+    q_arr = as_array(q, allow_empty=False)
+    if s_arr.size != q_arr.size:
+        raise LengthMismatchError(
+            f"LB_Keogh requires equal lengths, got {s_arr.size} and {q_arr.size}"
+        )
+    upper, lower = warping_envelope(q_arr, radius)
+    above = np.clip(s_arr - upper, 0.0, None)
+    below = np.clip(lower - s_arr, 0.0, None)
+    excess = above + below  # at most one of the two is non-zero per element
+    if base is LINF:
+        return float(excess.max())
+    if base is BaseDistance.L1:
+        return float(excess.sum())
+    if base is BaseDistance.L2:
+        return float(np.sqrt(np.square(excess).sum()))
+    raise ValidationError(f"unsupported base distance {base}")

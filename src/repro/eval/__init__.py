@@ -1,0 +1,44 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+* :mod:`repro.eval.harness` — run a query workload through any set of
+  methods and aggregate candidate ratios, elapsed times and
+  cross-checked correctness.
+* :mod:`repro.eval.experiments` — one function per paper artifact
+  (Figures 2–5) plus the ablations listed in DESIGN.md.
+* :mod:`repro.eval.reporting` — text tables and ASCII charts matching
+  the paper's figures.
+"""
+
+from .harness import MethodAggregate, WorkloadRunner, WorkloadSummary
+from .experiments import (
+    ExperimentResult,
+    ablation_base_distance,
+    ablation_bulk_load,
+    ablation_features,
+    ablation_lower_bounds,
+    experiment1_candidate_ratio,
+    experiment2_elapsed_stock,
+    experiment3_scale_count,
+    experiment4_scale_length,
+)
+from .figures import result_to_svg, save_figure
+from .reporting import ascii_chart, format_table
+
+__all__ = [
+    "MethodAggregate",
+    "WorkloadRunner",
+    "WorkloadSummary",
+    "ExperimentResult",
+    "ablation_base_distance",
+    "ablation_bulk_load",
+    "ablation_features",
+    "ablation_lower_bounds",
+    "experiment1_candidate_ratio",
+    "experiment2_elapsed_stock",
+    "experiment3_scale_count",
+    "experiment4_scale_length",
+    "ascii_chart",
+    "format_table",
+    "result_to_svg",
+    "save_figure",
+]

@@ -1,0 +1,216 @@
+"""SVG rendering of experiment results — dependency-free figures.
+
+The ASCII charts in :mod:`repro.eval.reporting` are for terminals; this
+module writes each :class:`~repro.eval.experiments.ExperimentResult` as
+a standalone SVG line chart (log axes supported), so a reproduction run
+can produce actual figure files comparable to the paper's, without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Sequence as TypingSequence
+
+from ..exceptions import ValidationError
+from .experiments import ExperimentResult
+
+__all__ = ["result_to_svg", "save_figure"]
+
+#: Category palette (colorblind-safe Okabe–Ito subset).
+_COLORS = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#000000",
+    "#F0E442",
+)
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 20, 40, 55
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValidationError("log axes require positive values")
+        return math.log10(value)
+    return value
+
+
+def _ticks(lo: float, hi: float, log: bool) -> list[float]:
+    """A handful of tick positions in *transformed* coordinates."""
+    if log:
+        first = math.floor(lo)
+        last = math.ceil(hi)
+        return [float(t) for t in range(first, last + 1)]
+    if hi == lo:
+        return [lo]
+    step = 10 ** math.floor(math.log10(hi - lo))
+    if (hi - lo) / step > 6:
+        step *= 2
+    if (hi - lo) / step < 3:
+        step /= 2
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12:
+        ticks.append(t)
+        t += step
+    return ticks
+
+
+def _tick_label(t: float, log: bool) -> str:
+    value = 10**t if log else t
+    return f"{value:g}"
+
+
+def result_to_svg(result: ExperimentResult) -> str:
+    """Render *result* as an SVG document string."""
+    if not result.series:
+        raise ValidationError("result has no series to plot")
+    if len(result.series) > len(_COLORS):
+        raise ValidationError(
+            f"at most {len(_COLORS)} series supported, got {len(result.series)}"
+        )
+    series = {name: list(values) for name, values in result.series.items()}
+    log_y = result.log_y
+    if log_y:
+        # Log y-axes tolerate zeros (e.g. an empty answer set at a tiny
+        # tolerance) by clamping to a floor one decade below the
+        # smallest positive value, as the ASCII renderer does.
+        positive = [v for vs in series.values() for v in vs if v > 0]
+        if not positive:
+            log_y = False
+        else:
+            floor = min(positive) / 10.0
+            series = {
+                name: [v if v > 0 else floor for v in vs]
+                for name, vs in series.items()
+            }
+    xs = [_transform(float(x), result.log_x) for x in result.x_values]
+    ys_all = [
+        _transform(float(v), log_y)
+        for values in series.values()
+        for v in values
+    ]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    # Breathing room on the y axis.
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2:.1f}" y="20" text-anchor="middle" '
+        f'font-size="14">{_escape(result.title)}</text>',
+    ]
+
+    # Axes frame.
+    parts.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#444"/>'
+    )
+    # Ticks and grid.
+    for t in _ticks(x_lo, x_hi, result.log_x):
+        if not x_lo <= t <= x_hi:
+            continue
+        x = px(t)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_T}" x2="{x:.1f}" '
+            f'y2="{_MARGIN_T + plot_h}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle">{_tick_label(t, result.log_x)}</text>'
+        )
+    for t in _ticks(y_lo, y_hi, log_y):
+        if not y_lo <= t <= y_hi:
+            continue
+        y = py(t)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_L + plot_w}" y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{_tick_label(t, log_y)}</text>'
+        )
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.1f}" y="{_HEIGHT - 14}" '
+        f'text-anchor="middle">{_escape(result.x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{_MARGIN_T + plot_h / 2:.1f}" '
+        f'text-anchor="middle" transform="rotate(-90 16 '
+        f'{_MARGIN_T + plot_h / 2:.1f})">{_escape(result.y_label)}</text>'
+    )
+
+    # Series.
+    for color, (name, values) in zip(_COLORS, series.items()):
+        if len(values) != len(result.x_values):
+            raise ValidationError(f"series {name!r} length mismatch")
+        points = [
+            (px(x), py(_transform(float(v), log_y)))
+            for x, v in zip(xs, values)
+        ]
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in points:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" fill="{color}"/>'
+            )
+
+    # Legend.
+    legend_y = _MARGIN_T + 8
+    for color, name in zip(_COLORS, series.keys()):
+        parts.append(
+            f'<rect x="{_MARGIN_L + 10}" y="{legend_y - 8}" width="14" '
+            f'height="4" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L + 30}" y="{legend_y - 2}">'
+            f"{_escape(name)}</text>"
+        )
+        legend_y += 16
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_figure(result: ExperimentResult, path: str | Path) -> Path:
+    """Write *result* as an SVG file; returns the path written."""
+    path = Path(path)
+    path.write_text(result_to_svg(result))
+    return path
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

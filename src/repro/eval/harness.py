@@ -1,0 +1,184 @@
+"""Workload runner: one database, several methods, many queries.
+
+Runs every query through every method, accumulates the two quantities
+the paper plots — mean candidate count (Figure 2) and mean elapsed time
+(Figures 3–5) — and cross-checks that every exact method returns the
+same answer sets (the no-false-dismissal guarantee, validated at
+runtime on every experiment, not just in unit tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence as TypingSequence
+
+from ..exceptions import ExperimentError, ValidationError
+from ..methods.base import SearchMethod, SearchReport
+from ..storage.database import SequenceDatabase
+from ..types import Sequence
+
+__all__ = ["MethodAggregate", "WorkloadSummary", "WorkloadRunner"]
+
+#: A factory building an (unbuilt) method over a database.
+MethodFactory = Callable[[SequenceDatabase], SearchMethod]
+
+
+@dataclass
+class MethodAggregate:
+    """Per-method averages over a workload.
+
+    All means are per query.  ``candidate_ratio`` uses the paper's
+    definition: candidates over database size.
+    """
+
+    method: str
+    queries: int = 0
+    database_size: int = 0
+    total_candidates: int = 0
+    total_answers: int = 0
+    total_elapsed: float = 0.0
+    total_cpu: float = 0.0
+    total_io: float = 0.0
+    total_index_reads: int = 0
+    total_dtw: int = 0
+    build_elapsed: float = 0.0
+
+    @property
+    def mean_candidates(self) -> float:
+        """Average candidate-set size per query."""
+        return self.total_candidates / self.queries if self.queries else 0.0
+
+    @property
+    def mean_answers(self) -> float:
+        """Average answer-set size per query."""
+        return self.total_answers / self.queries if self.queries else 0.0
+
+    @property
+    def candidate_ratio(self) -> float:
+        """Figure 2's y-axis: mean candidates over database size."""
+        if self.database_size == 0:
+            return 0.0
+        return self.mean_candidates / self.database_size
+
+    @property
+    def mean_elapsed(self) -> float:
+        """Figures 3–5's y-axis: mean modeled elapsed seconds per query."""
+        return self.total_elapsed / self.queries if self.queries else 0.0
+
+    @property
+    def mean_cpu(self) -> float:
+        """Mean measured CPU seconds per query."""
+        return self.total_cpu / self.queries if self.queries else 0.0
+
+    @property
+    def mean_io(self) -> float:
+        """Mean simulated disk seconds per query."""
+        return self.total_io / self.queries if self.queries else 0.0
+
+    def absorb(self, report: SearchReport) -> None:
+        """Fold one query's report into the aggregate."""
+        self.queries += 1
+        self.total_candidates += len(report.candidates)
+        self.total_answers += len(report.answers)
+        self.total_elapsed += report.stats.elapsed_seconds
+        self.total_cpu += report.stats.cpu_seconds
+        self.total_io += report.stats.simulated_io_seconds
+        self.total_index_reads += report.stats.index_node_reads
+        self.total_dtw += report.stats.dtw_computations
+
+
+@dataclass
+class WorkloadSummary:
+    """Everything a workload run produced, per method."""
+
+    database_size: int
+    n_queries: int
+    aggregates: dict[str, MethodAggregate] = field(default_factory=dict)
+
+    def __getitem__(self, method: str) -> MethodAggregate:
+        return self.aggregates[method]
+
+    def methods(self) -> list[str]:
+        """Method names in insertion order."""
+        return list(self.aggregates.keys())
+
+    def speedup(self, target: str, baseline: str) -> float:
+        """Mean-elapsed ratio ``baseline / target``."""
+        target_elapsed = self.aggregates[target].mean_elapsed
+        base_elapsed = self.aggregates[baseline].mean_elapsed
+        if target_elapsed <= 0:
+            return float("inf")
+        return base_elapsed / target_elapsed
+
+
+class WorkloadRunner:
+    """Builds methods over a database and runs workloads through them.
+
+    Parameters
+    ----------
+    database:
+        The (already populated) sequence database.
+    factories:
+        Method factories, applied in order.  Each produced method is
+        built immediately.
+    check_agreement:
+        When True (default) the runner raises :class:`ExperimentError`
+        if two *exact* methods disagree on any query's answer set.
+        Methods named in *approximate_methods* are exempt.
+    approximate_methods:
+        Names of methods allowed to return subsets (FastMap).
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        factories: TypingSequence[MethodFactory],
+        *,
+        check_agreement: bool = True,
+        approximate_methods: Iterable[str] = ("FastMap",),
+    ) -> None:
+        if not factories:
+            raise ValidationError("at least one method factory is required")
+        self._db = database
+        self._check = check_agreement
+        self._approximate = set(approximate_methods)
+        self.methods: list[SearchMethod] = []
+        for factory in factories:
+            method = factory(database)
+            method.build()
+            self.methods.append(method)
+        names = [m.name for m in self.methods]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate method names: {names}")
+
+    def run(
+        self,
+        queries: Iterable[Sequence],
+        epsilon: float,
+    ) -> WorkloadSummary:
+        """Run every query at tolerance *epsilon* through every method."""
+        summary = WorkloadSummary(database_size=len(self._db), n_queries=0)
+        for method in self.methods:
+            agg = MethodAggregate(
+                method=method.name, database_size=len(self._db)
+            )
+            agg.build_elapsed = method.build_stats.elapsed_seconds
+            summary.aggregates[method.name] = agg
+
+        for query in queries:
+            summary.n_queries += 1
+            reference: SearchReport | None = None
+            for method in self.methods:
+                report = method.search(query, epsilon)
+                summary.aggregates[method.name].absorb(report)
+                if method.name in self._approximate:
+                    continue
+                if reference is None:
+                    reference = report
+                elif self._check and report.answers != reference.answers:
+                    raise ExperimentError(
+                        f"answer mismatch at eps={epsilon}: "
+                        f"{reference.method} -> {reference.answers} but "
+                        f"{report.method} -> {report.answers}"
+                    )
+        return summary

@@ -1,0 +1,117 @@
+"""One-shot reproduction report: run every experiment, emit markdown.
+
+``python -m repro.eval.report`` (or ``repro report`` via the CLI) runs
+the complete experiment battery — Figures 2–5 and the ablations — and
+writes a self-contained markdown report with every table, chart and
+speedup note, suitable for diffing against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from pathlib import Path
+from typing import Callable
+
+from . import experiments as exp
+from .experiments import ExperimentResult
+
+__all__ = ["generate_report", "REPORT_SECTIONS"]
+
+#: Ordered report sections: (title, experiment callable).
+REPORT_SECTIONS: list[tuple[str, Callable[[], ExperimentResult]]] = [
+    ("Figure 2 — candidate ratio vs tolerance", exp.experiment1_candidate_ratio),
+    ("Figure 3 — elapsed time vs tolerance", exp.experiment2_elapsed_stock),
+    ("Figure 4 — elapsed time vs #sequences", exp.experiment3_scale_count),
+    ("Figure 5 — elapsed time vs sequence length", exp.experiment4_scale_length),
+    ("Ablation A1 — L1 vs Linf verification CPU", exp.ablation_base_distance),
+    ("Ablation A2 — feature-subset filtering power", exp.ablation_features),
+    ("Ablation A3 — STR bulk load vs repeated insert", exp.ablation_bulk_load),
+    ("Ablation A5 — lower-bound tightness", exp.ablation_lower_bounds),
+]
+
+
+def _shared_sweep_sections() -> list[tuple[str, ExperimentResult]]:
+    """Run Figures 2 and 3 off one sweep, like the paper does."""
+    sweep = exp.stock_tolerance_sweep()
+    return [
+        (
+            "Figure 2 — candidate ratio vs tolerance",
+            exp.experiment1_candidate_ratio(sweep=sweep),
+        ),
+        (
+            "Figure 3 — elapsed time vs tolerance",
+            exp.experiment2_elapsed_stock(sweep=sweep),
+        ),
+    ]
+
+
+def generate_report(
+    *,
+    include_stock: bool = True,
+    include_scale: bool = True,
+    include_ablations: bool = True,
+) -> str:
+    """Run the selected experiment groups and return the markdown report."""
+    sections: list[tuple[str, ExperimentResult]] = []
+    if include_stock:
+        sections.extend(_shared_sweep_sections())
+    if include_scale:
+        sections.append(
+            (
+                "Figure 4 — elapsed time vs #sequences",
+                exp.experiment3_scale_count(),
+            )
+        )
+        sections.append(
+            (
+                "Figure 5 — elapsed time vs sequence length",
+                exp.experiment4_scale_length(),
+            )
+        )
+    if include_ablations:
+        sections.append(
+            ("Ablation A1 — L1 vs Linf verification CPU", exp.ablation_base_distance())
+        )
+        sections.append(
+            ("Ablation A2 — feature-subset filtering power", exp.ablation_features())
+        )
+        sections.append(
+            ("Ablation A3 — STR bulk load vs repeated insert", exp.ablation_bulk_load())
+        )
+        sections.append(
+            ("Ablation A5 — lower-bound tightness", exp.ablation_lower_bounds())
+        )
+
+    lines = [
+        "# Reproduction report",
+        "",
+        f"- python: {platform.python_version()} on {platform.system()}",
+        f"- scale: {'paper-full' if exp.full_scale() else 'scaled defaults'}"
+        " (REPRO_FULL_SCALE=1 for the paper's grids)",
+        "",
+    ]
+    for title, result in sections:
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.render())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Write the report to the path given as the first argument (or stdout)."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    report = generate_report()
+    if args:
+        Path(args[0]).write_text(report)
+        print(f"wrote report to {args[0]}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

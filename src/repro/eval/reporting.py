@@ -1,0 +1,137 @@
+"""Plain-text rendering of experiment results.
+
+Two primitives: :func:`format_table` (aligned columns, the paper's
+"rows") and :func:`ascii_chart` (a terminal line chart with optional
+log axes, matching the shape of the paper's figures).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence as TypingSequence
+
+from ..exceptions import ValidationError
+
+__all__ = ["format_table", "ascii_chart", "format_speedups"]
+
+
+def format_table(
+    headers: TypingSequence[str],
+    rows: TypingSequence[TypingSequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValidationError("every row must match the header width")
+    rendered = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedups(
+    baseline: str,
+    elapsed_by_method: Mapping[str, TypingSequence[float]],
+    x_values: TypingSequence[object],
+    *,
+    target: str,
+) -> str:
+    """A speedup row: ``baseline elapsed / target elapsed`` per x value."""
+    base = elapsed_by_method[baseline]
+    tgt = elapsed_by_method[target]
+    parts = []
+    for x, b, t in zip(x_values, base, tgt):
+        ratio = b / t if t > 0 else math.inf
+        parts.append(f"{x}: {ratio:.1f}x")
+    return f"speedup of {target} over {baseline} — " + ", ".join(parts)
+
+
+def ascii_chart(
+    x_values: TypingSequence[float],
+    series: Mapping[str, TypingSequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """A multi-series ASCII line chart (markers only, no interpolation).
+
+    Each series gets a distinct marker; the legend maps markers to
+    series names.  Log axes mirror the paper's log-log Figure 4.
+    """
+    if not x_values:
+        raise ValidationError("chart needs at least one x value")
+    markers = "*o+x#@%&"
+    if len(series) > len(markers):
+        raise ValidationError(f"at most {len(markers)} series supported")
+
+    def tx(v: float) -> float:
+        if log_x:
+            if v <= 0:
+                raise ValidationError("log_x requires positive x values")
+            return math.log10(v)
+        return v
+
+    def ty(v: float) -> float:
+        if log_y:
+            if v <= 0:
+                v = min(x for xs in series.values() for x in xs if x > 0) / 10
+            return math.log10(v)
+        return v
+
+    xs = [tx(v) for v in x_values]
+    all_y = [ty(v) for ys in series.values() for v in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(markers, series.items()):
+        if len(ys) != len(x_values):
+            raise ValidationError(f"series {name!r} length mismatch")
+        for xv, yv in zip(xs, (ty(v) for v in ys)):
+            col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_hi_label = f"{10 ** y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    y_lo_label = f"{10 ** y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    lines.append(f"{y_label} (top={y_hi_label}, bottom={y_lo_label})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    x_lo_label = f"{10 ** x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    lines.append(f" {x_label}: {x_lo_label} .. {x_hi_label}")
+    legend = ", ".join(
+        f"{marker}={name}" for marker, name in zip(markers, series.keys())
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

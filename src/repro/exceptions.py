@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller that wants to treat any library failure uniformly can catch a single
+type.  More specific subclasses exist for the distinct failure domains:
+input validation, distance computation, index structures, and storage.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "EmptySequenceError",
+    "LengthMismatchError",
+    "DistanceError",
+    "IndexError_",
+    "IndexCorruptionError",
+    "EntryNotFoundError",
+    "StorageError",
+    "PageOverflowError",
+    "SequenceNotFoundError",
+    "CategorizationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong type, shape, or range)."""
+
+
+class EmptySequenceError(ValidationError):
+    """An operation that requires a non-empty sequence received an empty one.
+
+    The paper defines ``D_tw(S, <>) = D_tw(<>, Q) = infinity``; in the
+    library, distances involving exactly one empty operand return ``inf``
+    while feature extraction and indexing of empty sequences raise this
+    error (an empty sequence has no First/Last/Greatest/Smallest).
+    """
+
+
+class LengthMismatchError(ValidationError):
+    """Two sequences that must share a length do not (e.g. ``L_p``)."""
+
+
+class DistanceError(ReproError):
+    """A distance computation failed for a non-validation reason."""
+
+
+class IndexError_(ReproError):
+    """Base class for index-structure failures (R-tree, suffix tree).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class IndexCorruptionError(IndexError_):
+    """An internal invariant of an index structure was violated."""
+
+
+class EntryNotFoundError(IndexError_, KeyError):
+    """A delete or lookup referenced an entry that is not in the index."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class PageOverflowError(StorageError):
+    """A record is too large to fit in a single page."""
+
+
+class SequenceNotFoundError(StorageError, KeyError):
+    """A sequence id was requested that is not stored in the database."""
+
+
+class CategorizationError(ReproError):
+    """Categorization of numeric sequences into symbols failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

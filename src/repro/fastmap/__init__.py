@@ -1,0 +1,12 @@
+"""FastMap (Faloutsos & Lin, SIGMOD 1995) — substrate for the FastMap baseline.
+
+Maps objects into a ``k``-dimensional Euclidean space given only a
+distance function.  Yi et al. used it to embed sequences under the
+time-warping distance and index the images; because DTW is not a metric,
+the embedding cannot guarantee contractiveness and the resulting method
+suffers **false dismissal** — the deficiency that motivates the paper.
+"""
+
+from .fastmap import FastMap
+
+__all__ = ["FastMap"]

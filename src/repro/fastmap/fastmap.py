@@ -1,0 +1,174 @@
+"""The FastMap embedding algorithm.
+
+For each of ``k`` target dimensions FastMap:
+
+1. Picks two distant *pivot* objects ``a, b`` with a constant number of
+   farthest-point sweeps.
+2. Projects every object ``i`` onto the line through the pivots using
+   the cosine law::
+
+       x_i = (d(a,i)^2 + d(a,b)^2 - d(b,i)^2) / (2 d(a,b))
+
+3. Recurses on the *residual* distance
+   ``d'(i,j)^2 = d(i,j)^2 - (x_i - x_j)^2`` for the next dimension.
+
+With a metric distance the residuals stay non-negative and the embedded
+Euclidean distance lower-bounds the original, so range queries in the
+image are contractive.  With the time-warping distance neither holds —
+residual squares can turn negative (clamped at 0 here, as in practice)
+and image distances can exceed true distances, producing the false
+dismissals the FastMap baseline exhibits.
+
+Query objects are projected with the same pivots
+(:meth:`FastMap.project`), requiring ``2k`` distance evaluations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Sequence as TypingSequence, TypeVar
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["FastMap"]
+
+T = TypeVar("T")
+
+DistanceFunction = Callable[[T, T], float]
+
+
+class FastMap:
+    """FastMap embedding of arbitrary objects into ``R^k``.
+
+    Parameters
+    ----------
+    distance:
+        The pairwise distance function (the paper's case: DTW).
+    k:
+        Target dimensionality.
+    seed:
+        Seed for the random pivot-sweep starting points.
+    pivot_sweeps:
+        Farthest-point iterations when choosing pivots (FastMap's
+        classic heuristic uses a small constant).
+    """
+
+    def __init__(
+        self,
+        distance: DistanceFunction,
+        k: int,
+        *,
+        seed: int = 0,
+        pivot_sweeps: int = 5,
+    ) -> None:
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if pivot_sweeps < 1:
+            raise ValidationError(f"pivot_sweeps must be >= 1, got {pivot_sweeps}")
+        self._distance = distance
+        self._k = k
+        self._rng = random.Random(seed)
+        self._sweeps = pivot_sweeps
+        self._objects: list[T] | None = None
+        self._coords: np.ndarray | None = None
+        self._pivots: list[tuple[int, int, float]] = []  # (a, b, d(a,b))
+        self.distance_calls = 0
+
+    # -- fitting -------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Target dimensionality."""
+        return self._k
+
+    @property
+    def is_fitted(self) -> bool:
+        """True after :meth:`fit`."""
+        return self._coords is not None
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """The ``(n, k)`` embedded coordinates of the fitted objects."""
+        if self._coords is None:
+            raise ValidationError("FastMap must be fitted first")
+        return self._coords
+
+    def fit(self, objects: TypingSequence[T]) -> np.ndarray:
+        """Embed *objects*; returns (and stores) the ``(n, k)`` coordinates."""
+        if len(objects) < 2:
+            raise ValidationError("FastMap requires at least two objects")
+        self._objects = list(objects)
+        n = len(self._objects)
+        coords = np.zeros((n, self._k), dtype=np.float64)
+        self._pivots = []
+
+        for dim in range(self._k):
+            a, b = self._choose_pivots(coords, dim)
+            d_ab = self._residual(a, b, coords, dim)
+            self._pivots.append((a, b, d_ab))
+            if d_ab == 0.0:
+                # All residual distances are zero; remaining coords stay 0.
+                continue
+            d_a = np.array(
+                [self._residual(a, i, coords, dim) for i in range(n)]
+            )
+            d_b = np.array(
+                [self._residual(b, i, coords, dim) for i in range(n)]
+            )
+            coords[:, dim] = (d_a**2 + d_ab**2 - d_b**2) / (2.0 * d_ab)
+
+        self._coords = coords
+        return coords
+
+    def _choose_pivots(self, coords: np.ndarray, dim: int) -> tuple[int, int]:
+        assert self._objects is not None
+        n = len(self._objects)
+        b = self._rng.randrange(n)
+        a = b
+        for _ in range(self._sweeps):
+            a = max(
+                range(n), key=lambda i: self._residual(b, i, coords, dim)
+            )
+            if a == b:
+                break
+            a, b = b, a
+        return (a, b) if a != b else (0, min(1, n - 1))
+
+    def _residual(self, i: int, j: int, coords: np.ndarray, dim: int) -> float:
+        """Residual distance after removing the first *dim* coordinates."""
+        if i == j:
+            return 0.0
+        assert self._objects is not None
+        self.distance_calls += 1
+        d2 = self._distance(self._objects[i], self._objects[j]) ** 2
+        for h in range(dim):
+            d2 -= (coords[i, h] - coords[j, h]) ** 2
+        return math.sqrt(d2) if d2 > 0.0 else 0.0
+
+    # -- projecting new objects -----------------------------------------------
+
+    def project(self, obj: T) -> np.ndarray:
+        """Embed a new object (e.g. a query) with the fitted pivots."""
+        if self._coords is None or self._objects is None:
+            raise ValidationError("FastMap must be fitted first")
+        point = np.zeros(self._k, dtype=np.float64)
+        for dim, (a, b, d_ab) in enumerate(self._pivots):
+            if d_ab == 0.0:
+                continue
+            d_a = self._residual_to(obj, a, point, dim)
+            d_b = self._residual_to(obj, b, point, dim)
+            point[dim] = (d_a**2 + d_ab**2 - d_b**2) / (2.0 * d_ab)
+        return point
+
+    def _residual_to(
+        self, obj: T, j: int, point: np.ndarray, dim: int
+    ) -> float:
+        assert self._objects is not None and self._coords is not None
+        self.distance_calls += 1
+        d2 = self._distance(obj, self._objects[j]) ** 2
+        for h in range(dim):
+            d2 -= (point[h] - self._coords[j, h]) ** 2
+        return math.sqrt(d2) if d2 > 0.0 else 0.0

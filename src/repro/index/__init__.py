@@ -1,0 +1,22 @@
+"""Index substrates: the R-tree and the suffix tree.
+
+Built from scratch per the reproduction mandate:
+
+* :mod:`repro.index.rtree` — a Guttman R-tree (with STR bulk loading)
+  over n-dimensional rectangles; TW-Sim-Search stores each sequence's
+  4-tuple feature vector as a 4-d point entry.
+* :mod:`repro.index.suffixtree` — a generalized suffix tree (Ukkonen)
+  over categorized symbol sequences; the substrate of the ST-Filter
+  baseline.
+"""
+
+from .rtree import RTree, Rect, STRBulkLoader
+from .suffixtree import Categorizer, GeneralizedSuffixTree
+
+__all__ = [
+    "RTree",
+    "Rect",
+    "STRBulkLoader",
+    "Categorizer",
+    "GeneralizedSuffixTree",
+]

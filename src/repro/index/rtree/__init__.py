@@ -1,0 +1,44 @@
+"""A from-scratch n-dimensional R-tree (Guttman, SIGMOD 1984).
+
+The paper indexes each sequence's 4-tuple feature vector in a
+multi-dimensional index ("any of R-tree, R+-tree, R*-tree, X-tree can be
+used"; the evaluation uses an R-tree with 1 KB pages).  This package
+provides:
+
+* :mod:`repro.index.rtree.geometry` — n-d axis-aligned rectangles.
+* :mod:`repro.index.rtree.node` — node / entry layout with a page-size
+  derived fan-out, so node accesses map onto simulated disk pages.
+* :mod:`repro.index.rtree.split` — Guttman's linear and quadratic node
+  split algorithms plus the R*-style margin-driven split.
+* :mod:`repro.index.rtree.rtree` — the tree: insert, delete, range and
+  point queries, best-first kNN, invariant checking, access statistics.
+* :mod:`repro.index.rtree.bulk` — Sort-Tile-Recursive bulk loading
+  (the paper's section 4.3.1 notes bulk loading for initial builds).
+"""
+
+from .bulk import STRBulkLoader, str_pack
+from .geometry import Rect
+from .node import Entry, Node, fanout_for_page_size
+from .persist import load_rtree, save_rtree
+from .rplus import RPlusTree
+from .rstar import RStarTree
+from .xtree import XTree
+from .rtree import RTree, SplitStrategy
+from .stats import AccessStats
+
+__all__ = [
+    "AccessStats",
+    "Entry",
+    "Node",
+    "Rect",
+    "RPlusTree",
+    "RStarTree",
+    "RTree",
+    "SplitStrategy",
+    "STRBulkLoader",
+    "fanout_for_page_size",
+    "load_rtree",
+    "save_rtree",
+    "str_pack",
+    "XTree",
+]

@@ -1,0 +1,117 @@
+"""R-tree node and entry layout, with page-size-derived fan-out.
+
+The paper sets the R-tree page size to 1 KB.  To make node accesses
+meaningful as page reads, the fan-out is derived from a physical entry
+layout: each entry stores ``2 * ndim`` float64 bounds plus an 8-byte
+child pointer / record id, and each node carries a small fixed header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ...exceptions import ValidationError
+from .geometry import Rect
+
+__all__ = ["Entry", "Node", "fanout_for_page_size", "NODE_HEADER_BYTES"]
+
+#: Bytes reserved per node for (level, entry count, page id).
+NODE_HEADER_BYTES = 16
+
+#: Bytes per coordinate bound (float64).
+_BOUND_BYTES = 8
+
+#: Bytes per child pointer or record identifier.
+_POINTER_BYTES = 8
+
+
+def fanout_for_page_size(page_size: int, ndim: int) -> tuple[int, int]:
+    """``(min_entries, max_entries)`` for a node stored in one page.
+
+    ``max_entries`` is how many ``(rect, pointer)`` entries fit after the
+    header; ``min_entries`` is Guttman's 40% fill factor (at least 2).
+    Raises :class:`ValidationError` if the page cannot hold 3 entries —
+    below that an R-tree degenerates.
+    """
+    if page_size <= 0:
+        raise ValidationError(f"page_size must be positive, got {page_size}")
+    if ndim <= 0:
+        raise ValidationError(f"ndim must be positive, got {ndim}")
+    entry_bytes = 2 * ndim * _BOUND_BYTES + _POINTER_BYTES
+    max_entries = (page_size - NODE_HEADER_BYTES) // entry_bytes
+    if max_entries < 3:
+        raise ValidationError(
+            f"page size {page_size} holds only {max_entries} entries of "
+            f"dimension {ndim}; need at least 3"
+        )
+    min_entries = max(2, int(max_entries * 0.4))
+    return min_entries, int(max_entries)
+
+
+@dataclass
+class Entry:
+    """One slot of a node: an MBR plus either a child node or a record id.
+
+    Leaf entries carry ``record`` (an opaque application identifier —
+    TW-Sim-Search stores the sequence id); internal entries carry
+    ``child``.
+    """
+
+    rect: Rect
+    child: Optional["Node"] = None
+    record: Union[int, None] = None
+
+    def __post_init__(self) -> None:
+        if (self.child is None) == (self.record is None):
+            raise ValidationError(
+                "entry must reference exactly one of child node or record id"
+            )
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        """True when this entry points at a data record."""
+        return self.record is not None
+
+
+class Node:
+    """An R-tree node: a page-sized bucket of :class:`Entry` objects.
+
+    ``level`` is 0 for leaves and grows towards the root, matching the
+    R-tree invariant that all leaves are at the same depth.
+    """
+
+    __slots__ = ("level", "entries", "parent", "capacity_pages")
+
+    def __init__(self, level: int = 0) -> None:
+        if level < 0:
+            raise ValidationError(f"level must be non-negative, got {level}")
+        self.level = level
+        self.entries: list[Entry] = []
+        self.parent: Optional["Node"] = None
+        #: Pages this node occupies; > 1 only for X-tree supernodes.
+        self.capacity_pages = 1
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node holds data entries."""
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries."""
+        if not self.entries:
+            raise ValidationError("empty node has no MBR")
+        return Rect.union_of(e.rect for e in self.entries)
+
+    def add(self, entry: Entry) -> None:
+        """Append *entry*, wiring the parent pointer of a child node."""
+        if entry.child is not None:
+            entry.child.parent = self
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(level={self.level})"
+        return f"Node({kind}, {len(self.entries)} entries)"

@@ -1,0 +1,352 @@
+"""The R+-tree (Sellis, Roussopoulos & Faloutsos, VLDB 1987) for points.
+
+The second of the four indexes the paper names.  Where the R-tree lets
+sibling regions overlap (and pays for it on searches that must descend
+into several children), the R+-tree keeps sibling regions **disjoint**:
+a point query follows exactly one root-to-leaf path, and a range query
+visits only nodes whose region truly intersects the range.
+
+General R+-trees must *clip* extended objects across several leaves;
+for the paper's workload — 4-d feature *points* — no clipping is ever
+needed, so this implementation specializes to point data (inserting a
+non-degenerate rectangle raises).  Splits cut the overflowing node's
+region with an axis-orthogonal hyperplane at the median coordinate,
+recursively partitioning downward, which preserves disjointness by
+construction.
+
+The interface mirrors :class:`RTree` where meaningful (insert / range
+search / point search / kNN / validate / stats), so the TW-Sim-Search
+method can run on either.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, Sequence as TypingSequence
+
+from ...exceptions import IndexCorruptionError, ValidationError
+from .geometry import Rect
+from .node import fanout_for_page_size
+from .stats import AccessStats
+
+__all__ = ["RPlusTree"]
+
+
+class _RPlusNode:
+    """A node: leaves hold ``(point, record)``; internals hold children.
+
+    Every node owns a *region*; sibling regions are disjoint and tile
+    the parent's region.
+    """
+
+    __slots__ = ("region", "points", "records", "children", "axis")
+
+    def __init__(self, region: Rect) -> None:
+        self.region = region
+        self.points: list[tuple[float, ...]] = []
+        self.records: list[int] = []
+        self.children: list["_RPlusNode"] = []
+        self.axis: int | None = None  # split axis (internal nodes)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class RPlusTree:
+    """A disjoint-region point index with R-tree-compatible queries.
+
+    Parameters
+    ----------
+    ndim:
+        Dimensionality of the indexed points.
+    page_size:
+        Simulated page size deriving the leaf capacity (paper: 1 KB).
+    max_entries:
+        Explicit capacity overriding *page_size*.
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        *,
+        page_size: int | None = 1024,
+        max_entries: int | None = None,
+    ) -> None:
+        if ndim <= 0:
+            raise ValidationError(f"ndim must be positive, got {ndim}")
+        if max_entries is not None:
+            if max_entries < 2:
+                raise ValidationError(
+                    f"max_entries must be >= 2, got {max_entries}"
+                )
+            self._max_entries = max_entries
+            self._page_size = page_size
+        else:
+            if page_size is None:
+                raise ValidationError("either page_size or max_entries required")
+            _, self._max_entries = fanout_for_page_size(page_size, ndim)
+            self._page_size = page_size
+        self._ndim = ndim
+        infinite = Rect([-float("inf")] * ndim, [float("inf")] * ndim)
+        self._root = _RPlusNode(infinite)
+        self._count = 0
+        self.stats = AccessStats()
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of stored points."""
+        return self._ndim
+
+    @property
+    def max_entries(self) -> int:
+        """Leaf capacity."""
+        return self._max_entries
+
+    @property
+    def page_size(self) -> int | None:
+        """Simulated page size, if capacity was derived from one."""
+        return self._page_size
+
+    def __len__(self) -> int:
+        return self._count
+
+    def node_count(self) -> int:
+        """Total nodes (one page each)."""
+        return sum(1 for _ in self._iter_nodes())
+
+    def size_in_bytes(self) -> int:
+        """Approximate on-disk size: one page per node."""
+        page = self._page_size if self._page_size else 1024
+        return self.node_count() * page
+
+    # -- insertion ---------------------------------------------------------------
+
+    def insert_point(self, point: TypingSequence[float], record: int) -> None:
+        """Insert *record* at *point* (points only — R+ clips rectangles)."""
+        point_t = tuple(float(v) for v in point)
+        if len(point_t) != self._ndim:
+            raise ValidationError(
+                f"point has {len(point_t)} dims, tree has {self._ndim}"
+            )
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_containing(node, point_t)
+        node.points.append(point_t)
+        node.records.append(record)
+        self._count += 1
+        if len(node.points) > self._max_entries:
+            self._split_leaf(node)
+
+    def insert(self, rect: Rect | TypingSequence[float], record: int) -> None:
+        """Insert a point (given directly or as a degenerate rectangle)."""
+        if isinstance(rect, Rect):
+            if not rect.is_point():
+                raise ValidationError(
+                    "this R+-tree stores points; rectangles would need clipping"
+                )
+            self.insert_point(rect.lows, record)
+        else:
+            self.insert_point(rect, record)
+
+    def _child_containing(
+        self, node: _RPlusNode, point: tuple[float, ...]
+    ) -> _RPlusNode:
+        for child in node.children:
+            if child.region.contains_point(point):
+                return child
+        raise IndexCorruptionError("children do not tile the parent region")
+
+    def _split_leaf(self, leaf: _RPlusNode) -> None:
+        """Cut the leaf's region at the median of its widest-spread axis."""
+        axis, threshold = self._choose_cut(leaf.points)
+        if threshold is None:
+            # All points identical: R+ cannot separate them; allow the
+            # oversized leaf (the degenerate-duplicates case).
+            return
+        lows = list(leaf.region.lows)
+        highs = list(leaf.region.highs)
+        left_highs = list(highs)
+        left_highs[axis] = threshold
+        right_lows = list(lows)
+        right_lows[axis] = threshold
+        left = _RPlusNode(Rect(lows, left_highs))
+        right = _RPlusNode(Rect(right_lows, highs))
+        for point, record in zip(leaf.points, leaf.records):
+            # Boundary points go LEFT: descent picks the first child
+            # whose region contains the point, and the left region is
+            # listed first — assignment and lookup must agree exactly.
+            target = left if point[axis] <= threshold else right
+            target.points.append(point)
+            target.records.append(record)
+        leaf.points = []
+        leaf.records = []
+        leaf.children = [left, right]
+        leaf.axis = axis
+        for half in (left, right):
+            if len(half.points) > self._max_entries:
+                self._split_leaf(half)
+
+    @staticmethod
+    def _choose_cut(
+        points: list[tuple[float, ...]]
+    ) -> tuple[int, float | None]:
+        """Widest-spread axis and a median-ish threshold, or None if
+        every point coincides."""
+        ndim = len(points[0])
+        best_axis = 0
+        best_spread = -1.0
+        for axis in range(ndim):
+            values = [p[axis] for p in points]
+            spread = max(values) - min(values)
+            if spread > best_spread:
+                best_spread = spread
+                best_axis = axis
+        if best_spread <= 0.0:
+            return best_axis, None
+        values = sorted(p[best_axis] for p in points)
+        threshold = values[len(values) // 2]
+        if threshold == values[-1]:
+            # Points at the threshold go left, so a threshold equal to
+            # the maximum would empty the right half; cut just below.
+            lower = [v for v in values if v < threshold]
+            threshold = lower[-1]
+        return best_axis, threshold
+
+    # -- queries ---------------------------------------------------------------------
+
+    def range_search(
+        self, rect: Rect | TypingSequence[tuple[float, float]]
+    ) -> list[int]:
+        """All records whose points fall inside the query rectangle."""
+        if not isinstance(rect, Rect):
+            rect = Rect.from_intervals(rect)
+        if rect.ndim != self._ndim:
+            raise ValidationError(
+                f"query rectangle has {rect.ndim} dims, tree has {self._ndim}"
+            )
+        results: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.stats.record_node(
+                is_leaf=node.is_leaf,
+                entries=len(node.children) or len(node.points),
+            )
+            if node.is_leaf:
+                for point, record in zip(node.points, node.records):
+                    if rect.contains_point(point):
+                        results.append(record)
+            else:
+                for child in node.children:
+                    if rect.intersects(child.region):
+                        stack.append(child)
+        return results
+
+    def point_search(self, point: TypingSequence[float]) -> list[int]:
+        """All records stored exactly at *point* (single-path descent)."""
+        point_t = tuple(float(v) for v in point)
+        if len(point_t) != self._ndim:
+            raise ValidationError(
+                f"point has {len(point_t)} dims, tree has {self._ndim}"
+            )
+        node = self._root
+        while not node.is_leaf:
+            self.stats.record_node(is_leaf=False, entries=len(node.children))
+            node = self._child_containing(node, point_t)
+        self.stats.record_node(is_leaf=True, entries=len(node.points))
+        return [
+            record
+            for stored, record in zip(node.points, node.records)
+            if stored == point_t
+        ]
+
+    def knn(
+        self,
+        point: TypingSequence[float],
+        k: int,
+        *,
+        p: float = float("inf"),
+    ) -> list[tuple[float, int]]:
+        """Best-first exact k-nearest-neighbours under ``L_p``."""
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        point_t = tuple(float(v) for v in point)
+        if len(point_t) != self._ndim:
+            raise ValidationError(
+                f"point has {len(point_t)} dims, tree has {self._ndim}"
+            )
+        counter = itertools.count()
+        heap: list = [(0.0, next(counter), self._root, None)]
+        results: list[tuple[float, int]] = []
+        while heap and len(results) < k:
+            dist, _tie, node, record = heapq.heappop(heap)
+            if record is not None:
+                results.append((dist, record))
+                continue
+            self.stats.record_node(
+                is_leaf=node.is_leaf,
+                entries=len(node.children) or len(node.points),
+            )
+            if node.is_leaf:
+                for stored, rec in zip(node.points, node.records):
+                    d = Rect.from_point(stored).min_distance_to_point(
+                        point_t, p=p
+                    )
+                    heapq.heappush(heap, (d, next(counter), node, rec))
+            else:
+                for child in node.children:
+                    d = child.region.min_distance_to_point(point_t, p=p)
+                    heapq.heappush(heap, (d, next(counter), child, None))
+        return results
+
+    # -- introspection -----------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Rect, int]]:
+        """All ``(point rectangle, record)`` pairs."""
+        for node in self._iter_nodes():
+            if node.is_leaf:
+                for point, record in zip(node.points, node.records):
+                    yield Rect.from_point(point), record
+
+    def _iter_nodes(self) -> Iterator[_RPlusNode]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def validate(self) -> None:
+        """Check disjointness, containment, and the record count."""
+        total = self._validate_node(self._root)
+        if total != self._count:
+            raise IndexCorruptionError(
+                f"record count mismatch: found {total}, tracked {self._count}"
+            )
+
+    def _validate_node(self, node: _RPlusNode) -> int:
+        if node.is_leaf:
+            for point in node.points:
+                if not node.region.contains_point(point):
+                    raise IndexCorruptionError("point outside its leaf region")
+            return len(node.points)
+        for a in range(len(node.children)):
+            child = node.children[a]
+            if not node.region.contains_rect(child.region):
+                raise IndexCorruptionError("child region escapes its parent")
+            for b in range(a + 1, len(node.children)):
+                other = node.children[b]
+                if child.region.overlap(other.region) > 0.0:
+                    raise IndexCorruptionError(
+                        "sibling regions overlap — R+ invariant broken"
+                    )
+        return sum(self._validate_node(child) for child in node.children)
+
+    def __repr__(self) -> str:
+        return (
+            f"RPlusTree(ndim={self._ndim}, entries={self._count}, "
+            f"nodes={self.node_count()}, max_entries={self._max_entries})"
+        )

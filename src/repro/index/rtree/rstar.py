@@ -1,0 +1,195 @@
+"""The R*-tree (Beckmann et al., SIGMOD 1990).
+
+The paper lists the R*-tree among the indexes its method can use
+("any multi-dimensional indexes such as the R-tree, R+-tree, R*-tree,
+and X-tree").  This module implements the R*-tree's two insertion-time
+improvements over Guttman's R-tree:
+
+* **ChooseSubtree** — at the level just above the leaves, descend into
+  the child whose MBR needs the least *overlap* enlargement (ties:
+  least volume enlargement, then least volume); higher levels use the
+  classic least-volume-enlargement rule.
+* **Forced reinsertion** — the first time a node at a given level
+  overflows during an insertion, instead of splitting, the ~30% of its
+  entries farthest from the node's MBR center are removed and
+  re-inserted, giving the tree a chance to re-organize.  Subsequent
+  overflows at that level split with the margin-driven R* split.
+
+Deletion and queries are inherited unchanged from :class:`RTree`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence as TypingSequence
+
+from ...exceptions import IndexCorruptionError, ValidationError
+from .geometry import Rect
+from .node import Entry, Node
+from .rtree import RTree, SplitStrategy
+
+__all__ = ["RStarTree"]
+
+
+class RStarTree(RTree):
+    """An R-tree with R* insertion heuristics.
+
+    Parameters
+    ----------
+    ndim, page_size, min_entries, max_entries:
+        As for :class:`RTree`.
+    reinsert_fraction:
+        Fraction of a node's entries removed on the first overflow at
+        each level (the R* paper recommends 0.3).
+    """
+
+    def __init__(
+        self,
+        ndim: int,
+        *,
+        page_size: int | None = 1024,
+        min_entries: int | None = None,
+        max_entries: int | None = None,
+        reinsert_fraction: float = 0.3,
+    ) -> None:
+        super().__init__(
+            ndim,
+            page_size=page_size,
+            min_entries=min_entries,
+            max_entries=max_entries,
+            split=SplitStrategy.RSTAR,
+        )
+        if not 0.0 < reinsert_fraction < 0.5:
+            raise ValidationError(
+                f"reinsert_fraction must be in (0, 0.5), got {reinsert_fraction}"
+            )
+        self._reinsert_fraction = reinsert_fraction
+        # Levels that already had their once-per-insertion reinsertion.
+        self._ot_levels: set[int] = set()
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, rect: Rect | TypingSequence[float], record: int) -> None:
+        """Insert with R* overflow treatment (reinsert once per level)."""
+        self._ot_levels = set()
+        super().insert(rect, record)
+
+    def delete(self, rect: Rect | TypingSequence[float], record: int) -> None:
+        """Delete; condensation reinsertions use split-only treatment."""
+        self._ot_levels = {level for level in range(self._root.level + 1)}
+        super().delete(rect, record)
+
+    def _choose_leaf(self, node: Node, rect: Rect, target_level: int) -> Node:
+        """R* ChooseSubtree."""
+        while node.level > target_level:
+            if node.level == 1:
+                best = self._least_overlap_child(node, rect)
+            else:
+                best = self._least_enlargement_child(node, rect)
+            if best.child is None:
+                raise IndexCorruptionError("internal node with no children")
+            node = best.child
+        return node
+
+    def _least_enlargement_child(self, node: Node, rect: Rect) -> Entry:
+        best: Entry | None = None
+        best_key = (math.inf, math.inf)
+        for entry in node.entries:
+            key = (entry.rect.enlargement(rect), entry.rect.volume())
+            if key < best_key:
+                best, best_key = entry, key
+        assert best is not None
+        return best
+
+    def _least_overlap_child(self, node: Node, rect: Rect) -> Entry:
+        """Least overlap enlargement; ties by volume enlargement, volume."""
+        best: Entry | None = None
+        best_key = (math.inf, math.inf, math.inf)
+        for entry in node.entries:
+            enlarged = entry.rect.union(rect)
+            overlap_before = sum(
+                entry.rect.overlap(other.rect)
+                for other in node.entries
+                if other is not entry
+            )
+            overlap_after = sum(
+                enlarged.overlap(other.rect)
+                for other in node.entries
+                if other is not entry
+            )
+            key = (
+                overlap_after - overlap_before,
+                entry.rect.enlargement(rect),
+                entry.rect.volume(),
+            )
+            if key < best_key:
+                best, best_key = entry, key
+        assert best is not None
+        return best
+
+    def _handle_overflow(self, node: Node) -> None:
+        """R* OverflowTreatment: reinsert once per level, then split."""
+        while True:
+            if len(node.entries) <= self._max_entries:
+                self._adjust_upward(node)
+                return
+            can_reinsert = (
+                node.parent is not None and node.level not in self._ot_levels
+            )
+            if can_reinsert:
+                self._ot_levels.add(node.level)
+                self._forced_reinsert(node)
+                return
+            # Split (the base implementation handles propagation); it
+            # may overflow the parent, which loops here again.
+            self._split_once(node)
+            parent = node.parent
+            if parent is None:
+                return
+            node = parent
+
+    def _split_once(self, node: Node) -> None:
+        """One split step of the base algorithm (no overflow loop)."""
+        group_a, group_b = self._split.function(
+            list(node.entries), self._min_entries, self._max_entries
+        )
+        node.entries = group_a
+        for entry in group_a:
+            if entry.child is not None:
+                entry.child.parent = node
+        sibling = Node(level=node.level)
+        for entry in group_b:
+            sibling.add(entry)
+        parent = node.parent
+        if parent is None:
+            new_root = Node(level=node.level + 1)
+            new_root.add(Entry(rect=node.mbr(), child=node))
+            new_root.add(Entry(rect=sibling.mbr(), child=sibling))
+            self._root = new_root
+            return
+        self._refresh_parent_entry(parent, node)
+        parent.add(Entry(rect=sibling.mbr(), child=sibling))
+
+    def _forced_reinsert(self, node: Node) -> None:
+        """Remove the farthest entries from the node and re-insert them."""
+        count = max(1, int(len(node.entries) * self._reinsert_fraction))
+        center = node.mbr().center
+        # Sort by distance of entry center from node center, descending.
+        node.entries.sort(
+            key=lambda e: _center_distance(e.rect.center, center),
+        )
+        victims = node.entries[-count:]
+        node.entries = node.entries[:-count]
+        self._adjust_upward(node)
+        level = node.level
+        for entry in victims:
+            target = self._choose_leaf(self._root, entry.rect, target_level=level)
+            if entry.child is not None:
+                target.add(entry)
+            else:
+                target.entries.append(entry)
+            self._handle_overflow(target)
+
+
+def _center_distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))

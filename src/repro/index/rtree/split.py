@@ -1,0 +1,229 @@
+"""Node split algorithms for the R-tree.
+
+Implements Guttman's two classical heuristics and the R*-tree's
+margin-driven split:
+
+* **Linear split** — ``O(n)``: pick the pair of entries with the
+  greatest normalized separation along any axis as seeds, then assign
+  the rest greedily.
+* **Quadratic split** — ``O(n^2)``: pick as seeds the pair wasting the
+  most volume if grouped together, then repeatedly assign the entry
+  with the strongest preference.  This is the library default, as in
+  most production R-trees.
+* **R\\* split** — choose the split axis by minimum total margin, then
+  the distribution along that axis by minimum overlap (ties: minimum
+  volume).  Offered because the paper names the R*-tree among the
+  applicable indexes.
+
+Every algorithm returns two entry groups, each holding at least
+``min_entries`` and at most ``max_entries`` entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...exceptions import IndexCorruptionError, ValidationError
+from .geometry import Rect
+from .node import Entry
+
+__all__ = ["linear_split", "quadratic_split", "rstar_split", "SplitFunction"]
+
+SplitFunction = Callable[[list[Entry], int, int], tuple[list[Entry], list[Entry]]]
+
+
+def _check_split_args(entries: list[Entry], min_entries: int, max_entries: int) -> None:
+    if len(entries) != max_entries + 1:
+        raise ValidationError(
+            f"split expects max_entries + 1 = {max_entries + 1} entries, "
+            f"got {len(entries)}"
+        )
+    if min_entries < 1 or 2 * min_entries > max_entries + 1:
+        raise ValidationError(
+            f"invalid fill bounds: min={min_entries}, max={max_entries}"
+        )
+
+
+def linear_split(
+    entries: list[Entry], min_entries: int, max_entries: int
+) -> tuple[list[Entry], list[Entry]]:
+    """Guttman's LinearPickSeeds split."""
+    _check_split_args(entries, min_entries, max_entries)
+    ndim = entries[0].rect.ndim
+
+    # Pick seeds: entries with greatest normalized separation on any axis.
+    best_norm_sep = -1.0
+    seed_a, seed_b = 0, 1
+    for d in range(ndim):
+        lows = [e.rect.lows[d] for e in entries]
+        highs = [e.rect.highs[d] for e in entries]
+        # Entry with the highest low and entry with the lowest high.
+        high_low_i = max(range(len(entries)), key=lambda i: lows[i])
+        low_high_i = min(range(len(entries)), key=lambda i: highs[i])
+        if high_low_i == low_high_i:
+            continue
+        width = max(highs) - min(lows)
+        sep = lows[high_low_i] - highs[low_high_i]
+        norm_sep = sep / width if width > 0 else 0.0
+        if norm_sep > best_norm_sep:
+            best_norm_sep = norm_sep
+            seed_a, seed_b = high_low_i, low_high_i
+
+    return _distribute_greedy(entries, seed_a, seed_b, min_entries)
+
+
+def quadratic_split(
+    entries: list[Entry], min_entries: int, max_entries: int
+) -> tuple[list[Entry], list[Entry]]:
+    """Guttman's QuadraticPickSeeds split (the default)."""
+    _check_split_args(entries, min_entries, max_entries)
+    n = len(entries)
+
+    # PickSeeds: the pair that wastes the most volume when combined.
+    worst_waste = -float("inf")
+    seed_a, seed_b = 0, 1
+    for i in range(n):
+        rect_i = entries[i].rect
+        for j in range(i + 1, n):
+            rect_j = entries[j].rect
+            waste = rect_i.union(rect_j).volume() - rect_i.volume() - rect_j.volume()
+            if waste > worst_waste:
+                worst_waste = waste
+                seed_a, seed_b = i, j
+
+    group_a = [entries[seed_a]]
+    group_b = [entries[seed_b]]
+    mbr_a = entries[seed_a].rect
+    mbr_b = entries[seed_b].rect
+    remaining = [e for k, e in enumerate(entries) if k not in (seed_a, seed_b)]
+
+    while remaining:
+        # Underflow guard: if one group must absorb everything left, do so.
+        if len(group_a) + len(remaining) == min_entries:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_entries:
+            group_b.extend(remaining)
+            break
+        # PickNext: entry with the greatest preference difference.
+        best_idx = 0
+        best_diff = -1.0
+        best_d1 = best_d2 = 0.0
+        for idx, entry in enumerate(remaining):
+            d1 = mbr_a.enlargement(entry.rect)
+            d2 = mbr_b.enlargement(entry.rect)
+            diff = abs(d1 - d2)
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = idx
+                best_d1, best_d2 = d1, d2
+        entry = remaining.pop(best_idx)
+        if best_d1 < best_d2 or (
+            best_d1 == best_d2 and len(group_a) <= len(group_b)
+        ):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.rect)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.rect)
+
+    _check_result(group_a, group_b, len(entries), min_entries)
+    return group_a, group_b
+
+
+def rstar_split(
+    entries: list[Entry], min_entries: int, max_entries: int
+) -> tuple[list[Entry], list[Entry]]:
+    """The R*-tree split: margin-minimizing axis, overlap-minimizing cut."""
+    _check_split_args(entries, min_entries, max_entries)
+    ndim = entries[0].rect.ndim
+    n = len(entries)
+    k_range = range(min_entries, n - min_entries + 1)
+
+    best_axis = 0
+    best_axis_margin = float("inf")
+    for d in range(ndim):
+        margin_sum = 0.0
+        for key in (
+            lambda e, d=d: (e.rect.lows[d], e.rect.highs[d]),
+            lambda e, d=d: (e.rect.highs[d], e.rect.lows[d]),
+        ):
+            ordered = sorted(entries, key=key)
+            for k in k_range:
+                left = Rect.union_of(e.rect for e in ordered[:k])
+                right = Rect.union_of(e.rect for e in ordered[k:])
+                margin_sum += left.margin() + right.margin()
+        if margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis = d
+
+    best_split: tuple[list[Entry], list[Entry]] | None = None
+    best_overlap = float("inf")
+    best_volume = float("inf")
+    for key in (
+        lambda e: (e.rect.lows[best_axis], e.rect.highs[best_axis]),
+        lambda e: (e.rect.highs[best_axis], e.rect.lows[best_axis]),
+    ):
+        ordered = sorted(entries, key=key)
+        for k in k_range:
+            left_rect = Rect.union_of(e.rect for e in ordered[:k])
+            right_rect = Rect.union_of(e.rect for e in ordered[k:])
+            overlap = left_rect.overlap(right_rect)
+            volume = left_rect.volume() + right_rect.volume()
+            if overlap < best_overlap or (
+                overlap == best_overlap and volume < best_volume
+            ):
+                best_overlap = overlap
+                best_volume = volume
+                best_split = (list(ordered[:k]), list(ordered[k:]))
+
+    if best_split is None:  # pragma: no cover - k_range is never empty
+        raise IndexCorruptionError("R* split found no distribution")
+    _check_result(best_split[0], best_split[1], n, min_entries)
+    return best_split
+
+
+def _distribute_greedy(
+    entries: list[Entry], seed_a: int, seed_b: int, min_entries: int
+) -> tuple[list[Entry], list[Entry]]:
+    """Assign non-seed entries to the group needing less enlargement."""
+    group_a = [entries[seed_a]]
+    group_b = [entries[seed_b]]
+    mbr_a = entries[seed_a].rect
+    mbr_b = entries[seed_b].rect
+    rest = [e for k, e in enumerate(entries) if k not in (seed_a, seed_b)]
+    for idx, entry in enumerate(rest):
+        left_over = len(rest) - idx
+        if len(group_a) + left_over == min_entries:
+            group_a.extend(rest[idx:])
+            break
+        if len(group_b) + left_over == min_entries:
+            group_b.extend(rest[idx:])
+            break
+        d1 = mbr_a.enlargement(entry.rect)
+        d2 = mbr_b.enlargement(entry.rect)
+        if d1 < d2 or (d1 == d2 and len(group_a) <= len(group_b)):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.rect)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.rect)
+    _check_result(group_a, group_b, len(entries), min_entries)
+    return group_a, group_b
+
+
+def _check_result(
+    group_a: list[Entry],
+    group_b: list[Entry],
+    total: int,
+    min_entries: int,
+) -> None:
+    if len(group_a) + len(group_b) != total:
+        raise IndexCorruptionError(
+            f"split lost entries: {len(group_a)} + {len(group_b)} != {total}"
+        )
+    if len(group_a) < min_entries or len(group_b) < min_entries:
+        raise IndexCorruptionError(
+            f"split underflow: groups of {len(group_a)} and {len(group_b)} "
+            f"with min_entries={min_entries}"
+        )

@@ -1,0 +1,71 @@
+"""Access statistics for index structures.
+
+The paper's evaluation hinges on *how much of the index / database each
+method touches* ("TW-Sim-Search accesses just a small portion of the
+R-tree whose size is less than 4% of the database size").  Every
+traversal of the R-tree and the suffix tree increments these counters so
+experiments can report node accesses and convert them into simulated
+disk time via :mod:`repro.storage.diskmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AccessStats"]
+
+
+@dataclass
+class AccessStats:
+    """Mutable counters of index work done since the last reset.
+
+    Attributes
+    ----------
+    node_reads:
+        Total nodes visited (each visit models one page read).
+    leaf_reads:
+        Subset of ``node_reads`` that were leaves.
+    entries_examined:
+        Entries (child pointers or data records) inspected.
+    """
+
+    node_reads: int = 0
+    leaf_reads: int = 0
+    entries_examined: int = 0
+    _marks: dict[str, tuple[int, int, int]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def record_node(self, *, is_leaf: bool, entries: int) -> None:
+        """Record one node visit inspecting *entries* entries."""
+        self.node_reads += 1
+        if is_leaf:
+            self.leaf_reads += 1
+        self.entries_examined += entries
+
+    def reset(self) -> None:
+        """Zero all counters (marks are kept)."""
+        self.node_reads = 0
+        self.leaf_reads = 0
+        self.entries_examined = 0
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """Current ``(node_reads, leaf_reads, entries_examined)``."""
+        return (self.node_reads, self.leaf_reads, self.entries_examined)
+
+    def mark(self, name: str) -> None:
+        """Remember the current counters under *name* for later delta."""
+        self._marks[name] = self.snapshot()
+
+    def delta(self, name: str) -> tuple[int, int, int]:
+        """Counter increase since :meth:`mark` was called with *name*."""
+        base = self._marks.get(name, (0, 0, 0))
+        now = self.snapshot()
+        return tuple(n - b for n, b in zip(now, base))  # type: ignore[return-value]
+
+    def __add__(self, other: "AccessStats") -> "AccessStats":
+        return AccessStats(
+            node_reads=self.node_reads + other.node_reads,
+            leaf_reads=self.leaf_reads + other.leaf_reads,
+            entries_examined=self.entries_examined + other.entries_examined,
+        )

@@ -1,0 +1,21 @@
+"""Suffix-tree substrate for the ST-Filter baseline (Park et al.).
+
+ST-Filter converts numeric sequences into symbol sequences via
+*categorization*, builds a (generalized) suffix tree over the symbol
+sequences, and answers time-warping queries by a pruned dynamic-
+programming traversal of the tree.  Because the suffix tree assumes no
+distance function, the method incurs no false dismissal.
+
+* :mod:`repro.index.suffixtree.categorize` — equal-length-interval
+  categorization (the paper's experiments use 100 categories).
+* :mod:`repro.index.suffixtree.ukkonen` — Ukkonen's linear-time
+  generalized suffix-tree construction over integer alphabets.
+* :mod:`repro.index.suffixtree.search` — the time-warping DP traversal
+  producing candidate sequence ids.
+"""
+
+from .categorize import Categorizer
+from .search import WarpingTraversal
+from .ukkonen import GeneralizedSuffixTree
+
+__all__ = ["Categorizer", "GeneralizedSuffixTree", "WarpingTraversal"]

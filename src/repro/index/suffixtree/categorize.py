@@ -1,0 +1,221 @@
+"""Value categorization for the suffix-tree filter (Park et al.).
+
+Numeric elements map to a small integer alphabet before suffix-tree
+construction.  Two strategies are provided:
+
+* **equal-width** (the paper's "equal-length-interval method", used
+  with 100 categories in its experiments): the observed value range is
+  divided into ``n_categories`` intervals of equal width.
+* **equal-frequency** (extension): interval boundaries are the value
+  quantiles, so each category holds roughly the same number of database
+  elements — finer resolution where the data is dense.
+
+The categorizer also provides the *minimum possible distance* between a
+category interval and a raw query value — the quantity the suffix-tree
+traversal accumulates.  Because it never overestimates the true element
+distance, filtering with it cannot cause false dismissal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ...exceptions import CategorizationError, ValidationError
+from ...types import SequenceLike, as_array
+
+__all__ = ["Categorizer"]
+
+_STRATEGIES = ("equal-width", "equal-frequency")
+
+
+class Categorizer:
+    """Maps numeric values to category indexes.
+
+    Fit on the database once (:meth:`fit`), then :meth:`transform`
+    sequences to integer symbol arrays.  Values outside the fitted range
+    (possible for query sequences) are clamped to the boundary
+    categories; the min-distance functions remain sound because a
+    clamped category's interval still underestimates distances only on
+    the database side, which is the side being categorized.
+
+    Parameters
+    ----------
+    n_categories:
+        Alphabet size (paper's experiments: 100).
+    strategy:
+        ``"equal-width"`` (paper default) or ``"equal-frequency"``.
+    """
+
+    def __init__(
+        self, n_categories: int = 100, *, strategy: str = "equal-width"
+    ) -> None:
+        if n_categories < 1:
+            raise ValidationError(
+                f"n_categories must be >= 1, got {n_categories}"
+            )
+        if strategy not in _STRATEGIES:
+            raise ValidationError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        self._n = n_categories
+        self._strategy = strategy
+        self._lo: float | None = None
+        self._hi: float | None = None
+        self._width: float | None = None
+        self._edges: np.ndarray | None = None  # equal-frequency boundaries
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(self, sequences: Iterable[SequenceLike]) -> "Categorizer":
+        """Learn category boundaries from the database sequences."""
+        if self._strategy == "equal-frequency":
+            return self._fit_equal_frequency(sequences)
+        lo = np.inf
+        hi = -np.inf
+        seen = False
+        for seq in sequences:
+            arr = as_array(seq)
+            if arr.size == 0:
+                continue
+            seen = True
+            lo = min(lo, float(arr.min()))
+            hi = max(hi, float(arr.max()))
+        if not seen:
+            raise CategorizationError("cannot fit on an empty database")
+        if hi == lo or (hi - lo) / self._n <= 0.0:
+            # Degenerate (or denormal-underflowing) range: use a
+            # unit-wide bucket space so widths stay positive.
+            hi = lo + 1.0
+        self._lo, self._hi = lo, hi
+        self._width = (hi - lo) / self._n
+        return self
+
+    def _fit_equal_frequency(
+        self, sequences: Iterable[SequenceLike]
+    ) -> "Categorizer":
+        chunks = [as_array(seq) for seq in sequences]
+        chunks = [c for c in chunks if c.size]
+        if not chunks:
+            raise CategorizationError("cannot fit on an empty database")
+        values = np.concatenate(chunks)
+        lo, hi = float(values.min()), float(values.max())
+        if hi == lo:
+            hi = lo + 1.0
+        quantiles = np.quantile(values, np.linspace(0, 1, self._n + 1))
+        # Boundaries must be strictly increasing to define n intervals;
+        # collapse duplicates by nudging along the global range.
+        edges = np.asarray(quantiles, dtype=np.float64)
+        edges[0], edges[-1] = lo, hi
+        for i in range(1, edges.size):
+            if edges[i] <= edges[i - 1]:
+                edges[i] = np.nextafter(edges[i - 1], np.inf)
+        edges[-1] = max(edges[-1], hi)
+        self._lo, self._hi = lo, float(edges[-1])
+        self._edges = edges
+        self._width = (self._hi - lo) / self._n  # nominal, for sizing only
+        return self
+
+    @property
+    def strategy(self) -> str:
+        """The fitted boundary strategy."""
+        return self._strategy
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._width is not None
+
+    @property
+    def n_categories(self) -> int:
+        """Number of equal-width intervals."""
+        return self._n
+
+    @property
+    def value_range(self) -> tuple[float, float]:
+        """The fitted ``(low, high)`` global range."""
+        self._require_fitted()
+        assert self._lo is not None and self._hi is not None
+        return self._lo, self._hi
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise CategorizationError("categorizer must be fitted first")
+
+    # -- mapping ------------------------------------------------------------
+
+    def transform(self, sequence: SequenceLike) -> np.ndarray:
+        """Categorize a sequence into an int64 symbol array.
+
+        Guaranteed consistent with :meth:`interval`: every in-range
+        value lies inside the interval of its assigned category, even
+        on floating-point bucket boundaries (the assignment is repaired
+        by one bucket where division rounding would violate it) —
+        without this, an exact-tolerance search could falsely dismiss a
+        boundary value.
+        """
+        self._require_fitted()
+        arr = as_array(sequence)
+        if self._edges is not None:
+            cats = np.searchsorted(self._edges, arr, side="right") - 1
+            return np.clip(cats, 0, self._n - 1)
+        assert self._lo is not None and self._width is not None
+        cats = np.floor((arr - self._lo) / self._width).astype(np.int64)
+        cats = np.clip(cats, 0, self._n - 1)
+        # Repair rounding at bucket boundaries.
+        lo_bound = self._lo + cats * self._width
+        cats = np.where(arr < lo_bound, cats - 1, cats)
+        hi_bound = self._lo + (cats + 1) * self._width
+        cats = np.where(arr > hi_bound, cats + 1, cats)
+        return np.clip(cats, 0, self._n - 1)
+
+    def interval(self, category: int) -> tuple[float, float]:
+        """The ``[low, high]`` value interval of *category*.
+
+        The first interval's low and the last interval's high are the
+        exact fitted bounds (no accumulated rounding), so the union of
+        all intervals covers the fitted range precisely.
+        """
+        self._require_fitted()
+        if not 0 <= category < self._n:
+            raise ValidationError(
+                f"category must be in [0, {self._n}), got {category}"
+            )
+        if self._edges is not None:
+            return float(self._edges[category]), float(self._edges[category + 1])
+        assert self._lo is not None and self._width is not None
+        assert self._hi is not None
+        lo = self._lo + category * self._width
+        hi = self._hi if category == self._n - 1 else lo + self._width
+        return lo, hi
+
+    # -- lower-bound distances -----------------------------------------------
+
+    def min_distance_to_value(self, category: int, value: float) -> float:
+        """Smallest ``|x - value|`` over ``x`` in the category interval.
+
+        Zero when *value* falls inside the interval.  This is the sound
+        per-element cost for traversing the suffix tree against a raw
+        (uncategorized) query.
+        """
+        lo, hi = self.interval(category)
+        if value < lo:
+            return lo - value
+        if value > hi:
+            return value - hi
+        return 0.0
+
+    def min_distance_between(self, category_a: int, category_b: int) -> float:
+        """Smallest distance between two category intervals.
+
+        Used when the query is itself categorized: ``(gap - 1)`` whole
+        interval widths separate non-adjacent categories.
+        """
+        lo_a, hi_a = self.interval(category_a)
+        lo_b, hi_b = self.interval(category_b)
+        if hi_a < lo_b:
+            return lo_b - hi_a
+        if hi_b < lo_a:
+            return lo_a - hi_b
+        return 0.0

@@ -1,0 +1,265 @@
+"""Ukkonen's linear-time generalized suffix tree over integer alphabets.
+
+The tree is built over the concatenation of all (categorized) sequences,
+each followed by a unique negative *terminator* symbol.  Because every
+terminator occurs exactly once in the concatenated text, any substring
+containing one is unique and therefore lies on a leaf edge — so paths
+from the root spell symbols of a single sequence until the first
+terminator, which marks that sequence's end.  This is the standard way
+to obtain a generalized suffix tree from the single-string algorithm.
+
+Construction is Ukkonen's online algorithm with suffix links and the
+usual active-point bookkeeping: ``O(total length)`` amortized for a
+fixed alphabet (our dict-based children give expected O(1) per step).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from ...exceptions import IndexCorruptionError, ValidationError
+
+__all__ = ["GeneralizedSuffixTree", "SuffixTreeNode"]
+
+
+class SuffixTreeNode:
+    """A node of the suffix tree.
+
+    ``start``/``end`` delimit the incoming edge label in the
+    concatenated text (``end`` is ``None`` for leaves, meaning
+    "text end").  ``suffix_start`` is set on leaves after construction:
+    the global position where the represented suffix begins.
+    """
+
+    __slots__ = ("children", "link", "start", "end", "suffix_start")
+
+    def __init__(self, start: int, end: Optional[int]) -> None:
+        self.children: dict[int, "SuffixTreeNode"] = {}
+        self.link: Optional["SuffixTreeNode"] = None
+        self.start = start
+        self.end = end
+        self.suffix_start: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+
+class GeneralizedSuffixTree:
+    """Generalized suffix tree over a list of integer sequences.
+
+    Parameters
+    ----------
+    sequences:
+        Iterable of 1-d integer arrays (categorized sequences).  Symbols
+        must be non-negative; negative values are reserved for the
+        internal terminators.
+    """
+
+    def __init__(self, sequences: Iterable[np.ndarray]) -> None:
+        text: list[int] = []
+        starts: list[int] = []  # global start offset of each sequence
+        lengths: list[int] = []
+        for idx, seq in enumerate(sequences):
+            arr = np.asarray(seq)
+            if arr.ndim != 1:
+                raise ValidationError(
+                    f"sequence {idx} must be 1-d, got shape {arr.shape}"
+                )
+            symbols = [int(v) for v in arr]
+            if any(s < 0 for s in symbols):
+                raise ValidationError(
+                    f"sequence {idx} contains negative symbols; "
+                    "categorize before indexing"
+                )
+            starts.append(len(text))
+            lengths.append(len(symbols))
+            text.extend(symbols)
+            text.append(_terminator(idx))
+        if not starts:
+            raise ValidationError("suffix tree requires at least one sequence")
+        self._text = text
+        self._seq_starts = starts
+        self._seq_lengths = lengths
+        self._root = SuffixTreeNode(-1, -1)
+        self._node_count = 1
+        self._build()
+        self._assign_suffix_starts()
+
+    # -- public surface ----------------------------------------------------
+
+    @property
+    def root(self) -> SuffixTreeNode:
+        """The root node (its edge fields are sentinels)."""
+        return self._root
+
+    @property
+    def text(self) -> list[int]:
+        """The concatenated symbol text, terminators included."""
+        return self._text
+
+    @property
+    def n_sequences(self) -> int:
+        """Number of sequences indexed."""
+        return len(self._seq_starts)
+
+    def sequence_length(self, seq_index: int) -> int:
+        """Length (in symbols, excluding terminator) of a stored sequence."""
+        return self._seq_lengths[seq_index]
+
+    def node_count(self) -> int:
+        """Total nodes — the tree-size metric the paper's analysis uses."""
+        return self._node_count
+
+    def edge_label(self, node: SuffixTreeNode) -> list[int]:
+        """The symbols on the edge leading into *node*."""
+        end = node.end if node.end is not None else len(self._text)
+        return self._text[node.start : end]
+
+    def edge_length(self, node: SuffixTreeNode) -> int:
+        """Length of the edge label leading into *node*."""
+        end = node.end if node.end is not None else len(self._text)
+        return end - node.start
+
+    def locate(self, global_pos: int) -> tuple[int, int]:
+        """Map a global text position to ``(seq_index, local_offset)``."""
+        if not 0 <= global_pos < len(self._text):
+            raise ValidationError(f"position {global_pos} outside text")
+        idx = bisect.bisect_right(self._seq_starts, global_pos) - 1
+        return idx, global_pos - self._seq_starts[idx]
+
+    def find(self, pattern: Iterable[int]) -> list[tuple[int, int]]:
+        """Exact occurrences of *pattern*: ``(seq_index, offset)`` pairs.
+
+        Used by tests to validate construction; returns all positions
+        where the symbol pattern occurs in any stored sequence.
+        """
+        symbols = [int(v) for v in pattern]
+        node = self._root
+        depth = 0  # symbols of the pattern matched so far
+        edge_pos = 0  # position within the current edge
+        current: Optional[SuffixTreeNode] = None
+        for symbol in symbols:
+            if current is None or edge_pos == self.edge_length(current):
+                if current is not None:
+                    node = current
+                current = node.children.get(symbol)
+                if current is None:
+                    return []
+                edge_pos = 0
+            if self._text[current.start + edge_pos] != symbol:
+                return []
+            edge_pos += 1
+            depth += 1
+        assert current is not None
+        return sorted(
+            self.locate(leaf.suffix_start)
+            for leaf in self._iter_leaves(current)
+            if leaf.suffix_start is not None
+        )
+
+    def _iter_leaves(self, node: SuffixTreeNode) -> Iterator[SuffixTreeNode]:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                yield current
+            else:
+                stack.extend(current.children.values())
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self) -> None:
+        text = self._text
+        root = self._root
+        active_node = root
+        active_edge = 0  # index into text of the active edge's first symbol
+        active_length = 0
+        remainder = 0
+
+        for i, symbol in enumerate(text):
+            last_new_node: Optional[SuffixTreeNode] = None
+            remainder += 1
+            while remainder > 0:
+                if active_length == 0:
+                    active_edge = i
+                edge_symbol = text[active_edge]
+                child = active_node.children.get(edge_symbol)
+                if child is None:
+                    leaf = SuffixTreeNode(i, None)
+                    self._node_count += 1
+                    active_node.children[edge_symbol] = leaf
+                    if last_new_node is not None:
+                        last_new_node.link = active_node
+                        last_new_node = None
+                else:
+                    edge_len = self._current_edge_length(child, i)
+                    if active_length >= edge_len:
+                        active_edge += edge_len
+                        active_length -= edge_len
+                        active_node = child
+                        continue
+                    if text[child.start + active_length] == symbol:
+                        active_length += 1
+                        if last_new_node is not None:
+                            last_new_node.link = active_node
+                            last_new_node = None
+                        break
+                    # Split the edge.
+                    split = SuffixTreeNode(child.start, child.start + active_length)
+                    self._node_count += 1
+                    active_node.children[edge_symbol] = split
+                    leaf = SuffixTreeNode(i, None)
+                    self._node_count += 1
+                    split.children[symbol] = leaf
+                    child.start += active_length
+                    split.children[text[child.start]] = child
+                    if last_new_node is not None:
+                        last_new_node.link = split
+                    last_new_node = split
+                remainder -= 1
+                if active_node is root and active_length > 0:
+                    active_length -= 1
+                    active_edge = i - remainder + 1
+                elif active_node is not root:
+                    active_node = active_node.link if active_node.link else root
+
+    def _current_edge_length(self, node: SuffixTreeNode, position: int) -> int:
+        end = node.end if node.end is not None else position + 1
+        return end - node.start
+
+    def _assign_suffix_starts(self) -> None:
+        """Label each leaf with the global start of its suffix."""
+        total = len(self._text)
+        stack: list[tuple[SuffixTreeNode, int]] = [(self._root, 0)]
+        leaves = 0
+        while stack:
+            node, depth = stack.pop()
+            if node is not self._root:
+                depth += self.edge_length(node)
+            if node.is_leaf:
+                node.suffix_start = total - depth
+                leaves += 1
+            else:
+                for child in node.children.values():
+                    stack.append((child, depth))
+        if leaves != total:
+            raise IndexCorruptionError(
+                f"suffix tree has {leaves} leaves for text of length {total}"
+            )
+
+
+def _terminator(seq_index: int) -> int:
+    """The unique terminator symbol of sequence *seq_index* (negative)."""
+    return -(seq_index + 1)
+
+
+def terminator_sequence(symbol: int) -> int:
+    """Inverse of the terminator encoding: which sequence ended here."""
+    if symbol >= 0:
+        raise ValidationError(f"{symbol} is not a terminator symbol")
+    return -symbol - 1

@@ -1,0 +1,38 @@
+"""The compared similarity-search methods (paper section 5).
+
+All methods answer the same question — *which stored sequences satisfy*
+``D_tw(S, Q) <= eps`` under the Definition-2 time-warping distance — and
+expose a uniform :class:`~repro.methods.base.SearchMethod` interface so
+the experiment harness can swap them freely:
+
+* :class:`~repro.methods.naive_scan.NaiveScan` — sequential scan + full
+  DTW per sequence (Berndt & Clifford).
+* :class:`~repro.methods.lb_scan.LBScan` — sequential scan + Yi et al.'s
+  cheap lower bound as a pre-filter.
+* :class:`~repro.methods.st_filter.STFilter` — categorization + suffix
+  tree traversal (Park et al.).
+* :class:`~repro.methods.tw_sim.TWSimSearch` — the paper's method:
+  4-tuple features in an R-tree + ``D_tw-lb`` range query.
+* :class:`~repro.methods.fastmap_method.FastMapMethod` — Yi et al.'s
+  FastMap embedding + index; fast but admits false dismissal (excluded
+  from the paper's evaluation for that reason; implemented here so the
+  false-dismissal rate can be measured).
+"""
+
+from .base import MethodStats, SearchMethod, SearchReport
+from .fastmap_method import FastMapMethod
+from .lb_scan import LBScan
+from .naive_scan import NaiveScan
+from .st_filter import STFilter
+from .tw_sim import TWSimSearch
+
+__all__ = [
+    "MethodStats",
+    "SearchMethod",
+    "SearchReport",
+    "FastMapMethod",
+    "LBScan",
+    "NaiveScan",
+    "STFilter",
+    "TWSimSearch",
+]

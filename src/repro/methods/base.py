@@ -1,0 +1,221 @@
+"""Uniform interface and accounting shared by all search methods.
+
+A method is *built* once over a :class:`~repro.storage.database.
+SequenceDatabase` (constructing whatever index it needs) and then
+answers any number of ``(query, epsilon)`` searches.  Every search
+returns a :class:`SearchReport` carrying the answers, the candidate set
+(the paper's Figure-2 metric), and a :class:`MethodStats` timing/IO
+breakdown (the paper's Figure-3/4/5 metric).
+
+The *elapsed time* a report exposes is ``cpu_seconds +
+simulated_io_seconds``: measured host CPU plus modeled disk time, per
+the cost-model decision documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from ..distance.dtw import dtw_max_early_abandon, dtw_max_within
+from ..exceptions import ValidationError
+from ..storage.database import SequenceDatabase
+from ..types import Sequence, SequenceLike, as_sequence
+
+__all__ = ["MethodStats", "SearchReport", "SearchMethod"]
+
+
+@dataclass
+class MethodStats:
+    """Cost breakdown of one search (or one build).
+
+    Attributes
+    ----------
+    cpu_seconds:
+        Measured host CPU (process) time.
+    simulated_io_seconds:
+        Modeled disk time: data-file pages via the database's disk
+        model plus index pages charged by the method.
+    index_node_reads:
+        Index nodes visited (R-tree or suffix tree), 0 for scans.
+    sequences_read:
+        Sequences materialized from storage.
+    dtw_computations:
+        Full ``D_tw`` verifications performed.
+    lower_bound_computations:
+        Cheap filter evaluations (``D_lb``/``D_tw-lb``) performed.
+    """
+
+    cpu_seconds: float = 0.0
+    simulated_io_seconds: float = 0.0
+    index_node_reads: int = 0
+    sequences_read: int = 0
+    dtw_computations: int = 0
+    lower_bound_computations: int = 0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total modeled elapsed time (CPU + simulated disk)."""
+        return self.cpu_seconds + self.simulated_io_seconds
+
+
+@dataclass
+class SearchReport:
+    """Everything one search produced.
+
+    Attributes
+    ----------
+    method:
+        Name of the method that ran.
+    epsilon:
+        The query tolerance.
+    answers:
+        Ids of sequences with ``D_tw(S, Q) <= epsilon`` (ascending).
+    distances:
+        ``{seq_id: D_tw}`` for every answer — populated only when the
+        method was constructed with ``compute_distances=True``; the
+        similarity-search problem itself only requires the ``<= eps``
+        decision, and exact-value refinement costs extra.
+    candidates:
+        Ids surviving the method's filtering step — what Figure 2 plots.
+        For Naive-Scan this equals ``answers`` by the paper's convention.
+    stats:
+        The cost breakdown.
+    """
+
+    method: str
+    epsilon: float
+    answers: list[int]
+    distances: dict[int, float]
+    candidates: list[int]
+    stats: MethodStats = field(default_factory=MethodStats)
+
+    @property
+    def candidate_count(self) -> int:
+        """Size of the candidate set."""
+        return len(self.candidates)
+
+    def candidate_ratio(self, database_size: int) -> float:
+        """Figure 2's y-axis: candidates over database size."""
+        if database_size <= 0:
+            raise ValidationError(
+                f"database_size must be positive, got {database_size}"
+            )
+        return len(self.candidates) / database_size
+
+
+class SearchMethod(abc.ABC):
+    """Base class: build once over a database, search many times.
+
+    Parameters
+    ----------
+    database:
+        The sequence database to search.
+    compute_distances:
+        When True, verification also refines the exact ``D_tw`` value
+        of every answer (populating :attr:`SearchReport.distances`);
+        when False (default) only the ``<= eps`` decision is computed,
+        which is all the paper's similarity-search problem requires.
+    """
+
+    #: Human-readable method name, as used in the paper's figures.
+    name: str = "abstract"
+
+    def __init__(
+        self, database: SequenceDatabase, *, compute_distances: bool = False
+    ) -> None:
+        self._db = database
+        self._compute_distances = compute_distances
+        self._built = False
+        self.build_stats = MethodStats()
+
+    @property
+    def database(self) -> SequenceDatabase:
+        """The database this method searches."""
+        return self._db
+
+    @property
+    def is_built(self) -> bool:
+        """True once :meth:`build` has completed."""
+        return self._built
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def build(self) -> "SearchMethod":
+        """Construct the method's access structures; returns ``self``."""
+        start_cpu = time.process_time()
+        self._db.io.mark(f"{self.name}:build")
+        self._build_impl()
+        self.build_stats.cpu_seconds += time.process_time() - start_cpu
+        self.build_stats.simulated_io_seconds += self._db.io.delta_seconds(
+            f"{self.name}:build"
+        )
+        self._built = True
+        return self
+
+    @abc.abstractmethod
+    def _build_impl(self) -> None:
+        """Method-specific index construction."""
+
+    # -- searching -------------------------------------------------------------
+
+    def search(self, query: SequenceLike, epsilon: float) -> SearchReport:
+        """Run one similarity search and account for its costs."""
+        if not self._built:
+            raise ValidationError(f"{self.name} must be built before searching")
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        q = as_sequence(query)
+        if len(q) == 0:
+            raise ValidationError("query sequence must be non-empty")
+        stats = MethodStats()
+        mark = f"{self.name}:search"
+        self._db.io.mark(mark)
+        start_cpu = time.process_time()
+        answers, distances, candidates = self._search_impl(q, epsilon, stats)
+        if not self._compute_distances:
+            distances = {}  # decision-only verification: values are not exact
+        stats.cpu_seconds += time.process_time() - start_cpu
+        stats.simulated_io_seconds += self._db.io.delta_seconds(mark)
+        return SearchReport(
+            method=self.name,
+            epsilon=epsilon,
+            answers=sorted(answers),
+            distances=distances,
+            candidates=sorted(candidates),
+            stats=stats,
+        )
+
+    @abc.abstractmethod
+    def _search_impl(
+        self, query: Sequence, epsilon: float, stats: MethodStats
+    ) -> tuple[list[int], dict[int, float], list[int]]:
+        """Return ``(answers, distances, candidates)``."""
+
+    # -- shared verification -------------------------------------------------------
+
+    def _verify(
+        self,
+        sequence: Sequence,
+        query: Sequence,
+        epsilon: float,
+        stats: MethodStats,
+    ) -> float:
+        """Early-abandoning ``D_tw`` check.
+
+        Returns the exact distance when ``compute_distances`` is on;
+        otherwise a value that is ``<= epsilon`` iff the sequence
+        qualifies (the decision is exact either way, the value is not).
+        Non-qualifying sequences always yield ``inf``.
+        """
+        stats.dtw_computations += 1
+        if self._compute_distances:
+            return dtw_max_early_abandon(sequence.values, query.values, epsilon)
+        if dtw_max_within(sequence.values, query.values, epsilon):
+            return epsilon
+        return float("inf")
+
+    def __repr__(self) -> str:
+        state = "built" if self._built else "unbuilt"
+        return f"{type(self).__name__}({state}, db={len(self._db)} sequences)"

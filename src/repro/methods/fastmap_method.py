@@ -1,0 +1,117 @@
+"""The FastMap method (Yi et al.; paper section 3.3).
+
+Embeds every sequence into ``R^k`` with FastMap using the time-warping
+distance, indexes the images in a k-d R-tree, and answers a query by
+projecting it and range-searching with radius ``eps``.  Candidates are
+verified with the true ``D_tw``.
+
+Because DTW is not a metric, the embedding is not contractive: a truly
+qualifying sequence's image can land farther than ``eps`` from the
+query's image and be **falsely dismissed**.  The paper excludes the
+method from its performance comparison for exactly this deficiency; we
+implement it so the deficiency is *measurable* —
+:meth:`FastMapMethod.false_dismissals` compares a report against ground
+truth, and the integration tests demonstrate non-zero dismissal rates
+the other methods never exhibit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distance.dtw import dtw_max
+from ..fastmap.fastmap import FastMap
+from ..index.rtree.bulk import STRBulkLoader
+from ..index.rtree.geometry import Rect
+from ..index.rtree.rtree import RTree
+from ..types import Sequence
+from .base import MethodStats, SearchMethod, SearchReport
+
+__all__ = ["FastMapMethod"]
+
+
+class FastMapMethod(SearchMethod):
+    """FastMap embedding + R-tree index (admits false dismissal).
+
+    Parameters
+    ----------
+    database:
+        The sequence database to search.
+    k:
+        Embedding dimensionality (Yi et al. leave its choice open; the
+        paper notes picking a good *k* "is not trivial").
+    seed:
+        Pivot-selection seed for reproducible embeddings.
+    """
+
+    name = "FastMap"
+
+    def __init__(
+        self, database, *, k: int = 4, seed: int = 0, compute_distances: bool = False
+    ) -> None:
+        super().__init__(database, compute_distances=compute_distances)
+        self._k = k
+        self._seed = seed
+        self._fastmap: FastMap | None = None
+        self._tree: RTree | None = None
+
+    @property
+    def k(self) -> int:
+        """Embedding dimensionality."""
+        return self._k
+
+    @property
+    def tree(self) -> RTree:
+        """The built image-space R-tree (after :meth:`build`)."""
+        if self._tree is None:
+            raise RuntimeError("FastMap method has not been built")
+        return self._tree
+
+    def _build_impl(self) -> None:
+        sequences = list(self._db.scan())
+        ids = [seq.seq_id for seq in sequences]
+        arrays = [np.asarray(seq.values) for seq in sequences]
+        self._fastmap = FastMap(
+            lambda a, b: dtw_max(a, b), self._k, seed=self._seed
+        )
+        coords = self._fastmap.fit(arrays)
+        loader = STRBulkLoader(self._k, page_size=self._db.page_size)
+        for point, seq_id in zip(coords, ids):
+            assert seq_id is not None
+            loader.add(tuple(float(v) for v in point), seq_id)
+        self._tree = loader.build()
+
+    def _search_impl(
+        self, query: Sequence, epsilon: float, stats: MethodStats
+    ) -> tuple[list[int], dict[int, float], list[int]]:
+        assert self._fastmap is not None
+        tree = self.tree
+        point = self._fastmap.project(np.asarray(query.values))
+        stats.lower_bound_computations += 1
+        rect = Rect.from_intervals(
+            (float(c) - epsilon, float(c) + epsilon) for c in point
+        )
+        tree.stats.mark("search")
+        candidate_ids = tree.range_search(rect)
+        node_reads, _, _ = tree.stats.delta("search")
+        stats.index_node_reads += node_reads
+        stats.simulated_io_seconds += self._db.disk.random_read_time(
+            node_reads, self._db.page_size
+        )
+        answers: list[int] = []
+        distances: dict[int, float] = {}
+        for seq_id in candidate_ids:
+            sequence = self._db.fetch(seq_id)
+            stats.sequences_read += 1
+            distance = self._verify(sequence, query, epsilon, stats)
+            if distance <= epsilon:
+                answers.append(seq_id)
+                distances[seq_id] = distance
+        return answers, distances, candidate_ids
+
+    @staticmethod
+    def false_dismissals(
+        report: SearchReport, ground_truth: SearchReport
+    ) -> list[int]:
+        """True answers this method missed, vs an exact method's report."""
+        return sorted(set(ground_truth.answers) - set(report.answers))

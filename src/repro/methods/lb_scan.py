@@ -1,0 +1,46 @@
+"""LB-Scan (paper section 3.2): sequential scan + Yi et al.'s lower bound.
+
+Still reads the entire database (same I/O as Naive-Scan), but first
+evaluates the ``O(|S| + |Q|)`` lower bound ``D_lb``; only sequences with
+``D_lb <= eps`` pay for the quadratic DTW verification.  Because
+``D_lb`` underestimates ``D_tw``, no qualifying sequence is ever
+skipped.  The sequences passing the filter are LB-Scan's candidate set
+in Figure 2.
+"""
+
+from __future__ import annotations
+
+from ..distance.base import LINF
+from ..distance.lb_yi import lb_yi
+from ..types import Sequence
+from .base import MethodStats, SearchMethod
+
+__all__ = ["LBScan"]
+
+
+class LBScan(SearchMethod):
+    """Sequential scan with a cheap lower-bound pre-filter."""
+
+    name = "LB-Scan"
+
+    def _build_impl(self) -> None:
+        """Nothing to build — the scan works directly on the heap file."""
+
+    def _search_impl(
+        self, query: Sequence, epsilon: float, stats: MethodStats
+    ) -> tuple[list[int], dict[int, float], list[int]]:
+        answers: list[int] = []
+        distances: dict[int, float] = {}
+        candidates: list[int] = []
+        for sequence in self._db.scan():
+            stats.sequences_read += 1
+            stats.lower_bound_computations += 1
+            if lb_yi(sequence.values, query.values, base=LINF) > epsilon:
+                continue
+            assert sequence.seq_id is not None
+            candidates.append(sequence.seq_id)
+            distance = self._verify(sequence, query, epsilon, stats)
+            if distance <= epsilon:
+                answers.append(sequence.seq_id)
+                distances[sequence.seq_id] = distance
+        return answers, distances, candidates

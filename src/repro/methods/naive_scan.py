@@ -1,0 +1,41 @@
+"""Naive-Scan (paper section 3.1): sequential scan + full DTW.
+
+Reads every sequence in the database and evaluates the time-warping
+distance directly.  No index, no filter — therefore no false alarms
+either, which is why the paper plots its final-answer count as the
+"candidate" baseline of Figure 2.  The only optimization, used by the
+paper as well, is early abandoning: with ``L_inf`` accumulation the DTW
+can stop as soon as no path within tolerance remains.
+"""
+
+from __future__ import annotations
+
+from ..types import Sequence
+from .base import MethodStats, SearchMethod
+
+__all__ = ["NaiveScan"]
+
+
+class NaiveScan(SearchMethod):
+    """Sequential scan with per-sequence DTW verification."""
+
+    name = "Naive-Scan"
+
+    def _build_impl(self) -> None:
+        """Nothing to build — the scan works directly on the heap file."""
+
+    def _search_impl(
+        self, query: Sequence, epsilon: float, stats: MethodStats
+    ) -> tuple[list[int], dict[int, float], list[int]]:
+        answers: list[int] = []
+        distances: dict[int, float] = {}
+        for sequence in self._db.scan():
+            stats.sequences_read += 1
+            distance = self._verify(sequence, query, epsilon, stats)
+            if distance <= epsilon:
+                assert sequence.seq_id is not None
+                answers.append(sequence.seq_id)
+                distances[sequence.seq_id] = distance
+        # Paper convention: Naive-Scan has no filtering step, so its
+        # "candidates" in Figure 2 are the final answers themselves.
+        return answers, distances, list(answers)

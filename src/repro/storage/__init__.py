@@ -1,0 +1,30 @@
+"""Paged storage engine with a simulated disk cost model.
+
+The paper measures elapsed times on a 2001-era workstation whose 9.5 ms
+disk seek dominates random I/O.  Re-running on modern hardware (or fully
+in memory) would distort the CPU/IO balance that produces the paper's
+crossovers, so this package provides:
+
+* :mod:`repro.storage.pages` — a real byte-level heap file of fixed-size
+  pages holding serialized sequences.
+* :mod:`repro.storage.buffer` — an LRU buffer pool deciding which page
+  accesses hit memory.
+* :mod:`repro.storage.diskmodel` — converts page-access counts into
+  simulated disk time with the paper's disk parameters (sequential scans
+  pay transfer cost; random fetches pay seek + transfer).
+* :mod:`repro.storage.database` — :class:`SequenceDatabase`, the façade
+  all search methods read sequences through, accumulating I/O counters.
+"""
+
+from .buffer import BufferPool
+from .database import IOStats, SequenceDatabase
+from .diskmodel import DiskModel
+from .pages import SequenceHeapFile
+
+__all__ = [
+    "BufferPool",
+    "DiskModel",
+    "IOStats",
+    "SequenceDatabase",
+    "SequenceHeapFile",
+]

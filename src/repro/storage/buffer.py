@@ -1,0 +1,69 @@
+"""LRU buffer pool over page numbers.
+
+The pool does not hold page *contents* (the heap file is the single copy
+of the bytes); it tracks which pages are memory-resident so the database
+layer can decide whether a page access costs simulated disk time.  This
+separation keeps the cost accounting honest without duplicating data.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..exceptions import ValidationError
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Fixed-capacity LRU set of resident page numbers.
+
+    A capacity of 0 disables caching (every access is a miss) — the
+    configuration the paper's single-user, cold-cache measurements
+    correspond to.
+    """
+
+    def __init__(self, capacity_pages: int = 0) -> None:
+        if capacity_pages < 0:
+            raise ValidationError(
+                f"capacity_pages must be non-negative, got {capacity_pages}"
+            )
+        self._capacity = capacity_pages
+        self._resident: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum resident pages."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, page_no: int) -> bool:
+        return page_no in self._resident
+
+    def access(self, page_no: int) -> bool:
+        """Touch *page_no*; returns True on a hit, False on a miss.
+
+        Misses admit the page, evicting the least recently used page
+        when at capacity.
+        """
+        if page_no in self._resident:
+            self._resident.move_to_end(page_no)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if self._capacity == 0:
+            return False
+        if len(self._resident) >= self._capacity:
+            self._resident.popitem(last=False)
+        self._resident[page_no] = None
+        return False
+
+    def clear(self) -> None:
+        """Drop all resident pages and zero the counters."""
+        self._resident.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,226 @@
+""":class:`SequenceDatabase` — the storage façade all methods read through.
+
+Wraps the heap file, the buffer pool and the disk model, and accumulates
+the I/O statistics the experiments report: sequential pages (scans),
+random pages (candidate fetches by id), buffer hits, and the simulated
+disk time both kinds of access translate into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..exceptions import ValidationError
+from ..types import Sequence, SequenceLike, as_sequence
+from .buffer import BufferPool
+from .diskmodel import DiskModel
+from .pages import SequenceHeapFile
+
+__all__ = ["SequenceDatabase", "IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Cumulative I/O counters of a :class:`SequenceDatabase`."""
+
+    sequential_pages: int = 0
+    random_pages: int = 0
+    buffer_hits: int = 0
+    simulated_seconds: float = 0.0
+    _marks: dict[str, tuple[int, int, int, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def reset(self) -> None:
+        """Zero all counters (marks are kept)."""
+        self.sequential_pages = 0
+        self.random_pages = 0
+        self.buffer_hits = 0
+        self.simulated_seconds = 0.0
+
+    def snapshot(self) -> tuple[int, int, int, float]:
+        """``(sequential_pages, random_pages, buffer_hits, simulated_seconds)``."""
+        return (
+            self.sequential_pages,
+            self.random_pages,
+            self.buffer_hits,
+            self.simulated_seconds,
+        )
+
+    def mark(self, name: str) -> None:
+        """Remember the current counters under *name*."""
+        self._marks[name] = self.snapshot()
+
+    def delta_seconds(self, name: str) -> float:
+        """Simulated seconds accumulated since :meth:`mark`."""
+        base = self._marks.get(name, (0, 0, 0, 0.0))
+        return self.simulated_seconds - base[3]
+
+
+class SequenceDatabase:
+    """A database of variable-length sequences on simulated paged storage.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per page for both the data file and derived index sizing
+        (paper: 1 KB).
+    disk:
+        The disk timing model (defaults to the paper's parameters).
+    buffer_pages:
+        LRU buffer pool capacity; 0 (default) models the paper's
+        cold-cache single-user runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        page_size: int = 1024,
+        disk: DiskModel | None = None,
+        buffer_pages: int = 0,
+    ) -> None:
+        self._heap = SequenceHeapFile(page_size=page_size)
+        self._disk = disk if disk is not None else DiskModel()
+        self._buffer = BufferPool(buffer_pages)
+        self._next_id = 0
+        self.io = IOStats()
+
+    # -- metadata -----------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per page."""
+        return self._heap.page_size
+
+    @property
+    def disk(self) -> DiskModel:
+        """The disk timing model."""
+        return self._disk
+
+    @property
+    def buffer(self) -> BufferPool:
+        """The LRU buffer pool."""
+        return self._buffer
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, seq_id: int) -> bool:
+        return seq_id in self._heap
+
+    @property
+    def total_pages(self) -> int:
+        """Pages the data file occupies."""
+        return self._heap.total_pages
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of sequence data stored."""
+        return self._heap.total_bytes
+
+    def ids(self) -> list[int]:
+        """All stored sequence ids in insertion order."""
+        return self._heap.ids()
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert(self, sequence: SequenceLike) -> int:
+        """Store a sequence; returns its assigned id (``ID(S)``)."""
+        seq = as_sequence(sequence)
+        if len(seq) == 0:
+            raise ValidationError("cannot store an empty sequence")
+        seq_id = self._next_id
+        self._next_id += 1
+        self._heap.append(seq_id, seq.values)
+        return seq_id
+
+    def insert_many(self, sequences: Iterable[SequenceLike]) -> list[int]:
+        """Store several sequences; returns their ids in order."""
+        return [self.insert(seq) for seq in sequences]
+
+    def delete(self, seq_id: int) -> None:
+        """Remove a sequence (tombstone; see :meth:`compact`).
+
+        Raises :class:`~repro.exceptions.SequenceNotFoundError` when the
+        id is not stored.  Ids are never reused.
+        """
+        self._heap.remove(seq_id)
+
+    def compact(self) -> int:
+        """Reclaim tombstoned space; returns bytes freed.
+
+        Also clears the buffer pool, since page numbers shift.
+        """
+        freed = self._heap.compact()
+        self._buffer.clear()
+        return freed
+
+    # -- reads -------------------------------------------------------------------
+
+    def fetch(self, seq_id: int) -> Sequence:
+        """Random access by id — the post-processing read of Algorithm 1.
+
+        Charges random-read disk time for every page of the record that
+        misses the buffer pool.
+        """
+        pages = self._heap.pages_of(seq_id)
+        missed = 0
+        for page_no in pages:
+            if self._buffer.access(page_no):
+                self.io.buffer_hits += 1
+            else:
+                missed += 1
+        self.io.random_pages += missed
+        # The record's pages are contiguous: one seek, then transfer.
+        self.io.simulated_seconds += self._disk.record_read_time(
+            missed, self.page_size
+        )
+        return self._heap.read(seq_id)
+
+    def scan(self) -> Iterator[Sequence]:
+        """Sequential scan of the whole database (Naive-Scan / LB-Scan).
+
+        Charges one sequential pass over all pages up front, which is
+        how a real scan operator reads the file regardless of how many
+        sequences the consumer actually keeps.
+        """
+        pages = self._heap.total_pages
+        self.io.sequential_pages += pages
+        self.io.simulated_seconds += self._disk.sequential_read_time(
+            pages, self.page_size
+        )
+        return self._heap.scan()
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the data file to *path*."""
+        self._heap.save(path)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        disk: DiskModel | None = None,
+        buffer_pages: int = 0,
+    ) -> "SequenceDatabase":
+        """Re-open a database persisted with :meth:`save`."""
+        heap = SequenceHeapFile.load(path)
+        db = cls(
+            page_size=heap.page_size,
+            disk=disk,
+            buffer_pages=buffer_pages,
+        )
+        db._heap = heap
+        ids = heap.ids()
+        db._next_id = max(ids) + 1 if ids else 0
+        return db
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceDatabase({len(self)} sequences, "
+            f"{self.total_pages} pages of {self.page_size} B)"
+        )

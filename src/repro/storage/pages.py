@@ -1,0 +1,203 @@
+"""Byte-level paged heap file for sequences.
+
+Sequences are serialized with a fixed binary layout and appended to a
+growing page file.  Records are *spanned*: a long sequence occupies a
+contiguous byte range that may cross page boundaries, and the page span
+of any record is derived from its byte offsets — this is what converts
+logical reads into page-access counts for the disk model.
+
+Record layout (little-endian)::
+
+    u64  sequence id
+    u32  element count n
+    f64  elements[n]
+
+The file can be persisted to and re-loaded from a real file on disk, so
+databases survive process restarts.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..exceptions import SequenceNotFoundError, StorageError, ValidationError
+from ..types import Sequence, as_array
+
+__all__ = ["SequenceHeapFile"]
+
+_HEADER = struct.Struct("<QI")  # sequence id, element count
+_MAGIC = b"RPRS\x01"
+
+
+class SequenceHeapFile:
+    """Append-only heap file of serialized sequences on fixed-size pages."""
+
+    def __init__(self, page_size: int = 1024) -> None:
+        if page_size < _HEADER.size + 8:
+            raise ValidationError(
+                f"page_size {page_size} too small for a record header"
+            )
+        self._page_size = page_size
+        self._buf = bytearray()
+        self._offsets: dict[int, tuple[int, int]] = {}  # id -> (offset, length)
+        self._order: list[int] = []  # ids in physical order
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per page."""
+        return self._page_size
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently stored."""
+        return len(self._buf)
+
+    @property
+    def total_pages(self) -> int:
+        """Pages the file occupies (ceiling of bytes / page size)."""
+        return -(-len(self._buf) // self._page_size) if self._buf else 0
+
+    def pages_of(self, seq_id: int) -> range:
+        """The page numbers a stored record spans."""
+        offset, length = self._locate(seq_id)
+        first = offset // self._page_size
+        last = (offset + length - 1) // self._page_size
+        return range(first, last + 1)
+
+    def _locate(self, seq_id: int) -> tuple[int, int]:
+        try:
+            return self._offsets[seq_id]
+        except KeyError:
+            raise SequenceNotFoundError(f"sequence {seq_id} is not stored") from None
+
+    # -- writes -----------------------------------------------------------------
+
+    def append(self, seq_id: int, values: np.ndarray) -> range:
+        """Serialize and append one sequence; returns its page span."""
+        if seq_id in self._offsets:
+            raise StorageError(f"sequence {seq_id} already stored")
+        if seq_id < 0:
+            raise ValidationError(f"seq_id must be non-negative, got {seq_id}")
+        arr = as_array(values, allow_empty=False)
+        record = _HEADER.pack(seq_id, arr.size) + arr.astype("<f8").tobytes()
+        offset = len(self._buf)
+        self._buf.extend(record)
+        self._offsets[seq_id] = (offset, len(record))
+        self._order.append(seq_id)
+        return self.pages_of(seq_id)
+
+    def remove(self, seq_id: int) -> int:
+        """Drop a record from the directory; returns the bytes tombstoned.
+
+        The record's bytes stay in the file (append-only heap) until
+        :meth:`compact` reclaims them — the standard tombstone scheme.
+        """
+        _offset, length = self._locate(seq_id)
+        del self._offsets[seq_id]
+        self._order.remove(seq_id)
+        return length
+
+    def compact(self) -> int:
+        """Rewrite the file dropping tombstoned space; returns bytes freed.
+
+        Offsets of surviving records change; page spans are recomputed
+        implicitly because they derive from the offsets.
+        """
+        new_buf = bytearray()
+        new_offsets: dict[int, tuple[int, int]] = {}
+        for seq_id in self._order:
+            offset, length = self._offsets[seq_id]
+            new_offsets[seq_id] = (len(new_buf), length)
+            new_buf += self._buf[offset : offset + length]
+        freed = len(self._buf) - len(new_buf)
+        self._buf = new_buf
+        self._offsets = new_offsets
+        return freed
+
+    # -- reads ---------------------------------------------------------------------
+
+    def __contains__(self, seq_id: int) -> bool:
+        return seq_id in self._offsets
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def ids(self) -> list[int]:
+        """Stored ids in physical (insertion) order."""
+        return list(self._order)
+
+    def read(self, seq_id: int) -> Sequence:
+        """Deserialize one sequence by id."""
+        offset, length = self._locate(seq_id)
+        return self._decode(offset, length, expect_id=seq_id)
+
+    def scan(self) -> Iterator[Sequence]:
+        """Iterate all sequences in physical order (a sequential scan)."""
+        for seq_id in self._order:
+            offset, length = self._offsets[seq_id]
+            yield self._decode(offset, length, expect_id=seq_id)
+
+    def _decode(self, offset: int, length: int, *, expect_id: int) -> Sequence:
+        header = self._buf[offset : offset + _HEADER.size]
+        seq_id, count = _HEADER.unpack(bytes(header))
+        if seq_id != expect_id:
+            raise StorageError(
+                f"corrupt record: expected id {expect_id}, found {seq_id}"
+            )
+        body_size = count * 8
+        if _HEADER.size + body_size != length:
+            raise StorageError(
+                f"corrupt record {seq_id}: length {length} does not match "
+                f"element count {count}"
+            )
+        start = offset + _HEADER.size
+        values = np.frombuffer(
+            bytes(self._buf[start : start + body_size]), dtype="<f8"
+        )
+        return Sequence(values, seq_id=seq_id)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the heap file (with directory) to a real file."""
+        path = Path(path)
+        directory = struct.pack("<I", len(self._order))
+        for seq_id in self._order:
+            offset, length = self._offsets[seq_id]
+            directory += struct.pack("<QQQ", seq_id, offset, length)
+        with open(path, "wb") as f:
+            f.write(_MAGIC)
+            f.write(struct.pack("<I", self._page_size))
+            f.write(directory)
+            f.write(bytes(self._buf))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SequenceHeapFile":
+        """Re-open a heap file written by :meth:`save`."""
+        path = Path(path)
+        with open(path, "rb") as f:
+            data = f.read()
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise StorageError(f"{path} is not a repro heap file")
+        pos = len(_MAGIC)
+        (page_size,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        (count,) = struct.unpack_from("<I", data, pos)
+        pos += 4
+        heap = cls(page_size=page_size)
+        entries = []
+        for _ in range(count):
+            seq_id, offset, length = struct.unpack_from("<QQQ", data, pos)
+            pos += 24
+            entries.append((seq_id, offset, length))
+        heap._buf = bytearray(data[pos:])
+        for seq_id, offset, length in entries:
+            heap._offsets[seq_id] = (offset, length)
+            heap._order.append(seq_id)
+        return heap

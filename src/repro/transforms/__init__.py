@@ -1,0 +1,32 @@
+"""Sequence transformations from the similarity-search literature.
+
+The paper's introduction surveys the transformations similarity-search
+systems support — scaling and shifting [Agrawal et al., Goldin &
+Kanellakis], normalization, and moving averages [Rafiei & Mendelzon]
+— and positions time warping among them.  This package implements that
+toolbox so queries can combine preprocessing with the warping search
+(e.g. "find sequences whose *shape* matches, regardless of price
+level": z-normalize, then search):
+
+* :mod:`repro.transforms.pointwise` — shifting, scaling, z- and
+  min-max normalization.
+* :mod:`repro.transforms.smoothing` — moving averages (simple,
+  weighted, exponential) and downsampling.
+* :mod:`repro.transforms.pipeline` — composition of transforms, usable
+  anywhere a preprocessing callable is accepted.
+"""
+
+from .pipeline import Pipeline
+from .pointwise import minmax_normalize, scale, shift, znormalize
+from .smoothing import downsample, exponential_smoothing, moving_average
+
+__all__ = [
+    "Pipeline",
+    "minmax_normalize",
+    "scale",
+    "shift",
+    "znormalize",
+    "downsample",
+    "exponential_smoothing",
+    "moving_average",
+]

@@ -1,0 +1,65 @@
+"""Composable transformation pipelines.
+
+A :class:`Pipeline` chains transform callables into one preprocessing
+step, applied identically to data and query sequences so the search
+semantics stay coherent (e.g. z-normalize both sides, then search under
+time warping for *shape* similarity independent of level).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence as TypingSequence
+
+from ..exceptions import ValidationError
+from ..types import Sequence, SequenceLike, as_sequence
+
+__all__ = ["Pipeline"]
+
+#: A transform maps a sequence-like input to a Sequence.
+Transform = Callable[[SequenceLike], Sequence]
+
+
+class Pipeline:
+    """A left-to-right composition of sequence transforms.
+
+    Example
+    -------
+    >>> from repro.transforms import Pipeline, moving_average, znormalize
+    >>> prep = Pipeline([lambda s: moving_average(s, 3), znormalize])
+    >>> len(prep([1.0, 2.0, 3.0, 4.0]))
+    4
+    """
+
+    def __init__(self, steps: TypingSequence[Transform]) -> None:
+        if not steps:
+            raise ValidationError("pipeline requires at least one step")
+        for i, step in enumerate(steps):
+            if not callable(step):
+                raise ValidationError(f"step {i} is not callable")
+        self._steps = list(steps)
+
+    @property
+    def steps(self) -> list[Transform]:
+        """The composed transforms, in application order."""
+        return list(self._steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __call__(self, sequence: SequenceLike) -> Sequence:
+        current = as_sequence(sequence)
+        for step in self._steps:
+            current = as_sequence(step(current))
+        return current
+
+    def apply_all(self, sequences: Iterable[SequenceLike]) -> list[Sequence]:
+        """Transform a whole collection (e.g. a database before loading)."""
+        return [self(seq) for seq in sequences]
+
+    def then(self, step: Transform) -> "Pipeline":
+        """A new pipeline with *step* appended."""
+        return Pipeline(self._steps + [step])
+
+    def __repr__(self) -> str:
+        names = [getattr(s, "__name__", type(s).__name__) for s in self._steps]
+        return f"Pipeline({' -> '.join(names)})"

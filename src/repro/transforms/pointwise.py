@@ -1,0 +1,67 @@
+"""Element-wise transformations: shifting, scaling, normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..types import Sequence, SequenceLike, as_array
+
+__all__ = ["shift", "scale", "znormalize", "minmax_normalize"]
+
+
+def shift(sequence: SequenceLike, offset: float) -> Sequence:
+    """Add *offset* to every element.
+
+    Shifting commutes with time warping: ``D_tw(S + c, Q + c) =
+    D_tw(S, Q)`` under any ``L_p`` base distance.
+    """
+    arr = as_array(sequence, allow_empty=False)
+    if not np.isfinite(offset):
+        raise ValidationError(f"offset must be finite, got {offset}")
+    return Sequence(arr + offset)
+
+
+def scale(sequence: SequenceLike, factor: float) -> Sequence:
+    """Multiply every element by *factor*.
+
+    Scaling scales the Definition-2 distance: ``D_tw(aS, aQ) =
+    |a| D_tw(S, Q)``.
+    """
+    arr = as_array(sequence, allow_empty=False)
+    if not np.isfinite(factor):
+        raise ValidationError(f"factor must be finite, got {factor}")
+    return Sequence(arr * factor)
+
+
+def znormalize(sequence: SequenceLike, *, epsilon: float = 1e-12) -> Sequence:
+    """Zero-mean, unit-variance normalization.
+
+    The standard preprocessing for *shape* matching: two sequences that
+    differ only in level and amplitude normalize to the same shape.
+    Constant sequences (std below *epsilon*) map to all-zero.
+    """
+    arr = as_array(sequence, allow_empty=False)
+    std = float(arr.std())
+    mean = float(arr.mean())
+    if std < epsilon:
+        return Sequence(np.zeros_like(arr))
+    return Sequence((arr - mean) / std)
+
+
+def minmax_normalize(
+    sequence: SequenceLike, *, low: float = 0.0, high: float = 1.0
+) -> Sequence:
+    """Affinely map the value range onto ``[low, high]``.
+
+    Constant sequences map to the midpoint of the target interval.
+    """
+    if not (low < high):
+        raise ValidationError(f"requires low < high, got [{low}, {high}]")
+    arr = as_array(sequence, allow_empty=False)
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        mid = (low + high) / 2.0
+        return Sequence(np.full_like(arr, mid))
+    scaled = (arr - lo) / (hi - lo)
+    return Sequence(scaled * (high - low) + low)

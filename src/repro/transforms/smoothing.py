@@ -1,0 +1,78 @@
+"""Smoothing and resampling transformations (moving averages et al.).
+
+Moving averages are the transformation of Rafiei & Mendelzon's work
+cited in the paper's introduction; downsampling models the
+different-sampling-rate scenario of the paper's footnote 1 (a sequence
+sampled every minute vs every second) that motivates time warping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..types import Sequence, SequenceLike, as_array
+
+__all__ = ["moving_average", "exponential_smoothing", "downsample"]
+
+
+def moving_average(
+    sequence: SequenceLike,
+    window: int,
+    *,
+    weights: SequenceLike | None = None,
+) -> Sequence:
+    """Simple (or weighted) moving average with a trailing window.
+
+    Output element ``i`` averages input elements ``max(0, i-window+1)
+    .. i`` — the output has the same length as the input, with a
+    warm-up region that averages what is available.  *weights*, if
+    given, must have length *window* and applies newest-to-oldest.
+    """
+    arr = as_array(sequence, allow_empty=False)
+    if window < 1:
+        raise ValidationError(f"window must be >= 1, got {window}")
+    if weights is not None:
+        w = as_array(weights)
+        if w.size != window:
+            raise ValidationError(
+                f"weights must have length {window}, got {w.size}"
+            )
+        if w.sum() == 0:
+            raise ValidationError("weights must not sum to zero")
+    out = np.empty_like(arr)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        chunk = arr[lo : i + 1]
+        if weights is None:
+            out[i] = chunk.mean()
+        else:
+            w_used = as_array(weights)[window - chunk.size :]
+            out[i] = float((chunk * w_used).sum() / w_used.sum())
+    return Sequence(out)
+
+
+def exponential_smoothing(sequence: SequenceLike, alpha: float) -> Sequence:
+    """Classic EWMA: ``y_0 = x_0``, ``y_i = a x_i + (1-a) y_{i-1}``."""
+    arr = as_array(sequence, allow_empty=False)
+    if not 0.0 < alpha <= 1.0:
+        raise ValidationError(f"alpha must be in (0, 1], got {alpha}")
+    out = np.empty_like(arr)
+    out[0] = arr[0]
+    for i in range(1, arr.size):
+        out[i] = alpha * arr[i] + (1.0 - alpha) * out[i - 1]
+    return Sequence(out)
+
+
+def downsample(sequence: SequenceLike, factor: int) -> Sequence:
+    """Keep every *factor*-th element (starting from the first).
+
+    Models the different-sampling-rate scenario of the paper's
+    footnote 1; a downsampled sequence warps back onto its original
+    with zero Definition-2 distance whenever the original is piecewise
+    constant over the dropped spans.
+    """
+    arr = as_array(sequence, allow_empty=False)
+    if factor < 1:
+        raise ValidationError(f"factor must be >= 1, got {factor}")
+    return Sequence(arr[::factor])

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.stocks import synthetic_sp500
+from repro.data.synthetic import random_walk_dataset
+from repro.storage.database import SequenceDatabase
+from repro.types import Sequence
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_stock_dataset():
+    """A 60-sequence stock-like dataset, session-cached for speed."""
+    return synthetic_sp500(60, 40, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_walk_dataset() -> list[Sequence]:
+    """40 random walks of length ~30 with varying lengths."""
+    return random_walk_dataset(40, 30, seed=5, length_jitter=0.4)
+
+
+@pytest.fixture()
+def walk_database(small_walk_dataset) -> SequenceDatabase:
+    """A fresh paged database holding the random-walk dataset."""
+    db = SequenceDatabase(page_size=256)
+    db.insert_many(small_walk_dataset)
+    return db
+
+
+@pytest.fixture()
+def stock_database(small_stock_dataset) -> SequenceDatabase:
+    """A fresh paged database holding the stock dataset."""
+    db = SequenceDatabase(page_size=512)
+    db.insert_many(small_stock_dataset.sequences)
+    return db

@@ -1,0 +1,112 @@
+"""Tests for engine extensions: deletion, compaction, banded search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TimeWarpingDatabase
+from repro.distance.bands import sakoe_chiba_window
+from repro.distance.dtw import dtw_max, dtw_max_matrix
+from repro.exceptions import SequenceNotFoundError
+
+
+@pytest.fixture()
+def db(small_walk_dataset):
+    database = TimeWarpingDatabase(page_size=512)
+    for seq in small_walk_dataset[:20]:
+        database.insert(seq)
+    return database
+
+
+class TestDelete:
+    def test_deleted_sequence_not_found(self, db):
+        target = db.get(5)
+        db.delete(5)
+        assert 5 not in db
+        assert all(m.seq_id != 5 for m in db.search(target, epsilon=0.0))
+
+    def test_other_sequences_unaffected(self, db, small_walk_dataset):
+        db.delete(3)
+        for seq_id in (0, 7, 19):
+            matches = db.search(db.get(seq_id), epsilon=0.0)
+            assert seq_id in [m.seq_id for m in matches]
+
+    def test_delete_missing_raises(self, db):
+        with pytest.raises(SequenceNotFoundError):
+            db.delete(999)
+
+    def test_delete_twice_raises(self, db):
+        db.delete(2)
+        with pytest.raises(SequenceNotFoundError):
+            db.delete(2)
+
+    def test_index_stays_valid(self, db):
+        for seq_id in (0, 5, 10, 15):
+            db.delete(seq_id)
+        db.index.validate()
+        assert len(db.index) == len(db) == 16
+
+    def test_label_forgotten(self):
+        db = TimeWarpingDatabase()
+        sid = db.insert([1.0, 2.0], label="gone")
+        db.delete(sid)
+        assert db.label_of(sid) is None
+
+    def test_ids_not_reused_after_delete(self, db):
+        db.delete(7)
+        new_id = db.insert([1.0, 2.0, 3.0])
+        assert new_id == 20  # continues past the deleted id
+
+
+class TestCompaction:
+    def test_compact_frees_bytes_and_preserves_data(self, db):
+        before = db.storage.total_bytes
+        db.delete(0)
+        db.delete(1)
+        freed = db.storage.compact()
+        assert freed > 0
+        assert db.storage.total_bytes == before - freed
+        # Remaining sequences still readable and searchable.
+        target = db.get(10)
+        assert 10 in [m.seq_id for m in db.search(target, epsilon=0.0)]
+
+    def test_compact_without_deletes_frees_nothing(self, db):
+        assert db.storage.compact() == 0
+
+
+class TestBandedSearch:
+    def test_band_results_subset_of_unconstrained(self, db, small_walk_dataset):
+        rng = np.random.default_rng(3)
+        query = np.asarray(db.get(4).values) + rng.uniform(
+            -0.1, 0.1, len(db.get(4))
+        )
+        eps = 0.4
+        unconstrained = {m.seq_id for m in db.search(query, eps)}
+        banded = {m.seq_id for m in db.search(query, eps, band_radius=2)}
+        assert banded <= unconstrained
+
+    def test_banded_distances_match_matrix(self, db):
+        query = db.get(6)
+        for match in db.search(query.values, 0.5, band_radius=3):
+            window = sakoe_chiba_window(len(match.sequence), len(query), 3)
+            expected = dtw_max_matrix(
+                match.sequence.values, query.values, window=window
+            ).distance
+            assert match.distance == pytest.approx(expected)
+
+    def test_wide_band_equals_unconstrained(self, db):
+        query = db.get(8)
+        eps = 0.3
+        wide = db.search(query.values, eps, band_radius=10_000)
+        plain = db.search(query.values, eps)
+        assert [m.seq_id for m in wide] == [m.seq_id for m in plain]
+        for a, b in zip(wide, plain):
+            assert a.distance == pytest.approx(b.distance)
+
+    def test_banded_distance_at_least_unconstrained(self, db):
+        query = db.get(2)
+        for match in db.search(query.values, 0.6, band_radius=1):
+            assert match.distance >= dtw_max(
+                match.sequence.values, query.values
+            ) - 1e-9

@@ -1,0 +1,73 @@
+"""Tests for TimeWarpingDatabase save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TimeWarpingDatabase
+
+
+@pytest.fixture()
+def populated(small_walk_dataset):
+    db = TimeWarpingDatabase(page_size=512)
+    for i, seq in enumerate(small_walk_dataset[:15]):
+        db.insert(seq, label=f"walk-{i}")
+    return db
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_search(self, populated, tmp_path):
+        path = tmp_path / "db.heap"
+        populated.save(path)
+        loaded = TimeWarpingDatabase.load(path)
+        assert len(loaded) == len(populated)
+        loaded.index.validate()
+        query = populated.get(4)
+        for eps in (0.0, 0.3):
+            assert [m.seq_id for m in loaded.search(query, eps)] == [
+                m.seq_id for m in populated.search(query, eps)
+            ]
+
+    def test_labels_survive(self, populated, tmp_path):
+        path = tmp_path / "db.heap"
+        populated.save(path)
+        loaded = TimeWarpingDatabase.load(path)
+        assert loaded.label_of(3) == "walk-3"
+        assert loaded.label_of(999) is None
+
+    def test_three_files_written(self, populated, tmp_path):
+        path = tmp_path / "db.heap"
+        populated.save(path)
+        assert path.exists()
+        assert (tmp_path / "db.heap.idx").exists()
+        assert (tmp_path / "db.heap.labels").exists()
+
+    def test_load_without_index_rebuilds(self, populated, tmp_path):
+        path = tmp_path / "db.heap"
+        populated.save(path)
+        (tmp_path / "db.heap.idx").unlink()
+        loaded = TimeWarpingDatabase.load(path)
+        loaded.index.validate()
+        query = populated.get(2)
+        assert [m.seq_id for m in loaded.search(query, 0.0)] == [
+            m.seq_id for m in populated.search(query, 0.0)
+        ]
+
+    def test_loaded_database_accepts_inserts(self, populated, tmp_path):
+        path = tmp_path / "db.heap"
+        populated.save(path)
+        loaded = TimeWarpingDatabase.load(path)
+        new_id = loaded.insert([100.0, 101.0], label="new")
+        assert new_id == len(populated)
+        assert loaded.label_of(new_id) == "new"
+        assert new_id in [m.seq_id for m in loaded.search([100.0, 101.0], 0.0)]
+
+    def test_knn_after_load(self, populated, tmp_path):
+        path = tmp_path / "db.heap"
+        populated.save(path)
+        loaded = TimeWarpingDatabase.load(path)
+        query = populated.get(7)
+        before = [m.seq_id for m in populated.knn(query, 3)]
+        after = [m.seq_id for m in loaded.knn(query, 3)]
+        assert before == after

@@ -1,0 +1,138 @@
+"""Tests for the 4-tuple feature vector (paper section 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.features import (
+    FeatureVector,
+    StreamingExtractor,
+    extract_feature,
+    feature_array,
+)
+from repro.exceptions import EmptySequenceError, ValidationError
+
+elements = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+seqs = st.lists(elements, min_size=1, max_size=30)
+
+
+class TestFeatureVector:
+    def test_component_order_matches_paper(self):
+        fv = FeatureVector(first=1, last=2, greatest=5, smallest=0)
+        assert list(fv) == [1, 2, 5, 0]
+        assert fv.as_tuple() == (1, 2, 5, 0)
+
+    def test_as_array(self):
+        fv = FeatureVector(first=1, last=2, greatest=5, smallest=0)
+        assert fv.as_array().tolist() == [1.0, 2.0, 5.0, 0.0]
+
+    def test_hashable_and_ordered(self):
+        a = FeatureVector(1, 2, 5, 0)
+        b = FeatureVector(1, 2, 5, 0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_invalid_extremes_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureVector(first=1, last=1, greatest=0, smallest=5)
+
+    def test_first_outside_range_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureVector(first=9, last=1, greatest=5, smallest=0)
+
+    def test_last_outside_range_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureVector(first=1, last=-3, greatest=5, smallest=0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            FeatureVector(first=float("nan"), last=1, greatest=5, smallest=0)
+
+
+class TestExtractFeature:
+    def test_paper_components(self):
+        fv = extract_feature([3, 1, 7, 2])
+        assert fv == FeatureVector(first=3, last=2, greatest=7, smallest=1)
+
+    def test_singleton(self):
+        fv = extract_feature([4.5])
+        assert fv == FeatureVector(4.5, 4.5, 4.5, 4.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptySequenceError):
+            extract_feature([])
+
+    @given(seqs)
+    def test_matches_numpy_aggregates(self, values):
+        fv = extract_feature(values)
+        arr = np.asarray(values)
+        assert fv.first == arr[0]
+        assert fv.last == arr[-1]
+        assert fv.greatest == arr.max()
+        assert fv.smallest == arr.min()
+
+    @given(seqs, st.data())
+    def test_invariant_to_time_warping(self, values, data):
+        """The paper's key property: replication leaves features unchanged."""
+        stretched: list[float] = []
+        for v in values:
+            reps = data.draw(st.integers(min_value=1, max_value=3))
+            stretched.extend([v] * reps)
+        assert extract_feature(values) == extract_feature(stretched)
+
+
+class TestFeatureArray:
+    def test_shape_and_order(self):
+        arr = feature_array([[1, 2], [5, 0, 3]])
+        assert arr.shape == (2, 4)
+        assert arr[0].tolist() == [1, 2, 2, 1]
+        assert arr[1].tolist() == [5, 3, 5, 0]
+
+    def test_empty_iterable(self):
+        assert feature_array([]).shape == (0, 4)
+
+    def test_propagates_empty_sequence_error(self):
+        with pytest.raises(EmptySequenceError):
+            feature_array([[1.0], []])
+
+
+class TestStreamingExtractor:
+    def test_matches_batch_extraction(self):
+        values = [3.0, 1.0, 7.0, 2.0]
+        ext = StreamingExtractor()
+        ext.extend(values)
+        assert ext.finish() == extract_feature(values)
+
+    def test_count_tracks_pushes(self):
+        ext = StreamingExtractor()
+        assert ext.count == 0
+        ext.push(1.0)
+        ext.push(2.0)
+        assert ext.count == 2
+
+    def test_finish_without_pushes_raises(self):
+        with pytest.raises(EmptySequenceError):
+            StreamingExtractor().finish()
+
+    def test_non_finite_rejected(self):
+        ext = StreamingExtractor()
+        with pytest.raises(ValidationError):
+            ext.push(float("inf"))
+
+    @given(seqs)
+    def test_streaming_equals_batch(self, values):
+        ext = StreamingExtractor()
+        ext.extend(values)
+        assert ext.finish() == extract_feature(values)
+
+    def test_finish_is_reusable_mid_stream(self):
+        ext = StreamingExtractor()
+        ext.push(5.0)
+        first = ext.finish()
+        ext.push(1.0)
+        second = ext.finish()
+        assert first == FeatureVector(5, 5, 5, 5)
+        assert second == FeatureVector(5, 1, 5, 1)

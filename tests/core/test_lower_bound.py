@@ -1,0 +1,136 @@
+"""Tests for D_tw-lb — the paper's Theorems 1 and 2 as executable properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import extract_feature, feature_array
+from repro.core.lower_bound import dtw_lb, dtw_lb_batch, dtw_lb_features, feature_rect
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+
+elements = st.floats(min_value=-100, max_value=100, allow_nan=False)
+seqs = st.lists(elements, min_size=1, max_size=12)
+
+
+class TestDefinition3:
+    def test_componentwise_maximum(self):
+        # Features: S -> (1, 4, 9, 1), Q -> (2, 2, 2, 2).
+        assert dtw_lb([1, 9, 4], [2, 2]) == 7.0
+
+    def test_identical_sequences_zero(self):
+        assert dtw_lb([5, 1, 3], [5, 1, 3]) == 0.0
+
+    def test_feature_form_matches_sequence_form(self):
+        s, q = [1.0, 9.0, 4.0], [2.0, 2.0]
+        assert dtw_lb(s, q) == dtw_lb_features(
+            extract_feature(s), extract_feature(q)
+        )
+
+
+class TestTheorem1LowerBound:
+    """D_tw-lb(S, Q) <= D_tw(S, Q) for all sequences — no false dismissal."""
+
+    @given(seqs, seqs)
+    def test_lower_bounds_dtw(self, s, q):
+        assert dtw_lb(s, q) <= dtw_max(s, q) + 1e-9
+
+    @given(seqs, seqs, st.floats(min_value=0, max_value=200, allow_nan=False))
+    def test_corollary1_no_false_dismissal(self, s, q, eps):
+        """Corollary 1: D_tw <= eps implies D_tw-lb <= eps."""
+        if dtw_max(s, q) <= eps:
+            assert dtw_lb(s, q) <= eps + 1e-9
+
+    def test_tight_for_monotone_pairs(self):
+        # For two constant sequences the bound is exact.
+        assert dtw_lb([4, 4], [6, 6, 6]) == dtw_max([4, 4], [6, 6, 6]) == 2.0
+
+    @given(seqs, st.data())
+    def test_invariant_under_warping_of_either_side(self, s, data):
+        stretched: list[float] = []
+        for v in s:
+            reps = data.draw(st.integers(min_value=1, max_value=3))
+            stretched.extend([v] * reps)
+        q = data.draw(seqs)
+        assert dtw_lb(s, q) == pytest.approx(dtw_lb(stretched, q))
+
+
+class TestTheorem2Metric:
+    """D_tw-lb satisfies the triangular inequality (it is L_inf on features)."""
+
+    @given(seqs, seqs, seqs)
+    def test_triangle_inequality(self, x, y, z):
+        d_xz = dtw_lb(x, z)
+        d_xy = dtw_lb(x, y)
+        d_yz = dtw_lb(y, z)
+        assert d_xz <= d_xy + d_yz + 1e-9
+
+    @given(seqs, seqs)
+    def test_symmetry(self, s, q):
+        assert dtw_lb(s, q) == pytest.approx(dtw_lb(q, s))
+
+    @given(seqs)
+    def test_identity(self, s):
+        assert dtw_lb(s, s) == 0.0
+
+
+class TestBatchForm:
+    def test_matches_pairwise(self):
+        rng = np.random.default_rng(0)
+        database = [rng.uniform(0, 10, rng.integers(1, 8)) for _ in range(20)]
+        query = rng.uniform(0, 10, 5)
+        features = feature_array(database)
+        batch = dtw_lb_batch(features, extract_feature(query))
+        for i, seq in enumerate(database):
+            assert batch[i] == pytest.approx(dtw_lb(seq, query))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            dtw_lb_batch(np.zeros((3, 3)), extract_feature([1.0]))
+
+
+class TestFeatureRect:
+    def test_square_range(self):
+        rect = feature_rect(extract_feature([1, 5, 3]), 0.5)
+        # Feature(Q) = (1, 3, 5, 1); bounds carry a 2-ULP safety margin.
+        expected = ((0.5, 1.5), (2.5, 3.5), (4.5, 5.5), (0.5, 1.5))
+        for (lo, hi), (exp_lo, exp_hi) in zip(rect, expected):
+            assert lo == pytest.approx(exp_lo, abs=1e-12)
+            assert hi == pytest.approx(exp_hi, abs=1e-12)
+            assert lo <= exp_lo and hi >= exp_hi  # inclusive-side widening
+
+    def test_boundary_regression_fuzz_case(self):
+        """Fuzz-found: |s - q| rounds to eps while s < q - eps in floats;
+        the widened rectangle must keep the sequence as a candidate."""
+        from repro.distance.dtw import dtw_max
+
+        s, q, eps = [-9.976084401259522e-269], [1.0], 1.0
+        assert dtw_max(s, q) <= eps  # the rounded distance accepts it
+        rect = feature_rect(extract_feature(q), eps)
+        fs = extract_feature(s)
+        assert all(lo <= v <= hi for v, (lo, hi) in zip(fs, rect))
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValidationError):
+            feature_rect(extract_feature([1.0]), -0.1)
+
+    @given(seqs, seqs, st.floats(min_value=0, max_value=50, allow_nan=False))
+    def test_rect_membership_equals_lower_bound_test(self, s, q, eps):
+        """Algorithm 1, Step 2: the square range IS the D_tw-lb ball.
+
+        Exact except on the floating-point knife edge where the bound
+        rounds to exactly eps; skip that measure-zero case.
+        """
+        from hypothesis import assume
+
+        lb = dtw_lb(s, q)
+        assume(abs(lb - eps) > 1e-9 * (1.0 + eps))
+        rect = feature_rect(extract_feature(q), eps)
+        fs = extract_feature(s)
+        inside = all(
+            lo <= value <= hi for value, (lo, hi) in zip(fs, rect)
+        )
+        assert inside == (lb <= eps)

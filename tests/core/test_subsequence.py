@@ -1,0 +1,147 @@
+"""Tests for the subsequence-matching extension (paper section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.subsequence import SubsequenceIndex, SubsequenceMatch
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def index(small_walk_dataset):
+    idx = SubsequenceIndex(window_lengths=[8, 12], stride=1)
+    idx.add_many(small_walk_dataset[:15])
+    return idx.build()
+
+
+class TestConstruction:
+    def test_requires_window_lengths(self):
+        with pytest.raises(ValidationError):
+            SubsequenceIndex(window_lengths=[])
+
+    def test_rejects_bad_lengths_and_stride(self):
+        with pytest.raises(ValidationError):
+            SubsequenceIndex(window_lengths=[0])
+        with pytest.raises(ValidationError):
+            SubsequenceIndex(window_lengths=[4], stride=0)
+
+    def test_window_count(self):
+        idx = SubsequenceIndex(window_lengths=[3])
+        idx.add([1, 2, 3, 4, 5])  # 3 windows of length 3
+        assert idx.window_count == 3
+
+    def test_short_sequences_skip_long_windows(self):
+        idx = SubsequenceIndex(window_lengths=[3, 100])
+        idx.add([1, 2, 3, 4])
+        assert idx.window_count == 2  # only the length-3 windows
+
+    def test_stride_reduces_windows(self):
+        dense = SubsequenceIndex(window_lengths=[3], stride=1)
+        sparse = SubsequenceIndex(window_lengths=[3], stride=2)
+        values = list(range(10))
+        dense.add(values)
+        sparse.add(values)
+        assert sparse.window_count < dense.window_count
+
+    def test_duplicate_id_rejected(self):
+        idx = SubsequenceIndex(window_lengths=[2])
+        idx.add([1, 2, 3], seq_id=7)
+        with pytest.raises(ValidationError):
+            idx.add([4, 5, 6], seq_id=7)
+
+    def test_add_after_build_rejected(self, index):
+        with pytest.raises(ValidationError):
+            index.add([1, 2, 3])
+
+    def test_build_twice_rejected(self, index):
+        with pytest.raises(ValidationError):
+            index.build()
+
+    def test_build_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            SubsequenceIndex(window_lengths=[3]).build()
+
+    def test_search_before_build_rejected(self):
+        idx = SubsequenceIndex(window_lengths=[2])
+        idx.add([1, 2, 3])
+        with pytest.raises(ValidationError):
+            idx.search([1, 2], 0.5)
+
+
+class TestSearch:
+    def test_finds_planted_pattern(self):
+        rng = np.random.default_rng(3)
+        motif = [5.0, 5.5, 6.0, 5.5, 5.0, 4.5]
+        host = list(rng.uniform(0, 2, 20)) + motif + list(rng.uniform(0, 2, 20))
+        idx = SubsequenceIndex(window_lengths=[len(motif)])
+        idx.add(host, seq_id=0)
+        idx.build()
+        matches = idx.search(motif, epsilon=0.01)
+        assert any(m.start == 20 and m.length == len(motif) for m in matches)
+
+    def test_no_false_dismissal_over_indexed_windows(self, index, small_walk_dataset):
+        rng = np.random.default_rng(4)
+        query = np.asarray(small_walk_dataset[2].values[:10]) + rng.uniform(
+            -0.05, 0.05, 10
+        )
+        eps = 0.3
+        got = {
+            (m.seq_id, m.start, m.length) for m in index.search(query, eps)
+        }
+        # Brute force over exactly the indexed windows.
+        for seq_id, seq in enumerate(small_walk_dataset[:15]):
+            values = np.asarray(seq.values)
+            for length in (8, 12):
+                for start in range(0, len(values) - length + 1):
+                    window = values[start : start + length]
+                    if dtw_max(window, query) <= eps:
+                        assert (seq_id, start, length) in got
+
+    def test_no_false_alarms_in_results(self, index, small_walk_dataset):
+        query = np.asarray(small_walk_dataset[0].values[:9])
+        for m in index.search(query, epsilon=0.2):
+            window = np.asarray(small_walk_dataset[m.seq_id].values)[
+                m.start : m.start + m.length
+            ]
+            assert dtw_max(window, query) <= 0.2 + 1e-12
+
+    def test_results_sorted(self, index, small_walk_dataset):
+        query = small_walk_dataset[1].values[:8]
+        matches = index.search(query, epsilon=0.5)
+        keys = [(m.distance, m.seq_id, m.start, m.length) for m in matches]
+        assert keys == sorted(keys)
+
+    def test_invalid_queries(self, index):
+        with pytest.raises(ValidationError):
+            index.search([], 0.5)
+        with pytest.raises(ValidationError):
+            index.search([1.0], -0.5)
+
+
+class TestBestMatch:
+    def test_best_match_is_global_minimum(self, index, small_walk_dataset):
+        query = np.asarray(small_walk_dataset[4].values[:10]) + 0.02
+        best = index.best_match(query)
+        assert best is not None
+        brute_best = min(
+            dtw_max(
+                np.asarray(small_walk_dataset[sid].values)[s : s + ln], query
+            )
+            for sid in range(15)
+            for ln in (8, 12)
+            for s in range(len(small_walk_dataset[sid]) - ln + 1)
+        )
+        assert best.distance == pytest.approx(brute_best)
+
+    def test_best_match_requires_build(self):
+        idx = SubsequenceIndex(window_lengths=[2])
+        idx.add([1, 2, 3])
+        with pytest.raises(ValidationError):
+            idx.best_match([1.0])
+
+    def test_match_dataclass_fields(self):
+        m = SubsequenceMatch(seq_id=1, start=2, length=3, distance=0.5)
+        assert (m.seq_id, m.start, m.length, m.distance) == (1, 2, 3, 0.5)

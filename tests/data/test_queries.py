@@ -1,0 +1,66 @@
+"""Tests for the paper's query workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.queries import QueryWorkload, perturb_sequence
+from repro.exceptions import ValidationError
+from repro.types import Sequence
+
+
+class TestPerturbSequence:
+    def test_offsets_bounded_by_half_std(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 10, 200)
+        std = base.std()
+        for seed in range(5):
+            query = perturb_sequence(base, rng=seed)
+            offsets = np.asarray(query.values) - base
+            assert np.all(np.abs(offsets) <= std / 2 + 1e-12)
+
+    def test_length_preserved(self):
+        assert len(perturb_sequence([1.0, 2.0, 3.0], rng=1)) == 3
+
+    def test_constant_sequence_unchanged(self):
+        assert list(perturb_sequence([4.0, 4.0, 4.0], rng=0)) == [4.0, 4.0, 4.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(Exception):
+            perturb_sequence([])
+
+    def test_deterministic_for_seed(self):
+        base = [1.0, 5.0, 2.0, 8.0]
+        assert perturb_sequence(base, rng=7) == perturb_sequence(base, rng=7)
+
+
+class TestQueryWorkload:
+    def test_generates_requested_count(self):
+        sequences = [Sequence([1.0, 2.0, 3.0]), Sequence([5.0, 6.0])]
+        workload = QueryWorkload(sequences, n_queries=7, seed=1)
+        assert len(workload.queries()) == 7
+        assert len(workload) == 7
+
+    def test_deterministic(self):
+        sequences = [Sequence([1.0, 2.0, 3.0]), Sequence([5.0, 6.0])]
+        a = QueryWorkload(sequences, n_queries=5, seed=2).queries()
+        b = QueryWorkload(sequences, n_queries=5, seed=2).queries()
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_queries_derived_from_database_lengths(self):
+        sequences = [Sequence([1.0] * 4), Sequence([2.0] * 9)]
+        for q in QueryWorkload(sequences, n_queries=10, seed=3):
+            assert len(q) in (4, 9)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryWorkload([], n_queries=5)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValidationError):
+            QueryWorkload([Sequence([1.0])], n_queries=0)
+
+    def test_multiple_iterations_identical(self):
+        workload = QueryWorkload([Sequence([1.0, 2.0])], n_queries=3, seed=4)
+        assert all(x == y for x, y in zip(list(workload), list(workload)))

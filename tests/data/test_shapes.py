@@ -1,0 +1,81 @@
+"""Tests for the cylinder-bell-funnel generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.shapes import CBF_CLASSES, cbf_dataset, cbf_instance
+from repro.exceptions import ValidationError
+
+
+class TestCbfInstance:
+    def test_length_and_label(self):
+        seq = cbf_instance("bell", 64, rng=0)
+        assert len(seq) == 64
+        assert seq.label == "bell"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            cbf_instance("square")
+        with pytest.raises(ValidationError):
+            cbf_instance("bell", 4)
+        with pytest.raises(ValidationError):
+            cbf_instance("bell", noise=-1.0)
+
+    def test_deterministic_for_seed(self):
+        assert cbf_instance("funnel", rng=3) == cbf_instance("funnel", rng=3)
+
+    def test_shape_has_elevated_region(self):
+        for kind in CBF_CLASSES:
+            seq = np.asarray(cbf_instance(kind, 128, rng=1, noise=0.1).values)
+            assert seq.max() > 2.0  # the shape rises well above the noise
+
+    def test_cylinder_is_plateau_like(self):
+        """A cylinder holds its level: its top quartile is flat-ish."""
+        seq = np.asarray(cbf_instance("cylinder", 200, rng=2, noise=0.05).values)
+        top = np.sort(seq)[-40:]
+        assert top.std() < 0.5
+
+    def test_bell_rises_funnel_falls(self):
+        rng_seed = 7
+        bell = np.asarray(cbf_instance("bell", 200, rng=rng_seed, noise=0.0).values)
+        funnel = np.asarray(
+            cbf_instance("funnel", 200, rng=rng_seed, noise=0.0).values
+        )
+        # Same random window/level (same seed): the bell peaks at the
+        # window's end, the funnel at its start.
+        assert np.argmax(bell) > np.argmax(funnel)
+
+
+class TestCbfDataset:
+    def test_balanced_and_labelled(self):
+        data = cbf_dataset(5, 64, seed=1)
+        assert len(data) == 15
+        labels = [seq.label for seq in data]
+        for kind in CBF_CLASSES:
+            assert labels.count(kind) == 5
+
+    def test_deterministic(self):
+        a = cbf_dataset(2, 32, seed=9)
+        b = cbf_dataset(2, 32, seed=9)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_invalid_count(self):
+        with pytest.raises(ValidationError):
+            cbf_dataset(0)
+
+    def test_same_class_warps_closer_than_cross_class(self):
+        """Sanity: with low noise, DTW separates the classes on average."""
+        from repro.distance.dtw import dtw_max
+        from repro.transforms import znormalize
+
+        data = cbf_dataset(4, 64, seed=3, noise=0.05)
+        normalized = [np.asarray(znormalize(s.values).values) for s in data]
+        labels = [s.label for s in data]
+        same, cross = [], []
+        for i in range(len(data)):
+            for j in range(i + 1, len(data)):
+                d = dtw_max(normalized[i], normalized[j])
+                (same if labels[i] == labels[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)

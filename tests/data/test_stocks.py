@@ -1,0 +1,115 @@
+"""Tests for the S&P-500 stand-in generator and CSV loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.stocks import (
+    PAPER_AVG_LENGTH,
+    PAPER_N_SEQUENCES,
+    StockDataset,
+    load_stock_csv,
+    synthetic_sp500,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSyntheticSP500:
+    def test_paper_shape_defaults(self):
+        data = synthetic_sp500()
+        assert len(data) == PAPER_N_SEQUENCES == 545
+        assert data.average_length == pytest.approx(PAPER_AVG_LENGTH, rel=0.1)
+        assert data.source == "synthetic-sp500"
+
+    def test_lengths_vary(self):
+        data = synthetic_sp500(100, 50, seed=1)
+        assert len({len(s) for s in data.sequences}) > 1
+
+    def test_prices_positive(self):
+        data = synthetic_sp500(50, 30, seed=2)
+        for seq in data.sequences:
+            assert np.all(np.asarray(seq.values) > 0)
+
+    def test_labels_are_tickers(self):
+        data = synthetic_sp500(3, 20, seed=0)
+        assert data.sequences[0].label == "TICK0000"
+
+    def test_deterministic(self):
+        a = synthetic_sp500(5, 20, seed=9)
+        b = synthetic_sp500(5, 20, seed=9)
+        assert all(x == y for x, y in zip(a.sequences, b.sequences))
+
+    def test_total_elements(self):
+        data = synthetic_sp500(10, 20, seed=0)
+        assert data.total_elements() == sum(len(s) for s in data.sequences)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            synthetic_sp500(0)
+        with pytest.raises(ValidationError):
+            synthetic_sp500(5, 1)
+
+
+class TestLoadStockCsv:
+    def test_long_format(self, tmp_path):
+        path = tmp_path / "long.csv"
+        path.write_text("IBM,10.5\nIBM,10.7\nAAPL,100\nIBM,10.6\nAAPL,101\n")
+        data = load_stock_csv(path)
+        assert len(data) == 2
+        by_label = {s.label: list(s) for s in data.sequences}
+        assert by_label["IBM"] == [10.5, 10.7, 10.6]
+        assert by_label["AAPL"] == [100.0, 101.0]
+
+    def test_wide_format_with_labels(self, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("MSFT,1,2,3\nORCL,4,5\n")
+        data = load_stock_csv(path)
+        assert len(data) == 2
+        assert list(data.sequences[0]) == [1.0, 2.0, 3.0]
+        assert data.sequences[0].label == "MSFT"
+
+    def test_wide_format_unlabeled(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("1,2,3\n4,5,6,7\n")
+        data = load_stock_csv(path)
+        assert [len(s) for s in data.sequences] == [3, 4]
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "hdr.csv"
+        path.write_text("ticker,price\nIBM,10\nIBM,11\n")
+        data = load_stock_csv(path)
+        assert list(data.sequences[0]) == [10.0, 11.0]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("\nIBM,10\n\nIBM,11\n")
+        assert list(load_stock_csv(path).sequences[0]) == [10.0, 11.0]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_stock_csv(path)
+
+    def test_garbage_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("IBM,10\nfoo,bar,baz\n")
+        with pytest.raises(ValidationError):
+            load_stock_csv(path)
+
+    def test_source_records_path(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("1,2\n")
+        assert str(path) in load_stock_csv(path).source
+
+
+class TestStockDataset:
+    def test_len_and_average(self):
+        from repro.types import Sequence
+
+        ds = StockDataset(
+            sequences=[Sequence([1, 2]), Sequence([1, 2, 3, 4])], source="t"
+        )
+        assert len(ds) == 2
+        assert ds.average_length == 3.0

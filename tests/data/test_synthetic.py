@@ -1,0 +1,74 @@
+"""Tests for the random-walk generator (paper section 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_walk, random_walk_dataset
+from repro.exceptions import ValidationError
+
+
+class TestRandomWalk:
+    def test_length(self):
+        assert len(random_walk(50, rng=0)) == 50
+
+    def test_single_element(self):
+        seq = random_walk(1, rng=0)
+        assert len(seq) == 1
+        assert 1.0 <= seq[0] <= 10.0
+
+    def test_start_in_paper_range(self):
+        for seed in range(20):
+            assert 1.0 <= random_walk(5, rng=seed)[0] <= 10.0
+
+    def test_steps_in_paper_range(self):
+        seq = np.asarray(random_walk(500, rng=1).values)
+        steps = np.diff(seq)
+        assert np.all(np.abs(steps) <= 0.1 + 1e-12)
+
+    def test_deterministic_for_seed(self):
+        a = random_walk(30, rng=7)
+        b = random_walk(30, rng=7)
+        assert a == b
+
+    def test_custom_ranges(self):
+        seq = random_walk(10, rng=0, step_range=(0.0, 0.0), start_range=(5.0, 5.0))
+        assert all(v == 5.0 for v in seq)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            random_walk(0)
+        with pytest.raises(ValidationError):
+            random_walk(5, step_range=(1.0, -1.0))
+        with pytest.raises(ValidationError):
+            random_walk(5, start_range=(10.0, 1.0))
+
+
+class TestRandomWalkDataset:
+    def test_shape(self):
+        data = random_walk_dataset(10, 25, seed=0)
+        assert len(data) == 10
+        assert all(len(s) == 25 for s in data)
+
+    def test_jitter_varies_lengths(self):
+        data = random_walk_dataset(30, 100, seed=0, length_jitter=0.5)
+        lengths = {len(s) for s in data}
+        assert len(lengths) > 1
+        assert all(50 <= n <= 150 for n in lengths)
+
+    def test_deterministic(self):
+        a = random_walk_dataset(5, 10, seed=3)
+        b = random_walk_dataset(5, 10, seed=3)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = random_walk_dataset(5, 10, seed=3)
+        b = random_walk_dataset(5, 10, seed=4)
+        assert any(x != y for x, y in zip(a, b))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            random_walk_dataset(0, 10)
+        with pytest.raises(ValidationError):
+            random_walk_dataset(5, 10, length_jitter=1.5)

@@ -1,0 +1,100 @@
+"""Tests for the UCR-format loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.ucr import load_ucr_dataset, load_ucr_file
+from repro.exceptions import ValidationError
+
+
+class TestLoadUcrFile:
+    def test_tab_separated(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("1\t0.5\t0.6\t0.7\n2\t1.5\t1.6\t1.7\n")
+        sequences = load_ucr_file(path)
+        assert len(sequences) == 2
+        assert sequences[0].label == "1"
+        assert list(sequences[0]) == [0.5, 0.6, 0.7]
+        assert sequences[1].label == "2"
+
+    def test_comma_separated(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0,0.5,0.6\n")
+        sequences = load_ucr_file(path)
+        assert sequences[0].label == "1"  # "1.0" normalized to "1"
+
+    def test_whitespace_separated(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("3  0.1 0.2 0.3\n")
+        sequences = load_ucr_file(path)
+        assert sequences[0].label == "3"
+        assert len(sequences[0]) == 3
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("\n1\t0.5\t0.6\n\n")
+        assert len(load_ucr_file(path)) == 1
+
+    def test_non_numeric_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tabc\tdef\n")
+        with pytest.raises(ValidationError):
+            load_ucr_file(path)
+
+    def test_label_only_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\n")
+        with pytest.raises(ValidationError):
+            load_ucr_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_ucr_file(path)
+
+    def test_textual_labels_kept(self, tmp_path):
+        path = tmp_path / "named.tsv"
+        path.write_text("cylinder\t1\t2\n")
+        assert load_ucr_file(path)[0].label == "cylinder"
+
+
+class TestLoadUcrDataset:
+    def test_train_test_pair(self, tmp_path):
+        (tmp_path / "Coffee_TRAIN.tsv").write_text("1\t0.1\t0.2\n2\t0.3\t0.4\n")
+        (tmp_path / "Coffee_TEST.tsv").write_text("1\t0.5\t0.6\n")
+        train, test = load_ucr_dataset(tmp_path, "Coffee")
+        assert len(train) == 2
+        assert len(test) == 1
+
+    def test_plain_filenames(self, tmp_path):
+        (tmp_path / "Gun_TRAIN").write_text("1\t0.1\t0.2\n")
+        (tmp_path / "Gun_TEST").write_text("2\t0.3\t0.4\n")
+        train, test = load_ucr_dataset(tmp_path, "Gun")
+        assert train[0].label == "1"
+        assert test[0].label == "2"
+
+    def test_missing_split_rejected(self, tmp_path):
+        (tmp_path / "X_TRAIN.tsv").write_text("1\t0.1\t0.2\n")
+        with pytest.raises(ValidationError):
+            load_ucr_dataset(tmp_path, "X")
+
+    def test_end_to_end_with_classifier(self, tmp_path):
+        """A UCR-style dataset feeds straight into the 1-NN classifier."""
+        from repro.analysis.classify import NearestNeighborClassifier
+
+        (tmp_path / "Toy_TRAIN.tsv").write_text(
+            "1\t0\t0\t0\n2\t9\t9\t9\n"
+        )
+        (tmp_path / "Toy_TEST.tsv").write_text(
+            "1\t0.1\t0.1\t0.1\n2\t8.9\t9.1\t9.0\n"
+        )
+        train, test = load_ucr_dataset(tmp_path, "Toy")
+        clf = NearestNeighborClassifier(
+            [s.values for s in train], [s.label for s in train]
+        )
+        accuracy = clf.score(
+            [s.values for s in test], [s.label for s in test]
+        )
+        assert accuracy == 1.0

@@ -1,0 +1,86 @@
+"""Tests for alignment inspection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.alignment import explain_alignment, render_alignment
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+
+elements = st.floats(min_value=-50, max_value=50, allow_nan=False)
+seqs = st.lists(elements, min_size=1, max_size=10)
+
+
+class TestExplainAlignment:
+    def test_paper_example_zero_distance(self):
+        s = [20, 21, 21, 20, 20, 23, 23, 23]
+        q = [20, 20, 21, 20, 23]
+        report = explain_alignment(s, q)
+        assert report.distance == 0.0
+        assert all(c == 0.0 for c in report.costs)
+        assert report.s_stretch >= 1.0
+        assert report.q_stretch >= 1.0
+
+    def test_distance_matches_dtw(self):
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            s = rng.uniform(0, 5, rng.integers(1, 9))
+            q = rng.uniform(0, 5, rng.integers(1, 9))
+            report = explain_alignment(s, q)
+            assert report.distance == pytest.approx(dtw_max(s, q))
+
+    def test_bottleneck_realizes_distance(self):
+        rng = np.random.default_rng(2)
+        s = rng.uniform(0, 5, 8)
+        q = rng.uniform(0, 5, 6)
+        report = explain_alignment(s, q)
+        i, j = report.bottleneck
+        assert abs(s[i] - q[j]) == pytest.approx(report.distance)
+
+    def test_every_element_matched(self):
+        report = explain_alignment([1.0, 2.0, 3.0], [1.0, 3.0])
+        matched_s = {i for i, _ in report.pairs}
+        matched_q = {j for _, j in report.pairs}
+        assert matched_s == {0, 1, 2}
+        assert matched_q == {0, 1}
+
+    def test_matched_lookup_helpers(self):
+        report = explain_alignment([1.0, 2.0], [1.0, 1.0, 2.0])
+        assert report.matched_queries_of(0) == [0, 1]
+        assert report.matched_elements_of(2) == [1]
+
+    @given(seqs, seqs)
+    @settings(max_examples=40, deadline=None)
+    def test_path_monotone_and_costs_consistent(self, s, q):
+        report = explain_alignment(s, q)
+        assert report.pairs[0] == (0, 0)
+        assert report.pairs[-1] == (len(s) - 1, len(q) - 1)
+        for (i0, j0), (i1, j1) in zip(report.pairs, report.pairs[1:]):
+            assert (i1 - i0, j1 - j0) in {(0, 1), (1, 0), (1, 1)}
+        assert max(report.costs) == pytest.approx(report.distance, abs=1e-12)
+
+
+class TestRenderAlignment:
+    def test_contains_headline_and_rows(self):
+        text = render_alignment([1.0, 5.0], [1.0, 4.0])
+        assert "D_tw = 1" in text
+        assert "bottleneck" in text
+        assert "s idx" in text
+
+    def test_elides_long_alignments(self):
+        s = list(np.linspace(0, 1, 100))
+        text = render_alignment(s, s, max_rows=10)
+        assert "..." in text
+        assert len(text.splitlines()) < 20
+
+    def test_invalid_max_rows(self):
+        with pytest.raises(ValidationError):
+            render_alignment([1.0], [1.0], max_rows=1)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(Exception):
+            render_alignment([], [1.0])

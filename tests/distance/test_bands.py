@@ -1,0 +1,90 @@
+"""Tests for global warping-path constraint windows."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.bands import full_window, itakura_window, sakoe_chiba_window
+from repro.exceptions import ValidationError
+
+dims = st.integers(min_value=1, max_value=30)
+
+
+def check_valid_window(window, n, m):
+    """Shared invariants: non-empty rows, monotone staircase, endpoints."""
+    assert len(window) == n
+    prev_lo, prev_hi = 0, 1
+    for i, (lo, hi) in enumerate(window):
+        assert 0 <= lo < hi <= m, f"row {i}: bad bounds ({lo}, {hi})"
+        assert lo <= prev_hi, f"row {i}: gap from previous row"
+        assert hi > prev_lo, f"row {i}: no overlap with previous row"
+        prev_lo, prev_hi = lo, hi
+    assert window[0][0] == 0, "(0, 0) must be admissible"
+    assert window[-1][1] == m, "(n-1, m-1) must be admissible"
+
+
+class TestFullWindow:
+    def test_covers_everything(self):
+        assert full_window(3, 4) == [(0, 4)] * 3
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValidationError):
+            full_window(0, 4)
+        with pytest.raises(ValidationError):
+            full_window(4, 0)
+
+
+class TestSakoeChiba:
+    def test_radius_zero_square_is_diagonal(self):
+        win = sakoe_chiba_window(4, 4, 0)
+        assert win == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_large_radius_is_full(self):
+        assert sakoe_chiba_window(3, 5, 100) == [(0, 5)] * 3
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValidationError):
+            sakoe_chiba_window(3, 3, -1)
+
+    @given(dims, dims, st.integers(min_value=0, max_value=10))
+    def test_always_valid(self, n, m, r):
+        check_valid_window(sakoe_chiba_window(n, m, r), n, m)
+
+    @given(dims, dims, st.integers(min_value=0, max_value=5))
+    def test_resampled_diagonal_always_admissible(self, n, m, r):
+        """The band always contains the line j = i*(m-1)/(n-1)."""
+        window = sakoe_chiba_window(n, m, r)
+        slope = (m - 1) / (n - 1) if n > 1 else 0.0
+        for i, (lo, hi) in enumerate(window):
+            j = int(i * slope)
+            assert lo <= j < hi
+
+    @given(st.integers(min_value=2, max_value=15),
+           st.integers(min_value=0, max_value=5))
+    def test_square_grid_wider_radius_contains_narrower(self, n, r):
+        """On square grids no repair fires, so bands nest by radius."""
+        narrow = sakoe_chiba_window(n, n, r)
+        wide = sakoe_chiba_window(n, n, r + 2)
+        for (nl, nh), (wl, wh) in zip(narrow, wide):
+            assert wl <= nl and wh >= nh
+
+
+class TestItakura:
+    def test_slope_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            itakura_window(4, 4, 0.5)
+
+    @given(dims, dims, st.floats(min_value=1.0, max_value=4.0))
+    def test_always_valid(self, n, m, slope):
+        check_valid_window(itakura_window(n, m, slope), n, m)
+
+    def test_single_row(self):
+        assert itakura_window(1, 5) == [(0, 5)]
+
+    def test_parallelogram_pinches_at_corners(self):
+        win = itakura_window(10, 10, 2.0)
+        first_width = win[0][1] - win[0][0]
+        mid_width = win[5][1] - win[5][0]
+        assert mid_width >= first_width

@@ -1,0 +1,120 @@
+"""Tests for the L_p distance family."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.base import (
+    L1,
+    L2,
+    LINF,
+    BaseDistance,
+    LpDistance,
+    euclidean,
+    lp_distance,
+    manhattan,
+    maximum,
+)
+from repro.exceptions import LengthMismatchError, ValidationError
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.lists(finite_floats, min_size=1, max_size=20)
+
+
+class TestLpDistance:
+    def test_manhattan(self):
+        assert manhattan([1, 2, 3], [2, 2, 5]) == 3.0
+
+    def test_euclidean(self):
+        assert euclidean([0, 0], [3, 4]) == 5.0
+
+    def test_maximum(self):
+        assert maximum([1, 5, 2], [2, 2, 2]) == 3.0
+
+    def test_general_p(self):
+        assert lp_distance([0, 0], [1, 1], p=3) == pytest.approx(2 ** (1 / 3))
+
+    def test_identity(self):
+        assert lp_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_empty_sequences_distance_zero(self):
+        assert lp_distance([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            euclidean([1, 2], [1, 2, 3])
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            lp_distance([1], [2], p=0.5)
+
+    def test_nan_p_rejected(self):
+        with pytest.raises(ValidationError):
+            lp_distance([1], [2], p=float("nan"))
+
+    @given(vectors)
+    def test_symmetry(self, xs):
+        ys = list(reversed(xs))
+        for p in (1.0, 2.0, math.inf):
+            assert lp_distance(xs, ys, p=p) == pytest.approx(
+                lp_distance(ys, xs, p=p)
+            )
+
+    @given(vectors, st.sampled_from([1.0, 2.0, math.inf]))
+    def test_identity_of_indiscernibles(self, xs, p):
+        assert lp_distance(xs, xs, p=p) == 0.0
+
+    @given(st.lists(finite_floats, min_size=3, max_size=3),
+           st.lists(finite_floats, min_size=3, max_size=3),
+           st.lists(finite_floats, min_size=3, max_size=3))
+    def test_triangle_inequality(self, xs, ys, zs):
+        for p in (1.0, 2.0, math.inf):
+            d_xz = lp_distance(xs, zs, p=p)
+            d_xy = lp_distance(xs, ys, p=p)
+            d_yz = lp_distance(ys, zs, p=p)
+            assert d_xz <= d_xy + d_yz + 1e-9 * (1 + d_xy + d_yz)
+
+    @given(vectors)
+    def test_linf_at_most_l2_at_most_l1(self, xs):
+        ys = [x + 1.0 for x in xs]
+        assert maximum(xs, ys) <= euclidean(xs, ys) + 1e-9
+        assert euclidean(xs, ys) <= manhattan(xs, ys) + 1e-9
+
+
+class TestLpDistanceClass:
+    def test_callable(self):
+        assert LpDistance(2)([0, 0], [3, 4]) == 5.0
+
+    def test_equality_and_hash(self):
+        assert LpDistance(2) == LpDistance(2.0)
+        assert hash(LpDistance(2)) == hash(LpDistance(2.0))
+        assert LpDistance(1) != LpDistance(2)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValidationError):
+            LpDistance(0)
+
+    def test_repr(self):
+        assert "2" in repr(LpDistance(2))
+
+
+class TestBaseDistanceEnum:
+    def test_p_values(self):
+        assert BaseDistance.L1.p == 1.0
+        assert BaseDistance.L2.p == 2.0
+        assert math.isinf(BaseDistance.LINF.p)
+
+    def test_aliases(self):
+        assert L1 is BaseDistance.L1
+        assert L2 is BaseDistance.L2
+        assert LINF is BaseDistance.LINF
+
+    def test_numpy_input(self):
+        assert maximum(np.array([1.0, 2.0]), np.array([1.5, 2.0])) == 0.5

@@ -1,0 +1,96 @@
+"""Tests for the LB_Keogh envelope bound (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.base import L1, L2, LINF
+from repro.distance.bands import sakoe_chiba_window
+from repro.distance.dtw import dtw_additive, dtw_max_matrix
+from repro.distance.lb_keogh import lb_keogh, warping_envelope
+from repro.exceptions import LengthMismatchError, ValidationError
+
+elements = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestEnvelope:
+    def test_radius_zero_is_identity(self):
+        q = [1.0, 5.0, 2.0]
+        upper, lower = warping_envelope(q, 0)
+        assert upper.tolist() == q
+        assert lower.tolist() == q
+
+    def test_radius_covers_window(self):
+        q = [1.0, 5.0, 2.0, 8.0]
+        upper, lower = warping_envelope(q, 1)
+        assert upper.tolist() == [5.0, 5.0, 8.0, 8.0]
+        assert lower.tolist() == [1.0, 1.0, 2.0, 2.0]
+
+    def test_large_radius_is_global_extremes(self):
+        q = [1.0, 5.0, 2.0]
+        upper, lower = warping_envelope(q, 10)
+        assert set(upper.tolist()) == {5.0}
+        assert set(lower.tolist()) == {1.0}
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValidationError):
+            warping_envelope([1.0], -1)
+
+    @given(st.lists(elements, min_size=1, max_size=15),
+           st.integers(min_value=0, max_value=5))
+    def test_envelope_sandwiches_query(self, q, r):
+        upper, lower = warping_envelope(q, r)
+        arr = np.asarray(q)
+        assert np.all(upper >= arr)
+        assert np.all(lower <= arr)
+
+
+class TestLbKeogh:
+    def test_inside_envelope_is_zero(self):
+        q = [1.0, 2.0, 3.0, 4.0]
+        assert lb_keogh(q, q, radius=1) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(LengthMismatchError):
+            lb_keogh([1, 2], [1, 2, 3], radius=1)
+
+    def test_unsupported_base_rejected(self):
+        class Fake:
+            pass
+
+        with pytest.raises(ValidationError):
+            lb_keogh([1.0], [1.0], radius=0, base=Fake())  # type: ignore[arg-type]
+
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=0, max_value=4),
+           st.data())
+    def test_lower_bounds_banded_dtw_linf(self, n, radius, data):
+        s = data.draw(st.lists(elements, min_size=n, max_size=n))
+        q = data.draw(st.lists(elements, min_size=n, max_size=n))
+        window = sakoe_chiba_window(n, n, radius)
+        banded = dtw_max_matrix(s, q, window=window).distance
+        assert lb_keogh(s, q, radius=radius, base=LINF) <= banded + 1e-9
+
+    @given(st.integers(min_value=2, max_value=8), st.data())
+    def test_l1_lower_bounds_banded_additive(self, n, data):
+        s = data.draw(st.lists(elements, min_size=n, max_size=n))
+        q = data.draw(st.lists(elements, min_size=n, max_size=n))
+        radius = 2
+        window = sakoe_chiba_window(n, n, radius)
+        banded = dtw_additive(s, q, base=L1, window=window)
+        assert lb_keogh(s, q, radius=radius, base=L1) <= banded + 1e-9
+
+    def test_l2_variant_runs(self):
+        value = lb_keogh([0.0, 10.0], [1.0, 1.0], radius=0, base=L2)
+        assert value == pytest.approx(np.sqrt(1 + 81))
+
+    def test_wider_radius_never_tighter(self):
+        rng = np.random.default_rng(2)
+        s = rng.uniform(0, 10, 20)
+        q = rng.uniform(0, 10, 20)
+        narrow = lb_keogh(s, q, radius=1, base=L1)
+        wide = lb_keogh(s, q, radius=5, base=L1)
+        assert wide <= narrow + 1e-12

@@ -1,0 +1,70 @@
+"""Tests for Yi et al.'s lower bound (LB-Scan's filter)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.base import L1, L2, LINF
+from repro.distance.dtw import dtw_additive, dtw_max
+from repro.distance.lb_yi import lb_yi
+from repro.exceptions import ValidationError
+
+elements = st.floats(min_value=-50, max_value=50, allow_nan=False)
+seqs = st.lists(elements, min_size=1, max_size=12)
+
+
+class TestLinfVariant:
+    def test_known_value(self):
+        # max ranges: S in [1, 5], Q in [2, 9] -> max(|5-9|, |1-2|) = 4.
+        assert lb_yi([1, 5], [2, 9], base=LINF) == 4.0
+
+    def test_overlapping_ranges_zero_extremes(self):
+        assert lb_yi([1, 5], [1, 5], base=LINF) == 0.0
+
+    @given(seqs, seqs)
+    def test_lower_bounds_dtw_max(self, s, q):
+        assert lb_yi(s, q, base=LINF) <= dtw_max(s, q) + 1e-9
+
+    @given(seqs, seqs)
+    def test_symmetry(self, s, q):
+        assert lb_yi(s, q, base=LINF) == pytest.approx(lb_yi(q, s, base=LINF))
+
+
+class TestL1Variant:
+    def test_known_value(self):
+        # S = [10], Q = [0]: one-sided sums are both 10; max is 10 = true DTW.
+        assert lb_yi([10], [0], base=L1) == 10.0
+
+    def test_disjoint_ranges_not_double_counted(self):
+        s, q = [10.0, 12.0], [0.0, 1.0]
+        assert lb_yi(s, q, base=L1) <= dtw_additive(s, q, base=L1) + 1e-9
+
+    @given(seqs, seqs)
+    def test_lower_bounds_additive_dtw(self, s, q):
+        assert lb_yi(s, q, base=L1) <= dtw_additive(s, q, base=L1) + 1e-9
+
+    def test_identical_ranges_contribute_nothing(self):
+        # Every element of each sequence lies inside the other's range.
+        assert lb_yi([3, 4], [3, 3.5, 4], base=L1) == 0.0
+
+    def test_one_sided_sums_take_maximum(self):
+        # S inside Q's range (LB_S = 0) but Q spills outside S's range:
+        # 1 is 2 below min(S)=3 and 10 is 6 above max(S)=4 -> LB_Q = 8.
+        assert lb_yi([3, 4], [1, 10], base=L1) == 8.0
+
+
+class TestEdgesAndErrors:
+    def test_empty_both(self):
+        assert lb_yi([], []) == 0.0
+
+    def test_empty_one_side_infinite(self):
+        assert lb_yi([1.0], []) == math.inf
+        assert lb_yi([], [1.0]) == math.inf
+
+    def test_l2_unsupported(self):
+        with pytest.raises(ValidationError):
+            lb_yi([1], [1], base=L2)

@@ -1,0 +1,66 @@
+"""Tests for pairwise distance matrices."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_walk_dataset
+from repro.distance.dtw import dtw_max
+from repro.distance.pairwise import pairwise_dtw, pairwise_dtw_within
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def walks():
+    return [np.asarray(s.values) for s in random_walk_dataset(12, 15, seed=111)]
+
+
+class TestPairwiseDtw:
+    def test_matches_individual_calls(self, walks):
+        matrix = pairwise_dtw(walks)
+        for i in range(len(walks)):
+            for j in range(len(walks)):
+                assert matrix[i, j] == pytest.approx(
+                    dtw_max(walks[i], walks[j])
+                )
+
+    def test_symmetric_zero_diagonal(self, walks):
+        matrix = pairwise_dtw(walks)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_single_sequence(self):
+        assert pairwise_dtw([[1.0, 2.0]]).tolist() == [[0.0]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            pairwise_dtw([])
+
+
+class TestPairwiseWithin:
+    def test_close_entries_exact_far_entries_inf(self, walks):
+        eps = 0.8
+        full = pairwise_dtw(walks)
+        pruned = pairwise_dtw_within(walks, eps)
+        for i in range(len(walks)):
+            for j in range(len(walks)):
+                if full[i, j] <= eps:
+                    assert pruned[i, j] == pytest.approx(full[i, j])
+                else:
+                    assert pruned[i, j] == math.inf
+
+    def test_huge_epsilon_equals_full(self, walks):
+        full = pairwise_dtw(walks)
+        pruned = pairwise_dtw_within(walks, 1e9)
+        assert np.allclose(full, pruned)
+
+    def test_zero_epsilon_keeps_diagonal(self, walks):
+        pruned = pairwise_dtw_within(walks, 0.0)
+        assert np.all(np.diag(pruned) == 0.0)
+
+    def test_negative_epsilon_rejected(self, walks):
+        with pytest.raises(ValidationError):
+            pairwise_dtw_within(walks, -1.0)

@@ -1,0 +1,86 @@
+"""Tests for experiment helpers and the ExperimentResult container."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentResult,
+    PAPER_METHOD_FACTORIES,
+    STOCK_EPSILONS,
+    full_scale,
+    make_stock_database,
+    make_synthetic_database,
+)
+
+
+class TestFullScaleFlag:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert not full_scale()
+
+    def test_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert full_scale()
+
+    def test_other_values_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "yes")
+        assert not full_scale()
+
+
+class TestHelpers:
+    def test_make_synthetic_database(self):
+        db, sequences = make_synthetic_database(10, 8, seed=2)
+        assert len(db) == 10
+        assert len(sequences) == 10
+        assert all(len(s) == 8 for s in sequences)
+
+    def test_make_stock_database_default(self):
+        from repro.data.stocks import synthetic_sp500
+
+        dataset = synthetic_sp500(12, 15, seed=4)
+        db, returned = make_stock_database(dataset)
+        assert returned is dataset
+        assert len(db) == 12
+
+    def test_paper_factories_build(self):
+        db, _ = make_synthetic_database(8, 6, seed=6)
+        names = []
+        for factory in PAPER_METHOD_FACTORIES:
+            method = factory(db)
+            method.build()
+            names.append(method.name)
+        assert names == ["Naive-Scan", "LB-Scan", "ST-Filter", "TW-Sim-Search"]
+
+    def test_stock_epsilons_ascending(self):
+        assert list(STOCK_EPSILONS) == sorted(STOCK_EPSILONS)
+
+
+class TestExperimentResult:
+    def test_table_and_chart_render(self):
+        result = ExperimentResult(
+            experiment_id="T",
+            title="demo",
+            x_label="x",
+            y_label="y",
+            x_values=[1, 2],
+            series={"a": [1.0, 2.0], "b": [2.0, 1.0]},
+        )
+        table = result.to_table()
+        assert "demo" in table and "a" in table and "b" in table
+        chart = result.to_chart()
+        assert "legend" in chart
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult(
+            experiment_id="T",
+            title="demo",
+            x_label="x",
+            y_label="y",
+            x_values=[1],
+            series={"a": [1.0]},
+            notes=["important caveat"],
+        )
+        assert "note: important caveat" in result.render()

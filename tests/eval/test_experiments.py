@@ -1,0 +1,147 @@
+"""Smoke tests for the experiment functions at tiny scales.
+
+Full-scale shapes are exercised by the benchmark harness; here each
+experiment runs on a miniature grid to validate plumbing, rendering and
+the structural claims that must hold at any scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.stocks import synthetic_sp500
+from repro.eval.experiments import (
+    ExperimentResult,
+    ablation_base_distance,
+    ablation_bulk_load,
+    ablation_features,
+    ablation_lower_bounds,
+    experiment1_candidate_ratio,
+    experiment2_elapsed_stock,
+    experiment3_scale_count,
+    experiment4_scale_length,
+    stock_tolerance_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    dataset = synthetic_sp500(40, 30, seed=5)
+    return stock_tolerance_sweep(
+        (0.5, 2.0), n_queries=3, dataset=dataset, include_st_filter=True
+    )
+
+
+class TestStockExperiments:
+    def test_sweep_covers_all_methods(self, tiny_sweep):
+        for _eps, summary in tiny_sweep:
+            assert summary.methods() == [
+                "Naive-Scan",
+                "LB-Scan",
+                "ST-Filter",
+                "TW-Sim-Search",
+            ]
+
+    def test_experiment1_structure(self, tiny_sweep):
+        result = experiment1_candidate_ratio(sweep=tiny_sweep)
+        assert isinstance(result, ExperimentResult)
+        assert result.x_values == [0.5, 2.0]
+        assert set(result.series) == {
+            "Naive-Scan",
+            "LB-Scan",
+            "ST-Filter",
+            "TW-Sim-Search",
+        }
+        for series in result.series.values():
+            assert len(series) == 2
+            assert all(0 <= v <= 1 for v in series)
+
+    def test_experiment1_naive_is_floor(self, tiny_sweep):
+        """No exact method can have fewer candidates than true answers."""
+        result = experiment1_candidate_ratio(sweep=tiny_sweep)
+        naive = result.series["Naive-Scan"]
+        for name in ("LB-Scan", "ST-Filter", "TW-Sim-Search"):
+            for i in range(len(naive)):
+                assert result.series[name][i] >= naive[i] - 1e-12
+
+    def test_experiment1_tw_filters_at_least_as_well_as_lb(self, tiny_sweep):
+        result = experiment1_candidate_ratio(sweep=tiny_sweep)
+        for tw, lb in zip(
+            result.series["TW-Sim-Search"], result.series["LB-Scan"]
+        ):
+            assert tw <= lb + 1e-12
+
+    def test_experiment2_structure(self, tiny_sweep):
+        result = experiment2_elapsed_stock(sweep=tiny_sweep)
+        for series in result.series.values():
+            assert all(v >= 0 for v in series)
+        assert any("speedup" in note for note in result.notes)
+
+    def test_render_outputs(self, tiny_sweep):
+        result = experiment1_candidate_ratio(sweep=tiny_sweep)
+        text = result.render()
+        assert "E1/Figure2" in text
+        assert "legend" in text
+
+
+class TestScalabilityExperiments:
+    def test_experiment3_tiny(self):
+        result = experiment3_scale_count(
+            counts=(20, 60), length=15, n_queries=2, epsilon=0.2
+        )
+        assert result.x_values == [20, 60]
+        assert "TW-Sim-Search" in result.series
+        # Scans grow with N.
+        naive = result.series["Naive-Scan"]
+        assert naive[1] >= naive[0] * 0.5
+
+    def test_experiment4_tiny(self):
+        result = experiment4_scale_length(
+            lengths=(10, 30), n_sequences=25, n_queries=2, epsilon=0.2
+        )
+        assert result.x_values == [10, 30]
+        assert all(len(s) == 2 for s in result.series.values())
+
+    def test_st_filter_omitted_when_too_large(self):
+        result = experiment3_scale_count(
+            counts=(20,), length=15, n_queries=1, include_st_filter=False
+        )
+        assert "ST-Filter" not in result.series
+        assert any("ST-Filter omitted" in n for n in result.notes)
+
+
+class TestAblations:
+    def test_base_distance_ablation(self):
+        dataset = synthetic_sp500(25, 25, seed=7)
+        result = ablation_base_distance(n_pairs=10, dataset=dataset)
+        assert set(result.series) == {"Linf (Def. 2)", "L1 (Def. 1)"}
+        for series in result.series.values():
+            assert all(v >= 0 for v in series)
+
+    def test_feature_ablation_monotone(self):
+        dataset = synthetic_sp500(40, 25, seed=9)
+        result = ablation_features(
+            epsilons=(0.5, 2.0), dataset=dataset, n_queries=4
+        )
+        # More features can only filter more sharply.
+        full = result.series["All four (D_tw-lb)"]
+        for name in ("First only", "First+Last", "Greatest+Smallest"):
+            for i, v in enumerate(result.series[name]):
+                assert full[i] <= v + 1e-12
+
+    def test_bulk_load_ablation(self):
+        result = ablation_bulk_load(counts=(200, 400))
+        assert set(result.series) == {"STR bulk load", "repeated insert"}
+        assert any("node count" in n for n in result.notes)
+        # Bulk loading is faster at every grid point.
+        for bulk, insert in zip(
+            result.series["STR bulk load"], result.series["repeated insert"]
+        ):
+            assert bulk <= insert * 1.5  # generous: tiny inputs are noisy
+
+    def test_lower_bound_ablation(self):
+        result = ablation_lower_bounds(n_pairs=20, length=32)
+        kim = result.series["D_tw-lb (LB_Kim)"][0]
+        yi = result.series["LB_Yi"][0]
+        assert 0 <= yi <= kim <= 1 + 1e-9
+        assert any("violations" in n and ": 0" in n for n in result.notes)

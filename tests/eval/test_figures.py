@@ -1,0 +1,92 @@
+"""Tests for SVG figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentResult
+from repro.eval.figures import result_to_svg, save_figure
+from repro.exceptions import ValidationError
+
+
+def make_result(**overrides):
+    defaults = dict(
+        experiment_id="T",
+        title="A title & <tag>",
+        x_label="tolerance",
+        y_label="elapsed",
+        x_values=[1, 2, 4],
+        series={"alpha": [1.0, 2.0, 3.0], "beta": [3.0, 1.5, 0.5]},
+    )
+    defaults.update(overrides)
+    return ExperimentResult(**defaults)
+
+
+class TestResultToSvg:
+    def test_valid_svg_skeleton(self):
+        svg = result_to_svg(make_result())
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert svg.count("<circle") == 6
+
+    def test_title_escaped(self):
+        svg = result_to_svg(make_result())
+        assert "&amp;" in svg and "&lt;tag&gt;" in svg
+        assert "<tag>" not in svg
+
+    def test_legend_names_series(self):
+        svg = result_to_svg(make_result())
+        assert "alpha" in svg and "beta" in svg
+
+    def test_log_axes(self):
+        result = make_result(
+            x_values=[10, 100, 1000],
+            series={"s": [0.1, 1.0, 10.0]},
+            log_x=True,
+            log_y=True,
+        )
+        svg = result_to_svg(result)
+        assert "1000" in svg  # decade tick labels
+
+    def test_log_y_clamps_zeros_to_floor(self):
+        """Zeros on a log y-axis are clamped (an empty answer set at a
+        tiny tolerance must not crash the figure)."""
+        result = make_result(series={"s": [0.0, 1.0, 2.0]}, log_y=True)
+        svg = result_to_svg(result)
+        assert "<polyline" in svg
+
+    def test_log_y_all_zero_falls_back_to_linear(self):
+        result = make_result(series={"s": [0.0, 0.0, 0.0]}, log_y=True)
+        svg = result_to_svg(result)
+        assert "<polyline" in svg
+
+    def test_log_x_still_rejects_nonpositive(self):
+        result = make_result(x_values=[0, 1, 2], log_x=True)
+        with pytest.raises(ValidationError):
+            result_to_svg(result)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValidationError):
+            result_to_svg(make_result(series={}))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            result_to_svg(make_result(series={"s": [1.0]}))
+
+    def test_constant_series_ok(self):
+        svg = result_to_svg(make_result(series={"s": [2.0, 2.0, 2.0]}))
+        assert "<polyline" in svg
+
+    def test_single_point(self):
+        svg = result_to_svg(
+            make_result(x_values=[5], series={"s": [1.0]})
+        )
+        assert "<circle" in svg
+
+
+class TestSaveFigure:
+    def test_writes_file(self, tmp_path):
+        path = save_figure(make_result(), tmp_path / "fig.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")

@@ -1,0 +1,119 @@
+"""Tests for the workload runner and aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.queries import QueryWorkload
+from repro.data.synthetic import random_walk_dataset
+from repro.eval.harness import MethodAggregate, WorkloadRunner
+from repro.exceptions import ExperimentError, ValidationError
+from repro.methods.base import MethodStats, SearchReport
+from repro.methods.lb_scan import LBScan
+from repro.methods.naive_scan import NaiveScan
+from repro.methods.tw_sim import TWSimSearch
+from repro.storage.database import SequenceDatabase
+
+
+@pytest.fixture()
+def db():
+    database = SequenceDatabase(page_size=256)
+    database.insert_many(random_walk_dataset(25, 15, seed=81))
+    return database
+
+
+class TestWorkloadRunner:
+    def test_builds_all_methods(self, db):
+        runner = WorkloadRunner(db, [lambda d: NaiveScan(d), lambda d: LBScan(d)])
+        assert all(m.is_built for m in runner.methods)
+
+    def test_requires_factories(self, db):
+        with pytest.raises(ValidationError):
+            WorkloadRunner(db, [])
+
+    def test_duplicate_names_rejected(self, db):
+        with pytest.raises(ValidationError):
+            WorkloadRunner(db, [lambda d: NaiveScan(d), lambda d: NaiveScan(d)])
+
+    def test_run_aggregates_all_methods(self, db):
+        runner = WorkloadRunner(
+            db,
+            [lambda d: NaiveScan(d), lambda d: LBScan(d), lambda d: TWSimSearch(d)],
+        )
+        queries = QueryWorkload(
+            [db.fetch(i) for i in db.ids()], n_queries=4, seed=1
+        ).queries()
+        summary = runner.run(queries, 0.2)
+        assert summary.n_queries == 4
+        assert summary.methods() == ["Naive-Scan", "LB-Scan", "TW-Sim-Search"]
+        for name in summary.methods():
+            agg = summary[name]
+            assert agg.queries == 4
+            assert agg.mean_elapsed >= 0
+            assert 0 <= agg.candidate_ratio <= 1
+
+    def test_speedup(self, db):
+        runner = WorkloadRunner(db, [lambda d: NaiveScan(d), lambda d: TWSimSearch(d)])
+        queries = [db.fetch(0)]
+        summary = runner.run(queries, 0.1)
+        s = summary.speedup("TW-Sim-Search", "Naive-Scan")
+        assert s > 0
+
+    def test_agreement_check_fires_on_broken_method(self, db):
+        class Broken(NaiveScan):
+            name = "Broken"
+
+            def _search_impl(self, query, epsilon, stats):
+                answers, distances, candidates = super()._search_impl(
+                    query, epsilon, stats
+                )
+                return answers[:-1], distances, candidates  # drop one answer
+
+        runner = WorkloadRunner(
+            db, [lambda d: NaiveScan(d), lambda d: Broken(d)]
+        )
+        # Find a query with at least one answer so dropping one shows.
+        query = db.fetch(0)
+        with pytest.raises(ExperimentError):
+            runner.run([query], 0.5)
+
+    def test_approximate_method_exempt_from_check(self, db):
+        class Sloppy(NaiveScan):
+            name = "FastMap"  # registered approximate name
+
+            def _search_impl(self, query, epsilon, stats):
+                return [], {}, []
+
+        runner = WorkloadRunner(
+            db, [lambda d: NaiveScan(d), lambda d: Sloppy(d)]
+        )
+        summary = runner.run([db.fetch(0)], 0.5)  # must not raise
+        assert summary["FastMap"].mean_answers == 0
+
+
+class TestMethodAggregate:
+    def test_absorb_accumulates(self):
+        agg = MethodAggregate(method="m", database_size=10)
+        report = SearchReport(
+            method="m",
+            epsilon=0.1,
+            answers=[1, 2],
+            distances={},
+            candidates=[1, 2, 3],
+            stats=MethodStats(cpu_seconds=0.5, simulated_io_seconds=0.25),
+        )
+        agg.absorb(report)
+        agg.absorb(report)
+        assert agg.queries == 2
+        assert agg.mean_candidates == 3.0
+        assert agg.mean_answers == 2.0
+        assert agg.candidate_ratio == pytest.approx(0.3)
+        assert agg.mean_elapsed == pytest.approx(0.75)
+        assert agg.mean_cpu == pytest.approx(0.5)
+        assert agg.mean_io == pytest.approx(0.25)
+
+    def test_zero_queries_safe(self):
+        agg = MethodAggregate(method="m", database_size=0)
+        assert agg.mean_candidates == 0.0
+        assert agg.candidate_ratio == 0.0
+        assert agg.mean_elapsed == 0.0

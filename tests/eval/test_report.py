@@ -1,0 +1,85 @@
+"""Tests for the one-shot report generator (tiny scales via monkeypatch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.stocks import synthetic_sp500
+from repro.eval import experiments as exp
+from repro.eval.report import REPORT_SECTIONS, generate_report
+
+
+@pytest.fixture()
+def shrunk(monkeypatch):
+    """Patch every experiment the report calls to a seconds-scale run."""
+    dataset = synthetic_sp500(25, 20, seed=1)
+    real_sweep = exp.stock_tolerance_sweep
+    monkeypatch.setattr(
+        exp,
+        "stock_tolerance_sweep",
+        lambda *a, **k: real_sweep((0.5, 2.0), n_queries=2, dataset=dataset),
+    )
+    real_e3 = exp.experiment3_scale_count
+    monkeypatch.setattr(
+        exp,
+        "experiment3_scale_count",
+        lambda *a, **k: real_e3(counts=(15, 30), length=10, n_queries=1),
+    )
+    real_e4 = exp.experiment4_scale_length
+    monkeypatch.setattr(
+        exp,
+        "experiment4_scale_length",
+        lambda *a, **k: real_e4(lengths=(8, 16), n_sequences=15, n_queries=1),
+    )
+    real_a1 = exp.ablation_base_distance
+    monkeypatch.setattr(
+        exp,
+        "ablation_base_distance",
+        lambda *a, **k: real_a1(n_pairs=3, dataset=dataset),
+    )
+    real_a2 = exp.ablation_features
+    monkeypatch.setattr(
+        exp,
+        "ablation_features",
+        lambda *a, **k: real_a2(epsilons=(1.0,), dataset=dataset, n_queries=2),
+    )
+    real_a3 = exp.ablation_bulk_load
+    monkeypatch.setattr(
+        exp, "ablation_bulk_load", lambda *a, **k: real_a3(counts=(50, 100))
+    )
+    real_a5 = exp.ablation_lower_bounds
+    monkeypatch.setattr(
+        exp,
+        "ablation_lower_bounds",
+        lambda *a, **k: real_a5(n_pairs=5, length=16),
+    )
+
+
+class TestGenerateReport:
+    def test_full_report_structure(self, shrunk):
+        report = generate_report()
+        assert report.startswith("# Reproduction report")
+        for heading in (
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Ablation A1",
+            "Ablation A2",
+            "Ablation A3",
+            "Ablation A5",
+        ):
+            assert heading in report
+        assert "scaled defaults" in report
+        assert report.count("```") % 2 == 0  # balanced code fences
+
+    def test_partial_report(self, shrunk):
+        report = generate_report(include_stock=False, include_scale=False)
+        assert "Figure 2" not in report
+        assert "Ablation A3" in report
+
+    def test_sections_registry_complete(self):
+        titles = [t for t, _ in REPORT_SECTIONS]
+        assert any("Figure 2" in t for t in titles)
+        assert any("Figure 5" in t for t in titles)
+        assert any("A5" in t for t in titles)

@@ -1,0 +1,97 @@
+"""Tests for text tables and ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reporting import ascii_chart, format_speedups, format_table
+from repro.exceptions import ValidationError
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(
+            ["x", "method"], [[1, "a"], [22, "bb"]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "x" in lines[1] and "method" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart(
+            [1, 2, 3],
+            {"alpha": [1.0, 2.0, 3.0], "beta": [3.0, 2.0, 1.0]},
+            x_label="n",
+            y_label="t",
+        )
+        assert "*" in out and "o" in out
+        assert "alpha" in out and "beta" in out
+        assert "n:" in out
+
+    def test_log_axes(self):
+        out = ascii_chart(
+            [10, 100, 1000],
+            {"s": [1.0, 10.0, 100.0]},
+            log_x=True,
+            log_y=True,
+        )
+        assert "1e+03" in out or "1000" in out
+
+    def test_constant_series_ok(self):
+        out = ascii_chart([1, 2], {"s": [5.0, 5.0]})
+        assert "*" in out
+
+    def test_single_point(self):
+        out = ascii_chart([1], {"s": [2.0]})
+        assert "*" in out
+
+    def test_series_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([1, 2], {"s": [1.0]})
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([], {})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ValidationError):
+            ascii_chart([1], series)
+
+    def test_log_x_requires_positive(self):
+        with pytest.raises(ValidationError):
+            ascii_chart([0, 1], {"s": [1.0, 2.0]}, log_x=True)
+
+
+class TestFormatSpeedups:
+    def test_ratios(self):
+        out = format_speedups(
+            "base",
+            {"base": [10.0, 20.0], "fast": [1.0, 2.0]},
+            ["a", "b"],
+            target="fast",
+        )
+        assert "a: 10.0x" in out
+        assert "b: 10.0x" in out
+
+    def test_infinite_on_zero_target(self):
+        out = format_speedups(
+            "base", {"base": [1.0], "fast": [0.0]}, ["x"], target="fast"
+        )
+        assert "inf" in out

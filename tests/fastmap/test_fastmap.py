@@ -1,0 +1,135 @@
+"""Tests for the FastMap embedding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+from repro.fastmap.fastmap import FastMap
+
+
+def euclidean(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.linalg.norm(a - b))
+
+
+class TestFitting:
+    def test_requires_two_objects(self):
+        fm = FastMap(euclidean, k=2)
+        with pytest.raises(ValidationError):
+            fm.fit([np.array([1.0])])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            FastMap(euclidean, k=0)
+        with pytest.raises(ValidationError):
+            FastMap(euclidean, k=2, pivot_sweeps=0)
+
+    def test_coordinates_shape(self):
+        rng = np.random.default_rng(1)
+        objects = [rng.uniform(0, 10, 4) for _ in range(15)]
+        fm = FastMap(euclidean, k=3)
+        coords = fm.fit(objects)
+        assert coords.shape == (15, 3)
+        assert fm.is_fitted
+        assert np.array_equal(fm.coordinates, coords)
+
+    def test_unfitted_access_rejected(self):
+        fm = FastMap(euclidean, k=2)
+        with pytest.raises(ValidationError):
+            fm.coordinates
+        with pytest.raises(ValidationError):
+            fm.project(np.array([1.0]))
+
+    def test_metric_embedding_preserves_euclidean_well(self):
+        """Embedding k-d Euclidean points into k dims is near-lossless."""
+        rng = np.random.default_rng(2)
+        objects = [rng.uniform(0, 10, 2) for _ in range(30)]
+        fm = FastMap(euclidean, k=2, seed=4)
+        coords = fm.fit(objects)
+        errors = []
+        for i in range(0, 30, 3):
+            for j in range(1, 30, 4):
+                true = euclidean(objects[i], objects[j])
+                embedded = float(np.linalg.norm(coords[i] - coords[j]))
+                if true > 0:
+                    errors.append(abs(true - embedded) / true)
+        assert np.mean(errors) < 0.25
+
+    def test_identical_objects_map_together(self):
+        objects = [np.array([1.0, 1.0])] * 3 + [np.array([5.0, 5.0])] * 2
+        fm = FastMap(euclidean, k=2)
+        coords = fm.fit(objects)
+        assert np.allclose(coords[0], coords[1])
+        assert np.allclose(coords[0], coords[2])
+        assert not np.allclose(coords[0], coords[3])
+
+    def test_degenerate_all_identical(self):
+        objects = [np.array([2.0])] * 4
+        fm = FastMap(euclidean, k=2)
+        coords = fm.fit(objects)
+        assert np.allclose(coords, 0.0)
+
+    def test_counts_distance_calls(self):
+        objects = [np.array([float(i)]) for i in range(10)]
+        fm = FastMap(euclidean, k=2)
+        fm.fit(objects)
+        assert fm.distance_calls > 0
+
+
+class TestProjection:
+    def test_fitted_objects_project_near_their_coordinates(self):
+        rng = np.random.default_rng(3)
+        objects = [rng.uniform(0, 10, 3) for _ in range(20)]
+        fm = FastMap(euclidean, k=3, seed=1)
+        coords = fm.fit(objects)
+        for i in (0, 5, 12):
+            projected = fm.project(objects[i])
+            assert np.allclose(projected, coords[i], atol=1e-6)
+
+    def test_projection_of_new_object(self):
+        objects = [np.array([float(i), 0.0]) for i in range(10)]
+        fm = FastMap(euclidean, k=1, seed=2)
+        coords = fm.fit(objects)
+        new_point = fm.project(np.array([4.5, 0.0]))
+        # Should land between the images of 4 and 5 on the pivot line.
+        lo, hi = sorted((coords[4][0], coords[5][0]))
+        assert lo - 1e-6 <= new_point[0] <= hi + 1e-6
+
+
+class TestWithDtw:
+    """Under DTW the embedding exists but is not contractive (the paper's
+    reason for rejecting the FastMap method)."""
+
+    def test_fit_succeeds_with_dtw(self):
+        rng = np.random.default_rng(4)
+        objects = [
+            np.cumsum(rng.uniform(-0.5, 0.5, int(rng.integers(5, 12))))
+            for _ in range(20)
+        ]
+        fm = FastMap(lambda a, b: dtw_max(a, b), k=3, seed=0)
+        coords = fm.fit(objects)
+        assert coords.shape == (20, 3)
+        assert np.all(np.isfinite(coords))
+
+    def test_contractiveness_violated_somewhere(self):
+        """Some pair's image distance exceeds its true DTW distance."""
+        rng = np.random.default_rng(5)
+        objects = [
+            np.cumsum(rng.uniform(-1, 1, int(rng.integers(4, 10)))) + 5
+            for _ in range(25)
+        ]
+        fm = FastMap(lambda a, b: dtw_max(a, b), k=2, seed=0)
+        coords = fm.fit(objects)
+        violated = False
+        for i in range(25):
+            for j in range(i + 1, 25):
+                true = dtw_max(objects[i], objects[j])
+                image = float(np.linalg.norm(coords[i] - coords[j]))
+                if image > true + 1e-9:
+                    violated = True
+                    break
+            if violated:
+                break
+        assert violated, "expected at least one non-contractive pair under DTW"

@@ -1,0 +1,108 @@
+"""Tests for STR bulk loading."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.index.rtree.bulk import STRBulkLoader, str_pack
+from repro.index.rtree.geometry import Rect
+from repro.index.rtree.rtree import RTree
+
+
+class TestSTRBulkLoader:
+    def test_empty_build(self):
+        tree = STRBulkLoader(2).build()
+        assert len(tree) == 0
+        assert tree.range_search(Rect([0, 0], [1, 1])) == []
+
+    def test_single_entry(self):
+        loader = STRBulkLoader(2)
+        loader.add((1.0, 2.0), 7)
+        tree = loader.build()
+        assert len(tree) == 1
+        assert tree.point_search((1.0, 2.0)) == [7]
+
+    def test_validates_after_build(self):
+        rng = np.random.default_rng(1)
+        loader = STRBulkLoader(4, page_size=1024)
+        for i in range(1000):
+            loader.add(tuple(rng.uniform(0, 100, 4)), i)
+        tree = loader.build()
+        tree.validate()
+        assert len(tree) == 1000
+
+    def test_query_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        points = [tuple(rng.uniform(0, 100, 3)) for _ in range(500)]
+        tree = str_pack(points, list(range(500)), ndim=3, page_size=512)
+        for _ in range(20):
+            lo = rng.uniform(0, 70, 3)
+            rect = Rect(lo, lo + rng.uniform(5, 30, 3))
+            expected = {i for i, p in enumerate(points) if rect.contains_point(p)}
+            assert set(tree.range_search(rect)) == expected
+
+    def test_packed_tree_smaller_than_incremental(self):
+        rng = np.random.default_rng(3)
+        points = [tuple(rng.uniform(0, 100, 4)) for _ in range(2000)]
+        packed = str_pack(points, list(range(2000)), ndim=4)
+        incremental = RTree(4)
+        for i, p in enumerate(points):
+            incremental.insert_point(p, i)
+        assert packed.node_count() <= incremental.node_count()
+
+    def test_dimension_mismatch_rejected(self):
+        loader = STRBulkLoader(3)
+        with pytest.raises(ValidationError):
+            loader.add((1.0, 2.0), 0)
+
+    def test_len_tracks_additions(self):
+        loader = STRBulkLoader(2)
+        loader.add((0.0, 0.0), 0)
+        loader.add((1.0, 1.0), 1)
+        assert len(loader) == 2
+
+    def test_rect_entries_supported(self):
+        loader = STRBulkLoader(2)
+        loader.add(Rect([0, 0], [2, 2]), 0)
+        loader.add(Rect([5, 5], [6, 6]), 1)
+        tree = loader.build()
+        assert set(tree.range_search(Rect([1, 1], [5.5, 5.5]))) == {0, 1}
+
+    def test_insert_after_bulk_build_works(self):
+        rng = np.random.default_rng(4)
+        loader = STRBulkLoader(2, page_size=256)
+        for i in range(100):
+            loader.add(tuple(rng.uniform(0, 10, 2)), i)
+        tree = loader.build()
+        tree.insert_point((5.0, 5.0), 100)
+        tree.validate()
+        assert len(tree) == 101
+
+    def test_str_pack_length_mismatch(self):
+        with pytest.raises(ValueError):
+            str_pack([(0.0, 0.0)], [1, 2], ndim=2)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_property_bulk_load_valid_and_complete(points):
+    tree = str_pack(points, list(range(len(points))), ndim=4, page_size=1024)
+    tree.validate()
+    assert len(tree) == len(points)
+    everything = Rect([0, 0, 0, 0], [100, 100, 100, 100])
+    assert set(tree.range_search(everything)) == set(range(len(points)))

@@ -1,0 +1,118 @@
+"""Tests for equal-length-interval categorization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CategorizationError, ValidationError
+from repro.index.suffixtree.categorize import Categorizer
+
+elements = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+
+
+class TestFit:
+    def test_learns_range(self):
+        cat = Categorizer(10).fit([[1.0, 5.0], [0.0, 10.0]])
+        assert cat.value_range == (0.0, 10.0)
+        assert cat.is_fitted
+
+    def test_unfitted_rejects_use(self):
+        cat = Categorizer(10)
+        with pytest.raises(CategorizationError):
+            cat.transform([1.0])
+        with pytest.raises(CategorizationError):
+            cat.value_range
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(CategorizationError):
+            Categorizer(10).fit([])
+        with pytest.raises(CategorizationError):
+            Categorizer(10).fit([[]])
+
+    def test_degenerate_range_widened(self):
+        cat = Categorizer(4).fit([[3.0, 3.0]])
+        lo, hi = cat.value_range
+        assert hi > lo
+
+    def test_invalid_category_count(self):
+        with pytest.raises(ValidationError):
+            Categorizer(0)
+
+    def test_fit_returns_self(self):
+        cat = Categorizer(5)
+        assert cat.fit([[1.0, 2.0]]) is cat
+
+
+class TestTransform:
+    def test_equal_width_buckets(self):
+        cat = Categorizer(10).fit([[0.0, 10.0]])
+        assert cat.transform([0.0, 0.5, 5.0, 9.99]).tolist() == [0, 0, 5, 9]
+
+    def test_max_value_maps_to_last_category(self):
+        cat = Categorizer(10).fit([[0.0, 10.0]])
+        assert cat.transform([10.0]).tolist() == [9]
+
+    def test_out_of_range_clamped(self):
+        cat = Categorizer(10).fit([[0.0, 10.0]])
+        assert cat.transform([-5.0, 15.0]).tolist() == [0, 9]
+
+    @given(st.lists(elements, min_size=2, max_size=30))
+    def test_values_fall_in_their_interval(self, values):
+        """Exact containment — required for eps=0 search soundness."""
+        cat = Categorizer(7).fit([values])
+        cats = cat.transform(values)
+        for v, c in zip(values, cats):
+            lo, hi = cat.interval(int(c))
+            assert lo <= v <= hi
+
+    def test_boundary_rounding_regression(self):
+        """Fuzz-found case: the global max must lie inside the top
+        category's interval even when the width division rounds."""
+        cat = Categorizer(8).fit([[0.0], [-0.48924392262328303]])
+        (c,) = cat.transform([0.0])
+        lo, hi = cat.interval(int(c))
+        assert lo <= 0.0 <= hi
+        assert cat.min_distance_to_value(int(c), 0.0) == 0.0
+
+
+class TestIntervals:
+    def test_tile_the_range(self):
+        cat = Categorizer(4).fit([[0.0, 8.0]])
+        assert cat.interval(0) == (0.0, 2.0)
+        assert cat.interval(3) == (6.0, 8.0)
+
+    def test_out_of_range_category_rejected(self):
+        cat = Categorizer(4).fit([[0.0, 8.0]])
+        with pytest.raises(ValidationError):
+            cat.interval(4)
+        with pytest.raises(ValidationError):
+            cat.interval(-1)
+
+
+class TestMinDistances:
+    def test_inside_interval_zero(self):
+        cat = Categorizer(4).fit([[0.0, 8.0]])
+        assert cat.min_distance_to_value(1, 3.0) == 0.0
+
+    def test_below_and_above(self):
+        cat = Categorizer(4).fit([[0.0, 8.0]])
+        assert cat.min_distance_to_value(1, 1.0) == 1.0  # interval [2, 4]
+        assert cat.min_distance_to_value(1, 5.5) == 1.5
+
+    def test_between_categories(self):
+        cat = Categorizer(4).fit([[0.0, 8.0]])
+        assert cat.min_distance_between(0, 0) == 0.0
+        assert cat.min_distance_between(0, 1) == 0.0  # touching intervals
+        assert cat.min_distance_between(0, 3) == 4.0  # [0,2] vs [6,8]
+        assert cat.min_distance_between(3, 0) == 4.0
+
+    @given(st.lists(elements, min_size=2, max_size=20), elements)
+    def test_min_distance_lower_bounds_true_distance(self, values, probe):
+        """The filter cost never exceeds |element - probe|."""
+        cat = Categorizer(5).fit([values])
+        cats = cat.transform(values)
+        for v, c in zip(values, cats):
+            assert cat.min_distance_to_value(int(c), probe) <= abs(v - probe) + 1e-9

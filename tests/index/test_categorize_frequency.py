@@ -1,0 +1,112 @@
+"""Tests for equal-frequency categorization (extension strategy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.synthetic import random_walk_dataset
+from repro.exceptions import ValidationError
+from repro.index.suffixtree.categorize import Categorizer
+from repro.methods.naive_scan import NaiveScan
+from repro.methods.st_filter import STFilter
+from repro.storage.database import SequenceDatabase
+
+elements = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+
+
+class TestEqualFrequency:
+    def test_strategy_validated(self):
+        with pytest.raises(ValidationError):
+            Categorizer(4, strategy="nonsense")
+
+    def test_strategy_property(self):
+        assert Categorizer(4).strategy == "equal-width"
+        assert (
+            Categorizer(4, strategy="equal-frequency").strategy
+            == "equal-frequency"
+        )
+
+    def test_balanced_occupancy_on_skewed_data(self):
+        """Quantile boundaries balance counts where equal-width cannot."""
+        rng = np.random.default_rng(1)
+        skewed = np.concatenate(
+            [rng.uniform(0, 1, 900), rng.uniform(99, 100, 100)]
+        )
+        width = Categorizer(10).fit([skewed])
+        freq = Categorizer(10, strategy="equal-frequency").fit([skewed])
+
+        def occupancy(cat):
+            counts = np.bincount(cat.transform(skewed), minlength=10)
+            return counts.max() / max(1, counts[counts > 0].min())
+
+        assert occupancy(freq) < occupancy(width)
+
+    def test_values_fall_in_their_interval(self):
+        rng = np.random.default_rng(2)
+        values = rng.exponential(2.0, 500)
+        cat = Categorizer(8, strategy="equal-frequency").fit([values])
+        cats = cat.transform(values)
+        for v, c in zip(values, cats):
+            lo, hi = cat.interval(int(c))
+            assert lo <= v <= hi
+
+    def test_intervals_tile_the_range(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0, 1, 300)
+        cat = Categorizer(6, strategy="equal-frequency").fit([values])
+        prev_hi = None
+        for c in range(6):
+            lo, hi = cat.interval(c)
+            assert lo < hi or c == 5  # duplicate-quantile nudges keep order
+            if prev_hi is not None:
+                assert lo == prev_hi
+            prev_hi = hi
+
+    def test_degenerate_constant_data(self):
+        cat = Categorizer(4, strategy="equal-frequency").fit([[5.0, 5.0]])
+        cats = cat.transform([5.0])
+        lo, hi = cat.interval(int(cats[0]))
+        assert lo <= 5.0 <= hi
+
+    def test_min_distance_sound(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(0, 10, 200)
+        cat = Categorizer(5, strategy="equal-frequency").fit([values])
+        cats = cat.transform(values)
+        for v, c in zip(values[:50], cats[:50]):
+            for probe in (-3.0, 2.5, 11.0):
+                assert (
+                    cat.min_distance_to_value(int(c), probe)
+                    <= abs(v - probe) + 1e-9
+                )
+
+    @given(st.lists(elements, min_size=2, max_size=40))
+    def test_property_containment(self, values):
+        cat = Categorizer(5, strategy="equal-frequency").fit([values])
+        cats = cat.transform(values)
+        for v, c in zip(values, cats):
+            lo, hi = cat.interval(int(c))
+            assert lo <= v <= hi
+
+
+class TestSTFilterWithFrequencyStrategy:
+    def test_answers_still_exact(self):
+        sequences = random_walk_dataset(25, 15, seed=121)
+        db = SequenceDatabase(page_size=256)
+        db.insert_many(sequences)
+        st_freq = STFilter(
+            db, n_categories=12, strategy="equal-frequency"
+        ).build()
+        naive = NaiveScan(db).build()
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            query = np.asarray(db.fetch(int(rng.integers(len(db)))).values)
+            query = query + rng.uniform(-0.05, 0.05, query.size)
+            for eps in (0.05, 0.3):
+                assert (
+                    st_freq.search(query, eps).answers
+                    == naive.search(query, eps).answers
+                )

@@ -1,0 +1,162 @@
+"""Tests for n-dimensional rectangles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.index.rtree.geometry import Rect
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+
+
+@st.composite
+def rects(draw, ndim=3):
+    lows = [draw(coords) for _ in range(ndim)]
+    spans = [draw(st.floats(min_value=0, max_value=100)) for _ in range(ndim)]
+    return Rect(lows, [lo + s for lo, s in zip(lows, spans)])
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect([0, 0], [2, 3])
+        assert r.ndim == 2
+        assert r.lows == (0.0, 0.0)
+        assert r.highs == (2.0, 3.0)
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point([1, 2, 3])
+        assert r.is_point()
+        assert r.volume() == 0.0
+
+    def test_from_intervals(self):
+        r = Rect.from_intervals([(0, 1), (2, 5)])
+        assert r == Rect([0, 2], [1, 5])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect([2], [1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect([math.nan], [1])
+
+    def test_zero_dims_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect([1, 2], [3])
+
+    def test_immutable(self):
+        r = Rect([0], [1])
+        with pytest.raises(AttributeError):
+            r.lows = (5,)  # type: ignore[misc]
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect.union_of([])
+
+
+class TestMeasures:
+    def test_volume(self):
+        assert Rect([0, 0, 0], [2, 3, 4]).volume() == 24.0
+
+    def test_margin(self):
+        assert Rect([0, 0], [2, 3]).margin() == 5.0
+
+    def test_center(self):
+        assert Rect([0, 2], [4, 4]).center == (2.0, 3.0)
+
+
+class TestPredicates:
+    def test_intersects_boundary_touch(self):
+        assert Rect([0, 0], [1, 1]).intersects(Rect([1, 0], [2, 1]))
+
+    def test_disjoint(self):
+        assert not Rect([0, 0], [1, 1]).intersects(Rect([2, 2], [3, 3]))
+
+    def test_contains_point_inclusive(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.contains_point([0, 0])
+        assert r.contains_point([1, 1])
+        assert not r.contains_point([1.01, 0.5])
+
+    def test_contains_rect(self):
+        outer = Rect([0, 0], [10, 10])
+        assert outer.contains_rect(Rect([1, 1], [2, 2]))
+        assert not Rect([1, 1], [2, 2]).contains_rect(outer)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Rect([0], [1]).intersects(Rect([0, 0], [1, 1]))
+        with pytest.raises(ValidationError):
+            Rect([0], [1]).contains_point([0, 0])
+
+
+class TestCombination:
+    def test_union(self):
+        assert Rect([0, 0], [1, 1]).union(Rect([2, -1], [3, 0])) == Rect(
+            [0, -1], [3, 1]
+        )
+
+    def test_enlargement_zero_when_contained(self):
+        outer = Rect([0, 0], [10, 10])
+        assert outer.enlargement(Rect([1, 1], [2, 2])) == 0.0
+
+    def test_enlargement_positive_when_outside(self):
+        assert Rect([0, 0], [1, 1]).enlargement(Rect([2, 2], [3, 3])) > 0.0
+
+    def test_overlap_volume(self):
+        a = Rect([0, 0], [2, 2])
+        b = Rect([1, 1], [3, 3])
+        assert a.overlap(b) == 1.0
+        assert a.overlap(Rect([5, 5], [6, 6])) == 0.0
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlap(b) == pytest.approx(b.overlap(a))
+
+    @given(rects(), rects())
+    def test_intersects_iff_positive_overlap_or_touch(self, a, b):
+        if a.overlap(b) > 0:
+            assert a.intersects(b)
+
+
+class TestMinDistance:
+    def test_inside_is_zero(self):
+        r = Rect([0, 0], [2, 2])
+        assert r.min_distance_to_point([1, 1]) == 0.0
+
+    def test_l2(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.min_distance_to_point([4, 5]) == 5.0
+
+    def test_linf(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.min_distance_to_point([4, 3], p=math.inf) == 3.0
+
+    def test_l1(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.min_distance_to_point([2, 3], p=1.0) == 3.0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValidationError):
+            Rect([0], [1]).min_distance_to_point([0, 0])
+
+    @given(rects(), st.lists(coords, min_size=3, max_size=3))
+    def test_lower_bounds_distance_to_any_corner(self, r, point):
+        d = r.min_distance_to_point(point, p=math.inf)
+        corner_dist = max(abs(c - p) for c, p in zip(r.lows, point))
+        assert d <= corner_dist + 1e-9

@@ -1,0 +1,149 @@
+"""Tests for the R+-tree (disjoint-region point index)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.index.rtree.geometry import Rect
+from repro.index.rtree.rplus import RPlusTree
+
+
+def brute_range(points, rect):
+    return {i for i, p in enumerate(points) if rect.contains_point(p)}
+
+
+class TestConstruction:
+    def test_capacity_from_page_size(self):
+        tree = RPlusTree(4, page_size=1024)
+        assert tree.max_entries == 14
+
+    def test_explicit_capacity(self):
+        assert RPlusTree(2, max_entries=5).max_entries == 5
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            RPlusTree(0)
+        with pytest.raises(ValidationError):
+            RPlusTree(2, max_entries=1)
+        with pytest.raises(ValidationError):
+            RPlusTree(2, page_size=None)
+
+    def test_rectangles_rejected(self):
+        tree = RPlusTree(2, max_entries=4)
+        with pytest.raises(ValidationError):
+            tree.insert(Rect([0, 0], [1, 1]), 0)
+
+    def test_degenerate_rect_accepted_as_point(self):
+        tree = RPlusTree(2, max_entries=4)
+        tree.insert(Rect.from_point((1.0, 2.0)), 7)
+        assert tree.point_search((1.0, 2.0)) == [7]
+
+
+class TestQueries:
+    def test_range_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        tree = RPlusTree(3, max_entries=6)
+        points = [tuple(rng.uniform(0, 100, 3)) for _ in range(400)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.validate()
+        assert len(tree) == 400
+        for _ in range(25):
+            lo = rng.uniform(0, 70, 3)
+            rect = Rect(lo, lo + rng.uniform(5, 40, 3))
+            assert set(tree.range_search(rect)) == brute_range(points, rect)
+
+    def test_point_search_single_path(self):
+        rng = np.random.default_rng(2)
+        tree = RPlusTree(2, max_entries=4)
+        points = [tuple(rng.uniform(0, 50, 2)) for _ in range(200)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.stats.reset()
+        assert tree.point_search(points[17]) == [17]
+        # Disjoint regions: a single root-to-leaf path is visited.
+        def depth(node):
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(c) for c in node.children)
+
+        assert tree.stats.node_reads <= depth(tree._root)
+
+    def test_duplicates_all_found(self):
+        tree = RPlusTree(2, max_entries=3)
+        for i in range(10):
+            tree.insert_point((4.0, 4.0), i)
+        assert set(tree.point_search((4.0, 4.0))) == set(range(10))
+
+    def test_knn_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        tree = RPlusTree(4, max_entries=6)
+        points = [tuple(rng.uniform(0, 10, 4)) for _ in range(150)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        q = (5.0, 5.0, 5.0, 5.0)
+        brute = sorted(
+            (max(abs(a - b) for a, b in zip(p, q)), i)
+            for i, p in enumerate(points)
+        )[:6]
+        got = tree.knn(q, 6, p=math.inf)
+        assert [i for _, i in got] == [i for _, i in brute]
+
+    def test_knn_invalid_args(self):
+        tree = RPlusTree(2, max_entries=4)
+        with pytest.raises(ValidationError):
+            tree.knn((0.0, 0.0), 0)
+        with pytest.raises(ValidationError):
+            tree.knn((0.0,), 1)
+
+    def test_items_complete(self):
+        tree = RPlusTree(2, max_entries=4)
+        for i in range(30):
+            tree.insert_point((float(i), float(i % 5)), i)
+        assert {record for _, record in tree.items()} == set(range(30))
+
+
+class TestDisjointness:
+    def test_no_sibling_overlap_ever(self):
+        rng = np.random.default_rng(4)
+        tree = RPlusTree(2, max_entries=4)
+        for i in range(500):
+            tree.insert_point(tuple(rng.uniform(0, 10, 2)), i)
+        tree.validate()  # validate() asserts pairwise disjointness
+
+    def test_range_query_touches_fewer_leaves_than_guttman_worst_case(self):
+        """Tiny range queries visit one leaf path in a disjoint tree."""
+        rng = np.random.default_rng(5)
+        tree = RPlusTree(2, max_entries=4)
+        points = [tuple(rng.uniform(0, 100, 2)) for _ in range(300)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.stats.reset()
+        tree.range_search(Rect([50, 50], [50.1, 50.1]))
+        assert tree.stats.leaf_reads <= 4
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_property_rplus_complete_and_disjoint(points):
+    tree = RPlusTree(2, max_entries=4)
+    for i, p in enumerate(points):
+        tree.insert_point(p, i)
+    tree.validate()
+    everything = Rect([0, 0], [100, 100])
+    assert set(tree.range_search(everything)) == set(range(len(points)))

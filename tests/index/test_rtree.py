@@ -1,0 +1,276 @@
+"""Tests for the R-tree: operations, queries, invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EntryNotFoundError, ValidationError
+from repro.index.rtree.geometry import Rect
+from repro.index.rtree.node import fanout_for_page_size
+from repro.index.rtree.rtree import RTree, SplitStrategy
+
+
+def brute_range(points: list[tuple], rect: Rect) -> set[int]:
+    return {i for i, p in enumerate(points) if rect.contains_point(p)}
+
+
+class TestFanout:
+    def test_paper_configuration(self):
+        low, high = fanout_for_page_size(1024, 4)
+        # 4-d entry = 64 + 8 = 72 bytes; (1024 - 16) // 72 = 14.
+        assert high == 14
+        assert low == 5
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(ValidationError):
+            fanout_for_page_size(64, 8)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            fanout_for_page_size(0, 4)
+        with pytest.raises(ValidationError):
+            fanout_for_page_size(1024, 0)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        tree = RTree(4)
+        assert tree.ndim == 4
+        assert tree.page_size == 1024
+        assert (tree.min_entries, tree.max_entries) == (5, 14)
+
+    def test_explicit_fanout(self):
+        tree = RTree(2, min_entries=2, max_entries=5)
+        assert (tree.min_entries, tree.max_entries) == (2, 5)
+
+    def test_partial_fanout_rejected(self):
+        with pytest.raises(ValidationError):
+            RTree(2, min_entries=2, max_entries=None)
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValidationError):
+            RTree(2, min_entries=4, max_entries=5)
+
+    def test_invalid_ndim(self):
+        with pytest.raises(ValidationError):
+            RTree(0)
+
+    def test_neither_page_size_nor_fanout(self):
+        with pytest.raises(ValidationError):
+            RTree(2, page_size=None)
+
+
+@pytest.mark.parametrize(
+    "split", [SplitStrategy.LINEAR, SplitStrategy.QUADRATIC, SplitStrategy.RSTAR]
+)
+class TestInsertAndQuery:
+    def test_range_query_matches_brute_force(self, split):
+        rng = np.random.default_rng(hash(split.value) % 2**32)
+        tree = RTree(3, min_entries=2, max_entries=5, split=split)
+        points = [tuple(rng.uniform(0, 100, 3)) for _ in range(300)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.validate()
+        assert len(tree) == 300
+        for _ in range(25):
+            lo = rng.uniform(0, 80, 3)
+            rect = Rect(lo, lo + rng.uniform(0, 40, 3))
+            assert set(tree.range_search(rect)) == brute_range(points, rect)
+
+    def test_point_search(self, split):
+        tree = RTree(2, min_entries=2, max_entries=4, split=split)
+        for i in range(50):
+            tree.insert_point((float(i % 10), float(i // 10)), i)
+        assert set(tree.point_search((3.0, 2.0))) == {23}
+
+    def test_duplicate_points_all_returned(self, split):
+        tree = RTree(2, min_entries=2, max_entries=4, split=split)
+        for i in range(7):
+            tree.insert_point((1.0, 1.0), i)
+        assert set(tree.point_search((1.0, 1.0))) == set(range(7))
+
+    def test_rect_entries(self, split):
+        tree = RTree(2, min_entries=2, max_entries=4, split=split)
+        tree.insert(Rect([0, 0], [5, 5]), 1)
+        tree.insert(Rect([10, 10], [12, 12]), 2)
+        assert tree.range_search(Rect([4, 4], [11, 11])) and set(
+            tree.range_search(Rect([4, 4], [11, 11]))
+        ) == {1, 2}
+
+
+class TestValidation:
+    def test_height_grows_logarithmically(self):
+        tree = RTree(2, min_entries=2, max_entries=4)
+        for i in range(200):
+            tree.insert_point((float(i), float(i % 13)), i)
+        tree.validate()
+        assert 3 <= tree.height <= 8
+
+    def test_node_count_and_size(self):
+        tree = RTree(4, page_size=1024)
+        for i in range(100):
+            tree.insert_point((float(i), 0.0, 0.0, 0.0), i)
+        assert tree.size_in_bytes() == tree.node_count() * 1024
+
+    def test_dimension_mismatch_rejected(self):
+        tree = RTree(3)
+        with pytest.raises(ValidationError):
+            tree.insert_point((1.0, 2.0), 0)
+        with pytest.raises(ValidationError):
+            tree.range_search(Rect([0], [1]))
+
+
+class TestDelete:
+    def test_delete_removes_entry(self):
+        tree = RTree(2, min_entries=2, max_entries=4)
+        points = [(float(i), float(i)) for i in range(30)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.delete(Rect.from_point(points[7]), 7)
+        tree.validate()
+        assert len(tree) == 29
+        assert 7 not in tree.point_search(points[7])
+
+    def test_delete_missing_raises(self):
+        tree = RTree(2, min_entries=2, max_entries=4)
+        tree.insert_point((1.0, 1.0), 0)
+        with pytest.raises(EntryNotFoundError):
+            tree.delete(Rect.from_point((9.0, 9.0)), 0)
+        with pytest.raises(EntryNotFoundError):
+            tree.delete(Rect.from_point((1.0, 1.0)), 99)
+
+    def test_delete_everything(self):
+        tree = RTree(2, min_entries=2, max_entries=4)
+        points = [(float(i % 6), float(i // 6)) for i in range(36)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        order = np.random.default_rng(5).permutation(36)
+        for i in order:
+            tree.delete(Rect.from_point(points[i]), int(i))
+            tree.validate()
+        assert len(tree) == 0
+        assert tree.range_search(Rect([0, 0], [10, 10])) == []
+
+    def test_interleaved_insert_delete_consistent(self):
+        rng = np.random.default_rng(9)
+        tree = RTree(2, min_entries=2, max_entries=5)
+        alive: dict[int, tuple] = {}
+        next_id = 0
+        for step in range(400):
+            if alive and rng.random() < 0.4:
+                victim = int(rng.choice(list(alive)))
+                tree.delete(Rect.from_point(alive.pop(victim)), victim)
+            else:
+                p = tuple(rng.uniform(0, 50, 2))
+                tree.insert_point(p, next_id)
+                alive[next_id] = p
+                next_id += 1
+            if step % 50 == 0:
+                tree.validate()
+        tree.validate()
+        rect = Rect([0, 0], [50, 50])
+        assert set(tree.range_search(rect)) == set(alive)
+
+
+class TestKnn:
+    def test_matches_brute_force_linf(self):
+        rng = np.random.default_rng(11)
+        tree = RTree(4, page_size=1024)
+        points = [tuple(rng.uniform(0, 10, 4)) for _ in range(200)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        for _ in range(10):
+            q = rng.uniform(0, 10, 4)
+            brute = sorted(
+                (max(abs(a - b) for a, b in zip(p, q)), i)
+                for i, p in enumerate(points)
+            )
+            got = tree.knn(tuple(q), 5, p=math.inf)
+            assert [i for _, i in got] == [i for _, i in brute[:5]]
+            for (d_got, _), (d_true, _) in zip(got, brute):
+                assert d_got == pytest.approx(d_true)
+
+    def test_matches_brute_force_l2(self):
+        rng = np.random.default_rng(12)
+        tree = RTree(2, min_entries=2, max_entries=4)
+        points = [tuple(rng.uniform(0, 10, 2)) for _ in range(100)]
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        q = (5.0, 5.0)
+        brute = sorted(
+            (math.hypot(p[0] - q[0], p[1] - q[1]), i)
+            for i, p in enumerate(points)
+        )
+        got = tree.knn(q, 3, p=2.0)
+        assert [i for _, i in got] == [i for _, i in brute[:3]]
+
+    def test_k_exceeding_size(self):
+        tree = RTree(2, min_entries=2, max_entries=4)
+        tree.insert_point((0.0, 0.0), 0)
+        assert len(tree.knn((1.0, 1.0), 10)) == 1
+
+    def test_invalid_args(self):
+        tree = RTree(2)
+        with pytest.raises(ValidationError):
+            tree.knn((0.0, 0.0), 0)
+        with pytest.raises(ValidationError):
+            tree.knn((0.0,), 1)
+
+
+class TestStats:
+    def test_range_search_counts_nodes(self):
+        tree = RTree(2, min_entries=2, max_entries=4)
+        for i in range(100):
+            tree.insert_point((float(i), 0.0), i)
+        tree.stats.reset()
+        tree.range_search(Rect([0, -1], [100, 1]))
+        full_scan_reads = tree.stats.node_reads
+        assert full_scan_reads == tree.node_count()
+        tree.stats.reset()
+        tree.range_search(Rect([0, -1], [2, 1]))
+        assert 0 < tree.stats.node_reads < full_scan_reads
+
+    def test_mark_delta(self):
+        tree = RTree(2, min_entries=2, max_entries=4)
+        for i in range(20):
+            tree.insert_point((float(i), 0.0), i)
+        tree.stats.mark("a")
+        tree.range_search(Rect([0, 0], [5, 5]))
+        reads, _, _ = tree.stats.delta("a")
+        assert reads > 0
+
+
+class TestItemsIteration:
+    def test_items_returns_everything(self):
+        tree = RTree(2, min_entries=2, max_entries=4)
+        for i in range(40):
+            tree.insert_point((float(i), 1.0), i)
+        items = list(tree.items())
+        assert len(items) == 40
+        assert {record for _, record in items} == set(range(40))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_property_range_query_completeness(points):
+    """Range queries over random point sets match brute force exactly."""
+    tree = RTree(2, min_entries=2, max_entries=5)
+    for i, p in enumerate(points):
+        tree.insert_point(p, i)
+    tree.validate()
+    rect = Rect([25, 25], [75, 75])
+    assert set(tree.range_search(rect)) == brute_range(points, rect)

@@ -1,0 +1,87 @@
+"""Tests for the node split algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.index.rtree.geometry import Rect
+from repro.index.rtree.node import Entry
+from repro.index.rtree.split import linear_split, quadratic_split, rstar_split
+
+ALL_SPLITS = [linear_split, quadratic_split, rstar_split]
+
+
+def make_entries(points):
+    return [Entry(rect=Rect.from_point(p), record=i) for i, p in enumerate(points)]
+
+
+@pytest.mark.parametrize("split", ALL_SPLITS)
+class TestSplitContracts:
+    def test_partitions_all_entries(self, split):
+        rng = np.random.default_rng(1)
+        entries = make_entries([tuple(rng.uniform(0, 10, 2)) for _ in range(6)])
+        a, b = split(entries, 2, 5)
+        records = sorted(
+            e.record for group in (a, b) for e in group
+        )
+        assert records == list(range(6))
+
+    def test_respects_min_entries(self, split):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            entries = make_entries(
+                [tuple(rng.uniform(0, 10, 2)) for _ in range(8)]
+            )
+            a, b = split(entries, 3, 7)
+            assert len(a) >= 3 and len(b) >= 3
+
+    def test_wrong_entry_count_rejected(self, split):
+        entries = make_entries([(0.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(ValidationError):
+            split(entries, 2, 5)
+
+    def test_invalid_fill_bounds_rejected(self, split):
+        entries = make_entries([(float(i), 0.0) for i in range(6)])
+        with pytest.raises(ValidationError):
+            split(entries, 4, 5)
+
+    def test_identical_points_split_evenly_enough(self, split):
+        entries = make_entries([(1.0, 1.0)] * 6)
+        a, b = split(entries, 2, 5)
+        assert len(a) >= 2 and len(b) >= 2
+
+    def test_separates_two_clusters(self, split):
+        rng = np.random.default_rng(3)
+        left = [tuple(rng.uniform(0, 1, 2)) for _ in range(3)]
+        right = [tuple(rng.uniform(100, 101, 2)) for _ in range(3)]
+        entries = make_entries(left + right)
+        a, b = split(entries, 2, 5)
+        groups = [
+            {e.record for e in a},
+            {e.record for e in b},
+        ]
+        assert {0, 1, 2} in groups and {3, 4, 5} in groups
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+        ),
+        min_size=6,
+        max_size=6,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_all_splits_partition(points):
+    entries = make_entries(points)
+    for split in ALL_SPLITS:
+        a, b = split(list(entries), 2, 5)
+        assert len(a) + len(b) == 6
+        assert len(a) >= 2 and len(b) >= 2

@@ -1,0 +1,150 @@
+"""Tests for the Ukkonen generalized suffix tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.index.suffixtree.ukkonen import (
+    GeneralizedSuffixTree,
+    terminator_sequence,
+)
+
+symbol_seqs = st.lists(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=12),
+    min_size=1,
+    max_size=4,
+)
+
+
+def brute_find(sequences, pattern):
+    """All (seq_index, offset) occurrences of pattern, brute force."""
+    hits = []
+    for k, seq in enumerate(sequences):
+        for i in range(len(seq) - len(pattern) + 1):
+            if list(seq[i : i + len(pattern)]) == list(pattern):
+                hits.append((k, i))
+    return sorted(hits)
+
+
+class TestConstruction:
+    def test_classic_banana(self):
+        # "banana" mapped to integers: b=0 a=1 n=2.
+        tree = GeneralizedSuffixTree([np.array([0, 1, 2, 1, 2, 1])])
+        assert tree.n_sequences == 1
+        assert tree.sequence_length(0) == 6
+        # n+1 suffixes of text (6 symbols + terminator) => 7 leaves.
+        assert tree.find([1, 2, 1]) == [(0, 1), (0, 3)]
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValidationError):
+            GeneralizedSuffixTree([])
+
+    def test_rejects_negative_symbols(self):
+        with pytest.raises(ValidationError):
+            GeneralizedSuffixTree([np.array([1, -2, 3])])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            GeneralizedSuffixTree([np.zeros((2, 2), dtype=int)])
+
+    def test_node_count_reasonable(self):
+        tree = GeneralizedSuffixTree([np.array([0, 1, 0, 1, 0])])
+        # A suffix tree over n symbols has at most 2n internal+leaf nodes.
+        assert tree.node_count() <= 2 * len(tree.text)
+
+    def test_node_count_bounds(self):
+        rng = np.random.default_rng(1)
+        for seq in (np.zeros(60, dtype=int), rng.integers(0, 50, 60).astype(int)):
+            tree = GeneralizedSuffixTree([seq])
+            leaves = sum(1 for _ in tree._iter_leaves(tree.root))
+            # Leaves = |text|; total nodes between leaves+1 and 2|text|.
+            assert leaves == len(tree.text)
+            assert leaves + 1 <= tree.node_count() <= 2 * len(tree.text)
+
+
+class TestFind:
+    def test_matches_brute_force_random(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            sequences = [
+                rng.integers(0, 3, rng.integers(1, 15)).astype(int)
+                for _ in range(rng.integers(1, 4))
+            ]
+            tree = GeneralizedSuffixTree(sequences)
+            for _ in range(10):
+                k = int(rng.integers(len(sequences)))
+                seq = sequences[k]
+                if len(seq) < 2:
+                    continue
+                start = int(rng.integers(0, len(seq) - 1))
+                length = int(rng.integers(1, len(seq) - start + 1))
+                pattern = list(seq[start : start + length])
+                assert tree.find(pattern) == brute_find(sequences, pattern)
+
+    def test_absent_pattern(self):
+        tree = GeneralizedSuffixTree([np.array([0, 1, 2])])
+        assert tree.find([3]) == []
+        assert tree.find([2, 1]) == []
+
+    def test_whole_sequence_found_at_zero(self):
+        seqs = [np.array([0, 1, 2, 0]), np.array([1, 1])]
+        tree = GeneralizedSuffixTree(seqs)
+        assert (0, 0) in tree.find([0, 1, 2, 0])
+        assert (1, 0) in tree.find([1, 1])
+
+    def test_cross_sequence_occurrences(self):
+        seqs = [np.array([0, 1, 2]), np.array([5, 0, 1, 9])]
+        tree = GeneralizedSuffixTree(seqs)
+        assert tree.find([0, 1]) == [(0, 0), (1, 1)]
+
+
+class TestLocate:
+    def test_position_mapping(self):
+        seqs = [np.array([0, 1]), np.array([2, 3, 4])]
+        tree = GeneralizedSuffixTree(seqs)
+        # Text: 0 1 t0 2 3 4 t1 — global position 3 is seq 1, offset 0.
+        assert tree.locate(0) == (0, 0)
+        assert tree.locate(1) == (0, 1)
+        assert tree.locate(3) == (1, 0)
+        assert tree.locate(5) == (1, 2)
+
+    def test_out_of_range_rejected(self):
+        tree = GeneralizedSuffixTree([np.array([0])])
+        with pytest.raises(ValidationError):
+            tree.locate(99)
+
+
+class TestTerminators:
+    def test_round_trip(self):
+        assert terminator_sequence(-1) == 0
+        assert terminator_sequence(-5) == 4
+
+    def test_non_terminator_rejected(self):
+        with pytest.raises(ValidationError):
+            terminator_sequence(3)
+
+
+@given(symbol_seqs)
+@settings(max_examples=40, deadline=None)
+def test_property_every_substring_is_found(sequences):
+    arrays = [np.array(s, dtype=int) for s in sequences]
+    tree = GeneralizedSuffixTree(arrays)
+    # Every prefix of every suffix must be locatable.
+    for k, seq in enumerate(sequences):
+        for start in range(len(seq)):
+            for end in range(start + 1, min(start + 5, len(seq)) + 1):
+                pattern = seq[start:end]
+                assert (k, start) in tree.find(pattern)
+
+
+@given(symbol_seqs)
+@settings(max_examples=40, deadline=None)
+def test_property_leaf_count_equals_text_length(sequences):
+    arrays = [np.array(s, dtype=int) for s in sequences]
+    tree = GeneralizedSuffixTree(arrays)
+    leaves = sum(1 for _ in tree._iter_leaves(tree.root))
+    assert leaves == len(tree.text)

@@ -1,0 +1,135 @@
+"""Tests for the time-warping traversal over the suffix tree."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_walk_dataset
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+from repro.index.rtree.stats import AccessStats
+from repro.index.suffixtree.categorize import Categorizer
+from repro.index.suffixtree.search import WarpingTraversal
+from repro.index.suffixtree.ukkonen import GeneralizedSuffixTree
+
+
+def brute_feasible(sequence_categories, categorizer, query, epsilon) -> bool:
+    """Reference minimax DP with interval-to-value costs."""
+    n, m = len(sequence_categories), len(query)
+    INF = math.inf
+    col = [0.0] + [INF] * m
+    for i in range(n):
+        lo, hi = categorizer.interval(int(sequence_categories[i]))
+        new = [INF] * (m + 1)
+        for j in range(1, m + 1):
+            v = query[j - 1]
+            cost = lo - v if v < lo else (v - hi if v > hi else 0.0)
+            reach = min(col[j], col[j - 1], new[j - 1])
+            new[j] = max(cost, reach)
+        col = new
+        if min(col) == INF or min(col) > epsilon:
+            return False
+    return col[m] <= epsilon
+
+
+@pytest.fixture(scope="module")
+def setup():
+    sequences = random_walk_dataset(25, 20, seed=21, length_jitter=0.3)
+    categorizer = Categorizer(15).fit(s.values for s in sequences)
+    categorized = [categorizer.transform(s.values) for s in sequences]
+    tree = GeneralizedSuffixTree(categorized)
+    return sequences, categorizer, categorized, tree
+
+
+class TestWholeMatching:
+    def test_matches_reference_dp(self, setup):
+        sequences, categorizer, categorized, tree = setup
+        traversal = WarpingTraversal(tree, categorizer)
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            base = sequences[int(rng.integers(len(sequences)))]
+            query = np.asarray(base.values) + rng.uniform(-0.1, 0.1, len(base))
+            for eps in (0.02, 0.1, 0.4):
+                got = traversal.whole_match_candidates(query, eps)
+                expected = sorted(
+                    k
+                    for k, cats in enumerate(categorized)
+                    if brute_feasible(cats, categorizer, query.tolist(), eps)
+                )
+                assert got == expected
+
+    def test_superset_of_true_answers(self, setup):
+        """No false dismissal: candidates cover every true DTW match."""
+        sequences, categorizer, _, tree = setup
+        traversal = WarpingTraversal(tree, categorizer)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            base = sequences[int(rng.integers(len(sequences)))]
+            query = np.asarray(base.values) + rng.uniform(-0.05, 0.05, len(base))
+            eps = 0.3
+            candidates = set(traversal.whole_match_candidates(query, eps))
+            for k, seq in enumerate(sequences):
+                if dtw_max(seq.values, query) <= eps:
+                    assert k in candidates
+
+    def test_zero_epsilon_still_finds_identical(self, setup):
+        sequences, categorizer, _, tree = setup
+        traversal = WarpingTraversal(tree, categorizer)
+        query = sequences[3].values
+        assert 3 in traversal.whole_match_candidates(query, 0.0)
+
+    def test_negative_epsilon_rejected(self, setup):
+        _, categorizer, _, tree = setup
+        traversal = WarpingTraversal(tree, categorizer)
+        with pytest.raises(ValidationError):
+            traversal.whole_match_candidates([1.0], -1.0)
+
+    def test_records_node_accesses(self, setup):
+        sequences, categorizer, _, tree = setup
+        stats = AccessStats()
+        traversal = WarpingTraversal(tree, categorizer, stats=stats)
+        traversal.whole_match_candidates(sequences[0].values, 0.1)
+        assert stats.node_reads > 0
+
+    def test_larger_epsilon_monotone_candidates(self, setup):
+        sequences, categorizer, _, tree = setup
+        traversal = WarpingTraversal(tree, categorizer)
+        query = sequences[5].values
+        small = set(traversal.whole_match_candidates(query, 0.05))
+        large = set(traversal.whole_match_candidates(query, 0.5))
+        assert small <= large
+
+
+class TestSubsequenceMatching:
+    def test_candidates_cover_true_window_matches(self, setup):
+        sequences, categorizer, _, tree = setup
+        traversal = WarpingTraversal(tree, categorizer)
+        query = np.asarray(sequences[7].values[4:10])
+        eps = 0.15
+        candidates = set(traversal.subsequence_candidates(query, eps))
+        # Every true warping match of a window must appear.
+        for k, seq in enumerate(sequences):
+            values = np.asarray(seq.values)
+            for start in range(len(values)):
+                for length in range(1, min(8, len(values) - start) + 1):
+                    window = values[start : start + length]
+                    if dtw_max(window, query) <= eps:
+                        assert (k, start, length) in candidates
+
+    def test_self_subsequence_found(self, setup):
+        sequences, categorizer, _, tree = setup
+        traversal = WarpingTraversal(tree, categorizer)
+        query = np.asarray(sequences[2].values[3:9])
+        candidates = traversal.subsequence_candidates(query, 0.0)
+        assert (2, 3, 6) in candidates
+
+    def test_offsets_within_bounds(self, setup):
+        sequences, categorizer, _, tree = setup
+        traversal = WarpingTraversal(tree, categorizer)
+        query = sequences[1].values[:5]
+        for seq_id, start, length in traversal.subsequence_candidates(query, 0.2):
+            assert 0 <= start
+            assert start + length <= len(sequences[seq_id])

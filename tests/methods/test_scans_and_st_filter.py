@@ -1,0 +1,104 @@
+"""Unit tests specific to Naive-Scan, LB-Scan and ST-Filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_walk_dataset
+from repro.distance.base import LINF
+from repro.distance.lb_yi import lb_yi
+from repro.methods.lb_scan import LBScan
+from repro.methods.naive_scan import NaiveScan
+from repro.methods.st_filter import STFilter
+from repro.storage.database import SequenceDatabase
+
+
+@pytest.fixture()
+def db():
+    database = SequenceDatabase(page_size=256)
+    database.insert_many(random_walk_dataset(30, 18, seed=71))
+    return database
+
+
+class TestNaiveScan:
+    def test_no_index_built(self, db):
+        method = NaiveScan(db).build()
+        assert method.build_stats.cpu_seconds >= 0
+        report = method.search(db.fetch(0), 0.1)
+        assert report.stats.index_node_reads == 0
+
+    def test_dtw_called_per_sequence(self, db):
+        method = NaiveScan(db).build()
+        report = method.search(db.fetch(0), 0.1)
+        assert report.stats.dtw_computations == len(db)
+
+    def test_scan_charges_sequential_io(self, db):
+        method = NaiveScan(db).build()
+        db.io.reset()
+        method.search(db.fetch(0), 0.1)
+        assert db.io.sequential_pages >= db.total_pages
+
+
+class TestLBScan:
+    def test_lower_bound_evaluated_per_sequence(self, db):
+        method = LBScan(db).build()
+        report = method.search(db.fetch(0), 0.1)
+        assert report.stats.lower_bound_computations == len(db)
+
+    def test_dtw_only_on_candidates(self, db):
+        method = LBScan(db).build()
+        report = method.search(db.fetch(0), 0.1)
+        assert report.stats.dtw_computations == report.candidate_count
+
+    def test_candidates_are_lb_ball(self, db):
+        method = LBScan(db).build()
+        query = db.fetch(2)
+        eps = 0.25
+        report = method.search(query, eps)
+        expected = sorted(
+            sid
+            for sid in db.ids()
+            if lb_yi(db.fetch(sid).values, query.values, base=LINF) <= eps
+        )
+        assert report.candidates == expected
+
+
+class TestSTFilter:
+    def test_category_count_configurable(self, db):
+        coarse = STFilter(db, n_categories=5).build()
+        fine = STFilter(db, n_categories=50).build()
+        assert coarse.n_categories == 5
+        assert fine.n_categories == 50
+        query = db.fetch(1)
+        # Finer categories filter at least as sharply.
+        assert (
+            fine.search(query, 0.15).candidate_count
+            <= coarse.search(query, 0.15).candidate_count
+        )
+
+    def test_index_size_grows_with_categories(self, db):
+        coarse = STFilter(db, n_categories=4).build()
+        fine = STFilter(db, n_categories=64).build()
+        assert fine.index_size_in_bytes() >= coarse.index_size_in_bytes()
+
+    def test_tree_covers_all_sequences(self, db):
+        method = STFilter(db, n_categories=20).build()
+        assert method.tree.n_sequences == len(db)
+
+    def test_unbuilt_tree_access_raises(self, db):
+        with pytest.raises(RuntimeError):
+            STFilter(db).tree
+
+    def test_answers_match_naive(self, db):
+        st = STFilter(db, n_categories=20).build()
+        naive = NaiveScan(db).build()
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            query = np.asarray(db.fetch(int(rng.integers(len(db)))).values)
+            query = query + rng.uniform(-0.05, 0.05, query.size)
+            for eps in (0.05, 0.3):
+                assert (
+                    st.search(query, eps).answers
+                    == naive.search(query, eps).answers
+                )

@@ -1,0 +1,86 @@
+"""Tests for ST-Filter's subsequence matching (its design workload)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_walk_dataset
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+from repro.methods.st_filter import STFilter
+from repro.storage.database import SequenceDatabase
+
+
+@pytest.fixture(scope="module")
+def built():
+    sequences = random_walk_dataset(15, 18, seed=101)
+    db = SequenceDatabase(page_size=256)
+    db.insert_many(sequences)
+    method = STFilter(db, n_categories=20).build()
+    return sequences, db, method
+
+
+def brute_subsequence_matches(sequences, query, epsilon, max_len=None):
+    out = set()
+    for seq_id, seq in enumerate(sequences):
+        values = np.asarray(seq.values)
+        top = len(values) if max_len is None else min(len(values), max_len)
+        for start in range(len(values)):
+            for length in range(1, top - start + 1):
+                window = values[start : start + length]
+                if dtw_max(window, query) <= epsilon:
+                    out.add((seq_id, start, length))
+    return out
+
+
+class TestSubsequenceSearch:
+    def test_complete_over_all_windows(self, built):
+        sequences, _, method = built
+        rng = np.random.default_rng(1)
+        query = np.asarray(sequences[3].values[5:11]) + rng.uniform(
+            -0.03, 0.03, 6
+        )
+        eps = 0.1
+        got = {(sid, s, ln) for sid, s, ln, _ in
+               method.subsequence_search(query, eps)}
+        expected = brute_subsequence_matches(sequences, query, eps)
+        assert got == expected
+
+    def test_no_false_alarms(self, built):
+        sequences, _, method = built
+        query = sequences[0].values[:6]
+        for seq_id, start, length, distance in method.subsequence_search(
+            query, 0.15
+        ):
+            window = np.asarray(sequences[seq_id].values)[
+                start : start + length
+            ]
+            true = dtw_max(window, query)
+            assert true <= 0.15 + 1e-9
+            assert distance == pytest.approx(true)
+
+    def test_exact_self_window_found(self, built):
+        sequences, _, method = built
+        query = sequences[7].values[2:9]
+        matches = method.subsequence_search(query, 0.0)
+        assert any(
+            sid == 7 and start == 2 and length == 7
+            for sid, start, length, _ in matches
+        )
+
+    def test_sorted_by_distance(self, built):
+        sequences, _, method = built
+        matches = method.subsequence_search(sequences[1].values[:5], 0.2)
+        distances = [m[3] for m in matches]
+        assert distances == sorted(distances)
+
+    def test_empty_query_rejected(self, built):
+        _, _, method = built
+        with pytest.raises(ValidationError):
+            method.subsequence_search([], 0.1)
+
+    def test_unbuilt_rejected(self, built):
+        _, db, _ = built
+        with pytest.raises(RuntimeError):
+            STFilter(db).subsequence_search([1.0], 0.1)

@@ -1,0 +1,90 @@
+"""Unit tests specific to TW-Sim-Search (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import extract_feature
+from repro.core.lower_bound import dtw_lb
+from repro.data.synthetic import random_walk_dataset
+from repro.methods.tw_sim import TWSimSearch
+from repro.storage.database import SequenceDatabase
+
+
+@pytest.fixture()
+def db():
+    database = SequenceDatabase(page_size=512)
+    database.insert_many(random_walk_dataset(40, 20, seed=61))
+    return database
+
+
+class TestBuild:
+    def test_bulk_and_incremental_equivalent_queries(self, db):
+        bulk = TWSimSearch(db, bulk_load=True).build()
+        incremental = TWSimSearch(db, bulk_load=False).build()
+        query = db.fetch(3)
+        for eps in (0.05, 0.2, 0.8):
+            assert (
+                bulk.search(query, eps).answers
+                == incremental.search(query, eps).answers
+            )
+
+    def test_tree_holds_every_sequence(self, db):
+        method = TWSimSearch(db).build()
+        assert len(method.tree) == len(db)
+        method.tree.validate()
+
+    def test_index_is_4d(self, db):
+        method = TWSimSearch(db).build()
+        assert method.tree.ndim == 4
+
+    def test_index_size_reported(self, db):
+        method = TWSimSearch(db).build()
+        assert method.index_size_in_bytes() > 0
+        assert method.index_size_in_bytes() % db.page_size == 0
+
+    def test_index_much_smaller_than_database(self):
+        """The paper: R-tree size under 4% of the database size."""
+        database = SequenceDatabase(page_size=1024)
+        database.insert_many(random_walk_dataset(300, 200, seed=63))
+        method = TWSimSearch(database).build()
+        data_bytes = database.total_pages * database.page_size
+        assert method.index_size_in_bytes() < 0.1 * data_bytes
+
+
+class TestCandidateSemantics:
+    def test_candidates_equal_lower_bound_ball(self, db):
+        """Step 2 returns exactly the D_tw-lb <= eps set."""
+        method = TWSimSearch(db).build()
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            query = db.fetch(int(rng.integers(len(db))))
+            perturbed = np.asarray(query.values) + rng.uniform(
+                -0.1, 0.1, len(query)
+            )
+            eps = float(rng.uniform(0.05, 0.5))
+            report = method.search(perturbed, eps)
+            expected = sorted(
+                sid
+                for sid in db.ids()
+                if dtw_lb(db.fetch(sid).values, perturbed) <= eps
+            )
+            assert report.candidates == expected
+
+    def test_online_insert_searchable(self, db):
+        method = TWSimSearch(db).build()
+        new_values = [50.0, 50.5, 51.0]
+        new_id = method.insert(new_values)
+        report = method.search(new_values, 0.01)
+        assert new_id in report.answers
+
+    def test_query_feature_extraction_counted(self, db):
+        method = TWSimSearch(db).build()
+        report = method.search(db.fetch(0), 0.1)
+        assert report.stats.lower_bound_computations == 1
+
+    def test_unbuilt_tree_access_raises(self, db):
+        method = TWSimSearch(db)
+        with pytest.raises(RuntimeError):
+            method.tree

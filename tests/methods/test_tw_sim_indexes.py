@@ -1,0 +1,71 @@
+"""TW-Sim-Search on each of the paper's four index structures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import random_walk_dataset
+from repro.exceptions import ValidationError
+from repro.methods.naive_scan import NaiveScan
+from repro.methods.tw_sim import INDEX_KINDS, TWSimSearch
+from repro.storage.database import SequenceDatabase
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = SequenceDatabase(page_size=512)
+    database.insert_many(random_walk_dataset(40, 20, seed=131))
+    return database
+
+
+class TestIndexKinds:
+    def test_registry_names_the_paper_indexes(self):
+        assert set(INDEX_KINDS) == {"rtree", "rstar", "rplus", "xtree"}
+
+    def test_invalid_kind_rejected(self, db):
+        with pytest.raises(ValidationError):
+            TWSimSearch(db, index="btree")
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_every_index_gives_exact_answers(self, db, kind):
+        method = TWSimSearch(db, index=kind).build()
+        naive = NaiveScan(db).build()
+        rng = np.random.default_rng(7)
+        for _ in range(4):
+            base = db.fetch(int(rng.integers(len(db))))
+            query = np.asarray(base.values) + rng.uniform(
+                -0.1, 0.1, len(base)
+            )
+            for eps in (0.05, 0.3):
+                assert (
+                    method.search(query, eps).answers
+                    == naive.search(query, eps).answers
+                )
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_candidate_sets_identical_across_indexes(self, db, kind):
+        """The candidate set is defined by D_tw-lb, not by the index."""
+        reference = TWSimSearch(db, index="rtree").build()
+        method = TWSimSearch(db, index=kind).build()
+        query = db.fetch(3)
+        for eps in (0.1, 0.5):
+            assert (
+                method.search(query, eps).candidates
+                == reference.search(query, eps).candidates
+            )
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_index_reports_node_reads(self, db, kind):
+        method = TWSimSearch(db, index=kind).build()
+        report = method.search(db.fetch(0), 0.2)
+        assert report.stats.index_node_reads > 0
+
+    def test_index_kind_property(self, db):
+        assert TWSimSearch(db, index="xtree").index_kind == "xtree"
+
+    def test_bulk_load_only_for_plain_rtree(self, db):
+        from repro.index.rtree.rplus import RPlusTree
+
+        method = TWSimSearch(db, index="rplus", bulk_load=True).build()
+        assert isinstance(method.tree, RPlusTree)

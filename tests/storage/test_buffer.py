@@ -1,0 +1,56 @@
+"""Tests for the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.storage.buffer import BufferPool
+
+
+class TestBufferPool:
+    def test_zero_capacity_never_hits(self):
+        pool = BufferPool(0)
+        assert not pool.access(1)
+        assert not pool.access(1)
+        assert pool.hits == 0
+        assert pool.misses == 2
+
+    def test_hit_after_admit(self):
+        pool = BufferPool(2)
+        assert not pool.access(1)
+        assert pool.access(1)
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.access(1)
+        pool.access(2)
+        pool.access(1)  # 1 is now most recent
+        pool.access(3)  # evicts 2
+        assert 2 not in pool
+        assert 1 in pool and 3 in pool
+
+    def test_capacity_respected(self):
+        pool = BufferPool(3)
+        for page in range(10):
+            pool.access(page)
+        assert len(pool) == 3
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            BufferPool(-1)
+
+    def test_clear_resets(self):
+        pool = BufferPool(2)
+        pool.access(1)
+        pool.access(1)
+        pool.clear()
+        assert len(pool) == 0
+        assert (pool.hits, pool.misses) == (0, 0)
+
+    def test_contains(self):
+        pool = BufferPool(1)
+        pool.access(9)
+        assert 9 in pool
+        assert 4 not in pool

@@ -1,0 +1,127 @@
+"""Tests for the SequenceDatabase façade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SequenceNotFoundError, ValidationError
+from repro.storage.database import SequenceDatabase
+from repro.storage.diskmodel import DiskModel
+from repro.types import Sequence
+
+
+class TestInsertFetch:
+    def test_ids_are_sequential(self):
+        db = SequenceDatabase()
+        assert db.insert([1.0, 2.0]) == 0
+        assert db.insert([3.0]) == 1
+        assert db.ids() == [0, 1]
+
+    def test_fetch_returns_tagged_sequence(self):
+        db = SequenceDatabase()
+        sid = db.insert([1.0, 2.0, 3.0])
+        seq = db.fetch(sid)
+        assert isinstance(seq, Sequence)
+        assert seq.seq_id == sid
+        assert list(seq) == [1.0, 2.0, 3.0]
+
+    def test_fetch_missing_raises(self):
+        with pytest.raises(SequenceNotFoundError):
+            SequenceDatabase().fetch(3)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValidationError):
+            SequenceDatabase().insert([])
+
+    def test_insert_many(self):
+        db = SequenceDatabase()
+        ids = db.insert_many([[1.0], [2.0], [3.0]])
+        assert ids == [0, 1, 2]
+        assert len(db) == 3
+
+    def test_contains(self):
+        db = SequenceDatabase()
+        sid = db.insert([1.0])
+        assert sid in db
+        assert 99 not in db
+
+
+class TestIOAccounting:
+    def test_scan_charges_sequential_pages(self):
+        db = SequenceDatabase(page_size=64)
+        db.insert_many([np.ones(20) * i for i in range(1, 6)])
+        db.io.reset()
+        list(db.scan())
+        assert db.io.sequential_pages == db.total_pages
+        assert db.io.random_pages == 0
+        assert db.io.simulated_seconds > 0
+
+    def test_fetch_charges_random_pages(self):
+        db = SequenceDatabase(page_size=64)
+        sid = db.insert(np.ones(50))
+        db.io.reset()
+        db.fetch(sid)
+        assert db.io.random_pages == len(list(db._heap.pages_of(sid)))
+        assert db.io.sequential_pages == 0
+
+    def test_buffer_pool_absorbs_repeat_fetches(self):
+        db = SequenceDatabase(page_size=64, buffer_pages=100)
+        sid = db.insert(np.ones(10))
+        db.fetch(sid)
+        before = db.io.random_pages
+        db.fetch(sid)
+        assert db.io.random_pages == before  # all pages were buffered
+        assert db.io.buffer_hits > 0
+
+    def test_cold_cache_by_default(self):
+        db = SequenceDatabase(page_size=64)
+        sid = db.insert(np.ones(10))
+        db.fetch(sid)
+        first = db.io.random_pages
+        db.fetch(sid)
+        assert db.io.random_pages == 2 * first
+
+    def test_marks_and_delta(self):
+        db = SequenceDatabase(page_size=64)
+        sid = db.insert(np.ones(30))
+        db.io.mark("x")
+        db.fetch(sid)
+        assert db.io.delta_seconds("x") > 0
+
+    def test_record_fetch_cheaper_than_per_page_seeks(self):
+        disk = DiskModel()
+        db = SequenceDatabase(page_size=64, disk=disk)
+        sid = db.insert(np.ones(100))  # spans many pages
+        db.io.reset()
+        db.fetch(sid)
+        pages = db.io.random_pages
+        assert db.io.simulated_seconds < disk.random_read_time(pages, 64)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        db = SequenceDatabase(page_size=128)
+        rng = np.random.default_rng(3)
+        data = [rng.uniform(0, 9, int(rng.integers(1, 30))) for _ in range(12)]
+        db.insert_many(data)
+        path = tmp_path / "db.heap"
+        db.save(path)
+        loaded = SequenceDatabase.load(path)
+        assert len(loaded) == 12
+        assert loaded.page_size == 128
+        for i, values in enumerate(data):
+            assert np.allclose(loaded.fetch(i).values, values)
+
+    def test_loaded_database_continues_ids(self, tmp_path):
+        db = SequenceDatabase()
+        db.insert_many([[1.0], [2.0]])
+        path = tmp_path / "db.heap"
+        db.save(path)
+        loaded = SequenceDatabase.load(path)
+        assert loaded.insert([3.0]) == 2
+
+    def test_repr(self):
+        db = SequenceDatabase()
+        db.insert([1.0])
+        assert "1 sequences" in repr(db)

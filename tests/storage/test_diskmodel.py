@@ -1,0 +1,69 @@
+"""Tests for the analytic disk cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.storage.diskmodel import DiskModel
+
+
+class TestDiskModel:
+    def test_paper_defaults(self):
+        disk = DiskModel()
+        assert disk.seek_ms == 9.5
+        assert disk.transfer_mb_per_s == 10.0
+
+    def test_transfer_time_linear(self):
+        disk = DiskModel(transfer_mb_per_s=10.0)
+        one_mb = disk.transfer_time(1024 * 1024)
+        assert one_mb == pytest.approx(0.1)
+        assert disk.transfer_time(2 * 1024 * 1024) == pytest.approx(2 * one_mb)
+
+    def test_random_reads_pay_seek_per_page(self):
+        disk = DiskModel(seek_ms=10.0, transfer_mb_per_s=10.0)
+        t = disk.random_read_time(5, 1024)
+        assert t == pytest.approx(5 * (0.010 + 1024 / (10 * 1024 * 1024)))
+
+    def test_record_read_single_seek(self):
+        disk = DiskModel(seek_ms=10.0, transfer_mb_per_s=10.0)
+        t = disk.record_read_time(5, 1024)
+        assert t == pytest.approx(0.010 + 5 * 1024 / (10 * 1024 * 1024))
+        assert t < disk.random_read_time(5, 1024)
+
+    def test_sequential_single_seek(self):
+        disk = DiskModel(seek_ms=10.0, transfer_mb_per_s=10.0)
+        t = disk.sequential_read_time(100, 1024)
+        assert t == pytest.approx(0.010 + 100 * 1024 / (10 * 1024 * 1024))
+
+    def test_sequential_beats_random_for_scans(self):
+        disk = DiskModel()
+        assert disk.sequential_read_time(100, 1024) < disk.random_read_time(100, 1024)
+
+    def test_zero_pages(self):
+        disk = DiskModel()
+        assert disk.sequential_read_time(0, 1024) == 0.0
+        assert disk.random_read_time(0, 1024) == 0.0
+        assert disk.record_read_time(0, 1024) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            DiskModel(seek_ms=-1)
+        with pytest.raises(ValidationError):
+            DiskModel(transfer_mb_per_s=0)
+
+    def test_invalid_arguments(self):
+        disk = DiskModel()
+        with pytest.raises(ValidationError):
+            disk.transfer_time(-1)
+        with pytest.raises(ValidationError):
+            disk.random_read_time(-1, 1024)
+        with pytest.raises(ValidationError):
+            disk.sequential_read_time(-2, 1024)
+        with pytest.raises(ValidationError):
+            disk.record_read_time(-2, 1024)
+
+    def test_frozen(self):
+        disk = DiskModel()
+        with pytest.raises(AttributeError):
+            disk.seek_ms = 1.0  # type: ignore[misc]

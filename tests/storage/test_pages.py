@@ -1,0 +1,142 @@
+"""Tests for the paged heap file."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    SequenceNotFoundError,
+    StorageError,
+    ValidationError,
+)
+from repro.storage.pages import SequenceHeapFile
+
+
+class TestAppendAndRead:
+    def test_round_trip(self):
+        heap = SequenceHeapFile(page_size=64)
+        heap.append(0, np.array([1.0, 2.0, 3.0]))
+        seq = heap.read(0)
+        assert list(seq) == [1.0, 2.0, 3.0]
+        assert seq.seq_id == 0
+
+    def test_missing_id_raises(self):
+        heap = SequenceHeapFile()
+        with pytest.raises(SequenceNotFoundError):
+            heap.read(5)
+
+    def test_duplicate_id_rejected(self):
+        heap = SequenceHeapFile()
+        heap.append(1, np.array([1.0]))
+        with pytest.raises(StorageError):
+            heap.append(1, np.array([2.0]))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValidationError):
+            SequenceHeapFile().append(-1, np.array([1.0]))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(Exception):
+            SequenceHeapFile().append(0, np.array([]))
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(ValidationError):
+            SequenceHeapFile(page_size=8)
+
+    def test_contains_and_len(self):
+        heap = SequenceHeapFile()
+        heap.append(0, np.array([1.0]))
+        heap.append(1, np.array([2.0]))
+        assert 0 in heap and 1 in heap and 2 not in heap
+        assert len(heap) == 2
+
+
+class TestPageGeometry:
+    def test_small_record_single_page(self):
+        heap = SequenceHeapFile(page_size=1024)
+        pages = heap.append(0, np.array([1.0, 2.0]))
+        assert list(pages) == [0]
+
+    def test_long_record_spans_pages(self):
+        heap = SequenceHeapFile(page_size=64)
+        pages = heap.append(0, np.zeros(100) + 1.0)
+        # 12-byte header + 800 bytes = 812 bytes -> 13 pages of 64.
+        assert len(list(pages)) == 13
+
+    def test_total_pages_matches_bytes(self):
+        heap = SequenceHeapFile(page_size=64)
+        heap.append(0, np.ones(20))
+        assert heap.total_pages == -(-heap.total_bytes // 64)
+
+    def test_records_are_contiguous(self):
+        heap = SequenceHeapFile(page_size=64)
+        heap.append(0, np.ones(10))
+        heap.append(1, np.ones(10))
+        p0 = list(heap.pages_of(0))
+        p1 = list(heap.pages_of(1))
+        assert p1[0] >= p0[-1]  # second record starts at or after first's end
+
+
+class TestScan:
+    def test_physical_order(self):
+        heap = SequenceHeapFile()
+        for i in range(5):
+            heap.append(i, np.array([float(i)]))
+        assert [s.seq_id for s in heap.scan()] == [0, 1, 2, 3, 4]
+        assert heap.ids() == [0, 1, 2, 3, 4]
+
+    def test_scan_values_intact(self):
+        heap = SequenceHeapFile()
+        data = {i: np.random.default_rng(i).uniform(0, 10, i + 1) for i in range(8)}
+        for i, values in data.items():
+            heap.append(i, values)
+        for seq in heap.scan():
+            assert np.allclose(seq.values, data[seq.seq_id])
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        heap = SequenceHeapFile(page_size=128)
+        rng = np.random.default_rng(7)
+        originals = {}
+        for i in range(10):
+            values = rng.uniform(-5, 5, int(rng.integers(1, 40)))
+            originals[i] = values
+            heap.append(i, values)
+        path = tmp_path / "data.heap"
+        heap.save(path)
+        loaded = SequenceHeapFile.load(path)
+        assert loaded.page_size == 128
+        assert len(loaded) == 10
+        for i, values in originals.items():
+            assert np.allclose(loaded.read(i).values, values)
+        assert loaded.ids() == heap.ids()
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a heap file at all")
+        with pytest.raises(StorageError):
+            SequenceHeapFile.load(path)
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_property_round_trip_any_values(sequences):
+    heap = SequenceHeapFile(page_size=64)
+    for i, values in enumerate(sequences):
+        heap.append(i, np.array(values))
+    for i, values in enumerate(sequences):
+        assert heap.read(i).values.tolist() == [float(v) for v in values]

@@ -1,0 +1,76 @@
+"""Model-based fuzzing of the storage stack.
+
+Hypothesis drives random interleavings of insert / delete / compact /
+save / load against a plain-dict reference model; after every step the
+database must agree with the model on membership, contents and order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SequenceNotFoundError
+from repro.storage.database import SequenceDatabase
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=12,
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), values_strategy),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("compact"), st.none()),
+        st.tuples(st.just("reload"), st.none()),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_storage_agrees_with_model(tmp_path_factory, ops):
+    tmp_path = tmp_path_factory.mktemp("storage-model")
+    db = SequenceDatabase(page_size=128)
+    model: dict[int, list[float]] = {}
+    order: list[int] = []
+    reloads = 0
+
+    for op, arg in ops:
+        if op == "insert":
+            seq_id = db.insert(arg)
+            assert seq_id not in model, "id reuse!"
+            model[seq_id] = [float(v) for v in arg]
+            order.append(seq_id)
+        elif op == "delete":
+            if arg in model:
+                db.delete(arg)
+                del model[arg]
+                order.remove(arg)
+            else:
+                with pytest.raises(SequenceNotFoundError):
+                    db.delete(arg)
+        elif op == "compact":
+            freed = db.compact()
+            assert freed >= 0
+        else:  # reload
+            path = tmp_path / f"state-{reloads}.heap"
+            reloads += 1
+            db.save(path)
+            db = SequenceDatabase.load(path)
+
+        # Invariants after every step.
+        assert len(db) == len(model)
+        assert db.ids() == order
+        for seq_id, expected in model.items():
+            assert seq_id in db
+            got = db.fetch(seq_id)
+            assert got.values.tolist() == expected
+        scanned = [s.seq_id for s in db.scan()]
+        assert scanned == order

@@ -1,0 +1,160 @@
+"""Tests for the analysis layer: self-join, clustering, calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibrate import (
+    DistanceProfile,
+    profile_distances,
+    suggest_epsilon,
+)
+from repro.analysis.clustering import cluster_by_similarity, medoid
+from repro.analysis.selfjoin import (
+    SimilarityPair,
+    similarity_graph,
+    similarity_self_join,
+)
+from repro.data.synthetic import random_walk_dataset
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def walks():
+    return [np.asarray(s.values) for s in random_walk_dataset(30, 20, seed=91)]
+
+
+def brute_join(arrays, epsilon):
+    pairs = []
+    for i in range(len(arrays)):
+        for j in range(i + 1, len(arrays)):
+            d = dtw_max(arrays[i], arrays[j])
+            if d <= epsilon:
+                pairs.append((i, j))
+    return pairs
+
+
+class TestSelfJoin:
+    def test_matches_brute_force(self, walks):
+        for eps in (0.1, 0.5, 1.5):
+            got = similarity_self_join(walks, eps)
+            assert [(p.left, p.right) for p in got] == brute_join(walks, eps)
+
+    def test_distances_are_exact(self, walks):
+        for pair in similarity_self_join(walks, 1.0):
+            assert pair.distance == pytest.approx(
+                dtw_max(walks[pair.left], walks[pair.right])
+            )
+            assert pair.distance <= 1.0
+
+    def test_each_pair_once_ordered(self, walks):
+        pairs = similarity_self_join(walks, 2.0)
+        keys = [(p.left, p.right) for p in pairs]
+        assert len(keys) == len(set(keys))
+        assert all(p.left < p.right for p in pairs)
+
+    def test_zero_epsilon_with_duplicates(self):
+        seqs = [[1.0, 2.0], [1.0, 2.0], [9.0, 9.0]]
+        pairs = similarity_self_join(seqs, 0.0)
+        assert [(p.left, p.right) for p in pairs] == [(0, 1)]
+
+    def test_invalid_input(self):
+        with pytest.raises(ValidationError):
+            similarity_self_join([], 1.0)
+        with pytest.raises(ValidationError):
+            similarity_self_join([[1.0]], -1.0)
+
+    def test_graph_symmetric_with_all_nodes(self, walks):
+        graph = similarity_graph(walks, 0.8)
+        assert set(graph) == set(range(len(walks)))
+        for node, neighbours in graph.items():
+            for other in neighbours:
+                assert node in graph[other]
+                assert other != node
+
+
+class TestClustering:
+    def test_planted_clusters_recovered(self):
+        rng = np.random.default_rng(5)
+        base_a = np.cumsum(rng.uniform(-0.1, 0.1, 20)) + 5.0
+        base_b = np.cumsum(rng.uniform(-0.1, 0.1, 20)) + 50.0
+        sequences = (
+            [base_a + rng.uniform(-0.01, 0.01, 20) for _ in range(4)]
+            + [base_b + rng.uniform(-0.01, 0.01, 20) for _ in range(3)]
+            + [np.full(20, 1000.0)]
+        )
+        result = cluster_by_similarity(sequences, epsilon=0.1)
+        non_trivial = result.non_trivial()
+        assert [len(c) for c in non_trivial] == [4, 3]
+        assert non_trivial[0] == [0, 1, 2, 3]
+        assert non_trivial[1] == [4, 5, 6]
+        assert result.n_clusters == 3  # incl. the singleton outlier
+
+    def test_cluster_of(self):
+        sequences = [[1.0, 1.0], [1.0, 1.0], [9.0, 9.0]]
+        result = cluster_by_similarity(sequences, epsilon=0.0)
+        assert result.cluster_of(0) == result.cluster_of(1)
+        assert result.cluster_of(2) != result.cluster_of(0)
+        with pytest.raises(ValidationError):
+            result.cluster_of(99)
+
+    def test_all_isolated_when_epsilon_tiny(self, walks):
+        result = cluster_by_similarity(walks, epsilon=0.0)
+        assert result.n_clusters == len(walks) or result.non_trivial() == []
+
+    def test_medoid_center_of_cluster(self):
+        center = np.array([5.0, 5.0, 5.0])
+        members = [center, center + 0.5, center - 0.5]
+        assert medoid(members, [0, 1, 2]) == 0
+
+    def test_medoid_edge_cases(self):
+        assert medoid([[1.0]], [0]) == 0
+        with pytest.raises(ValidationError):
+            medoid([[1.0]], [])
+
+
+class TestCalibration:
+    def test_profile_sorted_and_bounded(self, walks):
+        profile = profile_distances(walks, n_pairs=100, seed=1)
+        assert np.all(np.diff(profile.true_distances) >= 0)
+        assert np.all(np.diff(profile.lower_bounds) >= 0)
+        assert profile.true_distances.size == 100
+
+    def test_lower_bound_stochastically_below_true(self, walks):
+        profile = profile_distances(walks, n_pairs=200, seed=2)
+        # Same pairs, so means must respect the bound.
+        assert profile.lower_bounds.mean() <= profile.true_distances.mean() + 1e-9
+
+    def test_selectivity_monotone_in_epsilon(self, walks):
+        profile = profile_distances(walks, n_pairs=100, seed=3)
+        sels = [profile.selectivity_at(e) for e in (0.0, 0.5, 1.0, 5.0)]
+        assert sels == sorted(sels)
+        assert sels[-1] == 1.0 or profile.true_distances.max() > 5.0
+
+    def test_suggest_epsilon_hits_target(self, walks):
+        eps = suggest_epsilon(walks, 0.25, n_pairs=400, seed=4)
+        profile = profile_distances(walks, n_pairs=400, seed=4)
+        achieved = profile.selectivity_at(eps)
+        assert 0.15 <= achieved <= 0.35
+
+    def test_filtering_power(self, walks):
+        profile = profile_distances(walks, n_pairs=100, seed=5)
+        assert 0.0 <= profile.filtering_power_at(0.1) <= 1.0
+        assert profile.filtering_power_at(1e9) == 0.0
+
+    def test_invalid_args(self, walks):
+        with pytest.raises(ValidationError):
+            profile_distances([[1.0]])
+        with pytest.raises(ValidationError):
+            profile_distances(walks, n_pairs=0)
+        with pytest.raises(ValidationError):
+            suggest_epsilon(walks, 0.0)
+        profile = profile_distances(walks, n_pairs=10, seed=6)
+        with pytest.raises(ValidationError):
+            profile.quantile(1.5)
+        with pytest.raises(ValidationError):
+            profile.selectivity_at(-1.0)
+        with pytest.raises(ValidationError):
+            profile.filtering_power_at(-1.0)

@@ -1,0 +1,87 @@
+"""Tests for the DTW 1-NN classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import NearestNeighborClassifier
+from repro.data.shapes import cbf_dataset
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+from repro.transforms import znormalize
+
+
+class TestConstruction:
+    def test_requires_examples(self):
+        with pytest.raises(ValidationError):
+            NearestNeighborClassifier([], [])
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            NearestNeighborClassifier([[1.0]], ["a", "b"])
+
+    def test_classes_sorted_unique(self):
+        clf = NearestNeighborClassifier(
+            [[1.0], [2.0], [3.0]], ["b", "a", "b"]
+        )
+        assert clf.classes == ["a", "b"]
+        assert len(clf) == 3
+
+
+class TestPrediction:
+    def test_exact_example_predicts_its_label(self):
+        clf = NearestNeighborClassifier(
+            [[1.0, 2.0], [10.0, 11.0]], ["low", "high"]
+        )
+        pred = clf.predict([1.0, 2.0])
+        assert pred.label == "low"
+        assert pred.distance == 0.0
+        assert pred.neighbor_index == 0
+
+    def test_matches_brute_force_nearest(self):
+        rng = np.random.default_rng(1)
+        train = [rng.uniform(0, 10, int(rng.integers(3, 9))) for _ in range(30)]
+        labels = [str(i % 3) for i in range(30)]
+        clf = NearestNeighborClassifier(train, labels)
+        for _ in range(10):
+            query = rng.uniform(0, 10, int(rng.integers(3, 9)))
+            best = min(range(30), key=lambda i: (dtw_max(train[i], query), i))
+            pred = clf.predict(query)
+            assert pred.distance == pytest.approx(dtw_max(train[best], query))
+            assert pred.label == labels[best]
+
+    def test_pruning_saves_evaluations(self):
+        rng = np.random.default_rng(2)
+        # Widely spread levels: the lower bound separates most examples.
+        train = [rng.uniform(0, 1, 10) + 10 * (i % 10) for i in range(100)]
+        labels = [str(i % 10) for i in range(100)]
+        clf = NearestNeighborClassifier(train, labels)
+        pred = clf.predict(train[37] + 0.01)
+        assert pred.label == "7"
+        assert pred.dtw_evaluations < 100 / 2
+
+    def test_predict_many(self):
+        clf = NearestNeighborClassifier([[1.0], [9.0]], ["a", "b"])
+        preds = clf.predict_many([[1.1], [8.8]])
+        assert [p.label for p in preds] == ["a", "b"]
+
+
+class TestScore:
+    def test_cbf_accuracy(self):
+        """1-NN DTW separates cylinder/bell/funnel well above chance."""
+        train = cbf_dataset(8, 48, seed=5, noise=0.15)
+        test = cbf_dataset(4, 48, seed=99, noise=0.15)
+        prep = lambda seqs: [znormalize(s.values).values for s in seqs]
+        clf = NearestNeighborClassifier(
+            prep(train), [s.label for s in train]
+        )
+        accuracy = clf.score(prep(test), [s.label for s in test])
+        assert accuracy >= 0.7
+
+    def test_score_validation(self):
+        clf = NearestNeighborClassifier([[1.0]], ["a"])
+        with pytest.raises(ValidationError):
+            clf.score([[1.0]], ["a", "b"])
+        with pytest.raises(ValidationError):
+            clf.score([], [])

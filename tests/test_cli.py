@@ -1,0 +1,180 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.storage.database import SequenceDatabase
+
+
+@pytest.fixture()
+def dataset_csv(tmp_path):
+    path = tmp_path / "data.csv"
+    rc = main(
+        [
+            "generate",
+            "--kind",
+            "walk",
+            "--n",
+            "20",
+            "--length",
+            "15",
+            "--seed",
+            "3",
+            "--out",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+@pytest.fixture()
+def database_file(dataset_csv, tmp_path):
+    db_path = tmp_path / "data.heap"
+    rc = main(["build", "--input", str(dataset_csv), "--out", str(db_path)])
+    assert rc == 0
+    return db_path
+
+
+class TestGenerate:
+    def test_walk_csv_shape(self, dataset_csv):
+        lines = dataset_csv.read_text().strip().splitlines()
+        assert len(lines) == 20
+        assert all(len(line.split(",")) == 15 for line in lines)
+
+    def test_stocks_have_labels(self, tmp_path, capsys):
+        path = tmp_path / "stocks.csv"
+        rc = main(
+            ["generate", "--kind", "stocks", "--n", "5", "--length", "20",
+             "--out", str(path)]
+        )
+        assert rc == 0
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("TICK")
+        assert "wrote 5 sequences" in capsys.readouterr().out
+
+    def test_jitter(self, tmp_path):
+        path = tmp_path / "jit.csv"
+        main(
+            ["generate", "--n", "20", "--length", "30", "--jitter", "0.5",
+             "--seed", "1", "--out", str(path)]
+        )
+        lengths = {len(l.split(",")) for l in path.read_text().splitlines()}
+        assert len(lengths) > 1
+
+
+class TestBuildAndInfo:
+    def test_build_creates_loadable_db(self, database_file):
+        db = SequenceDatabase.load(database_file)
+        assert len(db) == 20
+
+    def test_info_output(self, database_file, capsys):
+        rc = main(["info", "--db", str(database_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sequences:      20" in out
+        assert "total elements: 300" in out
+
+    def test_build_missing_input_fails(self, tmp_path, capsys):
+        rc = main(
+            ["build", "--input", str(tmp_path / "nope.csv"), "--out",
+             str(tmp_path / "o.heap")]
+        )
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_epsilon_query_finds_stored_sequence(self, database_file, capsys):
+        db = SequenceDatabase.load(database_file)
+        target = ",".join(str(v) for v in db.fetch(4).values)
+        rc = main(
+            ["query", "--db", str(database_file), "--query", target,
+             "--epsilon", "0.0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seq 4" in out
+        assert "D_tw=0" in out
+
+    def test_knn_query(self, database_file, capsys):
+        db = SequenceDatabase.load(database_file)
+        target = ",".join(str(v) for v in db.fetch(2).values)
+        rc = main(
+            ["query", "--db", str(database_file), "--query", target,
+             "--knn", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 nearest neighbour(s):" in out
+        assert "seq 2" in out.splitlines()[1]  # exact match ranks first
+
+    def test_query_from_file(self, database_file, tmp_path, capsys):
+        db = SequenceDatabase.load(database_file)
+        qfile = tmp_path / "q.txt"
+        qfile.write_text("\n".join(str(v) for v in db.fetch(0).values))
+        rc = main(
+            ["query", "--db", str(database_file), "--query", f"@{qfile}",
+             "--epsilon", "0.0"]
+        )
+        assert rc == 0
+        assert "seq 0" in capsys.readouterr().out
+
+    def test_epsilon_and_knn_mutually_exclusive(self, database_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--db", str(database_file), "--query", "1,2",
+                 "--epsilon", "1", "--knn", "2"]
+            )
+
+
+class TestCompare:
+    def test_compare_synthetic(self, capsys):
+        rc = main(["compare", "--queries", "2", "--epsilon", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("Naive-Scan", "LB-Scan", "ST-Filter", "TW-Sim-Search"):
+            assert name in out
+
+    def test_compare_with_fastmap(self, dataset_csv, capsys):
+        rc = main(
+            ["compare", "--input", str(dataset_csv), "--queries", "2",
+             "--epsilon", "0.3", "--fastmap"]
+        )
+        assert rc == 0
+        assert "FastMap" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "a3"])
+        assert args.id == "a3"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "zz"])
+
+    def test_experiment_a3_runs(self, capsys, monkeypatch):
+        # a3 (bulk load) is the fastest experiment; run it tiny via env.
+        from repro.eval import experiments as exp
+
+        monkeypatch.setitem(
+            __import__("repro.cli", fromlist=["_EXPERIMENTS"])._EXPERIMENTS,
+            "a3",
+            lambda: exp.ablation_bulk_load(counts=(100, 200)),
+        )
+        rc = main(["experiment", "a3"])
+        assert rc == 0
+        assert "bulk" in capsys.readouterr().out.lower()

@@ -1,0 +1,74 @@
+"""Tests for the cluster and explain CLI subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def dataset_csv(tmp_path):
+    path = tmp_path / "walks.csv"
+    main(
+        ["generate", "--kind", "walk", "--n", "15", "--length", "12",
+         "--seed", "5", "--out", str(path)]
+    )
+    return path
+
+
+@pytest.fixture()
+def database_file(dataset_csv, tmp_path):
+    db_path = tmp_path / "walks.heap"
+    main(["build", "--input", str(dataset_csv), "--out", str(db_path)])
+    return db_path
+
+
+class TestClusterCommand:
+    def test_fixed_epsilon(self, dataset_csv, capsys):
+        rc = main(
+            ["cluster", "--input", str(dataset_csv), "--epsilon", "0.5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "15 sequences ->" in out
+        assert "cluster(s)" in out
+
+    def test_calibrated_selectivity(self, dataset_csv, capsys):
+        rc = main(
+            ["cluster", "--input", str(dataset_csv), "--selectivity", "0.2",
+             "--seed", "1"]
+        )
+        assert rc == 0
+        assert "calibrated tolerance" in capsys.readouterr().out
+
+    def test_epsilon_and_selectivity_exclusive(self, dataset_csv):
+        with pytest.raises(SystemExit):
+            main(
+                ["cluster", "--input", str(dataset_csv), "--epsilon", "1",
+                 "--selectivity", "0.1"]
+            )
+
+
+class TestExplainCommand:
+    def test_explain_alignment(self, database_file, capsys):
+        from repro.storage.database import SequenceDatabase
+
+        db = SequenceDatabase.load(database_file)
+        query = ",".join(str(v) for v in db.fetch(2).values)
+        rc = main(
+            ["explain", "--db", str(database_file), "--seq", "2",
+             "--query", query]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "D_tw = 0" in out
+        assert "bottleneck" in out
+
+    def test_explain_missing_sequence(self, database_file, capsys):
+        rc = main(
+            ["explain", "--db", str(database_file), "--seq", "999",
+             "--query", "1,2,3"]
+        )
+        assert rc == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,63 @@
+"""Tests for the CLI report subcommand (report generation stubbed)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cli as cli
+
+
+@pytest.fixture()
+def stub_report(monkeypatch):
+    import repro.eval.report as report_mod
+
+    monkeypatch.setattr(
+        report_mod,
+        "generate_report",
+        lambda **kwargs: f"# Reproduction report (stub)\nflags={sorted(kwargs.items())}\n",
+    )
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, stub_report, capsys):
+        rc = cli.main(["report", "--skip-stock", "--skip-scale", "--skip-ablations"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report (stub)" in out
+        assert "('include_ablations', False)" in out
+
+    def test_report_to_file(self, stub_report, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        rc = cli.main(["report", "--skip-stock", "--out", str(out_path)])
+        assert rc == 0
+        assert out_path.exists()
+        assert "stub" in out_path.read_text()
+        assert f"wrote report to {out_path}" in capsys.readouterr().out
+
+    def test_flags_map_to_kwargs(self, stub_report, capsys):
+        cli.main(["report", "--skip-scale"])
+        out = capsys.readouterr().out
+        assert "('include_scale', False)" in out
+        assert "('include_stock', True)" in out
+
+
+class TestPackedTreeMutation:
+    """Deletion from an STR-packed tree (packing + CondenseTree interplay)."""
+
+    def test_delete_from_packed_tree(self):
+        import numpy as np
+
+        from repro.index.rtree import Rect, STRBulkLoader
+
+        rng = np.random.default_rng(8)
+        points = [tuple(rng.uniform(0, 50, 4)) for _ in range(400)]
+        loader = STRBulkLoader(4, page_size=1024)
+        for i, p in enumerate(points):
+            loader.add(p, i)
+        tree = loader.build()
+        removed = set(range(0, 400, 3))
+        for i in removed:
+            tree.delete(Rect.from_point(points[i]), i)
+        tree.validate()
+        everything = Rect([0] * 4, [50] * 4)
+        assert set(tree.range_search(everything)) == set(range(400)) - removed

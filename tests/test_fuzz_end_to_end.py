@@ -1,0 +1,91 @@
+"""End-to-end property fuzzing: the whole stack against ground truth.
+
+Hypothesis drives randomly-shaped databases and queries through the
+public facade and the experiment methods, asserting the invariants the
+paper proves: exact answers identical to a brute-force linear scan, and
+candidate sets that are supersets of the answers for every exact
+method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TimeWarpingDatabase
+from repro.distance.dtw import dtw_max
+from repro.methods import LBScan, NaiveScan, STFilter, TWSimSearch
+from repro.storage.database import SequenceDatabase
+
+elements = st.floats(min_value=-50, max_value=50, allow_nan=False)
+sequence = st.lists(elements, min_size=1, max_size=10)
+database = st.lists(sequence, min_size=1, max_size=12)
+tolerance = st.floats(min_value=0, max_value=20, allow_nan=False)
+
+
+@given(database, sequence, tolerance)
+@settings(max_examples=40, deadline=None)
+def test_facade_search_equals_brute_force(db_values, query, eps):
+    db = TimeWarpingDatabase(page_size=256)
+    for values in db_values:
+        db.insert(values)
+    expected = sorted(
+        i for i, values in enumerate(db_values)
+        if dtw_max(values, query) <= eps
+    )
+    got = sorted(m.seq_id for m in db.search(query, eps))
+    assert got == expected
+
+
+@given(database, sequence, tolerance)
+@settings(max_examples=25, deadline=None)
+def test_methods_agree_and_candidates_cover(db_values, query, eps):
+    storage = SequenceDatabase(page_size=256)
+    storage.insert_many(db_values)
+    methods = [
+        NaiveScan(storage).build(),
+        LBScan(storage).build(),
+        STFilter(storage, n_categories=8).build(),
+        TWSimSearch(storage).build(),
+    ]
+    reports = [m.search(query, eps) for m in methods]
+    reference = reports[0].answers
+    for report in reports[1:]:
+        assert report.answers == reference
+    for report in reports:
+        assert set(report.answers) <= set(report.candidates)
+
+
+@given(database, st.integers(min_value=1, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_knn_matches_brute_force(db_values, k):
+    db = TimeWarpingDatabase(page_size=256)
+    for values in db_values:
+        db.insert(values)
+    query = db_values[0]
+    truth = sorted(
+        (dtw_max(values, query), i) for i, values in enumerate(db_values)
+    )
+    got = db.knn(query, min(k, len(db_values)))
+    assert [m.seq_id for m in got] == [i for _, i in truth[: len(got)]]
+
+
+@given(database)
+@settings(max_examples=20, deadline=None)
+def test_insert_delete_roundtrip_consistency(db_values):
+    db = TimeWarpingDatabase(page_size=256)
+    ids = [db.insert(values) for values in db_values]
+    # Delete every other sequence.
+    removed = set(ids[::2])
+    for seq_id in removed:
+        db.delete(seq_id)
+    db.index.validate()
+    # Remaining sequences are all still findable at eps=0.
+    for seq_id, values in zip(ids, db_values):
+        hits = {m.seq_id for m in db.search(values, 0.0)}
+        if seq_id in removed:
+            assert seq_id not in hits
+        else:
+            assert seq_id in hits

@@ -1,0 +1,176 @@
+"""Tests for the transforms package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distance.dtw import dtw_max
+from repro.exceptions import ValidationError
+from repro.transforms import (
+    Pipeline,
+    downsample,
+    exponential_smoothing,
+    minmax_normalize,
+    moving_average,
+    scale,
+    shift,
+    znormalize,
+)
+
+elements = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+seqs = st.lists(elements, min_size=1, max_size=20)
+
+
+class TestShiftScale:
+    def test_shift(self):
+        assert list(shift([1, 2, 3], 10)) == [11, 12, 13]
+
+    def test_scale(self):
+        assert list(scale([1, 2, 3], 2)) == [2, 4, 6]
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            shift([1.0], float("inf"))
+        with pytest.raises(ValidationError):
+            scale([1.0], float("nan"))
+
+    @given(seqs, seqs, st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_shift_commutes_with_dtw(self, s, q, c):
+        shifted = dtw_max(shift(s, c).values, shift(q, c).values)
+        assert shifted == pytest.approx(dtw_max(s, q), abs=1e-7)
+
+    @given(seqs, seqs, st.floats(min_value=0.1, max_value=10, allow_nan=False))
+    def test_scale_scales_dtw(self, s, q, a):
+        scaled = dtw_max(scale(s, a).values, scale(q, a).values)
+        assert scaled == pytest.approx(a * dtw_max(s, q), rel=1e-6, abs=1e-7)
+
+
+class TestNormalization:
+    def test_znormalize_moments(self):
+        out = np.asarray(znormalize([1.0, 2.0, 3.0, 4.0]).values)
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+        assert out.std() == pytest.approx(1.0)
+
+    def test_znormalize_constant_is_zero(self):
+        assert list(znormalize([5.0, 5.0])) == [0.0, 0.0]
+
+    def test_znormalize_level_invariant(self):
+        a = znormalize([1.0, 3.0, 2.0])
+        b = znormalize([101.0, 103.0, 102.0])
+        assert np.allclose(a.values, b.values)
+
+    def test_znormalize_amplitude_invariant(self):
+        a = znormalize([1.0, 3.0, 2.0])
+        b = znormalize([10.0, 30.0, 20.0])
+        assert np.allclose(a.values, b.values)
+
+    def test_minmax_range(self):
+        out = np.asarray(minmax_normalize([2.0, 4.0, 6.0]).values)
+        assert out.min() == 0.0
+        assert out.max() == 1.0
+
+    def test_minmax_custom_range(self):
+        out = np.asarray(minmax_normalize([0.0, 10.0], low=-1, high=1).values)
+        assert out.tolist() == [-1.0, 1.0]
+
+    def test_minmax_constant_maps_to_midpoint(self):
+        assert list(minmax_normalize([7.0, 7.0])) == [0.5, 0.5]
+
+    def test_minmax_invalid_range(self):
+        with pytest.raises(ValidationError):
+            minmax_normalize([1.0], low=1.0, high=1.0)
+
+
+class TestSmoothing:
+    def test_moving_average_values(self):
+        out = list(moving_average([2.0, 4.0, 6.0, 8.0], 2))
+        assert out == [2.0, 3.0, 5.0, 7.0]
+
+    def test_window_one_is_identity(self):
+        assert list(moving_average([1.0, 5.0, 2.0], 1)) == [1.0, 5.0, 2.0]
+
+    def test_weighted_average(self):
+        out = list(moving_average([0.0, 10.0], 2, weights=[1.0, 3.0]))
+        # Element 1: (0*1 + 10*3) / 4.
+        assert out[1] == pytest.approx(7.5)
+
+    def test_invalid_window_and_weights(self):
+        with pytest.raises(ValidationError):
+            moving_average([1.0], 0)
+        with pytest.raises(ValidationError):
+            moving_average([1.0, 2.0], 2, weights=[1.0])
+        with pytest.raises(ValidationError):
+            moving_average([1.0, 2.0], 2, weights=[0.0, 0.0])
+
+    def test_smoothing_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        noisy = rng.normal(0, 1, 200)
+        smooth = np.asarray(moving_average(noisy, 8).values)
+        assert smooth.std() < noisy.std()
+
+    def test_exponential_smoothing(self):
+        out = list(exponential_smoothing([0.0, 10.0], alpha=0.5))
+        assert out == [0.0, 5.0]
+
+    def test_exponential_alpha_one_identity(self):
+        assert list(exponential_smoothing([1.0, 9.0, 4.0], 1.0)) == [1.0, 9.0, 4.0]
+
+    def test_exponential_invalid_alpha(self):
+        with pytest.raises(ValidationError):
+            exponential_smoothing([1.0], 0.0)
+        with pytest.raises(ValidationError):
+            exponential_smoothing([1.0], 1.5)
+
+    def test_downsample(self):
+        assert list(downsample([1.0, 2.0, 3.0, 4.0, 5.0], 2)) == [1.0, 3.0, 5.0]
+
+    def test_downsample_factor_one_identity(self):
+        assert list(downsample([1.0, 2.0], 1)) == [1.0, 2.0]
+
+    def test_downsample_invalid(self):
+        with pytest.raises(ValidationError):
+            downsample([1.0], 0)
+
+    def test_downsampled_step_sequence_warps_back_exactly(self):
+        """Footnote-1 scenario: two sampling rates of a step signal."""
+        fine = [1.0] * 6 + [5.0] * 6
+        coarse = downsample(fine, 3)
+        assert dtw_max(fine, coarse.values) == 0.0
+
+
+class TestPipeline:
+    def test_composition_order(self):
+        prep = Pipeline([lambda s: shift(s, 1.0), lambda s: scale(s, 2.0)])
+        assert list(prep([0.0, 1.0])) == [2.0, 4.0]
+
+    def test_then_appends(self):
+        prep = Pipeline([znormalize]).then(lambda s: scale(s, 2.0))
+        assert len(prep) == 2
+
+    def test_apply_all(self):
+        prep = Pipeline([znormalize])
+        outs = prep.apply_all([[1.0, 2.0], [5.0, 9.0]])
+        assert len(outs) == 2
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValidationError):
+            Pipeline([])
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ValidationError):
+            Pipeline([42])  # type: ignore[list-item]
+
+    def test_repr_names_steps(self):
+        assert "znormalize" in repr(Pipeline([znormalize]))
+
+    def test_shape_search_use_case(self):
+        """z-normalize + DTW finds same-shape different-level sequences."""
+        shape_a = [1.0, 2.0, 3.0, 2.0, 1.0]
+        shape_b = [100.0, 200.0, 300.0, 200.0, 100.0]  # same shape, x100
+        prep = Pipeline([znormalize])
+        assert dtw_max(prep(shape_a).values, prep(shape_b).values) == pytest.approx(
+            0.0, abs=1e-12
+        )
