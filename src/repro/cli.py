@@ -34,7 +34,14 @@ from .eval import experiments as exp
 from .eval.harness import WorkloadRunner
 from .eval.reporting import format_table
 from .exceptions import ReproError
-from .methods import FastMapMethod, LBScan, NaiveScan, STFilter, TWSimSearch
+from .methods import (
+    CascadeScan,
+    FastMapMethod,
+    LBScan,
+    NaiveScan,
+    STFilter,
+    TWSimSearch,
+)
 from .storage.database import SequenceDatabase
 from .types import Sequence
 
@@ -49,6 +56,7 @@ _EXPERIMENTS: dict[str, Callable[[], exp.ExperimentResult]] = {
     "a2": exp.ablation_features,
     "a3": exp.ablation_bulk_load,
     "a5": exp.ablation_lower_bounds,
+    "c1": exp.experiment_cascade_stages,
 }
 
 
@@ -102,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=7)
     compare.add_argument(
         "--fastmap", action="store_true", help="include the FastMap baseline"
+    )
+    compare.add_argument(
+        "--cascade",
+        action="store_true",
+        help="include Cascade-Scan and print per-stage survival ratios",
     )
 
     experiment = sub.add_parser(
@@ -243,6 +256,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         lambda d: STFilter(d),
         lambda d: TWSimSearch(d),
     ]
+    if args.cascade:
+        factories.append(lambda d: CascadeScan(d))
     if args.fastmap:
         factories.append(lambda d: FastMapMethod(d))
     runner = WorkloadRunner(db, factories)
@@ -273,6 +288,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if args.cascade:
+        stage_rows = []
+        for name in summary.methods():
+            agg = summary[name]
+            for stage, ratio in agg.stage_survival().items():
+                stage_rows.append([name, stage, ratio])
+        if stage_rows:
+            print()
+            print(
+                format_table(
+                    ["method", "stage", "survival ratio"],
+                    stage_rows,
+                    title="per-stage pruning (survivors / entrants)",
+                )
+            )
     return 0
 
 

@@ -8,10 +8,20 @@
 * :mod:`repro.core.engine` — :class:`TimeWarpingDatabase`, the public
   facade combining storage, the 4-d R-tree feature index, and the
   TW-Sim-Search query algorithm (Algorithm 1).
+* :mod:`repro.core.cascade` — the vectorized lower-bound filter
+  cascade (LB_Yi -> LB_Kim -> LB_Keogh -> exact DTW) with per-stage
+  pruning counters.
 * :mod:`repro.core.subsequence` — the section-6 extension to
   subsequence matching via a sliding-window feature index.
 """
 
+from .cascade import (
+    CascadeOutcome,
+    CascadeStats,
+    FeatureStore,
+    FilterCascade,
+    StageStats,
+)
 from .engine import SearchOutcome, TimeWarpingDatabase
 from .features import FeatureVector, extract_feature, feature_array
 from .lower_bound import dtw_lb, dtw_lb_features, feature_rect
@@ -21,6 +31,11 @@ from .subsequence import SubsequenceIndex, SubsequenceMatch
 __all__ = [
     "SearchOutcome",
     "TimeWarpingDatabase",
+    "CascadeOutcome",
+    "CascadeStats",
+    "FeatureStore",
+    "FilterCascade",
+    "StageStats",
     "FeatureVector",
     "extract_feature",
     "feature_array",

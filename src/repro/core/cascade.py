@@ -1,0 +1,566 @@
+"""Vectorized lower-bound filter cascade over a precomputed store.
+
+The paper's pipeline is "cheap lower bound -> candidate set -> exact DTW
+verify".  This module packages that pipeline as a *staged cascade* whose
+cheap tiers run as whole-database NumPy matrix operations instead of
+per-sequence Python loops:
+
+1. ``lb_yi``  — Yi et al.'s bound, which under the Definition-2
+   (``L_inf``) distance depends only on the Greatest/Smallest features:
+   a 2-column comparison against the ``(n, 4)`` feature matrix.
+2. ``lb_kim`` — the paper's ``D_tw-lb`` (LB_Kim): all four feature
+   columns.  ``LB_Yi <= LB_Kim <= D_tw`` holds pointwise, which is why
+   the looser, cheaper tier runs first — in the reverse order the Yi
+   tier could never prune anything.
+3. ``lb_keogh`` — the envelope bound, evaluated as one matrix operation
+   per equal-length group of the store.  LB_Keogh bounds the
+   *band-constrained* DTW, which only exceeds the unconstrained one, so
+   this tier is sound (and therefore active) only for band-constrained
+   searches; sequences whose length differs from the query's pass
+   through unfiltered (the classical bound requires equal lengths).
+4. ``dtw`` — early-abandoning exact verification of the survivors.
+
+Every tier admits a superset of the exact answer set (no false
+dismissal); tier comparisons are made inclusive by the same float-safety
+margin the R-tree query rectangle uses (:func:`~repro.core.lower_bound.
+filter_margin`), so the guarantee survives floating point at the
+knife edge ``lb == eps``.
+
+:class:`FeatureStore` holds the precomputed per-sequence state (feature
+matrix, raw values, equal-length value matrices); :class:`FilterCascade`
+runs queries through the tiers and reports per-stage pruning counters as
+a :class:`CascadeStats`.  :meth:`FilterCascade.run_many` answers a batch
+of queries at once, amortizing feature extraction and evaluating the
+feature tiers as a single ``(queries x sequences)`` matrix comparison
+per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence as TypingSequence
+
+import numpy as np
+
+from ..distance.bands import sakoe_chiba_window
+from ..distance.dtw import (
+    dtw_max_early_abandon,
+    dtw_max_matrix,
+    dtw_max_within,
+)
+from ..distance.lb_keogh import lb_keogh_batch, warping_envelope
+from ..exceptions import ValidationError
+from ..storage.database import SequenceDatabase
+from ..types import Sequence, SequenceLike, as_array, as_sequence
+from .features import extract_feature
+from .lower_bound import filter_margin
+
+__all__ = [
+    "TIER_YI",
+    "TIER_KIM",
+    "TIER_KEOGH",
+    "STAGE_DTW",
+    "DEFAULT_TIERS",
+    "StageStats",
+    "CascadeStats",
+    "FeatureStore",
+    "CascadeOutcome",
+    "FilterCascade",
+    "verify_stage",
+]
+
+#: Stage names, in cascade order (loosest/cheapest bound first).
+TIER_YI = "lb_yi"
+TIER_KIM = "lb_kim"
+TIER_KEOGH = "lb_keogh"
+STAGE_DTW = "dtw"
+
+DEFAULT_TIERS: tuple[str, ...] = (TIER_YI, TIER_KIM, TIER_KEOGH)
+
+#: Feature-matrix columns each feature tier compares (paper column
+#: order: first, last, greatest, smallest).
+_TIER_COLUMNS: dict[str, tuple[int, ...]] = {
+    TIER_YI: (2, 3),
+    TIER_KIM: (0, 1, 2, 3),
+}
+
+#: Cap on ``queries x sequences x 4`` float64 cells materialized per
+#: block of the batched feature-tier kernel (~256 MB).
+_BATCH_CELL_LIMIT = 8_000_000
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Pruning record of one cascade stage.
+
+    Attributes
+    ----------
+    name:
+        Stage identifier (``lb_yi``, ``lb_kim``, ``lb_keogh``, ``dtw``,
+        or a method-specific stage such as the R-tree range query).
+    n_in:
+        Sequences entering the stage.
+    n_out:
+        Sequences surviving it.
+    """
+
+    name: str
+    n_in: int
+    n_out: int
+
+    @property
+    def pruned(self) -> int:
+        """Sequences the stage eliminated."""
+        return self.n_in - self.n_out
+
+    @property
+    def survival_ratio(self) -> float:
+        """``n_out / n_in`` (1.0 for an empty input)."""
+        return self.n_out / self.n_in if self.n_in else 1.0
+
+
+@dataclass
+class CascadeStats:
+    """Per-stage pruning counters of one (or many merged) searches."""
+
+    stages: list[StageStats]
+
+    @property
+    def total_in(self) -> int:
+        """Sequences entering the first stage."""
+        return self.stages[0].n_in if self.stages else 0
+
+    @property
+    def final_out(self) -> int:
+        """Sequences surviving the last stage."""
+        return self.stages[-1].n_out if self.stages else 0
+
+    def stage(self, name: str) -> StageStats:
+        """The stage called *name*; raises ``KeyError`` when absent."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(name)
+
+    def survival_by_stage(self) -> dict[str, float]:
+        """``{stage name: survival ratio}`` in cascade order."""
+        return {s.name: s.survival_ratio for s in self.stages}
+
+    def candidate_ratios(self, database_size: int) -> dict[str, float]:
+        """Figure-2-style ratios: each stage's survivors over *database_size*."""
+        if database_size <= 0:
+            raise ValidationError(
+                f"database_size must be positive, got {database_size}"
+            )
+        return {s.name: s.n_out / database_size for s in self.stages}
+
+    @staticmethod
+    def merge(many: Iterable["CascadeStats"]) -> "CascadeStats":
+        """Sum several runs' counters stage-by-stage (aligned by name)."""
+        order: list[str] = []
+        totals: dict[str, list[int]] = {}
+        for stats in many:
+            for stage in stats.stages:
+                if stage.name not in totals:
+                    order.append(stage.name)
+                    totals[stage.name] = [0, 0]
+                totals[stage.name][0] += stage.n_in
+                totals[stage.name][1] += stage.n_out
+        return CascadeStats(
+            [StageStats(name, *totals[name]) for name in order]
+        )
+
+
+class FeatureStore:
+    """Precomputed per-sequence state the cascade's cheap tiers read.
+
+    Holds the sequences themselves, their ``(n, 4)`` feature matrix, and
+    (lazily) one ``(k, L)`` value matrix per distinct length ``L`` so
+    the envelope tier can run as a single matrix operation per group.
+    """
+
+    __slots__ = ("sequences", "ids", "features", "lengths", "_row_of", "_groups")
+
+    def __init__(self, sequences: Iterable[SequenceLike]) -> None:
+        self.sequences: list[Sequence] = []
+        for position, item in enumerate(sequences):
+            seq = as_sequence(item)
+            if len(seq) == 0:
+                raise ValidationError("cannot index an empty sequence")
+            if seq.seq_id is None:
+                seq = as_sequence(seq.values, seq_id=position)
+            self.sequences.append(seq)
+        n = len(self.sequences)
+        self.ids = np.fromiter(
+            (seq.seq_id for seq in self.sequences), dtype=np.int64, count=n
+        )
+        self.features = np.empty((n, 4), dtype=np.float64)
+        self.lengths = np.empty(n, dtype=np.int64)
+        for row, seq in enumerate(self.sequences):
+            self.features[row] = extract_feature(seq.values).as_tuple()
+            self.lengths[row] = len(seq)
+        self._row_of: dict[int, int] | None = None
+        self._groups: dict[int, np.ndarray] | None = None
+
+    @classmethod
+    def from_database(cls, db: SequenceDatabase) -> "FeatureStore":
+        """Build the store with one sequential scan of *db*.
+
+        The scan charges the database's simulated I/O accounting once,
+        like any other index build pass.
+        """
+        return cls(db.scan())
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def matches(self, db: SequenceDatabase) -> bool:
+        """True when the store still mirrors *db*'s contents.
+
+        Ids are never reused and stored sequences are immutable, so id
+        equality implies content equality.
+        """
+        ids = db.ids()
+        return len(ids) == len(self.ids) and bool(
+            np.array_equal(self.ids, np.asarray(ids, dtype=np.int64))
+        )
+
+    def rows_for(self, seq_ids: Iterable[int]) -> np.ndarray:
+        """Store rows of the given sequence ids (unknown ids are skipped)."""
+        if self._row_of is None:
+            self._row_of = {int(sid): row for row, sid in enumerate(self.ids)}
+        rows = [self._row_of[sid] for sid in seq_ids if sid in self._row_of]
+        return np.asarray(rows, dtype=np.int64)
+
+    def groups_by_length(self) -> dict[int, np.ndarray]:
+        """``{length: row indices}`` for every distinct sequence length."""
+        if self._groups is None:
+            groups: dict[int, list[int]] = {}
+            for row, length in enumerate(self.lengths):
+                groups.setdefault(int(length), []).append(row)
+            self._groups = {
+                length: np.asarray(rows, dtype=np.int64)
+                for length, rows in groups.items()
+            }
+        return self._groups
+
+    def value_matrix(self, length: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(rows, matrix)`` of all sequences with exactly *length* elements."""
+        rows = self.groups_by_length().get(length)
+        if rows is None or rows.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty((0, length))
+        matrix = np.stack([self.sequences[int(r)].values for r in rows])
+        return rows, matrix
+
+    def values(self, row: int) -> np.ndarray:
+        """Raw element array of the sequence at *row*."""
+        return self.sequences[row].values
+
+
+@dataclass
+class CascadeOutcome:
+    """Everything one cascade search produced.
+
+    ``candidate_ids`` are the survivors of the last lower-bound tier
+    (the Figure-2 candidate set); ``answer_ids`` the sequences whose
+    exact distance verified within tolerance.  ``distances`` maps answer
+    id to its distance — exact when the cascade ran with
+    ``compute_distances=True``, else a decision-only placeholder.
+    """
+
+    answer_ids: list[int]
+    distances: dict[int, float]
+    candidate_ids: list[int]
+    stats: CascadeStats
+
+
+def verify_stage(
+    candidates: TypingSequence[int],
+    verifier: Callable[[int], float],
+    epsilon: float,
+) -> tuple[list[int], dict[int, float], StageStats]:
+    """The cascade's final tier: exact verification of *candidates*.
+
+    *verifier* maps a candidate (a store row or a sequence id, the
+    caller's choice) to its verified distance — ``inf`` when it exceeds
+    tolerance.  Shared by the scan methods, the index methods'
+    post-processing, and the public facade so every path reports the
+    same :class:`StageStats` shape.
+    """
+    answers: list[int] = []
+    distances: dict[int, float] = {}
+    for candidate in candidates:
+        distance = verifier(candidate)
+        if distance <= epsilon:
+            answers.append(candidate)
+            distances[candidate] = distance
+    return answers, distances, StageStats(STAGE_DTW, len(candidates), len(answers))
+
+
+class FilterCascade:
+    """Staged lower-bound filtering + exact verification over a store.
+
+    Parameters
+    ----------
+    store:
+        The precomputed :class:`FeatureStore`.
+    tiers:
+        Which lower-bound tiers to run, in order.  Defaults to the full
+        ``(lb_yi, lb_kim, lb_keogh)`` cascade; the envelope tier only
+        activates when a search passes a band radius.
+    """
+
+    def __init__(
+        self,
+        store: FeatureStore,
+        *,
+        tiers: TypingSequence[str] = DEFAULT_TIERS,
+    ) -> None:
+        for tier in tiers:
+            if tier not in (TIER_YI, TIER_KIM, TIER_KEOGH):
+                raise ValidationError(f"unknown cascade tier {tier!r}")
+        self._store = store
+        self._tiers = tuple(tiers)
+
+    @classmethod
+    def from_database(
+        cls, db: SequenceDatabase, **kwargs
+    ) -> "FilterCascade":
+        """Build store and cascade from *db* in one sequential scan."""
+        return cls(FeatureStore.from_database(db), **kwargs)
+
+    @property
+    def store(self) -> FeatureStore:
+        """The precomputed feature/value store."""
+        return self._store
+
+    @property
+    def tiers(self) -> tuple[str, ...]:
+        """The configured lower-bound tiers, in cascade order."""
+        return self._tiers
+
+    # -- feature tiers (vectorized) ------------------------------------------
+
+    def filter(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        rows: np.ndarray | None = None,
+        band_radius: int | None = None,
+    ) -> tuple[np.ndarray, list[StageStats]]:
+        """Run the lower-bound tiers; return surviving rows and stage stats.
+
+        *rows* restricts filtering to a subset of store rows (e.g. the
+        R-tree candidates); by default the whole store enters the first
+        tier.  Survivors are a superset of every sequence within
+        tolerance — the no-false-dismissal guarantee, tier by tier.
+        """
+        query_arr = as_array(query, allow_empty=False)
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        if rows is None:
+            rows = np.arange(len(self._store), dtype=np.int64)
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+        query_feature = np.asarray(
+            extract_feature(query_arr).as_tuple(), dtype=np.float64
+        )
+        cutoffs = epsilon + filter_margin(query_feature, epsilon)
+        stages: list[StageStats] = []
+        for tier in self._tiers:
+            n_in = int(rows.size)
+            if tier in _TIER_COLUMNS:
+                cols = list(_TIER_COLUMNS[tier])
+                diffs = np.abs(
+                    self._store.features[np.ix_(rows, cols)] - query_feature[cols]
+                )
+                keep = (diffs <= cutoffs[cols]).all(axis=1)
+                rows = rows[keep]
+            elif band_radius is not None:
+                rows = self._keogh_tier(rows, query_arr, epsilon, band_radius)
+            stages.append(StageStats(tier, n_in, int(rows.size)))
+        return rows, stages
+
+    def _keogh_tier(
+        self,
+        rows: np.ndarray,
+        query_arr: np.ndarray,
+        epsilon: float,
+        band_radius: int,
+    ) -> np.ndarray:
+        """Envelope tier: prune equal-length rows whose LB_Keogh exceeds eps.
+
+        Rows of any other length pass through — the classical bound is
+        only defined for equal lengths, and an unfiltered pass-through
+        can never cause a false dismissal.
+        """
+        if rows.size == 0:
+            return rows
+        length = int(query_arr.size)
+        same_length = self._store.lengths[rows] == length
+        group = rows[same_length]
+        if group.size == 0:
+            return rows
+        upper, lower = warping_envelope(query_arr, band_radius)
+        matrix = np.stack([self._store.values(int(r)) for r in group])
+        bounds = lb_keogh_batch(matrix, upper, lower)
+        scale = float(np.abs(query_arr).max())
+        keep_group = group[bounds <= epsilon + filter_margin(scale, epsilon)]
+        keep = np.concatenate([rows[~same_length], keep_group])
+        keep.sort()
+        return keep
+
+    # -- verification --------------------------------------------------------
+
+    def _row_verifier(
+        self,
+        query_arr: np.ndarray,
+        epsilon: float,
+        band_radius: int | None,
+        compute_distances: bool,
+    ) -> Callable[[int], float]:
+        """Default verifier: exact DTW on store values, early-abandoning."""
+
+        def verify(row: int) -> float:
+            values = self._store.values(int(row))
+            if band_radius is not None:
+                window = sakoe_chiba_window(
+                    values.size, query_arr.size, band_radius
+                )
+                distance = dtw_max_matrix(
+                    values, query_arr, window=window
+                ).distance
+                return distance if distance <= epsilon else float("inf")
+            if compute_distances:
+                return dtw_max_early_abandon(values, query_arr, epsilon)
+            if dtw_max_within(values, query_arr, epsilon):
+                return epsilon
+            return float("inf")
+
+        return verify
+
+    # -- single query --------------------------------------------------------
+
+    def run(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        rows: np.ndarray | None = None,
+        band_radius: int | None = None,
+        compute_distances: bool = True,
+        verifier: Callable[[int], float] | None = None,
+    ) -> CascadeOutcome:
+        """Filter then verify one query; returns ids, distances and stats.
+
+        A custom *verifier* (store row -> distance or ``inf``) lets a
+        caller charge its own I/O and cost accounting per verification;
+        the default verifies against the in-store values.
+        """
+        query_arr = as_array(query, allow_empty=False)
+        surviving, stages = self.filter(
+            query_arr, epsilon, rows=rows, band_radius=band_radius
+        )
+        if verifier is None:
+            verifier = self._row_verifier(
+                query_arr, epsilon, band_radius, compute_distances
+            )
+        answer_rows, row_distances, dtw_stage = verify_stage(
+            [int(r) for r in surviving], verifier, epsilon
+        )
+        stages.append(dtw_stage)
+        ids = self._store.ids
+        return CascadeOutcome(
+            answer_ids=sorted(int(ids[r]) for r in answer_rows),
+            distances={int(ids[r]): d for r, d in row_distances.items()},
+            candidate_ids=sorted(int(ids[r]) for r in surviving),
+            stats=CascadeStats(stages),
+        )
+
+    # -- batched queries ------------------------------------------------------
+
+    def run_many(
+        self,
+        queries: TypingSequence[SequenceLike],
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+        compute_distances: bool = True,
+    ) -> list[CascadeOutcome]:
+        """Answer a batch of queries, amortizing the cheap tiers.
+
+        Query features are extracted once into an ``(m, 4)`` matrix and
+        the feature tiers evaluate as a single broadcast comparison per
+        query block — one ``(block x n x 4)`` kernel instead of ``m``
+        per-query passes.  Results are identical to calling :meth:`run`
+        per query (the exact verification stage is shared).
+        """
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        query_arrs = [as_array(q, allow_empty=False) for q in queries]
+        if not query_arrs:
+            return []
+        n = len(self._store)
+        if n == 0:
+            empty_stages = [StageStats(t, 0, 0) for t in self._tiers]
+            return [
+                CascadeOutcome(
+                    [], {}, [], CascadeStats(empty_stages + [StageStats(STAGE_DTW, 0, 0)])
+                )
+                for _ in query_arrs
+            ]
+        m = len(query_arrs)
+        query_features = np.empty((m, 4), dtype=np.float64)
+        for i, arr in enumerate(query_arrs):
+            query_features[i] = extract_feature(arr).as_tuple()
+        cutoffs = epsilon + filter_margin(query_features, epsilon)
+
+        outcomes: list[CascadeOutcome] = []
+        block = max(1, _BATCH_CELL_LIMIT // (4 * n))
+        for start in range(0, m, block):
+            stop = min(start + block, m)
+            # One broadcast kernel for the whole block: (b, n, 4) diffs.
+            diffs = np.abs(
+                query_features[start:stop, None, :] - self._store.features[None, :, :]
+            )
+            admitted = diffs <= cutoffs[start:stop, None, :]
+            for i in range(start, stop):
+                stages: list[StageStats] = []
+                mask = np.ones(n, dtype=bool)
+                for tier in self._tiers:
+                    n_in = int(mask.sum())
+                    if tier in _TIER_COLUMNS:
+                        cols = list(_TIER_COLUMNS[tier])
+                        mask = mask & admitted[i - start][:, cols].all(axis=1)
+                        n_out = int(mask.sum())
+                    elif band_radius is not None:
+                        rows = self._keogh_tier(
+                            np.flatnonzero(mask), query_arrs[i], epsilon, band_radius
+                        )
+                        mask = np.zeros(n, dtype=bool)
+                        mask[rows] = True
+                        n_out = int(rows.size)
+                    else:
+                        n_out = n_in
+                    stages.append(StageStats(tier, n_in, n_out))
+                surviving = np.flatnonzero(mask)
+                verifier = self._row_verifier(
+                    query_arrs[i], epsilon, band_radius, compute_distances
+                )
+                answer_rows, row_distances, dtw_stage = verify_stage(
+                    [int(r) for r in surviving], verifier, epsilon
+                )
+                stages.append(dtw_stage)
+                ids = self._store.ids
+                outcomes.append(
+                    CascadeOutcome(
+                        answer_ids=sorted(int(ids[r]) for r in answer_rows),
+                        distances={
+                            int(ids[r]): d for r, d in row_distances.items()
+                        },
+                        candidate_ids=sorted(int(ids[r]) for r in surviving),
+                        stats=CascadeStats(stages),
+                    )
+                )
+        return outcomes

@@ -36,6 +36,7 @@ from ..index.rtree.rtree import RTree
 from ..storage.database import SequenceDatabase
 from ..storage.diskmodel import DiskModel
 from ..types import Sequence, SequenceLike, as_sequence
+from .cascade import STAGE_DTW, CascadeStats, FilterCascade, StageStats
 from .features import extract_feature
 from .lower_bound import feature_rect
 
@@ -87,6 +88,8 @@ class TimeWarpingDatabase:
         )
         self._tree = RTree(4, page_size=page_size)
         self._labels: dict[int, str | None] = {}
+        self._cascade: FilterCascade | None = None
+        self._last_cascade_stats: CascadeStats | None = None
 
     # -- population ---------------------------------------------------------
 
@@ -160,6 +163,26 @@ class TimeWarpingDatabase:
         """The 4-d feature R-tree."""
         return self._tree
 
+    @property
+    def last_cascade_stats(self) -> CascadeStats | None:
+        """Per-stage pruning counters of the most recent search.
+
+        For :meth:`search_many` this is the stage-wise merge over all
+        queries of the batch (:meth:`CascadeStats.merge`).
+        """
+        return self._last_cascade_stats
+
+    def _active_cascade(self) -> FilterCascade:
+        """The filter cascade over the current contents (lazily rebuilt).
+
+        Ids are never reused and stored sequences are immutable, so the
+        store stays valid until an insert/delete changes the id set —
+        then one sequential scan rebuilds it.
+        """
+        if self._cascade is None or not self._cascade.store.matches(self._db):
+            self._cascade = FilterCascade.from_database(self._db)
+        return self._cascade
+
     # -- queries ----------------------------------------------------------------
 
     def search(
@@ -187,16 +210,71 @@ class TimeWarpingDatabase:
         if epsilon < 0:
             raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
         rect = feature_rect(extract_feature(q.values), epsilon)
+        candidate_ids = sorted(self._tree.range_search(rect))
+        cascade = self._active_cascade()
+        rows = cascade.store.rows_for(candidate_ids)
+        stages = [StageStats("rtree", len(self._db), int(rows.size))]
+        surviving, tier_stages = cascade.filter(
+            q.values, epsilon, rows=rows, band_radius=band_radius
+        )
+        stages.extend(tier_stages)
+        ids = cascade.store.ids
         matches: list[SearchOutcome] = []
-        for seq_id in self._tree.range_search(rect):
+        for row in surviving:
+            seq_id = int(ids[row])
             stored = self._db.fetch(seq_id)
             distance = self._verify_distance(
                 stored.values, q.values, epsilon, band_radius
             )
             if distance <= epsilon:
                 matches.append(SearchOutcome(seq_id, distance, stored))
+        stages.append(StageStats(STAGE_DTW, int(surviving.size), len(matches)))
+        self._last_cascade_stats = CascadeStats(stages)
         matches.sort(key=lambda m: (m.distance, m.seq_id))
         return matches
+
+    def search_many(
+        self,
+        queries: Iterable[SequenceLike],
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> list[list[SearchOutcome]]:
+        """Answer a batch of similarity queries in one pass.
+
+        Returns one :meth:`search`-identical result list per query (the
+        same ids, distances and ordering), but amortizes feature
+        extraction across the batch and evaluates the lower-bound tiers
+        as whole-database matrix operations instead of per-query index
+        walks.  :attr:`last_cascade_stats` afterwards holds the
+        stage-wise merge over all queries of the batch.
+        """
+        query_seqs = [as_sequence(query) for query in queries]
+        for q in query_seqs:
+            if len(q) == 0:
+                raise ValidationError("query sequence must be non-empty")
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        cascade = self._active_cascade()
+        batch = cascade.run_many(
+            [q.values for q in query_seqs], epsilon, band_radius=band_radius
+        )
+        results: list[list[SearchOutcome]] = []
+        for outcome in batch:
+            rows = cascade.store.rows_for(outcome.answer_ids)
+            matches = [
+                SearchOutcome(
+                    seq_id,
+                    outcome.distances[seq_id],
+                    cascade.store.sequences[int(row)],
+                )
+                for seq_id, row in zip(outcome.answer_ids, rows)
+            ]
+            matches.sort(key=lambda m: (m.distance, m.seq_id))
+            results.append(matches)
+        if batch:
+            self._last_cascade_stats = CascadeStats.merge(o.stats for o in batch)
+        return results
 
     @staticmethod
     def _verify_distance(
@@ -251,6 +329,8 @@ class TimeWarpingDatabase:
                     sequence.seq_id,
                 )
             instance._tree = loader.build()
+        instance._cascade = None
+        instance._last_cascade_stats = None
         labels_path = path.with_name(path.name + ".labels")
         instance._labels = {}
         if labels_path.exists():

@@ -27,7 +27,28 @@ from ..exceptions import ValidationError
 from ..types import SequenceLike
 from .features import FeatureVector, extract_feature
 
-__all__ = ["dtw_lb", "dtw_lb_features", "dtw_lb_batch", "feature_rect"]
+__all__ = [
+    "dtw_lb",
+    "dtw_lb_features",
+    "dtw_lb_batch",
+    "dtw_lb_pairwise",
+    "feature_rect",
+    "filter_margin",
+]
+
+
+def filter_margin(component, epsilon: float):
+    """Float-safety margin for an inclusive lower-bound comparison.
+
+    A filter that keeps ``S`` when ``lb(S, Q) <= eps`` must err on the
+    inclusive side: ``lb`` and the exact distance it bounds are computed
+    by different float expressions, and at the knife edge the bound can
+    round a few ulps above the distance.  The margin scales with the
+    operand magnitudes (a few units in the last place of ``|c| + eps``)
+    so it can only admit extra candidates, which verification discards.
+    Accepts a scalar component or an array of components.
+    """
+    return (np.abs(component) + epsilon) * 2.0**-50
 
 
 def dtw_lb_features(fs: FeatureVector, fq: FeatureVector) -> float:
@@ -64,6 +85,26 @@ def dtw_lb_batch(features: np.ndarray, query: FeatureVector) -> np.ndarray:
     return np.abs(features - query.as_array()).max(axis=1)
 
 
+def dtw_lb_pairwise(
+    features_a: np.ndarray, features_b: np.ndarray
+) -> np.ndarray:
+    """``D_tw-lb`` between every pair of two feature-vector sets.
+
+    *features_a* is ``(m, 4)`` (e.g. a batch of query features) and
+    *features_b* is ``(n, 4)`` (the stored feature matrix); the result
+    is the ``(m, n)`` matrix of lower-bound distances — the kernel the
+    batched filter cascade evaluates in one shot per query block.
+    """
+    a = np.asarray(features_a, dtype=np.float64)
+    b = np.asarray(features_b, dtype=np.float64)
+    for name, arr in (("features_a", a), ("features_b", b)):
+        if arr.ndim != 2 or arr.shape[1] != 4:
+            raise ValidationError(
+                f"{name} must have shape (*, 4), got {arr.shape}"
+            )
+    return np.abs(a[:, None, :] - b[None, :, :]).max(axis=2)
+
+
 def feature_rect(
     query: FeatureVector, epsilon: float
 ) -> tuple[tuple[float, float], ...]:
@@ -89,7 +130,7 @@ def feature_rect(
         raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
 
     def bounds(c: float) -> tuple[float, float]:
-        margin = (abs(c) + epsilon) * 2.0**-50
+        margin = filter_margin(c, epsilon)
         return (c - epsilon - margin, c + epsilon + margin)
 
     return tuple(bounds(c) for c in query)

@@ -25,7 +25,7 @@ from ..exceptions import LengthMismatchError, ValidationError
 from ..types import SequenceLike, as_array
 from .base import BaseDistance, LINF
 
-__all__ = ["warping_envelope", "lb_keogh"]
+__all__ = ["warping_envelope", "lb_keogh", "lb_keogh_batch"]
 
 
 def warping_envelope(
@@ -41,15 +41,51 @@ def warping_envelope(
     if radius < 0:
         raise ValidationError(f"radius must be non-negative, got {radius}")
     n = arr.size
-    upper = np.empty(n)
-    lower = np.empty(n)
-    for i in range(n):
-        lo = max(0, i - radius)
-        hi = min(n, i + radius + 1)
-        window = arr[lo:hi]
-        upper[i] = window.max()
-        lower[i] = window.min()
+    # Beyond n-1 every window already spans the whole array.
+    r = min(radius, n - 1)
+    if r == 0:
+        return arr.copy(), arr.copy()
+    window = 2 * r + 1
+    padded_max = np.pad(arr, r, constant_values=-np.inf)
+    padded_min = np.pad(arr, r, constant_values=np.inf)
+    upper = np.lib.stride_tricks.sliding_window_view(padded_max, window).max(axis=1)
+    lower = np.lib.stride_tricks.sliding_window_view(padded_min, window).min(axis=1)
     return upper, lower
+
+
+def lb_keogh_batch(
+    values: np.ndarray,
+    upper: np.ndarray,
+    lower: np.ndarray,
+    *,
+    base: BaseDistance = LINF,
+) -> np.ndarray:
+    """LB_Keogh from one query envelope to many equal-length sequences.
+
+    *values* is a ``(k, n)`` matrix of data sequences (one per row) and
+    ``(upper, lower)`` the query's length-``n`` envelope from
+    :func:`warping_envelope`.  Returns a length-``k`` array of bounds —
+    the whole-database form the filter cascade evaluates as a single
+    matrix operation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValidationError(
+            f"values must be a (k, n) matrix, got shape {values.shape}"
+        )
+    if values.shape[1] != upper.shape[0] or upper.shape != lower.shape:
+        raise LengthMismatchError(
+            f"envelope length {upper.shape[0]} does not match "
+            f"sequence length {values.shape[1]}"
+        )
+    excess = np.clip(values - upper, 0.0, None) + np.clip(lower - values, 0.0, None)
+    if base is LINF:
+        return excess.max(axis=1)
+    if base is BaseDistance.L1:
+        return excess.sum(axis=1)
+    if base is BaseDistance.L2:
+        return np.sqrt(np.square(excess).sum(axis=1))
+    raise ValidationError(f"unsupported base distance {base}")
 
 
 def lb_keogh(

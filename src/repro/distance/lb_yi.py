@@ -37,7 +37,27 @@ from ..exceptions import ValidationError
 from ..types import SequenceLike, as_array
 from .base import BaseDistance, LINF
 
-__all__ = ["lb_yi"]
+__all__ = ["lb_yi", "lb_yi_from_features"]
+
+
+def lb_yi_from_features(features: np.ndarray, query_feature) -> np.ndarray:
+    """Vectorized ``D_lb`` (``L_inf`` base) from stored feature vectors.
+
+    Under the paper's Definition-2 distance the Yi et al. bound depends
+    only on the Greatest/Smallest features, so one ``(n, 4)`` feature
+    matrix in paper column order (first, last, greatest, smallest — as
+    produced by :func:`repro.core.features.feature_array`) yields the
+    bound to every stored sequence in a single matrix operation.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2 or features.shape[1] != 4:
+        raise ValidationError(
+            f"features must have shape (n, 4), got {features.shape}"
+        )
+    q = np.asarray(tuple(query_feature), dtype=np.float64)
+    if q.shape != (4,):
+        raise ValidationError(f"query feature must have 4 components, got {q.shape}")
+    return np.abs(features[:, 2:4] - q[2:4]).max(axis=1)
 
 
 def lb_yi(

@@ -32,6 +32,7 @@ from ..core.lower_bound import dtw_lb
 from ..exceptions import ValidationError
 from ..index.rtree.bulk import STRBulkLoader
 from ..index.rtree.rtree import RTree
+from ..methods.cascade_scan import CascadeScan
 from ..methods.lb_scan import LBScan
 from ..methods.naive_scan import NaiveScan
 from ..methods.st_filter import STFilter
@@ -55,6 +56,7 @@ __all__ = [
     "ablation_features",
     "ablation_bulk_load",
     "ablation_lower_bounds",
+    "experiment_cascade_stages",
 ]
 
 #: Default tolerance grid for the stock experiments; calibrated so the
@@ -551,6 +553,64 @@ def ablation_bulk_load(
     result.notes.append(
         f"node count at N={counts[-1]}: "
         + ", ".join(f"{k}: {v}" for k, v in last_nodes.items())
+    )
+    return result
+
+
+def experiment_cascade_stages(
+    epsilons: TypingSequence[float] = STOCK_EPSILONS,
+    *,
+    dataset: StockDataset | None = None,
+    n_queries: int | None = None,
+    seed: int = 31,
+) -> ExperimentResult:
+    """**C1 / cascade** — per-stage candidate ratios of the filter cascade.
+
+    The Figure-2 metric, resolved by cascade stage: for each tolerance,
+    the fraction of the database surviving each tier of Cascade-Scan's
+    ``lb_yi -> lb_kim -> dtw`` pipeline, alongside LB-Scan's single-tier
+    candidate ratio and Naive-Scan's answer ratio for context.  Shows
+    where the pruning happens: the Yi tier removes the bulk, the Kim
+    tier tightens the survivors to exactly TW-Sim-Search's candidate
+    set, and verification keeps the answers.
+    """
+    if dataset is None:
+        dataset = synthetic_sp500()
+    if n_queries is None:
+        n_queries = 50 if full_scale() else 10
+    db, data = make_stock_database(dataset)
+    runner = WorkloadRunner(
+        db,
+        [
+            lambda d: NaiveScan(d),
+            lambda d: LBScan(d),
+            lambda d: CascadeScan(d),
+        ],
+    )
+    workload = QueryWorkload(data.sequences, n_queries=n_queries, seed=seed)
+    queries = workload.queries()
+    result = ExperimentResult(
+        experiment_id="C1/cascade",
+        title="Per-stage candidate ratio of the filter cascade (stock data)",
+        x_label="tolerance",
+        y_label="survivors / database size",
+        x_values=list(epsilons),
+        log_y=True,
+    )
+    for eps in epsilons:
+        summary = runner.run(queries, eps)
+        cascade_agg = summary["Cascade-Scan"]
+        for stage, ratio in cascade_agg.stage_candidate_ratios().items():
+            result.series.setdefault(f"after {stage}", []).append(ratio)
+        result.series.setdefault("LB-Scan candidates", []).append(
+            summary["LB-Scan"].candidate_ratio
+        )
+        result.series.setdefault("answers (Naive-Scan)", []).append(
+            summary["Naive-Scan"].candidate_ratio
+        )
+    result.notes.append(
+        "'after lb_kim' equals TW-Sim-Search's candidate ratio: the tier "
+        "applies the same D_tw-lb bound the R-tree range query does"
     )
     return result
 

@@ -42,6 +42,10 @@ class MethodAggregate:
     total_index_reads: int = 0
     total_dtw: int = 0
     build_elapsed: float = 0.0
+    #: Summed per-stage cascade counters (sequences entering/surviving
+    #: each filter stage) across all absorbed queries.
+    stage_in: dict[str, int] = field(default_factory=dict)
+    stage_out: dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_candidates(self) -> float:
@@ -75,6 +79,34 @@ class MethodAggregate:
         """Mean simulated disk seconds per query."""
         return self.total_io / self.queries if self.queries else 0.0
 
+    def stage_survival(self) -> dict[str, float]:
+        """Per-stage mean survival ratio ``sum(n_out) / sum(n_in)``.
+
+        The cascade-resolved companion of :attr:`candidate_ratio`: one
+        entry per filter stage, in cascade order, showing where the
+        pruning actually happens.
+        """
+        return {
+            name: (self.stage_out[name] / self.stage_in[name])
+            if self.stage_in[name]
+            else 1.0
+            for name in self.stage_in
+        }
+
+    def stage_candidate_ratios(self) -> dict[str, float]:
+        """Per-stage survivors over database size, averaged over queries.
+
+        Each entry is a Figure-2-style candidate ratio measured *after*
+        that stage, so the final lower-bound stage's entry matches
+        :attr:`candidate_ratio` for cascade-reporting methods.
+        """
+        denominator = self.queries * self.database_size
+        if denominator == 0:
+            return {name: 0.0 for name in self.stage_out}
+        return {
+            name: self.stage_out[name] / denominator for name in self.stage_out
+        }
+
     def absorb(self, report: SearchReport) -> None:
         """Fold one query's report into the aggregate."""
         self.queries += 1
@@ -85,6 +117,14 @@ class MethodAggregate:
         self.total_io += report.stats.simulated_io_seconds
         self.total_index_reads += report.stats.index_node_reads
         self.total_dtw += report.stats.dtw_computations
+        if report.cascade is not None:
+            for stage in report.cascade.stages:
+                self.stage_in[stage.name] = (
+                    self.stage_in.get(stage.name, 0) + stage.n_in
+                )
+                self.stage_out[stage.name] = (
+                    self.stage_out.get(stage.name, 0) + stage.n_out
+                )
 
 
 @dataclass

@@ -1,0 +1,109 @@
+"""Reusable structural invariant checks for the R-tree family.
+
+An independent re-implementation of the invariants — deliberately not
+reusing :meth:`~repro.index.rtree.rtree.RTree.validate`, so a bug in the
+tree's own bookkeeping cannot mask itself.  Intended for tests: run
+:func:`assert_tree_invariants` after any randomized insert / delete /
+bulk-load workload.
+
+Checked, for every :class:`~repro.index.rtree.rtree.RTree` subclass
+(R-tree, R*-tree, X-tree):
+
+* **MBR containment** — every internal entry's rectangle equals the
+  minimum bounding rectangle of its child's entries (the R-tree stores
+  *minimum* bounding rectangles, so equality, not mere containment).
+* **Fan-out bounds** — every node holds at most ``max_entries``
+  (times ``capacity_pages`` for X-tree supernodes) and every non-root
+  node at least ``min_entries``; a non-leaf root holds at least 2.
+* **Leaf depth uniformity** — all leaves sit at the same depth, and
+  every node's ``level`` decreases by exactly one per tree level.
+* **Parent pointers** — each child's ``parent`` references the node
+  holding its entry.
+* **Record count** — the number of leaf records equals ``len(tree)``.
+
+:class:`~repro.index.rtree.rplus.RPlusTree` uses a different node
+layout (disjoint regions instead of overlapping MBRs); for it the
+helper delegates to the tree's own ``validate()``.
+"""
+
+from __future__ import annotations
+
+from .geometry import Rect
+from .node import Node
+from .rplus import RPlusTree
+from .rtree import RTree
+
+__all__ = ["assert_tree_invariants"]
+
+
+def assert_tree_invariants(tree: RTree | RPlusTree) -> None:
+    """Assert every structural invariant of *tree*; raise on violation.
+
+    Raises ``AssertionError`` with a description of the first violated
+    invariant.  Safe on empty trees.
+    """
+    if isinstance(tree, RPlusTree):
+        # Disjoint-region layout: the tree's own validator covers region
+        # containment/disjointness, which have no MBR analogue here.
+        tree.validate()
+        return
+    assert isinstance(tree, RTree), f"unsupported tree type {type(tree)!r}"
+    root = tree._root
+    leaf_depths: set[int] = set()
+    records = _check_node(tree, root, depth=0, is_root=True, leaf_depths=leaf_depths)
+    assert len(leaf_depths) <= 1, f"leaves at multiple depths: {sorted(leaf_depths)}"
+    assert records == len(tree), (
+        f"leaf record count {records} != tracked size {len(tree)}"
+    )
+
+
+def _check_node(
+    tree: RTree,
+    node: Node,
+    *,
+    depth: int,
+    is_root: bool,
+    leaf_depths: set[int],
+) -> int:
+    capacity = tree.max_entries * node.capacity_pages
+    assert len(node.entries) <= capacity, (
+        f"node at depth {depth} overflows: {len(node.entries)} > {capacity}"
+    )
+    if is_root:
+        if not node.is_leaf:
+            assert len(node.entries) >= 2, (
+                f"non-leaf root holds {len(node.entries)} entries (< 2)"
+            )
+    else:
+        assert len(node.entries) >= tree.min_entries, (
+            f"node at depth {depth} underflows: "
+            f"{len(node.entries)} < {tree.min_entries}"
+        )
+    if node.is_leaf:
+        leaf_depths.add(depth)
+        for entry in node.entries:
+            assert entry.is_leaf_entry, "leaf node holds a child entry"
+            assert entry.rect.ndim == tree.ndim, (
+                f"leaf rect dimensionality {entry.rect.ndim} != tree {tree.ndim}"
+            )
+        return len(node.entries)
+    total = 0
+    for entry in node.entries:
+        child = entry.child
+        assert child is not None, "internal entry without a child node"
+        assert not entry.is_leaf_entry, "internal entry carries a record id"
+        assert child.parent is node, (
+            f"child at depth {depth + 1} has a stale parent pointer"
+        )
+        assert child.level == node.level - 1, (
+            f"child level {child.level} != parent level {node.level} - 1"
+        )
+        assert child.entries, "internal entry references an empty child"
+        mbr = Rect.union_of(e.rect for e in child.entries)
+        assert entry.rect == mbr, (
+            f"stale MBR at depth {depth}: stored {entry.rect}, actual {mbr}"
+        )
+        total += _check_node(
+            tree, child, depth=depth + 1, is_root=False, leaf_depths=leaf_depths
+        )
+    return total

@@ -17,9 +17,13 @@ the experiment harness can swap them freely:
   FastMap embedding + index; fast but admits false dismissal (excluded
   from the paper's evaluation for that reason; implemented here so the
   false-dismissal rate can be measured).
+* :class:`~repro.methods.cascade_scan.CascadeScan` — sequential scan
+  through the vectorized tiered lower-bound cascade (extension; the
+  whole-database-matrix-operation counterpart of LB-Scan).
 """
 
 from .base import MethodStats, SearchMethod, SearchReport
+from .cascade_scan import CascadeScan
 from .fastmap_method import FastMapMethod
 from .lb_scan import LBScan
 from .naive_scan import NaiveScan
@@ -30,6 +34,7 @@ __all__ = [
     "MethodStats",
     "SearchMethod",
     "SearchReport",
+    "CascadeScan",
     "FastMapMethod",
     "LBScan",
     "NaiveScan",

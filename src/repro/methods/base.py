@@ -17,7 +17,9 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from ..core.cascade import CascadeStats
 from ..distance.dtw import dtw_max_early_abandon, dtw_max_within
 from ..exceptions import ValidationError
 from ..storage.database import SequenceDatabase
@@ -82,6 +84,10 @@ class SearchReport:
         For Naive-Scan this equals ``answers`` by the paper's convention.
     stats:
         The cost breakdown.
+    cascade:
+        Per-stage pruning counters of the method's filter pipeline
+        (:class:`~repro.core.cascade.CascadeStats`), when the method
+        reports them — every built-in method does.
     """
 
     method: str
@@ -90,6 +96,7 @@ class SearchReport:
     distances: dict[int, float]
     candidates: list[int]
     stats: MethodStats = field(default_factory=MethodStats)
+    cascade: CascadeStats | None = None
 
     @property
     def candidate_count(self) -> int:
@@ -129,6 +136,8 @@ class SearchMethod(abc.ABC):
         self._compute_distances = compute_distances
         self._built = False
         self.build_stats = MethodStats()
+        #: Per-stage pruning counters the last ``_search_impl`` reported.
+        self._last_cascade: CascadeStats | None = None
 
     @property
     def database(self) -> SequenceDatabase:
@@ -173,6 +182,7 @@ class SearchMethod(abc.ABC):
         mark = f"{self.name}:search"
         self._db.io.mark(mark)
         start_cpu = time.process_time()
+        self._last_cascade = None
         answers, distances, candidates = self._search_impl(q, epsilon, stats)
         if not self._compute_distances:
             distances = {}  # decision-only verification: values are not exact
@@ -185,7 +195,19 @@ class SearchMethod(abc.ABC):
             distances=distances,
             candidates=sorted(candidates),
             stats=stats,
+            cascade=self._last_cascade,
         )
+
+    def search_many(
+        self, queries: Iterable[SequenceLike], epsilon: float
+    ) -> list[SearchReport]:
+        """Run a batch of searches; one report per query.
+
+        The default runs :meth:`search` per query; vectorized methods
+        override it to amortize filtering across the batch while
+        producing reports with identical answers and candidates.
+        """
+        return [self.search(query, epsilon) for query in queries]
 
     @abc.abstractmethod
     def _search_impl(

@@ -6,12 +6,18 @@ evaluates the ``O(|S| + |Q|)`` lower bound ``D_lb``; only sequences with
 ``D_lb`` underestimates ``D_tw``, no qualifying sequence is ever
 skipped.  The sequences passing the filter are LB-Scan's candidate set
 in Figure 2.
+
+The filter itself runs through the shared vectorized cascade restricted
+to its single ``lb_yi`` tier: one matrix comparison over the feature
+store instead of a per-sequence Python loop.  The cost model is
+unchanged — every search still pays the full sequential scan and one
+lower-bound evaluation per stored sequence; only the wall-clock cost of
+the filter drops.
 """
 
 from __future__ import annotations
 
-from ..distance.base import LINF
-from ..distance.lb_yi import lb_yi
+from ..core.cascade import TIER_YI, FeatureStore, FilterCascade
 from ..types import Sequence
 from .base import MethodStats, SearchMethod
 
@@ -25,22 +31,34 @@ class LBScan(SearchMethod):
 
     def _build_impl(self) -> None:
         """Nothing to build — the scan works directly on the heap file."""
+        self._cascade: FilterCascade | None = None
+
+    def _scan_cascade(self) -> FilterCascade:
+        """Charge one full sequential scan; return the Yi-tier cascade.
+
+        The scan's I/O is charged whether or not its pages feed the
+        store: the store mirrors the heap contents (ids are never
+        reused, stored sequences are immutable), so a fresh store is
+        only materialized when the id set changed.
+        """
+        scan = self._db.scan()  # charges the sequential read up front
+        cascade = getattr(self, "_cascade", None)
+        if cascade is None or not cascade.store.matches(self._db):
+            cascade = FilterCascade(FeatureStore(scan), tiers=(TIER_YI,))
+            self._cascade = cascade
+        return cascade
 
     def _search_impl(
         self, query: Sequence, epsilon: float, stats: MethodStats
     ) -> tuple[list[int], dict[int, float], list[int]]:
-        answers: list[int] = []
-        distances: dict[int, float] = {}
-        candidates: list[int] = []
-        for sequence in self._db.scan():
-            stats.sequences_read += 1
-            stats.lower_bound_computations += 1
-            if lb_yi(sequence.values, query.values, base=LINF) > epsilon:
-                continue
-            assert sequence.seq_id is not None
-            candidates.append(sequence.seq_id)
-            distance = self._verify(sequence, query, epsilon, stats)
-            if distance <= epsilon:
-                answers.append(sequence.seq_id)
-                distances[sequence.seq_id] = distance
-        return answers, distances, candidates
+        cascade = self._scan_cascade()
+        store = cascade.store
+        stats.sequences_read += len(store)
+        stats.lower_bound_computations += len(store)
+
+        def verifier(row: int) -> float:
+            return self._verify(store.sequences[row], query, epsilon, stats)
+
+        outcome = cascade.run(query.values, epsilon, verifier=verifier)
+        self._last_cascade = outcome.stats
+        return outcome.answer_ids, outcome.distances, outcome.candidate_ids

@@ -10,6 +10,7 @@ can stop as soon as no path within tolerance remains.
 
 from __future__ import annotations
 
+from ..core.cascade import STAGE_DTW, CascadeStats, StageStats
 from ..types import Sequence
 from .base import MethodStats, SearchMethod
 
@@ -36,6 +37,9 @@ class NaiveScan(SearchMethod):
                 assert sequence.seq_id is not None
                 answers.append(sequence.seq_id)
                 distances[sequence.seq_id] = distance
+        self._last_cascade = CascadeStats(
+            [StageStats(STAGE_DTW, stats.sequences_read, len(answers))]
+        )
         # Paper convention: Naive-Scan has no filtering step, so its
         # "candidates" in Figure 2 are the final answers themselves.
         return answers, distances, list(answers)

@@ -16,6 +16,7 @@ this implementation charges via index node accesses.
 
 from __future__ import annotations
 
+from ..core.cascade import CascadeStats, StageStats, verify_stage
 from ..distance.dtw import dtw_max_early_abandon
 from ..exceptions import ValidationError
 from ..index.rtree.stats import AccessStats
@@ -102,18 +103,24 @@ class STFilter(SearchMethod):
         stats.index_node_reads += access.node_reads
         stats.simulated_io_seconds += self._index_io_seconds(access.node_reads)
 
-        answers: list[int] = []
-        distances: dict[int, float] = {}
-        candidates: list[int] = []
-        for position in positions:
-            seq_id = self._id_by_position[position]
-            candidates.append(seq_id)
+        candidates = [self._id_by_position[position] for position in positions]
+
+        # Verification through the shared cascade stage: every
+        # candidate is fetched and checked with the true distance.
+        def verifier(seq_id: int) -> float:
             sequence = self._db.fetch(seq_id)
             stats.sequences_read += 1
-            distance = self._verify(sequence, query, epsilon, stats)
-            if distance <= epsilon:
-                answers.append(seq_id)
-                distances[seq_id] = distance
+            return self._verify(sequence, query, epsilon, stats)
+
+        answers, distances, dtw_stage = verify_stage(
+            candidates, verifier, epsilon
+        )
+        self._last_cascade = CascadeStats(
+            [
+                StageStats("suffix-tree", len(self._db), len(candidates)),
+                dtw_stage,
+            ]
+        )
         return answers, distances, candidates
 
     def subsequence_search(

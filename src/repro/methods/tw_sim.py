@@ -21,6 +21,7 @@ metric (Theorem 2) the R-tree filtering is sound.
 
 from __future__ import annotations
 
+from ..core.cascade import CascadeStats, StageStats, verify_stage
 from ..core.features import extract_feature
 from ..core.lower_bound import feature_rect
 from ..exceptions import ValidationError
@@ -144,14 +145,18 @@ class TWSimSearch(SearchMethod):
         stats.simulated_io_seconds += self._db.disk.random_read_time(
             node_reads, self._db.page_size
         )
-        # Steps 3-6: post-processing with the true distance.
-        answers: list[int] = []
-        distances: dict[int, float] = {}
-        for seq_id in candidate_ids:
+        # Steps 3-6: post-processing with the true distance, via the
+        # shared cascade verify stage (every candidate is fetched —
+        # the index already charged the filtering work).
+        def verifier(seq_id: int) -> float:
             sequence = self._db.fetch(seq_id)
             stats.sequences_read += 1
-            distance = self._verify(sequence, query, epsilon, stats)
-            if distance <= epsilon:
-                answers.append(seq_id)
-                distances[seq_id] = distance
+            return self._verify(sequence, query, epsilon, stats)
+
+        answers, distances, dtw_stage = verify_stage(
+            candidate_ids, verifier, epsilon
+        )
+        self._last_cascade = CascadeStats(
+            [StageStats("rtree", len(self._db), len(candidate_ids)), dtw_stage]
+        )
         return answers, distances, candidate_ids

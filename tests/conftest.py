@@ -4,11 +4,20 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.data.stocks import synthetic_sp500
 from repro.data.synthetic import random_walk_dataset
 from repro.storage.database import SequenceDatabase
 from repro.types import Sequence
+
+# Example budgets, selectable with ``--hypothesis-profile=<name>``.
+# "default" is the tier-1 budget; CI's non-blocking job runs "thorough".
+# Tests that pin their own ``max_examples`` keep it; the new property
+# suites inherit the profile so the thorough job actually digs deeper.
+settings.register_profile("default", max_examples=60, deadline=None)
+settings.register_profile("thorough", max_examples=400, deadline=None)
+settings.load_profile("default")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,106 @@
+"""Metric axioms and tightness chains for the lower bounds.
+
+``D_tw-lb`` must be a metric over feature space (Theorem 2 — this is
+what makes the R-tree sound) and must sit below the true distance
+(Theorem 1).  The tightness chain ``LB_Yi <= LB_Kim <= D_tw`` justifies
+the cascade's tier order; ``LB_Keogh <= banded D_tw`` justifies the
+envelope tier.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lower_bound import dtw_lb
+from repro.distance.base import LINF
+from repro.distance.bands import sakoe_chiba_window
+from repro.distance.dtw import dtw_max, dtw_max_matrix
+from repro.distance.lb_keogh import lb_keogh
+from repro.distance.lb_yi import lb_yi
+
+elements = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+sequence_strategy = st.lists(elements, min_size=1, max_size=10)
+
+
+def close_or_below(lower, upper):
+    """``lower <= upper`` with a few-ulp allowance at the knife edge."""
+    return lower <= upper or math.isclose(lower, upper, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(sequence_strategy, sequence_strategy)
+@settings(deadline=None)
+def test_symmetry(s, q):
+    assert dtw_lb(s, q) == dtw_lb(q, s)
+
+
+@given(sequence_strategy)
+@settings(deadline=None)
+def test_identity(s):
+    assert dtw_lb(s, s) == 0.0
+
+
+@given(sequence_strategy, sequence_strategy)
+@settings(deadline=None)
+def test_non_negative(s, q):
+    assert dtw_lb(s, q) >= 0.0
+
+
+@given(sequence_strategy, sequence_strategy, sequence_strategy)
+@settings(deadline=None)
+def test_triangle_inequality(a, b, c):
+    """``L_inf`` over fixed-dimension feature vectors is a metric."""
+    direct = dtw_lb(a, c)
+    via_b = dtw_lb(a, b) + dtw_lb(b, c)
+    assert close_or_below(direct, via_b)
+
+
+@given(sequence_strategy, sequence_strategy)
+@settings(deadline=None)
+def test_tightness_chain_yi_kim_dtw(s, q):
+    """``LB_Yi <= LB_Kim <= D_tw`` — the cascade's tier-order rationale.
+
+    Under the Definition-2 distance LB_Yi is the Greatest/Smallest half
+    of LB_Kim's max, so the first inequality is structural; the second
+    is Theorem 1.  The chain is why the cascade runs Yi before Kim: in
+    the opposite order the Yi tier could never prune anything.
+    """
+    yi = lb_yi(s, q, base=LINF)
+    kim = dtw_lb(s, q)
+    true = dtw_max(s, q)
+    assert yi <= kim
+    assert close_or_below(kim, true)
+
+
+@given(
+    sequence_strategy,
+    st.integers(min_value=0, max_value=6),
+    st.data(),
+)
+@settings(deadline=None)
+def test_lb_keogh_bounds_banded_dtw(q, radius, data):
+    """LB_Keogh lower-bounds the *band-constrained* distance it targets."""
+    s = data.draw(
+        st.lists(elements, min_size=len(q), max_size=len(q)), label="s"
+    )
+    bound = lb_keogh(s, q, radius=radius, base=LINF)
+    window = sakoe_chiba_window(len(s), len(q), radius)
+    banded = dtw_max_matrix(s, q, window=window).distance
+    assert close_or_below(bound, banded)
+
+
+@given(sequence_strategy, sequence_strategy, st.integers(min_value=0, max_value=6))
+@settings(deadline=None)
+def test_unconstrained_dtw_below_banded(s, q, radius):
+    """Constraining the warping band can only raise the distance.
+
+    This is the inequality that lets the feature tiers (which bound the
+    unconstrained distance) keep filtering band-constrained searches.
+    """
+    window = sakoe_chiba_window(len(s), len(q), radius)
+    banded = dtw_max_matrix(s, q, window=window).distance
+    assert close_or_below(dtw_max(s, q), banded)

@@ -1,0 +1,112 @@
+"""Structural invariants under randomized workloads, for every tree kind.
+
+Uses the reusable :func:`repro.index.rtree.invariants.
+assert_tree_invariants` helper — an independent re-implementation of the
+invariants (MBR exactness, fan-out bounds, leaf depth uniformity, parent
+pointers, record counts), run mid-workload so transient corruption can't
+hide behind a clean final state.  A tiny page size forces deep trees and
+many splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.index.rtree.bulk import STRBulkLoader
+from repro.index.rtree.invariants import assert_tree_invariants
+from repro.index.rtree.rplus import RPlusTree
+from repro.index.rtree.rstar import RStarTree
+from repro.index.rtree.rtree import RTree, SplitStrategy
+from repro.index.rtree.xtree import XTree
+
+PAGE = 256  # fan-out [2, 3] at ndim=4: every insert batch forces splits
+
+TREE_FACTORIES = {
+    "rtree-linear": lambda: RTree(4, page_size=PAGE, split=SplitStrategy.LINEAR),
+    "rtree-quadratic": lambda: RTree(
+        4, page_size=PAGE, split=SplitStrategy.QUADRATIC
+    ),
+    "rtree-rstar-split": lambda: RTree(
+        4, page_size=PAGE, split=SplitStrategy.RSTAR
+    ),
+    "rstar": lambda: RStarTree(4, page_size=PAGE),
+    "xtree": lambda: XTree(4, page_size=PAGE),
+}
+
+
+def random_points(rng, n):
+    return [tuple(p) for p in rng.uniform(-100.0, 100.0, size=(n, 4))]
+
+
+@pytest.mark.parametrize("kind", sorted(TREE_FACTORIES))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_invariants_through_insert_workload(kind, seed):
+    rng = np.random.default_rng(seed)
+    tree = TREE_FACTORIES[kind]()
+    for i, point in enumerate(random_points(rng, 120)):
+        tree.insert_point(point, i)
+        if i % 17 == 0:
+            assert_tree_invariants(tree)
+    assert_tree_invariants(tree)
+    assert len(tree) == 120
+
+
+@pytest.mark.parametrize("kind", sorted(TREE_FACTORIES))
+@pytest.mark.parametrize("seed", [2, 3])
+def test_invariants_through_mixed_insert_delete_workload(kind, seed):
+    rng = np.random.default_rng(seed)
+    tree = TREE_FACTORIES[kind]()
+    points = random_points(rng, 150)
+    alive: dict[int, tuple] = {}
+    for i, point in enumerate(points):
+        tree.insert_point(point, i)
+        alive[i] = point
+        # Interleave deletions once enough entries exist to underflow
+        # nodes and trigger CondenseTree reinsertions.
+        if len(alive) > 20 and rng.random() < 0.35:
+            victim = int(rng.choice(list(alive)))
+            tree.delete(alive.pop(victim), victim)
+        if i % 13 == 0:
+            assert_tree_invariants(tree)
+    assert_tree_invariants(tree)
+    assert len(tree) == len(alive)
+    # Everything still reachable through a full-space range query.
+    whole = [(-200.0, 200.0)] * 4
+    assert sorted(tree.range_search(whole)) == sorted(alive)
+
+
+@pytest.mark.parametrize("seed", [4, 5])
+def test_invariants_after_bulk_load(seed):
+    rng = np.random.default_rng(seed)
+    points = random_points(rng, 200)
+    loader = STRBulkLoader(4, page_size=PAGE)
+    for i, point in enumerate(points):
+        loader.add(point, i)
+    tree = loader.build()
+    assert_tree_invariants(tree)
+    assert len(tree) == 200
+    # A bulk-loaded tree must keep its invariants through further churn.
+    for i, point in enumerate(random_points(rng, 30), start=200):
+        tree.insert_point(point, i)
+    assert_tree_invariants(tree)
+
+
+def test_invariants_on_empty_and_tiny_trees():
+    tree = RTree(4, page_size=PAGE)
+    assert_tree_invariants(tree)  # empty tree is valid
+    tree.insert_point((0.0, 0.0, 0.0, 0.0), 0)
+    assert_tree_invariants(tree)  # single-entry leaf root is valid
+    tree.delete((0.0, 0.0, 0.0, 0.0), 0)
+    assert_tree_invariants(tree)
+
+
+@pytest.mark.parametrize("seed", [6])
+def test_invariants_delegate_for_rplus(seed):
+    rng = np.random.default_rng(seed)
+    tree = RPlusTree(4, page_size=PAGE)
+    for i, point in enumerate(random_points(rng, 80)):
+        tree.insert_point(point, i)
+        if i % 11 == 0:
+            assert_tree_invariants(tree)
+    assert_tree_invariants(tree)
