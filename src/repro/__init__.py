@@ -32,8 +32,11 @@ Layered public API
 from .core.engine import SearchOutcome, TimeWarpingDatabase
 from .core.features import FeatureVector, extract_feature
 from .core.lower_bound import dtw_lb
+from .core.query_engine import QueryEngine
+from .core.sharding import ShardedDatabase
 from .core.streaming import StreamMonitor
 from .core.subsequence import SubsequenceIndex, SubsequenceMatch
+from .index.backend import BACKEND_NAMES, IndexBackend, make_backend
 from .distance.base import L1, L2, LINF, BaseDistance
 from .distance.dtw import dtw_additive, dtw_distance, dtw_max
 from .exceptions import ReproError, ValidationError
@@ -44,6 +47,11 @@ __version__ = "1.0.0"
 __all__ = [
     "TimeWarpingDatabase",
     "SearchOutcome",
+    "QueryEngine",
+    "ShardedDatabase",
+    "IndexBackend",
+    "BACKEND_NAMES",
+    "make_backend",
     "FeatureVector",
     "extract_feature",
     "dtw_lb",

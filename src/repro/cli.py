@@ -29,13 +29,15 @@ from . import __version__
 from .data.queries import QueryWorkload
 from .data.stocks import load_stock_csv, synthetic_sp500
 from .data.synthetic import random_walk_dataset
-from .distance.dtw import dtw_max
+from .core.engine import TimeWarpingDatabase
 from .eval import experiments as exp
 from .eval.harness import WorkloadRunner
 from .eval.reporting import format_table
-from .exceptions import ReproError
+from .exceptions import ReproError, ValidationError
+from .index.backend import EXACT_BACKEND_NAMES
 from .methods import (
     CascadeScan,
+    EngineMethod,
     FastMapMethod,
     LBScan,
     NaiveScan,
@@ -97,6 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         help="comma-separated elements, or @FILE with one element per line",
     )
+    query.add_argument(
+        "--backend",
+        choices=sorted(EXACT_BACKEND_NAMES),
+        default="rtree",
+        help="index backend used to answer the query",
+    )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the database across N shards queried in parallel",
+    )
     group = query.add_mutually_exclusive_group(required=True)
     group.add_argument("--epsilon", type=float, help="tolerance search")
     group.add_argument("--knn", type=int, help="k-nearest-neighbour search")
@@ -115,6 +129,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--cascade",
         action="store_true",
         help="include Cascade-Scan and print per-stage survival ratios",
+    )
+    compare.add_argument(
+        "--backend",
+        action="append",
+        choices=sorted(EXACT_BACKEND_NAMES),
+        default=None,
+        metavar="NAME",
+        help="also run the query engine with this index backend "
+        "(repeatable; combine with --shards)",
+    )
+    compare.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count for the --backend engine rows",
     )
 
     experiment = sub.add_parser(
@@ -221,25 +250,26 @@ def _parse_query(text: str) -> np.ndarray:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    db = SequenceDatabase.load(args.db)
+    if args.shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {args.shards}")
+    storage = SequenceDatabase.load(args.db)
     query = _parse_query(args.query)
-    method = TWSimSearch(db, compute_distances=True).build()
+    facade = TimeWarpingDatabase.from_storage(
+        storage, backend=args.backend, shards=args.shards
+    )
     if args.epsilon is not None:
-        report = method.search(query, args.epsilon)
+        matches = facade.search(query, args.epsilon)
         print(
-            f"{len(report.answers)} match(es) within eps={args.epsilon} "
-            f"({report.candidate_count} candidate(s) examined)"
+            f"{len(matches)} match(es) within eps={args.epsilon} "
+            f"({len(facade.last_candidate_ids)} candidate(s) examined)"
         )
-        for seq_id in report.answers:
-            print(f"  seq {seq_id}  D_tw={report.distances[seq_id]:.6g}")
+        for match in matches:
+            print(f"  seq {match.seq_id}  D_tw={match.distance:.6g}")
     else:
-        pairs = []
-        for seq_id in db.ids():
-            pairs.append((dtw_max(db.fetch(seq_id).values, query), seq_id))
-        pairs.sort()
+        neighbours = facade.knn(query, args.knn)
         print(f"{args.knn} nearest neighbour(s):")
-        for dist, seq_id in pairs[: args.knn]:
-            print(f"  seq {seq_id}  D_tw={dist:.6g}")
+        for match in neighbours:
+            print(f"  seq {match.seq_id}  D_tw={match.distance:.6g}")
     return 0
 
 
@@ -260,6 +290,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         factories.append(lambda d: CascadeScan(d))
     if args.fastmap:
         factories.append(lambda d: FastMapMethod(d))
+    if args.shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {args.shards}")
+    for backend in args.backend or ():
+        factories.append(
+            lambda d, b=backend: EngineMethod(d, backend=b, shards=args.shards)
+        )
     runner = WorkloadRunner(db, factories)
     queries = QueryWorkload(
         sequences, n_queries=args.queries, seed=args.seed

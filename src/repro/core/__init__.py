@@ -25,12 +25,17 @@ from .cascade import (
 from .engine import SearchOutcome, TimeWarpingDatabase
 from .features import FeatureVector, extract_feature, feature_array
 from .lower_bound import dtw_lb, dtw_lb_features, feature_rect
+from .query_engine import QueryEngine, charged_candidates
+from .sharding import ShardedDatabase
 from .streaming import StreamMonitor
 from .subsequence import SubsequenceIndex, SubsequenceMatch
 
 __all__ = [
     "SearchOutcome",
     "TimeWarpingDatabase",
+    "QueryEngine",
+    "ShardedDatabase",
+    "charged_candidates",
     "CascadeOutcome",
     "CascadeStats",
     "FeatureStore",

@@ -67,6 +67,7 @@ __all__ = [
     "CascadeOutcome",
     "FilterCascade",
     "verify_stage",
+    "scan_cascade",
 ]
 
 #: Stage names, in cascade order (loosest/cheapest bound first).
@@ -564,3 +565,23 @@ class FilterCascade:
                     )
                 )
         return outcomes
+
+
+def scan_cascade(
+    db,
+    cached: "FilterCascade | None",
+    *,
+    tiers: TypingSequence[str] = DEFAULT_TIERS,
+) -> "FilterCascade":
+    """Charge one sequential scan of *db*; return a cascade mirroring it.
+
+    The scan's I/O is charged whether or not its pages feed the store:
+    ids are never reused and stored sequences are immutable, so a
+    *cached* cascade whose store still matches the database is reused
+    and a fresh store is only materialized when the id set changed.
+    Shared by every scan-based search method.
+    """
+    scan = db.scan()  # charges the sequential read up front
+    if cached is not None and cached.store.matches(db):
+        return cached
+    return FilterCascade(FeatureStore(scan), tiers=tuple(tiers))

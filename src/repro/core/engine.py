@@ -1,12 +1,19 @@
 """:class:`TimeWarpingDatabase` — the library's public facade.
 
-Wraps a paged :class:`~repro.storage.database.SequenceDatabase` and a
-4-d feature R-tree into the end-to-end system a user adopts: insert
-sequences, then run whole-matching similarity searches under time
-warping with guaranteed-complete results, or k-nearest-neighbour
-queries.  This is the paper's TW-Sim-Search packaged for application
-use (the lower-level :class:`~repro.methods.tw_sim.TWSimSearch` exposes
-the experiment-oriented cost accounting).
+Composes a :class:`~repro.core.sharding.ShardedDatabase` — N shards,
+each a paged :class:`~repro.storage.database.SequenceDatabase` plus a
+pluggable :class:`~repro.index.backend.IndexBackend` driven by a
+:class:`~repro.core.query_engine.QueryEngine` — into the end-to-end
+system a user adopts: insert sequences, then run whole-matching
+similarity searches under time warping with guaranteed-complete
+results, or k-nearest-neighbour queries.  This is the paper's
+TW-Sim-Search packaged for application use (the lower-level
+:class:`~repro.methods.tw_sim.TWSimSearch` exposes the
+experiment-oriented cost accounting).
+
+``TimeWarpingDatabase(backend="rstar", shards=4)`` is the one-line
+entry point to a different access method or a shard-parallel layout;
+answers are identical for every exact backend and any shard count.
 
 Example
 -------
@@ -23,43 +30,22 @@ Example
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from ..distance.bands import sakoe_chiba_window
-from ..distance.dtw import dtw_max, dtw_max_early_abandon, dtw_max_matrix
 from ..exceptions import ValidationError
-from ..index.rtree.bulk import STRBulkLoader
-from ..index.rtree.persist import load_rtree, save_rtree
-from ..index.rtree.rtree import RTree
+from ..index.backend import BACKENDS, IndexBackend
 from ..storage.database import SequenceDatabase
 from ..storage.diskmodel import DiskModel
 from ..types import Sequence, SequenceLike, as_sequence
-from .cascade import STAGE_DTW, CascadeStats, FilterCascade, StageStats
-from .features import extract_feature
-from .lower_bound import feature_rect
+from .cascade import CascadeStats
+from .query_engine import QueryEngine, SearchOutcome
+from .sharding import ShardedDatabase
 
 __all__ = ["TimeWarpingDatabase", "SearchOutcome"]
 
-
-@dataclass(frozen=True)
-class SearchOutcome:
-    """One match of a similarity search.
-
-    Attributes
-    ----------
-    seq_id:
-        The matching sequence's identifier.
-    distance:
-        Its true time-warping distance to the query.
-    sequence:
-        The matching sequence itself.
-    """
-
-    seq_id: int
-    distance: float
-    sequence: Sequence
+_META_FORMAT = "twdb"
+_META_VERSION = 1
 
 
 class TimeWarpingDatabase:
@@ -73,7 +59,14 @@ class TimeWarpingDatabase:
         Disk timing model for simulated I/O accounting; defaults to the
         paper's parameters.
     buffer_pages:
-        LRU buffer pool capacity for the data file.
+        LRU buffer pool capacity for each shard's data file.
+    backend:
+        Index backend name (see :data:`repro.index.backend.BACKENDS`);
+        the paper's default is the plain R-tree.
+    shards:
+        Number of round-robin shards queried in parallel (>= 1).
+    backend_options:
+        Extra options forwarded to each shard's backend constructor.
     """
 
     def __init__(
@@ -82,46 +75,98 @@ class TimeWarpingDatabase:
         page_size: int = 1024,
         disk: DiskModel | None = None,
         buffer_pages: int = 0,
+        backend: str = "rtree",
+        shards: int = 1,
+        backend_options: dict[str, object] | None = None,
     ) -> None:
-        self._db = SequenceDatabase(
-            page_size=page_size, disk=disk, buffer_pages=buffer_pages
+        self._sharded = ShardedDatabase(
+            page_size=page_size,
+            disk=disk,
+            buffer_pages=buffer_pages,
+            backend=backend,
+            shards=shards,
+            backend_options=backend_options,
         )
-        self._tree = RTree(4, page_size=page_size)
         self._labels: dict[int, str | None] = {}
-        self._cascade: FilterCascade | None = None
-        self._last_cascade_stats: CascadeStats | None = None
+
+    @classmethod
+    def from_storage(
+        cls,
+        storage: SequenceDatabase,
+        *,
+        backend: str = "rtree",
+        shards: int = 1,
+        backend_options: dict[str, object] | None = None,
+        labels: dict[int, str | None] | None = None,
+    ) -> "TimeWarpingDatabase":
+        """Index an existing storage under the chosen backend/sharding.
+
+        With one shard the storage is adopted in place (its ids become
+        the facade's ids); with several it is redistributed round-robin
+        onto fresh per-shard storages, preserving ids.  Either way the
+        index build charges one sequential scan.
+        """
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        instance = cls.__new__(cls)
+        instance._labels = dict(labels or {})
+        if shards == 1:
+            engine = QueryEngine(storage, backend, backend_options=backend_options)
+            engine.rebuild_index()
+            instance._sharded = ShardedDatabase.adopt(
+                [engine], backend_name=backend, backend_options=backend_options
+            )
+            return instance
+        engines = [
+            QueryEngine(
+                SequenceDatabase(page_size=storage.page_size, disk=storage.disk),
+                backend,
+                backend_options=backend_options,
+            )
+            for _ in range(shards)
+        ]
+        assign: dict[int, tuple[int, int]] = {}
+        per_shard: list[list[Sequence]] = [[] for _ in range(shards)]
+        per_gids: list[list[int]] = [[] for _ in range(shards)]
+        for sequence in storage.scan():
+            assert sequence.seq_id is not None
+            shard = sequence.seq_id % shards
+            per_shard[shard].append(sequence)
+            per_gids[shard].append(sequence.seq_id)
+        for shard, batch in enumerate(per_shard):
+            if not batch:
+                continue
+            lids = engines[shard].bulk_insert(batch)
+            for gid, lid in zip(per_gids[shard], lids):
+                assign[gid] = (shard, lid)
+        instance._sharded = ShardedDatabase.adopt(
+            engines,
+            backend_name=backend,
+            backend_options=backend_options,
+            assign=assign,
+            next_gid=storage.next_id,
+        )
+        return instance
 
     # -- population ---------------------------------------------------------
 
     def insert(self, sequence: SequenceLike, *, label: str | None = None) -> int:
         """Store one sequence and index its feature vector; returns its id."""
         seq = as_sequence(sequence)
-        if len(seq) == 0:
-            raise ValidationError("cannot insert an empty sequence")
-        seq_id = self._db.insert(seq)
-        self._tree.insert_point(extract_feature(seq.values).as_tuple(), seq_id)
+        seq_id = self._sharded.insert(seq)
         self._labels[seq_id] = label if label is not None else seq.label
         return seq_id
 
     def bulk_load(self, sequences: Iterable[SequenceLike]) -> list[int]:
-        """Store many sequences and STR-pack the index in one pass.
+        """Store many sequences and bulk-load each shard's index once.
 
         Substantially faster than repeated :meth:`insert` for initial
         loads (paper section 4.3.1); existing contents are preserved.
         """
-        loader = STRBulkLoader(4, page_size=self._db.page_size)
-        for rect, record in self._tree.items():
-            loader.add(rect, record)
-        ids: list[int] = []
-        for sequence in sequences:
-            seq = as_sequence(sequence)
-            if len(seq) == 0:
-                raise ValidationError("cannot insert an empty sequence")
-            seq_id = self._db.insert(seq)
-            loader.add(extract_feature(seq.values).as_tuple(), seq_id)
+        seqs = [as_sequence(sequence) for sequence in sequences]
+        ids = self._sharded.bulk_load(seqs)
+        for seq_id, seq in zip(ids, seqs):
             self._labels[seq_id] = seq.label
-            ids.append(seq_id)
-        self._tree = loader.build()
         return ids
 
     def delete(self, seq_id: int) -> None:
@@ -131,57 +176,96 @@ class TimeWarpingDatabase:
         id is not stored.  Storage space is tombstoned; call
         ``db.storage.compact()`` to reclaim it.
         """
-        stored = self._db.fetch(seq_id)
-        feature = extract_feature(stored.values)
-        self._tree.delete(feature.as_tuple(), seq_id)
-        self._db.delete(seq_id)
+        self._sharded.delete(seq_id)
         self._labels.pop(seq_id, None)
 
     # -- inspection ------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._db)
+        return len(self._sharded)
 
     def __contains__(self, seq_id: int) -> bool:
-        return seq_id in self._db
+        return seq_id in self._sharded
 
     def get(self, seq_id: int) -> Sequence:
         """Fetch a stored sequence by id."""
-        return self._db.fetch(seq_id)
+        return self._sharded.get(seq_id)
+
+    def ids(self) -> list[int]:
+        """All stored (global) sequence ids, ascending."""
+        return self._sharded.ids()
 
     def label_of(self, seq_id: int) -> str | None:
         """The label the sequence was inserted with, if any."""
         return self._labels.get(seq_id)
 
     @property
-    def storage(self) -> SequenceDatabase:
-        """The underlying paged storage (for I/O statistics)."""
-        return self._db
+    def backend_name(self) -> str:
+        """Registry name of the per-shard index backend."""
+        return self._sharded.backend_name
 
     @property
-    def index(self) -> RTree:
-        """The 4-d feature R-tree."""
-        return self._tree
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self._sharded.n_shards
+
+    @property
+    def storage(self) -> SequenceDatabase:
+        """The underlying paged storage (single-shard databases).
+
+        For sharded databases there is one storage per shard — use
+        :attr:`shard_storages`.
+        """
+        if self._sharded.n_shards != 1:
+            raise ValidationError(
+                "a sharded database has one storage per shard; "
+                "use shard_storages"
+            )
+        return self._sharded.storages[0]
+
+    @property
+    def shard_storages(self) -> list[SequenceDatabase]:
+        """Each shard's paged storage (shard order)."""
+        return self._sharded.storages
+
+    @property
+    def backend(self) -> IndexBackend:
+        """The index backend (single-shard databases)."""
+        if self._sharded.n_shards != 1:
+            raise ValidationError(
+                "a sharded database has one backend per shard; "
+                "use sharded.engines"
+            )
+        return self._sharded.engines[0].backend
+
+    @property
+    def index(self):
+        """The underlying index structure (single-shard databases).
+
+        The backend's native tree when it has one (R-tree family,
+        suffix tree), else the backend itself.
+        """
+        backend = self.backend
+        return getattr(backend, "tree", backend)
+
+    @property
+    def sharded(self) -> ShardedDatabase:
+        """The shard router (per-shard engines, storages, placement)."""
+        return self._sharded
 
     @property
     def last_cascade_stats(self) -> CascadeStats | None:
         """Per-stage pruning counters of the most recent search.
 
         For :meth:`search_many` this is the stage-wise merge over all
-        queries of the batch (:meth:`CascadeStats.merge`).
+        queries of the batch (and over all shards).
         """
-        return self._last_cascade_stats
+        return self._sharded.last_cascade_stats
 
-    def _active_cascade(self) -> FilterCascade:
-        """The filter cascade over the current contents (lazily rebuilt).
-
-        Ids are never reused and stored sequences are immutable, so the
-        store stays valid until an insert/delete changes the id set —
-        then one sequential scan rebuilds it.
-        """
-        if self._cascade is None or not self._cascade.store.matches(self._db):
-            self._cascade = FilterCascade.from_database(self._db)
-        return self._cascade
+    @property
+    def last_candidate_ids(self) -> list[int]:
+        """Lower-bound survivors (pre-verification) of the last search."""
+        return self._sharded.last_candidate_ids
 
     # -- queries ----------------------------------------------------------------
 
@@ -204,34 +288,7 @@ class TimeWarpingDatabase:
         ``D_tw-lb <= D_tw <= D_tw^band`` — while matches are required
         to align without extreme time distortion.
         """
-        q = as_sequence(query)
-        if len(q) == 0:
-            raise ValidationError("query sequence must be non-empty")
-        if epsilon < 0:
-            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
-        rect = feature_rect(extract_feature(q.values), epsilon)
-        candidate_ids = sorted(self._tree.range_search(rect))
-        cascade = self._active_cascade()
-        rows = cascade.store.rows_for(candidate_ids)
-        stages = [StageStats("rtree", len(self._db), int(rows.size))]
-        surviving, tier_stages = cascade.filter(
-            q.values, epsilon, rows=rows, band_radius=band_radius
-        )
-        stages.extend(tier_stages)
-        ids = cascade.store.ids
-        matches: list[SearchOutcome] = []
-        for row in surviving:
-            seq_id = int(ids[row])
-            stored = self._db.fetch(seq_id)
-            distance = self._verify_distance(
-                stored.values, q.values, epsilon, band_radius
-            )
-            if distance <= epsilon:
-                matches.append(SearchOutcome(seq_id, distance, stored))
-        stages.append(StageStats(STAGE_DTW, int(surviving.size), len(matches)))
-        self._last_cascade_stats = CascadeStats(stages)
-        matches.sort(key=lambda m: (m.distance, m.seq_id))
-        return matches
+        return self._sharded.search(query, epsilon, band_radius=band_radius)
 
     def search_many(
         self,
@@ -249,55 +306,65 @@ class TimeWarpingDatabase:
         walks.  :attr:`last_cascade_stats` afterwards holds the
         stage-wise merge over all queries of the batch.
         """
-        query_seqs = [as_sequence(query) for query in queries]
-        for q in query_seqs:
-            if len(q) == 0:
-                raise ValidationError("query sequence must be non-empty")
-        if epsilon < 0:
-            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
-        cascade = self._active_cascade()
-        batch = cascade.run_many(
-            [q.values for q in query_seqs], epsilon, band_radius=band_radius
+        return self._sharded.search_many(
+            queries, epsilon, band_radius=band_radius
         )
-        results: list[list[SearchOutcome]] = []
-        for outcome in batch:
-            rows = cascade.store.rows_for(outcome.answer_ids)
-            matches = [
-                SearchOutcome(
-                    seq_id,
-                    outcome.distances[seq_id],
-                    cascade.store.sequences[int(row)],
-                )
-                for seq_id, row in zip(outcome.answer_ids, rows)
-            ]
-            matches.sort(key=lambda m: (m.distance, m.seq_id))
-            results.append(matches)
-        if batch:
-            self._last_cascade_stats = CascadeStats.merge(o.stats for o in batch)
-        return results
 
-    @staticmethod
-    def _verify_distance(
-        s_values, q_values, epsilon: float, band_radius: int | None
-    ) -> float:
-        if band_radius is None:
-            return dtw_max_early_abandon(s_values, q_values, epsilon)
-        window = sakoe_chiba_window(len(s_values), len(q_values), band_radius)
-        return dtw_max_matrix(s_values, q_values, window=window).distance
+    def knn(self, query: SequenceLike, k: int) -> list[SearchOutcome]:
+        """The *k* sequences with the smallest ``D_tw`` to the query.
+
+        The classical lower-bound kNN refinement: each shard walks its
+        index in ascending ``D_tw-lb`` order (lazy best-first) and
+        verifies with early-abandoning DTW thresholded at the current
+        *k*-th best distance; per-shard top-*k* lists merge exactly.
+        """
+        return self._sharded.knn(query, k)
 
     # -- persistence -------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist the database to three files.
+        """Persist the database.
 
-        ``<path>`` holds the data heap, ``<path>.idx`` the feature
-        R-tree (page-exact format), ``<path>.labels`` the label map.
+        Single-shard layout (seed-compatible): ``<path>`` holds the
+        data heap, ``<path>.idx`` the index (when the backend supports
+        a page-exact format), ``<path>.labels`` the label map, and
+        ``<path>.meta`` the backend/shard metadata.  Sharded layout:
+        one ``<path>.shard<i>`` heap (plus optional ``.idx``) per
+        shard, with the gid placement recorded in ``<path>.meta``.
         """
         path = Path(path)
-        self._db.save(path)
-        save_rtree(self._tree, path.with_name(path.name + ".idx"))
+        engines = self._sharded.engines
+        meta: dict[str, object] = {
+            "format": _META_FORMAT,
+            "version": _META_VERSION,
+            "backend": self._sharded.backend_name,
+            "shards": self._sharded.n_shards,
+            "next_gid": self._sharded.next_gid,
+        }
+        if self._sharded.n_shards == 1:
+            engines[0].database.save(path)
+            self._save_index(engines[0], path.with_name(path.name + ".idx"))
+        else:
+            meta["assign"] = {
+                str(gid): [shard, lid]
+                for gid, (shard, lid) in self._sharded.assignment().items()
+            }
+            for i, engine in enumerate(engines):
+                shard_path = path.with_name(f"{path.name}.shard{i}")
+                engine.database.save(shard_path)
+                self._save_index(
+                    engine, shard_path.with_name(shard_path.name + ".idx")
+                )
         labels = {str(k): v for k, v in self._labels.items() if v is not None}
         path.with_name(path.name + ".labels").write_text(json.dumps(labels))
+        path.with_name(path.name + ".meta").write_text(json.dumps(meta))
+
+    @staticmethod
+    def _save_index(engine: QueryEngine, index_path: Path) -> None:
+        if not engine.backend.save(index_path):
+            # The backend has no page-exact format; drop any stale file
+            # so a later load rebuilds from the data instead.
+            index_path.unlink(missing_ok=True)
 
     @classmethod
     def load(
@@ -309,67 +376,75 @@ class TimeWarpingDatabase:
     ) -> "TimeWarpingDatabase":
         """Re-open a database persisted with :meth:`save`.
 
-        The index is loaded from ``<path>.idx`` when present, else
-        rebuilt from the data by STR packing.
+        Backend name and shard layout round-trip through the
+        ``<path>.meta`` file; files written before it existed load as
+        a single-shard R-tree database.  Each shard's index is loaded
+        from its ``.idx`` file when present, else rebuilt from the data
+        by a (charged) bulk load.
         """
         path = Path(path)
-        instance = cls.__new__(cls)
-        instance._db = SequenceDatabase.load(
-            path, disk=disk, buffer_pages=buffer_pages
-        )
-        index_path = path.with_name(path.name + ".idx")
-        if index_path.exists():
-            instance._tree = load_rtree(index_path)
+        backend_name = "rtree"
+        shards = 1
+        next_gid: int | None = None
+        assign: dict[int, tuple[int, int]] | None = None
+        meta_path = path.with_name(path.name + ".meta")
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            backend_name = meta.get("backend", "rtree")
+            shards = int(meta.get("shards", 1))
+            if "next_gid" in meta:
+                next_gid = int(meta["next_gid"])
+            if "assign" in meta:
+                assign = {
+                    int(gid): (int(pair[0]), int(pair[1]))
+                    for gid, pair in meta["assign"].items()
+                }
+        if backend_name not in BACKENDS:
+            raise ValidationError(
+                f"persisted database uses unknown backend {backend_name!r}"
+            )
+        if shards == 1:
+            shard_paths = [path]
         else:
-            loader = STRBulkLoader(4, page_size=instance._db.page_size)
-            for sequence in instance._db.scan():
-                assert sequence.seq_id is not None
-                loader.add(
-                    extract_feature(sequence.values).as_tuple(),
-                    sequence.seq_id,
-                )
-            instance._tree = loader.build()
-        instance._cascade = None
-        instance._last_cascade_stats = None
+            shard_paths = [
+                path.with_name(f"{path.name}.shard{i}") for i in range(shards)
+            ]
+        engines: list[QueryEngine] = []
+        for shard_path in shard_paths:
+            db = SequenceDatabase.load(
+                shard_path, disk=disk, buffer_pages=buffer_pages
+            )
+            engines.append(cls._load_engine(db, backend_name, shard_path))
+        labels: dict[int, str | None] = {}
         labels_path = path.with_name(path.name + ".labels")
-        instance._labels = {}
         if labels_path.exists():
             raw = json.loads(labels_path.read_text())
-            instance._labels = {int(k): v for k, v in raw.items()}
+            labels = {int(k): v for k, v in raw.items()}
+        instance = cls.__new__(cls)
+        instance._sharded = ShardedDatabase.adopt(
+            engines,
+            backend_name=backend_name,
+            assign=assign,
+            # A reloaded single-shard storage restarts its id counter at
+            # max(ids)+1 (seed behaviour); the gid counter must follow
+            # it to keep the gid==lid identity.  Sharded layouts keep
+            # the persisted counter so gids are never reused.
+            next_gid=next_gid if shards > 1 else None,
+        )
+        instance._labels = labels
         return instance
 
-    def knn(self, query: SequenceLike, k: int) -> list[SearchOutcome]:
-        """The *k* sequences with the smallest ``D_tw`` to the query.
-
-        Uses the classical lower-bound kNN refinement: walk index
-        entries in ascending ``D_tw-lb`` order (best-first, exact for a
-        metric lower bound) and verify with the true distance until the
-        *k*-th true distance is no greater than the next lower bound.
-        """
-        q = as_sequence(query)
-        if len(q) == 0:
-            raise ValidationError("query sequence must be non-empty")
-        if k <= 0:
-            raise ValidationError(f"k must be positive, got {k}")
-        point = extract_feature(q.values).as_tuple()
-        # Over-fetch lower-bound neighbours lazily: take them in chunks.
-        found: list[SearchOutcome] = []
-        fetched = 0
-        chunk = max(k * 4, 16)
-        while True:
-            neighbours = self._tree.knn(point, fetched + chunk)
-            new = neighbours[fetched:]
-            if not new:
-                break
-            for lb, seq_id in new:
-                fetched += 1
-                if len(found) >= k and lb > found[k - 1].distance:
-                    found = found[:k]
-                    return found
-                stored = self._db.fetch(seq_id)
-                distance = dtw_max(stored.values, q.values)
-                found.append(SearchOutcome(seq_id, distance, stored))
-                found.sort(key=lambda m: (m.distance, m.seq_id))
-            if fetched >= len(self._db):
-                break
-        return found[:k]
+    @staticmethod
+    def _load_engine(
+        db: SequenceDatabase, backend_name: str, shard_path: Path
+    ) -> QueryEngine:
+        index_path = shard_path.with_name(shard_path.name + ".idx")
+        if index_path.exists():
+            loaded = BACKENDS[backend_name].load(
+                index_path, page_size=db.page_size
+            )
+            if loaded is not None:
+                return QueryEngine(db, loaded)
+        engine = QueryEngine(db, backend_name)
+        engine.rebuild_index()
+        return engine

@@ -1,0 +1,335 @@
+""":class:`QueryEngine` — backend → filter cascade → verification.
+
+One object owns the whole similarity-search pipeline of Algorithm 1:
+an :class:`~repro.index.backend.IndexBackend` generates candidates, the
+:class:`~repro.core.cascade.FilterCascade` prunes them with the
+lower-bound tiers, and DTW verification refines the survivors — with
+every simulated-I/O and pruning counter charged in one place.  The
+public facade (:class:`~repro.core.engine.TimeWarpingDatabase`), the
+``methods/*`` experiment classes and the eval harness all compose this
+engine instead of re-implementing the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol
+
+import numpy as np
+
+from ..distance.bands import sakoe_chiba_window
+from ..distance.dtw import dtw_max_early_abandon, dtw_max_matrix
+from ..exceptions import ValidationError
+from ..index.backend import IndexBackend, make_backend
+from ..storage.database import SequenceDatabase
+from ..types import Sequence, SequenceLike, as_sequence
+from .cascade import STAGE_DTW, CascadeStats, FilterCascade, StageStats
+
+__all__ = ["QueryEngine", "SearchOutcome", "charged_candidates"]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """One match of a similarity search.
+
+    Attributes
+    ----------
+    seq_id:
+        The matching sequence's identifier.
+    distance:
+        Its true time-warping distance to the query.
+    sequence:
+        The matching sequence itself.
+    """
+
+    seq_id: int
+    distance: float
+    sequence: Sequence
+
+
+class _CostSink(Protocol):
+    """The two counters an index traversal charges (MethodStats quacks)."""
+
+    index_node_reads: int
+    simulated_io_seconds: float
+
+
+def charged_candidates(
+    backend: IndexBackend,
+    db: SequenceDatabase,
+    values: SequenceLike,
+    epsilon: float,
+    stats: _CostSink,
+    *,
+    io_charge: Callable[[int], float] | None = None,
+) -> list[int]:
+    """Run a backend range search and charge its node I/O to *stats*.
+
+    Node reads accumulated by the traversal are added to
+    ``stats.index_node_reads`` and converted to simulated seconds —
+    by default one random page read per node, or via *io_charge* when
+    the backend's nodes pack differently (e.g. the suffix tree packs
+    many small nodes per page).
+    """
+    backend.access.mark("charged-candidates")
+    candidate_ids = backend.range_search(values, epsilon)
+    node_reads, _, _ = backend.access.delta("charged-candidates")
+    stats.index_node_reads += node_reads
+    if io_charge is not None:
+        stats.simulated_io_seconds += io_charge(node_reads)
+    else:
+        stats.simulated_io_seconds += db.disk.random_read_time(
+            node_reads, db.page_size
+        )
+    return candidate_ids
+
+
+class QueryEngine:
+    """The composed search pipeline over one storage + one index backend.
+
+    Parameters
+    ----------
+    database:
+        The paged sequence storage the engine reads through.
+    backend:
+        An :class:`IndexBackend` instance, or a registry name
+        (``"rtree"``, ``"rstar"``, ...) constructed at the storage's
+        page size.
+    backend_options:
+        Extra constructor options when *backend* is a name.
+    """
+
+    def __init__(
+        self,
+        database: SequenceDatabase,
+        backend: IndexBackend | str = "rtree",
+        *,
+        backend_options: dict[str, object] | None = None,
+    ) -> None:
+        if isinstance(backend, str):
+            backend = make_backend(
+                backend,
+                page_size=database.page_size,
+                **(backend_options or {}),
+            )
+        elif backend_options:
+            raise ValidationError(
+                "backend_options require a backend name, not an instance"
+            )
+        self._db = database
+        self._backend = backend
+        self._cascade: FilterCascade | None = None
+        self._last_cascade_stats: CascadeStats | None = None
+        self._last_candidate_ids: list[int] = []
+
+    # -- composition ---------------------------------------------------------
+
+    @property
+    def database(self) -> SequenceDatabase:
+        """The underlying paged storage."""
+        return self._db
+
+    @property
+    def backend(self) -> IndexBackend:
+        """The candidate-generating index backend."""
+        return self._backend
+
+    @property
+    def last_cascade_stats(self) -> CascadeStats | None:
+        """Per-stage pruning counters of the most recent query."""
+        return self._last_cascade_stats
+
+    @property
+    def last_candidate_ids(self) -> list[int]:
+        """Lower-bound survivors (pre-verification) of the last search."""
+        return list(self._last_candidate_ids)
+
+    def __len__(self) -> int:
+        return len(self._db)
+
+    # -- population ---------------------------------------------------------
+
+    def insert(self, sequence: SequenceLike) -> int:
+        """Store one sequence and index it; returns its id."""
+        seq = as_sequence(sequence)
+        if len(seq) == 0:
+            raise ValidationError("cannot insert an empty sequence")
+        seq_id = self._db.insert(seq)
+        self._backend.insert(seq_id, seq.values)
+        return seq_id
+
+    def bulk_insert(self, sequences: Iterable[SequenceLike]) -> list[int]:
+        """Store many sequences and bulk-load the index in one pass."""
+        items: list[tuple[int, SequenceLike]] = []
+        ids: list[int] = []
+        for sequence in sequences:
+            seq = as_sequence(sequence)
+            if len(seq) == 0:
+                raise ValidationError("cannot insert an empty sequence")
+            seq_id = self._db.insert(seq)
+            items.append((seq_id, seq.values))
+            ids.append(seq_id)
+        self._backend.bulk_load(items)
+        return ids
+
+    def delete(self, seq_id: int) -> None:
+        """Remove a sequence from storage and the index."""
+        stored = self._db.fetch(seq_id)
+        self._backend.delete(seq_id, stored.values)
+        self._db.delete(seq_id)
+
+    def rebuild_index(self) -> None:
+        """Re-index the whole storage with one (charged) sequential scan."""
+        items: list[tuple[int, SequenceLike]] = []
+        for sequence in self._db.scan():
+            assert sequence.seq_id is not None
+            items.append((sequence.seq_id, sequence.values))
+        self._backend.bulk_load(items)
+
+    # -- queries ----------------------------------------------------------------
+
+    def _active_cascade(self) -> FilterCascade:
+        """The filter cascade over the current contents (lazily rebuilt).
+
+        Ids are never reused and stored sequences are immutable, so the
+        store stays valid until an insert/delete changes the id set —
+        then one sequential scan rebuilds it.
+        """
+        if self._cascade is None or not self._cascade.store.matches(self._db):
+            self._cascade = FilterCascade.from_database(self._db)
+        return self._cascade
+
+    def search(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> list[SearchOutcome]:
+        """All sequences with ``D_tw(S, Q) <= epsilon`` (Algorithm 1).
+
+        Exact and complete for every ``exact`` backend: the index
+        prunes with a valid lower bound (no false dismissal) and every
+        candidate is verified with the true distance.  Results are
+        sorted by ascending distance.
+
+        *band_radius*, if given, verifies with Sakoe–Chiba-constrained
+        DTW instead (extension): the banded distance only exceeds the
+        unconstrained one, so the same index remains a sound filter.
+
+        Surviving sequences are served from the cascade's in-memory
+        store, but each one is still charged as the random fetch
+        Algorithm 1's post-processing step performs.
+        """
+        q = as_sequence(query)
+        if len(q) == 0:
+            raise ValidationError("query sequence must be non-empty")
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        candidate_ids = sorted(self._backend.range_search(q.values, epsilon))
+        cascade = self._active_cascade()
+        rows = cascade.store.rows_for(candidate_ids)
+        stages = [StageStats(self._backend.name, len(self._db), int(rows.size))]
+        surviving, tier_stages = cascade.filter(
+            q.values, epsilon, rows=rows, band_radius=band_radius
+        )
+        stages.extend(tier_stages)
+        ids = cascade.store.ids
+        self._last_candidate_ids = [int(ids[row]) for row in surviving]
+        matches: list[SearchOutcome] = []
+        for row in surviving:
+            seq_id = int(ids[row])
+            stored = cascade.store.sequences[int(row)]
+            self._db.charge_fetch(seq_id)
+            distance = self._verify_distance(
+                stored.values, q.values, epsilon, band_radius
+            )
+            if distance <= epsilon:
+                matches.append(SearchOutcome(seq_id, distance, stored))
+        stages.append(StageStats(STAGE_DTW, int(surviving.size), len(matches)))
+        self._last_cascade_stats = CascadeStats(stages)
+        matches.sort(key=lambda m: (m.distance, m.seq_id))
+        return matches
+
+    def search_many(
+        self,
+        queries: Iterable[SequenceLike],
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> list[list[SearchOutcome]]:
+        """Answer a batch of similarity queries in one pass.
+
+        Returns one :meth:`search`-identical result list per query (the
+        same ids, distances and ordering), but amortizes feature
+        extraction across the batch and evaluates the lower-bound tiers
+        as whole-database matrix operations instead of per-query index
+        walks.  :attr:`last_cascade_stats` afterwards holds the
+        stage-wise merge over all queries of the batch.
+        """
+        query_seqs = [as_sequence(query) for query in queries]
+        for q in query_seqs:
+            if len(q) == 0:
+                raise ValidationError("query sequence must be non-empty")
+        if epsilon < 0:
+            raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
+        cascade = self._active_cascade()
+        batch = cascade.run_many(
+            [q.values for q in query_seqs], epsilon, band_radius=band_radius
+        )
+        results: list[list[SearchOutcome]] = []
+        for outcome in batch:
+            rows = cascade.store.rows_for(outcome.answer_ids)
+            matches = [
+                SearchOutcome(
+                    seq_id,
+                    outcome.distances[seq_id],
+                    cascade.store.sequences[int(row)],
+                )
+                for seq_id, row in zip(outcome.answer_ids, rows)
+            ]
+            matches.sort(key=lambda m: (m.distance, m.seq_id))
+            results.append(matches)
+        if batch:
+            self._last_cascade_stats = CascadeStats.merge(o.stats for o in batch)
+        return results
+
+    def knn(self, query: SequenceLike, k: int) -> list[SearchOutcome]:
+        """The *k* sequences with the smallest ``D_tw`` to the query.
+
+        The classical lower-bound kNN refinement, consumed lazily: the
+        backend yields candidates in ascending lower-bound order
+        (:meth:`IndexBackend.knn_iter`); each is verified with
+        early-abandoning DTW thresholded at the current *k*-th best
+        distance, and the walk stops as soon as the next lower bound
+        exceeds that threshold — no further sequence can qualify.
+        """
+        q = as_sequence(query)
+        if len(q) == 0:
+            raise ValidationError("query sequence must be non-empty")
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        found: list[SearchOutcome] = []
+        for lb, seq_id in self._backend.knn_iter(q.values):
+            if len(found) >= k and lb > found[k - 1].distance:
+                break
+            threshold = found[k - 1].distance if len(found) >= k else float("inf")
+            stored = self._db.fetch(seq_id)
+            distance = dtw_max_early_abandon(stored.values, q.values, threshold)
+            if distance <= threshold:
+                found.append(SearchOutcome(seq_id, distance, stored))
+                found.sort(key=lambda m: (m.distance, m.seq_id))
+                del found[k:]
+        return found
+
+    @staticmethod
+    def _verify_distance(
+        s_values: np.ndarray,
+        q_values: np.ndarray,
+        epsilon: float,
+        band_radius: int | None,
+    ) -> float:
+        if band_radius is None:
+            return dtw_max_early_abandon(s_values, q_values, epsilon)
+        window = sakoe_chiba_window(len(s_values), len(q_values), band_radius)
+        return dtw_max_matrix(s_values, q_values, window=window).distance

@@ -1,0 +1,368 @@
+""":class:`ShardedDatabase` — N independent query engines, one answer.
+
+Partitions sequences round-robin across *N* shards, each a full
+:class:`~repro.core.query_engine.QueryEngine` with its own paged
+storage, index backend and feature store.  Queries fan out to every
+shard on a thread pool and the per-shard results are merged — answers,
+distances, ordering and per-stage :class:`CascadeStats` are
+bit-identical to running the same workload on a single shard:
+
+* Global ids (*gids*) are assigned by one monotone counter; shard
+  ``gid % N`` stores the sequence under its own local id (*lid*).
+  Round-robin preserves arrival order within each shard, so per-shard
+  ``(distance, lid)`` ordering equals global ``(distance, gid)``
+  ordering and a merge of per-shard top-*k* lists is an exact global
+  top-*k*.
+* Range searches are embarrassingly parallel: every shard's answer set
+  is disjoint, and the merged list is re-sorted by the same
+  ``(distance, gid)`` key the single-shard path uses.
+* Stage counters merge by :meth:`CascadeStats.merge`, so ``n_in`` of
+  the index stage sums to the global database size.
+
+With ``shards=1`` every call short-circuits to the single engine —
+no thread pool, no id translation (the gid and lid counters advance in
+lockstep, so they are provably equal).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+from ..exceptions import SequenceNotFoundError, ValidationError
+from ..storage.database import SequenceDatabase
+from ..storage.diskmodel import DiskModel
+from ..types import Sequence, SequenceLike, as_sequence
+from .cascade import CascadeStats
+from .query_engine import QueryEngine, SearchOutcome
+
+__all__ = ["ShardedDatabase"]
+
+T = TypeVar("T")
+
+
+class ShardedDatabase:
+    """Round-robin shard router over N :class:`QueryEngine` instances.
+
+    Parameters
+    ----------
+    page_size, disk, buffer_pages:
+        Storage parameters, applied to every shard.
+    backend:
+        Index backend name used by every shard.
+    shards:
+        Number of shards (>= 1).
+    backend_options:
+        Extra options forwarded to each shard's backend constructor.
+    """
+
+    def __init__(
+        self,
+        *,
+        page_size: int = 1024,
+        disk: DiskModel | None = None,
+        buffer_pages: int = 0,
+        backend: str = "rtree",
+        shards: int = 1,
+        backend_options: dict[str, object] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        self._backend_name = backend
+        self._backend_options = dict(backend_options or {})
+        self._n = shards
+        self._engines = [
+            QueryEngine(
+                SequenceDatabase(
+                    page_size=page_size, disk=disk, buffer_pages=buffer_pages
+                ),
+                backend,
+                backend_options=backend_options,
+            )
+            for _ in range(shards)
+        ]
+        # gid -> (shard, lid) and its per-shard inverse.  For one shard
+        # both maps are the identity (counters advance in lockstep).
+        self._assign: dict[int, tuple[int, int]] = {}
+        self._rev: list[dict[int, int]] = [{} for _ in range(shards)]
+        self._next_gid = 0
+        self._last_cascade_stats: CascadeStats | None = None
+        self._last_candidate_ids: list[int] = []
+
+    @classmethod
+    def adopt(
+        cls,
+        engines: list[QueryEngine],
+        *,
+        backend_name: str,
+        backend_options: dict[str, object] | None = None,
+        assign: dict[int, tuple[int, int]] | None = None,
+        next_gid: int | None = None,
+    ) -> "ShardedDatabase":
+        """Wrap pre-built engines (loaded or adopted storages).
+
+        *assign* maps gid -> (shard, lid); when omitted the engines
+        must be a single shard whose lids double as gids (the
+        single-shard identity invariant).
+        """
+        if not engines:
+            raise ValidationError("at least one engine is required")
+        self = cls.__new__(cls)
+        self._backend_name = backend_name
+        self._backend_options = dict(backend_options or {})
+        self._n = len(engines)
+        self._engines = list(engines)
+        if assign is None:
+            if len(engines) != 1:
+                raise ValidationError(
+                    "an assign mapping is required for multi-shard adoption"
+                )
+            assign = {lid: (0, lid) for lid in engines[0].database.ids()}
+        self._assign = dict(assign)
+        self._rev = [{} for _ in engines]
+        for gid, (shard, lid) in self._assign.items():
+            self._rev[shard][lid] = gid
+        if next_gid is None:
+            if len(engines) == 1:
+                # Keep the gid counter in lockstep with the shard's own
+                # id counter — the single-shard identity invariant must
+                # survive adopted storages that have seen deletions.
+                next_gid = engines[0].database.next_id
+            else:
+                next_gid = max(self._assign) + 1 if self._assign else 0
+        self._next_gid = next_gid
+        self._last_cascade_stats = None
+        self._last_candidate_ids = []
+        return self
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self._n
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the per-shard index backend."""
+        return self._backend_name
+
+    @property
+    def engines(self) -> list[QueryEngine]:
+        """The per-shard query engines (shard order)."""
+        return list(self._engines)
+
+    @property
+    def storages(self) -> list[SequenceDatabase]:
+        """Each shard's paged storage (shard order)."""
+        return [engine.database for engine in self._engines]
+
+    @property
+    def last_cascade_stats(self) -> CascadeStats | None:
+        """Shard-merged per-stage counters of the most recent query."""
+        return self._last_cascade_stats
+
+    @property
+    def last_candidate_ids(self) -> list[int]:
+        """Lower-bound survivors (gids) of the last :meth:`search`."""
+        return list(self._last_candidate_ids)
+
+    @property
+    def next_gid(self) -> int:
+        """The next gid to be assigned (monotone, never reused)."""
+        return self._next_gid
+
+    def assignment(self) -> dict[int, tuple[int, int]]:
+        """A copy of the gid -> (shard, lid) placement map."""
+        return dict(self._assign)
+
+    def __len__(self) -> int:
+        return sum(len(engine) for engine in self._engines)
+
+    def __contains__(self, gid: int) -> bool:
+        return gid in self._assign
+
+    def ids(self) -> list[int]:
+        """All stored gids in insertion order."""
+        return sorted(self._assign)
+
+    def shard_of(self, gid: int) -> int:
+        """The shard holding *gid*; raises when not stored."""
+        return self._locate(gid)[0]
+
+    def _locate(self, gid: int) -> tuple[int, int]:
+        try:
+            return self._assign[gid]
+        except KeyError:
+            raise SequenceNotFoundError(
+                f"sequence {gid} is not stored"
+            ) from None
+
+    # -- population ---------------------------------------------------------
+
+    def insert(self, sequence: SequenceLike) -> int:
+        """Store one sequence on shard ``gid % N``; returns its gid."""
+        gid = self._next_gid
+        shard = gid % self._n
+        lid = self._engines[shard].insert(sequence)
+        self._next_gid += 1
+        self._assign[gid] = (shard, lid)
+        self._rev[shard][lid] = gid
+        return gid
+
+    def bulk_load(self, sequences: Iterable[SequenceLike]) -> list[int]:
+        """Store many sequences, bulk-loading each shard's index once."""
+        seqs = [as_sequence(sequence) for sequence in sequences]
+        for seq in seqs:
+            if len(seq) == 0:
+                raise ValidationError("cannot insert an empty sequence")
+        gids: list[int] = []
+        per_shard: list[list[Sequence]] = [[] for _ in range(self._n)]
+        per_shard_gids: list[list[int]] = [[] for _ in range(self._n)]
+        for seq in seqs:
+            gid = self._next_gid
+            self._next_gid += 1
+            shard = gid % self._n
+            per_shard[shard].append(seq)
+            per_shard_gids[shard].append(gid)
+            gids.append(gid)
+        for shard, batch in enumerate(per_shard):
+            if not batch:
+                continue
+            lids = self._engines[shard].bulk_insert(batch)
+            for gid, lid in zip(per_shard_gids[shard], lids):
+                self._assign[gid] = (shard, lid)
+                self._rev[shard][lid] = gid
+        return gids
+
+    def delete(self, gid: int) -> None:
+        """Remove a sequence by gid from its shard."""
+        shard, lid = self._locate(gid)
+        self._engines[shard].delete(lid)
+        del self._assign[gid]
+        del self._rev[shard][lid]
+
+    def get(self, gid: int) -> Sequence:
+        """Fetch a stored sequence by gid (charges the shard's I/O)."""
+        shard, lid = self._locate(gid)
+        stored = self._engines[shard].database.fetch(lid)
+        return self._as_global(gid, stored)
+
+    @staticmethod
+    def _as_global(gid: int, stored: Sequence) -> Sequence:
+        if stored.seq_id == gid:
+            return stored
+        return Sequence(stored.values, seq_id=gid, label=stored.label)
+
+    def _translate(self, shard: int, match: SearchOutcome) -> SearchOutcome:
+        gid = self._rev[shard][match.seq_id]
+        if gid == match.seq_id:
+            return match
+        return SearchOutcome(
+            gid, match.distance, self._as_global(gid, match.sequence)
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def _fan_out(self, call: Callable[[QueryEngine], T]) -> list[T]:
+        """Run *call* on every shard engine concurrently (shard order)."""
+        with ThreadPoolExecutor(max_workers=self._n) as pool:
+            return list(pool.map(call, self._engines))
+
+    def _merged_stats(self) -> CascadeStats | None:
+        per_shard = [
+            engine.last_cascade_stats
+            for engine in self._engines
+            if engine.last_cascade_stats is not None
+        ]
+        return CascadeStats.merge(per_shard) if per_shard else None
+
+    def search(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> list[SearchOutcome]:
+        """Shard-parallel range search, merged by ``(distance, gid)``."""
+        if self._n == 1:
+            engine = self._engines[0]
+            matches = engine.search(query, epsilon, band_radius=band_radius)
+            self._last_cascade_stats = engine.last_cascade_stats
+            self._last_candidate_ids = engine.last_candidate_ids
+            return matches
+        shard_matches = self._fan_out(
+            lambda engine: engine.search(
+                query, epsilon, band_radius=band_radius
+            )
+        )
+        merged: list[SearchOutcome] = []
+        for shard, matches in enumerate(shard_matches):
+            merged.extend(self._translate(shard, match) for match in matches)
+        merged.sort(key=lambda m: (m.distance, m.seq_id))
+        self._last_cascade_stats = self._merged_stats()
+        self._last_candidate_ids = sorted(
+            self._rev[shard][lid]
+            for shard, engine in enumerate(self._engines)
+            for lid in engine.last_candidate_ids
+        )
+        return merged
+
+    def search_many(
+        self,
+        queries: Iterable[SequenceLike],
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> list[list[SearchOutcome]]:
+        """Shard-parallel batch search; one merged list per query."""
+        query_list = [as_sequence(query) for query in queries]
+        if self._n == 1:
+            engine = self._engines[0]
+            results = engine.search_many(
+                query_list, epsilon, band_radius=band_radius
+            )
+            self._last_cascade_stats = engine.last_cascade_stats
+            return results
+        shard_results = self._fan_out(
+            lambda engine: engine.search_many(
+                query_list, epsilon, band_radius=band_radius
+            )
+        )
+        merged: list[list[SearchOutcome]] = []
+        for query_index in range(len(query_list)):
+            combined: list[SearchOutcome] = []
+            for shard, results in enumerate(shard_results):
+                combined.extend(
+                    self._translate(shard, match)
+                    for match in results[query_index]
+                )
+            combined.sort(key=lambda m: (m.distance, m.seq_id))
+            merged.append(combined)
+        if query_list:
+            self._last_cascade_stats = self._merged_stats()
+        return merged
+
+    def knn(self, query: SequenceLike, k: int) -> list[SearchOutcome]:
+        """Shard-parallel kNN: merge per-shard top-*k* lists.
+
+        Exact: each shard's list is its true top-*k*, every stored
+        sequence lives in exactly one shard, and within a shard the
+        local tie-break order equals the global one (round-robin
+        preserves insertion order), so the global top-*k* is a subset
+        of the union of the per-shard lists.
+        """
+        if self._n == 1:
+            return self._engines[0].knn(query, k)
+        shard_found = self._fan_out(lambda engine: engine.knn(query, k))
+        merged: list[SearchOutcome] = []
+        for shard, found in enumerate(shard_found):
+            merged.extend(self._translate(shard, match) for match in found)
+        merged.sort(key=lambda m: (m.distance, m.seq_id))
+        return merged[:k]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDatabase({len(self)} sequences, "
+            f"{self._n} shard(s), backend={self._backend_name!r})"
+        )

@@ -10,6 +10,13 @@ Built from scratch per the reproduction mandate:
   baseline.
 """
 
+from .backend import (
+    BACKEND_NAMES,
+    BACKENDS,
+    IndexBackend,
+    IndexNodeStats,
+    make_backend,
+)
 from .rtree import RTree, Rect, STRBulkLoader
 from .suffixtree import Categorizer, GeneralizedSuffixTree
 
@@ -19,4 +26,9 @@ __all__ = [
     "STRBulkLoader",
     "Categorizer",
     "GeneralizedSuffixTree",
+    "IndexBackend",
+    "IndexNodeStats",
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "make_backend",
 ]

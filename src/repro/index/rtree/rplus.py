@@ -25,7 +25,11 @@ import heapq
 import itertools
 from typing import Iterator, Sequence as TypingSequence
 
-from ...exceptions import IndexCorruptionError, ValidationError
+from ...exceptions import (
+    EntryNotFoundError,
+    IndexCorruptionError,
+    ValidationError,
+)
 from .geometry import Rect
 from .node import fanout_for_page_size
 from .stats import AccessStats
@@ -113,6 +117,17 @@ class RPlusTree:
 
     def __len__(self) -> int:
         return self._count
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is a single leaf)."""
+
+        def depth(node: _RPlusNode) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(depth(child) for child in node.children)
+
+        return depth(self._root)
 
     def node_count(self) -> int:
         """Total nodes (one page each)."""
@@ -216,6 +231,45 @@ class RPlusTree:
             threshold = lower[-1]
         return best_axis, threshold
 
+    # -- deletion --------------------------------------------------------------------
+
+    def delete(
+        self, rect: Rect | TypingSequence[float], record: int
+    ) -> None:
+        """Remove the entry with exactly this point and record id.
+
+        Raises :class:`EntryNotFoundError` when absent.  Disjoint
+        regions make the search a single root-to-leaf descent.  The
+        leaf may underflow — the R+ invariants (disjointness,
+        containment) do not depend on a minimum occupancy, so no
+        condensation is needed.
+        """
+        if isinstance(rect, Rect):
+            if not rect.is_point():
+                raise ValidationError(
+                    "this R+-tree stores points; rectangles would need clipping"
+                )
+            point: TypingSequence[float] = rect.lows
+        else:
+            point = rect
+        point_t = tuple(float(v) for v in point)
+        if len(point_t) != self._ndim:
+            raise ValidationError(
+                f"point has {len(point_t)} dims, tree has {self._ndim}"
+            )
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_containing(node, point_t)
+        for i, (stored, rec) in enumerate(zip(node.points, node.records)):
+            if rec == record and stored == point_t:
+                del node.points[i]
+                del node.records[i]
+                self._count -= 1
+                return
+        raise EntryNotFoundError(
+            f"record {record} at {point_t} not in tree"
+        )
+
     # -- queries ---------------------------------------------------------------------
 
     def range_search(
@@ -274,18 +328,35 @@ class RPlusTree:
         """Best-first exact k-nearest-neighbours under ``L_p``."""
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
+        return list(itertools.islice(self.knn_iter(point, p=p), k))
+
+    def knn_iter(
+        self,
+        point: TypingSequence[float],
+        *,
+        p: float = float("inf"),
+    ) -> Iterator[tuple[float, int]]:
+        """Lazily yield ``(distance, record)`` in non-decreasing order.
+
+        The incremental form of :meth:`knn`: node visits are paid only
+        as results are consumed.
+        """
         point_t = tuple(float(v) for v in point)
         if len(point_t) != self._ndim:
             raise ValidationError(
                 f"point has {len(point_t)} dims, tree has {self._ndim}"
             )
+        return self._knn_iter(point_t, p)
+
+    def _knn_iter(
+        self, point_t: tuple[float, ...], p: float
+    ) -> Iterator[tuple[float, int]]:
         counter = itertools.count()
         heap: list = [(0.0, next(counter), self._root, None)]
-        results: list[tuple[float, int]] = []
-        while heap and len(results) < k:
+        while heap:
             dist, _tie, node, record = heapq.heappop(heap)
             if record is not None:
-                results.append((dist, record))
+                yield dist, record
                 continue
             self.stats.record_node(
                 is_leaf=node.is_leaf,
@@ -301,7 +372,6 @@ class RPlusTree:
                 for child in node.children:
                     d = child.region.min_distance_to_point(point_t, p=p)
                     heapq.heappush(heap, (d, next(counter), child, None))
-        return results
 
     # -- introspection -----------------------------------------------------------------
 

@@ -349,22 +349,43 @@ class RTree:
     ) -> list[tuple[float, int]]:
         """The *k* records nearest to *point* under the ``L_p`` metric.
 
-        Best-first (Hjaltason–Samet) traversal using rectangle-to-point
-        minimum distances as priorities; exact for any ``p >= 1``.
-        With ``p = inf`` the distances returned are ``D_tw-lb`` values
-        when the tree stores feature points.  Returns ``(distance,
-        record)`` pairs in non-decreasing distance order.
+        Consumes :meth:`knn_iter` — the traversal stops as soon as the
+        *k*-th result is produced, exactly as the bounded best-first
+        loop would.  Returns ``(distance, record)`` pairs in
+        non-decreasing distance order.
         """
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
+        return list(itertools.islice(self.knn_iter(point, p=p), k))
+
+    def knn_iter(
+        self,
+        point: TypingSequence[float],
+        *,
+        p: float = float("inf"),
+    ) -> Iterator[tuple[float, int]]:
+        """Lazily yield ``(distance, record)`` in non-decreasing order.
+
+        Best-first (Hjaltason–Samet) traversal using rectangle-to-point
+        minimum distances as priorities; exact for any ``p >= 1``.
+        With ``p = inf`` the distances yielded are ``D_tw-lb`` values
+        when the tree stores feature points.  The traversal is
+        incremental: node visits are paid only as results are consumed,
+        so a caller that stops after *n* neighbours never touches the
+        subtrees a ``knn(point, n)`` call would also have skipped.
+        """
         if len(point) != self._ndim:
             raise ValidationError(
                 f"point has {len(point)} dims, tree has {self._ndim}"
             )
+        return self._knn_iter(point, p)
+
+    def _knn_iter(
+        self, point: TypingSequence[float], p: float
+    ) -> Iterator[tuple[float, int]]:
         counter = itertools.count()
         heap: list[tuple[float, int, Entry | Node]] = [(0.0, next(counter), self._root)]
-        results: list[tuple[float, int]] = []
-        while heap and len(results) < k:
+        while heap:
             dist, _tie, item = heapq.heappop(heap)
             if isinstance(item, Node):
                 self._record_node_visit(item)
@@ -373,11 +394,10 @@ class RTree:
                     heapq.heappush(heap, (d, next(counter), entry))
             else:
                 if item.is_leaf_entry:
-                    results.append((dist, item.record))  # type: ignore[arg-type]
+                    yield dist, item.record  # type: ignore[misc]
                 else:
                     assert item.child is not None
                     heapq.heappush(heap, (dist, next(counter), item.child))
-        return results
 
     # -- introspection --------------------------------------------------------
 

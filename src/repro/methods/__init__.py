@@ -20,10 +20,14 @@ the experiment harness can swap them freely:
 * :class:`~repro.methods.cascade_scan.CascadeScan` — sequential scan
   through the vectorized tiered lower-bound cascade (extension; the
   whole-database-matrix-operation counterpart of LB-Scan).
+* :class:`~repro.methods.engine_method.EngineMethod` — the public
+  facade (any index backend, any shard count) measured under the same
+  accounting contract, for backend/shard sweeps (extension).
 """
 
 from .base import MethodStats, SearchMethod, SearchReport
 from .cascade_scan import CascadeScan
+from .engine_method import EngineMethod
 from .fastmap_method import FastMapMethod
 from .lb_scan import LBScan
 from .naive_scan import NaiveScan
@@ -35,6 +39,7 @@ __all__ = [
     "SearchMethod",
     "SearchReport",
     "CascadeScan",
+    "EngineMethod",
     "FastMapMethod",
     "LBScan",
     "NaiveScan",

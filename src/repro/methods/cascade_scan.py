@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from typing import Iterable
 
-from ..core.cascade import DEFAULT_TIERS, FeatureStore, FilterCascade
+from ..core.cascade import DEFAULT_TIERS, FeatureStore, FilterCascade, scan_cascade
 from ..exceptions import ValidationError
 from ..types import Sequence, SequenceLike, as_sequence
 from .base import MethodStats, SearchMethod, SearchReport
@@ -77,9 +77,9 @@ class CascadeScan(SearchMethod):
 
     def _scan_cascade(self) -> FilterCascade:
         """Charge one full sequential scan; return the current cascade."""
-        scan = self._db.scan()  # charges the sequential read up front
-        if self._cascade is None or not self._cascade.store.matches(self._db):
-            self._cascade = FilterCascade(FeatureStore(scan), tiers=DEFAULT_TIERS)
+        self._cascade = scan_cascade(
+            self._db, self._cascade, tiers=DEFAULT_TIERS
+        )
         return self._cascade
 
     def _search_impl(

@@ -13,16 +13,16 @@ implement it so the deficiency is *measurable* —
 :meth:`FastMapMethod.false_dismissals` compares a report against ground
 truth, and the integration tests demonstrate non-zero dismissal rates
 the other methods never exhibit.
+
+The embedding + image tree live behind the shared
+:class:`~repro.index.backend.FastMapBackend` (the registry's only
+``exact = False`` backend).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..distance.dtw import dtw_max
-from ..fastmap.fastmap import FastMap
-from ..index.rtree.bulk import STRBulkLoader
-from ..index.rtree.geometry import Rect
+from ..core.query_engine import charged_candidates
+from ..index.backend import FastMapBackend
 from ..index.rtree.rtree import RTree
 from ..types import Sequence
 from .base import MethodStats, SearchMethod, SearchReport
@@ -52,8 +52,7 @@ class FastMapMethod(SearchMethod):
         super().__init__(database, compute_distances=compute_distances)
         self._k = k
         self._seed = seed
-        self._fastmap: FastMap | None = None
-        self._tree: RTree | None = None
+        self._backend: FastMapBackend | None = None
 
     @property
     def k(self) -> int:
@@ -61,42 +60,37 @@ class FastMapMethod(SearchMethod):
         return self._k
 
     @property
+    def backend(self) -> FastMapBackend:
+        """The built FastMap backend (after :meth:`build`)."""
+        if self._backend is None:
+            raise RuntimeError("FastMap method has not been built")
+        return self._backend
+
+    @property
     def tree(self) -> RTree:
         """The built image-space R-tree (after :meth:`build`)."""
-        if self._tree is None:
-            raise RuntimeError("FastMap method has not been built")
-        return self._tree
+        return self.backend.tree
 
     def _build_impl(self) -> None:
-        sequences = list(self._db.scan())
-        ids = [seq.seq_id for seq in sequences]
-        arrays = [np.asarray(seq.values) for seq in sequences]
-        self._fastmap = FastMap(
-            lambda a, b: dtw_max(a, b), self._k, seed=self._seed
+        backend = FastMapBackend(
+            page_size=self._db.page_size, k=self._k, seed=self._seed
         )
-        coords = self._fastmap.fit(arrays)
-        loader = STRBulkLoader(self._k, page_size=self._db.page_size)
-        for point, seq_id in zip(coords, ids):
-            assert seq_id is not None
-            loader.add(tuple(float(v) for v in point), seq_id)
-        self._tree = loader.build()
+        items = []
+        for sequence in self._db.scan():
+            assert sequence.seq_id is not None
+            items.append((sequence.seq_id, sequence.values))
+        backend.bulk_load(items)
+        # Force the embedding + image tree into build time (the
+        # backend otherwise builds lazily on the first query).
+        backend.node_stats()
+        self._backend = backend
 
     def _search_impl(
         self, query: Sequence, epsilon: float, stats: MethodStats
     ) -> tuple[list[int], dict[int, float], list[int]]:
-        assert self._fastmap is not None
-        tree = self.tree
-        point = self._fastmap.project(np.asarray(query.values))
         stats.lower_bound_computations += 1
-        rect = Rect.from_intervals(
-            (float(c) - epsilon, float(c) + epsilon) for c in point
-        )
-        tree.stats.mark("search")
-        candidate_ids = tree.range_search(rect)
-        node_reads, _, _ = tree.stats.delta("search")
-        stats.index_node_reads += node_reads
-        stats.simulated_io_seconds += self._db.disk.random_read_time(
-            node_reads, self._db.page_size
+        candidate_ids = charged_candidates(
+            self.backend, self._db, query.values, epsilon, stats
         )
         answers: list[int] = []
         distances: dict[int, float] = {}

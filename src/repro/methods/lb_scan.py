@@ -17,7 +17,7 @@ the filter drops.
 
 from __future__ import annotations
 
-from ..core.cascade import TIER_YI, FeatureStore, FilterCascade
+from ..core.cascade import TIER_YI, FilterCascade, scan_cascade
 from ..types import Sequence
 from .base import MethodStats, SearchMethod
 
@@ -34,19 +34,11 @@ class LBScan(SearchMethod):
         self._cascade: FilterCascade | None = None
 
     def _scan_cascade(self) -> FilterCascade:
-        """Charge one full sequential scan; return the Yi-tier cascade.
-
-        The scan's I/O is charged whether or not its pages feed the
-        store: the store mirrors the heap contents (ids are never
-        reused, stored sequences are immutable), so a fresh store is
-        only materialized when the id set changed.
-        """
-        scan = self._db.scan()  # charges the sequential read up front
-        cascade = getattr(self, "_cascade", None)
-        if cascade is None or not cascade.store.matches(self._db):
-            cascade = FilterCascade(FeatureStore(scan), tiers=(TIER_YI,))
-            self._cascade = cascade
-        return cascade
+        """Charge one full sequential scan; return the Yi-tier cascade."""
+        self._cascade = scan_cascade(
+            self._db, getattr(self, "_cascade", None), tiers=(TIER_YI,)
+        )
+        return self._cascade
 
     def _search_impl(
         self, query: Sequence, epsilon: float, stats: MethodStats

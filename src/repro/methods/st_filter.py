@@ -12,15 +12,20 @@ causes false dismissal — but, as the paper's Figures 3–4 show, whole
 matching pays for an "abnormally enlarged" suffix tree: the tree's node
 count grows with total database volume, and that traversal cost is what
 this implementation charges via index node accesses.
+
+The categorizer + suffix tree live behind the shared
+:class:`~repro.index.backend.SuffixTreeBackend`, so the same substrate
+is selectable in the engine facade (``backend="suffixtree"``).
 """
 
 from __future__ import annotations
 
 from ..core.cascade import CascadeStats, StageStats, verify_stage
+from ..core.query_engine import charged_candidates
 from ..distance.dtw import dtw_max_early_abandon
 from ..exceptions import ValidationError
+from ..index.backend import SuffixTreeBackend
 from ..index.rtree.stats import AccessStats
-from ..index.suffixtree.categorize import Categorizer
 from ..index.suffixtree.search import WarpingTraversal
 from ..index.suffixtree.ukkonen import GeneralizedSuffixTree
 from ..types import Sequence, as_sequence
@@ -60,9 +65,7 @@ class STFilter(SearchMethod):
         super().__init__(database, compute_distances=compute_distances)
         self._n_categories = n_categories
         self._strategy = strategy
-        self._categorizer: Categorizer | None = None
-        self._tree: GeneralizedSuffixTree | None = None
-        self._id_by_position: list[int] = []
+        self._backend: SuffixTreeBackend | None = None
 
     @property
     def n_categories(self) -> int:
@@ -70,40 +73,49 @@ class STFilter(SearchMethod):
         return self._n_categories
 
     @property
+    def backend(self) -> SuffixTreeBackend:
+        """The built suffix-tree backend (after :meth:`build`)."""
+        if self._backend is None:
+            raise RuntimeError("ST-Filter has not been built")
+        return self._backend
+
+    @property
     def tree(self) -> GeneralizedSuffixTree:
         """The built suffix tree (after :meth:`build`)."""
-        if self._tree is None:
-            raise RuntimeError("ST-Filter has not been built")
-        return self._tree
+        return self.backend.tree
 
     def index_size_in_bytes(self) -> int:
         """Approximate on-disk size of the suffix tree."""
-        return self.tree.node_count() * _NODE_BYTES
+        return self.backend.node_stats().size_in_bytes
 
     def _build_impl(self) -> None:
-        sequences = list(self._db.scan())
-        self._id_by_position = [
-            seq.seq_id for seq in sequences if seq.seq_id is not None
-        ]
-        self._categorizer = Categorizer(
-            self._n_categories, strategy=self._strategy
-        ).fit(seq.values for seq in sequences)
-        categorized = [
-            self._categorizer.transform(seq.values) for seq in sequences
-        ]
-        self._tree = GeneralizedSuffixTree(categorized)
+        backend = SuffixTreeBackend(
+            page_size=self._db.page_size,
+            n_categories=self._n_categories,
+            strategy=self._strategy,
+        )
+        items = []
+        for sequence in self._db.scan():
+            assert sequence.seq_id is not None
+            items.append((sequence.seq_id, sequence.values))
+        backend.bulk_load(items)
+        # Force the categorizer + tree construction into build time
+        # (the backend otherwise builds lazily on the first query).
+        backend.node_stats()
+        self._backend = backend
 
     def _search_impl(
         self, query: Sequence, epsilon: float, stats: MethodStats
     ) -> tuple[list[int], dict[int, float], list[int]]:
-        assert self._tree is not None and self._categorizer is not None
-        access = AccessStats()
-        traversal = WarpingTraversal(self._tree, self._categorizer, stats=access)
-        positions = traversal.whole_match_candidates(query.values, epsilon)
-        stats.index_node_reads += access.node_reads
-        stats.simulated_io_seconds += self._index_io_seconds(access.node_reads)
-
-        candidates = [self._id_by_position[position] for position in positions]
+        backend = self.backend
+        candidates = charged_candidates(
+            backend,
+            self._db,
+            query.values,
+            epsilon,
+            stats,
+            io_charge=self._index_io_seconds,
+        )
 
         # Verification through the shared cascade stage: every
         # candidate is fetched and checked with the true distance.
@@ -138,19 +150,23 @@ class STFilter(SearchMethod):
         categorized traversal: a triple is emitted when the categorized
         window can match within tolerance and the raw window verifies.
         """
-        if self._tree is None or self._categorizer is None:
-            raise RuntimeError("ST-Filter has not been built")
+        backend = self.backend
         q = as_sequence(query)
         if len(q) == 0:
             raise ValidationError("query sequence must be non-empty")
+        if len(backend) == 0:
+            return []
         access = AccessStats()
-        traversal = WarpingTraversal(self._tree, self._categorizer, stats=access)
+        traversal = WarpingTraversal(
+            backend.tree, backend.categorizer, stats=access
+        )
         candidates = traversal.subsequence_candidates(q.values, epsilon)
+        position_ids = backend.position_ids
 
         cache: dict[int, Sequence] = {}
         matches: list[tuple[int, int, int, float]] = []
         for position, start, length in candidates:
-            seq_id = self._id_by_position[position]
+            seq_id = position_ids[position]
             if seq_id not in cache:
                 cache[seq_id] = self._db.fetch(seq_id)
             window = cache[seq_id].values[start : start + length]

@@ -9,27 +9,27 @@ large initial databases.
 Search (Algorithm 1):
 
 1. Extract ``Feature(Q)``.
-2. Range-query the R-tree with the 4-d square ``Feature(Q) ± eps`` —
+2. Range-query the index with the 4-d square ``Feature(Q) ± eps`` —
    exactly the set ``{S : D_tw-lb(S, Q) <= eps}``.
 3. The returned ids form the candidate set.
 4–6. Fetch each candidate and keep those with ``D_tw(S, Q) <= eps``.
 
 Because ``D_tw-lb`` lower-bounds ``D_tw`` (Theorem 1) the candidates are
 a superset of the answers: no false dismissal.  Because ``D_tw-lb`` is a
-metric (Theorem 2) the R-tree filtering is sound.
+metric (Theorem 2) the index filtering is sound.
+
+The index itself is any *exact* :class:`~repro.index.backend.
+IndexBackend` — the paper: "any multi-dimensional indexes such as the
+R-tree, R+-tree, R*-tree, and X-tree can be used".
 """
 
 from __future__ import annotations
 
 from ..core.cascade import CascadeStats, StageStats, verify_stage
-from ..core.features import extract_feature
-from ..core.lower_bound import feature_rect
+from ..core.query_engine import charged_candidates
 from ..exceptions import ValidationError
-from ..index.rtree.bulk import STRBulkLoader
-from ..index.rtree.rplus import RPlusTree
-from ..index.rtree.rstar import RStarTree
-from ..index.rtree.rtree import RTree, SplitStrategy
-from ..index.rtree.xtree import XTree
+from ..index.backend import BACKENDS, IndexBackend, make_backend
+from ..index.rtree.rtree import SplitStrategy
 from ..types import Sequence
 from .base import MethodStats, SearchMethod
 
@@ -54,9 +54,10 @@ class TWSimSearch(SearchMethod):
     split:
         Node-split heuristic for incremental R-tree insertion.
     index:
-        Which multi-dimensional index to use — the paper: "any
-        multi-dimensional indexes such as the R-tree, R+-tree, R*-tree,
-        and X-tree can be used".  One of :data:`INDEX_KINDS`.
+        Which index backend to use.  One of :data:`INDEX_KINDS` (the
+        paper's four), or any other exact backend from
+        :data:`~repro.index.backend.BACKENDS` (e.g. ``"strbulk"``,
+        ``"linear"``).
     """
 
     name = "TW-Sim-Search"
@@ -71,21 +72,28 @@ class TWSimSearch(SearchMethod):
         compute_distances: bool = False,
     ) -> None:
         super().__init__(database, compute_distances=compute_distances)
-        if index not in INDEX_KINDS:
+        if index not in BACKENDS or not BACKENDS[index].exact:
+            exact = tuple(n for n, b in BACKENDS.items() if b.exact)
             raise ValidationError(
-                f"index must be one of {INDEX_KINDS}, got {index!r}"
+                f"index must be one of {exact}, got {index!r}"
             )
         self._bulk_load = bulk_load and index == "rtree"
         self._split = split
         self._index_kind = index
-        self._tree: RTree | RPlusTree | None = None
+        self._backend: IndexBackend | None = None
+
+    @property
+    def backend(self) -> IndexBackend:
+        """The built index backend (after :meth:`build`)."""
+        if self._backend is None:
+            raise RuntimeError("TW-Sim-Search has not been built")
+        return self._backend
 
     @property
     def tree(self):
-        """The built 4-d feature index (after :meth:`build`)."""
-        if self._tree is None:
-            raise RuntimeError("TW-Sim-Search has not been built")
-        return self._tree
+        """The built 4-d feature index structure (after :meth:`build`)."""
+        backend = self.backend
+        return getattr(backend, "tree", backend)
 
     @property
     def index_kind(self) -> str:
@@ -93,57 +101,43 @@ class TWSimSearch(SearchMethod):
         return self._index_kind
 
     def index_size_in_bytes(self) -> int:
-        """On-disk size of the R-tree (one page per node)."""
-        return self.tree.size_in_bytes()
+        """On-disk size of the index (one page per node)."""
+        return self.backend.node_stats().size_in_bytes
 
     def _build_impl(self) -> None:
-        page_size = self._db.page_size
-        if self._bulk_load:
-            loader = STRBulkLoader(4, page_size=page_size)
-            for sequence in self._db.scan():
-                assert sequence.seq_id is not None
-                feature = extract_feature(sequence.values)
-                loader.add(feature.as_tuple(), sequence.seq_id)
-            self._tree = loader.build()
-            return
-        tree = self._make_index(page_size)
+        options: dict[str, object] = {}
+        if self._index_kind == "rtree":
+            options["split"] = self._split
+        backend = make_backend(
+            self._index_kind, page_size=self._db.page_size, **options
+        )
+        items = []
         for sequence in self._db.scan():
             assert sequence.seq_id is not None
-            feature = extract_feature(sequence.values)
-            tree.insert_point(feature.as_tuple(), sequence.seq_id)
-        self._tree = tree
-
-    def _make_index(self, page_size: int):
-        if self._index_kind == "rstar":
-            return RStarTree(4, page_size=page_size)
-        if self._index_kind == "rplus":
-            return RPlusTree(4, page_size=page_size)
-        if self._index_kind == "xtree":
-            return XTree(4, page_size=page_size)
-        return RTree(4, page_size=page_size, split=self._split)
+            items.append((sequence.seq_id, sequence.values))
+        if self._bulk_load:
+            backend.bulk_load(items)
+        else:
+            for seq_id, values in items:
+                backend.insert(seq_id, values)
+        self._backend = backend
 
     def insert(self, sequence) -> int:
         """Store a new sequence and index its feature vector online."""
         seq_id = self._db.insert(sequence)
         stored = self._db.fetch(seq_id)
-        feature = extract_feature(stored.values)
-        self.tree.insert_point(feature.as_tuple(), seq_id)
+        self.backend.insert(seq_id, stored.values)
         return seq_id
 
     def _search_impl(
         self, query: Sequence, epsilon: float, stats: MethodStats
     ) -> tuple[list[int], dict[int, float], list[int]]:
-        tree = self.tree
-        # Step 1: feature vector of the query.
-        query_feature = extract_feature(query.values)
+        backend = self.backend
+        # Steps 1-2: feature vector of the query, then the square range
+        # query (radius eps per dimension) with its node I/O charged.
         stats.lower_bound_computations += 1
-        # Step 2: square range query, radius eps per dimension.
-        tree.stats.mark("search")
-        candidate_ids = tree.range_search(feature_rect(query_feature, epsilon))
-        node_reads, _, _ = tree.stats.delta("search")
-        stats.index_node_reads += node_reads
-        stats.simulated_io_seconds += self._db.disk.random_read_time(
-            node_reads, self._db.page_size
+        candidate_ids = charged_candidates(
+            backend, self._db, query.values, epsilon, stats
         )
         # Steps 3-6: post-processing with the true distance, via the
         # shared cascade verify stage (every candidate is fetched —
@@ -157,6 +151,9 @@ class TWSimSearch(SearchMethod):
             candidate_ids, verifier, epsilon
         )
         self._last_cascade = CascadeStats(
-            [StageStats("rtree", len(self._db), len(candidate_ids)), dtw_stage]
+            [
+                StageStats(backend.name, len(self._db), len(candidate_ids)),
+                dtw_stage,
+            ]
         )
         return answers, distances, candidate_ids

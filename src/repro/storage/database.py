@@ -124,6 +124,11 @@ class SequenceDatabase:
         """All stored sequence ids in insertion order."""
         return self._heap.ids()
 
+    @property
+    def next_id(self) -> int:
+        """The id the next insert will be assigned (monotone, never reused)."""
+        return self._next_id
+
     # -- writes -----------------------------------------------------------------
 
     def insert(self, sequence: SequenceLike) -> int:
@@ -165,6 +170,18 @@ class SequenceDatabase:
         Charges random-read disk time for every page of the record that
         misses the buffer pool.
         """
+        self.charge_fetch(seq_id)
+        return self._heap.read(seq_id)
+
+    def charge_fetch(self, seq_id: int) -> None:
+        """Charge the I/O of :meth:`fetch` without materializing the record.
+
+        For callers that already hold the sequence in memory (e.g. the
+        engine's feature store) but whose cost model must still account
+        the random access Algorithm 1 performs: buffer-pool touches,
+        random-page counts and simulated disk seconds are identical to
+        a real :meth:`fetch`.
+        """
         pages = self._heap.pages_of(seq_id)
         missed = 0
         for page_no in pages:
@@ -177,7 +194,6 @@ class SequenceDatabase:
         self.io.simulated_seconds += self._disk.record_read_time(
             missed, self.page_size
         )
-        return self._heap.read(seq_id)
 
     def scan(self) -> Iterator[Sequence]:
         """Sequential scan of the whole database (Naive-Scan / LB-Scan).

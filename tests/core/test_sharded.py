@@ -1,0 +1,267 @@
+"""Shard-parallel query engine: equivalence, persistence, adoption.
+
+The load-bearing invariant: a :class:`TimeWarpingDatabase` answers every
+search, batch search, and kNN query identically regardless of backend
+choice or shard count — sharding is a physical layout, never a semantic
+one.  All equivalence checks compare against both the single-shard
+engine and a brute-force DTW oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TimeWarpingDatabase
+from repro.core.query_engine import QueryEngine
+from repro.core.sharding import ShardedDatabase
+from repro.distance.dtw import dtw_max
+from repro.exceptions import SequenceNotFoundError, ValidationError
+from repro.index.backend import EXACT_BACKEND_NAMES
+from repro.storage.database import SequenceDatabase
+
+EXACT = sorted(EXACT_BACKEND_NAMES)
+
+
+def _workload(seed: int, n: int = 24) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=int(rng.integers(6, 28))).cumsum() for _ in range(n)
+    ]
+
+
+def _populate(db: TimeWarpingDatabase, arrays: list[np.ndarray]) -> None:
+    for values in arrays:
+        db.insert(values)
+
+
+def _oracle(
+    arrays: list[np.ndarray], query: np.ndarray, epsilon: float
+) -> set[int]:
+    return {
+        i for i, values in enumerate(arrays) if dtw_max(values, query) <= epsilon
+    }
+
+
+@pytest.fixture(scope="module")
+def arrays() -> list[np.ndarray]:
+    return _workload(21)
+
+
+@pytest.fixture(scope="module")
+def queries() -> list[np.ndarray]:
+    return _workload(77, n=4)
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("backend", EXACT)
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_search_matches_oracle(self, backend, shards, arrays, queries):
+        db = TimeWarpingDatabase(backend=backend, shards=shards)
+        _populate(db, arrays)
+        for query in queries:
+            for epsilon in (0.0, 0.8, 3.0):
+                matches = db.search(query, epsilon)
+                assert {m.seq_id for m in matches} == _oracle(
+                    arrays, query, epsilon
+                )
+                distances = [m.distance for m in matches]
+                assert distances == sorted(distances)
+
+    @pytest.mark.parametrize("shards", [2, 4, 7])
+    def test_sharded_identical_to_single(self, shards, arrays, queries):
+        single = TimeWarpingDatabase(backend="rstar", shards=1)
+        multi = TimeWarpingDatabase(backend="rstar", shards=shards)
+        _populate(single, arrays)
+        _populate(multi, arrays)
+        for query in queries:
+            for epsilon in (0.0, 1.5):
+                expect = [
+                    (m.seq_id, m.distance) for m in single.search(query, epsilon)
+                ]
+                got = [
+                    (m.seq_id, m.distance) for m in multi.search(query, epsilon)
+                ]
+                assert got == expect
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_search_many_matches_per_query_search(
+        self, shards, arrays, queries
+    ):
+        db = TimeWarpingDatabase(backend="rtree", shards=shards)
+        _populate(db, arrays)
+        batch = db.search_many(queries, 1.2)
+        assert len(batch) == len(queries)
+        for query, matches in zip(queries, batch):
+            single = db.search(query, 1.2)
+            assert [m.seq_id for m in matches] == [m.seq_id for m in single]
+
+    @pytest.mark.parametrize("backend", EXACT)
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_knn_matches_brute_force(self, backend, shards, k, arrays):
+        db = TimeWarpingDatabase(backend=backend, shards=shards)
+        _populate(db, arrays)
+        query = _workload(3, n=1)[0]
+        pairs = sorted(
+            (dtw_max(values, query), i) for i, values in enumerate(arrays)
+        )
+        expect = [(i, d) for d, i in pairs[:k]]
+        got = [(m.seq_id, m.distance) for m in db.knn(query, k)]
+        assert got == pytest.approx(expect)
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_empty_database(self, shards, queries):
+        db = TimeWarpingDatabase(shards=shards)
+        assert len(db) == 0
+        assert db.search(queries[0], 1.0) == []
+        assert db.search_many(queries, 1.0) == [[] for _ in queries]
+        assert db.knn(queries[0], 3) == []
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_delete_then_search(self, shards, arrays, queries):
+        db = TimeWarpingDatabase(backend="rplus", shards=shards)
+        _populate(db, arrays)
+        removed = list(range(0, len(arrays), 3))
+        for seq_id in removed:
+            db.delete(seq_id)
+        assert len(db) == len(arrays) - len(removed)
+        remaining = {
+            i: v for i, v in enumerate(arrays) if i not in removed
+        }
+        for query in queries:
+            matches = db.search(query, 2.0)
+            assert {m.seq_id for m in matches} == {
+                i
+                for i, values in remaining.items()
+                if dtw_max(values, query) <= 2.0
+            }
+
+    def test_insert_after_delete_never_reuses_global_ids(self, arrays):
+        db = TimeWarpingDatabase(backend="rtree", shards=3)
+        _populate(db, arrays[:6])
+        db.delete(5)
+        new_id = db.insert(arrays[6])
+        assert new_id == 6
+        assert 5 not in db
+
+
+class TestShardedDatabase:
+    def test_round_robin_assignment(self, arrays):
+        db = ShardedDatabase(shards=3)
+        for values in arrays[:9]:
+            db.insert(values)
+        for gid in db.ids():
+            assert db.shard_of(gid) == gid % 3
+        assert sorted(db.ids()) == list(range(9))
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ShardedDatabase(shards=0)
+
+    def test_missing_sequence_raises(self):
+        db = ShardedDatabase(shards=2)
+        with pytest.raises(SequenceNotFoundError):
+            db.get(4)
+
+    def test_get_rewraps_global_id(self, arrays):
+        db = ShardedDatabase(shards=2)
+        for values in arrays[:5]:
+            db.insert(values)
+        stored = db.get(3)
+        assert stored.seq_id == 3
+        np.testing.assert_allclose(stored.values, arrays[3])
+
+    def test_adopt_single_engine_keeps_id_space(self, arrays):
+        storage = SequenceDatabase(page_size=1024)
+        for values in arrays[:6]:
+            storage.insert(values)
+        storage.delete(5)
+        engine = QueryEngine(storage, backend="rtree")
+        engine.rebuild_index()
+        sharded = ShardedDatabase.adopt([engine], backend_name="rtree")
+        # the adopted counter follows the storage counter, so the next
+        # global id cannot collide with a previously deleted local id
+        assert sharded.next_gid == storage.next_id
+
+
+class TestFacadePersistence:
+    @pytest.mark.parametrize(
+        ("backend", "shards"),
+        [("rtree", 1), ("rstar", 1), ("strbulk", 1), ("rtree", 3),
+         ("linear", 4), ("rplus", 2)],
+    )
+    def test_save_load_round_trip(
+        self, backend, shards, arrays, queries, tmp_path
+    ):
+        db = TimeWarpingDatabase(backend=backend, shards=shards)
+        for i, values in enumerate(arrays):
+            db.insert(values, label=f"s{i}" if i % 2 == 0 else None)
+        path = tmp_path / "facade.heap"
+        db.save(path)
+        loaded = TimeWarpingDatabase.load(path)
+        assert loaded.backend_name == backend
+        assert loaded.n_shards == shards
+        assert len(loaded) == len(db)
+        assert loaded.label_of(0) == "s0"
+        assert loaded.label_of(1) is None
+        for query in queries:
+            for epsilon in (0.0, 1.1):
+                assert [
+                    (m.seq_id, m.distance) for m in loaded.search(query, epsilon)
+                ] == [(m.seq_id, m.distance) for m in db.search(query, epsilon)]
+
+    def test_load_legacy_single_file_defaults(self, arrays, tmp_path):
+        storage = SequenceDatabase(page_size=1024)
+        for values in arrays[:8]:
+            storage.insert(values)
+        path = tmp_path / "legacy.heap"
+        storage.save(path)
+        (path.parent / (path.name + ".meta")).unlink(missing_ok=True)
+        loaded = TimeWarpingDatabase.load(path)
+        assert loaded.backend_name == "rtree"
+        assert loaded.n_shards == 1
+        assert len(loaded) == 8
+
+    def test_mutations_after_load(self, arrays, tmp_path):
+        db = TimeWarpingDatabase(backend="rstar", shards=2)
+        _populate(db, arrays[:10])
+        path = tmp_path / "mut.heap"
+        db.save(path)
+        loaded = TimeWarpingDatabase.load(path)
+        loaded.delete(4)
+        new_id = loaded.insert(arrays[10])
+        assert new_id not in set(range(10)) - {4}
+        query = arrays[10]
+        assert new_id in {m.seq_id for m in loaded.search(query, 0.0)}
+
+
+class TestFromStorage:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_adopts_existing_ids(self, shards, arrays, queries):
+        storage = SequenceDatabase(page_size=1024)
+        for values in arrays:
+            storage.insert(values)
+        facade = TimeWarpingDatabase.from_storage(
+            storage, backend="strbulk", shards=shards
+        )
+        assert len(facade) == len(arrays)
+        assert sorted(facade.ids()) == sorted(storage.ids())
+        for query in queries:
+            matches = facade.search(query, 1.0)
+            assert {m.seq_id for m in matches} == _oracle(arrays, query, 1.0)
+
+    def test_single_shard_reuses_storage(self, arrays):
+        storage = SequenceDatabase(page_size=1024)
+        for values in arrays[:5]:
+            storage.insert(values)
+        facade = TimeWarpingDatabase.from_storage(storage, backend="rtree")
+        assert facade.storage is storage
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeWarpingDatabase(backend="btree")
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeWarpingDatabase(shards=0)

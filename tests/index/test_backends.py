@@ -1,0 +1,236 @@
+"""Backend-parity suite: every adapter behind the pluggable protocol.
+
+The contract under test: for any workload, every *exact* backend's
+range search returns a candidate superset of the true answer set (no
+false dismissal), and the answers surviving DTW verification are
+identical to a brute-force scan.  Backends that persist must round-trip
+through save/load without changing a single candidate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import extract_feature
+from repro.distance.dtw import dtw_max
+from repro.exceptions import EntryNotFoundError, ValidationError
+from repro.index.backend import (
+    BACKEND_NAMES,
+    BACKENDS,
+    EXACT_BACKEND_NAMES,
+    IndexBackend,
+    make_backend,
+)
+
+EXACT = sorted(EXACT_BACKEND_NAMES)
+ALL = sorted(BACKEND_NAMES)
+PERSISTENT = [
+    name for name in ALL if BACKENDS[name].save is not IndexBackend.save
+]
+
+
+def _workload(seed: int, n: int = 30) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=int(rng.integers(6, 30))).cumsum() for _ in range(n)
+    ]
+
+
+def _brute_answers(
+    sequences: dict[int, np.ndarray], query: np.ndarray, epsilon: float
+) -> set[int]:
+    return {
+        seq_id
+        for seq_id, values in sequences.items()
+        if dtw_max(values, query) <= epsilon
+    }
+
+
+def _lb_ball(
+    sequences: dict[int, np.ndarray], query: np.ndarray, epsilon: float
+) -> set[int]:
+    """Ids whose feature point lies within the D_tw-lb Chebyshev ball."""
+    q = np.array(extract_feature(query).as_tuple())
+    return {
+        seq_id
+        for seq_id, values in sequences.items()
+        if np.max(np.abs(np.array(extract_feature(values).as_tuple()) - q))
+        <= epsilon
+    }
+
+
+@pytest.fixture(scope="module")
+def sequences() -> dict[int, np.ndarray]:
+    return dict(enumerate(_workload(11)))
+
+
+@pytest.fixture(scope="module")
+def queries() -> list[np.ndarray]:
+    return _workload(99, n=5)
+
+
+class TestRegistry:
+    def test_every_backend_registered_under_its_name(self):
+        for name, cls in BACKENDS.items():
+            assert cls.name == name
+
+    def test_exact_names_subset(self):
+        assert set(EXACT_BACKEND_NAMES) <= set(BACKEND_NAMES)
+        assert "fastmap" not in EXACT_BACKEND_NAMES
+
+    def test_make_backend_rejects_unknown(self):
+        with pytest.raises(ValidationError):
+            make_backend("btree")
+
+    def test_page_size_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            make_backend("rtree", page_size=0)
+
+
+class TestExactBackendParity:
+    @pytest.mark.parametrize("name", EXACT)
+    @pytest.mark.parametrize("epsilon", [0.0, 0.4, 2.0, 10.0])
+    def test_no_false_dismissal(self, name, epsilon, sequences, queries):
+        backend = make_backend(name)
+        for seq_id, values in sequences.items():
+            backend.insert(seq_id, values)
+        for query in queries:
+            candidates = set(backend.range_search(query, epsilon))
+            truth = _brute_answers(sequences, query, epsilon)
+            assert truth <= candidates, (
+                f"{name} dismissed {truth - candidates} at eps={epsilon}"
+            )
+
+    @pytest.mark.parametrize("name", EXACT)
+    def test_bulk_load_equals_incremental(self, name, sequences, queries):
+        one = make_backend(name)
+        two = make_backend(name)
+        for seq_id, values in sequences.items():
+            one.insert(seq_id, values)
+        two.bulk_load(sequences.items())
+        assert len(one) == len(two) == len(sequences)
+        for query in queries:
+            assert set(one.range_search(query, 1.0)) == set(
+                two.range_search(query, 1.0)
+            )
+
+    @pytest.mark.parametrize("name", EXACT)
+    def test_delete_then_search(self, name, sequences, queries):
+        backend = make_backend(name)
+        backend.bulk_load(sequences.items())
+        removed = sorted(sequences)[::3]
+        for seq_id in removed:
+            backend.delete(seq_id, sequences[seq_id])
+        assert len(backend) == len(sequences) - len(removed)
+        remaining = {
+            k: v for k, v in sequences.items() if k not in removed
+        }
+        for query in queries:
+            candidates = set(backend.range_search(query, 2.0))
+            assert not candidates & set(removed)
+            assert _brute_answers(remaining, query, 2.0) <= candidates
+
+    @pytest.mark.parametrize("name", EXACT)
+    def test_knn_iter_orders_by_feature_distance(self, name, sequences):
+        backend = make_backend(name)
+        backend.bulk_load(sequences.items())
+        query = _workload(5, n=1)[0]
+        pairs = list(backend.knn_iter(query))
+        assert [seq_id for _, seq_id in pairs] != []
+        assert len(pairs) == len(sequences)
+        lbs = [lb for lb, _ in pairs]
+        assert lbs == sorted(lbs)
+        # each reported bound never exceeds the true warping distance
+        for lb, seq_id in pairs:
+            assert lb <= dtw_max(sequences[seq_id], query) + 1e-9
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_empty_backend(self, name):
+        backend = make_backend(name)
+        assert len(backend) == 0
+        assert backend.range_search(np.array([1.0, 2.0]), 1.0) == []
+        assert list(backend.knn_iter(np.array([1.0, 2.0]))) == []
+        stats = backend.node_stats()
+        assert stats.size_in_bytes >= 0
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_delete_unknown_raises(self, name, sequences):
+        backend = make_backend(name)
+        backend.bulk_load(sequences.items())
+        with pytest.raises(EntryNotFoundError):
+            backend.delete(10_000, np.array([1.0, 2.0, 3.0]))
+
+
+class TestFeatureBackendsMatchLinear:
+    """Feature-point backends return exactly the lb-ball candidate set."""
+
+    FEATURE_EXACT = [n for n in EXACT if n != "suffixtree"]
+
+    @pytest.mark.parametrize("name", FEATURE_EXACT)
+    @pytest.mark.parametrize("epsilon", [0.0, 0.7, 3.0])
+    def test_candidates_equal_lb_ball(self, name, epsilon, sequences, queries):
+        backend = make_backend(name)
+        backend.bulk_load(sequences.items())
+        for query in queries:
+            assert set(backend.range_search(query, epsilon)) == _lb_ball(
+                sequences, query, epsilon
+            )
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("name", PERSISTENT)
+    def test_save_load_round_trip(self, name, sequences, queries, tmp_path):
+        backend = make_backend(name)
+        backend.bulk_load(sequences.items())
+        path = tmp_path / f"{name}.idx"
+        assert backend.save(path) is True
+        loaded = BACKENDS[name].load(path, page_size=backend.page_size)
+        assert loaded is not None
+        assert len(loaded) == len(backend)
+        for query in queries:
+            for epsilon in (0.0, 1.0, 4.0):
+                assert set(loaded.range_search(query, epsilon)) == set(
+                    backend.range_search(query, epsilon)
+                )
+
+    @pytest.mark.parametrize(
+        "name", [n for n in ALL if n not in PERSISTENT]
+    )
+    def test_unsupported_backends_decline_save(self, name, tmp_path, sequences):
+        backend = make_backend(name)
+        backend.bulk_load(sequences.items())
+        path = tmp_path / f"{name}.idx"
+        assert backend.save(path) is False
+        assert not path.exists()
+        assert BACKENDS[name].load(path, page_size=1024) is None
+
+
+class TestNodeStats:
+    @pytest.mark.parametrize("name", ALL)
+    def test_stats_grow_with_content(self, name, sequences):
+        backend = make_backend(name)
+        empty = backend.node_stats().size_in_bytes
+        backend.bulk_load(sequences.items())
+        assert backend.node_stats().size_in_bytes >= empty
+        assert backend.node_stats().nodes >= 1
+
+
+class TestFastMapBackend:
+    def test_is_marked_approximate(self):
+        assert BACKENDS["fastmap"].exact is False
+
+    def test_range_search_falls_back_when_unbuildable(self):
+        backend = make_backend("fastmap")
+        backend.insert(0, np.array([1.0, 2.0, 3.0]))
+        # one object cannot anchor a FastMap projection: fall back to
+        # returning everything rather than dismissing
+        assert backend.range_search(np.array([1.0, 2.0]), 0.5) == [0]
+
+    def test_knn_remains_exact(self, sequences):
+        backend = make_backend("fastmap")
+        backend.bulk_load(sequences.items())
+        query = _workload(6, n=1)[0]
+        lbs = [lb for lb, _ in backend.knn_iter(query)]
+        assert lbs == sorted(lbs)
+        assert len(lbs) == len(sequences)
