@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 from typing import Callable, Sequence as TypingSequence
 
@@ -35,6 +36,14 @@ from .eval.harness import WorkloadRunner
 from .eval.reporting import format_table
 from .exceptions import ReproError, ValidationError
 from .index.backend import EXACT_BACKEND_NAMES
+from .obs.export import (
+    render_metrics_table,
+    render_span_tree,
+    snapshot_to_json,
+    spans_to_json,
+)
+from .obs.metrics import MetricsRegistry, use_registry
+from .obs.tracing import Tracer, use_tracer
 from .methods import (
     CascadeScan,
     EngineMethod,
@@ -71,6 +80,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect observability counters and print them after the command",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the metrics snapshot as JSON to PATH (implies --metrics "
+        "collection, suppresses the table unless --metrics is also given)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record trace spans and print the span tree after the command",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write recorded spans as JSON to PATH",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -423,12 +453,47 @@ _COMMANDS = {
 }
 
 
+def _emit_observability(
+    args: argparse.Namespace,
+    registry: MetricsRegistry | None,
+    tracer: Tracer | None,
+) -> None:
+    """Print/write whatever --metrics/--trace flags asked for."""
+    if registry is not None:
+        snapshot = registry.snapshot()
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(snapshot_to_json(snapshot))
+            print(f"wrote metrics snapshot to {args.metrics_out}")
+        if args.metrics:
+            print()
+            print(render_metrics_table(snapshot))
+    if tracer is not None:
+        roots = tracer.roots
+        if args.trace_out:
+            Path(args.trace_out).write_text(spans_to_json(roots))
+            print(f"wrote {len(roots)} trace span(s) to {args.trace_out}")
+        if args.trace:
+            print()
+            print(render_span_tree(roots))
+
+
 def main(argv: TypingSequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    registry = (
+        MetricsRegistry() if (args.metrics or args.metrics_out) else None
+    )
+    tracer = Tracer() if (args.trace or args.trace_out) else None
     try:
-        return _COMMANDS[args.command](args)
+        with ExitStack() as scopes:
+            if registry is not None:
+                scopes.enter_context(use_registry(registry))
+            if tracer is not None:
+                scopes.enter_context(use_tracer(tracer))
+            code = _COMMANDS[args.command](args)
+        _emit_observability(args, registry, tracer)
+        return code
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -50,6 +50,7 @@ from ..distance.dtw import (
 )
 from ..distance.lb_keogh import lb_keogh_batch, warping_envelope
 from ..exceptions import ValidationError
+from ..obs.metrics import active_registry
 from ..storage.database import SequenceDatabase
 from ..types import Sequence, SequenceLike, as_array, as_sequence
 from .features import extract_feature
@@ -62,6 +63,7 @@ __all__ = [
     "STAGE_DTW",
     "DEFAULT_TIERS",
     "StageStats",
+    "charged_stage",
     "CascadeStats",
     "FeatureStore",
     "CascadeOutcome",
@@ -118,6 +120,23 @@ class StageStats:
     def survival_ratio(self) -> float:
         """``n_out / n_in`` (1.0 for an empty input)."""
         return self.n_out / self.n_in if self.n_in else 1.0
+
+
+def charged_stage(name: str, n_in: int, n_out: int) -> StageStats:
+    """Build a :class:`StageStats`, charging it to the ambient registry.
+
+    Every pruning stage in the codebase — cascade tiers, backend range
+    queries, method-specific filters, the DTW verify stage — constructs
+    its record through this helper, so the registry counters
+    ``cascade.<stage>.in`` / ``.out`` / ``.pruned`` and the legacy
+    :class:`CascadeStats` view are two readings of the same charge.
+    """
+    registry = active_registry()
+    if registry is not None:
+        registry.count(f"cascade.{name}.in", n_in)
+        registry.count(f"cascade.{name}.out", n_out)
+        registry.count(f"cascade.{name}.pruned", n_in - n_out)
+    return StageStats(name, n_in, n_out)
 
 
 @dataclass
@@ -295,7 +314,12 @@ def verify_stage(
         if distance <= epsilon:
             answers.append(candidate)
             distances[candidate] = distance
-    return answers, distances, StageStats(STAGE_DTW, len(candidates), len(answers))
+    registry = active_registry()
+    if registry is not None:
+        registry.count("dtw.verifications", len(candidates))
+    return answers, distances, charged_stage(
+        STAGE_DTW, len(candidates), len(answers)
+    )
 
 
 class FilterCascade:
@@ -380,7 +404,7 @@ class FilterCascade:
                 rows = rows[keep]
             elif band_radius is not None:
                 rows = self._keogh_tier(rows, query_arr, epsilon, band_radius)
-            stages.append(StageStats(tier, n_in, int(rows.size)))
+            stages.append(charged_stage(tier, n_in, int(rows.size)))
         return rows, stages
 
     def _keogh_tier(
@@ -504,10 +528,15 @@ class FilterCascade:
             return []
         n = len(self._store)
         if n == 0:
-            empty_stages = [StageStats(t, 0, 0) for t in self._tiers]
             return [
                 CascadeOutcome(
-                    [], {}, [], CascadeStats(empty_stages + [StageStats(STAGE_DTW, 0, 0)])
+                    [],
+                    {},
+                    [],
+                    CascadeStats(
+                        [charged_stage(t, 0, 0) for t in self._tiers]
+                        + [charged_stage(STAGE_DTW, 0, 0)]
+                    ),
                 )
                 for _ in query_arrs
             ]
@@ -544,7 +573,7 @@ class FilterCascade:
                         n_out = int(rows.size)
                     else:
                         n_out = n_in
-                    stages.append(StageStats(tier, n_in, n_out))
+                    stages.append(charged_stage(tier, n_in, n_out))
                 surviving = np.flatnonzero(mask)
                 verifier = self._row_verifier(
                     query_arrs[i], epsilon, band_radius, compute_distances

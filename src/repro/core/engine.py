@@ -35,11 +35,12 @@ from typing import Iterable
 
 from ..exceptions import ValidationError
 from ..index.backend import BACKENDS, IndexBackend
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
 from ..storage.database import SequenceDatabase
 from ..storage.diskmodel import DiskModel
 from ..types import Sequence, SequenceLike, as_sequence
 from .cascade import CascadeStats
-from .query_engine import QueryEngine, SearchOutcome
+from .query_engine import BatchResult, QueryEngine, QueryResult, SearchOutcome
 from .sharding import ShardedDatabase
 
 __all__ = ["TimeWarpingDatabase", "SearchOutcome"]
@@ -267,6 +268,24 @@ class TimeWarpingDatabase:
         """Lower-bound survivors (pre-verification) of the last search."""
         return self._sharded.last_candidate_ids
 
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Cumulative metrics registry of every query served."""
+        return self._sharded.metrics
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """One snapshot of every counter the database has charged.
+
+        Counters (``cascade.*``, ``index.*``, ``dtw.*``, ``storage.*``,
+        ``engine.*``) accumulate over the database's lifetime and merge
+        bit-exactly across shards; structure gauges (index node counts,
+        storage pages) reflect the current state.  Per-query values are
+        available on :meth:`search_detailed`'s return path.
+        """
+        return self._sharded.metrics_snapshot()
+
     # -- queries ----------------------------------------------------------------
 
     def search(
@@ -290,6 +309,24 @@ class TimeWarpingDatabase:
         """
         return self._sharded.search(query, epsilon, band_radius=band_radius)
 
+    def search_detailed(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> QueryResult:
+        """:meth:`search` with per-query stats and metrics on the return path.
+
+        The returned :class:`QueryResult` carries this query's cascade
+        stage counters, lower-bound survivor ids and a full metrics
+        snapshot — safe under concurrent queries, unlike the
+        :attr:`last_cascade_stats` compatibility view.
+        """
+        return self._sharded.search_detailed(
+            query, epsilon, band_radius=band_radius
+        )
+
     def search_many(
         self,
         queries: Iterable[SequenceLike],
@@ -307,6 +344,18 @@ class TimeWarpingDatabase:
         stage-wise merge over all queries of the batch.
         """
         return self._sharded.search_many(
+            queries, epsilon, band_radius=band_radius
+        )
+
+    def search_many_detailed(
+        self,
+        queries: Iterable[SequenceLike],
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> BatchResult:
+        """:meth:`search_many` with batch stats on the return path."""
+        return self._sharded.search_many_detailed(
             queries, epsilon, band_radius=band_radius
         )
 

@@ -12,8 +12,10 @@ engine instead of re-implementing the pipeline.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterable, Protocol
+from typing import Callable, Iterable, Iterator, Protocol
 
 import numpy as np
 
@@ -21,11 +23,24 @@ from ..distance.bands import sakoe_chiba_window
 from ..distance.dtw import dtw_max_early_abandon, dtw_max_matrix
 from ..exceptions import ValidationError
 from ..index.backend import IndexBackend, make_backend
+from ..obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_registry,
+    use_registry,
+)
+from ..obs.tracing import maybe_span
 from ..storage.database import SequenceDatabase
 from ..types import Sequence, SequenceLike, as_sequence
-from .cascade import STAGE_DTW, CascadeStats, FilterCascade, StageStats
+from .cascade import STAGE_DTW, CascadeStats, FilterCascade, charged_stage
 
-__all__ = ["QueryEngine", "SearchOutcome", "charged_candidates"]
+__all__ = [
+    "QueryEngine",
+    "SearchOutcome",
+    "QueryResult",
+    "BatchResult",
+    "charged_candidates",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +60,42 @@ class SearchOutcome:
     seq_id: int
     distance: float
     sequence: Sequence
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Everything one engine query produced — the return-path stats.
+
+    Per-query statistics used to live in mutable engine attributes that
+    concurrent queries clobbered; they are now carried on the return
+    value, so every caller reads the stats of *its own* query.
+
+    Attributes
+    ----------
+    matches:
+        Qualifying sequences, ascending distance.
+    stats:
+        Per-stage pruning counters of this query.
+    candidate_ids:
+        Lower-bound survivors (pre-verification), ascending id.
+    metrics:
+        The full registry snapshot of this query's charges (cascade
+        tiers, index node reads, DTW cells, storage pages).
+    """
+
+    matches: list[SearchOutcome]
+    stats: CascadeStats
+    candidate_ids: list[int]
+    metrics: MetricsSnapshot
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Return-path stats of one :meth:`QueryEngine.search_many` batch."""
+
+    results: list[list[SearchOutcome]]
+    stats: CascadeStats | None
+    metrics: MetricsSnapshot
 
 
 class _CostSink(Protocol):
@@ -76,11 +127,13 @@ def charged_candidates(
     node_reads, _, _ = backend.access.delta("charged-candidates")
     stats.index_node_reads += node_reads
     if io_charge is not None:
-        stats.simulated_io_seconds += io_charge(node_reads)
+        seconds = io_charge(node_reads)
     else:
-        stats.simulated_io_seconds += db.disk.random_read_time(
-            node_reads, db.page_size
-        )
+        seconds = db.disk.random_read_time(node_reads, db.page_size)
+    stats.simulated_io_seconds += seconds
+    registry = active_registry()
+    if registry is not None:
+        registry.count(f"index.{backend.name}.io_seconds", seconds)
     return candidate_ids
 
 
@@ -119,8 +172,11 @@ class QueryEngine:
         self._db = database
         self._backend = backend
         self._cascade: FilterCascade | None = None
-        self._last_cascade_stats: CascadeStats | None = None
-        self._last_candidate_ids: list[int] = []
+        self._metrics = MetricsRegistry()
+        # Thread-local so concurrent queries never see each other's
+        # stats; the authoritative per-query values travel on the
+        # QueryResult return path.
+        self._last = threading.local()
 
     # -- composition ---------------------------------------------------------
 
@@ -136,13 +192,55 @@ class QueryEngine:
 
     @property
     def last_cascade_stats(self) -> CascadeStats | None:
-        """Per-stage pruning counters of the most recent query."""
-        return self._last_cascade_stats
+        """Per-stage pruning counters of this thread's most recent query.
+
+        Compatibility view; prefer :meth:`search_detailed`, whose
+        :class:`QueryResult` carries the stats on the return path.
+        """
+        return getattr(self._last, "stats", None)
 
     @property
     def last_candidate_ids(self) -> list[int]:
-        """Lower-bound survivors (pre-verification) of the last search."""
-        return list(self._last_candidate_ids)
+        """Lower-bound survivors of this thread's most recent search."""
+        return list(getattr(self._last, "candidate_ids", []))
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Cumulative registry of every query this engine has served."""
+        return self._metrics
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Cumulative counters plus current index/storage structure gauges."""
+        self._metrics.set_gauge("storage.total_pages", self._db.total_pages)
+        self._metrics.set_gauge("storage.sequences", len(self._db))
+        node_stats = self._backend.node_stats()
+        prefix = f"index.{self._backend.name}"
+        self._metrics.set_gauge(f"{prefix}.nodes", node_stats.nodes)
+        self._metrics.set_gauge(f"{prefix}.height", node_stats.height)
+        self._metrics.set_gauge(f"{prefix}.size_in_bytes", node_stats.size_in_bytes)
+        return self._metrics.snapshot()
+
+    @contextmanager
+    def _query_scope(self) -> Iterator[MetricsRegistry]:
+        """Route one query's charges into a fresh per-query registry.
+
+        On exit the per-query snapshot is folded into the engine's
+        cumulative registry and into whatever registry was ambient when
+        the query arrived (so an outer harness- or session-level
+        registry still sees every charge, exactly once).
+        """
+        outer = active_registry()
+        per_query = MetricsRegistry()
+        try:
+            with use_registry(per_query):
+                yield per_query
+        finally:
+            snapshot = per_query.snapshot()
+            self._metrics.merge(snapshot)
+            if outer is not None:
+                outer.merge(snapshot)
 
     def __len__(self) -> int:
         return len(self._db)
@@ -217,6 +315,23 @@ class QueryEngine:
         DTW instead (extension): the banded distance only exceeds the
         unconstrained one, so the same index remains a sound filter.
 
+        Thin wrapper over :meth:`search_detailed` that returns only the
+        matches (per-query stats stay available on this thread's
+        :attr:`last_cascade_stats` compatibility view).
+        """
+        return self.search_detailed(
+            query, epsilon, band_radius=band_radius
+        ).matches
+
+    def search_detailed(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> QueryResult:
+        """:meth:`search` with per-query stats on the return path.
+
         Surviving sequences are served from the cascade's in-memory
         store, but each one is still charged as the random fetch
         Algorithm 1's post-processing step performs.
@@ -226,30 +341,47 @@ class QueryEngine:
             raise ValidationError("query sequence must be non-empty")
         if epsilon < 0:
             raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
-        candidate_ids = sorted(self._backend.range_search(q.values, epsilon))
-        cascade = self._active_cascade()
-        rows = cascade.store.rows_for(candidate_ids)
-        stages = [StageStats(self._backend.name, len(self._db), int(rows.size))]
-        surviving, tier_stages = cascade.filter(
-            q.values, epsilon, rows=rows, band_radius=band_radius
-        )
-        stages.extend(tier_stages)
-        ids = cascade.store.ids
-        self._last_candidate_ids = [int(ids[row]) for row in surviving]
-        matches: list[SearchOutcome] = []
-        for row in surviving:
-            seq_id = int(ids[row])
-            stored = cascade.store.sequences[int(row)]
-            self._db.charge_fetch(seq_id)
-            distance = self._verify_distance(
-                stored.values, q.values, epsilon, band_radius
+        with self._query_scope() as per_query, maybe_span(
+            "engine.search", backend=self._backend.name, epsilon=epsilon
+        ):
+            candidate_ids = sorted(self._backend.range_search(q.values, epsilon))
+            cascade = self._active_cascade()
+            rows = cascade.store.rows_for(candidate_ids)
+            stages = [
+                charged_stage(self._backend.name, len(self._db), int(rows.size))
+            ]
+            surviving, tier_stages = cascade.filter(
+                q.values, epsilon, rows=rows, band_radius=band_radius
             )
-            if distance <= epsilon:
-                matches.append(SearchOutcome(seq_id, distance, stored))
-        stages.append(StageStats(STAGE_DTW, int(surviving.size), len(matches)))
-        self._last_cascade_stats = CascadeStats(stages)
-        matches.sort(key=lambda m: (m.distance, m.seq_id))
-        return matches
+            stages.extend(tier_stages)
+            ids = cascade.store.ids
+            survivor_ids = [int(ids[row]) for row in surviving]
+            matches: list[SearchOutcome] = []
+            for row in surviving:
+                seq_id = int(ids[row])
+                stored = cascade.store.sequences[int(row)]
+                self._db.charge_fetch(seq_id)
+                distance = self._verify_distance(
+                    stored.values, q.values, epsilon, band_radius
+                )
+                if distance <= epsilon:
+                    matches.append(SearchOutcome(seq_id, distance, stored))
+            stages.append(
+                charged_stage(STAGE_DTW, int(surviving.size), len(matches))
+            )
+            per_query.count("engine.queries")
+            per_query.count("engine.candidates", len(survivor_ids))
+            per_query.count("engine.answers", len(matches))
+            matches.sort(key=lambda m: (m.distance, m.seq_id))
+            result = QueryResult(
+                matches=matches,
+                stats=CascadeStats(stages),
+                candidate_ids=survivor_ids,
+                metrics=per_query.snapshot(),
+            )
+        self._last.stats = result.stats
+        self._last.candidate_ids = result.candidate_ids
+        return result
 
     def search_many(
         self,
@@ -261,11 +393,26 @@ class QueryEngine:
         """Answer a batch of similarity queries in one pass.
 
         Returns one :meth:`search`-identical result list per query (the
-        same ids, distances and ordering), but amortizes feature
-        extraction across the batch and evaluates the lower-bound tiers
-        as whole-database matrix operations instead of per-query index
-        walks.  :attr:`last_cascade_stats` afterwards holds the
-        stage-wise merge over all queries of the batch.
+        same ids, distances and ordering); see
+        :meth:`search_many_detailed` for the return-path stats.
+        """
+        return self.search_many_detailed(
+            queries, epsilon, band_radius=band_radius
+        ).results
+
+    def search_many_detailed(
+        self,
+        queries: Iterable[SequenceLike],
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> BatchResult:
+        """:meth:`search_many` with batch stats on the return path.
+
+        Amortizes feature extraction across the batch and evaluates the
+        lower-bound tiers as whole-database matrix operations instead of
+        per-query index walks.  ``stats`` holds the stage-wise merge
+        over all queries of the batch (None for an empty batch).
         """
         query_seqs = [as_sequence(query) for query in queries]
         for q in query_seqs:
@@ -273,29 +420,50 @@ class QueryEngine:
                 raise ValidationError("query sequence must be non-empty")
         if epsilon < 0:
             raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
-        cascade = self._active_cascade()
-        batch = cascade.run_many(
-            [q.values for q in query_seqs], epsilon, band_radius=band_radius
-        )
-        results: list[list[SearchOutcome]] = []
-        for outcome in batch:
-            rows = cascade.store.rows_for(outcome.answer_ids)
-            matches = [
-                SearchOutcome(
-                    seq_id,
-                    outcome.distances[seq_id],
-                    cascade.store.sequences[int(row)],
-                )
-                for seq_id, row in zip(outcome.answer_ids, rows)
-            ]
-            matches.sort(key=lambda m: (m.distance, m.seq_id))
-            results.append(matches)
-        if batch:
-            self._last_cascade_stats = CascadeStats.merge(o.stats for o in batch)
-        return results
+        with self._query_scope() as per_query, maybe_span(
+            "engine.search_many",
+            backend=self._backend.name,
+            queries=len(query_seqs),
+        ):
+            cascade = self._active_cascade()
+            batch = cascade.run_many(
+                [q.values for q in query_seqs], epsilon, band_radius=band_radius
+            )
+            results: list[list[SearchOutcome]] = []
+            for outcome in batch:
+                rows = cascade.store.rows_for(outcome.answer_ids)
+                matches = [
+                    SearchOutcome(
+                        seq_id,
+                        outcome.distances[seq_id],
+                        cascade.store.sequences[int(row)],
+                    )
+                    for seq_id, row in zip(outcome.answer_ids, rows)
+                ]
+                matches.sort(key=lambda m: (m.distance, m.seq_id))
+                results.append(matches)
+            stats = (
+                CascadeStats.merge(o.stats for o in batch) if batch else None
+            )
+            per_query.count("engine.queries", len(query_seqs))
+            per_query.count(
+                "engine.candidates",
+                sum(len(o.candidate_ids) for o in batch),
+            )
+            per_query.count("engine.answers", sum(len(r) for r in results))
+            result = BatchResult(
+                results=results, stats=stats, metrics=per_query.snapshot()
+            )
+        if result.stats is not None:
+            self._last.stats = result.stats
+        return result
 
     def knn(self, query: SequenceLike, k: int) -> list[SearchOutcome]:
-        """The *k* sequences with the smallest ``D_tw`` to the query.
+        """The *k* sequences with the smallest ``D_tw`` to the query."""
+        return self.knn_detailed(query, k).matches
+
+    def knn_detailed(self, query: SequenceLike, k: int) -> QueryResult:
+        """:meth:`knn` with per-query metrics on the return path.
 
         The classical lower-bound kNN refinement, consumed lazily: the
         backend yields candidates in ascending lower-bound order
@@ -309,18 +477,35 @@ class QueryEngine:
             raise ValidationError("query sequence must be non-empty")
         if k <= 0:
             raise ValidationError(f"k must be positive, got {k}")
-        found: list[SearchOutcome] = []
-        for lb, seq_id in self._backend.knn_iter(q.values):
-            if len(found) >= k and lb > found[k - 1].distance:
-                break
-            threshold = found[k - 1].distance if len(found) >= k else float("inf")
-            stored = self._db.fetch(seq_id)
-            distance = dtw_max_early_abandon(stored.values, q.values, threshold)
-            if distance <= threshold:
-                found.append(SearchOutcome(seq_id, distance, stored))
-                found.sort(key=lambda m: (m.distance, m.seq_id))
-                del found[k:]
-        return found
+        with self._query_scope() as per_query, maybe_span(
+            "engine.knn", backend=self._backend.name, k=k
+        ):
+            found: list[SearchOutcome] = []
+            examined = 0
+            for lb, seq_id in self._backend.knn_iter(q.values):
+                if len(found) >= k and lb > found[k - 1].distance:
+                    break
+                threshold = (
+                    found[k - 1].distance if len(found) >= k else float("inf")
+                )
+                stored = self._db.fetch(seq_id)
+                distance = dtw_max_early_abandon(
+                    stored.values, q.values, threshold
+                )
+                examined += 1
+                if distance <= threshold:
+                    found.append(SearchOutcome(seq_id, distance, stored))
+                    found.sort(key=lambda m: (m.distance, m.seq_id))
+                    del found[k:]
+            per_query.count("engine.knn_queries")
+            per_query.count("engine.knn_examined", examined)
+            result = QueryResult(
+                matches=found,
+                stats=CascadeStats([]),
+                candidate_ids=[],
+                metrics=per_query.snapshot(),
+            )
+        return result
 
     @staticmethod
     def _verify_distance(

@@ -26,15 +26,25 @@ lockstep, so they are provably equal).
 
 from __future__ import annotations
 
+import contextvars
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, TypeVar
 
 from ..exceptions import SequenceNotFoundError, ValidationError
+from ..obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_registry,
+    use_registry,
+)
+from ..obs.tracing import maybe_span
 from ..storage.database import SequenceDatabase
 from ..storage.diskmodel import DiskModel
 from ..types import Sequence, SequenceLike, as_sequence
 from .cascade import CascadeStats
-from .query_engine import QueryEngine, SearchOutcome
+from .query_engine import BatchResult, QueryEngine, QueryResult, SearchOutcome
 
 __all__ = ["ShardedDatabase"]
 
@@ -86,8 +96,8 @@ class ShardedDatabase:
         self._assign: dict[int, tuple[int, int]] = {}
         self._rev: list[dict[int, int]] = [{} for _ in range(shards)]
         self._next_gid = 0
-        self._last_cascade_stats: CascadeStats | None = None
-        self._last_candidate_ids: list[int] = []
+        self._metrics = MetricsRegistry()
+        self._last = threading.local()
 
     @classmethod
     def adopt(
@@ -131,8 +141,8 @@ class ShardedDatabase:
             else:
                 next_gid = max(self._assign) + 1 if self._assign else 0
         self._next_gid = next_gid
-        self._last_cascade_stats = None
-        self._last_candidate_ids = []
+        self._metrics = MetricsRegistry()
+        self._last = threading.local()
         return self
 
     # -- introspection -------------------------------------------------------
@@ -159,13 +169,48 @@ class ShardedDatabase:
 
     @property
     def last_cascade_stats(self) -> CascadeStats | None:
-        """Shard-merged per-stage counters of the most recent query."""
-        return self._last_cascade_stats
+        """Shard-merged counters of this thread's most recent query.
+
+        Compatibility view; prefer :meth:`search_detailed`, whose
+        :class:`QueryResult` carries the stats on the return path.
+        """
+        return getattr(self._last, "stats", None)
 
     @property
     def last_candidate_ids(self) -> list[int]:
-        """Lower-bound survivors (gids) of the last :meth:`search`."""
-        return list(self._last_candidate_ids)
+        """Lower-bound survivors (gids) of this thread's last search."""
+        return list(getattr(self._last, "candidate_ids", []))
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Cumulative registry of every query served, shard-merged."""
+        return self._metrics
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Cumulative counters plus aggregated structure gauges.
+
+        Counters were merged from the per-shard return-path snapshots in
+        shard order, so integer totals are bit-identical to a
+        single-shard run of the same workload.
+        """
+        self._metrics.set_gauge(
+            "storage.total_pages",
+            sum(e.database.total_pages for e in self._engines),
+        )
+        self._metrics.set_gauge("storage.sequences", len(self))
+        node_stats = [e.backend.node_stats() for e in self._engines]
+        prefix = f"index.{self._backend_name}"
+        self._metrics.set_gauge(
+            f"{prefix}.nodes", sum(s.nodes for s in node_stats)
+        )
+        self._metrics.set_gauge(
+            f"{prefix}.height", max(s.height for s in node_stats)
+        )
+        self._metrics.set_gauge(
+            f"{prefix}.size_in_bytes", sum(s.size_in_bytes for s in node_stats)
+        )
+        self._metrics.set_gauge("shards", self._n)
+        return self._metrics.snapshot()
 
     @property
     def next_gid(self) -> int:
@@ -264,18 +309,50 @@ class ShardedDatabase:
 
     # -- queries ----------------------------------------------------------------
 
-    def _fan_out(self, call: Callable[[QueryEngine], T]) -> list[T]:
-        """Run *call* on every shard engine concurrently (shard order)."""
-        with ThreadPoolExecutor(max_workers=self._n) as pool:
-            return list(pool.map(call, self._engines))
+    def _run_shards(self, call: Callable[[QueryEngine], T]) -> list[T]:
+        """Run *call* on every shard engine; results in shard order.
 
-    def _merged_stats(self) -> CascadeStats | None:
-        per_shard = [
-            engine.last_cascade_stats
-            for engine in self._engines
-            if engine.last_cascade_stats is not None
-        ]
-        return CascadeStats.merge(per_shard) if per_shard else None
+        Each worker task runs in a *copy* of the submitting thread's
+        :mod:`contextvars` context, so trace spans opened by the shard
+        engines parent correctly under the fan-out span.  The ambient
+        metrics registry is suppressed inside the workers: per-shard
+        charges travel back on the engines' return-path snapshots and
+        are merged in shard order — the deterministic, bit-exact
+        aggregation the parity guarantee needs (engine-level merging
+        from concurrent workers would be completion-ordered instead).
+        """
+
+        def isolated(engine: QueryEngine) -> T:
+            with use_registry(None):
+                return call(engine)
+
+        if self._n == 1:
+            return [isolated(self._engines[0])]
+        contexts = [contextvars.copy_context() for _ in self._engines]
+        with ThreadPoolExecutor(max_workers=self._n) as pool:
+            futures = [
+                pool.submit(context.run, isolated, engine)
+                for context, engine in zip(contexts, self._engines)
+            ]
+            return [future.result() for future in futures]
+
+    @contextmanager
+    def _query_scope(self) -> Iterator[MetricsRegistry]:
+        """Collect one query's shard-merged charges.
+
+        On exit the merged snapshot is folded into the cumulative
+        registry and into whatever registry was ambient when the query
+        arrived, exactly once.
+        """
+        outer = active_registry()
+        per_query = MetricsRegistry()
+        try:
+            yield per_query
+        finally:
+            snapshot = per_query.snapshot()
+            self._metrics.merge(snapshot)
+            if outer is not None:
+                outer.merge(snapshot)
 
     def search(
         self,
@@ -285,28 +362,48 @@ class ShardedDatabase:
         band_radius: int | None = None,
     ) -> list[SearchOutcome]:
         """Shard-parallel range search, merged by ``(distance, gid)``."""
-        if self._n == 1:
-            engine = self._engines[0]
-            matches = engine.search(query, epsilon, band_radius=band_radius)
-            self._last_cascade_stats = engine.last_cascade_stats
-            self._last_candidate_ids = engine.last_candidate_ids
-            return matches
-        shard_matches = self._fan_out(
-            lambda engine: engine.search(
-                query, epsilon, band_radius=band_radius
+        return self.search_detailed(
+            query, epsilon, band_radius=band_radius
+        ).matches
+
+    def search_detailed(
+        self,
+        query: SequenceLike,
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> QueryResult:
+        """:meth:`search` with shard-merged stats on the return path."""
+        with self._query_scope() as per_query, maybe_span(
+            "sharded.search", shards=self._n, backend=self._backend_name
+        ):
+            per_query.count("queries")
+            shard_results = self._run_shards(
+                lambda engine: engine.search_detailed(
+                    query, epsilon, band_radius=band_radius
+                )
             )
-        )
-        merged: list[SearchOutcome] = []
-        for shard, matches in enumerate(shard_matches):
-            merged.extend(self._translate(shard, match) for match in matches)
-        merged.sort(key=lambda m: (m.distance, m.seq_id))
-        self._last_cascade_stats = self._merged_stats()
-        self._last_candidate_ids = sorted(
-            self._rev[shard][lid]
-            for shard, engine in enumerate(self._engines)
-            for lid in engine.last_candidate_ids
-        )
-        return merged
+            merged: list[SearchOutcome] = []
+            candidate_gids: list[int] = []
+            for shard, shard_result in enumerate(shard_results):
+                per_query.merge(shard_result.metrics)
+                merged.extend(
+                    self._translate(shard, match)
+                    for match in shard_result.matches
+                )
+                candidate_gids.extend(
+                    self._rev[shard][lid] for lid in shard_result.candidate_ids
+                )
+            merged.sort(key=lambda m: (m.distance, m.seq_id))
+            result = QueryResult(
+                matches=merged,
+                stats=CascadeStats.merge(r.stats for r in shard_results),
+                candidate_ids=sorted(candidate_gids),
+                metrics=per_query.snapshot(),
+            )
+        self._last.stats = result.stats
+        self._last.candidate_ids = result.candidate_ids
+        return result
 
     def search_many(
         self,
@@ -316,35 +413,61 @@ class ShardedDatabase:
         band_radius: int | None = None,
     ) -> list[list[SearchOutcome]]:
         """Shard-parallel batch search; one merged list per query."""
+        return self.search_many_detailed(
+            queries, epsilon, band_radius=band_radius
+        ).results
+
+    def search_many_detailed(
+        self,
+        queries: Iterable[SequenceLike],
+        epsilon: float,
+        *,
+        band_radius: int | None = None,
+    ) -> BatchResult:
+        """:meth:`search_many` with shard-merged return-path stats."""
         query_list = [as_sequence(query) for query in queries]
-        if self._n == 1:
-            engine = self._engines[0]
-            results = engine.search_many(
-                query_list, epsilon, band_radius=band_radius
-            )
-            self._last_cascade_stats = engine.last_cascade_stats
-            return results
-        shard_results = self._fan_out(
-            lambda engine: engine.search_many(
-                query_list, epsilon, band_radius=band_radius
-            )
-        )
-        merged: list[list[SearchOutcome]] = []
-        for query_index in range(len(query_list)):
-            combined: list[SearchOutcome] = []
-            for shard, results in enumerate(shard_results):
-                combined.extend(
-                    self._translate(shard, match)
-                    for match in results[query_index]
+        with self._query_scope() as per_query, maybe_span(
+            "sharded.search_many",
+            shards=self._n,
+            backend=self._backend_name,
+            queries=len(query_list),
+        ):
+            per_query.count("queries", len(query_list))
+            shard_results = self._run_shards(
+                lambda engine: engine.search_many_detailed(
+                    query_list, epsilon, band_radius=band_radius
                 )
-            combined.sort(key=lambda m: (m.distance, m.seq_id))
-            merged.append(combined)
-        if query_list:
-            self._last_cascade_stats = self._merged_stats()
-        return merged
+            )
+            for shard_result in shard_results:
+                per_query.merge(shard_result.metrics)
+            merged: list[list[SearchOutcome]] = []
+            for query_index in range(len(query_list)):
+                combined: list[SearchOutcome] = []
+                for shard, shard_result in enumerate(shard_results):
+                    combined.extend(
+                        self._translate(shard, match)
+                        for match in shard_result.results[query_index]
+                    )
+                combined.sort(key=lambda m: (m.distance, m.seq_id))
+                merged.append(combined)
+            shard_stats = [
+                r.stats for r in shard_results if r.stats is not None
+            ]
+            result = BatchResult(
+                results=merged,
+                stats=CascadeStats.merge(shard_stats) if shard_stats else None,
+                metrics=per_query.snapshot(),
+            )
+        if result.stats is not None:
+            self._last.stats = result.stats
+        return result
 
     def knn(self, query: SequenceLike, k: int) -> list[SearchOutcome]:
-        """Shard-parallel kNN: merge per-shard top-*k* lists.
+        """Shard-parallel kNN: merge per-shard top-*k* lists."""
+        return self.knn_detailed(query, k).matches
+
+    def knn_detailed(self, query: SequenceLike, k: int) -> QueryResult:
+        """:meth:`knn` with shard-merged metrics on the return path.
 
         Exact: each shard's list is its true top-*k*, every stored
         sequence lives in exactly one shard, and within a shard the
@@ -352,14 +475,28 @@ class ShardedDatabase:
         preserves insertion order), so the global top-*k* is a subset
         of the union of the per-shard lists.
         """
-        if self._n == 1:
-            return self._engines[0].knn(query, k)
-        shard_found = self._fan_out(lambda engine: engine.knn(query, k))
-        merged: list[SearchOutcome] = []
-        for shard, found in enumerate(shard_found):
-            merged.extend(self._translate(shard, match) for match in found)
-        merged.sort(key=lambda m: (m.distance, m.seq_id))
-        return merged[:k]
+        with self._query_scope() as per_query, maybe_span(
+            "sharded.knn", shards=self._n, backend=self._backend_name, k=k
+        ):
+            per_query.count("knn_queries")
+            shard_results = self._run_shards(
+                lambda engine: engine.knn_detailed(query, k)
+            )
+            merged: list[SearchOutcome] = []
+            for shard, shard_result in enumerate(shard_results):
+                per_query.merge(shard_result.metrics)
+                merged.extend(
+                    self._translate(shard, match)
+                    for match in shard_result.matches
+                )
+            merged.sort(key=lambda m: (m.distance, m.seq_id))
+            result = QueryResult(
+                matches=merged[:k],
+                stats=CascadeStats([]),
+                candidate_ids=[],
+                metrics=per_query.snapshot(),
+            )
+        return result
 
     def __repr__(self) -> str:
         return (

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ValidationError
+from ..obs.metrics import count as _charge
 from ..types import SequenceLike, as_array
 
 __all__ = ["StreamMonitor"]
@@ -87,6 +88,7 @@ class StreamMonitor:
         if not np.isfinite(value):
             raise ValidationError(f"stream elements must be finite, got {value}")
         self._count += 1
+        _charge("stream.pushes")
         if not self._col.any():
             return False  # already dead; stay dead cheaply
         ok_row = np.abs(self._query - value) <= self._epsilon
@@ -100,6 +102,10 @@ class StreamMonitor:
             last_seed = np.maximum.accumulate(np.where(seed, self._idx, -1))
             new[1:] = ok_row & (last_seed > last_block)
         self._col = new
+        if not new.any():
+            _charge("stream.frontier_deaths")
+        if self.matches_now:
+            _charge("stream.matches")
         return self.matches_now
 
     def extend(self, values: SequenceLike) -> bool:

@@ -26,6 +26,7 @@ from ..distance.dtw import dtw_max, dtw_max_early_abandon
 from ..exceptions import ValidationError
 from ..index.rtree.bulk import STRBulkLoader
 from ..index.rtree.rtree import RTree
+from ..obs.metrics import count as _charge
 from ..types import Sequence, SequenceLike, as_sequence
 from .features import extract_feature
 from .lower_bound import feature_rect
@@ -173,13 +174,16 @@ class SubsequenceIndex:
             raise ValidationError(f"epsilon must be non-negative, got {epsilon}")
         rect = feature_rect(extract_feature(q.values), epsilon)
         matches: list[SubsequenceMatch] = []
+        _charge("subseq.queries")
         for record in self._tree.range_search(rect):
+            _charge("subseq.candidates")
             seq_id, start, length = self._windows[record]
             window = self._values[seq_id][start : start + length]
             distance = dtw_max_early_abandon(window, q.values, epsilon)
             if distance <= epsilon:
                 matches.append(SubsequenceMatch(seq_id, start, length, distance))
         matches.sort(key=lambda m: (m.distance, m.seq_id, m.start, m.length))
+        _charge("subseq.matches", len(matches))
         return matches
 
     def best_match(self, query: SequenceLike) -> SubsequenceMatch | None:
@@ -195,9 +199,11 @@ class SubsequenceIndex:
             raise ValidationError("query sequence must be non-empty")
         point = extract_feature(q.values).as_tuple()
         best: SubsequenceMatch | None = None
+        _charge("subseq.knn_queries")
         for lb, record in self._tree.knn(point, len(self._windows)):
             if best is not None and lb > best.distance:
                 break
+            _charge("subseq.knn_examined")
             seq_id, start, length = self._windows[record]
             window = self._values[seq_id][start : start + length]
             distance = dtw_max(window, q.values)

@@ -42,6 +42,7 @@ from typing import Optional
 import numpy as np
 
 from ..exceptions import ValidationError
+from ..obs.metrics import active_registry
 from ..types import SequenceLike, as_array
 from .bands import Window
 from .base import BaseDistance, LINF
@@ -162,6 +163,7 @@ def dtw_additive_matrix(
                         best = left
             acc_row[j] = row_cost[j] + best
 
+    _charge_cells(n * m)
     total = float(acc[n - 1, m - 1])
     distance = total ** (1.0 / power) if power != 1.0 else total
     return DtwResult(distance, acc, base)
@@ -227,9 +229,11 @@ def dtw_additive(
                 if cell < row_min:
                     row_min = cell
         if row_min == _INF and not (i == 0 and lo > 0):
+            _charge_cells((i + 1) * m, abandon_depth=(i + 1) / n)
             return _INF
         prev, curr = curr, prev
 
+    _charge_cells(n * m)
     total = prev[m - 1]
     if total == _INF:
         return _INF
@@ -282,7 +286,20 @@ def dtw_max_matrix(
             c = row_cost[j]
             acc_row[j] = c if c > reach else reach
 
+    _charge_cells(n * m)
     return DtwResult(float(acc[n - 1, m - 1]), acc, LINF)
+
+
+def _charge_cells(cells: int, *, abandon_depth: float | None = None) -> None:
+    """Charge *cells* of DP work (and an early abandon) to the ambient
+    registry; a no-op when observability is off."""
+    registry = active_registry()
+    if registry is None:
+        return
+    registry.count("dtw.cells", cells)
+    if abandon_depth is not None:
+        registry.count("dtw.early_abandons")
+        registry.observe("dtw.abandon_depth", abandon_depth)
 
 
 def _reachable(s_arr: np.ndarray, q_arr: np.ndarray, t: float) -> bool:
@@ -294,11 +311,17 @@ def _reachable(s_arr: np.ndarray, q_arr: np.ndarray, t: float) -> bool:
     admissibility grid on the fly: within each maximal run of admissible
     cells, reachability propagates rightward from any cell seeded by the
     previous row.
+
+    Instrumentation: ``dtw.cells`` counts grid cells whose admissibility
+    was evaluated; an exit before the last row also charges
+    ``dtw.early_abandons`` and observes ``dtw.abandon_depth`` (fraction
+    of rows completed when the pass gave up).
     """
     n, m = s_arr.size, q_arr.size
     # Both corners lie on every warping path; reject in O(1) when either
     # is inadmissible (this is the early-abandon fast path).
     if abs(s_arr[0] - q_arr[0]) > t or abs(s_arr[-1] - q_arr[-1]) > t:
+        _charge_cells(2, abandon_depth=0.0)
         return False
     idx = np.arange(m)
     # Row 0: reachable prefix of admissible cells.
@@ -312,6 +335,7 @@ def _reachable(s_arr: np.ndarray, q_arr: np.ndarray, t: float) -> bool:
         shifted[1:] = reach[:-1]
         seed = ok_row & (reach | shifted)
         if not seed.any():
+            _charge_cells((i + 1) * m, abandon_depth=(i + 1) / n)
             return False
         # Propagate right within runs: cell j is reachable iff some seed
         # at k <= j has no inadmissible cell in (k, j].  A seed position
@@ -320,6 +344,7 @@ def _reachable(s_arr: np.ndarray, q_arr: np.ndarray, t: float) -> bool:
         last_block = np.maximum.accumulate(np.where(~ok_row, idx, -1))
         last_seed = np.maximum.accumulate(np.where(seed, idx, -1))
         reach = ok_row & (last_seed > last_block)
+    _charge_cells(n * m)
     return bool(reach[m - 1])
 
 

@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Sequence as TypingSequence
 
 from ..exceptions import ExperimentError, ValidationError
 from ..methods.base import SearchMethod, SearchReport
+from ..obs.metrics import MetricsSnapshot
 from ..storage.database import SequenceDatabase
 from ..types import Sequence
 
@@ -46,6 +47,10 @@ class MethodAggregate:
     #: each filter stage) across all absorbed queries.
     stage_in: dict[str, int] = field(default_factory=dict)
     stage_out: dict[str, int] = field(default_factory=dict)
+    #: Merge of every absorbed report's registry snapshot — the whole
+    #: measurement plane (``cascade.*``, ``index.*``, ``dtw.*``,
+    #: ``storage.*``, ``method.*``) summed over the workload.
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
     @property
     def mean_candidates(self) -> float:
@@ -125,6 +130,7 @@ class MethodAggregate:
                 self.stage_out[stage.name] = (
                     self.stage_out.get(stage.name, 0) + stage.n_out
                 )
+        self.metrics = self.metrics.merged(report.metrics)
 
 
 @dataclass

@@ -130,7 +130,7 @@ class IndexBackend(abc.ABC):
         if page_size <= 0:
             raise ValidationError(f"page_size must be positive, got {page_size}")
         self._page_size = page_size
-        self._access = AccessStats()
+        self._access = AccessStats(scope=f"index.{type(self).name}")
 
     @property
     def access(self) -> AccessStats:

@@ -6,11 +6,20 @@ R-tree whose size is less than 4% of the database size").  Every
 traversal of the R-tree and the suffix tree increments these counters so
 experiments can report node accesses and convert them into simulated
 disk time via :mod:`repro.storage.diskmodel`.
+
+Since the observability refactor each :class:`AccessStats` also charges
+the ambient :class:`~repro.obs.metrics.MetricsRegistry` (when one is
+active) under its *scope* prefix — e.g. a backend constructed with
+``scope="index.rtree"`` charges ``index.rtree.node_reads`` /
+``.leaf_reads`` / ``.entries_examined``.  The dataclass itself stays the
+cheap always-on view the tree code reads synchronously.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from ...obs.metrics import active_registry
 
 __all__ = ["AccessStats"]
 
@@ -27,14 +36,24 @@ class AccessStats:
         Subset of ``node_reads`` that were leaves.
     entries_examined:
         Entries (child pointers or data records) inspected.
+    scope:
+        Metric-name prefix for ambient-registry charging (defaults to
+        ``"index"``; backends use ``"index.<backend-name>"``).
     """
 
     node_reads: int = 0
     leaf_reads: int = 0
     entries_examined: int = 0
+    scope: str = "index"
     _marks: dict[str, tuple[int, int, int]] = field(
         default_factory=dict, repr=False
     )
+
+    def __post_init__(self) -> None:
+        # Precomputed so record_node never formats names on the hot path.
+        self._metric_node = self.scope + ".node_reads"
+        self._metric_leaf = self.scope + ".leaf_reads"
+        self._metric_entries = self.scope + ".entries_examined"
 
     def record_node(self, *, is_leaf: bool, entries: int) -> None:
         """Record one node visit inspecting *entries* entries."""
@@ -42,6 +61,12 @@ class AccessStats:
         if is_leaf:
             self.leaf_reads += 1
         self.entries_examined += entries
+        registry = active_registry()
+        if registry is not None:
+            registry.count(self._metric_node)
+            if is_leaf:
+                registry.count(self._metric_leaf)
+            registry.count(self._metric_entries, entries)
 
     def reset(self) -> None:
         """Zero all counters (marks are kept)."""
@@ -68,4 +93,5 @@ class AccessStats:
             node_reads=self.node_reads + other.node_reads,
             leaf_reads=self.leaf_reads + other.leaf_reads,
             entries_examined=self.entries_examined + other.entries_examined,
+            scope=self.scope,
         )

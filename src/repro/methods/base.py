@@ -22,6 +22,13 @@ from typing import Iterable
 from ..core.cascade import CascadeStats
 from ..distance.dtw import dtw_max_early_abandon, dtw_max_within
 from ..exceptions import ValidationError
+from ..obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_registry,
+    use_registry,
+)
+from ..obs.tracing import maybe_span
 from ..storage.database import SequenceDatabase
 from ..types import Sequence, SequenceLike, as_sequence
 
@@ -97,6 +104,9 @@ class SearchReport:
     candidates: list[int]
     stats: MethodStats = field(default_factory=MethodStats)
     cascade: CascadeStats | None = None
+    #: Full registry snapshot of this search's charges (cascade tiers,
+    #: index node reads, DTW cells, storage pages, method cost lines).
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
 
     @property
     def candidate_count(self) -> int:
@@ -180,14 +190,23 @@ class SearchMethod(abc.ABC):
             raise ValidationError("query sequence must be non-empty")
         stats = MethodStats()
         mark = f"{self.name}:search"
-        self._db.io.mark(mark)
-        start_cpu = time.process_time()
-        self._last_cascade = None
-        answers, distances, candidates = self._search_impl(q, epsilon, stats)
-        if not self._compute_distances:
-            distances = {}  # decision-only verification: values are not exact
-        stats.cpu_seconds += time.process_time() - start_cpu
-        stats.simulated_io_seconds += self._db.io.delta_seconds(mark)
+        outer = active_registry()
+        per_query = MetricsRegistry()
+        with use_registry(per_query), maybe_span(
+            "method.search", method=self.name, epsilon=epsilon
+        ):
+            self._db.io.mark(mark)
+            start_cpu = time.process_time()
+            self._last_cascade = None
+            answers, distances, candidates = self._search_impl(q, epsilon, stats)
+            if not self._compute_distances:
+                distances = {}  # decision-only: values are not exact
+            stats.cpu_seconds += time.process_time() - start_cpu
+            stats.simulated_io_seconds += self._db.io.delta_seconds(mark)
+            self._charge_method_stats(per_query, stats)
+        snapshot = per_query.snapshot()
+        if outer is not None:
+            outer.merge(snapshot)
         return SearchReport(
             method=self.name,
             epsilon=epsilon,
@@ -196,6 +215,26 @@ class SearchMethod(abc.ABC):
             candidates=sorted(candidates),
             stats=stats,
             cascade=self._last_cascade,
+            metrics=snapshot,
+        )
+
+    def _charge_method_stats(
+        self, registry: MetricsRegistry, stats: MethodStats
+    ) -> None:
+        """Mirror the legacy :class:`MethodStats` cost lines as
+        ``method.<name>.*`` registry counters (one plane, two views)."""
+        prefix = f"method.{self.name.lower()}"
+        registry.count(f"{prefix}.searches")
+        registry.count(f"{prefix}.cpu_seconds", stats.cpu_seconds)
+        registry.count(
+            f"{prefix}.simulated_io_seconds", stats.simulated_io_seconds
+        )
+        registry.count(f"{prefix}.index_node_reads", stats.index_node_reads)
+        registry.count(f"{prefix}.sequences_read", stats.sequences_read)
+        registry.count(f"{prefix}.dtw_computations", stats.dtw_computations)
+        registry.count(
+            f"{prefix}.lower_bound_computations",
+            stats.lower_bound_computations,
         )
 
     def search_many(

@@ -1,0 +1,82 @@
+"""Unified observability plane: metrics registry, trace spans, exporters.
+
+See DESIGN.md §9 for the counter-naming scheme and the layer-by-layer
+charging map.
+"""
+
+from .export import (
+    json_file_hook,
+    render_metrics_table,
+    render_span_tree,
+    snapshot_to_csv,
+    snapshot_to_dict,
+    snapshot_to_json,
+    span_json_file_hook,
+    span_to_dict,
+    spans_to_json,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    SnapshotHook,
+    Timer,
+    active_registry,
+    count,
+    merge_snapshots,
+    observe,
+    set_gauge,
+    use_registry,
+)
+from .tracing import (
+    Span,
+    SpanHook,
+    Tracer,
+    active_tracer,
+    current_span,
+    maybe_span,
+    use_tracer,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "Timer",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SnapshotHook",
+    "active_registry",
+    "use_registry",
+    "count",
+    "observe",
+    "set_gauge",
+    "merge_snapshots",
+    # tracing
+    "Span",
+    "SpanHook",
+    "Tracer",
+    "active_tracer",
+    "current_span",
+    "use_tracer",
+    "maybe_span",
+    # export
+    "snapshot_to_dict",
+    "snapshot_to_json",
+    "snapshot_to_csv",
+    "render_metrics_table",
+    "span_to_dict",
+    "spans_to_json",
+    "render_span_tree",
+    "json_file_hook",
+    "span_json_file_hook",
+]

@@ -1,0 +1,177 @@
+"""Exporters for metrics snapshots and span trees.
+
+Three output shapes cover the consumers the repo already has:
+
+* JSON — the CI artifact and anything programmatic,
+* CSV — spreadsheets / the eval harness' result tables,
+* pretty tables / trees — the CLI ``--metrics`` / ``--trace`` flags.
+
+Plus the profiling-hook constructors: :func:`json_file_hook` and
+:func:`span_json_file_hook` return callables suitable for
+``MetricsRegistry.add_hook`` / ``Tracer.add_hook`` that persist every
+snapshot / finished root span to disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from .metrics import MetricsSnapshot, SnapshotHook
+from .tracing import Span, SpanHook
+
+__all__ = [
+    "snapshot_to_dict",
+    "snapshot_to_json",
+    "snapshot_to_csv",
+    "render_metrics_table",
+    "span_to_dict",
+    "spans_to_json",
+    "render_span_tree",
+    "json_file_hook",
+    "span_json_file_hook",
+]
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def snapshot_to_dict(snapshot: MetricsSnapshot) -> dict[str, object]:
+    """A plain-data form of *snapshot* (JSON-ready)."""
+    return {
+        "counters": dict(sorted(snapshot.counters.items())),
+        "gauges": dict(sorted(snapshot.gauges.items())),
+        "histograms": {
+            name: {
+                "count": summary.count,
+                "total": summary.total,
+                "min": summary.minimum,
+                "max": summary.maximum,
+                "mean": summary.mean,
+            }
+            for name, summary in sorted(snapshot.histograms.items())
+        },
+    }
+
+
+def snapshot_to_json(snapshot: MetricsSnapshot, *, indent: int = 2) -> str:
+    """*snapshot* as a JSON document."""
+    return json.dumps(snapshot_to_dict(snapshot), indent=indent, sort_keys=True)
+
+
+def snapshot_to_csv(snapshot: MetricsSnapshot) -> str:
+    """*snapshot* as ``kind,name,value`` CSV rows (histograms -> mean)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["kind", "name", "value"])
+    for name, value in sorted(snapshot.counters.items()):
+        writer.writerow(["counter", name, value])
+    for name, value in sorted(snapshot.gauges.items()):
+        writer.writerow(["gauge", name, value])
+    for name, summary in sorted(snapshot.histograms.items()):
+        writer.writerow(["histogram", name, summary.mean])
+    return buffer.getvalue()
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:.6g}"
+
+
+def render_metrics_table(snapshot: MetricsSnapshot) -> str:
+    """A fixed-width table of every instrument, grouped and sorted."""
+    rows: list[tuple[str, str, str]] = []
+    for name, value in sorted(snapshot.counters.items()):
+        rows.append(("counter", name, _format_value(value)))
+    for name, value in sorted(snapshot.gauges.items()):
+        rows.append(("gauge", name, _format_value(value)))
+    for name, summary in sorted(snapshot.histograms.items()):
+        detail = (
+            f"n={summary.count} mean={summary.mean:.6g} "
+            f"min={summary.minimum:.6g} max={summary.maximum:.6g}"
+        )
+        rows.append(("histogram", name, detail))
+    if not rows:
+        return "(no metrics recorded)"
+    kind_w = max(len(kind) for kind, _, _ in rows)
+    name_w = max(len(name) for _, name, _ in rows)
+    lines = [f"{'kind':<{kind_w}}  {'name':<{name_w}}  value"]
+    lines.append("-" * len(lines[0]))
+    for kind, name, value in rows:
+        lines.append(f"{kind:<{kind_w}}  {name:<{name_w}}  {value}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> dict[str, object]:
+    """A plain-data form of *span* and its subtree (JSON-ready)."""
+    return {
+        "name": span.name,
+        "attributes": dict(span.attributes),
+        "duration_seconds": span.duration,
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def spans_to_json(spans: list[Span], *, indent: int = 2) -> str:
+    """A list of root spans as a JSON document."""
+    return json.dumps(
+        [span_to_dict(span) for span in spans], indent=indent, sort_keys=True
+    )
+
+
+def _render_span(span: Span, depth: int, lines: list[str]) -> None:
+    attrs = ""
+    if span.attributes:
+        joined = ", ".join(
+            f"{key}={value}" for key, value in sorted(span.attributes.items())
+        )
+        attrs = f"  [{joined}]"
+    lines.append(f"{'  ' * depth}{span.name}  {span.duration * 1e3:.3f} ms{attrs}")
+    for child in span.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_span_tree(spans: list[Span]) -> str:
+    """Indented text tree of *spans* with millisecond durations."""
+    if not spans:
+        return "(no spans recorded)"
+    lines: list[str] = []
+    for span in spans:
+        _render_span(span, 0, lines)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Profiling hooks
+# ----------------------------------------------------------------------
+
+
+def json_file_hook(path: str | Path) -> SnapshotHook:
+    """A snapshot hook that (re)writes *path* with the latest snapshot."""
+    target = Path(path)
+
+    def hook(snapshot: MetricsSnapshot) -> None:
+        target.write_text(snapshot_to_json(snapshot) + "\n")
+
+    return hook
+
+
+def span_json_file_hook(path: str | Path) -> SpanHook:
+    """A span hook appending each finished root span to *path* (JSONL)."""
+    target = Path(path)
+
+    def hook(span: Span) -> None:
+        with target.open("a") as handle:
+            handle.write(json.dumps(span_to_dict(span), sort_keys=True) + "\n")
+
+    return hook

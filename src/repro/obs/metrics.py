@@ -1,0 +1,480 @@
+"""Hierarchical metrics registry — the single measurement plane.
+
+Every cost the experiments report — candidate-set sizes after each
+cascade tier, index node reads, DTW cell work, simulated disk seconds —
+used to live in four incompatible ad-hoc structures (``CascadeStats``,
+backend ``AccessStats``, the storage ``IOStats`` charges and per-method
+cost dataclasses).  This module provides the one registry they all
+charge through:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` / :class:`Timer`
+  instruments behind a thread-safe :class:`MetricsRegistry`, addressed
+  by hierarchical dotted names (``cascade.lb_kim.pruned``,
+  ``index.rtree.node_reads``, ``dtw.cells``).
+* :class:`MetricsSnapshot` — an immutable point-in-time view supporting
+  deterministic, bit-exact merging (integer counters sum exactly;
+  merges applied in a fixed order are reproducible for floats too),
+  which is what makes per-shard aggregation equal single-shard totals.
+* An *ambient* registry carried in a :mod:`contextvars` variable so the
+  low layers (DTW kernels, tree traversals, page charges) can report
+  without threading a registry argument through every signature.  When
+  no registry is active, :func:`count` / :func:`observe` are a context
+  variable read and a ``None`` check — the null-sink fast path.
+
+The legacy views (``CascadeStats``, ``IOStats``, ``AccessStats``,
+``MethodStats``) survive as thin read-models; their numbers are charged
+here first.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections.abc import Callable, Iterator, Mapping
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSummary",
+    "Timer",
+    "MetricsSnapshot",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SnapshotHook",
+    "active_registry",
+    "use_registry",
+    "count",
+    "observe",
+    "set_gauge",
+    "merge_snapshots",
+]
+
+#: Legal instrument names: dotted lowercase segments, digits, ``_``,
+#: ``-`` and ``[]`` (used by per-shard labels like ``shard[2]``).
+_NAME_RE = re.compile(r"^[a-z0-9_\-\[\]]+(\.[a-z0-9_\-\[\]]+)*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: use dotted lowercase segments"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing sum (integer or float)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self._value: float = 0
+        self._lock = lock
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The accumulated sum (an ``int`` while every increment was)."""
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self._value: float = 0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        """The most recently set value."""
+        return self._value
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Immutable summary of one histogram's observations."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merged(self, other: "HistogramSummary") -> "HistogramSummary":
+        """Combine two summaries (counts/totals sum, extrema widen)."""
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        return HistogramSummary(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+
+class Histogram:
+    """Streaming count/total/min/max over observed values."""
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def summary(self) -> HistogramSummary:
+        """The current :class:`HistogramSummary`."""
+        with self._lock:
+            if self._count == 0:
+                return HistogramSummary(0, 0.0, 0.0, 0.0)
+            return HistogramSummary(self._count, self._total, self._min, self._max)
+
+
+class Timer:
+    """Context manager observing elapsed wall seconds into a histogram.
+
+    >>> registry = MetricsRegistry()
+    >>> with registry.timer("engine.search.seconds"):
+    ...     pass
+    """
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram | None) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._histogram is not None:
+            self._histogram.observe(time.perf_counter() - self._start)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot(Mapping[str, float]):
+    """An immutable point-in-time view of a registry's instruments.
+
+    Behaves as a mapping over counter and gauge values; histogram
+    summaries live under :attr:`histograms`.  Merging is deterministic:
+    integer counters sum exactly (the bit-identical shard-merge
+    guarantee), gauges take the right operand, histograms combine.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSummary] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> float:
+        if name in self.counters:
+            return self.counters[name]
+        return self.gauges[name]
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self.counters
+        yield from self.gauges
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges)
+
+    def counter(self, name: str, default: float = 0) -> float:
+        """Counter value, or *default* when never charged."""
+        return self.counters.get(name, default)
+
+    def group(self, prefix: str) -> dict[str, float]:
+        """All counters under ``prefix.`` (name -> value, sorted)."""
+        head = prefix + "."
+        return {
+            name: value
+            for name, value in sorted(self.counters.items())
+            if name.startswith(head)
+        }
+
+    def merged(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """A new snapshot with *other* folded in (see class docs)."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)
+        histograms = dict(self.histograms)
+        for name, summary in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = summary if mine is None else mine.merged(summary)
+        return MetricsSnapshot(counters, gauges, histograms)
+
+
+def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
+    """Left-to-right fold of *snapshots* (deterministic order)."""
+    merged = MetricsSnapshot()
+    for snapshot in snapshots:
+        merged = merged.merged(snapshot)
+    return merged
+
+
+#: Callback invoked with every snapshot a registry takes — the
+#: profiling-hook API (see :mod:`repro.obs.export` for ready-made hooks).
+SnapshotHook = Callable[[MetricsSnapshot], None]
+
+
+class MetricsRegistry:
+    """Thread-safe home of named instruments.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; one re-entrant lock serializes all mutation, so concurrent
+    shard threads can charge the same registry without losing updates.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._hooks: list[SnapshotHook] = []
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name* (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = Counter(_check_name(name), self._lock)
+                    self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name* (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = Gauge(_check_name(name), self._lock)
+                    self._gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called *name* (created on first use)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = Histogram(_check_name(name), self._lock)
+                    self._histograms[name] = instrument
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        """A context manager timing into the histogram *name*."""
+        return Timer(self.histogram(name))
+
+    # -- convenience charging ------------------------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment the counter *name* by *amount*."""
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record *value* into the histogram *name*."""
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value*."""
+        self.gauge(name).set(value)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def add_hook(self, hook: SnapshotHook) -> None:
+        """Invoke *hook* with every snapshot this registry takes."""
+        with self._lock:
+            self._hooks.append(hook)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy of every instrument's current value."""
+        with self._lock:
+            snapshot = MetricsSnapshot(
+                counters={
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                gauges={
+                    name: gauge.value
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                histograms={
+                    name: histogram.summary()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            )
+            hooks = list(self._hooks)
+        for hook in hooks:
+            hook(snapshot)
+        return snapshot
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot's values into this registry's instruments.
+
+        Used to accumulate per-query registries into an engine- or
+        shard-level cumulative registry; integer counters stay exact.
+        """
+        with self._lock:
+            for name, value in snapshot.counters.items():
+                self.counter(name).inc(value)
+            for name, value in snapshot.gauges.items():
+                self.gauge(name).set(value)
+            for name, summary in snapshot.histograms.items():
+                histogram = self.histogram(name)
+                if summary.count:
+                    histogram._count += summary.count
+                    histogram._total += summary.total
+                    if summary.minimum < histogram._min:
+                        histogram._min = summary.minimum
+                    if summary.maximum > histogram._max:
+                        histogram._max = summary.maximum
+
+    def reset(self) -> None:
+        """Drop every instrument (names are forgotten, not zeroed)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+        )
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing — the explicit null sink.
+
+    Instruments are still handed out (shared no-op singletons are not
+    needed: the mutators themselves no-op), so code holding a registry
+    reference never branches.
+    """
+
+    def count(self, name: str, amount: float = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def timer(self, name: str) -> Timer:
+        return Timer(None)
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        return None
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot()
+
+
+#: Shared null sink: activate with ``use_registry(NULL_REGISTRY)`` to
+#: exercise the instrumented code paths without recording anything.
+NULL_REGISTRY = NullRegistry()
+
+
+# ----------------------------------------------------------------------
+# Ambient registry (contextvars)
+# ----------------------------------------------------------------------
+
+_ACTIVE: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_obs_registry", default=None
+)
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The registry charges currently flow to (None = observability off)."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry | None]:
+    """Make *registry* the ambient charge target for the with-block.
+
+    Context-local: concurrent threads and shard workers given a copied
+    context each see their own activation, which is what isolates
+    per-query registries from one another.
+    """
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
+def count(name: str, amount: float = 1) -> None:
+    """Charge *amount* to counter *name* on the ambient registry.
+
+    The instrumentation call every hot path uses: when no registry is
+    active this is one context-variable read and a ``None`` check.
+    """
+    registry = _ACTIVE.get()
+    if registry is not None:
+        registry.count(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record *value* into histogram *name* on the ambient registry."""
+    registry = _ACTIVE.get()
+    if registry is not None:
+        registry.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge *name* on the ambient registry."""
+    registry = _ACTIVE.get()
+    if registry is not None:
+        registry.set_gauge(name, value)

@@ -1,0 +1,176 @@
+"""Lightweight trace spans that survive the shard thread pool.
+
+A :class:`Span` is a named, timed, attributed node in a tree; a
+:class:`Tracer` hands them out as context managers and keeps every
+finished root.  The current span and the active tracer live in
+:mod:`contextvars` variables, so
+
+* nested ``with span(...)`` blocks parent correctly without any global
+  mutable state, and
+* :class:`~repro.core.sharding.ShardedDatabase` can hand each worker
+  thread a *copy* of the submitting context (``contextvars.copy_context``)
+  and the per-shard spans attach under the fan-out span of the query —
+  the per-shard merge the multi-layer accounting needs.
+
+When no tracer is active, :func:`maybe_span` yields ``None`` without
+taking a timestamp — the same null-sink discipline the metrics layer
+uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "SpanHook",
+    "active_tracer",
+    "use_tracer",
+    "current_span",
+    "maybe_span",
+]
+
+
+@dataclass
+class Span:
+    """One named, timed region of work.
+
+    Attributes
+    ----------
+    name:
+        Dotted region name (``sharded.search``, ``engine.search``).
+    attributes:
+        Small key/value payload (backend name, shard index, epsilon).
+    start / end:
+        ``time.perf_counter`` stamps; *end* is ``None`` while open.
+    children:
+        Spans opened (possibly on other threads) while this one was
+        the context's current span.
+    """
+
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every span in the subtree called *name*."""
+        return [span for span in self.walk() if span.name == name]
+
+
+#: Callback invoked with every *root* span a tracer finishes — the
+#: span-side profiling-hook API.
+SpanHook = Callable[[Span], None]
+
+
+class Tracer:
+    """Factory and sink for spans.
+
+    One lock serializes tree mutation, so shard workers appending child
+    spans to the same parent never lose siblings.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+        self._hooks: list[SpanHook] = []
+
+    @property
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def add_hook(self, hook: SpanHook) -> None:
+        """Invoke *hook* with every finished root span."""
+        with self._lock:
+            self._hooks.append(hook)
+
+    def reset(self) -> None:
+        """Forget every finished span (hooks are kept)."""
+        with self._lock:
+            self._roots.clear()
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a span under the context's current span."""
+        parent = _CURRENT_SPAN.get()
+        span = Span(name=name, attributes=dict(attributes))
+        if parent is not None:
+            with self._lock:
+                parent.children.append(span)
+        token = _CURRENT_SPAN.set(span)
+        span.start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            _CURRENT_SPAN.reset(token)
+            if parent is None:
+                with self._lock:
+                    self._roots.append(span)
+                    hooks = list(self._hooks)
+                for hook in hooks:
+                    hook(span)
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self._roots)} finished root span(s))"
+
+
+_ACTIVE_TRACER: ContextVar[Tracer | None] = ContextVar(
+    "repro_obs_tracer", default=None
+)
+_CURRENT_SPAN: ContextVar[Span | None] = ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+def active_tracer() -> Tracer | None:
+    """The tracer spans currently flow to (None = tracing off)."""
+    return _ACTIVE_TRACER.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span of this context, if any."""
+    return _CURRENT_SPAN.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None) -> Iterator[Tracer | None]:
+    """Make *tracer* the ambient span sink for the with-block."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+@contextmanager
+def maybe_span(name: str, **attributes: object) -> Iterator[Span | None]:
+    """Open a span when a tracer is active; otherwise a free no-op."""
+    tracer = _ACTIVE_TRACER.get()
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attributes) as span:
+        yield span

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..exceptions import ValidationError
+from ..obs.metrics import count as _charge
 
 __all__ = ["BufferPool"]
 
@@ -53,8 +54,10 @@ class BufferPool:
         if page_no in self._resident:
             self._resident.move_to_end(page_no)
             self.hits += 1
+            _charge("storage.buffer.hits")
             return True
         self.misses += 1
+        _charge("storage.buffer.misses")
         if self._capacity == 0:
             return False
         if len(self._resident) >= self._capacity:

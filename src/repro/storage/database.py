@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..exceptions import ValidationError
+from ..obs.metrics import active_registry
 from ..types import Sequence, SequenceLike, as_sequence
 from .buffer import BufferPool
 from .diskmodel import DiskModel
@@ -184,16 +185,24 @@ class SequenceDatabase:
         """
         pages = self._heap.pages_of(seq_id)
         missed = 0
+        hits = 0
         for page_no in pages:
             if self._buffer.access(page_no):
-                self.io.buffer_hits += 1
+                hits += 1
             else:
                 missed += 1
+        self.io.buffer_hits += hits
         self.io.random_pages += missed
         # The record's pages are contiguous: one seek, then transfer.
-        self.io.simulated_seconds += self._disk.record_read_time(
-            missed, self.page_size
-        )
+        seconds = self._disk.record_read_time(missed, self.page_size)
+        self.io.simulated_seconds += seconds
+        # Buffer hit/miss counters are charged per page by the pool
+        # itself (storage.buffer.*); only the fetch-level costs here.
+        registry = active_registry()
+        if registry is not None:
+            registry.count("storage.fetches")
+            registry.count("storage.random_pages", missed)
+            registry.count("storage.simulated_seconds", seconds)
 
     def scan(self) -> Iterator[Sequence]:
         """Sequential scan of the whole database (Naive-Scan / LB-Scan).
@@ -204,9 +213,13 @@ class SequenceDatabase:
         """
         pages = self._heap.total_pages
         self.io.sequential_pages += pages
-        self.io.simulated_seconds += self._disk.sequential_read_time(
-            pages, self.page_size
-        )
+        seconds = self._disk.sequential_read_time(pages, self.page_size)
+        self.io.simulated_seconds += seconds
+        registry = active_registry()
+        if registry is not None:
+            registry.count("storage.scans")
+            registry.count("storage.sequential_pages", pages)
+            registry.count("storage.simulated_seconds", seconds)
         return self._heap.scan()
 
     # -- persistence ---------------------------------------------------------------

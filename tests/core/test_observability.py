@@ -1,0 +1,280 @@
+"""Observability integration: shard-merge parity, concurrency safety,
+and counters from the streaming/subsequence extensions.
+
+The tentpole invariants:
+
+* **Bit-exact shard merging** — every partition-invariant counter
+  (cascade tiers, DTW cell work, candidate/answer counts, storage
+  fetches) is identical whether the database runs as one shard or
+  several, for every exact backend.  Structure-dependent counters
+  (node reads, page counts) legitimately differ and are excluded.
+* **Per-query isolation** — concurrent searches each get their own
+  stats on the :class:`QueryResult` return path, and the thread-local
+  ``last_cascade_stats`` compatibility view never mixes threads.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TimeWarpingDatabase
+from repro.core.streaming import StreamMonitor
+from repro.core.subsequence import SubsequenceIndex
+from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, use_registry
+from repro.obs.tracing import Tracer, use_tracer
+
+PARITY_BACKENDS = ["rtree", "rstar", "linear"]
+
+#: Counters that must not depend on how the data is partitioned.  Node
+#: reads and page counts depend on tree shape / heap layout and are
+#: deliberately absent; ``engine.queries`` counts per-engine invocations
+#: (x N with N shards) and is covered by the top-level ``queries``.
+INVARIANT_PREFIXES = ("cascade.", "dtw.")
+INVARIANT_NAMES = (
+    "queries",
+    "engine.candidates",
+    "engine.answers",
+    "storage.fetches",
+)
+
+
+def _invariant(snapshot: MetricsSnapshot) -> dict[str, float]:
+    return {
+        name: value
+        for name, value in snapshot.counters.items()
+        if name.startswith(INVARIANT_PREFIXES) or name in INVARIANT_NAMES
+    }
+
+
+def _workload(seed: int = 11, n: int = 30) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=int(rng.integers(8, 24))).cumsum() for _ in range(n)
+    ]
+
+
+def _build(arrays: list[np.ndarray], backend: str, shards: int) -> TimeWarpingDatabase:
+    db = TimeWarpingDatabase(backend=backend, shards=shards)
+    for values in arrays:
+        db.insert(values)
+    return db
+
+
+@pytest.fixture(scope="module")
+def arrays() -> list[np.ndarray]:
+    return _workload()
+
+
+class TestShardMergeParity:
+    """Sharded counter merges are bit-identical to single-shard runs."""
+
+    @pytest.mark.parametrize("backend", PARITY_BACKENDS)
+    def test_cumulative_counters_match(self, arrays, backend) -> None:
+        queries = arrays[:6]
+        epsilon = 2.0
+        single = _build(arrays, backend, 1)
+        sharded = _build(arrays, backend, 3)
+        for query in queries:
+            single.search(query, epsilon)
+            sharded.search(query, epsilon)
+        left = _invariant(single.metrics_snapshot())
+        right = _invariant(sharded.metrics_snapshot())
+        assert left == right
+        assert left["queries"] == len(queries)
+        assert any(name.startswith("cascade.") for name in left)
+        assert left["dtw.cells"] == right["dtw.cells"]
+
+    @pytest.mark.parametrize("backend", PARITY_BACKENDS)
+    def test_per_query_return_path_matches(self, arrays, backend) -> None:
+        single = _build(arrays, backend, 1)
+        sharded = _build(arrays, backend, 3)
+        result_1 = single.search_detailed(arrays[2], 1.5)
+        result_3 = sharded.search_detailed(arrays[2], 1.5)
+        assert result_1.matches == result_3.matches
+        assert sorted(result_1.candidate_ids) == sorted(result_3.candidate_ids)
+        assert _invariant(result_1.metrics) == _invariant(result_3.metrics)
+
+    def test_batch_counters_match(self, arrays) -> None:
+        single = _build(arrays, "rtree", 1)
+        sharded = _build(arrays, "rtree", 3)
+        batch = arrays[:5]
+        result_1 = single.search_many_detailed(batch, 2.0)
+        result_3 = sharded.search_many_detailed(batch, 2.0)
+        assert [
+            [m.seq_id for m in matches] for matches in result_1.results
+        ] == [[m.seq_id for m in matches] for matches in result_3.results]
+        assert _invariant(result_1.metrics) == _invariant(result_3.metrics)
+
+    def test_merge_order_is_shard_order(self, arrays) -> None:
+        """Repeating the same query yields the same snapshot — no
+        completion-order nondeterminism in the merge."""
+        db = _build(arrays, "rtree", 3)
+        first = _invariant(db.search_detailed(arrays[0], 2.0).metrics)
+        for _ in range(5):
+            again = _invariant(db.search_detailed(arrays[0], 2.0).metrics)
+            assert again == first
+
+
+class TestCumulativeRegistry:
+    def test_counters_accumulate_across_queries(self, arrays) -> None:
+        db = _build(arrays, "rtree", 2)
+        one = db.search_detailed(arrays[0], 1.0).metrics
+        db.search(arrays[0], 1.0)
+        total = db.metrics_snapshot()
+        assert total.counter("queries") == 2
+        assert total.counter("dtw.cells") == 2 * one.counter("dtw.cells")
+
+    def test_structure_gauges_present(self, arrays) -> None:
+        db = _build(arrays, "rstar", 2)
+        db.search(arrays[0], 1.0)
+        snapshot = db.metrics_snapshot()
+        assert snapshot.gauges["shards"] == 2
+        assert snapshot.gauges["storage.sequences"] == len(arrays)
+        assert snapshot.gauges["index.rstar.nodes"] > 0
+
+    def test_ambient_registry_sees_facade_queries(self, arrays) -> None:
+        db = _build(arrays, "rtree", 2)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            db.search(arrays[1], 1.5)
+        snapshot = registry.snapshot()
+        assert snapshot.counter("queries") == 1
+        assert snapshot.counter("dtw.cells") > 0
+        # No double counting: ambient equals the per-query charge.
+        assert _invariant(snapshot) == _invariant(
+            db.search_detailed(arrays[1], 1.5).metrics
+        )
+
+    def test_spans_cover_shard_fanout(self, arrays) -> None:
+        db = _build(arrays, "rtree", 3)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            db.search(arrays[0], 1.0)
+        (root,) = tracer.roots
+        assert root.name == "sharded.search"
+        assert len(root.find("engine.search")) == 3
+
+
+class TestConcurrentQueries:
+    """Satellite: per-query stats survive concurrent searches."""
+
+    def test_return_path_isolated_under_concurrency(self, arrays) -> None:
+        db = _build(arrays, "rtree", 2)
+        queries = arrays[:8]
+        epsilon = 1.8
+        expected = [db.search_detailed(query, epsilon) for query in queries]
+
+        def run(index: int):
+            result = db.search_detailed(queries[index], epsilon)
+            # The compatibility view is thread-local: right after the
+            # call it reflects *this* thread's query, not a racing one.
+            view_stats = db.last_cascade_stats
+            view_ids = db.last_candidate_ids
+            return result, view_stats, view_ids
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(run, range(len(queries))))
+        for index, (result, view_stats, view_ids) in enumerate(outcomes):
+            reference = expected[index]
+            assert result.matches == reference.matches
+            assert result.candidate_ids == reference.candidate_ids
+            assert _invariant(result.metrics) == _invariant(reference.metrics)
+            assert view_ids == reference.candidate_ids
+            assert [
+                (stage.name, stage.n_in, stage.n_out)
+                for stage in view_stats.stages
+            ] == [
+                (stage.name, stage.n_in, stage.n_out)
+                for stage in reference.stats.stages
+            ]
+
+    def test_fresh_thread_has_no_last_stats(self, arrays) -> None:
+        db = _build(arrays, "rtree", 1)
+        db.search(arrays[0], 1.0)
+
+        def probe():
+            return db.last_cascade_stats, db.last_candidate_ids
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            stats, ids = pool.submit(probe).result()
+        assert stats is None and ids == []
+
+
+class TestStreamingCounters:
+    """Satellite: streaming edges charge the ambient registry."""
+
+    def test_empty_stream(self) -> None:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            monitor = StreamMonitor([1.0, 2.0], epsilon=0.5)
+        assert monitor.elements_seen == 0
+        assert not monitor.matches_now
+        assert monitor.can_still_match
+        assert "stream.pushes" not in registry.snapshot().counters
+
+    def test_eps_zero_exact_match(self) -> None:
+        registry = MetricsRegistry()
+        monitor = StreamMonitor([1.0, 2.0, 3.0], epsilon=0.0)
+        with use_registry(registry):
+            assert not monitor.push(1.0)
+            assert not monitor.push(2.0)
+            assert monitor.push(3.0)
+        snapshot = registry.snapshot()
+        assert snapshot.counter("stream.pushes") == 3
+        assert snapshot.counter("stream.matches") == 1
+        assert "stream.frontier_deaths" not in snapshot.counters
+
+    def test_frontier_death_charged_once(self) -> None:
+        registry = MetricsRegistry()
+        monitor = StreamMonitor([1.0, 2.0], epsilon=0.1)
+        with use_registry(registry):
+            monitor.push(50.0)  # kills the frontier
+            monitor.push(1.0)  # already dead: cheap, no second death
+        assert not monitor.can_still_match
+        snapshot = registry.snapshot()
+        assert snapshot.counter("stream.pushes") == 2
+        assert snapshot.counter("stream.frontier_deaths") == 1
+
+
+class TestSubsequenceCounters:
+    """Satellite: windowed-index edges charge the ambient registry."""
+
+    def test_window_shorter_than_sequence(self) -> None:
+        registry = MetricsRegistry()
+        index = SubsequenceIndex([4])
+        values = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        index.add(values, seq_id=0)
+        assert index.window_count == 5  # 8 - 4 + 1 sliding windows
+        index.build()
+        with use_registry(registry):
+            matches = index.search(values[2:6], epsilon=0.0)
+        assert [(m.seq_id, m.start) for m in matches] == [(0, 2)]
+        snapshot = registry.snapshot()
+        assert snapshot.counter("subseq.queries") == 1
+        assert snapshot.counter("subseq.candidates") >= 1
+        assert snapshot.counter("subseq.matches") == 1
+        # The window verification runs real DTW under the same registry.
+        assert snapshot.counter("dtw.cells") > 0
+
+    def test_window_longer_than_sequence_is_skipped(self) -> None:
+        index = SubsequenceIndex([10])
+        index.add(np.arange(4, dtype=float))
+        assert index.window_count == 0
+        with pytest.raises(ValidationError, match="no windows"):
+            index.build()
+
+    def test_best_match_charges_knn_counters(self) -> None:
+        registry = MetricsRegistry()
+        index = SubsequenceIndex([3])
+        index.add(np.array([0.0, 5.0, 10.0, 15.0, 20.0]), seq_id=7)
+        index.build()
+        with use_registry(registry):
+            best = index.best_match([5.2, 9.8, 15.1])
+        assert best is not None and best.seq_id == 7
+        snapshot = registry.snapshot()
+        assert snapshot.counter("subseq.knn_queries") == 1
+        assert snapshot.counter("subseq.knn_examined") >= 1

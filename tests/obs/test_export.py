@@ -1,0 +1,113 @@
+"""Unit tests for the metrics/span exporters and profiling hooks."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.obs.export import (
+    json_file_hook,
+    render_metrics_table,
+    render_span_tree,
+    snapshot_to_csv,
+    snapshot_to_dict,
+    snapshot_to_json,
+    span_json_file_hook,
+    span_to_dict,
+    spans_to_json,
+)
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.tracing import Tracer
+
+
+def _sample_snapshot() -> MetricsSnapshot:
+    registry = MetricsRegistry()
+    registry.count("cascade.lb_kim.pruned", 42)
+    registry.count("dtw.cells", 1234)
+    registry.set_gauge("index.rtree.height", 3)
+    registry.observe("dtw.abandon_depth", 0.5)
+    registry.observe("dtw.abandon_depth", 1.5)
+    return registry.snapshot()
+
+
+class TestMetricsExport:
+    def test_snapshot_to_dict_shape(self) -> None:
+        payload = snapshot_to_dict(_sample_snapshot())
+        assert payload["counters"] == {
+            "cascade.lb_kim.pruned": 42,
+            "dtw.cells": 1234,
+        }
+        assert payload["gauges"] == {"index.rtree.height": 3}
+        histogram = payload["histograms"]["dtw.abandon_depth"]
+        assert histogram["count"] == 2 and histogram["mean"] == 1.0
+
+    def test_json_roundtrips(self) -> None:
+        document = snapshot_to_json(_sample_snapshot())
+        assert json.loads(document)["counters"]["dtw.cells"] == 1234
+
+    def test_csv_rows(self) -> None:
+        rows = list(csv.reader(io.StringIO(snapshot_to_csv(_sample_snapshot()))))
+        assert rows[0] == ["kind", "name", "value"]
+        kinds = {row[0] for row in rows[1:]}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_table_renders_all_instruments(self) -> None:
+        table = render_metrics_table(_sample_snapshot())
+        assert "dtw.cells" in table and "1,234" in table
+        assert "index.rtree.height" in table
+        assert "n=2 mean=1" in table
+
+    def test_table_empty_snapshot(self) -> None:
+        assert render_metrics_table(MetricsSnapshot()) == "(no metrics recorded)"
+
+    def test_json_file_hook_writes_latest(self, tmp_path) -> None:
+        target = tmp_path / "metrics.json"
+        registry = MetricsRegistry()
+        registry.add_hook(json_file_hook(target))
+        registry.count("n", 1)
+        registry.snapshot()
+        registry.count("n", 1)
+        registry.snapshot()
+        assert json.loads(target.read_text())["counters"]["n"] == 2
+
+
+class TestSpanExport:
+    def _trace(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("sharded.search", backend="rtree"):
+            with tracer.span("engine.search", shard=0):
+                pass
+        return tracer
+
+    def test_span_to_dict_nests(self) -> None:
+        (root,) = self._trace().roots
+        payload = span_to_dict(root)
+        assert payload["name"] == "sharded.search"
+        assert payload["attributes"] == {"backend": "rtree"}
+        assert payload["children"][0]["name"] == "engine.search"
+
+    def test_spans_to_json(self) -> None:
+        parsed = json.loads(spans_to_json(self._trace().roots))
+        assert len(parsed) == 1 and parsed[0]["name"] == "sharded.search"
+
+    def test_render_span_tree_indents(self) -> None:
+        text = render_span_tree(self._trace().roots)
+        lines = text.splitlines()
+        assert lines[0].startswith("sharded.search")
+        assert lines[1].startswith("  engine.search")
+        assert "[shard=0]" in lines[1]
+
+    def test_render_empty(self) -> None:
+        assert render_span_tree([]) == "(no spans recorded)"
+
+    def test_span_json_file_hook_appends(self, tmp_path) -> None:
+        target = tmp_path / "spans.jsonl"
+        tracer = Tracer()
+        tracer.add_hook(span_json_file_hook(target))
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        lines = target.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]

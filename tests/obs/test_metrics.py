@@ -1,0 +1,218 @@
+"""Unit tests for the metrics registry and snapshot algebra."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_registry,
+    count,
+    merge_snapshots,
+    observe,
+    set_gauge,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self) -> None:
+        registry = MetricsRegistry()
+        registry.count("dtw.cells", 10)
+        registry.count("dtw.cells", 5)
+        assert registry.snapshot().counter("dtw.cells") == 15
+
+    def test_counter_stays_integer(self) -> None:
+        registry = MetricsRegistry()
+        registry.count("a.b")
+        registry.count("a.b", 2)
+        value = registry.snapshot().counter("a.b")
+        assert value == 3 and isinstance(value, int)
+
+    def test_counter_rejects_negative(self) -> None:
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.count("a.b", -1)
+
+    def test_invalid_name_rejected(self) -> None:
+        registry = MetricsRegistry()
+        for bad in ("Upper.case", "spa ce", "", ".leading", "trailing."):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.count(bad)
+
+    def test_shard_label_names_allowed(self) -> None:
+        registry = MetricsRegistry()
+        registry.count("shard[2].node_reads")
+        assert registry.snapshot().counter("shard[2].node_reads") == 1
+
+    def test_gauge_overwrites(self) -> None:
+        registry = MetricsRegistry()
+        registry.set_gauge("index.rtree.height", 3)
+        registry.set_gauge("index.rtree.height", 2)
+        assert registry.snapshot().gauges["index.rtree.height"] == 2
+
+    def test_histogram_summary(self) -> None:
+        registry = MetricsRegistry()
+        for value in (1.0, 3.0, 2.0):
+            registry.observe("dtw.abandon_depth", value)
+        summary = registry.snapshot().histograms["dtw.abandon_depth"]
+        assert summary.count == 3
+        assert summary.total == 6.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.mean == 2.0
+
+    def test_timer_observes_elapsed(self) -> None:
+        registry = MetricsRegistry()
+        with registry.timer("engine.search.seconds"):
+            pass
+        summary = registry.snapshot().histograms["engine.search.seconds"]
+        assert summary.count == 1
+        assert summary.minimum >= 0.0
+
+    def test_concurrent_charging_loses_nothing(self) -> None:
+        registry = MetricsRegistry()
+
+        def worker() -> None:
+            for _ in range(1000):
+                registry.count("hits")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.snapshot().counter("hits") == 8000
+
+
+class TestSnapshot:
+    def test_mapping_protocol(self) -> None:
+        registry = MetricsRegistry()
+        registry.count("a.x", 4)
+        registry.set_gauge("a.y", 7)
+        snapshot = registry.snapshot()
+        assert snapshot["a.x"] == 4
+        assert snapshot["a.y"] == 7
+        assert set(snapshot) == {"a.x", "a.y"}
+        assert len(snapshot) == 2
+
+    def test_group_filters_by_prefix(self) -> None:
+        registry = MetricsRegistry()
+        registry.count("cascade.lb_kim.pruned", 9)
+        registry.count("cascade.lb_kim.in", 12)
+        registry.count("dtw.cells", 100)
+        group = registry.snapshot().group("cascade.lb_kim")
+        assert group == {"cascade.lb_kim.in": 12, "cascade.lb_kim.pruned": 9}
+
+    def test_merged_sums_counters_exactly(self) -> None:
+        a = MetricsSnapshot(counters={"n": 2, "only_a": 1})
+        b = MetricsSnapshot(counters={"n": 3, "only_b": 4})
+        merged = a.merged(b)
+        assert merged.counters == {"n": 5, "only_a": 1, "only_b": 4}
+        # Operands untouched (snapshots are values).
+        assert a.counters["n"] == 2
+
+    def test_merged_gauges_last_wins(self) -> None:
+        a = MetricsSnapshot(gauges={"g": 1.0})
+        b = MetricsSnapshot(gauges={"g": 2.0})
+        assert a.merged(b).gauges["g"] == 2.0
+
+    def test_merged_histograms_combine(self) -> None:
+        a = MetricsSnapshot(histograms={"h": HistogramSummary(2, 10.0, 1.0, 9.0)})
+        b = MetricsSnapshot(histograms={"h": HistogramSummary(1, 5.0, 5.0, 5.0)})
+        merged = a.merged(b).histograms["h"]
+        assert merged == HistogramSummary(3, 15.0, 1.0, 9.0)
+
+    def test_merge_snapshots_fold(self) -> None:
+        parts = [MetricsSnapshot(counters={"n": i}) for i in (1, 2, 3)]
+        assert merge_snapshots(parts).counter("n") == 6
+        assert merge_snapshots([]).counters == {}
+
+    def test_registry_merge_roundtrip(self) -> None:
+        source = MetricsRegistry()
+        source.count("n", 5)
+        source.observe("h", 2.0)
+        sink = MetricsRegistry()
+        sink.count("n", 1)
+        sink.merge(source.snapshot())
+        snapshot = sink.snapshot()
+        assert snapshot.counter("n") == 6
+        assert snapshot.histograms["h"].count == 1
+
+    def test_snapshot_hook_invoked(self) -> None:
+        registry = MetricsRegistry()
+        seen: list[MetricsSnapshot] = []
+        registry.add_hook(seen.append)
+        registry.count("n")
+        registry.snapshot()
+        assert len(seen) == 1 and seen[0].counter("n") == 1
+
+
+class TestAmbient:
+    def test_default_is_none(self) -> None:
+        assert active_registry() is None
+
+    def test_module_level_helpers_noop_without_registry(self) -> None:
+        count("nothing.here")  # must not raise
+        observe("nothing.here", 1.0)
+        set_gauge("nothing.here", 1.0)
+
+    def test_use_registry_scopes_charges(self) -> None:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert active_registry() is registry
+            count("in.scope", 2)
+        assert active_registry() is None
+        count("out.of.scope")
+        snapshot = registry.snapshot()
+        assert snapshot.counter("in.scope") == 2
+        assert "out.of.scope" not in snapshot.counters
+
+    def test_nested_use_registry_restores_outer(self) -> None:
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            with use_registry(inner):
+                count("n")
+            assert active_registry() is outer
+        assert inner.snapshot().counter("n") == 1
+        assert "n" not in outer.snapshot().counters
+
+    def test_use_registry_none_suppresses(self) -> None:
+        registry = MetricsRegistry()
+        with use_registry(registry), use_registry(None):
+            count("suppressed")
+        assert "suppressed" not in registry.snapshot().counters
+
+    def test_ambient_is_thread_local(self) -> None:
+        registry = MetricsRegistry()
+        leaked: list[MetricsRegistry | None] = []
+
+        def worker() -> None:
+            leaked.append(active_registry())
+
+        with use_registry(registry):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert leaked == [None]
+
+
+class TestNullRegistry:
+    def test_records_nothing(self) -> None:
+        NULL_REGISTRY.count("n", 5)
+        NULL_REGISTRY.observe("h", 1.0)
+        NULL_REGISTRY.set_gauge("g", 1.0)
+        with NULL_REGISTRY.timer("t"):
+            pass
+        snapshot = NULL_REGISTRY.snapshot()
+        assert not snapshot.counters and not snapshot.histograms
+
+    def test_usable_as_ambient_sink(self) -> None:
+        with use_registry(NULL_REGISTRY):
+            count("n", 3)
+        assert NULL_REGISTRY.snapshot().counters == {}

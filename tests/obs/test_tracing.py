@@ -1,0 +1,126 @@
+"""Unit tests for trace spans, including cross-thread propagation."""
+
+from __future__ import annotations
+
+import contextvars
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    active_tracer,
+    current_span,
+    maybe_span,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root", backend="rtree"):
+            with tracer.span("child.a"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("child.b"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "root"
+        assert root.attributes == {"backend": "rtree"}
+        assert [child.name for child in root.children] == ["child.a", "child.b"]
+        assert root.children[0].children[0].name == "leaf"
+
+    def test_duration_and_walk_and_find(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("x"):
+                pass
+            with tracer.span("x"):
+                pass
+        (root,) = tracer.roots
+        assert root.duration >= 0.0
+        assert [span.name for span in root.walk()] == ["root", "x", "x"]
+        assert len(root.find("x")) == 2
+
+    def test_open_span_duration_is_zero(self) -> None:
+        span = Span(name="open")
+        assert span.duration == 0.0
+
+    def test_root_hook_fires_on_finish(self) -> None:
+        tracer = Tracer()
+        seen: list[Span] = []
+        tracer.add_hook(seen.append)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [span.name for span in seen] == ["root"]
+
+    def test_reset_forgets_roots(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestAmbientTracer:
+    def test_maybe_span_without_tracer_yields_none(self) -> None:
+        with maybe_span("anything") as span:
+            assert span is None
+
+    def test_maybe_span_with_tracer_records(self) -> None:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert active_tracer() is tracer
+            with maybe_span("engine.search", epsilon=1.0) as span:
+                assert span is not None
+                assert current_span() is span
+        assert active_tracer() is None
+        assert [span.name for span in tracer.roots] == ["engine.search"]
+
+    def test_current_span_restored_on_exit(self) -> None:
+        tracer = Tracer()
+        with use_tracer(tracer), tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_copied_context_parents_under_fanout_span(self) -> None:
+        """Worker threads given a copied context attach spans under the
+        submitting thread's open span — the shard fan-out pattern."""
+        tracer = Tracer()
+        with use_tracer(tracer), tracer.span("sharded.search"):
+
+            def shard_work(index: int) -> None:
+                with maybe_span("engine.search", shard=index):
+                    pass
+
+            contexts = [contextvars.copy_context() for _ in range(3)]
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                futures = [
+                    pool.submit(context.run, shard_work, index)
+                    for index, context in enumerate(contexts)
+                ]
+                for future in futures:
+                    future.result()
+        (root,) = tracer.roots
+        assert root.name == "sharded.search"
+        assert sorted(
+            child.attributes["shard"] for child in root.children
+        ) == [0, 1, 2]
+
+    def test_plain_thread_does_not_inherit_tracer(self) -> None:
+        import threading
+
+        tracer = Tracer()
+        seen: list[Tracer | None] = []
+
+        def worker() -> None:
+            seen.append(active_tracer())
+
+        with use_tracer(tracer):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]
