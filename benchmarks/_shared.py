@@ -1,9 +1,12 @@
 """Shared helpers for the benchmark harness.
 
-Each ``bench_*`` module regenerates one paper artifact.  Results are
-printed to stdout (run with ``pytest benchmarks/ --benchmark-only -s``)
-and written to ``benchmarks/_reports/<experiment>.txt`` so the rendered
-tables survive the run; EXPERIMENTS.md is assembled from those reports.
+Each ``bench_*`` module regenerates one paper artifact through the
+:mod:`repro.perf` telemetry subsystem: :func:`run_bench` resolves the
+named :class:`~repro.perf.spec.BenchSpec` from the registry, executes
+it, writes the machine-readable ``BENCH_<name>.json`` trajectory file
+at the repository root, and keeps the human-readable text + SVG report
+under ``benchmarks/_reports/`` (EXPERIMENTS.md is assembled from those
+reports).  Run with ``pytest benchmarks/ --benchmark-only -s``.
 
 The stock-data sweep is cached at module scope because Figures 2 and 3
 are, per the paper, two views of the same runs.
@@ -12,13 +15,19 @@ are, per the paper, two views of the same runs.
 from __future__ import annotations
 
 import functools
+import sys
 from pathlib import Path
+from typing import Callable
 
 from repro.eval.experiments import ExperimentResult, stock_tolerance_sweep
 from repro.eval.figures import save_figure
 from repro.exceptions import ReproError
+from repro.perf import get_spec, run_spec, write_bench_result
+from repro.perf.runner import to_experiment_result
+from repro.perf.spec import BenchResult
 
 REPORT_DIR = Path(__file__).parent / "_reports"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @functools.lru_cache(maxsize=1)
@@ -35,6 +44,35 @@ def write_report(result: ExperimentResult) -> str:
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
     try:
         save_figure(result, REPORT_DIR / f"{name}.svg")
-    except ReproError:
-        pass  # e.g. zero values on a log axis; the text report stands
+    except ReproError as error:
+        if "log axes require positive values" not in str(error):
+            raise
+        print(
+            f"note: skipped SVG for {result.experiment_id}: {error} "
+            "(text report written)",
+            file=sys.stderr,
+        )
     return text
+
+
+def run_bench(
+    name: str,
+    *,
+    experiment_fn: Callable[[], ExperimentResult] | None = None,
+    smoke: bool = False,
+    write_json: bool = True,
+    report: bool = True,
+) -> BenchResult:
+    """Execute the registered spec *name*; persist trajectory + report.
+
+    *experiment_fn* overrides an experiment spec's callable so modules
+    can share expensive sweeps (``cached_stock_sweep``) or hand in
+    their own ``_run`` without an import round-trip.
+    """
+    result = run_spec(get_spec(name), smoke=smoke, experiment_fn=experiment_fn)
+    if write_json:
+        write_bench_result(result, REPO_ROOT)
+    if report:
+        print()
+        print(write_report(to_experiment_result(result)))
+    return result

@@ -8,17 +8,13 @@ model must accumulate cost before crossing the budget.
 
 from __future__ import annotations
 
-from repro.eval.experiments import ablation_base_distance
-
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def test_ablation_base_distance(benchmark):
     result = benchmark.pedantic(
-        ablation_base_distance, rounds=1, iterations=1
+        lambda: run_bench("a1_base_distance"), rounds=1, iterations=1
     )
-    print()
-    print(write_report(result))
 
     linf = result.series["Linf (Def. 2)"]
     l1 = result.series["L1 (Def. 1)"]

@@ -7,15 +7,13 @@ construction by using bulk loading methods."
 
 from __future__ import annotations
 
-from repro.eval.experiments import ablation_bulk_load
-
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def test_ablation_bulk_load(benchmark):
-    result = benchmark.pedantic(ablation_bulk_load, rounds=1, iterations=1)
-    print()
-    print(write_report(result))
+    result = benchmark.pedantic(
+        lambda: run_bench("a3_bulk_load"), rounds=1, iterations=1
+    )
 
     bulk = result.series["STR bulk load"]
     insert = result.series["repeated insert"]

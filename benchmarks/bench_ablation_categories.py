@@ -17,7 +17,7 @@ from repro.eval.experiments import ExperimentResult, full_scale
 from repro.methods.st_filter import STFilter
 from repro.storage.database import SequenceDatabase
 
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def _run() -> ExperimentResult:
@@ -62,9 +62,11 @@ def _run() -> ExperimentResult:
 
 
 def test_ablation_categories(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(write_report(result))
+    result = benchmark.pedantic(
+        lambda: run_bench("categories", experiment_fn=_run),
+        rounds=1,
+        iterations=1,
+    )
 
     ratios = result.series["candidate ratio"]
     nodes = result.series["tree knodes"]

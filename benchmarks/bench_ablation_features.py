@@ -8,15 +8,13 @@ better than either half.
 
 from __future__ import annotations
 
-from repro.eval.experiments import ablation_features
-
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def test_ablation_features(benchmark):
-    result = benchmark.pedantic(ablation_features, rounds=1, iterations=1)
-    print()
-    print(write_report(result))
+    result = benchmark.pedantic(
+        lambda: run_bench("a2_features"), rounds=1, iterations=1
+    )
 
     full = result.series["All four (D_tw-lb)"]
     for name in ("First only", "First+Last", "Greatest+Smallest"):

@@ -9,17 +9,20 @@ from __future__ import annotations
 
 from repro.eval.experiments import experiment1_candidate_ratio
 
-from ._shared import cached_stock_sweep, write_report
+from ._shared import cached_stock_sweep, run_bench
 
 
 def test_fig2_candidate_ratio(benchmark):
     result = benchmark.pedantic(
-        lambda: experiment1_candidate_ratio(sweep=cached_stock_sweep()),
+        lambda: run_bench(
+            "fig2",
+            experiment_fn=lambda: experiment1_candidate_ratio(
+                sweep=cached_stock_sweep()
+            ),
+        ),
         rounds=1,
         iterations=1,
     )
-    print()
-    print(write_report(result))
 
     naive = result.series["Naive-Scan"]
     lb = result.series["LB-Scan"]

@@ -10,17 +10,20 @@ from __future__ import annotations
 
 from repro.eval.experiments import experiment2_elapsed_stock
 
-from ._shared import cached_stock_sweep, write_report
+from ._shared import cached_stock_sweep, run_bench
 
 
 def test_fig3_elapsed_stock(benchmark):
     result = benchmark.pedantic(
-        lambda: experiment2_elapsed_stock(sweep=cached_stock_sweep()),
+        lambda: run_bench(
+            "fig3",
+            experiment_fn=lambda: experiment2_elapsed_stock(
+                sweep=cached_stock_sweep()
+            ),
+        ),
         rounds=1,
         iterations=1,
     )
-    print()
-    print(write_report(result))
 
     tw = result.series["TW-Sim-Search"]
     lb = result.series["LB-Scan"]

@@ -9,17 +9,13 @@ data sequences", and its speedup over the best scan grows with N
 
 from __future__ import annotations
 
-from repro.eval.experiments import experiment3_scale_count
-
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def test_fig4_scale_count(benchmark):
     result = benchmark.pedantic(
-        experiment3_scale_count, rounds=1, iterations=1
+        lambda: run_bench("fig4"), rounds=1, iterations=1
     )
-    print()
-    print(write_report(result))
 
     counts = result.x_values
     tw = result.series["TW-Sim-Search"]

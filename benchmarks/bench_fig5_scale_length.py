@@ -7,17 +7,13 @@ TW-Sim-Search "remains unchanged relatively"; the speedup over LB-Scan
 
 from __future__ import annotations
 
-from repro.eval.experiments import experiment4_scale_length
-
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def test_fig5_scale_length(benchmark):
     result = benchmark.pedantic(
-        experiment4_scale_length, rounds=1, iterations=1
+        lambda: run_bench("fig5"), rounds=1, iterations=1
     )
-    print()
-    print(write_report(result))
 
     lengths = result.x_values
     tw = result.series["TW-Sim-Search"]

@@ -23,7 +23,7 @@ from repro.index.rtree.rstar import RStarTree
 from repro.index.rtree.rtree import RTree, SplitStrategy
 from repro.index.rtree.xtree import XTree
 
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def _build_variants(points):
@@ -106,9 +106,11 @@ def _run() -> ExperimentResult:
 
 
 def test_index_variants(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(write_report(result))
+    result = benchmark.pedantic(
+        lambda: run_bench("index_variants", experiment_fn=_run),
+        rounds=1,
+        iterations=1,
+    )
 
     # STR packing builds fastest and smallest (it is the default for
     # initial loads per paper section 4.3.1).

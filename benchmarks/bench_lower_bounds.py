@@ -7,15 +7,13 @@ tight on every pair — the analytical reason Figure 2's ordering holds.
 
 from __future__ import annotations
 
-from repro.eval.experiments import ablation_lower_bounds
-
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def test_lower_bound_tightness(benchmark):
-    result = benchmark.pedantic(ablation_lower_bounds, rounds=1, iterations=1)
-    print()
-    print(write_report(result))
+    result = benchmark.pedantic(
+        lambda: run_bench("a5_lower_bounds"), rounds=1, iterations=1
+    )
 
     kim = result.series["D_tw-lb (LB_Kim)"][0]
     yi = result.series["LB_Yi"][0]

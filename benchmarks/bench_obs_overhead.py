@@ -1,6 +1,8 @@
 """Overhead budget of the observability layer on the query hot path.
 
-Runs the same search workload three ways and compares wall time:
+A thin front-end over the ``obs_overhead`` workload spec in
+:mod:`repro.perf.workloads`, which runs the same engine workload three
+ways and compares wall time:
 
 * **off** — no ambient registry (the default): instrumentation costs
   one context-variable read and a ``None`` check per charge site.
@@ -11,113 +13,38 @@ Runs the same search workload three ways and compares wall time:
   plus a :class:`~repro.obs.tracing.Tracer`: full collection.
 
 The budget this repo holds itself to: *enabled* costs at most ~5% over
-*off*, and *null* is indistinguishable from *off* (within noise).  Run
-directly::
+*off*, and *null* is indistinguishable from *off* (within noise).  The
+timing discipline (variants interleaved round-robin, per-query minima
+across repeats) lives in :mod:`repro.perf.runner` now.  Run directly::
 
-    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
-    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
-        --smoke --out obs-metrics.json --check
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--smoke] [--check]
 
-``--out`` writes the enabled run's metrics snapshot as JSON (the CI
-artifact); ``--check`` turns the budget into an exit code, with a
-generous tolerance because shared CI runners are noisy.
+or via the unified CLI, which also writes ``BENCH_obs_overhead.json``::
+
+    PYTHONPATH=src python -m repro bench --run obs_overhead --out .
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
-import numpy as np
-
-from repro.core.engine import TimeWarpingDatabase
-from repro.obs.export import snapshot_to_json
-from repro.obs.metrics import (
-    NULL_REGISTRY,
-    MetricsRegistry,
-    MetricsSnapshot,
-    use_registry,
-)
-from repro.obs.tracing import Tracer, use_tracer
-
-
-def _build_database(n: int, length: int, shards: int) -> TimeWarpingDatabase:
-    rng = np.random.default_rng(42)
-    db = TimeWarpingDatabase(shards=shards)
-    db.bulk_load(
-        rng.normal(size=int(rng.integers(length // 2, length))).cumsum()
-        for _ in range(n)
-    )
-    return db
-
-
-def _workload(n_queries: int, length: int) -> list[np.ndarray]:
-    rng = np.random.default_rng(7)
-    return [
-        rng.normal(size=int(rng.integers(length // 2, length))).cumsum()
-        for _ in range(n_queries)
-    ]
-
-
-def _run_once(
-    db: TimeWarpingDatabase, queries: list[np.ndarray], epsilon: float
-) -> list[float]:
-    """Per-query wall seconds for one pass over the workload."""
-    durations: list[float] = []
-    for query in queries:
-        start = time.perf_counter()
-        db.search(query, epsilon)
-        durations.append(time.perf_counter() - start)
-    return durations
-
-
-def _time_modes(
-    db: TimeWarpingDatabase,
-    queries: list[np.ndarray],
-    epsilon: float,
-    repeats: int,
-) -> tuple[dict[str, float], MetricsSnapshot]:
-    """Best-case workload seconds per mode, plus the enabled snapshot.
-
-    Modes are interleaved round-robin inside each repeat so cache and
-    frequency state is shared fairly, and the reported figure is the
-    sum over queries of each query's *minimum* duration across repeats
-    — per-query minima discard scheduler noise spikes that would
-    otherwise dwarf a few-percent overhead on shared runners.
-    """
-    samples: dict[str, list[list[float]]] = {"off": [], "null": [], "enabled": []}
-    registry = MetricsRegistry()
-    for _ in range(repeats):
-        samples["off"].append(_run_once(db, queries, epsilon))
-        with use_registry(NULL_REGISTRY):
-            samples["null"].append(_run_once(db, queries, epsilon))
-        with use_registry(registry), use_tracer(Tracer()):
-            samples["enabled"].append(_run_once(db, queries, epsilon))
-    best = {
-        mode: sum(min(per_query) for per_query in zip(*runs))
-        for mode, runs in samples.items()
-    }
-    return best, registry.snapshot()
+from repro.perf import get_spec, run_spec, write_bench_result
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--sequences", type=int, default=400)
-    parser.add_argument("--length", type=int, default=64)
-    parser.add_argument("--queries", type=int, default=40)
-    parser.add_argument("--epsilon", type=float, default=1.5)
-    parser.add_argument("--shards", type=int, default=1)
-    parser.add_argument("--repeats", type=int, default=7)
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny workload for CI: verifies the harness and emits the "
-        "metrics artifact without meaningful timing",
+        help="tiny workload for CI: verifies the harness without "
+        "meaningful timing",
     )
     parser.add_argument(
-        "--out", metavar="PATH", help="write the enabled run's snapshot JSON"
+        "--out",
+        metavar="DIR",
+        help="also write BENCH_obs_overhead.json into DIR",
     )
     parser.add_argument(
         "--check",
@@ -125,42 +52,37 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero when the overhead budget is exceeded",
     )
     args = parser.parse_args(argv)
-    if args.smoke:
-        args.sequences, args.queries, args.repeats = 80, 8, 3
 
-    db = _build_database(args.sequences, args.length, args.shards)
-    queries = _workload(args.queries, args.length)
-    # Warm caches (buffer pool, numpy) before timing anything.
-    _run_once(db, queries, args.epsilon)
-
-    results, snapshot = _time_modes(db, queries, args.epsilon, args.repeats)
-
-    base = results["off"]
-    print(f"workload: {args.sequences} sequences, {args.queries} queries, "
-          f"{args.shards} shard(s), per-query best of {args.repeats} repeats")
+    result = run_spec(get_spec("obs_overhead"), smoke=args.smoke)
+    base = result.series["off"][0]
+    for note in result.notes:
+        print(f"workload: {note}")
     for mode in ("off", "null", "enabled"):
-        overhead = (results[mode] / base - 1.0) * 100 if base > 0 else 0.0
-        print(f"  {mode:<8} {results[mode] * 1e3:8.2f} ms   "
-              f"{overhead:+6.2f}% vs off")
-    charges = sum(snapshot.counters.values())
-    print(f"  enabled run recorded {len(snapshot.counters)} counters, "
-          f"{charges:,.0f} total charge units")
+        seconds = result.series[mode][0]
+        overhead = (seconds / base - 1.0) * 100 if base > 0 else 0.0
+        print(f"  {mode:<8} {seconds * 1e3:8.2f} ms   {overhead:+6.2f}% vs off")
+    charges = sum(result.counters["enabled"].values())
+    print(
+        f"  enabled run recorded {len(result.counters['enabled'])} counters, "
+        f"{charges:,.0f} total charge units"
+    )
 
     if args.out:
-        Path(args.out).write_text(snapshot_to_json(snapshot) + "\n")
-        print(f"wrote metrics snapshot to {args.out}")
+        path = write_bench_result(result, Path(args.out))
+        print(f"wrote {path}")
 
     if args.check and not args.smoke:
         # Budgets: enabled <= 5% (+ noise floor), null within noise of off.
         failures = []
-        if results["enabled"] / base - 1.0 > 0.10:
+        enabled, null = result.series["enabled"][0], result.series["null"][0]
+        if enabled / base - 1.0 > 0.10:
             failures.append(
-                f"enabled overhead {(results['enabled'] / base - 1) * 100:.1f}% "
+                f"enabled overhead {(enabled / base - 1) * 100:.1f}% "
                 "exceeds the 5% budget (10% CI tolerance)"
             )
-        if results["null"] / base - 1.0 > 0.05:
+        if null / base - 1.0 > 0.05:
             failures.append(
-                f"null-sink overhead {(results['null'] / base - 1) * 100:.1f}% "
+                f"null-sink overhead {(null / base - 1) * 100:.1f}% "
                 "exceeds the noise budget (5% CI tolerance)"
             )
         for failure in failures:

@@ -18,7 +18,7 @@ from repro.data.synthetic import random_walk_dataset
 from repro.distance.dtw import dtw_max_within
 from repro.eval.experiments import ExperimentResult, full_scale
 
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def _run() -> ExperimentResult:
@@ -78,9 +78,11 @@ def _run() -> ExperimentResult:
 
 
 def test_subsequence_index_vs_scan(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(write_report(result))
+    result = benchmark.pedantic(
+        lambda: run_bench("subsequence", experiment_fn=_run),
+        rounds=1,
+        iterations=1,
+    )
     indexed = result.series["windowed feature index"][0]
     brute = result.series["brute-force window scan"][0]
     assert indexed < brute

@@ -15,7 +15,7 @@ from repro.eval.harness import WorkloadRunner
 from repro.methods.tw_sim import INDEX_KINDS, TWSimSearch
 from repro.storage.database import SequenceDatabase
 
-from ._shared import write_report
+from ._shared import run_bench
 
 
 def _run() -> ExperimentResult:
@@ -55,9 +55,11 @@ def _run() -> ExperimentResult:
 
 
 def test_tw_sim_index_choice(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print()
-    print(write_report(result))
+    result = benchmark.pedantic(
+        lambda: run_bench("tw_sim_index_choice", experiment_fn=_run),
+        rounds=1,
+        iterations=1,
+    )
     elapsed = {kind: series[0] for kind, series in result.series.items()}
     fastest = min(elapsed.values())
     slowest = max(elapsed.values())

@@ -11,6 +11,7 @@ Subcommands::
     repro report      run the whole experiment battery, emit markdown
     repro cluster     group a dataset's sequences by warping similarity
     repro explain     show the optimal warping between a query and a sequence
+    repro bench       run named benchmarks, track BENCH_*.json, gate regressions
 
 Every subcommand is importable and testable through :func:`main`, which
 accepts an argv list and returns a process exit code.
@@ -38,6 +39,7 @@ from .exceptions import ReproError, ValidationError
 from .index.backend import EXACT_BACKEND_NAMES
 from .obs.export import (
     render_metrics_table,
+    render_pruning_waterfall,
     render_span_tree,
     snapshot_to_json,
     spans_to_json,
@@ -144,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
     group = query.add_mutually_exclusive_group(required=True)
     group.add_argument("--epsilon", type=float, help="tolerance search")
     group.add_argument("--knn", type=int, help="k-nearest-neighbour search")
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print this query's pruning waterfall (per-tier candidates, "
+        "node reads, DTW cells, early-abandon depth); needs --epsilon",
+    )
 
     compare = sub.add_parser(
         "compare", help="run all methods on a workload and tabulate costs"
@@ -219,6 +227,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated elements, or @FILE with one element per line",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="run named benchmarks, write BENCH_*.json, gate regressions",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list registered benchmark specs"
+    )
+    bench.add_argument(
+        "--run",
+        action="append",
+        metavar="NAME",
+        help="run this spec (repeatable; 'all' runs every spec)",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="use each spec's CI-sized smoke workload",
+    )
+    bench.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory for BENCH_*.json trajectory files (default: .)",
+    )
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare results against the committed baselines; with --run "
+        "compares the results just produced, otherwise the BENCH_*.json "
+        "files found in --out",
+    )
+    bench.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="bless the produced/loaded results as the new baselines",
+    )
+    bench.add_argument(
+        "--baseline-dir",
+        default=None,
+        metavar="DIR",
+        help="baseline store (default: benchmarks/_baselines)",
+    )
+    bench.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative wall-time drift tolerated before warning "
+        "(default: 0.35)",
+    )
+    bench.add_argument(
+        "--strict-wall",
+        action="store_true",
+        help="treat wall-time drift beyond the band as failure, not warning",
+    )
+
     return parser
 
 
@@ -288,14 +352,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
         storage, backend=args.backend, shards=args.shards
     )
     if args.epsilon is not None:
-        matches = facade.search(query, args.epsilon)
+        if args.explain:
+            result = facade.search_detailed(query, args.epsilon)
+            matches = result.matches
+            candidates = len(result.candidate_ids)
+        else:
+            matches = facade.search(query, args.epsilon)
+            candidates = len(facade.last_candidate_ids)
         print(
             f"{len(matches)} match(es) within eps={args.epsilon} "
-            f"({len(facade.last_candidate_ids)} candidate(s) examined)"
+            f"({candidates} candidate(s) examined)"
         )
         for match in matches:
             print(f"  seq {match.seq_id}  D_tw={match.distance:.6g}")
+        if args.explain:
+            print()
+            print("pruning waterfall:")
+            stages = [
+                (stage.name, stage.n_in, stage.n_out)
+                for stage in result.stats.stages
+            ]
+            print(render_pruning_waterfall(stages, result.metrics))
     else:
+        if args.explain:
+            raise ValidationError(
+                "--explain requires --epsilon (the pruning waterfall is "
+                "defined for tolerance search)"
+            )
         neighbours = facade.knn(query, args.knn)
         print(f"{args.knn} nearest neighbour(s):")
         for match in neighbours:
@@ -440,6 +523,93 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import (
+        DEFAULT_BASELINE_DIR,
+        DEFAULT_WALL_TOLERANCE,
+        WORKLOADS,
+        bench_filename,
+        compare_against_baselines,
+        iter_specs,
+        run_spec,
+        save_baseline,
+        write_bench_result,
+    )
+    from .perf.runner import to_experiment_result
+    from .perf.spec import BenchResult
+
+    if not (args.list or args.run or args.compare or args.update_baselines):
+        raise ValidationError(
+            "nothing to do: pass --list, --run NAME, --compare, or "
+            "--update-baselines"
+        )
+    baseline_dir = args.baseline_dir or str(DEFAULT_BASELINE_DIR)
+    if args.list:
+        name_w = max(len(name) for name in WORKLOADS)
+        for name, spec in sorted(WORKLOADS.items()):
+            print(f"{name:<{name_w}}  [{spec.kind}]  {spec.title}")
+        if not (args.run or args.compare or args.update_baselines):
+            return 0
+
+    results: list[BenchResult] = []
+    if args.run:
+        out_dir = Path(args.out)
+        for spec in iter_specs(args.run):
+            result = run_spec(spec, smoke=args.smoke)
+            path = write_bench_result(result, out_dir)
+            summary = ", ".join(
+                f"{series}={values[-1]:.4g}s"
+                for series, values in sorted(result.series.items())
+            )
+            print(f"{spec.name}: wrote {path} ({summary})")
+        # refresh after writing so --compare reads what --run produced
+        results = [
+            BenchResult.from_json(
+                (out_dir / bench_filename(spec.name)).read_text()
+            )
+            for spec in iter_specs(args.run)
+        ]
+    elif args.compare or args.update_baselines:
+        found = sorted(Path(args.out).glob("BENCH_*.json"))
+        if not found:
+            print(
+                f"error: no BENCH_*.json files in {args.out!r} "
+                "(produce some with --run)",
+                file=sys.stderr,
+            )
+            return 1
+        results = [BenchResult.from_json(p.read_text()) for p in found]
+        print(f"loaded {len(results)} result(s) from {args.out}")
+
+    if args.update_baselines:
+        for result in results:
+            path = save_baseline(result, baseline_dir=baseline_dir)
+            tier = "smoke" if result.smoke else "full"
+            print(f"{result.name}: baseline ({tier}) -> {path}")
+        return 0
+
+    if args.compare:
+        report = compare_against_baselines(
+            results,
+            baseline_dir=baseline_dir,
+            wall_tolerance=(
+                args.wall_tolerance
+                if args.wall_tolerance is not None
+                else DEFAULT_WALL_TOLERANCE
+            ),
+            strict_wall=args.strict_wall,
+        )
+        print()
+        print(report.render())
+        return report.exit_code
+    # keep the human-readable rendering available from the CLI too
+    if args.run and not args.compare:
+        for result in results:
+            print()
+            print(to_experiment_result(result).render())
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -450,6 +620,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "cluster": _cmd_cluster,
     "explain": _cmd_explain,
+    "bench": _cmd_bench,
 }
 
 

@@ -22,6 +22,7 @@ __all__ = [
     "SequenceNotFoundError",
     "CategorizationError",
     "ExperimentError",
+    "BenchSchemaError",
 ]
 
 
@@ -85,3 +86,11 @@ class CategorizationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class BenchSchemaError(ReproError):
+    """A ``BENCH_*.json`` document failed schema validation.
+
+    Raised when a benchmark result file is missing required keys or was
+    written under an unsupported ``schema_version``.
+    """

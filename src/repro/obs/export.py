@@ -17,6 +17,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+from collections.abc import Sequence
 from pathlib import Path
 
 from .metrics import MetricsSnapshot, SnapshotHook
@@ -27,6 +28,7 @@ __all__ = [
     "snapshot_to_json",
     "snapshot_to_csv",
     "render_metrics_table",
+    "render_pruning_waterfall",
     "span_to_dict",
     "spans_to_json",
     "render_span_tree",
@@ -104,6 +106,75 @@ def render_metrics_table(snapshot: MetricsSnapshot) -> str:
     lines.append("-" * len(lines[0]))
     for kind, name, value in rows:
         lines.append(f"{kind:<{kind_w}}  {name:<{name_w}}  {value}")
+    return "\n".join(lines)
+
+
+def render_pruning_waterfall(
+    stages: Sequence[tuple[str, int, int]],
+    snapshot: MetricsSnapshot,
+) -> str:
+    """One query's pruning waterfall: per-tier survival plus work cost.
+
+    *stages* are ordered ``(name, candidates_in, candidates_out)``
+    triples (e.g. from ``CascadeStats``); *snapshot* is the same query's
+    metrics snapshot, mined for the work each surviving candidate cost —
+    index node reads, DTW cells, early-abandon depth, storage pages.
+    The function takes plain data, not core types, so it renders any
+    layer's counters without an import cycle.
+    """
+    lines: list[str] = []
+    if stages:
+        name_w = max(len("stage"), max(len(name) for name, _, _ in stages))
+        header = (
+            f"{'stage':<{name_w}}  {'in':>8}  {'out':>8}  "
+            f"{'pruned':>8}  kept"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name, n_in, n_out in stages:
+            pruned = n_in - n_out
+            kept = f"{n_out / n_in:7.1%}" if n_in else "      -"
+            lines.append(
+                f"{name:<{name_w}}  {n_in:>8,}  {n_out:>8,}  "
+                f"{pruned:>8,}  {kept}"
+            )
+    else:
+        lines.append("(no cascade stages recorded)")
+
+    counters = snapshot.counters
+    node_reads = sum(
+        value
+        for name, value in counters.items()
+        if name.startswith("index.") and name.endswith(".node_reads")
+    )
+    cost_rows: list[tuple[str, str]] = []
+    if node_reads:
+        cost_rows.append(("index node reads", _format_value(node_reads)))
+    for label, counter in (
+        ("DTW cells computed", "dtw.cells"),
+        ("DTW verifications", "dtw.verifications"),
+        ("early abandons", "dtw.early_abandons"),
+        ("storage pages (random)", "storage.random_pages"),
+        ("storage pages (sequential)", "storage.sequential_pages"),
+    ):
+        value = counters.get(counter)
+        if value:
+            cost_rows.append((label, _format_value(value)))
+    depth = snapshot.histograms.get("dtw.abandon_depth")
+    if depth is not None and depth.count:
+        cost_rows.append(
+            (
+                "early-abandon depth",
+                f"mean {depth.mean:.1f} rows "
+                f"(min {depth.minimum:.0f}, max {depth.maximum:.0f}, "
+                f"n={depth.count})",
+            )
+        )
+    if cost_rows:
+        lines.append("")
+        label_w = max(len(label) for label, _ in cost_rows)
+        for label, value in cost_rows:
+            lines.append(f"{label:<{label_w}}  {value}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,69 @@
+"""Benchmark telemetry: named specs, a unified runner, and a CI gate.
+
+Built on the observability plane (:mod:`repro.obs`), this package turns
+every benchmark into a machine-readable record:
+
+* :mod:`~repro.perf.spec` — :class:`BenchSpec` (a named, seeded
+  workload) and :class:`BenchResult` (the schema-versioned
+  ``BENCH_<name>.json`` document: wall-time series sampled with
+  interleaved per-query minima, plus exact work counters folded from
+  :class:`~repro.obs.metrics.MetricsSnapshot`),
+* :mod:`~repro.perf.workloads` — the registry ``repro bench --list``
+  shows,
+* :mod:`~repro.perf.runner` — executes specs and writes the trajectory
+  files,
+* :mod:`~repro.perf.baseline` / :mod:`~repro.perf.compare` — the
+  committed baseline store and the pass/warn/fail regression report
+  (counters exact, wall time tolerance-banded).
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE_DIR,
+    baseline_path,
+    list_baselines,
+    load_baseline,
+    save_baseline,
+)
+from .compare import (
+    DEFAULT_WALL_TOLERANCE,
+    Finding,
+    RegressionReport,
+    compare_against_baselines,
+    compare_results,
+)
+from .runner import run_spec, to_experiment_result, write_bench_result
+from .spec import (
+    SCHEMA_VERSION,
+    BenchResult,
+    BenchSpec,
+    DatasetSpec,
+    VariantSpec,
+    bench_filename,
+)
+from .workloads import SMOKE_SUITE, WORKLOADS, get_spec, iter_specs
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchSpec",
+    "BenchResult",
+    "DatasetSpec",
+    "VariantSpec",
+    "bench_filename",
+    "run_spec",
+    "write_bench_result",
+    "to_experiment_result",
+    "WORKLOADS",
+    "SMOKE_SUITE",
+    "get_spec",
+    "iter_specs",
+    "DEFAULT_BASELINE_DIR",
+    "baseline_path",
+    "load_baseline",
+    "save_baseline",
+    "list_baselines",
+    "DEFAULT_WALL_TOLERANCE",
+    "Finding",
+    "RegressionReport",
+    "compare_results",
+    "compare_against_baselines",
+]

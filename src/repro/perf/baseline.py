@@ -1,0 +1,65 @@
+"""The committed baseline store under ``benchmarks/_baselines/``.
+
+A baseline is a previously blessed :class:`~repro.perf.spec.BenchResult`
+document.  Because smoke-tier runs use a different (smaller) workload,
+smoke and full results live in separate files — ``<name>.smoke.json``
+vs ``<name>.json`` — and a result is always compared against the
+baseline recorded at its own tier.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .spec import BenchResult
+
+__all__ = [
+    "DEFAULT_BASELINE_DIR",
+    "baseline_path",
+    "load_baseline",
+    "save_baseline",
+    "list_baselines",
+]
+
+#: Repository-relative default location of the committed baselines.
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "_baselines"
+
+
+def baseline_path(
+    name: str, *, smoke: bool, baseline_dir: str | Path = DEFAULT_BASELINE_DIR
+) -> Path:
+    """Where *name*'s baseline lives at the given tier."""
+    suffix = ".smoke.json" if smoke else ".json"
+    return Path(baseline_dir) / f"{name}{suffix}"
+
+
+def load_baseline(
+    name: str, *, smoke: bool, baseline_dir: str | Path = DEFAULT_BASELINE_DIR
+) -> BenchResult | None:
+    """The stored baseline for *name* at this tier, or ``None``."""
+    path = baseline_path(name, smoke=smoke, baseline_dir=baseline_dir)
+    if not path.is_file():
+        return None
+    return BenchResult.from_json(path.read_text())
+
+
+def save_baseline(
+    result: BenchResult, *, baseline_dir: str | Path = DEFAULT_BASELINE_DIR
+) -> Path:
+    """Bless *result* as the new baseline for its name and tier."""
+    path = baseline_path(
+        result.name, smoke=result.smoke, baseline_dir=baseline_dir
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(result.to_json())
+    return path
+
+
+def list_baselines(
+    baseline_dir: str | Path = DEFAULT_BASELINE_DIR,
+) -> list[Path]:
+    """Every baseline document in the store, sorted by filename."""
+    root = Path(baseline_dir)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.json"))

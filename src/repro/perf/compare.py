@@ -1,0 +1,286 @@
+"""Noise-robust regression comparison of bench results vs baselines.
+
+The comparison treats the two halves of a result the way they deserve:
+
+* **Work counters** are exact functions of the seeded workload, so any
+  *increase* of a cost counter (``dtw.cells``, ``index.*.node_reads``,
+  ``cascade.*.in``…) and any *loss of pruning* (a ``*.pruned`` or
+  early-abandon counter going down, or a counter disappearing
+  altogether — e.g. a disabled cascade tier) is a hard **fail**.
+  Improvements are reported as warnings so a baseline refresh is
+  prompted rather than silently drifting.
+
+* **Wall-time series** are noisy even with per-query-minimum sampling,
+  so they only warn when a point exceeds the configurable tolerance
+  band (``--strict-wall`` upgrades that to fail for local A/B runs).
+
+A missing baseline is a warning, never a failure: the first run on a
+new spec cannot regress against anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .baseline import DEFAULT_BASELINE_DIR, load_baseline
+from .spec import BenchResult
+
+__all__ = [
+    "DEFAULT_WALL_TOLERANCE",
+    "Finding",
+    "RegressionReport",
+    "compare_results",
+    "compare_against_baselines",
+]
+
+#: Default relative tolerance for wall-time drift (35% — generous on
+#: purpose: CI machines are shared, and the exact counters do the real
+#: gating).
+DEFAULT_WALL_TOLERANCE = 0.35
+
+PASS = "pass"
+WARN = "warn"
+FAIL = "fail"
+
+_LEVEL_ORDER = {PASS: 0, WARN: 1, FAIL: 2}
+
+
+def _is_pruning_counter(name: str) -> bool:
+    """Counters where *bigger is better* (more pruning / more abandons)."""
+    return name.endswith(".pruned") or name == "dtw.early_abandons"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison observation: a verdict plus its evidence."""
+
+    level: str  # pass | warn | fail
+    bench: str
+    subject: str  # "counter:<variant>/<metric>", "wall:<series>@<x>", ...
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.level.upper():4}] {self.bench}: {self.message}"
+
+
+@dataclass
+class RegressionReport:
+    """The outcome of comparing a set of results against baselines."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, level: str, bench: str, subject: str, message: str) -> None:
+        self.findings.append(Finding(level, bench, subject, message))
+
+    @property
+    def verdict(self) -> str:
+        """The worst level observed (``pass`` when nothing was found)."""
+        worst = PASS
+        for finding in self.findings:
+            if _LEVEL_ORDER[finding.level] > _LEVEL_ORDER[worst]:
+                worst = finding.level
+        return worst
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: non-zero iff any finding failed."""
+        return 1 if self.verdict == FAIL else 0
+
+    def failures(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == FAIL]
+
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.level == WARN]
+
+    def render(self) -> str:
+        """Human-readable report (failures first, then warnings)."""
+        lines = [
+            f"regression report: {self.verdict.upper()} "
+            f"({len(self.failures())} fail, {len(self.warnings())} warn, "
+            f"{len(self.findings)} findings)"
+        ]
+        ordered = sorted(
+            self.findings,
+            key=lambda f: -_LEVEL_ORDER[f.level],
+        )
+        lines.extend(finding.render() for finding in ordered)
+        return "\n".join(lines)
+
+
+def _compare_counters(
+    report: RegressionReport,
+    bench: str,
+    variant: str,
+    baseline: dict[str, float],
+    current: dict[str, float],
+) -> None:
+    for metric, base_value in sorted(baseline.items()):
+        subject = f"counter:{variant}/{metric}"
+        if metric not in current:
+            report.add(
+                FAIL,
+                bench,
+                subject,
+                f"{variant}: counter {metric!r} disappeared "
+                f"(baseline {base_value:g}) — a pruning tier or charge "
+                "path was removed",
+            )
+            continue
+        value = current[metric]
+        if value == base_value:
+            continue
+        pruning = _is_pruning_counter(metric)
+        regressed = value < base_value if pruning else value > base_value
+        if regressed:
+            direction = "fell" if pruning else "rose"
+            report.add(
+                FAIL,
+                bench,
+                subject,
+                f"{variant}: {metric} {direction} "
+                f"{base_value:g} -> {value:g} (exact work counter)",
+            )
+        else:
+            report.add(
+                WARN,
+                bench,
+                subject,
+                f"{variant}: {metric} improved {base_value:g} -> {value:g} "
+                "— refresh the baseline to lock it in",
+            )
+    for metric in sorted(set(current) - set(baseline)):
+        report.add(
+            WARN,
+            bench,
+            f"counter:{variant}/{metric}",
+            f"{variant}: new counter {metric!r}={current[metric]:g} "
+            "not in baseline",
+        )
+
+
+def _compare_wall(
+    report: RegressionReport,
+    bench: str,
+    baseline: BenchResult,
+    current: BenchResult,
+    tolerance: float,
+    strict: bool,
+) -> None:
+    level = FAIL if strict else WARN
+    for series, base_values in sorted(baseline.series.items()):
+        cur_values = current.series.get(series)
+        if cur_values is None:
+            report.add(
+                WARN,
+                bench,
+                f"wall:{series}",
+                f"series {series!r} missing from current result",
+            )
+            continue
+        for x, base_v, cur_v in zip(
+            baseline.x_values, base_values, cur_values
+        ):
+            if base_v <= 0.0:
+                continue
+            ratio = cur_v / base_v
+            if ratio > 1.0 + tolerance:
+                report.add(
+                    level,
+                    bench,
+                    f"wall:{series}@{x:g}",
+                    f"{series} at x={x:g}: wall time {base_v:.4g}s -> "
+                    f"{cur_v:.4g}s ({ratio:.2f}x, band +-{tolerance:.0%})",
+                )
+
+
+def compare_results(
+    baseline: BenchResult | None,
+    current: BenchResult,
+    *,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    strict_wall: bool = False,
+    report: RegressionReport | None = None,
+) -> RegressionReport:
+    """Compare one result against its baseline; append to *report*."""
+    if report is None:
+        report = RegressionReport()
+    bench = current.name
+    if baseline is None:
+        report.add(
+            WARN,
+            bench,
+            "baseline",
+            f"no {'smoke ' if current.smoke else ''}baseline recorded — "
+            "run `repro bench --update-baselines` to create one",
+        )
+        return report
+    if baseline.schema_version != current.schema_version:
+        report.add(
+            WARN,
+            bench,
+            "schema",
+            "baseline schema version differs; refresh the baseline",
+        )
+        return report
+    if baseline.smoke != current.smoke:
+        report.add(
+            WARN,
+            bench,
+            "tier",
+            "baseline tier (smoke/full) differs from the current run; "
+            "not comparable",
+        )
+        return report
+    if list(baseline.x_values) != list(current.x_values):
+        report.add(
+            WARN,
+            bench,
+            "grid",
+            f"x grid changed {baseline.x_values} -> {current.x_values}; "
+            "refresh the baseline",
+        )
+        return report
+    for variant, base_counters in sorted(baseline.counters.items()):
+        cur_counters = current.counters.get(variant)
+        if cur_counters is None:
+            report.add(
+                FAIL,
+                bench,
+                f"counter:{variant}",
+                f"variant {variant!r} missing from current result",
+            )
+            continue
+        _compare_counters(report, bench, variant, base_counters, cur_counters)
+    for variant in sorted(set(current.counters) - set(baseline.counters)):
+        report.add(
+            WARN,
+            bench,
+            f"counter:{variant}",
+            f"new variant {variant!r} not in baseline",
+        )
+    _compare_wall(report, bench, baseline, current, wall_tolerance, strict_wall)
+    return report
+
+
+def compare_against_baselines(
+    results: Iterable[BenchResult],
+    *,
+    baseline_dir: str = str(DEFAULT_BASELINE_DIR),
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
+    strict_wall: bool = False,
+) -> RegressionReport:
+    """Compare every result against its stored per-tier baseline."""
+    report = RegressionReport()
+    for result in results:
+        baseline = load_baseline(
+            result.name, smoke=result.smoke, baseline_dir=baseline_dir
+        )
+        compare_results(
+            baseline,
+            result,
+            wall_tolerance=wall_tolerance,
+            strict_wall=strict_wall,
+            report=report,
+        )
+    return report

@@ -1,0 +1,439 @@
+"""Executes :class:`~repro.perf.spec.BenchSpec` workloads.
+
+The runner separates the two things a benchmark measures because they
+need opposite treatment:
+
+* **Wall time** is noisy, so it is sampled the way
+  ``bench_obs_overhead`` established: variants are interleaved
+  round-robin inside each repeat (cache and frequency state is shared
+  fairly) and the reported figure is the sum over queries of each
+  query's *minimum* duration across repeats — per-query minima discard
+  scheduler spikes that would otherwise dwarf a few-percent difference.
+  Timing passes run with the chosen ambient-registry mode only
+  (``off`` by default), never with the counter registry attached.
+
+* **Work counters** are exact functions of the seeded workload, so they
+  are collected in one separate untimed pass per variant under a live
+  :class:`~repro.obs.metrics.MetricsRegistry`; wall-time-like counters
+  (any name containing ``seconds``) are dropped so everything kept in
+  the result compares bit-for-bit against a committed baseline.
+
+The same pass double-checks correctness: with ``verify_parity`` every
+variant must produce identical answer sets for every (query, epsilon) —
+the no-false-dismissal guarantee, enforced on every benchmark run.
+"""
+
+from __future__ import annotations
+
+import importlib
+import platform
+import time
+from contextlib import ExitStack
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..core.cascade import FeatureStore, FilterCascade
+from ..core.engine import TimeWarpingDatabase
+from ..data.queries import QueryWorkload
+from ..data.stocks import synthetic_sp500
+from ..data.synthetic import random_walk_dataset
+from ..distance.base import LINF
+from ..distance.dtw import dtw_max_early_abandon
+from ..distance.lb_yi import lb_yi
+from ..eval.experiments import ExperimentResult, full_scale
+from ..exceptions import ValidationError
+from ..methods import CascadeScan, LBScan, NaiveScan, STFilter, TWSimSearch
+from ..obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    MetricsSnapshot,
+    use_registry,
+)
+from ..obs.tracing import Tracer, use_tracer
+from ..storage.database import SequenceDatabase
+from ..types import Sequence
+from .spec import (
+    SAMPLING_PER_QUERY_MIN,
+    SAMPLING_SINGLE_RUN,
+    BenchResult,
+    BenchSpec,
+    DatasetSpec,
+    VariantSpec,
+    bench_filename,
+)
+
+__all__ = [
+    "run_spec",
+    "write_bench_result",
+    "to_experiment_result",
+]
+
+_METHOD_CLASSES = {
+    "naive": NaiveScan,
+    "lb_scan": LBScan,
+    "cascade_scan": CascadeScan,
+    "st_filter": STFilter,
+    "tw_sim": TWSimSearch,
+}
+
+
+def _is_wall_counter(name: str) -> bool:
+    """Wall-time-like counter names are excluded from exact comparison."""
+    return "seconds" in name
+
+
+def _exact_counters(snapshot: MetricsSnapshot) -> dict[str, float]:
+    """The snapshot's counters with wall-time-like lines removed."""
+    return {
+        name: value
+        for name, value in sorted(snapshot.counters.items())
+        if not _is_wall_counter(name)
+    }
+
+
+# ----------------------------------------------------------------------
+# Dataset / variant construction
+# ----------------------------------------------------------------------
+
+
+def _build_dataset(
+    dataset: DatasetSpec, n: int
+) -> tuple[SequenceDatabase, list[Sequence]]:
+    """The spec's seeded dataset at *n* sequences, loaded into storage."""
+    if dataset.kind == "walk":
+        sequences = random_walk_dataset(
+            n, dataset.length, seed=dataset.seed, length_jitter=dataset.length_jitter
+        )
+    else:
+        sequences = synthetic_sp500(n, dataset.length, seed=dataset.seed).sequences
+    db = SequenceDatabase(page_size=1024)
+    db.insert_many(sequences)
+    return db, list(db.scan())
+
+
+class _VariantRuntime:
+    """One prepared variant: a search callable plus its obs-mode scope."""
+
+    def __init__(
+        self,
+        variant: VariantSpec,
+        search: Callable[[np.ndarray, float], frozenset[int]],
+        *,
+        batch: Callable[[list[np.ndarray], float], list[frozenset[int]]] | None = None,
+        gauges: Callable[[], dict[str, float]] | None = None,
+    ) -> None:
+        self.variant = variant
+        self.name = variant.name
+        self._search = search
+        self._batch = batch
+        self._gauges = gauges
+        self._registry = MetricsRegistry() if variant.obs == "enabled" else None
+
+    def _obs_scope(self, stack: ExitStack) -> None:
+        """Enter the variant's ambient-registry mode for a timed pass."""
+        if self.variant.obs == "enabled":
+            stack.enter_context(use_registry(self._registry))
+            stack.enter_context(use_tracer(Tracer()))
+        elif self.variant.obs == "null":
+            stack.enter_context(use_registry(NULL_REGISTRY))
+        else:
+            stack.enter_context(use_registry(None))
+
+    def timed_pass(self, queries: list[np.ndarray], epsilon: float) -> list[float]:
+        """Wall seconds of one pass: per query, or one entry for a batch."""
+        with ExitStack() as stack:
+            self._obs_scope(stack)
+            if self._batch is not None:
+                start = time.perf_counter()
+                self._batch(queries, epsilon)
+                return [time.perf_counter() - start]
+            durations: list[float] = []
+            for query in queries:
+                start = time.perf_counter()
+                self._search(query, epsilon)
+                durations.append(time.perf_counter() - start)
+        return durations
+
+    def answers(
+        self, queries: list[np.ndarray], epsilon: float
+    ) -> list[frozenset[int]]:
+        """Answer sets of one untimed pass (run under the counter registry)."""
+        if self._batch is not None:
+            return self._batch(queries, epsilon)
+        return [self._search(query, epsilon) for query in queries]
+
+    def structure_gauges(self) -> dict[str, float]:
+        """Index/storage structure gauges, where the variant exposes them."""
+        return self._gauges() if self._gauges is not None else {}
+
+
+def _per_sequence_scan(sequences: list[Sequence]) -> Callable[..., frozenset[int]]:
+    """The seed LB-Scan filter: one ``lb_yi`` call per stored sequence."""
+
+    def search(query: np.ndarray, epsilon: float) -> frozenset[int]:
+        answers = []
+        for seq in sequences:
+            if lb_yi(seq.values, query, base=LINF) > epsilon:
+                continue
+            if dtw_max_early_abandon(seq.values, query, epsilon) <= epsilon:
+                answers.append(seq.seq_id)
+        return frozenset(answers)
+
+    return search
+
+
+def _build_variant(
+    variant: VariantSpec,
+    db: SequenceDatabase,
+    sequences: list[Sequence],
+) -> _VariantRuntime:
+    """Construct a variant's access structures (setup is never timed)."""
+    if variant.method == "per_seq_scan":
+        return _VariantRuntime(variant, _per_sequence_scan(sequences))
+    if variant.method == "cascade":
+        cascade = FilterCascade(FeatureStore(sequences))
+        return _VariantRuntime(
+            variant,
+            lambda q, eps: frozenset(cascade.run(q, eps).answer_ids),
+        )
+    if variant.method == "cascade_batch":
+        cascade = FilterCascade(FeatureStore(sequences))
+        return _VariantRuntime(
+            variant,
+            lambda q, eps: frozenset(cascade.run(q, eps).answer_ids),
+            batch=lambda qs, eps: [
+                frozenset(o.answer_ids) for o in cascade.run_many(qs, eps)
+            ],
+        )
+    if variant.method == "engine":
+        facade = TimeWarpingDatabase.from_storage(
+            db, backend=variant.backend or "rtree", shards=variant.shards
+        )
+        return _VariantRuntime(
+            variant,
+            lambda q, eps: frozenset(
+                m.seq_id for m in facade.search(q, eps)
+            ),
+            gauges=lambda: dict(facade.metrics_snapshot().gauges),
+        )
+    method_cls = _METHOD_CLASSES.get(variant.method)
+    if method_cls is None:
+        raise ValidationError(
+            f"unknown bench variant method {variant.method!r}"
+        )
+    method = method_cls(db).build()
+    return _VariantRuntime(
+        variant,
+        lambda q, eps: frozenset(method.search(q, eps).answers),
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def _environment(smoke: bool) -> dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.system().lower(),
+        "full_scale": full_scale(),
+        "smoke": smoke,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def _run_workload(spec: BenchSpec, *, smoke: bool) -> BenchResult:
+    assert spec.dataset is not None
+    n = spec.dataset.n
+    n_queries = spec.n_queries
+    repeats = spec.repeats
+    if smoke:
+        n = spec.smoke_n or max(40, n // 10)
+        n_queries = spec.smoke_queries or max(2, n_queries // 2)
+        repeats = spec.smoke_repeats
+
+    db, sequences = _build_dataset(spec.dataset, n)
+    queries = [
+        np.asarray(q.values)
+        for q in QueryWorkload(
+            sequences, n_queries=n_queries, seed=spec.query_seed
+        ).queries()
+    ]
+    runtimes = [_build_variant(v, db, sequences) for v in spec.variants]
+
+    result = BenchResult(
+        name=spec.name,
+        title=spec.title,
+        kind="workload",
+        sampling=SAMPLING_PER_QUERY_MIN,
+        x_label="tolerance",
+        y_label="workload seconds (sum of per-query minima)",
+        x_values=[float(eps) for eps in spec.epsilons],
+        experiment_id=f"BENCH/{spec.name}",
+        log_y=True,
+        environment=_environment(smoke),
+        spec=spec.to_dict(),
+    )
+    result.notes.append(
+        f"N={n} sequences, {n_queries} queries, best-of-{repeats} repeats"
+    )
+
+    # Warm caches (buffer pool, numpy, lazy feature stores) untimed.
+    with use_registry(None):
+        for runtime in runtimes:
+            runtime.timed_pass(queries, float(spec.epsilons[0]))
+
+    for eps in spec.epsilons:
+        samples: dict[str, list[list[float]]] = {r.name: [] for r in runtimes}
+        for _ in range(repeats):
+            for runtime in runtimes:  # interleaved round-robin
+                samples[runtime.name].append(runtime.timed_pass(queries, eps))
+        for runtime in runtimes:
+            best = sum(min(per_query) for per_query in zip(*samples[runtime.name]))
+            result.series.setdefault(runtime.name, []).append(best)
+
+    # Exact work counters: one untimed pass per variant over the whole
+    # grid, charged to a dedicated registry; parity-check the answers.
+    reference: list[list[frozenset[int]]] | None = None
+    for runtime in runtimes:
+        registry = MetricsRegistry()
+        answer_sets: list[list[frozenset[int]]] = []
+        with use_registry(registry):
+            for eps in spec.epsilons:
+                answer_sets.append(runtime.answers(queries, float(eps)))
+        snapshot = registry.snapshot()
+        result.counters[runtime.name] = _exact_counters(snapshot)
+        gauges = runtime.structure_gauges()
+        if gauges:
+            result.gauges[runtime.name] = dict(sorted(gauges.items()))
+        if spec.verify_parity:
+            if reference is None:
+                reference = answer_sets
+            elif answer_sets != reference:
+                raise ValidationError(
+                    f"bench {spec.name!r}: variant {runtime.name!r} returned "
+                    "different answers than the first variant (false "
+                    "dismissal or false hit)"
+                )
+    if spec.verify_parity and len(runtimes) > 1:
+        result.notes.append(
+            "answer sets verified identical across all variants"
+        )
+    return result
+
+
+def _resolve_experiment(reference: str) -> Callable[[], ExperimentResult]:
+    """Import the ``"module:callable"`` an experiment spec names."""
+    module_name, _, attr = reference.partition(":")
+    if not module_name or not attr:
+        raise ValidationError(
+            f"experiment reference must be 'module:callable', got {reference!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as error:
+        raise ValidationError(
+            f"cannot import experiment module {module_name!r}: {error} "
+            "(benchmark-local experiments need the repository root on "
+            "sys.path — run from the repo checkout)"
+        )
+    return getattr(module, attr)
+
+
+def _run_experiment(
+    spec: BenchSpec,
+    *,
+    smoke: bool,
+    experiment_fn: Callable[[], ExperimentResult] | None,
+) -> BenchResult:
+    assert spec.experiment is not None
+    fn = experiment_fn or _resolve_experiment(spec.experiment)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        experiment = fn()
+    snapshot = registry.snapshot()
+    return BenchResult(
+        name=spec.name,
+        title=experiment.title,
+        kind="experiment",
+        sampling=SAMPLING_SINGLE_RUN,
+        x_label=experiment.x_label,
+        y_label=experiment.y_label,
+        x_values=[float(x) for x in experiment.x_values],
+        series={k: [float(v) for v in vs] for k, vs in experiment.series.items()},
+        counters={"experiment": _exact_counters(snapshot)},
+        notes=list(experiment.notes),
+        environment=_environment(smoke),
+        spec=spec.to_dict(),
+        experiment_id=experiment.experiment_id,
+        log_x=experiment.log_x,
+        log_y=experiment.log_y,
+    )
+
+
+def run_spec(
+    spec: BenchSpec,
+    *,
+    smoke: bool = False,
+    experiment_fn: Callable[[], ExperimentResult] | None = None,
+) -> BenchResult:
+    """Execute *spec* and return its :class:`BenchResult`.
+
+    *smoke* swaps in the spec's CI-sized workload.  *experiment_fn*
+    overrides an experiment spec's callable (used by the benchmark
+    wrappers to share expensive sweeps within one pytest session).
+    """
+    if spec.kind == "workload":
+        return _run_workload(spec, smoke=smoke)
+    return _run_experiment(spec, smoke=smoke, experiment_fn=experiment_fn)
+
+
+def write_bench_result(result: BenchResult, out_dir: str | Path) -> Path:
+    """Write ``BENCH_<name>.json`` into *out_dir*; returns the path."""
+    target = Path(out_dir) / bench_filename(result.name)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(result.to_json())
+    return target
+
+
+def to_experiment_result(result: BenchResult) -> ExperimentResult:
+    """Re-render a bench result through the experiment report pipeline.
+
+    This is what keeps the existing ``benchmarks/_reports/`` text/SVG
+    artifacts: a workload result renders like any paper figure.
+    """
+    rendered = ExperimentResult(
+        experiment_id=result.experiment_id or f"BENCH/{result.name}",
+        title=result.title,
+        x_label=result.x_label,
+        y_label=result.y_label,
+        x_values=list(result.x_values),
+        series={k: list(v) for k, v in result.series.items()},
+        log_x=result.log_x,
+        log_y=result.log_y,
+        notes=list(result.notes),
+    )
+    return rendered
+
+
+def counter_totals(
+    result: BenchResult, metric_suffix: str
+) -> dict[str, float]:
+    """Per-variant totals of every counter ending in *metric_suffix*."""
+    totals: dict[str, float] = {}
+    for variant, counters in result.counters.items():
+        totals[variant] = sum(
+            value
+            for name, value in counters.items()
+            if name.endswith(metric_suffix)
+        )
+    return totals
+
+
+def iter_results(paths: Iterable[str | Path]) -> list[BenchResult]:
+    """Load and validate a set of ``BENCH_*.json`` files."""
+    return [BenchResult.from_json(Path(p).read_text()) for p in paths]

@@ -1,0 +1,299 @@
+"""Benchmark telemetry schema — named specs in, versioned results out.
+
+A :class:`BenchSpec` names one workload precisely enough to re-run it
+bit-for-bit: the dataset (kind, size, seed), the tolerance grid, and
+the variants under comparison (search method, index backend, shard
+count, observability mode).  A :class:`BenchResult` is the
+machine-readable record one run produces — the ``BENCH_<name>.json``
+perf trajectory tracked at the repository root across PRs.
+
+The result carries two different kinds of number and the schema keeps
+them apart on purpose:
+
+* ``series`` — wall-clock workload seconds, measured with interleaved
+  per-query-minimum sampling (noisy; compared with a tolerance band),
+* ``counters`` — the folded :class:`~repro.obs.metrics.MetricsSnapshot`
+  work counters (``dtw.cells``, ``cascade.<tier>.*``,
+  ``index.<name>.node_reads``, ``storage.*``) which are exact functions
+  of the seeded workload and therefore compare bit-for-bit.
+
+``schema_version`` is pinned; :func:`BenchResult.from_dict` refuses
+documents it does not understand instead of mis-reading them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from ..exceptions import BenchSchemaError, ValidationError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DatasetSpec",
+    "VariantSpec",
+    "BenchSpec",
+    "BenchResult",
+    "bench_filename",
+]
+
+#: Version of the ``BENCH_*.json`` document layout.  Bump on any
+#: incompatible change; ``from_dict`` rejects every other version.
+SCHEMA_VERSION = 1
+
+#: Workload-kind results are timed with interleaved per-query minima;
+#: experiment-kind results re-render a single experiment run.
+SAMPLING_PER_QUERY_MIN = "per-query-min-of-k"
+SAMPLING_SINGLE_RUN = "single-run"
+
+_DATASET_KINDS = ("walk", "stocks")
+_OBS_MODES = ("off", "null", "enabled")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """The seeded dataset one workload spec is measured on."""
+
+    kind: str
+    n: int
+    length: int
+    seed: int
+    length_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DATASET_KINDS:
+            raise ValidationError(
+                f"dataset kind must be one of {_DATASET_KINDS}, got {self.kind!r}"
+            )
+        if self.n <= 0 or self.length <= 0:
+            raise ValidationError(
+                f"dataset needs positive n/length, got n={self.n} length={self.length}"
+            )
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One compared configuration of a workload spec.
+
+    ``method`` keys into the runner's method table (``per_seq_scan``,
+    ``cascade``, ``cascade_batch``, ``naive``, ``lb_scan``,
+    ``cascade_scan``, ``tw_sim``, ``st_filter``, ``engine``).  The
+    ``engine`` method additionally honours ``backend``/``shards``; every
+    variant honours ``obs`` (ambient registry mode while *timing*:
+    ``off``, ``null`` sink, or ``enabled`` live collection).
+    """
+
+    name: str
+    method: str
+    backend: str | None = None
+    shards: int = 1
+    obs: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.obs not in _OBS_MODES:
+            raise ValidationError(
+                f"obs mode must be one of {_OBS_MODES}, got {self.obs!r}"
+            )
+        if self.shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {self.shards}")
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """A named, fully reproducible benchmark workload.
+
+    Two kinds exist.  ``kind="workload"`` describes a query sweep the
+    runner times itself (dataset + epsilons + variants).  With
+    ``kind="experiment"`` the runner delegates to an experiment function
+    named by ``experiment`` (``"module:callable"`` returning an
+    :class:`~repro.eval.experiments.ExperimentResult`) and folds its
+    series plus the ambient work counters into the same result schema.
+    """
+
+    name: str
+    title: str
+    kind: str = "workload"
+    dataset: DatasetSpec | None = None
+    epsilons: tuple[float, ...] = ()
+    variants: tuple[VariantSpec, ...] = ()
+    n_queries: int = 8
+    query_seed: int = 7
+    repeats: int = 3
+    experiment: str | None = None
+    verify_parity: bool = True
+    # Smoke-tier overrides: a CI-sized workload with the same shape.
+    smoke_n: int | None = None
+    smoke_queries: int | None = None
+    smoke_repeats: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("workload", "experiment"):
+            raise ValidationError(f"unknown spec kind {self.kind!r}")
+        if self.kind == "workload":
+            if self.dataset is None or not self.epsilons or not self.variants:
+                raise ValidationError(
+                    f"workload spec {self.name!r} needs dataset, epsilons and variants"
+                )
+            names = [v.name for v in self.variants]
+            if len(set(names)) != len(names):
+                raise ValidationError(
+                    f"variant names must be unique in spec {self.name!r}"
+                )
+        elif not self.experiment:
+            raise ValidationError(
+                f"experiment spec {self.name!r} needs an experiment reference"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready snapshot of the spec (recorded in every result)."""
+        data = asdict(self)
+        data["epsilons"] = list(self.epsilons)
+        data["variants"] = [asdict(v) for v in self.variants]
+        return data
+
+
+def bench_filename(name: str) -> str:
+    """The trajectory filename for spec *name*: ``BENCH_<name>.json``."""
+    return f"BENCH_{name}.json"
+
+
+_REQUIRED_RESULT_KEYS = (
+    "schema_version",
+    "name",
+    "kind",
+    "sampling",
+    "x_values",
+    "series",
+    "counters",
+    "environment",
+)
+
+
+@dataclass
+class BenchResult:
+    """One benchmark run, in the pinned ``BENCH_*.json`` schema.
+
+    ``series`` maps a variant (or experiment series) name to one value
+    per ``x_values`` entry — wall seconds for workload specs.
+    ``counters`` maps a variant name to its exact work counters (the
+    folded registry snapshot with wall-time-like ``*seconds*`` lines
+    removed); ``gauges`` carries structure gauges (index node counts,
+    storage pages) where a variant exposes them.
+    """
+
+    name: str
+    title: str
+    kind: str
+    sampling: str
+    x_label: str
+    y_label: str
+    x_values: list[float]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    counters: dict[str, dict[str, float]] = field(default_factory=dict)
+    gauges: dict[str, dict[str, float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    environment: dict[str, Any] = field(default_factory=dict)
+    spec: dict[str, Any] = field(default_factory=dict)
+    experiment_id: str = ""
+    log_x: bool = False
+    log_y: bool = False
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def smoke(self) -> bool:
+        """True when this result was recorded at the smoke (CI) tier."""
+        return bool(self.environment.get("smoke", False))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON document, keys sorted for stable diffs."""
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "title": self.title,
+            "kind": self.kind,
+            "sampling": self.sampling,
+            "experiment_id": self.experiment_id,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "x_values": list(self.x_values),
+            "log_x": self.log_x,
+            "log_y": self.log_y,
+            "series": {k: list(v) for k, v in sorted(self.series.items())},
+            "counters": {
+                variant: dict(sorted(values.items()))
+                for variant, values in sorted(self.counters.items())
+            },
+            "gauges": {
+                variant: dict(sorted(values.items()))
+                for variant, values in sorted(self.gauges.items())
+            },
+            "notes": list(self.notes),
+            "environment": dict(self.environment),
+            "spec": dict(self.spec),
+        }
+
+    def to_json(self) -> str:
+        """The document as a JSON string (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchResult":
+        """Parse and validate a ``BENCH_*.json`` document."""
+        missing = [key for key in _REQUIRED_RESULT_KEYS if key not in data]
+        if missing:
+            raise BenchSchemaError(
+                f"bench result is missing required keys: {', '.join(missing)}"
+            )
+        version = data["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise BenchSchemaError(
+                f"unsupported bench schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        series = data["series"]
+        x_values = data["x_values"]
+        for label, values in series.items():
+            if len(values) != len(x_values):
+                raise BenchSchemaError(
+                    f"series {label!r} has {len(values)} values for "
+                    f"{len(x_values)} x grid points"
+                )
+        return cls(
+            name=str(data["name"]),
+            title=str(data.get("title", data["name"])),
+            kind=str(data["kind"]),
+            sampling=str(data["sampling"]),
+            x_label=str(data.get("x_label", "x")),
+            y_label=str(data.get("y_label", "value")),
+            x_values=[float(x) for x in x_values],
+            series={str(k): [float(v) for v in vs] for k, vs in series.items()},
+            counters={
+                str(variant): {str(m): float(v) for m, v in values.items()}
+                for variant, values in data["counters"].items()
+            },
+            gauges={
+                str(variant): {str(m): float(v) for m, v in values.items()}
+                for variant, values in data.get("gauges", {}).items()
+            },
+            notes=[str(n) for n in data.get("notes", [])],
+            environment=dict(data["environment"]),
+            spec=dict(data.get("spec", {})),
+            experiment_id=str(data.get("experiment_id", "")),
+            log_x=bool(data.get("log_x", False)),
+            log_y=bool(data.get("log_y", False)),
+            schema_version=int(version),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchResult":
+        """Parse a JSON document string (see :meth:`from_dict`)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise BenchSchemaError(f"bench result is not valid JSON: {error}")
+        if not isinstance(data, dict):
+            raise BenchSchemaError("bench result must be a JSON object")
+        return cls.from_dict(data)

@@ -1,0 +1,171 @@
+"""The registry of named benchmark specs — ``repro bench --list``.
+
+Two families live here.  *Workload* specs describe query sweeps the
+runner times itself with interleaved per-query-minimum sampling
+(method/backend/shard/obs-mode comparisons).  *Experiment* specs wrap
+the paper-figure and ablation harnesses in :mod:`repro.eval.experiments`
+plus the bespoke sweeps kept in ``benchmarks/bench_*.py``, folding each
+run's series and work counters into the same ``BENCH_*.json`` schema.
+
+Every spec is fully seeded, so the work counters a run records are
+exact and comparable bit-for-bit against the committed baselines in
+``benchmarks/_baselines/``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ValidationError
+from .spec import BenchSpec, DatasetSpec, VariantSpec
+
+__all__ = [
+    "WORKLOADS",
+    "SMOKE_SUITE",
+    "get_spec",
+    "iter_specs",
+]
+
+
+def _workload_specs() -> list[BenchSpec]:
+    walk = DatasetSpec(kind="walk", n=1200, length=100, seed=37)
+    stocks = DatasetSpec(kind="stocks", n=400, length=128, seed=42)
+    return [
+        BenchSpec(
+            name="cascade",
+            title="Lower-bound cascade vs per-sequence LB-Scan",
+            dataset=walk,
+            epsilons=(0.1, 0.2, 0.4),
+            variants=(
+                VariantSpec(name="per_seq_scan", method="per_seq_scan"),
+                VariantSpec(name="cascade", method="cascade"),
+                VariantSpec(name="cascade_batch", method="cascade_batch"),
+            ),
+            n_queries=6,
+            repeats=3,
+            smoke_n=150,
+            smoke_queries=3,
+        ),
+        BenchSpec(
+            name="backends",
+            title="Index backends under the query engine (stock data)",
+            dataset=stocks,
+            epsilons=(0.5, 2.0),
+            variants=(
+                VariantSpec(name="rtree", method="engine", backend="rtree"),
+                VariantSpec(name="rstar", method="engine", backend="rstar"),
+                VariantSpec(name="strbulk", method="engine", backend="strbulk"),
+                VariantSpec(name="linear", method="engine", backend="linear"),
+            ),
+            n_queries=6,
+            repeats=3,
+            smoke_n=80,
+            smoke_queries=3,
+        ),
+        BenchSpec(
+            name="stock_methods",
+            title="Paper search methods on stock data",
+            dataset=stocks,
+            epsilons=(0.5, 2.0),
+            variants=(
+                VariantSpec(name="naive", method="naive"),
+                VariantSpec(name="lb_scan", method="lb_scan"),
+                VariantSpec(name="tw_sim", method="tw_sim"),
+                VariantSpec(name="cascade_scan", method="cascade_scan"),
+            ),
+            n_queries=4,
+            repeats=3,
+            smoke_n=60,
+            smoke_queries=2,
+        ),
+        BenchSpec(
+            name="sharding",
+            title="Shard-parallel engine scaling",
+            dataset=walk,
+            epsilons=(0.2,),
+            variants=(
+                VariantSpec(name="shards1", method="engine", shards=1),
+                VariantSpec(name="shards2", method="engine", shards=2),
+                VariantSpec(name="shards4", method="engine", shards=4),
+            ),
+            n_queries=6,
+            repeats=3,
+            smoke_n=150,
+            smoke_queries=3,
+        ),
+        BenchSpec(
+            name="obs_overhead",
+            title="Observability overhead (off vs null sink vs enabled)",
+            dataset=DatasetSpec(kind="walk", n=400, length=64, seed=11),
+            epsilons=(0.3,),
+            variants=(
+                VariantSpec(name="off", method="engine", obs="off"),
+                VariantSpec(name="null", method="engine", obs="null"),
+                VariantSpec(name="enabled", method="engine", obs="enabled"),
+            ),
+            n_queries=8,
+            repeats=5,
+            smoke_n=120,
+            smoke_queries=4,
+            smoke_repeats=3,
+        ),
+    ]
+
+
+_EXPERIMENTS = (
+    # Paper figures and ablations (library harness).
+    ("fig2", "repro.eval.experiments:experiment1_candidate_ratio"),
+    ("fig3", "repro.eval.experiments:experiment2_elapsed_stock"),
+    ("fig4", "repro.eval.experiments:experiment3_scale_count"),
+    ("fig5", "repro.eval.experiments:experiment4_scale_length"),
+    ("a1_base_distance", "repro.eval.experiments:ablation_base_distance"),
+    ("a2_features", "repro.eval.experiments:ablation_features"),
+    ("a3_bulk_load", "repro.eval.experiments:ablation_bulk_load"),
+    ("a5_lower_bounds", "repro.eval.experiments:ablation_lower_bounds"),
+    ("c1_cascade_stages", "repro.eval.experiments:experiment_cascade_stages"),
+    # Bespoke sweeps that live with the benchmark scripts.
+    ("backend_sweep", "benchmarks.bench_backend_sweep:_run"),
+    ("index_variants", "benchmarks.bench_index_variants:_run"),
+    ("subsequence", "benchmarks.bench_subsequence:_run"),
+    ("categories", "benchmarks.bench_ablation_categories:_run"),
+    ("tw_sim_index_choice", "benchmarks.bench_tw_sim_index_choice:_run"),
+)
+
+
+def _experiment_specs() -> list[BenchSpec]:
+    return [
+        BenchSpec(
+            name=name,
+            title=f"experiment {name}",
+            kind="experiment",
+            experiment=reference,
+        )
+        for name, reference in _EXPERIMENTS
+    ]
+
+
+#: All registered specs, keyed by name (``repro bench --list``).
+WORKLOADS: dict[str, BenchSpec] = {
+    spec.name: spec for spec in _workload_specs() + _experiment_specs()
+}
+
+#: The CI smoke-tier subset: cheap, counter-rich, and covering the
+#: three subsystems the trajectory must guard (cascade pruning, index
+#: backends, observability overhead).
+SMOKE_SUITE = ("cascade", "backends", "obs_overhead")
+
+
+def get_spec(name: str) -> BenchSpec:
+    """The registered spec called *name* (raises on unknown names)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ValidationError(
+            f"unknown benchmark {name!r}; registered: {known}"
+        ) from None
+
+
+def iter_specs(names: list[str] | None = None) -> list[BenchSpec]:
+    """Resolve a name list (``["all"]``/``None`` -> every spec)."""
+    if not names or names == ["all"]:
+        return list(WORKLOADS.values())
+    return [get_spec(name) for name in names]

@@ -9,6 +9,7 @@ import json
 from repro.obs.export import (
     json_file_hook,
     render_metrics_table,
+    render_pruning_waterfall,
     render_span_tree,
     snapshot_to_csv,
     snapshot_to_dict,
@@ -60,6 +61,27 @@ class TestMetricsExport:
 
     def test_table_empty_snapshot(self) -> None:
         assert render_metrics_table(MetricsSnapshot()) == "(no metrics recorded)"
+
+    def test_pruning_waterfall_renders_stages_and_costs(self) -> None:
+        registry = MetricsRegistry()
+        registry.count("dtw.cells", 900)
+        registry.count("dtw.verifications", 3)
+        registry.count("dtw.early_abandons", 2)
+        registry.count("index.rtree.node_reads", 7)
+        registry.observe("dtw.abandon_depth", 4.0)
+        stages = [("rtree", 100, 12), ("lb_kim", 12, 5), ("dtw", 5, 3)]
+        text = render_pruning_waterfall(stages, registry.snapshot())
+        assert "rtree" in text and "lb_kim" in text
+        assert "100" in text and "12" in text
+        # Survival percentage of the first stage: 12/100.
+        assert "12.0%" in text
+        assert "index node reads" in text and "7" in text
+        assert "DTW cells computed" in text and "900" in text
+        assert "early-abandon depth" in text
+
+    def test_pruning_waterfall_empty_stages(self) -> None:
+        text = render_pruning_waterfall([], MetricsSnapshot())
+        assert "no cascade stages" in text
 
     def test_json_file_hook_writes_latest(self, tmp_path) -> None:
         target = tmp_path / "metrics.json"

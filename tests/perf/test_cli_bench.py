@@ -1,0 +1,211 @@
+"""CLI coverage: `repro bench` and `repro query --explain`."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.perf.spec import BenchResult, BenchSpec, DatasetSpec, VariantSpec
+from repro.perf.workloads import WORKLOADS
+
+
+@pytest.fixture()
+def tiny_registry(monkeypatch):
+    """Swap the spec registry for a single tiny workload."""
+    spec = BenchSpec(
+        name="tiny",
+        title="tiny workload",
+        dataset=DatasetSpec(kind="walk", n=20, length=12, seed=5),
+        epsilons=(0.3,),
+        variants=(
+            VariantSpec(name="per_seq_scan", method="per_seq_scan"),
+            VariantSpec(name="cascade", method="cascade"),
+        ),
+        n_queries=2,
+        repeats=1,
+        smoke_n=10,
+        smoke_queries=2,
+        smoke_repeats=1,
+    )
+    registry = {"tiny": spec}
+    monkeypatch.setattr("repro.perf.workloads.WORKLOADS", registry)
+    return registry
+
+
+class TestBenchCommand:
+    def test_list(self, capsys):
+        rc = main(["bench", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+    def test_no_action_is_an_error(self, capsys):
+        rc = main(["bench"])
+        assert rc == 1
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_run_writes_schema_valid_json(self, tiny_registry, tmp_path):
+        rc = main(["bench", "--run", "tiny", "--out", str(tmp_path)])
+        assert rc == 0
+        path = tmp_path / "BENCH_tiny.json"
+        result = BenchResult.from_json(path.read_text())
+        assert result.series["cascade"]
+        assert result.counters["cascade"]["dtw.cells"] >= 0
+
+    def test_compare_without_baseline_warns_but_passes(
+        self, tiny_registry, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "bench",
+                "--run",
+                "tiny",
+                "--out",
+                str(tmp_path),
+                "--compare",
+                "--baseline-dir",
+                str(tmp_path / "bl"),
+            ]
+        )
+        assert rc == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_update_then_compare_passes(self, tiny_registry, tmp_path):
+        args = [
+            "bench",
+            "--run",
+            "tiny",
+            "--out",
+            str(tmp_path),
+            "--baseline-dir",
+            str(tmp_path / "bl"),
+        ]
+        assert main(args + ["--update-baselines"]) == 0
+        assert main(args + ["--compare"]) == 0
+
+    def test_counter_regression_exits_nonzero(
+        self, tiny_registry, tmp_path, capsys
+    ):
+        # The acceptance scenario: a counter present in the baseline
+        # disappears (as if a cascade tier were disabled) -> exit 1.
+        args = [
+            "bench",
+            "--run",
+            "tiny",
+            "--out",
+            str(tmp_path),
+            "--baseline-dir",
+            str(tmp_path / "bl"),
+        ]
+        assert main(args + ["--update-baselines"]) == 0
+        baseline_file = tmp_path / "bl" / "tiny.json"
+        data = json.loads(baseline_file.read_text())
+        data["counters"]["cascade"]["cascade.lb_kim.extra_tier"] = 5.0
+        baseline_file.write_text(json.dumps(data))
+        rc = main(args + ["--compare"])
+        assert rc == 1
+        assert "disappeared" in capsys.readouterr().out
+
+    def test_compare_loads_results_from_out_dir(
+        self, tiny_registry, tmp_path, capsys
+    ):
+        assert (
+            main(["bench", "--run", "tiny", "--out", str(tmp_path)]) == 0
+        )
+        rc = main(
+            [
+                "bench",
+                "--compare",
+                "--out",
+                str(tmp_path),
+                "--baseline-dir",
+                str(tmp_path / "bl"),
+            ]
+        )
+        assert rc == 0
+        assert "loaded 1 result" in capsys.readouterr().out
+
+    def test_compare_empty_dir_errors(self, tmp_path, capsys):
+        rc = main(["bench", "--compare", "--out", str(tmp_path)])
+        assert rc == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_smoke_flag_recorded(self, tiny_registry, tmp_path):
+        rc = main(
+            ["bench", "--run", "tiny", "--smoke", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        result = BenchResult.from_json(
+            (tmp_path / "BENCH_tiny.json").read_text()
+        )
+        assert result.smoke
+
+
+@pytest.fixture()
+def walk_db(tmp_path):
+    csv = tmp_path / "walk.csv"
+    assert (
+        main(
+            [
+                "generate",
+                "--kind",
+                "walk",
+                "--n",
+                "25",
+                "--length",
+                "16",
+                "--seed",
+                "5",
+                "--out",
+                str(csv),
+            ]
+        )
+        == 0
+    )
+    db = tmp_path / "walk.heap"
+    assert main(["build", "--input", str(csv), "--out", str(db)]) == 0
+    return db
+
+
+class TestQueryExplain:
+    def test_explain_prints_waterfall(self, walk_db, capsys):
+        query = ",".join(str(v) for v in np.zeros(16))
+        rc = main(
+            [
+                "query",
+                "--db",
+                str(walk_db),
+                "--query",
+                query,
+                "--epsilon",
+                "5.0",
+                "--explain",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pruning waterfall" in out
+        assert "stage" in out
+        # The engine cascade always runs these tiers.
+        for tier in ("lb_yi", "lb_kim", "lb_keogh", "dtw"):
+            assert tier in out
+
+    def test_explain_requires_epsilon(self, walk_db, capsys):
+        rc = main(
+            [
+                "query",
+                "--db",
+                str(walk_db),
+                "--query",
+                "1,2,3",
+                "--knn",
+                "2",
+                "--explain",
+            ]
+        )
+        assert rc == 1
+        assert "requires --epsilon" in capsys.readouterr().err

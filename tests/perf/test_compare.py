@@ -1,0 +1,157 @@
+"""Verdict tests for the regression comparison."""
+
+from __future__ import annotations
+
+from repro.perf.baseline import load_baseline, save_baseline
+from repro.perf.compare import (
+    compare_against_baselines,
+    compare_results,
+)
+from repro.perf.spec import BenchResult
+
+
+def _result(**overrides) -> BenchResult:
+    defaults = dict(
+        name="t",
+        title="test",
+        kind="workload",
+        sampling="per-query-min-of-k",
+        x_label="tolerance",
+        y_label="seconds",
+        x_values=[0.1, 0.2],
+        series={"a": [1.0, 2.0]},
+        counters={
+            "a": {
+                "dtw.cells": 100.0,
+                "cascade.lb_yi.pruned": 40.0,
+                "index.rtree.node_reads": 8.0,
+            }
+        },
+        environment={"smoke": False},
+    )
+    defaults.update(overrides)
+    return BenchResult(**defaults)
+
+
+class TestVerdicts:
+    def test_identical_results_pass(self):
+        report = compare_results(_result(), _result())
+        assert report.verdict == "pass"
+        assert report.exit_code == 0
+
+    def test_missing_baseline_warns(self):
+        report = compare_results(None, _result())
+        assert report.verdict == "warn"
+        assert report.exit_code == 0
+
+    def test_cost_counter_increase_fails(self):
+        current = _result()
+        current.counters["a"]["dtw.cells"] = 150.0
+        report = compare_results(_result(), current)
+        assert report.verdict == "fail"
+        assert report.exit_code == 1
+        assert any("dtw.cells" in f.message for f in report.failures())
+
+    def test_cost_counter_decrease_warns_improved(self):
+        current = _result()
+        current.counters["a"]["dtw.cells"] = 50.0
+        report = compare_results(_result(), current)
+        assert report.verdict == "warn"
+        assert report.exit_code == 0
+
+    def test_pruning_counter_decrease_fails(self):
+        # Fewer pruned candidates = the filter got weaker.
+        current = _result()
+        current.counters["a"]["cascade.lb_yi.pruned"] = 10.0
+        report = compare_results(_result(), current)
+        assert report.verdict == "fail"
+
+    def test_disappeared_counter_fails(self):
+        # The acceptance scenario: disabling a cascade tier removes its
+        # counters entirely -> hard fail.
+        current = _result()
+        del current.counters["a"]["cascade.lb_yi.pruned"]
+        report = compare_results(_result(), current)
+        assert report.verdict == "fail"
+        assert any("disappeared" in f.message for f in report.failures())
+
+    def test_missing_variant_fails(self):
+        current = _result(counters={})
+        report = compare_results(_result(), current)
+        assert report.verdict == "fail"
+
+    def test_new_counter_warns(self):
+        current = _result()
+        current.counters["a"]["storage.fetches"] = 3.0
+        report = compare_results(_result(), current)
+        assert report.verdict == "warn"
+
+    def test_wall_time_within_band_passes(self):
+        current = _result(series={"a": [1.2, 2.3]})  # +20%, +15%
+        report = compare_results(_result(), current)
+        assert report.verdict == "pass"
+
+    def test_wall_time_beyond_band_warns_by_default(self):
+        current = _result(series={"a": [2.0, 2.0]})  # +100%
+        report = compare_results(_result(), current)
+        assert report.verdict == "warn"
+        assert report.exit_code == 0
+
+    def test_strict_wall_upgrades_to_fail(self):
+        current = _result(series={"a": [2.0, 2.0]})
+        report = compare_results(_result(), current, strict_wall=True)
+        assert report.verdict == "fail"
+
+    def test_wall_time_improvement_never_flagged(self):
+        current = _result(series={"a": [0.1, 0.2]})
+        report = compare_results(_result(), current)
+        assert report.verdict == "pass"
+
+    def test_grid_change_warns_not_fails(self):
+        current = _result(x_values=[0.1, 0.3], series={"a": [1.0, 2.0]})
+        report = compare_results(_result(), current)
+        assert report.verdict == "warn"
+
+    def test_tier_mismatch_warns(self):
+        current = _result(environment={"smoke": True})
+        report = compare_results(_result(), current)
+        assert report.verdict == "warn"
+
+    def test_report_renders_failures_first(self):
+        current = _result(series={"a": [5.0, 5.0]})
+        current.counters["a"]["dtw.cells"] = 999.0
+        report = compare_results(_result(), current)
+        text = report.render()
+        assert text.splitlines()[0].startswith("regression report: FAIL")
+        assert text.index("[FAIL]") < text.index("[WARN]")
+
+
+class TestBaselineStore:
+    def test_save_load_round_trip(self, tmp_path):
+        result = _result()
+        save_baseline(result, baseline_dir=tmp_path)
+        loaded = load_baseline("t", smoke=False, baseline_dir=tmp_path)
+        assert loaded is not None
+        assert loaded.to_dict() == result.to_dict()
+
+    def test_smoke_and_full_tiers_are_separate(self, tmp_path):
+        full = _result()
+        smoke = _result(environment={"smoke": True})
+        smoke.counters["a"]["dtw.cells"] = 10.0
+        save_baseline(full, baseline_dir=tmp_path)
+        save_baseline(smoke, baseline_dir=tmp_path)
+        assert (tmp_path / "t.json").is_file()
+        assert (tmp_path / "t.smoke.json").is_file()
+        loaded = load_baseline("t", smoke=True, baseline_dir=tmp_path)
+        assert loaded.counters["a"]["dtw.cells"] == 10.0
+
+    def test_compare_against_store(self, tmp_path):
+        save_baseline(_result(), baseline_dir=tmp_path)
+        good = compare_against_baselines(
+            [_result()], baseline_dir=str(tmp_path)
+        )
+        assert good.exit_code == 0
+        bad = _result()
+        bad.counters["a"]["index.rtree.node_reads"] = 80.0
+        report = compare_against_baselines([bad], baseline_dir=str(tmp_path))
+        assert report.exit_code == 1

@@ -1,0 +1,156 @@
+"""End-to-end runner tests on deliberately tiny specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.perf.runner import run_spec, to_experiment_result, write_bench_result
+from repro.perf.spec import BenchResult, BenchSpec, DatasetSpec, VariantSpec
+from repro.perf.workloads import SMOKE_SUITE, WORKLOADS, get_spec, iter_specs
+
+
+def _tiny_spec(**overrides) -> BenchSpec:
+    defaults = dict(
+        name="tiny",
+        title="tiny workload",
+        dataset=DatasetSpec(kind="walk", n=25, length=16, seed=5),
+        epsilons=(0.2, 0.5),
+        variants=(
+            VariantSpec(name="per_seq_scan", method="per_seq_scan"),
+            VariantSpec(name="cascade", method="cascade"),
+        ),
+        n_queries=3,
+        repeats=1,
+    )
+    defaults.update(overrides)
+    return BenchSpec(**defaults)
+
+
+class TestWorkloadRunner:
+    def test_produces_series_and_counters(self):
+        result = run_spec(_tiny_spec())
+        assert result.kind == "workload"
+        assert result.sampling == "per-query-min-of-k"
+        assert set(result.series) == {"per_seq_scan", "cascade"}
+        for values in result.series.values():
+            assert len(values) == 2
+            assert all(v >= 0.0 for v in values)
+        assert result.counters["per_seq_scan"]["dtw.cells"] > 0
+        assert result.counters["cascade"]["cascade.lb_yi.in"] > 0
+
+    def test_counters_exclude_wall_like_lines(self):
+        result = run_spec(_tiny_spec())
+        for counters in result.counters.values():
+            assert not any("seconds" in name for name in counters)
+
+    def test_counters_deterministic_across_runs(self):
+        spec = _tiny_spec()
+        assert run_spec(spec).counters == run_spec(spec).counters
+
+    def test_parity_verified_note(self):
+        result = run_spec(_tiny_spec())
+        assert any("identical" in note for note in result.notes)
+
+    def test_engine_variant_records_gauges(self):
+        spec = _tiny_spec(
+            variants=(
+                VariantSpec(name="rtree", method="engine", backend="rtree"),
+                VariantSpec(name="linear", method="engine", backend="linear"),
+            )
+        )
+        result = run_spec(spec)
+        assert result.gauges["rtree"]["index.rtree.nodes"] >= 1
+
+    def test_unknown_method_rejected(self):
+        spec = _tiny_spec(
+            variants=(VariantSpec(name="x", method="quantum"),)
+        )
+        with pytest.raises(ValidationError):
+            run_spec(spec)
+
+    def test_smoke_tier_marks_environment(self):
+        result = run_spec(_tiny_spec(smoke_n=10, smoke_queries=2), smoke=True)
+        assert result.smoke
+        assert not run_spec(_tiny_spec()).smoke
+
+    def test_round_trip_through_file(self, tmp_path):
+        result = run_spec(_tiny_spec())
+        path = write_bench_result(result, tmp_path)
+        assert path.name == "BENCH_tiny.json"
+        restored = BenchResult.from_json(path.read_text())
+        assert restored.to_dict() == result.to_dict()
+
+    def test_render_through_experiment_pipeline(self):
+        result = run_spec(_tiny_spec())
+        rendered = to_experiment_result(result).render()
+        assert "per_seq_scan" in rendered
+
+
+class TestExperimentRunner:
+    def test_experiment_spec_folds_series_and_counters(self):
+        spec = BenchSpec(
+            name="exp",
+            title="exp",
+            kind="experiment",
+            experiment="repro.eval.experiments:ablation_lower_bounds",
+        )
+        result = run_spec(spec)
+        assert result.kind == "experiment"
+        assert result.sampling == "single-run"
+        assert result.series
+        assert "experiment" in result.counters
+
+    def test_experiment_fn_override(self):
+        from repro.eval.experiments import ExperimentResult
+
+        def fake() -> ExperimentResult:
+            return ExperimentResult(
+                experiment_id="X/fake",
+                title="fake",
+                x_label="x",
+                y_label="y",
+                x_values=[1.0],
+                series={"s": [2.0]},
+            )
+
+        spec = BenchSpec(
+            name="exp",
+            title="exp",
+            kind="experiment",
+            experiment="no.such.module:nope",
+        )
+        result = run_spec(spec, experiment_fn=fake)
+        assert result.series == {"s": [2.0]}
+        assert result.experiment_id == "X/fake"
+
+    def test_unresolvable_experiment_rejected(self):
+        spec = BenchSpec(
+            name="exp",
+            title="exp",
+            kind="experiment",
+            experiment="no.such.module:nope",
+        )
+        with pytest.raises(ValidationError):
+            run_spec(spec)
+
+
+class TestRegistry:
+    def test_all_registered_specs_valid(self):
+        # Construction already validates; check naming + kinds.
+        for name, spec in WORKLOADS.items():
+            assert spec.name == name
+            assert spec.kind in ("workload", "experiment")
+
+    def test_smoke_suite_subset_of_registry(self):
+        assert set(SMOKE_SUITE) <= set(WORKLOADS)
+        assert len(SMOKE_SUITE) == 3
+
+    def test_get_spec_unknown_name(self):
+        with pytest.raises(ValidationError):
+            get_spec("nope")
+
+    def test_iter_specs_all(self):
+        assert len(iter_specs(None)) == len(WORKLOADS)
+        assert len(iter_specs(["all"])) == len(WORKLOADS)
+        assert [s.name for s in iter_specs(["cascade"])] == ["cascade"]

@@ -1,0 +1,159 @@
+"""Schema tests: BenchSpec validation and BenchResult round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import BenchSchemaError, ValidationError
+from repro.perf.spec import (
+    SCHEMA_VERSION,
+    BenchResult,
+    BenchSpec,
+    DatasetSpec,
+    VariantSpec,
+    bench_filename,
+)
+
+
+def _workload_spec(**overrides) -> BenchSpec:
+    defaults = dict(
+        name="t",
+        title="test workload",
+        dataset=DatasetSpec(kind="walk", n=10, length=8, seed=1),
+        epsilons=(0.1, 0.2),
+        variants=(
+            VariantSpec(name="a", method="cascade"),
+            VariantSpec(name="b", method="per_seq_scan"),
+        ),
+    )
+    defaults.update(overrides)
+    return BenchSpec(**defaults)
+
+
+def _result(**overrides) -> BenchResult:
+    defaults = dict(
+        name="t",
+        title="test",
+        kind="workload",
+        sampling="per-query-min-of-k",
+        x_label="tolerance",
+        y_label="seconds",
+        x_values=[0.1, 0.2],
+        series={"a": [1.0, 2.0], "b": [3.0, 4.0]},
+        counters={
+            "a": {"dtw.cells": 123.0, "cascade.lb_yi.pruned": 7.0},
+            "b": {"dtw.cells": 456.0},
+        },
+        environment={"smoke": False},
+    )
+    defaults.update(overrides)
+    return BenchResult(**defaults)
+
+
+class TestSpecValidation:
+    def test_workload_requires_dataset_epsilons_variants(self):
+        with pytest.raises(ValidationError):
+            BenchSpec(name="x", title="x")  # no dataset/eps/variants
+
+    def test_experiment_requires_reference(self):
+        with pytest.raises(ValidationError):
+            BenchSpec(name="x", title="x", kind="experiment")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            BenchSpec(name="x", title="x", kind="nope")
+
+    def test_duplicate_variant_names_rejected(self):
+        with pytest.raises(ValidationError):
+            _workload_spec(
+                variants=(
+                    VariantSpec(name="a", method="cascade"),
+                    VariantSpec(name="a", method="naive"),
+                )
+            )
+
+    def test_bad_dataset_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            DatasetSpec(kind="parquet", n=10, length=8, seed=1)
+
+    def test_bad_obs_mode_rejected(self):
+        with pytest.raises(ValidationError):
+            VariantSpec(name="a", method="engine", obs="loud")
+
+    def test_spec_to_dict_is_json_ready(self):
+        text = json.dumps(_workload_spec().to_dict())
+        data = json.loads(text)
+        assert data["variants"][0]["name"] == "a"
+        assert data["epsilons"] == [0.1, 0.2]
+
+    def test_filename(self):
+        assert bench_filename("cascade") == "BENCH_cascade.json"
+
+
+class TestResultRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        result = _result()
+        restored = BenchResult.from_json(result.to_json())
+        assert restored.to_dict() == result.to_dict()
+
+    def test_schema_version_pinned(self):
+        data = _result().to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError):
+            BenchResult.from_dict(data)
+
+    def test_missing_required_key_rejected(self):
+        data = _result().to_dict()
+        del data["counters"]
+        with pytest.raises(BenchSchemaError) as excinfo:
+            BenchResult.from_dict(data)
+        assert "counters" in str(excinfo.value)
+
+    def test_series_length_mismatch_rejected(self):
+        data = _result().to_dict()
+        data["series"]["a"] = [1.0]
+        with pytest.raises(BenchSchemaError):
+            BenchResult.from_dict(data)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(BenchSchemaError):
+            BenchResult.from_json("{nope")
+        with pytest.raises(BenchSchemaError):
+            BenchResult.from_json("[1, 2]")
+
+    def test_counters_survive_serialization_exactly(self):
+        # Counter equality through serialization is what the exact
+        # regression gate depends on.
+        result = _result(
+            counters={"v": {"dtw.cells": 1.5e8, "index.rtree.node_reads": 3.0}}
+        )
+        restored = BenchResult.from_json(result.to_json())
+        assert restored.counters == result.counters
+
+    def test_smoke_flag_reads_environment(self):
+        assert _result(environment={"smoke": True}).smoke
+        assert not _result().smoke
+
+
+class TestSnapshotFolding:
+    def test_snapshot_counters_fold_equal_through_result(self):
+        # A MetricsSnapshot's counters, folded into a BenchResult and
+        # serialized, compare equal to the source snapshot's counters.
+        from repro.obs.metrics import MetricsRegistry
+        from repro.perf.runner import _exact_counters
+
+        registry = MetricsRegistry()
+        registry.count("dtw.cells", 1234)
+        registry.count("index.rtree.node_reads", 5)
+        registry.count("method.tw_sim.cpu_seconds", 0.25)  # wall-like
+        snapshot = registry.snapshot()
+        counters = _exact_counters(snapshot)
+        assert "method.tw_sim.cpu_seconds" not in counters
+
+        result = _result(counters={"v": counters})
+        restored = BenchResult.from_json(result.to_json())
+        for name, value in counters.items():
+            assert restored.counters["v"][name] == snapshot.counters[name]
