@@ -12,6 +12,7 @@ Subcommands::
     repro cluster     group a dataset's sequences by warping similarity
     repro explain     show the optimal warping between a query and a sequence
     repro bench       run named benchmarks, track BENCH_*.json, gate regressions
+    repro lint        run the domain-aware static analyzer over the tree
 
 Every subcommand is importable and testable through :func:`main`, which
 accepts an argv list and returns a process exit code.
@@ -283,6 +284,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat wall-time drift beyond the band as failure, not warning",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro-specific static analyzer (rules RL001-RL008)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="files or directories to lint (directories recurse into *.py)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all, e.g. "
+        "RL002,RL004)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        dest="fmt",
+        help="report format (default: table)",
+    )
+    lint.add_argument(
+        "--fix-suppressions",
+        action="store_true",
+        help="append '# repro-lint: disable=CODE' to each violating line "
+        "instead of failing",
+    )
+    lint.add_argument(
+        "--project-root",
+        default=None,
+        metavar="DIR",
+        help="repository root for cross-file rules (default: walk up from "
+        "the first PATH to pyproject.toml)",
+    )
+
     return parser
 
 
@@ -536,7 +575,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_result,
     )
     from .perf.runner import to_experiment_result
-    from .perf.spec import BenchResult
+    from .perf.spec import BenchResult, load_bench_file
 
     if not (args.list or args.run or args.compare or args.update_baselines):
         raise ValidationError(
@@ -564,9 +603,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"{spec.name}: wrote {path} ({summary})")
         # refresh after writing so --compare reads what --run produced
         results = [
-            BenchResult.from_json(
-                (out_dir / bench_filename(spec.name)).read_text()
-            )
+            load_bench_file(out_dir / bench_filename(spec.name))
             for spec in iter_specs(args.run)
         ]
     elif args.compare or args.update_baselines:
@@ -578,7 +615,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-        results = [BenchResult.from_json(p.read_text()) for p in found]
+        results = [load_bench_file(p) for p in found]
         print(f"loaded {len(results)} result(s) from {args.out}")
 
     if args.update_baselines:
@@ -610,6 +647,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import apply_suppressions, run_lint
+
+    rules = None
+    if args.rules:
+        rules = [code.strip() for code in args.rules.split(",") if code.strip()]
+    root = Path(args.project_root) if args.project_root else None
+    report = run_lint(
+        [Path(p) for p in args.paths], rules=rules, root=root
+    )
+    if args.fix_suppressions:
+        changed = apply_suppressions(report)
+        for path in changed:
+            print(f"suppressed: {path}")
+        print(
+            f"added suppressions for {len(report.violations)} violation(s) "
+            f"across {len(changed)} file(s)"
+        )
+        return 0
+    if args.fmt == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build": _cmd_build,
@@ -621,6 +684,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "explain": _cmd_explain,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 
@@ -668,7 +732,7 @@ def main(argv: TypingSequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    except FileNotFoundError as error:
+    except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -81,10 +81,11 @@ STAGE_DTW = "dtw"
 DEFAULT_TIERS: tuple[str, ...] = (TIER_YI, TIER_KIM, TIER_KEOGH)
 
 #: Feature-matrix columns each feature tier compares (paper column
-#: order: first, last, greatest, smallest).
-_TIER_COLUMNS: dict[str, tuple[int, ...]] = {
-    TIER_YI: (2, 3),
-    TIER_KIM: (0, 1, 2, 3),
+#: order: first, last, greatest, smallest).  Stored as index arrays so
+#: the batched kernel can fancy-index without per-query conversion.
+_TIER_COLUMNS: dict[str, np.ndarray] = {
+    TIER_YI: np.array((2, 3), dtype=np.intp),
+    TIER_KIM: np.array((0, 1, 2, 3), dtype=np.intp),
 }
 
 #: Cap on ``queries x sequences x 4`` float64 cells materialized per
@@ -160,7 +161,7 @@ class CascadeStats:
         for stage in self.stages:
             if stage.name == name:
                 return stage
-        raise KeyError(name)
+        raise KeyError(name)  # repro-lint: disable=RL004 -- mapping protocol
 
     def survival_by_stage(self) -> dict[str, float]:
         """``{stage name: survival ratio}`` in cascade order."""
@@ -487,6 +488,27 @@ class FilterCascade:
         surviving, stages = self.filter(
             query_arr, epsilon, rows=rows, band_radius=band_radius
         )
+        return self._verified_outcome(
+            surviving,
+            stages,
+            query_arr,
+            epsilon,
+            band_radius,
+            compute_distances,
+            verifier,
+        )
+
+    def _verified_outcome(
+        self,
+        surviving: np.ndarray,
+        stages: list[StageStats],
+        query_arr: np.ndarray,
+        epsilon: float,
+        band_radius: int | None,
+        compute_distances: bool,
+        verifier: Callable[[int], float] | None = None,
+    ) -> CascadeOutcome:
+        """Verify the filtered *surviving* rows and assemble the outcome."""
         if verifier is None:
             verifier = self._row_verifier(
                 query_arr, epsilon, band_radius, compute_distances
@@ -548,6 +570,9 @@ class FilterCascade:
 
         outcomes: list[CascadeOutcome] = []
         block = max(1, _BATCH_CELL_LIMIT // (4 * n))
+        # One survivor mask reused (reset in place) across the batch so
+        # the per-query loop never touches the allocator.
+        mask = np.empty(n, dtype=bool)
         for start in range(0, m, block):
             stop = min(start + block, m)
             # One broadcast kernel for the whole block: (b, n, 4) diffs.
@@ -557,40 +582,31 @@ class FilterCascade:
             admitted = diffs <= cutoffs[start:stop, None, :]
             for i in range(start, stop):
                 stages: list[StageStats] = []
-                mask = np.ones(n, dtype=bool)
+                mask[:] = True
                 for tier in self._tiers:
                     n_in = int(mask.sum())
                     if tier in _TIER_COLUMNS:
-                        cols = list(_TIER_COLUMNS[tier])
-                        mask = mask & admitted[i - start][:, cols].all(axis=1)
+                        cols = _TIER_COLUMNS[tier]
+                        mask &= admitted[i - start][:, cols].all(axis=1)
                         n_out = int(mask.sum())
                     elif band_radius is not None:
                         rows = self._keogh_tier(
                             np.flatnonzero(mask), query_arrs[i], epsilon, band_radius
                         )
-                        mask = np.zeros(n, dtype=bool)
+                        mask[:] = False
                         mask[rows] = True
                         n_out = int(rows.size)
                     else:
                         n_out = n_in
                     stages.append(charged_stage(tier, n_in, n_out))
-                surviving = np.flatnonzero(mask)
-                verifier = self._row_verifier(
-                    query_arrs[i], epsilon, band_radius, compute_distances
-                )
-                answer_rows, row_distances, dtw_stage = verify_stage(
-                    [int(r) for r in surviving], verifier, epsilon
-                )
-                stages.append(dtw_stage)
-                ids = self._store.ids
                 outcomes.append(
-                    CascadeOutcome(
-                        answer_ids=sorted(int(ids[r]) for r in answer_rows),
-                        distances={
-                            int(ids[r]): d for r, d in row_distances.items()
-                        },
-                        candidate_ids=sorted(int(ids[r]) for r in surviving),
-                        stats=CascadeStats(stages),
+                    self._verified_outcome(
+                        np.flatnonzero(mask),
+                        stages,
+                        query_arrs[i],
+                        epsilon,
+                        band_radius,
+                        compute_distances,
                     )
                 )
         return outcomes

@@ -172,6 +172,7 @@ class QueryEngine:
         self._db = database
         self._backend = backend
         self._cascade: FilterCascade | None = None
+        self._cascade_lock = threading.Lock()
         self._metrics = MetricsRegistry()
         # Thread-local so concurrent queries never see each other's
         # stats; the authoritative per-query values travel on the
@@ -293,9 +294,14 @@ class QueryEngine:
         store stays valid until an insert/delete changes the id set —
         then one sequential scan rebuilds it.
         """
-        if self._cascade is None or not self._cascade.store.matches(self._db):
-            self._cascade = FilterCascade.from_database(self._db)
-        return self._cascade
+        cascade = self._cascade
+        if cascade is None or not cascade.store.matches(self._db):
+            with self._cascade_lock:
+                cascade = self._cascade
+                if cascade is None or not cascade.store.matches(self._db):
+                    cascade = FilterCascade.from_database(self._db)
+                    self._cascade = cascade
+        return cascade
 
     def search(
         self,

@@ -209,7 +209,7 @@ class ShardedDatabase:
         self._metrics.set_gauge(
             f"{prefix}.size_in_bytes", sum(s.size_in_bytes for s in node_stats)
         )
-        self._metrics.set_gauge("shards", self._n)
+        self._metrics.set_gauge("sharded.shards", self._n)
         return self._metrics.snapshot()
 
     @property
@@ -377,7 +377,7 @@ class ShardedDatabase:
         with self._query_scope() as per_query, maybe_span(
             "sharded.search", shards=self._n, backend=self._backend_name
         ):
-            per_query.count("queries")
+            per_query.count("sharded.queries")
             shard_results = self._run_shards(
                 lambda engine: engine.search_detailed(
                     query, epsilon, band_radius=band_radius
@@ -432,7 +432,7 @@ class ShardedDatabase:
             backend=self._backend_name,
             queries=len(query_list),
         ):
-            per_query.count("queries", len(query_list))
+            per_query.count("sharded.queries", len(query_list))
             shard_results = self._run_shards(
                 lambda engine: engine.search_many_detailed(
                     query_list, epsilon, band_radius=band_radius
@@ -478,7 +478,7 @@ class ShardedDatabase:
         with self._query_scope() as per_query, maybe_span(
             "sharded.knn", shards=self._n, backend=self._backend_name, k=k
         ):
-            per_query.count("knn_queries")
+            per_query.count("sharded.knn_queries")
             shard_results = self._run_shards(
                 lambda engine: engine.knn_detailed(query, k)
             )

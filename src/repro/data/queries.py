@@ -23,7 +23,7 @@ __all__ = ["perturb_sequence", "QueryWorkload"]
 def perturb_sequence(
     sequence: SequenceLike,
     *,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> Sequence:
     """Apply the paper's element-wise perturbation to one sequence.
 

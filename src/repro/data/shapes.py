@@ -30,7 +30,7 @@ def cbf_instance(
     kind: str,
     length: int = 128,
     *,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
     noise: float = 0.35,
 ) -> Sequence:
     """One CBF sequence of the given class and length.

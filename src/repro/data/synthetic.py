@@ -29,7 +29,7 @@ START_RANGE: tuple[float, float] = (1.0, 10.0)
 def random_walk(
     length: int,
     *,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int = 0,
     step_range: tuple[float, float] = STEP_RANGE,
     start_range: tuple[float, float] = START_RANGE,
 ) -> Sequence:
@@ -87,7 +87,7 @@ def random_walk_dataset(
 
 
 def _as_generator(
-    rng: np.random.Generator | int | None,
+    rng: np.random.Generator | int,
 ) -> np.random.Generator:
     if isinstance(rng, np.random.Generator):
         return rng

@@ -23,6 +23,7 @@ __all__ = [
     "CategorizationError",
     "ExperimentError",
     "BenchSchemaError",
+    "NotBuiltError",
 ]
 
 
@@ -93,4 +94,12 @@ class BenchSchemaError(ReproError):
 
     Raised when a benchmark result file is missing required keys or was
     written under an unsupported ``schema_version``.
+    """
+
+
+class NotBuiltError(ReproError, RuntimeError):
+    """A search method was queried before its index was built.
+
+    Subclasses :class:`RuntimeError` as well so existing callers that
+    catch the historical ``RuntimeError`` keep working.
     """

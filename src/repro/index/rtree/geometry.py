@@ -47,7 +47,8 @@ class Rect:
         object.__setattr__(self, "highs", highs_t)
 
     def __setattr__(self, name: str, value: object) -> None:
-        raise AttributeError("Rect is immutable")
+        # the __setattr__ protocol requires AttributeError here
+        raise AttributeError("Rect is immutable")  # repro-lint: disable=RL004
 
     # -- constructors ---------------------------------------------------
 

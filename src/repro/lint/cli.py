@@ -1,0 +1,25 @@
+"""Standalone entry point for the static analyzer.
+
+``repro-lint src/repro`` is sugar for ``repro lint src/repro`` — the
+console script installs separately so CI jobs (and pre-commit hooks)
+can invoke the analyzer without spelling the subcommand.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Delegate to ``repro lint`` with the same arguments."""
+    from ..cli import main as repro_main
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    return repro_main(["lint", *args])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,525 @@
+"""The rule engine behind ``repro lint``.
+
+Stdlib-only static analysis: every checked file is parsed once into an
+:class:`ast.Module` (plus a :mod:`tokenize` pass for suppression
+comments) and handed to each active rule.  Rules are small classes with
+two hooks — :meth:`Rule.check_file` for per-file checks and
+:meth:`Rule.finalize` for whole-project checks that need to see every
+file (dead exports, the no-false-dismissal registry cross-reference).
+
+Suppressions are per-line comments::
+
+    raise KeyError(name)  # repro-lint: disable=RL004
+    # repro-lint: disable-file=RL003   (anywhere: whole file)
+
+``disable=all`` / ``disable-file=all`` silence every rule.  Suppressed
+findings are still collected (reported separately) so ``--format json``
+artifacts show what was waived, not just what fired.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import ValidationError
+from ..obs.export import render_table
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Project",
+    "Rule",
+    "LintReport",
+    "run_lint",
+    "apply_suppressions",
+]
+
+#: Rule code reserved for files the engine itself cannot parse.
+PARSE_ERROR_CODE = "RL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)=([A-Za-z0-9_*,\s]+|all)"
+)
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule code anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        """``path:line:col`` — the clickable anchor."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready plain-data form."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _parse_suppressions(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """``(line -> codes, file-level codes)`` from suppression comments."""
+    per_line: dict[int, frozenset[str]] = {}
+    whole_file: set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return per_line, frozenset()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip().upper() if code.strip() != "all" else "all"
+            for code in match.group(2).split(",")
+            if code.strip()
+        )
+        if match.group(1) == "disable-file":
+            whole_file.update(codes)
+        else:
+            line = token.start[0]
+            per_line[line] = per_line.get(line, frozenset()) | codes
+    return per_line, frozenset(whole_file)
+
+
+class FileContext:
+    """One parsed source file plus the lookups every rule needs."""
+
+    def __init__(self, path: Path, rel: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree = tree
+        suppressions, file_suppressions = _parse_suppressions(source)
+        self.suppressions = suppressions
+        self.file_suppressions = file_suppressions
+        self._imports: dict[str, str] | None = None
+
+    # -- suppression lookup --------------------------------------------------
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """True when *code* is waived on *line* (or file-wide)."""
+        if "all" in self.file_suppressions or code in self.file_suppressions:
+            return True
+        codes = self.suppressions.get(line)
+        return codes is not None and ("all" in codes or code in codes)
+
+    # -- import-aware name resolution ---------------------------------------
+
+    @property
+    def imports(self) -> dict[str, str]:
+        """Local alias -> dotted origin, from this file's import statements.
+
+        ``import numpy as np`` maps ``np -> numpy``;
+        ``from threading import Lock`` maps ``Lock -> threading.Lock``;
+        relative imports keep their leading dots
+        (``from ..obs.metrics import count`` -> ``..obs.metrics.count``).
+        """
+        if self._imports is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name
+                        )
+                elif isinstance(node, ast.ImportFrom):
+                    module = "." * node.level + (node.module or "")
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        table[alias.asname or alias.name] = (
+                            f"{module}.{alias.name}" if module else alias.name
+                        )
+            self._imports = table
+        return self._imports
+
+    def qualified(self, node: ast.expr) -> str | None:
+        """The dotted origin of a Name/Attribute chain, import-resolved.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng``;
+        an unimported bare name resolves to itself (builtins).
+        Returns ``None`` for expressions that are not a plain chain.
+        """
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def identifiers(self) -> frozenset[str]:
+        """Every identifier-shaped token in the source (docstrings too)."""
+        return frozenset(_IDENTIFIER_RE.findall(self.source))
+
+
+class Project:
+    """Everything one lint run can see: parsed files plus the repo root.
+
+    *root* anchors the cross-file rules (the no-false-dismissal manifest
+    under ``tests/``, the dead-export reference corpus spanning
+    ``src``/``tests``/``benchmarks``/``docs``).
+    """
+
+    #: Directories (relative to root) scanned for cross-reference files.
+    REFERENCE_DIRS = ("src", "tests", "benchmarks", "examples")
+
+    def __init__(self, root: Path, files: list[FileContext]) -> None:
+        self.root = root
+        self.files = files
+        self._by_rel = {ctx.rel: ctx for ctx in files}
+        self._reference_identifiers: dict[str, frozenset[str]] | None = None
+
+    def file(self, rel: str) -> FileContext | None:
+        """The checked file at repo-relative posix path *rel*, if any."""
+        return self._by_rel.get(rel)
+
+    def reference_identifiers(self) -> dict[str, frozenset[str]]:
+        """Identifier sets of every reference file, keyed by rel path.
+
+        Covers all Python under :attr:`REFERENCE_DIRS` plus the Markdown
+        docs (``*.md`` at the root and under ``docs/``) — a textual
+        mention in documentation keeps a public symbol alive.
+        """
+        if self._reference_identifiers is not None:
+            return self._reference_identifiers
+        corpus: dict[str, frozenset[str]] = {}
+        paths: list[Path] = []
+        for sub in self.REFERENCE_DIRS:
+            base = self.root / sub
+            if base.is_dir():
+                paths.extend(sorted(base.rglob("*.py")))
+        paths.extend(sorted(self.root.glob("*.md")))
+        docs = self.root / "docs"
+        if docs.is_dir():
+            paths.extend(sorted(docs.rglob("*.md")))
+        for path in paths:
+            rel = path.relative_to(self.root).as_posix()
+            if rel in corpus:
+                continue
+            try:
+                text = path.read_text()
+            except (OSError, UnicodeDecodeError):
+                continue
+            corpus[rel] = frozenset(_IDENTIFIER_RE.findall(text))
+        self._reference_identifiers = corpus
+        return corpus
+
+
+class Rule:
+    """Base class of every lint rule.
+
+    Subclasses set :attr:`code` (``RL0xx``), :attr:`title` (a short
+    imperative label) and :attr:`rationale` (one sentence tying the rule
+    to the invariant it protects), then override one or both hooks.
+    """
+
+    code: str = "RL0XX"
+    title: str = ""
+    rationale: str = ""
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Violation]:
+        """Per-file findings (default: none)."""
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        """Whole-project findings, after every file was seen."""
+        return iter(())
+
+    def violation(
+        self, ctx_or_rel: FileContext | str, node: ast.AST | None, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at *node* (or the file)."""
+        rel = ctx_or_rel.rel if isinstance(ctx_or_rel, FileContext) else ctx_or_rel
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Violation(rel, int(line), int(col) + 1, self.code, message)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    root: Path
+    files_checked: int
+    rules: list[str]
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero iff any unsuppressed finding remains."""
+        return 1 if self.violations else 0
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The machine-readable report (the CI artifact)."""
+        return json.dumps(
+            {
+                "root": str(self.root),
+                "files_checked": self.files_checked,
+                "rules": list(self.rules),
+                "summary": {
+                    "violations": len(self.violations),
+                    "suppressed": len(self.suppressed),
+                },
+                "violations": [v.to_dict() for v in self.violations],
+                "suppressed": [v.to_dict() for v in self.suppressed],
+            },
+            indent=indent,
+            sort_keys=True,
+        )
+
+    def render(self) -> str:
+        """The human-readable table (reuses the obs table renderer)."""
+        lines: list[str] = []
+        if self.violations:
+            lines.append(
+                render_table(
+                    ("rule", "location", "message"),
+                    [
+                        (v.rule, v.location, v.message)
+                        for v in self.violations
+                    ],
+                )
+            )
+            lines.append("")
+        lines.append(
+            f"repro lint: {len(self.violations)} violation(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_checked} file(s) checked, "
+            f"rules: {', '.join(self.rules)}"
+        )
+        return "\n".join(lines)
+
+
+def find_project_root(start: Path) -> Path:
+    """Walk up from *start* to the enclosing ``pyproject.toml`` holder."""
+    current = start if start.is_dir() else start.parent
+    current = current.resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current
+
+
+def _collect_paths(paths: Sequence[str | Path]) -> list[Path]:
+    collected: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ValidationError(f"lint path does not exist: {path}")
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(resolved)
+    return collected
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[str] | None = None,
+    root: str | Path | None = None,
+) -> LintReport:
+    """Run the rule pack over *paths*; returns the :class:`LintReport`.
+
+    *rules* restricts the pack to the given codes (case-insensitive);
+    *root* overrides project-root autodetection (the nearest ancestor
+    of the first path holding a ``pyproject.toml``).
+    """
+    from .rules import make_rules  # deferred: rules import this module
+
+    if not paths:
+        raise ValidationError("at least one lint path is required")
+    files = _collect_paths(paths)
+    project_root = (
+        Path(root).resolve() if root is not None else find_project_root(
+            Path(paths[0]).resolve()
+        )
+    )
+    active_rules = make_rules(rules)
+    contexts: list[FileContext] = []
+    parse_failures: list[Violation] = []
+    for path in files:
+        rel = _relative(path, project_root)
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            parse_failures.append(
+                Violation(
+                    rel,
+                    int(line),
+                    1,
+                    PARSE_ERROR_CODE,
+                    f"cannot parse file: {error}",
+                )
+            )
+            continue
+        contexts.append(FileContext(path, rel, source, tree))
+    project = Project(project_root, contexts)
+
+    raw: list[Violation] = list(parse_failures)
+    for rule in active_rules:
+        for ctx in contexts:
+            raw.extend(rule.check_file(ctx, project))
+        raw.extend(rule.finalize(project))
+
+    active: list[Violation] = []
+    suppressed: list[Violation] = []
+    for violation in sorted(set(raw)):
+        ctx = project.file(violation.path)
+        if ctx is not None and ctx.is_suppressed(violation.line, violation.rule):
+            suppressed.append(violation)
+        else:
+            active.append(violation)
+    return LintReport(
+        root=project_root,
+        files_checked=len(contexts) + len(parse_failures),
+        rules=[rule.code for rule in active_rules],
+        violations=active,
+        suppressed=suppressed,
+    )
+
+
+def apply_suppressions(report: LintReport) -> list[Path]:
+    """Append ``# repro-lint: disable=...`` to every violating line.
+
+    The ``--fix-suppressions`` escape hatch for landing the analyzer on
+    a tree with known, accepted debt: each unsuppressed finding gets an
+    inline waiver (one comment per line, codes merged).  Lines that
+    already carry a ``repro-lint:`` comment are left untouched.  Returns
+    the modified files.
+    """
+    by_file: dict[str, dict[int, set[str]]] = {}
+    for violation in report.violations:
+        if violation.rule == PARSE_ERROR_CODE:
+            continue
+        by_file.setdefault(violation.path, {}).setdefault(
+            violation.line, set()
+        ).add(violation.rule)
+    changed: list[Path] = []
+    for rel, lines in sorted(by_file.items()):
+        path = report.root / rel
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        source_lines = text.splitlines()
+        modified = False
+        for lineno, codes in lines.items():
+            index = lineno - 1
+            if index >= len(source_lines):
+                continue
+            line = source_lines[index]
+            if "repro-lint:" in line:
+                continue
+            joined = ",".join(sorted(codes))
+            source_lines[index] = f"{line}  # repro-lint: disable={joined}"
+            modified = True
+        if modified:
+            trailing = "\n" if text.endswith("\n") else ""
+            path.write_text("\n".join(source_lines) + trailing)
+            changed.append(path)
+    return changed
+
+
+def iter_module_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Top-level function definitions of a module (helper for rules)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def dotted_all_entries(tree: ast.Module) -> list[tuple[str, ast.expr]]:
+    """``__all__`` string entries of a module with their AST nodes."""
+    entries: list[tuple[str, ast.expr]] = []
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    entries.append((element.value, element))
+    return entries
+
+
+def literal_parts(node: ast.expr) -> str | None:
+    """A string constant, or an f-string with placeholders as ``x``.
+
+    Lets rules validate the *shape* of built names
+    (``f"cascade.{name}.in"`` -> ``cascade.x.in``) without evaluating
+    the formatted values.  Returns ``None`` for non-string expressions.
+    """
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, str) else None
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                parts.append("x")
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
+def walk_assign_targets(node: ast.stmt) -> Iterable[ast.expr]:
+    """Assignment target expressions of Assign/AugAssign/AnnAssign."""
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    return []

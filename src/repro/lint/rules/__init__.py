@@ -1,0 +1,77 @@
+"""The ``repro lint`` rule pack — one module per rule.
+
+========  ==============================================================
+RL001     every lower bound is in the no-false-dismissal test registry
+RL002     shared mutable state on the query path is lock/thread guarded
+RL003     no wall clock or unseeded randomness inside ``src/repro``
+RL004     only :class:`~repro.exceptions.ReproError` subclasses raised
+RL005     metric names follow the ``layer.noun`` grammar (DESIGN.md §9)
+RL006     hot-path modules do not allocate inside per-cell loops
+RL007     no dead public exports (``__all__`` referenced nowhere)
+RL008     benchmark workload specs are explicitly seeded
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ...exceptions import ValidationError
+from ..engine import Rule
+from .rl001_nfd_registry import NfdRegistryRule
+from .rl002_shared_state import SharedStateRule
+from .rl003_determinism import DeterminismRule
+from .rl004_exceptions import ExceptionDomainRule
+from .rl005_metric_names import MetricNameRule
+from .rl006_hot_loops import HotLoopAllocationRule
+from .rl007_dead_exports import DeadExportRule
+from .rl008_bench_seeds import BenchSeedRule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "make_rules",
+    "NfdRegistryRule",
+    "SharedStateRule",
+    "DeterminismRule",
+    "ExceptionDomainRule",
+    "MetricNameRule",
+    "HotLoopAllocationRule",
+    "DeadExportRule",
+    "BenchSeedRule",
+]
+
+#: Every rule class, in code order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    NfdRegistryRule,
+    SharedStateRule,
+    DeterminismRule,
+    ExceptionDomainRule,
+    MetricNameRule,
+    HotLoopAllocationRule,
+    DeadExportRule,
+    BenchSeedRule,
+)
+
+RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}
+
+
+def make_rules(codes: Sequence[str] | None = None) -> list[Rule]:
+    """Instantiate the requested rules (all of them by default)."""
+    if codes is None:
+        return [rule() for rule in ALL_RULES]
+    selected: list[Rule] = []
+    seen: set[str] = set()
+    for raw in codes:
+        code = raw.strip().upper()
+        if not code or code in seen:
+            continue
+        rule = RULES_BY_CODE.get(code)
+        if rule is None:
+            known = ", ".join(sorted(RULES_BY_CODE))
+            raise ValidationError(f"unknown lint rule {raw!r} (known: {known})")
+        seen.add(code)
+        selected.append(rule())
+    if not selected:
+        raise ValidationError("no lint rules selected")
+    return selected

@@ -1,0 +1,166 @@
+"""RL001 — every lower bound is property-tested for no false dismissal.
+
+The cascade is only exact because every bound it prunes with satisfies
+``bound(S, Q) <= D_tw(S, Q)``.  That proof obligation is discharged by
+the hypothesis suites, and this rule makes the link machine-checked: a
+declared manifest (``tests/nfd_manifest.py``) maps every lower-bound
+name — ``lb_*`` / ``dtw_lb*`` functions and the cascade tier table —
+to the test file that exercises its no-false-dismissal property, and
+the rule verifies the mapping is complete, the files exist, and each
+one actually references the bound it vouches for.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from ..engine import FileContext, Project, Rule, Violation, iter_module_functions
+
+__all__ = ["NfdRegistryRule"]
+
+#: Function names that denote a lower bound of ``D_tw``.
+_BOUND_NAME_RE = re.compile(r"^(lb_|dtw_lb)")
+
+#: Module-level constants declaring cascade tier names (``TIER_YI = "lb_yi"``).
+_TIER_CONST_RE = re.compile(r"^TIER_[A-Z_]+$")
+
+
+class NfdRegistryRule(Rule):
+    code = "RL001"
+    title = "lower bounds must be in the no-false-dismissal test registry"
+    rationale = (
+        "an unregistered bound could silently prune true answers; the "
+        "manifest ties every bound to the property test proving it cannot"
+    )
+
+    #: Repo-relative path of the declared manifest.
+    manifest_rel = "tests/nfd_manifest.py"
+    manifest_var = "NO_FALSE_DISMISSAL_REGISTRY"
+
+    def _required(
+        self, project: Project
+    ) -> dict[str, tuple[FileContext, ast.AST]]:
+        """Bound name -> (file, anchor node), first definition wins."""
+        required: dict[str, tuple[FileContext, ast.AST]] = {}
+        for ctx in project.files:
+            for func in iter_module_functions(ctx.tree):
+                if _BOUND_NAME_RE.match(func.name) and not func.name.startswith(
+                    "_"
+                ):
+                    required.setdefault(func.name, (ctx, func))
+            for node in ctx.tree.body:
+                if not isinstance(node, ast.Assign):
+                    continue
+                names = [
+                    target.id
+                    for target in node.targets
+                    if isinstance(target, ast.Name)
+                ]
+                if not any(_TIER_CONST_RE.match(name) for name in names):
+                    continue
+                value = node.value
+                if (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                    and _BOUND_NAME_RE.match(value.value)
+                ):
+                    required.setdefault(value.value, (ctx, node))
+        return required
+
+    def _load_manifest(
+        self, project: Project
+    ) -> tuple[dict[str, str] | None, str | None]:
+        """``(registry, error)`` from the manifest file."""
+        path = project.root / self.manifest_rel
+        if not path.is_file():
+            return None, f"manifest {self.manifest_rel} not found"
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except (OSError, SyntaxError) as error:
+            return None, f"manifest {self.manifest_rel} is unreadable: {error}"
+        for node in tree.body:
+            targets: list[ast.expr]
+            value_node: ast.expr
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+                value_node = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+                value_node = node.value
+            else:
+                continue
+            if not any(
+                isinstance(target, ast.Name)
+                and target.id == self.manifest_var
+                for target in targets
+            ):
+                continue
+            try:
+                value = ast.literal_eval(value_node)
+            except ValueError:
+                return None, (
+                    f"manifest {self.manifest_rel}: {self.manifest_var} "
+                    "must be a literal dict"
+                )
+            if not isinstance(value, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in value.items()
+            ):
+                return None, (
+                    f"manifest {self.manifest_rel}: {self.manifest_var} "
+                    "must map bound names to test file paths"
+                )
+            return value, None
+        return None, (
+            f"manifest {self.manifest_rel} does not define {self.manifest_var}"
+        )
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        required = self._required(project)
+        if not required:
+            return
+        registry, error = self._load_manifest(project)
+        if registry is None:
+            for name, (ctx, node) in sorted(required.items()):
+                yield self.violation(
+                    ctx, node, f"lower bound {name!r} cannot be verified: {error}"
+                )
+            return
+        for name, (ctx, node) in sorted(required.items()):
+            test_rel = registry.get(name)
+            if test_rel is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"lower bound {name!r} is not registered in the "
+                    f"no-false-dismissal registry ({self.manifest_rel})",
+                )
+                continue
+            test_path = project.root / test_rel
+            if not test_path.is_file():
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"lower bound {name!r} maps to missing test file "
+                    f"{test_rel!r} in {self.manifest_rel}",
+                )
+                continue
+            try:
+                text = test_path.read_text()
+            except OSError as err:
+                yield self.violation(
+                    ctx, node, f"cannot read registered test {test_rel!r}: {err}"
+                )
+                continue
+            if not re.search(rf"\b{re.escape(name)}\b", text):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"registered test {test_rel!r} never references the "
+                    f"lower bound {name!r}",
+                )
+        # Stale manifest entries (a key matching no bound) are left to the
+        # registry-driven test suite: a partial lint run legitimately sees
+        # only a subset of the bounds, so staleness is not decidable here.

@@ -1,0 +1,220 @@
+"""RL003 — no wall clock and no unseeded randomness in the library.
+
+Work counters (``dtw.cells``, ``cascade.*.pruned``, node reads) are
+gated bit-for-bit against committed baselines, and sharded runs must
+merge to single-shard totals exactly.  Both guarantees require every
+code path to be a deterministic function of the seeded workload: a
+``time.time()`` call or an unseeded ``np.random.default_rng()`` in the
+library proper silently breaks them.
+
+Flagged:
+
+* wall-clock reads (``time.time`` / ``perf_counter`` / ``monotonic`` /
+  ``strftime`` ..., ``datetime.now`` / ``utcnow`` / ``today``),
+* ``np.random.default_rng()`` with no argument, a literal ``None``, or
+  a parameter whose declared default is ``None``,
+* the global-state NumPy RNG (``np.random.rand`` and friends) and the
+  :mod:`random` module-level functions / unseeded ``random.Random()``,
+* ``rng=None`` / ``seed=None`` parameter defaults (the deterministic
+  convention is an integer default, usually ``0``).
+
+The timing plane itself is exempt: everything under ``perf/`` plus the
+declared timing modules (the obs instruments and the CPU-cost
+accounting in the methods/eval layers).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, Project, Rule, Violation
+
+__all__ = ["DeterminismRule"]
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.strftime",
+        "time.gmtime",
+        "time.localtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.random",
+        "numpy.random.randint",
+        "numpy.random.seed",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.normal",
+        "numpy.random.uniform",
+    }
+)
+
+_RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.uniform",
+        "random.gauss",
+        "random.seed",
+    }
+)
+
+_RNG_PARAM_NAMES = frozenset({"rng", "seed"})
+
+
+def _none_default_params(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Parameter names of *func* whose declared default is ``None``."""
+    names: set[str] = set()
+    args = func.args
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults):
+        if isinstance(default, ast.Constant) and default.value is None:
+            names.add(arg.arg)
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if isinstance(kw_default, ast.Constant) and kw_default.value is None:
+            names.add(arg.arg)
+    return names
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, rule: "DeterminismRule", ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.none_params: list[set[str]] = []
+        self.violations: list[Violation] = []
+
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        none_defaults = _none_default_params(node)
+        for name in sorted(none_defaults & _RNG_PARAM_NAMES):
+            self.violations.append(
+                self.rule.violation(
+                    self.ctx,
+                    node,
+                    f"function {node.name!r} defaults {name}=None — use a "
+                    "deterministic integer default so unparameterized "
+                    "calls stay reproducible",
+                )
+            )
+        self.none_params.append(none_defaults)
+        self.generic_visit(node)
+        self.none_params.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _is_unseeded_arg(self, call: ast.Call) -> bool:
+        if call.keywords:
+            return False
+        if not call.args:
+            return True
+        if len(call.args) != 1:
+            return False
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and arg.value is None:
+            return True
+        if isinstance(arg, ast.Name):
+            return any(arg.id in params for params in self.none_params)
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        origin = self.ctx.qualified(node.func)
+        if origin is not None:
+            if origin in _WALL_CLOCK:
+                self.violations.append(
+                    self.rule.violation(
+                        self.ctx,
+                        node,
+                        f"wall-clock call {origin}() in the library — work "
+                        "counters must be deterministic functions of the "
+                        "seeded workload (timing belongs in perf/)",
+                    )
+                )
+            elif origin in _NUMPY_GLOBAL_RNG or origin in _RANDOM_MODULE_FUNCS:
+                self.violations.append(
+                    self.rule.violation(
+                        self.ctx,
+                        node,
+                        f"{origin}() uses hidden global RNG state — pass an "
+                        "explicitly seeded Generator / random.Random instead",
+                    )
+                )
+            elif origin in ("numpy.random.default_rng", "random.Random"):
+                if self._is_unseeded_arg(node):
+                    self.violations.append(
+                        self.rule.violation(
+                            self.ctx,
+                            node,
+                            f"{origin}() without a seed is nondeterministic — "
+                            "every RNG in the library must be constructed "
+                            "from an explicit seed or caller-owned Generator",
+                        )
+                    )
+        self.generic_visit(node)
+
+
+class DeterminismRule(Rule):
+    code = "RL003"
+    title = "no wall clock or unseeded randomness in src/repro"
+    rationale = (
+        "bit-exact counter baselines and shard-merge parity only hold "
+        "when the library is a deterministic function of seeded input"
+    )
+
+    #: Path fragments exempt from this rule (the timing plane).
+    exempt_dirs = ("perf/",)
+    exempt_suffixes = (
+        "obs/metrics.py",
+        "obs/tracing.py",
+        "methods/base.py",
+        "methods/cascade_scan.py",
+        "eval/experiments.py",
+    )
+
+    def _exempt(self, rel: str) -> bool:
+        posix = rel.replace("\\", "/")
+        if any(
+            f"/{fragment}" in f"/{posix}" for fragment in self.exempt_dirs
+        ):
+            return True
+        return posix.endswith(self.exempt_suffixes)
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Violation]:
+        if self._exempt(ctx.rel):
+            return
+        visitor = _DeterminismVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.violations

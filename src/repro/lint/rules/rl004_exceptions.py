@@ -1,0 +1,74 @@
+"""RL004 — only :class:`~repro.exceptions.ReproError` subclasses cross
+the public API boundary.
+
+The library's contract is that any failure it raises is catchable as
+one type.  A bare ``raise ValueError(...)`` deep in a module silently
+breaks that contract for every caller of the public facade.  The fix is
+always a domain subclass — and because several of those dual-inherit
+(``ValidationError(ReproError, ValueError)``), migrating never breaks
+callers catching the builtin.
+
+Deliberate builtin raises that implement a documented protocol (e.g.
+``KeyError`` from a mapping-shaped ``stage(name)`` lookup) are waived
+in place with ``# repro-lint: disable=RL004``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, Project, Rule, Violation
+
+__all__ = ["ExceptionDomainRule"]
+
+#: Builtin exception types that must not cross the API boundary.
+_BUILTIN_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "AttributeError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "StopIteration",
+    }
+)
+
+
+class ExceptionDomainRule(Rule):
+    code = "RL004"
+    title = "raise ReproError subclasses, not bare builtins"
+    rationale = (
+        "callers are promised every library failure is catchable as "
+        "ReproError; a bare builtin raise breaks that contract"
+    )
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name_node: ast.expr = (
+                exc.func if isinstance(exc, ast.Call) else exc
+            )
+            if not isinstance(name_node, ast.Name):
+                continue
+            # An import-shadowed name is not the builtin.
+            if name_node.id in ctx.imports:
+                continue
+            if name_node.id in _BUILTIN_EXCEPTIONS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"bare builtin raise {name_node.id} crosses the public "
+                    "API boundary — raise a ReproError subclass (see "
+                    "repro.exceptions) or waive a documented protocol "
+                    "raise with a suppression",
+                )

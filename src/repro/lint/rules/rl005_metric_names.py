@@ -1,0 +1,101 @@
+"""RL005 — metric names follow the ``layer.noun`` grammar.
+
+DESIGN.md §9 defines the observability namespace: every instrument name
+is at least two dotted lowercase segments, the first naming the layer
+that charges it (``cascade.lb_kim.pruned``, ``index.rtree.node_reads``,
+``engine.queries``, ``dtw.cells``).  A flat name like ``"queries"``
+collides across layers once snapshots merge, and a miscased segment
+splits one logical series into two.
+
+The rule validates every string literal (and the literal skeleton of
+every f-string, with formatted values standing in as one segment)
+passed as the name argument of a registry call — ``.count()``,
+``.observe()``, ``.set_gauge()``, ``.counter()``, ``.gauge()``,
+``.histogram()``, ``.timer()`` on registry-shaped receivers, plus the
+module-level ambient helpers imported from :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from ..engine import FileContext, Project, Rule, Violation, literal_parts
+
+__all__ = ["MetricNameRule"]
+
+#: The DESIGN.md §9 grammar: >= 2 dotted segments of lowercase
+#: alphanumerics, ``_``, ``-`` and the ``[]`` used by shard labels.
+_NAME_GRAMMAR = re.compile(
+    r"^[a-z][a-z0-9_\-\[\]]*(\.[a-z0-9_\-\[\]]+)+$"
+)
+
+_REGISTRY_METHODS = frozenset(
+    {"count", "observe", "set_gauge", "counter", "gauge", "histogram", "timer"}
+)
+
+_AMBIENT_HELPERS = frozenset({"count", "observe", "set_gauge"})
+
+#: Receiver identifiers that denote a metrics registry.  Matching on the
+#: receiver name keeps ``str.count`` / ``list.count`` out of scope.
+_RECEIVER_NAMES = frozenset(
+    {"registry", "per_query", "metrics", "outer", "sink"}
+)
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    """The identifier a method call's receiver ends in, underscores
+    stripped (``self._metrics`` -> ``metrics``)."""
+    if isinstance(node, ast.Name):
+        return node.id.lstrip("_")
+    if isinstance(node, ast.Attribute):
+        return node.attr.lstrip("_")
+    return None
+
+
+class MetricNameRule(Rule):
+    code = "RL005"
+    title = "metric names must match the layer.noun grammar"
+    rationale = (
+        "flat or miscased instrument names collide across layers when "
+        "per-shard snapshots merge (DESIGN.md par.9)"
+    )
+
+    def _is_registry_call(self, ctx: FileContext, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr not in _REGISTRY_METHODS:
+                return False
+            receiver = _receiver_name(func.value)
+            return receiver is not None and (
+                receiver in _RECEIVER_NAMES
+                or receiver.endswith("registry")
+                or receiver.endswith("metrics")
+            )
+        if isinstance(func, ast.Name) and func.id in _AMBIENT_HELPERS:
+            origin = ctx.imports.get(func.id, "")
+            return origin.endswith(f"obs.metrics.{func.id}") or origin.endswith(
+                f"obs.{func.id}"
+            )
+        return False
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            if not self._is_registry_call(ctx, node):
+                continue
+            name = literal_parts(node.args[0])
+            if name is None:
+                continue
+            if not _NAME_GRAMMAR.match(name):
+                yield self.violation(
+                    ctx,
+                    node.args[0],
+                    f"metric name {name!r} does not follow the layer.noun "
+                    "grammar of DESIGN.md par.9 (>= 2 dotted lowercase "
+                    "segments, e.g. 'sharded.queries')",
+                )

@@ -1,0 +1,141 @@
+"""RL006 — hot-path modules must not allocate inside per-cell loops.
+
+The DTW kernel and the cascade's batched tiers are the measured inner
+loops of every benchmark; an ``np.zeros`` or a list comprehension
+re-executed per cell (i.e. at loop depth >= 2) turns an O(1) step into
+an allocator round-trip and shows up directly in the gated wall-time
+series.  The convention is to hoist buffers out of the loop nest and
+mutate them in place (``mask[:] = True``) — this rule flags the
+allocations that were not hoisted.
+
+Scope is the configured hot modules only (``distance/dtw.py``,
+``core/cascade.py``); a comprehension or constructor call at depth 0/1
+(per-query, not per-cell) is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, Project, Rule, Violation
+
+__all__ = ["HotLoopAllocationRule"]
+
+#: Call origins that allocate a fresh container/array.
+_ALLOCATING_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.empty",
+        "numpy.full",
+        "numpy.stack",
+        "numpy.vstack",
+        "numpy.hstack",
+        "numpy.concatenate",
+        "numpy.arange",
+        "numpy.tile",
+        "numpy.repeat",
+    }
+)
+
+#: Loop depth at which an allocation counts as per-cell.
+_HOT_DEPTH = 2
+
+
+class _LoopVisitor(ast.NodeVisitor):
+    def __init__(self, rule: "HotLoopAllocationRule", ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.depth = 0
+        self.violations: list[Violation] = []
+
+    def _enter_loop(self, node: ast.For | ast.While) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._enter_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._enter_loop(node)
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.violations.append(
+            self.rule.violation(
+                self.ctx,
+                node,
+                f"{what} inside a depth-{self.depth} loop nest of a hot-path "
+                "module — hoist the buffer out of the loop and mutate it "
+                "in place",
+            )
+        )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        if self.depth >= _HOT_DEPTH:
+            self._flag(node, "list comprehension allocates")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        if self.depth >= _HOT_DEPTH:
+            self._flag(node, "set comprehension allocates")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        if self.depth >= _HOT_DEPTH:
+            self._flag(node, "dict comprehension allocates")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.depth >= _HOT_DEPTH:
+            origin = self.ctx.qualified(node.func)
+            if origin is not None and origin in _ALLOCATING_CALLS:
+                self._flag(node, f"{origin}() allocates")
+        self.generic_visit(node)
+
+    # A nested function body restarts the depth count: its loops run in
+    # their own invocation, not per cell of the enclosing nest.
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        outer = self.depth
+        self.depth = 0
+        self.generic_visit(node)
+        self.depth = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_function(node)
+
+
+class HotLoopAllocationRule(Rule):
+    code = "RL006"
+    title = "no allocation inside per-cell loops of hot-path modules"
+    rationale = (
+        "the DTW/cascade inner loops are the benchmarked kernels; a "
+        "per-cell allocation regresses the gated wall-time series"
+    )
+
+    #: Repo-relative suffixes of the hot-path modules.
+    hot_modules = ("distance/dtw.py", "core/cascade.py")
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Violation]:
+        posix = ctx.rel.replace("\\", "/")
+        if not posix.endswith(self.hot_modules):
+            return
+        visitor = _LoopVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.violations

@@ -1,0 +1,64 @@
+"""RL007 — no dead public exports.
+
+A name in ``__all__`` is a promise: it is API someone can build on, so
+it must be exercised by tests, used by the tree, or at least documented.
+A symbol exported nowhere-referenced is usually a refactoring leftover —
+and worse, it silently rots because nothing would fail if it broke.
+
+The reference corpus is every Python file under ``src`` / ``tests`` /
+``benchmarks`` / ``examples`` plus the Markdown docs (``*.md`` at the
+repo root and under ``docs/``): a documented symbol is alive.  Files
+that themselves export the name (the defining module and any
+re-exporting ``__init__``) do not count as references.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, Project, Rule, Violation, dotted_all_entries
+
+__all__ = ["DeadExportRule"]
+
+
+class DeadExportRule(Rule):
+    code = "RL007"
+    title = "every __all__ export must be referenced somewhere"
+    rationale = (
+        "an unreferenced public symbol is untested API that silently "
+        "rots; reference it from tests/docs or stop exporting it"
+    )
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        # name -> (exporting rel paths, first anchor)
+        exports: dict[str, tuple[set[str], FileContext, object]] = {}
+        for ctx in project.files:
+            for name, node in dotted_all_entries(ctx.tree):
+                if name in exports:
+                    exports[name][0].add(ctx.rel)
+                else:
+                    exports[name] = ({ctx.rel}, ctx, node)
+        if not exports:
+            return
+        corpus = project.reference_identifiers()
+        # The checked files may live outside the reference dirs (e.g. a
+        # fixture tree); fold their identifier sets in as well.
+        merged: dict[str, frozenset[str]] = dict(corpus)
+        for ctx in project.files:
+            merged.setdefault(ctx.rel, ctx.identifiers())
+        for name, (exporting, ctx, node) in sorted(exports.items()):
+            referenced = any(
+                name in identifiers
+                for rel, identifiers in merged.items()
+                if rel not in exporting
+            )
+            if not referenced:
+                anchor = node if isinstance(node, ast.AST) else None
+                yield self.violation(
+                    ctx,
+                    anchor,
+                    f"public symbol {name!r} is exported in __all__ but "
+                    "referenced nowhere in src/tests/benchmarks/docs — "
+                    "exercise it or stop exporting it",
+                )

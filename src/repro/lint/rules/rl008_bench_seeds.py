@@ -1,0 +1,68 @@
+"""RL008 — benchmark workload specs must be explicitly seeded.
+
+The regression gate compares work counters bit-for-bit against the
+committed baselines, which is only meaningful when every spec in
+``perf/workloads.py`` pins its dataset seed.  A ``DatasetSpec`` (or a
+direct dataset-generator call) relying on an implicit or defaulted seed
+would drift the counters and turn the gate into noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, Project, Rule, Violation
+
+__all__ = ["BenchSeedRule"]
+
+#: Constructors/generators that must receive an explicit ``seed=``.
+_SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "DatasetSpec",
+        "random_walk_dataset",
+        "synthetic_sp500",
+        "cbf_dataset",
+    }
+)
+
+
+class BenchSeedRule(Rule):
+    code = "RL008"
+    title = "benchmark specs in perf/workloads.py must set seeds"
+    rationale = (
+        "unseeded workloads make the bit-exact counter baselines "
+        "non-comparable across runs"
+    )
+
+    #: Repo-relative suffixes this rule applies to.
+    target_suffixes = ("perf/workloads.py",)
+
+    def check_file(
+        self, ctx: FileContext, project: Project
+    ) -> Iterator[Violation]:
+        posix = ctx.rel.replace("\\", "/")
+        if not posix.endswith(self.target_suffixes):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name is None or name not in _SEEDED_CONSTRUCTORS:
+                continue
+            keywords = {kw.arg for kw in node.keywords if kw.arg is not None}
+            if "seed" not in keywords and "rng" not in keywords:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{name}(...) in the benchmark workload registry must "
+                    "pass an explicit seed= so counter baselines stay "
+                    "bit-comparable",
+                )

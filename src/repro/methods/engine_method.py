@@ -17,6 +17,7 @@ unchanged.
 from __future__ import annotations
 
 from ..core.engine import TimeWarpingDatabase
+from ..exceptions import NotBuiltError
 from ..types import Sequence
 from .base import MethodStats, SearchMethod
 
@@ -59,7 +60,7 @@ class EngineMethod(SearchMethod):
     def engine(self) -> TimeWarpingDatabase:
         """The built facade (after :meth:`build`)."""
         if self._engine_db is None:
-            raise RuntimeError(f"{self.name} has not been built")
+            raise NotBuiltError(f"{self.name} has not been built")
         return self._engine_db
 
     def index_size_in_bytes(self) -> int:

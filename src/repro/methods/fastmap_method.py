@@ -22,6 +22,7 @@ The embedding + image tree live behind the shared
 from __future__ import annotations
 
 from ..core.query_engine import charged_candidates
+from ..exceptions import NotBuiltError
 from ..index.backend import FastMapBackend
 from ..index.rtree.rtree import RTree
 from ..types import Sequence
@@ -63,7 +64,7 @@ class FastMapMethod(SearchMethod):
     def backend(self) -> FastMapBackend:
         """The built FastMap backend (after :meth:`build`)."""
         if self._backend is None:
-            raise RuntimeError("FastMap method has not been built")
+            raise NotBuiltError("FastMap method has not been built")
         return self._backend
 
     @property

@@ -23,7 +23,7 @@ from __future__ import annotations
 from ..core.cascade import CascadeStats, StageStats, verify_stage
 from ..core.query_engine import charged_candidates
 from ..distance.dtw import dtw_max_early_abandon
-from ..exceptions import ValidationError
+from ..exceptions import NotBuiltError, ValidationError
 from ..index.backend import SuffixTreeBackend
 from ..index.rtree.stats import AccessStats
 from ..index.suffixtree.search import WarpingTraversal
@@ -76,7 +76,7 @@ class STFilter(SearchMethod):
     def backend(self) -> SuffixTreeBackend:
         """The built suffix-tree backend (after :meth:`build`)."""
         if self._backend is None:
-            raise RuntimeError("ST-Filter has not been built")
+            raise NotBuiltError("ST-Filter has not been built")
         return self._backend
 
     @property

@@ -25,9 +25,11 @@ R-tree, R+-tree, R*-tree, and X-tree can be used".
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..core.cascade import CascadeStats, StageStats, verify_stage
 from ..core.query_engine import charged_candidates
-from ..exceptions import ValidationError
+from ..exceptions import NotBuiltError, ValidationError
 from ..index.backend import BACKENDS, IndexBackend, make_backend
 from ..index.rtree.rtree import SplitStrategy
 from ..types import Sequence
@@ -86,11 +88,11 @@ class TWSimSearch(SearchMethod):
     def backend(self) -> IndexBackend:
         """The built index backend (after :meth:`build`)."""
         if self._backend is None:
-            raise RuntimeError("TW-Sim-Search has not been built")
+            raise NotBuiltError("TW-Sim-Search has not been built")
         return self._backend
 
     @property
-    def tree(self):
+    def tree(self) -> Any:
         """The built 4-d feature index structure (after :meth:`build`)."""
         backend = self.backend
         return getattr(backend, "tree", backend)

@@ -27,6 +27,7 @@ __all__ = [
     "snapshot_to_dict",
     "snapshot_to_json",
     "snapshot_to_csv",
+    "render_table",
     "render_metrics_table",
     "render_pruning_waterfall",
     "span_to_dict",
@@ -85,6 +86,40 @@ def _format_value(value: float) -> str:
     return f"{value:.6g}"
 
 
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A generic fixed-width text table (headers, dashed rule, rows).
+
+    The shared renderer behind the metrics table and the lint report:
+    column widths fit the widest cell, the last column is not padded.
+    """
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    header_line = "  ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    ).rstrip()
+    lines: list[str] = []
+    if title is not None:
+        lines.append(title)
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append(
+            "  ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
 def render_metrics_table(snapshot: MetricsSnapshot) -> str:
     """A fixed-width table of every instrument, grouped and sorted."""
     rows: list[tuple[str, str, str]] = []
@@ -100,13 +135,7 @@ def render_metrics_table(snapshot: MetricsSnapshot) -> str:
         rows.append(("histogram", name, detail))
     if not rows:
         return "(no metrics recorded)"
-    kind_w = max(len(kind) for kind, _, _ in rows)
-    name_w = max(len(name) for _, name, _ in rows)
-    lines = [f"{'kind':<{kind_w}}  {'name':<{name_w}}  value"]
-    lines.append("-" * len(lines[0]))
-    for kind, name, value in rows:
-        lines.append(f"{kind:<{kind_w}}  {name:<{name_w}}  {value}")
-    return "\n".join(lines)
+    return render_table(("kind", "name", "value"), rows)
 
 
 def render_pruning_waterfall(

@@ -36,6 +36,8 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
+from ..exceptions import ValidationError
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -62,7 +64,7 @@ _NAME_RE = re.compile(r"^[a-z0-9_\-\[\]]+(\.[a-z0-9_\-\[\]]+)*$")
 
 def _check_name(name: str) -> str:
     if not _NAME_RE.match(name):
-        raise ValueError(
+        raise ValidationError(
             f"invalid metric name {name!r}: use dotted lowercase segments"
         )
     return name
@@ -81,7 +83,7 @@ class Counter:
     def inc(self, amount: float = 1) -> None:
         """Add *amount* (must be non-negative) to the counter."""
         if amount < 0:
-            raise ValueError(
+            raise ValidationError(
                 f"counter {self.name!r} cannot decrease (got {amount})"
             )
         with self._lock:

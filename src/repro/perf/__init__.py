@@ -39,6 +39,7 @@ from .spec import (
     DatasetSpec,
     VariantSpec,
     bench_filename,
+    load_bench_file,
 )
 from .workloads import SMOKE_SUITE, WORKLOADS, get_spec, iter_specs
 
@@ -49,6 +50,7 @@ __all__ = [
     "DatasetSpec",
     "VariantSpec",
     "bench_filename",
+    "load_bench_file",
     "run_spec",
     "write_bench_result",
     "to_experiment_result",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from .spec import BenchResult
+from .spec import BenchResult, load_bench_file
 
 __all__ = [
     "DEFAULT_BASELINE_DIR",
@@ -40,7 +40,7 @@ def load_baseline(
     path = baseline_path(name, smoke=smoke, baseline_dir=baseline_dir)
     if not path.is_file():
         return None
-    return BenchResult.from_json(path.read_text())
+    return load_bench_file(path)
 
 
 def save_baseline(

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Any, Mapping
 
 from ..exceptions import BenchSchemaError, ValidationError
@@ -36,6 +37,7 @@ __all__ = [
     "BenchSpec",
     "BenchResult",
     "bench_filename",
+    "load_bench_file",
 ]
 
 #: Version of the ``BENCH_*.json`` document layout.  Bump on any
@@ -297,3 +299,24 @@ class BenchResult:
         if not isinstance(data, dict):
             raise BenchSchemaError("bench result must be a JSON object")
         return cls.from_dict(data)
+
+
+def load_bench_file(path: "str | Path") -> BenchResult:
+    """Read and parse one ``BENCH_*.json`` (or baseline) file.
+
+    Every failure mode — unreadable file, non-JSON bytes, unknown schema
+    — surfaces as a :class:`BenchSchemaError` naming *path*, so the CLI
+    reports a clean one-line error instead of a traceback when a
+    trajectory or baseline file is missing or corrupt.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError as error:
+        raise BenchSchemaError(
+            f"cannot read bench file {target}: {error}"
+        ) from error
+    try:
+        return BenchResult.from_json(text)
+    except BenchSchemaError as error:
+        raise BenchSchemaError(f"{target}: {error}") from error

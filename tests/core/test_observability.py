@@ -32,10 +32,10 @@ PARITY_BACKENDS = ["rtree", "rstar", "linear"]
 #: Counters that must not depend on how the data is partitioned.  Node
 #: reads and page counts depend on tree shape / heap layout and are
 #: deliberately absent; ``engine.queries`` counts per-engine invocations
-#: (x N with N shards) and is covered by the top-level ``queries``.
+#: (x N with N shards) and is covered by the top-level ``sharded.queries``.
 INVARIANT_PREFIXES = ("cascade.", "dtw.")
 INVARIANT_NAMES = (
-    "queries",
+    "sharded.queries",
     "engine.candidates",
     "engine.answers",
     "storage.fetches",
@@ -84,7 +84,7 @@ class TestShardMergeParity:
         left = _invariant(single.metrics_snapshot())
         right = _invariant(sharded.metrics_snapshot())
         assert left == right
-        assert left["queries"] == len(queries)
+        assert left["sharded.queries"] == len(queries)
         assert any(name.startswith("cascade.") for name in left)
         assert left["dtw.cells"] == right["dtw.cells"]
 
@@ -125,14 +125,14 @@ class TestCumulativeRegistry:
         one = db.search_detailed(arrays[0], 1.0).metrics
         db.search(arrays[0], 1.0)
         total = db.metrics_snapshot()
-        assert total.counter("queries") == 2
+        assert total.counter("sharded.queries") == 2
         assert total.counter("dtw.cells") == 2 * one.counter("dtw.cells")
 
     def test_structure_gauges_present(self, arrays) -> None:
         db = _build(arrays, "rstar", 2)
         db.search(arrays[0], 1.0)
         snapshot = db.metrics_snapshot()
-        assert snapshot.gauges["shards"] == 2
+        assert snapshot.gauges["sharded.shards"] == 2
         assert snapshot.gauges["storage.sequences"] == len(arrays)
         assert snapshot.gauges["index.rstar.nodes"] > 0
 
@@ -142,7 +142,7 @@ class TestCumulativeRegistry:
         with use_registry(registry):
             db.search(arrays[1], 1.5)
         snapshot = registry.snapshot()
-        assert snapshot.counter("queries") == 1
+        assert snapshot.counter("sharded.queries") == 1
         assert snapshot.counter("dtw.cells") > 0
         # No double counting: ambient equals the per-query charge.
         assert _invariant(snapshot) == _invariant(

@@ -1,0 +1,170 @@
+"""Registry-driven no-false-dismissal properties for every lower bound.
+
+This is the suite the ``tests/nfd_manifest.py`` registry points at (and
+``repro lint`` rule RL001 enforces the pointing).  Every bound named
+there is exercised against the exact distance it claims to bound:
+
+* ``lb_yi`` / ``lb_yi_from_features`` — Yi et al.'s max/min bound,
+* ``lb_kim`` — the cascade tier name of the paper's Definition-3
+  4-feature bound, implemented by ``dtw_lb`` and friends,
+* ``lb_keogh`` / ``lb_keogh_batch`` — the envelope bound of
+  band-constrained DTW,
+* ``dtw_lb`` / ``dtw_lb_features`` / ``dtw_lb_batch`` /
+  ``dtw_lb_pairwise`` — the Definition-3 bound in its scalar, feature,
+  batched, and pairwise forms.
+
+The suite also closes the loop the static rule cannot: stale registry
+entries (keys naming no importable bound) fail here at run time.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cascade import DEFAULT_TIERS, TIER_KEOGH, TIER_KIM, TIER_YI
+from repro.core.features import extract_feature, feature_array
+from repro.core.lower_bound import (
+    dtw_lb,
+    dtw_lb_batch,
+    dtw_lb_features,
+    dtw_lb_pairwise,
+)
+from repro.distance.bands import sakoe_chiba_window
+from repro.distance.dtw import dtw_max, dtw_max_matrix
+from repro.distance.lb_keogh import lb_keogh, lb_keogh_batch, warping_envelope
+from repro.distance.lb_yi import lb_yi, lb_yi_from_features
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+elements = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+)
+sequence_strategy = st.lists(elements, min_size=1, max_size=12)
+database_strategy = st.lists(sequence_strategy, min_size=1, max_size=8)
+length_strategy = st.integers(min_value=1, max_value=12)
+radius_strategy = st.integers(min_value=0, max_value=4)
+
+
+def _load_registry() -> dict[str, str]:
+    spec = importlib.util.spec_from_file_location(
+        "nfd_manifest", REPO_ROOT / "tests" / "nfd_manifest.py"
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return dict(module.NO_FALSE_DISMISSAL_REGISTRY)
+
+
+#: Bound name -> the callable (or tier constant) it certifies.  The
+#: registry's keys must exactly cover this table; drift fails the suite.
+KNOWN_BOUNDS: dict[str, object] = {
+    "lb_yi": lb_yi,
+    "lb_yi_from_features": lb_yi_from_features,
+    "lb_kim": dtw_lb,  # the Definition-3 bound behind the lb_kim tier
+    "lb_keogh": lb_keogh,
+    "lb_keogh_batch": lb_keogh_batch,
+    "dtw_lb": dtw_lb,
+    "dtw_lb_features": dtw_lb_features,
+    "dtw_lb_batch": dtw_lb_batch,
+    "dtw_lb_pairwise": dtw_lb_pairwise,
+}
+
+
+class TestRegistryIntegrity:
+    def test_every_entry_names_a_known_bound(self) -> None:
+        """Stale keys (bounds that no longer exist) fail loudly here."""
+        registry = _load_registry()
+        assert set(registry) == set(KNOWN_BOUNDS)
+
+    def test_every_entry_points_at_an_existing_test_file(self) -> None:
+        registry = _load_registry()
+        for name, rel in registry.items():
+            assert (REPO_ROOT / rel).is_file(), (name, rel)
+
+    def test_cascade_tiers_are_registered(self) -> None:
+        """Every tier the default cascade prunes with is certified."""
+        registry = _load_registry()
+        assert set(DEFAULT_TIERS) == {TIER_YI, TIER_KIM, TIER_KEOGH}
+        for tier in DEFAULT_TIERS:
+            assert tier in registry
+
+
+class TestYiBounds:
+    @given(sequence_strategy, sequence_strategy)
+    @settings(deadline=None)
+    def test_lb_yi_never_exceeds_dtw(self, s, q) -> None:
+        assert lb_yi(s, q) <= dtw_max(s, q) + 1e-9
+
+    @given(database_strategy, sequence_strategy)
+    @settings(deadline=None)
+    def test_lb_yi_from_features_never_exceeds_dtw(self, sequences, q) -> None:
+        features = feature_array(sequences)
+        bounds = lb_yi_from_features(features, extract_feature(q))
+        for row, values in enumerate(sequences):
+            assert bounds[row] <= dtw_max(values, q) + 1e-9
+
+
+class TestKimDefinition3Bounds:
+    """The 4-feature bound behind the lb_kim cascade tier."""
+
+    @given(sequence_strategy, sequence_strategy)
+    @settings(deadline=None)
+    def test_dtw_lb_never_exceeds_dtw(self, s, q) -> None:
+        assert dtw_lb(s, q) <= dtw_max(s, q) + 1e-9
+
+    @given(sequence_strategy, sequence_strategy)
+    @settings(deadline=None)
+    def test_dtw_lb_features_matches_dtw_lb(self, s, q) -> None:
+        via_features = dtw_lb_features(extract_feature(s), extract_feature(q))
+        assert via_features == dtw_lb(s, q)
+
+    @given(database_strategy, sequence_strategy)
+    @settings(deadline=None)
+    def test_dtw_lb_batch_never_exceeds_dtw(self, sequences, q) -> None:
+        bounds = dtw_lb_batch(feature_array(sequences), extract_feature(q))
+        for row, values in enumerate(sequences):
+            assert bounds[row] <= dtw_max(values, q) + 1e-9
+            assert bounds[row] == dtw_lb(values, q)
+
+    @given(database_strategy, database_strategy)
+    @settings(deadline=None)
+    def test_dtw_lb_pairwise_never_exceeds_dtw(self, left, right) -> None:
+        matrix = dtw_lb_pairwise(feature_array(left), feature_array(right))
+        for i, s in enumerate(left):
+            for j, q in enumerate(right):
+                assert matrix[i, j] <= dtw_max(s, q) + 1e-9
+                assert matrix[i, j] == dtw_lb(s, q)
+
+
+def _banded_dtw(s, q, radius: int) -> float:
+    window = sakoe_chiba_window(len(s), len(q), radius)
+    return dtw_max_matrix(s, q, window=window).distance
+
+
+class TestKeoghBounds:
+    @given(length_strategy, st.data(), radius_strategy)
+    @settings(deadline=None)
+    def test_lb_keogh_never_exceeds_banded_dtw(self, n, data, radius) -> None:
+        row = st.lists(elements, min_size=n, max_size=n)
+        s = data.draw(row)
+        q = data.draw(row)
+        assert lb_keogh(s, q, radius=radius) <= _banded_dtw(s, q, radius) + 1e-9
+
+    @given(length_strategy, st.data(), radius_strategy)
+    @settings(deadline=None)
+    def test_lb_keogh_batch_never_exceeds_banded_dtw(
+        self, n, data, radius
+    ) -> None:
+        row = st.lists(elements, min_size=n, max_size=n)
+        rows = data.draw(st.lists(row, min_size=1, max_size=6))
+        q = data.draw(row)
+        upper, lower = warping_envelope(q, radius)
+        bounds = lb_keogh_batch(np.asarray(rows, dtype=np.float64), upper, lower)
+        for i, s in enumerate(rows):
+            assert bounds[i] <= _banded_dtw(s, q, radius) + 1e-9
+            assert bounds[i] == lb_keogh(s, q, radius=radius)

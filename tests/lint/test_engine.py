@@ -1,0 +1,245 @@
+"""Engine semantics: suppressions, parse errors, reporters, and the CLI.
+
+Ends with the self-check the whole PR hangs on: ``repro lint src/repro``
+over the shipped tree exits 0 — the analyzer's own invariants hold for
+the package that defines them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.exceptions import ValidationError
+from repro.lint import LintReport, run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import PARSE_ERROR_CODE, apply_suppressions
+
+from .conftest import codes
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_BARE_RAISE = """\
+def f(x):
+    raise ValueError(x)
+"""
+
+
+class TestSuppressions:
+    def test_inline_suppression_moves_finding_to_suppressed(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def f(x):
+                    raise ValueError(x)  # repro-lint: disable=RL004
+                """
+            },
+            rules=["RL004"],
+        )
+        assert codes(report) == []
+        assert [v.rule for v in report.suppressed] == ["RL004"]
+        assert report.exit_code == 0
+
+    def test_suppression_only_covers_its_own_line(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def f(x):
+                    # repro-lint: disable=RL004
+                    raise ValueError(x)
+                """
+            },
+            rules=["RL004"],
+        )
+        assert codes(report) == ["RL004"]
+
+    def test_suppression_is_per_rule(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def f(x):
+                    raise ValueError(x)  # repro-lint: disable=RL003
+                """
+            },
+            rules=["RL004"],
+        )
+        assert codes(report) == ["RL004"]
+
+    def test_disable_file_waives_the_whole_module(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                # repro-lint: disable-file=RL004
+
+                def f(x):
+                    raise ValueError(x)
+
+                def g(x):
+                    raise TypeError(x)
+                """
+            },
+            rules=["RL004"],
+        )
+        assert codes(report) == []
+        assert len(report.suppressed) == 2
+
+    def test_disable_all_waives_every_rule(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                import time
+
+                def f(x):
+                    return time.time() or x  # repro-lint: disable=all
+                """
+            },
+            rules=["RL003"],
+        )
+        assert codes(report) == []
+        assert len(report.suppressed) == 1
+
+
+class TestEngineBehaviour:
+    def test_unparseable_file_yields_rl000(self, lint_project) -> None:
+        report = lint_project({"src/pkg/broken.py": "def f(:\n"})
+        assert codes(report) == [PARSE_ERROR_CODE]
+        assert report.files_checked == 1
+        assert report.exit_code == 1
+
+    def test_empty_path_list_is_rejected(self) -> None:
+        with pytest.raises(ValidationError):
+            run_lint([])
+
+    def test_missing_path_is_rejected(self, tmp_path) -> None:
+        with pytest.raises(ValidationError):
+            run_lint([tmp_path / "nope"])
+
+    def test_unknown_rule_is_rejected(self, lint_project) -> None:
+        with pytest.raises(ValidationError, match="unknown lint rule"):
+            lint_project({"src/pkg/mod.py": "x = 1\n"}, rules=["RL999"])
+
+    def test_report_json_shape(self, lint_project) -> None:
+        report = lint_project({"src/pkg/mod.py": _BARE_RAISE}, rules=["RL004"])
+        doc = json.loads(report.to_json())
+        assert doc["summary"] == {"violations": 1, "suppressed": 0}
+        assert doc["rules"] == ["RL004"]
+        (entry,) = doc["violations"]
+        assert entry["rule"] == "RL004"
+        assert entry["path"] == "src/pkg/mod.py"
+        assert entry["line"] == 2
+
+    def test_report_render_table(self, lint_project) -> None:
+        report = lint_project({"src/pkg/mod.py": _BARE_RAISE}, rules=["RL004"])
+        text = report.render()
+        assert "rule" in text and "location" in text
+        assert "src/pkg/mod.py:2:" in text
+        assert "1 violation(s)" in text
+
+    def test_clean_run_reports_zero(self, lint_project) -> None:
+        report = lint_project({"src/pkg/mod.py": "x = 1\n"})
+        assert isinstance(report, LintReport)
+        assert report.exit_code == 0
+        assert "0 violation(s)" in report.render()
+
+
+class TestApplySuppressions:
+    def test_round_trip_silences_the_finding(self, lint_project) -> None:
+        report = lint_project({"src/pkg/mod.py": _BARE_RAISE}, rules=["RL004"])
+        assert report.exit_code == 1
+        changed = apply_suppressions(report)
+        assert [p.name for p in changed] == ["mod.py"]
+        text = (report.root / "src/pkg/mod.py").read_text()
+        assert "# repro-lint: disable=RL004" in text
+        again = run_lint([report.root / "src"], rules=["RL004"], root=report.root)
+        assert again.exit_code == 0
+        assert [v.rule for v in again.suppressed] == ["RL004"]
+
+    def test_existing_waiver_lines_are_untouched(self, lint_project) -> None:
+        source = """\
+        def f(x):
+            raise ValueError(x)  # repro-lint: disable=RL003
+        """
+        report = lint_project({"src/pkg/mod.py": source}, rules=["RL004"])
+        assert report.exit_code == 1
+        assert apply_suppressions(report) == []
+
+
+class TestCli:
+    def _project(self, tmp_path: Path, source: str) -> Path:
+        (tmp_path / "pyproject.toml").write_text('[project]\nname = "fx"\n')
+        mod = tmp_path / "src" / "pkg" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(source)
+        return tmp_path
+
+    def test_violation_exits_nonzero_with_table(self, tmp_path, capsys) -> None:
+        root = self._project(tmp_path, _BARE_RAISE)
+        code = repro_main(
+            ["lint", str(root / "src"), "--rules", "RL004"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RL004" in out and "1 violation(s)" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys) -> None:
+        root = self._project(tmp_path, "x = 1\n")
+        code = repro_main(["lint", str(root / "src")])
+        assert code == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_json_format_emits_artifact(self, tmp_path, capsys) -> None:
+        root = self._project(tmp_path, _BARE_RAISE)
+        code = repro_main(
+            ["lint", str(root / "src"), "--rules", "RL004", "--format", "json"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["violations"] == 1
+
+    def test_unknown_rule_is_a_clean_cli_error(self, tmp_path, capsys) -> None:
+        root = self._project(tmp_path, "x = 1\n")
+        code = repro_main(["lint", str(root / "src"), "--rules", "RL999"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert "unknown lint rule" in captured.err
+
+    def test_fix_suppressions_flag(self, tmp_path, capsys) -> None:
+        root = self._project(tmp_path, _BARE_RAISE)
+        code = repro_main(
+            ["lint", str(root / "src"), "--rules", "RL004", "--fix-suppressions"]
+        )
+        assert code == 0
+        assert "added suppressions for 1 violation(s)" in capsys.readouterr().out
+        assert "disable=RL004" in (root / "src" / "pkg" / "mod.py").read_text()
+
+    def test_standalone_entry_point_delegates(self, tmp_path, capsys) -> None:
+        root = self._project(tmp_path, _BARE_RAISE)
+        code = lint_main([str(root / "src"), "--rules", "RL004"])
+        assert code == 1
+        assert "RL004" in capsys.readouterr().out
+
+
+class TestShippedTree:
+    def test_repro_lint_src_is_clean(self, capsys) -> None:
+        """The analyzer's own package tree passes its own rule pack."""
+        code = repro_main(
+            [
+                "lint",
+                str(REPO_ROOT / "src"),
+                "--project-root",
+                str(REPO_ROOT),
+                "--format",
+                "json",
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0, doc["violations"]
+        assert doc["summary"]["violations"] == 0
+        assert doc["rules"] == [f"RL{n:03d}" for n in range(1, 9)]
+        assert doc["files_checked"] > 50

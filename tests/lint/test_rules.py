@@ -1,0 +1,456 @@
+"""Positive/negative fixture pairs for every rule in the pack.
+
+Each rule class is imported by name (they are public API of
+``repro.lint.rules``) and exercised through the full engine against a
+tiny on-disk project, never by calling visitor internals directly.
+"""
+
+from __future__ import annotations
+
+from repro.lint import ALL_RULES, RULES_BY_CODE
+from repro.lint.rules import (
+    BenchSeedRule,
+    DeadExportRule,
+    DeterminismRule,
+    ExceptionDomainRule,
+    HotLoopAllocationRule,
+    MetricNameRule,
+    NfdRegistryRule,
+    SharedStateRule,
+)
+
+from .conftest import by_rule, codes
+
+
+class TestRulePack:
+    def test_all_rules_are_registered_by_code(self) -> None:
+        assert [rule.code for rule in ALL_RULES] == [
+            f"RL{n:03d}" for n in range(1, 9)
+        ]
+        assert RULES_BY_CODE["RL001"] is NfdRegistryRule
+        assert RULES_BY_CODE["RL002"] is SharedStateRule
+        assert RULES_BY_CODE["RL003"] is DeterminismRule
+        assert RULES_BY_CODE["RL004"] is ExceptionDomainRule
+        assert RULES_BY_CODE["RL005"] is MetricNameRule
+        assert RULES_BY_CODE["RL006"] is HotLoopAllocationRule
+        assert RULES_BY_CODE["RL007"] is DeadExportRule
+        assert RULES_BY_CODE["RL008"] is BenchSeedRule
+
+    def test_every_rule_declares_title_and_rationale(self) -> None:
+        for rule in ALL_RULES:
+            assert rule.title and rule.rationale
+
+
+class TestRL001NfdRegistry:
+    def test_unregistered_bound_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {"src/pkg/bounds.py": "def lb_test(s, q):\n    return 0.0\n"},
+            rules=["RL001"],
+        )
+        assert codes(report) == ["RL001"]
+        assert "manifest" in report.violations[0].message
+
+    def test_registered_and_referenced_bound_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/bounds.py": "def lb_test(s, q):\n    return 0.0\n",
+                "tests/nfd_manifest.py": (
+                    'NO_FALSE_DISMISSAL_REGISTRY = {"lb_test": "tests/test_b.py"}\n'
+                ),
+                "tests/test_b.py": "from pkg.bounds import lb_test\n",
+            },
+            rules=["RL001"],
+        )
+        assert codes(report) == []
+
+    def test_mapped_test_must_reference_the_bound(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/bounds.py": "def lb_test(s, q):\n    return 0.0\n",
+                "tests/nfd_manifest.py": (
+                    'NO_FALSE_DISMISSAL_REGISTRY = {"lb_test": "tests/test_b.py"}\n'
+                ),
+                "tests/test_b.py": "def test_unrelated():\n    pass\n",
+            },
+            rules=["RL001"],
+        )
+        assert "never references" in by_rule(report, "RL001")[0]
+
+    def test_tier_constants_require_registration(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/tiers.py": 'TIER_NEW = "lb_new"\n',
+                "tests/nfd_manifest.py": "NO_FALSE_DISMISSAL_REGISTRY = {}\n",
+            },
+            rules=["RL001"],
+        )
+        assert "lb_new" in by_rule(report, "RL001")[0]
+
+
+class TestRL002SharedState:
+    def test_unguarded_write_on_query_path_is_flagged(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {
+                "src/pkg/engine.py": """\
+                class QueryEngine:
+                    def __init__(self):
+                        self._cache = None
+
+                    def search(self, q):
+                        self._cache = q
+                        return self._cache
+                """
+            },
+            rules=["RL002"],
+        )
+        assert codes(report) == ["RL002"]
+        assert "_cache" in report.violations[0].message
+
+    def test_lock_guarded_write_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/engine.py": """\
+                import threading
+
+                class QueryEngine:
+                    def __init__(self):
+                        self._cache = None
+                        self._lock = threading.Lock()
+
+                    def search(self, q):
+                        with self._lock:
+                            self._cache = q
+                        return self._cache
+                """
+            },
+            rules=["RL002"],
+        )
+        assert codes(report) == []
+
+    def test_thread_local_attribute_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/engine.py": """\
+                import threading
+
+                class ShardedDatabase:
+                    def __init__(self):
+                        self._last = threading.local()
+
+                    def knn(self, q, k):
+                        self._last.result = (q, k)
+                        return self._last.result
+                """
+            },
+            rules=["RL002"],
+        )
+        assert codes(report) == []
+
+    def test_write_in_helper_reached_from_search_is_flagged(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {
+                "src/pkg/engine.py": """\
+                class QueryEngine:
+                    def __init__(self):
+                        self._hits = 0
+
+                    def search(self, q):
+                        self._bump()
+                        return q
+
+                    def _bump(self):
+                        self._hits += 1
+                """
+            },
+            rules=["RL002"],
+        )
+        assert codes(report) == ["RL002"]
+
+
+class TestRL003Determinism:
+    def test_wall_clock_call_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            },
+            rules=["RL003"],
+        )
+        assert codes(report) == ["RL003"]
+
+    def test_unseeded_default_rng_and_none_default_are_flagged(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                import numpy as np
+
+                def sample(rng=None):
+                    return np.random.default_rng(rng).normal()
+                """
+            },
+            rules=["RL003"],
+        )
+        assert codes(report) == ["RL003", "RL003"]
+
+    def test_seeded_rng_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                import numpy as np
+
+                def sample(seed=0):
+                    return np.random.default_rng(seed).normal()
+                """
+            },
+            rules=["RL003"],
+        )
+        assert codes(report) == []
+
+    def test_perf_modules_may_use_timers(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/perf/timing.py": """\
+                import time
+
+                def now():
+                    return time.perf_counter()
+                """
+            },
+            rules=["RL003"],
+        )
+        assert codes(report) == []
+
+
+class TestRL004ExceptionDomain:
+    def test_bare_builtin_raise_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def f(x):
+                    if x < 0:
+                        raise ValueError("negative")
+                    return x
+                """
+            },
+            rules=["RL004"],
+        )
+        assert codes(report) == ["RL004"]
+
+    def test_domain_exception_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                from pkg.errors import ValidationError
+
+                def f(x):
+                    if x < 0:
+                        raise ValidationError("negative")
+                    return x
+                """,
+                "src/pkg/errors.py": """\
+                class ValidationError(Exception):
+                    pass
+                """,
+            },
+            rules=["RL004"],
+        )
+        assert codes(report) == []
+
+    def test_bare_reraise_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def f(x):
+                    try:
+                        return 1 / x
+                    except ZeroDivisionError:
+                        raise
+                """
+            },
+            rules=["RL004"],
+        )
+        assert codes(report) == []
+
+
+class TestRL005MetricNames:
+    def test_flat_name_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def charge(registry):
+                    registry.count("queries")
+                """
+            },
+            rules=["RL005"],
+        )
+        assert codes(report) == ["RL005"]
+
+    def test_dotted_name_and_fstring_skeleton_pass(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def charge(registry, tier):
+                    registry.count("cascade.dtw.in")
+                    registry.count(f"cascade.{tier}.pruned")
+                """
+            },
+            rules=["RL005"],
+        )
+        assert codes(report) == []
+
+    def test_str_count_is_not_a_metric_call(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def tally(text):
+                    return text.count("queries")
+                """
+            },
+            rules=["RL005"],
+        )
+        assert codes(report) == []
+
+
+class TestRL006HotLoops:
+    def test_allocation_in_per_cell_loop_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/core/cascade.py": """\
+                import numpy as np
+
+                def kernel(n):
+                    total = 0.0
+                    for i in range(n):
+                        for j in range(n):
+                            buf = np.zeros(4)
+                            total += buf[0] + [k for k in range(j)][-1]
+                    return total
+                """
+            },
+            rules=["RL006"],
+        )
+        assert codes(report) == ["RL006", "RL006"]
+
+    def test_hoisted_buffer_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/core/cascade.py": """\
+                import numpy as np
+
+                def kernel(n):
+                    buf = np.zeros(4)
+                    total = 0.0
+                    for i in range(n):
+                        for j in range(n):
+                            buf[:] = 0.0
+                            total += buf[0]
+                    return total
+                """
+            },
+            rules=["RL006"],
+        )
+        assert codes(report) == []
+
+    def test_non_hot_modules_are_out_of_scope(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/eval/report.py": """\
+                def tables(rows):
+                    out = []
+                    for group in rows:
+                        for row in group:
+                            out.append([cell for cell in row])
+                    return out
+                """
+            },
+            rules=["RL006"],
+        )
+        assert codes(report) == []
+
+
+class TestRL007DeadExports:
+    def test_unreferenced_export_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                __all__ = ["used", "dead"]
+
+                used = 1
+                dead = 2
+                """,
+                "src/pkg/consumer.py": """\
+                from pkg.mod import used
+
+                print(used)
+                """,
+            },
+            rules=["RL007"],
+        )
+        assert len(by_rule(report, "RL007")) == 1
+        assert "'dead'" in by_rule(report, "RL007")[0]
+
+    def test_doc_reference_counts_as_alive(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                __all__ = ["documented"]
+
+                documented = 1
+                """,
+                "docs/guide.md": "Use `documented` for everything.\n",
+            },
+            rules=["RL007"],
+        )
+        assert codes(report) == []
+
+
+class TestRL008BenchSeeds:
+    def test_unseeded_workload_spec_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/perf/workloads.py": """\
+                from pkg.spec import DatasetSpec
+
+                SPECS = [DatasetSpec(kind="walk", n=10, length=32)]
+                """
+            },
+            rules=["RL008"],
+        )
+        assert codes(report) == ["RL008"]
+
+    def test_seeded_workload_spec_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/perf/workloads.py": """\
+                from pkg.spec import DatasetSpec
+
+                SPECS = [DatasetSpec(kind="walk", n=10, length=32, seed=7)]
+                """
+            },
+            rules=["RL008"],
+        )
+        assert codes(report) == []
+
+    def test_other_modules_are_out_of_scope(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/perf/runner.py": """\
+                from pkg.spec import DatasetSpec
+
+                def ad_hoc():
+                    return DatasetSpec(kind="walk", n=1, length=8)
+                """
+            },
+            rules=["RL008"],
+        )
+        assert codes(report) == []

@@ -1,0 +1,31 @@
+"""The no-false-dismissal test registry.
+
+``NO_FALSE_DISMISSAL_REGISTRY`` maps every lower-bound name in the
+library — public ``lb_*`` / ``dtw_lb*`` functions and the cascade tier
+names declared by ``TIER_*`` constants — to the repo-relative test file
+that property-tests its defining guarantee, ``bound(S, Q) <= D_tw(S, Q)``.
+
+Two consumers read this dict and must stay in sync with it:
+
+* ``repro lint`` rule RL001 statically checks that every bound defined
+  in the tree is registered here, that the mapped file exists, and that
+  it actually references the bound.
+* ``tests/distance/test_nfd_registry.py`` loads the registry at run
+  time and fails on stale entries (a key matching no known bound), the
+  direction the static rule deliberately leaves to the suite.
+
+The dict must stay a plain literal: RL001 reads it with
+``ast.literal_eval`` and never imports this module.
+"""
+
+NO_FALSE_DISMISSAL_REGISTRY: dict[str, str] = {
+    "lb_yi": "tests/distance/test_nfd_registry.py",
+    "lb_yi_from_features": "tests/distance/test_nfd_registry.py",
+    "lb_kim": "tests/distance/test_nfd_registry.py",
+    "lb_keogh": "tests/distance/test_nfd_registry.py",
+    "lb_keogh_batch": "tests/distance/test_nfd_registry.py",
+    "dtw_lb": "tests/distance/test_nfd_registry.py",
+    "dtw_lb_features": "tests/distance/test_nfd_registry.py",
+    "dtw_lb_batch": "tests/distance/test_nfd_registry.py",
+    "dtw_lb_pairwise": "tests/distance/test_nfd_registry.py",
+}

@@ -134,6 +134,50 @@ class TestBenchCommand:
         assert rc == 1
         assert "no BENCH_" in capsys.readouterr().err
 
+    def test_compare_corrupt_result_file_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        # Regression: a truncated/hand-edited BENCH_*.json used to escape
+        # as an unhandled json traceback instead of a CLI error.
+        (tmp_path / "BENCH_tiny.json").write_text("{not json")
+        rc = main(["bench", "--compare", "--out", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error:" in captured.err
+        assert "BENCH_tiny.json" in captured.err
+
+    def test_compare_corrupt_baseline_is_a_clean_error(
+        self, tiny_registry, tmp_path, capsys
+    ):
+        args = [
+            "bench",
+            "--run",
+            "tiny",
+            "--out",
+            str(tmp_path),
+            "--baseline-dir",
+            str(tmp_path / "bl"),
+        ]
+        assert main(args + ["--update-baselines"]) == 0
+        (tmp_path / "bl" / "tiny.json").write_text('{"name": 3}')
+        rc = main(args + ["--compare"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error:" in captured.err
+        assert "tiny.json" in captured.err
+
+    def test_compare_unreadable_result_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        # A directory matching the glob raises IsADirectoryError (OSError)
+        # on read; that must surface as a CLI error, not a traceback.
+        (tmp_path / "BENCH_dir.json").mkdir()
+        rc = main(["bench", "--compare", "--out", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "error:" in captured.err
+        assert "cannot read bench file" in captured.err
+
     def test_smoke_flag_recorded(self, tiny_registry, tmp_path):
         rc = main(
             ["bench", "--run", "tiny", "--smoke", "--out", str(tmp_path)]
