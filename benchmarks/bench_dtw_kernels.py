@@ -1,0 +1,167 @@
+"""**A6** — DTW kernel sweep: same verify-stage work, different engines.
+
+The kernel registry promises that swapping the DP engine changes wall
+time and nothing else.  This bench pins both halves of that promise on
+seeded stock and random-walk pairs across a length sweep:
+
+* **Wall time** per kernel (unconstrained verify fill, plus the banded
+  fill under a Sakoe–Chiba window) — the vectorized wavefront must beat
+  the reference interpreter loop by a widening margin as sequences grow.
+* **Identical work**: a parity pass recomputes every distance under
+  every registered kernel inside nested metric registries and counts
+  mismatches in distances and exact ``dtw.*`` charges — the count must
+  be zero, and the timed passes feed the ambient registry so the
+  ``BENCH_a6_dtw_kernels.json`` counter gate locks the charges
+  bit-for-bit.
+
+Only the always-registered kernels are timed; optional kernels
+(``numba``) join the parity pass when importable but never the
+counter-gated series, keeping the baseline machine-independent.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.data.stocks import synthetic_sp500
+from repro.data.synthetic import random_walk_dataset
+from repro.distance.base import L2
+from repro.distance.bands import sakoe_chiba_window
+from repro.distance.dtw import dtw_additive
+from repro.distance.kernels import available_kernels, use_kernel
+from repro.eval.experiments import ExperimentResult, full_scale
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.types import Sequence
+
+from ._shared import run_bench
+
+#: Kernels whose timing series (and therefore counter charges) go into
+#: the committed baseline: the deterministic, always-registered pair.
+TIMED_KERNELS = ("reference", "vectorized")
+
+#: (length, pairs) grid — fewer pairs as the DP grids grow quadratic.
+GRID = ((64, 8), (128, 8), (256, 6), (512, 4))
+FULL_SCALE_GRID = GRID + ((1024, 3),)
+
+REPEATS = 3
+BAND_RADIUS = 8
+
+
+def _pairs(length: int, n_pairs: int) -> list[tuple[Sequence, Sequence]]:
+    """Seeded stock-vs-walk verify pairs at one sequence length."""
+    stock = synthetic_sp500(n_pairs, length, seed=7).sequences
+    walk = random_walk_dataset(n_pairs, length, seed=13 + length)
+    return list(zip(stock, walk))
+
+
+def _verify_pass(
+    pairs: list[tuple[Sequence, Sequence]], radius: int | None = None
+) -> list[float]:
+    """One verify-stage sweep: the full DTW fill on every pair."""
+    distances = []
+    for s, q in pairs:
+        window = (
+            sakoe_chiba_window(len(s), len(q), radius)
+            if radius is not None
+            else None
+        )
+        distances.append(dtw_additive(s, q, base=L2, window=window))
+    return distances
+
+
+def _run() -> ExperimentResult:
+    grid = FULL_SCALE_GRID if full_scale() else GRID
+    lengths = [length for length, _ in grid]
+    workload = {length: _pairs(length, n_pairs) for length, n_pairs in grid}
+
+    result = ExperimentResult(
+        experiment_id="A6/dtw-kernels",
+        title="DTW kernel sweep: verify-stage wall time per kernel",
+        x_label="sequence length",
+        y_label="elapsed s (sum over pairs, min across repeats)",
+        x_values=lengths,
+        log_x=True,
+        log_y=True,
+    )
+
+    # Timed passes: kernels interleaved inside each repeat, per-length
+    # minimum kept (the runner's per-query-minimum philosophy).  These
+    # run under the ambient experiment registry, so every charge lands
+    # in the counter gate — identically per kernel, by the parity
+    # contract the pass below re-proves.
+    elapsed: dict[str, dict[int, float]] = {}
+    for _ in range(REPEATS):
+        for kernel in TIMED_KERNELS:
+            with use_kernel(kernel):
+                for length, pairs in workload.items():
+                    for series, radius in (
+                        (kernel, None),
+                        (f"{kernel}_band{BAND_RADIUS}", BAND_RADIUS),
+                    ):
+                        t0 = time.perf_counter()
+                        _verify_pass(pairs, radius)
+                        t1 = time.perf_counter()
+                        per_len = elapsed.setdefault(series, {})
+                        per_len[length] = min(
+                            per_len.get(length, float("inf")), t1 - t0
+                        )
+    for series, per_len in elapsed.items():
+        result.series[series] = [per_len[length] for length in lengths]
+
+    # Parity pass: every registered kernel (including optional ones)
+    # recomputes every distance under a nested registry; distances and
+    # exact dtw.* counters must match the reference bit-for-bit.
+    expected: dict[int, tuple[list[float], dict[str, float]]] = {}
+    mismatches = 0
+    for kernel in available_kernels():
+        for length, pairs in workload.items():
+            registry = MetricsRegistry()
+            with use_kernel(kernel), use_registry(registry):
+                distances = _verify_pass(pairs) + _verify_pass(
+                    pairs, BAND_RADIUS
+                )
+            counters = {
+                name: value
+                for name, value in registry.snapshot().counters.items()
+                if name.startswith("dtw.")
+            }
+            if kernel == "reference":
+                expected[length] = (distances, counters)
+            elif (distances, counters) != expected[length]:
+                mismatches += 1
+    if mismatches:
+        raise AssertionError(
+            f"kernel parity violated on {mismatches} (kernel, length) cells"
+        )
+
+    kernels = available_kernels()
+    top = lengths[-1]
+    speedup = (
+        elapsed["reference"][top] / elapsed["vectorized"][top]
+    )
+    result.notes.append(
+        f"parity: {len(kernels)} kernel(s) x {len(lengths)} length(s), "
+        "0 mismatches in distances and dtw.* counters"
+    )
+    result.notes.append(
+        f"vectorized speedup at length {top}: {speedup:.1f}x over reference"
+    )
+    result.notes.append(f"kernels registered: {', '.join(kernels)}")
+    return result
+
+
+def test_dtw_kernel_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bench("a6_dtw_kernels", experiment_fn=_run),
+        rounds=1,
+        iterations=1,
+    )
+    lengths = result.x_values
+    ref = result.series["reference"]
+    vec = result.series["vectorized"]
+    # The wavefront must win by a widening margin; at the top length the
+    # registry's whole point — a >=5x verify stage — must materialise.
+    assert vec[-1] * 5.0 <= ref[-1], (
+        f"vectorized only {ref[-1] / vec[-1]:.1f}x at length {lengths[-1]}"
+    )
+    assert any("0 mismatches" in note for note in result.notes)

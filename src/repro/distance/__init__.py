@@ -38,6 +38,14 @@ from .dtw import (
     dtw_max_matrix,
     warping_path,
 )
+from .kernels import (
+    KERNELS,
+    DtwKernel,
+    available_kernels,
+    get_kernel,
+    set_kernel,
+    use_kernel,
+)
 from .lb_keogh import lb_keogh, warping_envelope
 from .lb_yi import lb_yi
 from .pairwise import pairwise_dtw, pairwise_dtw_within
@@ -66,6 +74,12 @@ __all__ = [
     "dtw_max_early_abandon",
     "dtw_max_matrix",
     "warping_path",
+    "KERNELS",
+    "DtwKernel",
+    "available_kernels",
+    "get_kernel",
+    "set_kernel",
+    "use_kernel",
     "lb_keogh",
     "warping_envelope",
     "lb_yi",

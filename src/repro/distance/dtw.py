@@ -16,8 +16,12 @@ Both obey the boundary conditions ``D_tw(<>, <>) = 0`` and
 
 Performance notes
 -----------------
-The reference implementations (:func:`dtw_additive_matrix`,
-:func:`dtw_max_matrix`) fill the full dynamic-programming matrix in
+The DP fills are delegated to an interchangeable *kernel* selected from
+:mod:`repro.distance.kernels` (``set_kernel`` / ``use_kernel`` /
+``REPRO_DTW_KERNEL``); every registered kernel is held bit-identical to
+the ``reference`` kernel, so the choice affects wall time only — never
+distances, paths, or the charged ``dtw.*`` metrics.  The full-matrix
+entry points (:func:`dtw_additive_matrix`, :func:`dtw_max_matrix`) cost
 ``O(|S| x |Q|)`` time and memory and support warping-path recovery and
 global constraint windows.  For the max recurrence we additionally
 exploit a classical minimax-path identity: ``dtw_max(S, Q) <= t`` iff
@@ -31,6 +35,12 @@ reachability pass at the query tolerance and gives the early-exit
 behaviour the paper relies on in its post-processing step (section 4.1:
 with ``L_inf``, a sequence can be discarded the moment no admissible
 path remains).
+
+Metric charging happens here, in the wrappers, from the structured
+outcome a kernel returns — never inside a kernel.  That makes the
+``dtw.cells`` / ``dtw.early_abandons`` / ``dtw.abandon_depth`` charges
+identical across kernels by construction, which is what lets the
+bit-exact BENCH counter gate keep working no matter which kernel ran.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from ..obs.metrics import active_registry
 from ..types import SequenceLike, as_array
 from .bands import Window
 from .base import BaseDistance, LINF
+from .kernels import active_kernel
 
 __all__ = [
     "DtwResult",
@@ -134,35 +145,9 @@ def dtw_additive_matrix(
         )
 
     power = 2.0 if base is BaseDistance.L2 else 1.0
-    cost = np.abs(s_arr[:, None] - q_arr[None, :])
-    if power != 1.0:
-        cost = cost**power
-
-    acc = np.full((n, m), _INF)
-    for i in range(n):
-        lo, hi = window[i] if window is not None else (0, m)
-        row_cost = cost[i]
-        prev = acc[i - 1] if i > 0 else None
-        acc_row = acc[i]
-        for j in range(lo, hi):
-            if i == 0 and j == 0:
-                best = 0.0
-            else:
-                best = _INF
-                if prev is not None:
-                    up = prev[j]
-                    if up < best:
-                        best = up
-                    if j > 0:
-                        diag = prev[j - 1]
-                        if diag < best:
-                            best = diag
-                if j > 0:
-                    left = acc_row[j - 1]
-                    if left < best:
-                        best = left
-            acc_row[j] = row_cost[j] + best
-
+    acc = active_kernel().additive_matrix(
+        s_arr, q_arr, power=power, window=window
+    )
     _charge_cells(n * m)
     total = float(acc[n - 1, m - 1])
     distance = total ** (1.0 / power) if power != 1.0 else total
@@ -201,40 +186,13 @@ def dtw_additive(
             raise ValidationError(f"threshold must be non-negative, got {threshold}")
         cutoff = threshold**power if power != 1.0 else threshold
 
-    q_list = q_arr.tolist()
-    prev: list[float] = [_INF] * m
-    curr: list[float] = [_INF] * m
-    for i in range(n):
-        s_i = float(s_arr[i])
-        lo, hi = window[i] if window is not None else (0, m)
-        row_min = _INF
-        for j in range(m):
-            curr[j] = _INF
-        for j in range(lo, hi):
-            if i == 0 and j == 0:
-                best = 0.0
-            else:
-                best = prev[j]
-                if j > 0:
-                    if prev[j - 1] < best:
-                        best = prev[j - 1]
-                    if curr[j - 1] < best:
-                        best = curr[j - 1]
-            if best == _INF:
-                continue
-            d = abs(s_i - q_list[j])
-            cell = best + (d * d if power == 2.0 else d)
-            if cutoff is None or cell <= cutoff:
-                curr[j] = cell
-                if cell < row_min:
-                    row_min = cell
-        if row_min == _INF and not (i == 0 and lo > 0):
-            _charge_cells((i + 1) * m, abandon_depth=(i + 1) / n)
-            return _INF
-        prev, curr = curr, prev
-
+    total, abandoned = active_kernel().additive_total(
+        s_arr, q_arr, power=power, window=window, cutoff=cutoff
+    )
+    if abandoned is not None:
+        _charge_cells(abandoned * m, abandon_depth=abandoned / n)
+        return _INF
     _charge_cells(n * m)
-    total = prev[m - 1]
     if total == _INF:
         return _INF
     return total ** (1.0 / power) if power != 1.0 else total
@@ -264,28 +222,7 @@ def dtw_max_matrix(
     if window is not None and len(window) != n:
         raise ValidationError(f"window has {len(window)} rows but |S| = {n}")
 
-    cost = np.abs(s_arr[:, None] - q_arr[None, :])
-    acc = np.full((n, m), _INF)
-    for i in range(n):
-        lo, hi = window[i] if window is not None else (0, m)
-        row_cost = cost[i]
-        prev = acc[i - 1] if i > 0 else None
-        acc_row = acc[i]
-        for j in range(lo, hi):
-            if i == 0 and j == 0:
-                reach = 0.0
-            else:
-                reach = _INF
-                if prev is not None:
-                    if prev[j] < reach:
-                        reach = prev[j]
-                    if j > 0 and prev[j - 1] < reach:
-                        reach = prev[j - 1]
-                if j > 0 and acc_row[j - 1] < reach:
-                    reach = acc_row[j - 1]
-            c = row_cost[j]
-            acc_row[j] = c if c > reach else reach
-
+    acc = active_kernel().max_matrix(s_arr, q_arr, window=window)
     _charge_cells(n * m)
     return DtwResult(float(acc[n - 1, m - 1]), acc, LINF)
 
@@ -317,35 +254,9 @@ def _reachable(s_arr: np.ndarray, q_arr: np.ndarray, t: float) -> bool:
     ``dtw.early_abandons`` and observes ``dtw.abandon_depth`` (fraction
     of rows completed when the pass gave up).
     """
-    n, m = s_arr.size, q_arr.size
-    # Both corners lie on every warping path; reject in O(1) when either
-    # is inadmissible (this is the early-abandon fast path).
-    if abs(s_arr[0] - q_arr[0]) > t or abs(s_arr[-1] - q_arr[-1]) > t:
-        _charge_cells(2, abandon_depth=0.0)
-        return False
-    idx = np.arange(m)
-    # Row 0: reachable prefix of admissible cells.
-    ok_row = np.abs(s_arr[0] - q_arr) <= t
-    reach = ok_row & (np.cumsum(~ok_row) == 0)
-    shifted = np.empty(m, dtype=bool)
-    for i in range(1, n):
-        ok_row = np.abs(s_arr[i] - q_arr) <= t
-        # Cells seeded directly from row i-1 (down or diagonal step).
-        shifted[0] = False
-        shifted[1:] = reach[:-1]
-        seed = ok_row & (reach | shifted)
-        if not seed.any():
-            _charge_cells((i + 1) * m, abandon_depth=(i + 1) / n)
-            return False
-        # Propagate right within runs: cell j is reachable iff some seed
-        # at k <= j has no inadmissible cell in (k, j].  A seed position
-        # is itself admissible, so ``last_seed > last_block`` holds
-        # exactly at and after a seed within its run.
-        last_block = np.maximum.accumulate(np.where(~ok_row, idx, -1))
-        last_seed = np.maximum.accumulate(np.where(seed, idx, -1))
-        reach = ok_row & (last_seed > last_block)
-    _charge_cells(n * m)
-    return bool(reach[m - 1])
+    ok, cells, depth = active_kernel().reachable(s_arr, q_arr, t)
+    _charge_cells(cells, abandon_depth=depth)
+    return ok
 
 
 #: Above this many grid cells, exact value refinement switches from a

@@ -1,0 +1,47 @@
+"""Interchangeable DTW computation kernels.
+
+See :mod:`repro.distance.kernels.registry` for the selection API and
+the exactness contract every kernel is held to.  Importing this package
+registers the built-in kernels:
+
+========== ============================================================
+``reference``  the original per-cell python DP fills (the parity oracle)
+``vectorized`` anti-diagonal numpy wavefront fills (the default)
+``numba``      JIT two-row additive DP — only where numba is installed
+========== ============================================================
+"""
+
+from .registry import (
+    DEFAULT_KERNEL,
+    KERNEL_ENV_VAR,
+    KERNELS,
+    OPTIONAL_KERNELS,
+    DtwKernel,
+    active_kernel,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    set_kernel,
+    use_kernel,
+)
+from .reference import ReferenceKernel
+from .vectorized import VectorizedKernel
+from .numba_backend import NUMBA_AVAILABLE, NumbaKernel
+
+__all__ = [
+    "KERNELS",
+    "OPTIONAL_KERNELS",
+    "DEFAULT_KERNEL",
+    "KERNEL_ENV_VAR",
+    "NUMBA_AVAILABLE",
+    "DtwKernel",
+    "ReferenceKernel",
+    "VectorizedKernel",
+    "NumbaKernel",
+    "register_kernel",
+    "available_kernels",
+    "get_kernel",
+    "set_kernel",
+    "active_kernel",
+    "use_kernel",
+]

@@ -1,0 +1,201 @@
+"""The ``reference`` kernel — the library's original DTW fills.
+
+This is the semantics oracle every other kernel is pinned to: the
+per-cell two-row additive DP and full-matrix fills exactly as they
+shipped before the registry existed, plus the vectorized minimax
+reachability pass for the Definition-2 distance.  Nothing here charges
+metrics — kernels return structured outcomes and the wrappers in
+:mod:`repro.distance.dtw` translate them into identical ``dtw.*``
+charges for every kernel.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..bands import Window
+from .registry import register_kernel
+
+__all__ = ["ReferenceKernel"]
+
+_INF = math.inf
+
+
+class ReferenceKernel:
+    """Per-cell Python DP fills — slow, simple, and the parity oracle."""
+
+    name = "reference"
+
+    # -- Definition 1: additive accumulation ---------------------------------
+
+    def additive_total(
+        self,
+        s_arr: np.ndarray,
+        q_arr: np.ndarray,
+        *,
+        power: float,
+        window: Window | None,
+        cutoff: float | None,
+    ) -> tuple[float, int | None]:
+        """Memory-efficient two-row DP; see the wrapper for semantics.
+
+        Returns ``(raw corner total, None)`` for a completed fill, or
+        ``(inf, i + 1)`` when every cell of row ``i`` exceeded *cutoff*
+        (or was unreachable) — the early-abandon condition, sound for
+        additive accumulation because costs only grow along a path.
+        """
+        n, m = s_arr.size, q_arr.size
+        q_list = q_arr.tolist()
+        prev: list[float] = [_INF] * m
+        curr: list[float] = [_INF] * m
+        for i in range(n):
+            s_i = float(s_arr[i])
+            lo, hi = window[i] if window is not None else (0, m)
+            row_min = _INF
+            for j in range(m):
+                curr[j] = _INF
+            for j in range(lo, hi):
+                if i == 0 and j == 0:
+                    best = 0.0
+                else:
+                    best = prev[j]
+                    if j > 0:
+                        if prev[j - 1] < best:
+                            best = prev[j - 1]
+                        if curr[j - 1] < best:
+                            best = curr[j - 1]
+                if best == _INF:
+                    continue
+                d = abs(s_i - q_list[j])
+                cell = best + (d * d if power == 2.0 else d)
+                if cutoff is None or cell <= cutoff:
+                    curr[j] = cell
+                    if cell < row_min:
+                        row_min = cell
+            if row_min == _INF and not (i == 0 and lo > 0):
+                return _INF, i + 1
+            prev, curr = curr, prev
+        return prev[m - 1], None
+
+    def additive_matrix(
+        self,
+        s_arr: np.ndarray,
+        q_arr: np.ndarray,
+        *,
+        power: float,
+        window: Window | None,
+    ) -> np.ndarray:
+        """Full additive accumulated-cost matrix (inadmissible cells: inf)."""
+        n, m = s_arr.size, q_arr.size
+        cost = np.abs(s_arr[:, None] - q_arr[None, :])
+        if power != 1.0:
+            cost = cost**power
+        acc = np.full((n, m), _INF)
+        for i in range(n):
+            lo, hi = window[i] if window is not None else (0, m)
+            row_cost = cost[i]
+            prev = acc[i - 1] if i > 0 else None
+            acc_row = acc[i]
+            for j in range(lo, hi):
+                if i == 0 and j == 0:
+                    best = 0.0
+                else:
+                    best = _INF
+                    if prev is not None:
+                        up = prev[j]
+                        if up < best:
+                            best = up
+                        if j > 0:
+                            diag = prev[j - 1]
+                            if diag < best:
+                                best = diag
+                    if j > 0:
+                        left = acc_row[j - 1]
+                        if left < best:
+                            best = left
+                acc_row[j] = row_cost[j] + best
+        return acc
+
+    # -- Definition 2: max accumulation --------------------------------------
+
+    def max_matrix(
+        self,
+        s_arr: np.ndarray,
+        q_arr: np.ndarray,
+        *,
+        window: Window | None,
+    ) -> np.ndarray:
+        """Full max-recurrence matrix:
+        ``acc[i, j] = max(|s_i - q_j|, min(up, left, diag))``.
+        """
+        n, m = s_arr.size, q_arr.size
+        cost = np.abs(s_arr[:, None] - q_arr[None, :])
+        acc = np.full((n, m), _INF)
+        for i in range(n):
+            lo, hi = window[i] if window is not None else (0, m)
+            row_cost = cost[i]
+            prev = acc[i - 1] if i > 0 else None
+            acc_row = acc[i]
+            for j in range(lo, hi):
+                if i == 0 and j == 0:
+                    reach = 0.0
+                else:
+                    reach = _INF
+                    if prev is not None:
+                        if prev[j] < reach:
+                            reach = prev[j]
+                        if j > 0 and prev[j - 1] < reach:
+                            reach = prev[j - 1]
+                    if j > 0 and acc_row[j - 1] < reach:
+                        reach = acc_row[j - 1]
+                c = row_cost[j]
+                acc_row[j] = c if c > reach else reach
+        return acc
+
+    def reachable(
+        self, s_arr: np.ndarray, q_arr: np.ndarray, t: float
+    ) -> tuple[bool, int, float | None]:
+        """Can a warping path connect the corners using only cells with
+        ``|s_i - q_j| <= t``?
+
+        Steps allowed: right, down, diagonal — the DTW path moves.  Works
+        row by row with ``O(|Q|)`` memory, computing each row of the
+        admissibility grid on the fly: within each maximal run of
+        admissible cells, reachability propagates rightward from any cell
+        seeded by the previous row.
+
+        Returns ``(reachable, cells evaluated, abandon depth)``; the
+        depth is the fraction of rows completed when an early exit gave
+        up, or ``None`` for a full pass.
+        """
+        n, m = s_arr.size, q_arr.size
+        # Both corners lie on every warping path; reject in O(1) when
+        # either is inadmissible (this is the early-abandon fast path).
+        if abs(s_arr[0] - q_arr[0]) > t or abs(s_arr[-1] - q_arr[-1]) > t:
+            return False, 2, 0.0
+        idx = np.arange(m)
+        # Row 0: reachable prefix of admissible cells.
+        ok_row = np.abs(s_arr[0] - q_arr) <= t
+        reach = ok_row & (np.cumsum(~ok_row) == 0)
+        shifted = np.empty(m, dtype=bool)
+        for i in range(1, n):
+            ok_row = np.abs(s_arr[i] - q_arr) <= t
+            # Cells seeded directly from row i-1 (down or diagonal step).
+            shifted[0] = False
+            shifted[1:] = reach[:-1]
+            seed = ok_row & (reach | shifted)
+            if not seed.any():
+                return False, (i + 1) * m, (i + 1) / n
+            # Propagate right within runs: cell j is reachable iff some
+            # seed at k <= j has no inadmissible cell in (k, j].  A seed
+            # position is itself admissible, so ``last_seed > last_block``
+            # holds exactly at and after a seed within its run.
+            last_block = np.maximum.accumulate(np.where(~ok_row, idx, -1))
+            last_seed = np.maximum.accumulate(np.where(seed, idx, -1))
+            reach = ok_row & (last_seed > last_block)
+        return bool(reach[m - 1]), n * m, None
+
+
+register_kernel("reference", ReferenceKernel())

@@ -39,6 +39,8 @@ __all__ = [
     "LintReport",
     "run_lint",
     "apply_suppressions",
+    "load_literal_dict_manifest",
+    "manifest_entry_problem",
 ]
 
 #: Rule code reserved for files the engine itself cannot parse.
@@ -463,6 +465,83 @@ def apply_suppressions(report: LintReport) -> list[Path]:
             path.write_text("\n".join(source_lines) + trailing)
             changed.append(path)
     return changed
+
+
+def load_literal_dict_manifest(
+    root: Path, manifest_rel: str, manifest_var: str
+) -> tuple[dict[str, str] | None, str | None]:
+    """``(registry, error)`` from a literal str->str dict manifest file.
+
+    The manifest convention shared by the registry cross-reference rules
+    (RL001's no-false-dismissal registry, RL009's kernel-parity
+    registry): a ``tests/``-side module assigns *manifest_var* a plain
+    dict literal, read here with :func:`ast.literal_eval` — the manifest
+    is never imported, so it stays checkable on unimportable trees.
+    """
+    path = root / manifest_rel
+    if not path.is_file():
+        return None, f"manifest {manifest_rel} not found"
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError) as error:
+        return None, f"manifest {manifest_rel} is unreadable: {error}"
+    for node in tree.body:
+        targets: list[ast.expr]
+        value_node: ast.expr
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value_node = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value_node = node.value
+        else:
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == manifest_var
+            for target in targets
+        ):
+            continue
+        try:
+            value = ast.literal_eval(value_node)
+        except ValueError:
+            return None, (
+                f"manifest {manifest_rel}: {manifest_var} "
+                "must be a literal dict"
+            )
+        if not isinstance(value, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in value.items()
+        ):
+            return None, (
+                f"manifest {manifest_rel}: {manifest_var} "
+                "must map names to test file paths"
+            )
+        return value, None
+    return None, f"manifest {manifest_rel} does not define {manifest_var}"
+
+
+def manifest_entry_problem(
+    root: Path, registry: dict[str, str], name: str, manifest_rel: str
+) -> str | None:
+    """Why *name*'s manifest entry fails to vouch for it, or ``None``.
+
+    Checks the three liveness conditions a registry entry must satisfy:
+    the entry exists, the mapped test file exists, and that file
+    actually references *name* as a whole word.
+    """
+    test_rel = registry.get(name)
+    if test_rel is None:
+        return f"not registered in {manifest_rel}"
+    test_path = root / test_rel
+    if not test_path.is_file():
+        return f"maps to missing test file {test_rel!r} in {manifest_rel}"
+    try:
+        text = test_path.read_text()
+    except OSError as err:
+        return f"registered test {test_rel!r} is unreadable: {err}"
+    if not re.search(rf"\b{re.escape(name)}\b", text):
+        return f"registered test {test_rel!r} never references {name!r}"
+    return None
 
 
 def iter_module_functions(

@@ -9,6 +9,7 @@ RL005     metric names follow the ``layer.noun`` grammar (DESIGN.md §9)
 RL006     hot-path modules do not allocate inside per-cell loops
 RL007     no dead public exports (``__all__`` referenced nowhere)
 RL008     benchmark workload specs are explicitly seeded
+RL009     every DTW kernel is in the kernel-parity test registry
 ========  ==============================================================
 """
 
@@ -26,6 +27,7 @@ from .rl005_metric_names import MetricNameRule
 from .rl006_hot_loops import HotLoopAllocationRule
 from .rl007_dead_exports import DeadExportRule
 from .rl008_bench_seeds import BenchSeedRule
+from .rl009_kernel_manifest import KernelManifestRule
 
 __all__ = [
     "ALL_RULES",
@@ -39,6 +41,7 @@ __all__ = [
     "HotLoopAllocationRule",
     "DeadExportRule",
     "BenchSeedRule",
+    "KernelManifestRule",
 ]
 
 #: Every rule class, in code order.
@@ -51,6 +54,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     HotLoopAllocationRule,
     DeadExportRule,
     BenchSeedRule,
+    KernelManifestRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

@@ -16,7 +16,15 @@ import ast
 import re
 from collections.abc import Iterator
 
-from ..engine import FileContext, Project, Rule, Violation, iter_module_functions
+from ..engine import (
+    FileContext,
+    Project,
+    Rule,
+    Violation,
+    iter_module_functions,
+    load_literal_dict_manifest,
+    manifest_entry_problem,
+)
 
 __all__ = ["NfdRegistryRule"]
 
@@ -69,59 +77,13 @@ class NfdRegistryRule(Rule):
                     required.setdefault(value.value, (ctx, node))
         return required
 
-    def _load_manifest(
-        self, project: Project
-    ) -> tuple[dict[str, str] | None, str | None]:
-        """``(registry, error)`` from the manifest file."""
-        path = project.root / self.manifest_rel
-        if not path.is_file():
-            return None, f"manifest {self.manifest_rel} not found"
-        try:
-            tree = ast.parse(path.read_text(), filename=str(path))
-        except (OSError, SyntaxError) as error:
-            return None, f"manifest {self.manifest_rel} is unreadable: {error}"
-        for node in tree.body:
-            targets: list[ast.expr]
-            value_node: ast.expr
-            if isinstance(node, ast.Assign):
-                targets = list(node.targets)
-                value_node = node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                targets = [node.target]
-                value_node = node.value
-            else:
-                continue
-            if not any(
-                isinstance(target, ast.Name)
-                and target.id == self.manifest_var
-                for target in targets
-            ):
-                continue
-            try:
-                value = ast.literal_eval(value_node)
-            except ValueError:
-                return None, (
-                    f"manifest {self.manifest_rel}: {self.manifest_var} "
-                    "must be a literal dict"
-                )
-            if not isinstance(value, dict) or not all(
-                isinstance(k, str) and isinstance(v, str)
-                for k, v in value.items()
-            ):
-                return None, (
-                    f"manifest {self.manifest_rel}: {self.manifest_var} "
-                    "must map bound names to test file paths"
-                )
-            return value, None
-        return None, (
-            f"manifest {self.manifest_rel} does not define {self.manifest_var}"
-        )
-
     def finalize(self, project: Project) -> Iterator[Violation]:
         required = self._required(project)
         if not required:
             return
-        registry, error = self._load_manifest(project)
+        registry, error = load_literal_dict_manifest(
+            project.root, self.manifest_rel, self.manifest_var
+        )
         if registry is None:
             for name, (ctx, node) in sorted(required.items()):
                 yield self.violation(
@@ -129,37 +91,12 @@ class NfdRegistryRule(Rule):
                 )
             return
         for name, (ctx, node) in sorted(required.items()):
-            test_rel = registry.get(name)
-            if test_rel is None:
+            problem = manifest_entry_problem(
+                project.root, registry, name, self.manifest_rel
+            )
+            if problem is not None:
                 yield self.violation(
-                    ctx,
-                    node,
-                    f"lower bound {name!r} is not registered in the "
-                    f"no-false-dismissal registry ({self.manifest_rel})",
-                )
-                continue
-            test_path = project.root / test_rel
-            if not test_path.is_file():
-                yield self.violation(
-                    ctx,
-                    node,
-                    f"lower bound {name!r} maps to missing test file "
-                    f"{test_rel!r} in {self.manifest_rel}",
-                )
-                continue
-            try:
-                text = test_path.read_text()
-            except OSError as err:
-                yield self.violation(
-                    ctx, node, f"cannot read registered test {test_rel!r}: {err}"
-                )
-                continue
-            if not re.search(rf"\b{re.escape(name)}\b", text):
-                yield self.violation(
-                    ctx,
-                    node,
-                    f"registered test {test_rel!r} never references the "
-                    f"lower bound {name!r}",
+                    ctx, node, f"lower bound {name!r}: {problem}"
                 )
         # Stale manifest entries (a key matching no bound) are left to the
         # registry-driven test suite: a partial lint run legitimately sees

@@ -8,9 +8,10 @@ series.  The convention is to hoist buffers out of the loop nest and
 mutate them in place (``mask[:] = True``) — this rule flags the
 allocations that were not hoisted.
 
-Scope is the configured hot modules only (``distance/dtw.py``,
-``core/cascade.py``); a comprehension or constructor call at depth 0/1
-(per-query, not per-cell) is fine.
+Scope is the configured hot modules only (``distance/dtw.py``, the
+reference and vectorized DTW kernels, ``core/cascade.py``); a
+comprehension or constructor call at depth 0/1 (per-query or
+per-diagonal, not per-cell) is fine.
 """
 
 from __future__ import annotations
@@ -128,7 +129,12 @@ class HotLoopAllocationRule(Rule):
     )
 
     #: Repo-relative suffixes of the hot-path modules.
-    hot_modules = ("distance/dtw.py", "core/cascade.py")
+    hot_modules = (
+        "distance/dtw.py",
+        "distance/kernels/reference.py",
+        "distance/kernels/vectorized.py",
+        "core/cascade.py",
+    )
 
     def check_file(
         self, ctx: FileContext, project: Project

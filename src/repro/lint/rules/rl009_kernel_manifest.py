@@ -1,0 +1,150 @@
+"""RL009 — every DTW kernel registration is in the kernel-parity registry.
+
+A kernel only earns its place in ``KERNELS`` by being pinned bit-exact
+to the ``reference`` kernel — distances, matrices, and the structured
+outcomes the metric charges derive from.  That proof obligation lives in
+the hypothesis differential suite, and this rule makes the link
+machine-checked, mirroring RL001's no-false-dismissal manifest: a
+declared manifest (``tests/distance/kernel_manifest.py``) maps every
+registered kernel name to the test file exercising its parity contract,
+and the rule verifies the mapping is complete, the files exist, and each
+one actually references the kernel it vouches for.
+
+Registrations are found statically: calls to ``register_kernel(...)``
+and direct ``KERNELS[...] = ...`` assignments.  The kernel name must be
+a string literal in both forms — a computed name cannot be tied to a
+manifest entry, so it is a violation in itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import (
+    FileContext,
+    Project,
+    Rule,
+    Violation,
+    load_literal_dict_manifest,
+    manifest_entry_problem,
+    walk_assign_targets,
+)
+
+__all__ = ["KernelManifestRule"]
+
+
+def _literal_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class KernelManifestRule(Rule):
+    code = "RL009"
+    title = "DTW kernels must be in the kernel-parity test registry"
+    rationale = (
+        "an unregistered kernel could silently drift from the reference "
+        "semantics; the manifest ties every kernel to the differential "
+        "suite proving it bit-exact"
+    )
+
+    #: Repo-relative path of the declared manifest.
+    manifest_rel = "tests/distance/kernel_manifest.py"
+    manifest_var = "KERNEL_PARITY_REGISTRY"
+
+    #: Dotted-origin suffixes of the registration entry points.
+    register_call = "register_kernel"
+    registry_name = "KERNELS"
+
+    def _origin_matches(self, ctx: FileContext, node: ast.expr, tail: str) -> bool:
+        origin = ctx.qualified(node)
+        return origin is not None and origin.split(".")[-1] == tail
+
+    def _registrations(
+        self, project: Project
+    ) -> tuple[dict[str, tuple[FileContext, ast.AST]], list[Violation]]:
+        """Kernel name -> (file, anchor), plus non-literal-name findings."""
+        found: dict[str, tuple[FileContext, ast.AST]] = {}
+        non_literal: list[Violation] = []
+        for ctx in project.files:
+            if ctx.rel.replace("\\", "/").startswith("tests/"):
+                continue  # fixtures and suites may fake registrations
+            # The body of ``def register_kernel`` is the entry point's
+            # implementation — its internal ``KERNELS[name] = kernel``
+            # write is not a registration site.
+            internal: set[int] = set()
+            for fn in ast.walk(ctx.tree):
+                if (
+                    isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and fn.name == self.register_call
+                ):
+                    internal.update(id(inner) for inner in ast.walk(fn))
+            for node in ast.walk(ctx.tree):
+                if id(node) in internal:
+                    continue
+                if isinstance(node, ast.Call) and self._origin_matches(
+                    ctx, node.func, self.register_call
+                ):
+                    if not node.args:
+                        continue
+                    name = _literal_str(node.args[0])
+                    if name is None:
+                        non_literal.append(
+                            self.violation(
+                                ctx,
+                                node,
+                                f"{self.register_call}() name must be a "
+                                "string literal so the registration can be "
+                                "tied to its kernel-parity manifest entry",
+                            )
+                        )
+                        continue
+                    found.setdefault(name, (ctx, node))
+                elif isinstance(node, ast.stmt):
+                    for target in walk_assign_targets(node):
+                        if not isinstance(target, ast.Subscript):
+                            continue
+                        if not self._origin_matches(
+                            ctx, target.value, self.registry_name
+                        ):
+                            continue
+                        name = _literal_str(target.slice)
+                        if name is None:
+                            non_literal.append(
+                                self.violation(
+                                    ctx,
+                                    node,
+                                    f"{self.registry_name}[...] key must be "
+                                    "a string literal so the registration "
+                                    "can be tied to its kernel-parity "
+                                    "manifest entry",
+                                )
+                            )
+                            continue
+                        found.setdefault(name, (ctx, node))
+        return found, non_literal
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        required, non_literal = self._registrations(project)
+        yield from non_literal
+        if not required:
+            return
+        registry, error = load_literal_dict_manifest(
+            project.root, self.manifest_rel, self.manifest_var
+        )
+        if registry is None:
+            for name, (ctx, node) in sorted(required.items()):
+                yield self.violation(
+                    ctx, node, f"kernel {name!r} cannot be verified: {error}"
+                )
+            return
+        for name, (ctx, node) in sorted(required.items()):
+            problem = manifest_entry_problem(
+                project.root, registry, name, self.manifest_rel
+            )
+            if problem is not None:
+                yield self.violation(ctx, node, f"kernel {name!r}: {problem}")
+        # As with RL001, stale manifest entries are the runtime suite's
+        # job: optional kernels (``numba``) legitimately register on some
+        # machines only, so an extra manifest key is not an error here.

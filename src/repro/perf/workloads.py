@@ -127,6 +127,7 @@ _EXPERIMENTS = (
     ("subsequence", "benchmarks.bench_subsequence:_run"),
     ("categories", "benchmarks.bench_ablation_categories:_run"),
     ("tw_sim_index_choice", "benchmarks.bench_tw_sim_index_choice:_run"),
+    ("a6_dtw_kernels", "benchmarks.bench_dtw_kernels:_run"),
 )
 
 
@@ -148,9 +149,9 @@ WORKLOADS: dict[str, BenchSpec] = {
 }
 
 #: The CI smoke-tier subset: cheap, counter-rich, and covering the
-#: three subsystems the trajectory must guard (cascade pruning, index
-#: backends, observability overhead).
-SMOKE_SUITE = ("cascade", "backends", "obs_overhead")
+#: four subsystems the trajectory must guard (cascade pruning, index
+#: backends, observability overhead, DTW kernel parity + speedup).
+SMOKE_SUITE = ("cascade", "backends", "obs_overhead", "a6_dtw_kernels")
 
 
 def get_spec(name: str) -> BenchSpec:

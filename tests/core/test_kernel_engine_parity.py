@@ -1,0 +1,120 @@
+"""Cross-kernel end-to-end pinning of the query engine.
+
+Extends the 1-shard-vs-N-shard equivalence pattern to the DTW kernel
+axis: a :class:`QueryEngine` must answer every ``search`` /
+``search_many`` / ``knn`` query identically — same answer sets, same
+distances, same charged metrics — no matter which registered kernel
+performs the DP fills.  The whole pipeline (index range search, cascade
+tiers, DTW verification) runs under each kernel against a fresh ambient
+registry, and both the merged per-query :class:`MetricsSnapshot` and
+the session-level counters are compared against the ``reference``
+kernel's run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.core.query_engine import QueryEngine
+from repro.distance.kernels import available_kernels, use_kernel
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, use_registry
+from repro.storage.database import SequenceDatabase
+
+CHALLENGERS = tuple(n for n in available_kernels() if n != "reference")
+
+EPSILONS = (0.0, 0.9, 2.5)
+
+
+@pytest.fixture(scope="module")
+def dataset() -> list[np.ndarray]:
+    rng = np.random.default_rng(9)
+    return [
+        rng.normal(size=int(rng.integers(8, 26))).cumsum() for _ in range(30)
+    ]
+
+
+@pytest.fixture(scope="module")
+def queries() -> list[np.ndarray]:
+    rng = np.random.default_rng(40)
+    return [rng.normal(size=int(rng.integers(8, 20))).cumsum() for _ in range(3)]
+
+
+def _normalized(snapshot: MetricsSnapshot) -> tuple[Any, Any]:
+    histograms = {
+        name: dataclasses.astuple(summary)
+        for name, summary in snapshot.histograms.items()
+    }
+    return dict(snapshot.counters), histograms
+
+
+def _run_pipeline(
+    kernel: str, dataset: list[np.ndarray], queries: list[np.ndarray]
+) -> dict[str, Any]:
+    """The full engine workload under *kernel*, with every observable."""
+    registry = MetricsRegistry()
+    with use_kernel(kernel), use_registry(registry):
+        engine = QueryEngine(SequenceDatabase(page_size=256), backend="rstar")
+        engine.bulk_insert(dataset)
+        searches = [
+            [(m.seq_id, m.distance) for m in engine.search(q, epsilon)]
+            for q in queries
+            for epsilon in EPSILONS
+        ]
+        banded = [
+            [
+                (m.seq_id, m.distance)
+                for m in engine.search(q, 1.5, band_radius=2)
+            ]
+            for q in queries
+        ]
+        batched = [
+            [(m.seq_id, m.distance) for m in batch]
+            for batch in engine.search_many(queries, 1.2)
+        ]
+        knn = [
+            [(m.seq_id, m.distance) for m in engine.knn(q, 5)] for q in queries
+        ]
+        merged = MetricsSnapshot()
+        for q in queries:
+            merged = merged.merged(
+                engine.search_detailed(q, EPSILONS[-1]).metrics
+            )
+    return {
+        "searches": searches,
+        "banded": banded,
+        "batched": batched,
+        "knn": knn,
+        "merged": _normalized(merged),
+        "session": _normalized(registry.snapshot()),
+    }
+
+
+@pytest.mark.parametrize("kernel", CHALLENGERS)
+def test_engine_pipeline_identical_under_every_kernel(
+    kernel: str, dataset: list[np.ndarray], queries: list[np.ndarray]
+) -> None:
+    expected = _run_pipeline("reference", dataset, queries)
+    actual = _run_pipeline(kernel, dataset, queries)
+    for key in expected:
+        assert actual[key] == expected[key], (
+            f"{kernel}: engine {key} diverged from reference"
+        )
+
+
+@pytest.mark.parametrize("kernel", CHALLENGERS)
+def test_dtw_work_counters_are_kernel_independent(
+    kernel: str, dataset: list[np.ndarray], queries: list[np.ndarray]
+) -> None:
+    """The BENCH gate contract: exact ``dtw.*`` charges per kernel."""
+    expected = _run_pipeline("reference", dataset, queries)["session"]
+    actual = _run_pipeline(kernel, dataset, queries)["session"]
+    expected_dtw = {
+        k: v for k, v in expected[0].items() if k.startswith("dtw.")
+    }
+    actual_dtw = {k: v for k, v in actual[0].items() if k.startswith("dtw.")}
+    assert actual_dtw == expected_dtw
+    assert expected_dtw.get("dtw.cells", 0) > 0

@@ -1,0 +1,28 @@
+"""The kernel-parity test registry.
+
+``KERNEL_PARITY_REGISTRY`` maps every DTW kernel name registered in
+``repro.distance.kernels.KERNELS`` to the repo-relative test file that
+differentially pins it to the ``reference`` kernel — bit-identical
+distances, accumulated matrices (hence warping paths), and structured
+outcomes (hence identical ``dtw.cells`` / abandon-depth charges).
+
+Two consumers read this dict and must stay in sync with it:
+
+* ``repro lint`` rule RL009 statically checks that every registration
+  site in the tree (``register_kernel(...)`` calls and direct
+  ``KERNELS[...]`` assignments) is registered here, that the mapped
+  file exists, and that it actually references the kernel name.
+* ``tests/distance/test_kernel_parity.py`` loads the registry at run
+  time and fails on stale entries — a key naming no registered kernel —
+  modulo ``OPTIONAL_KERNELS``, whose registration is conditional on an
+  optional dependency (``numba``) and may legitimately be absent.
+
+The dict must stay a plain literal: RL009 reads it with
+``ast.literal_eval`` and never imports this module.
+"""
+
+KERNEL_PARITY_REGISTRY: dict[str, str] = {
+    "reference": "tests/distance/test_kernel_parity.py",
+    "vectorized": "tests/distance/test_kernel_parity.py",
+    "numba": "tests/distance/test_kernel_parity.py",
+}

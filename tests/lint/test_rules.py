@@ -14,6 +14,7 @@ from repro.lint.rules import (
     DeterminismRule,
     ExceptionDomainRule,
     HotLoopAllocationRule,
+    KernelManifestRule,
     MetricNameRule,
     NfdRegistryRule,
     SharedStateRule,
@@ -25,7 +26,7 @@ from .conftest import by_rule, codes
 class TestRulePack:
     def test_all_rules_are_registered_by_code(self) -> None:
         assert [rule.code for rule in ALL_RULES] == [
-            f"RL{n:03d}" for n in range(1, 9)
+            f"RL{n:03d}" for n in range(1, 10)
         ]
         assert RULES_BY_CODE["RL001"] is NfdRegistryRule
         assert RULES_BY_CODE["RL002"] is SharedStateRule
@@ -35,6 +36,7 @@ class TestRulePack:
         assert RULES_BY_CODE["RL006"] is HotLoopAllocationRule
         assert RULES_BY_CODE["RL007"] is DeadExportRule
         assert RULES_BY_CODE["RL008"] is BenchSeedRule
+        assert RULES_BY_CODE["RL009"] is KernelManifestRule
 
     def test_every_rule_declares_title_and_rationale(self) -> None:
         for rule in ALL_RULES:
@@ -454,3 +456,107 @@ class TestRL008BenchSeeds:
             rules=["RL008"],
         )
         assert codes(report) == []
+
+
+class TestRL009KernelManifest:
+    KERNEL_SRC = (
+        "from pkg.registry import register_kernel\n"
+        "class FastKernel:\n"
+        '    name = "fast"\n'
+        'register_kernel("fast", FastKernel())\n'
+    )
+
+    def test_unregistered_kernel_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {"src/pkg/kern.py": self.KERNEL_SRC},
+            rules=["RL009"],
+        )
+        assert codes(report) == ["RL009"]
+        assert "manifest" in report.violations[0].message
+
+    def test_registered_and_referenced_kernel_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/kern.py": self.KERNEL_SRC,
+                "tests/distance/kernel_manifest.py": (
+                    'KERNEL_PARITY_REGISTRY = {"fast": "tests/test_k.py"}\n'
+                ),
+                "tests/test_k.py": 'def test_fast_parity():\n    assert "fast"\n',
+            },
+            rules=["RL009"],
+        )
+        assert codes(report) == []
+
+    def test_mapped_test_must_reference_the_kernel(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/kern.py": self.KERNEL_SRC,
+                "tests/distance/kernel_manifest.py": (
+                    'KERNEL_PARITY_REGISTRY = {"fast": "tests/test_k.py"}\n'
+                ),
+                "tests/test_k.py": "def test_unrelated():\n    pass\n",
+            },
+            rules=["RL009"],
+        )
+        assert "never references" in by_rule(report, "RL009")[0]
+
+    def test_missing_mapped_file_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/kern.py": self.KERNEL_SRC,
+                "tests/distance/kernel_manifest.py": (
+                    'KERNEL_PARITY_REGISTRY = {"fast": "tests/test_gone.py"}\n'
+                ),
+            },
+            rules=["RL009"],
+        )
+        assert "missing test file" in by_rule(report, "RL009")[0]
+
+    def test_non_literal_registration_name_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/kern.py": (
+                    "from pkg.registry import register_kernel\n"
+                    'NAME = "fast"\n'
+                    "register_kernel(NAME, object())\n"
+                ),
+                "tests/distance/kernel_manifest.py": (
+                    "KERNEL_PARITY_REGISTRY = {}\n"
+                ),
+            },
+            rules=["RL009"],
+        )
+        assert "string literal" in by_rule(report, "RL009")[0]
+
+    def test_direct_registry_assignment_requires_manifest_entry(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {
+                "src/pkg/kern.py": (
+                    "from pkg.registry import KERNELS\n"
+                    'KERNELS["direct"] = object()\n'
+                ),
+                "tests/distance/kernel_manifest.py": (
+                    "KERNEL_PARITY_REGISTRY = {}\n"
+                ),
+            },
+            rules=["RL009"],
+        )
+        assert "direct" in by_rule(report, "RL009")[0]
+
+    def test_non_literal_registry_key_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/kern.py": (
+                    "from pkg.registry import KERNELS\n"
+                    'key = "fast"\n'
+                    "KERNELS[key] = object()\n"
+                ),
+                "tests/distance/kernel_manifest.py": (
+                    "KERNEL_PARITY_REGISTRY = {}\n"
+                ),
+            },
+            rules=["RL009"],
+        )
+        assert "string literal" in by_rule(report, "RL009")[0]
