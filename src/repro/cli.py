@@ -37,6 +37,7 @@ from .eval import experiments as exp
 from .eval.harness import WorkloadRunner
 from .eval.reporting import format_table
 from .exceptions import ReproError, ValidationError
+from .exec import available_executors
 from .index.backend import EXACT_BACKEND_NAMES
 from .obs.export import (
     render_metrics_table,
@@ -144,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="partition the database across N shards queried in parallel",
     )
+    query.add_argument(
+        "--executor",
+        choices=sorted(available_executors()),
+        default=None,
+        help="shard execution plane (default: REPRO_EXECUTOR or 'thread'); "
+        "answers are identical for every choice",
+    )
     group = query.add_mutually_exclusive_group(required=True)
     group.add_argument("--epsilon", type=float, help="tolerance search")
     group.add_argument("--knn", type=int, help="k-nearest-neighbour search")
@@ -183,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="shard count for the --backend engine rows",
+    )
+    compare.add_argument(
+        "--executor",
+        choices=sorted(available_executors()),
+        default=None,
+        help="shard execution plane for the --backend engine rows",
     )
 
     experiment = sub.add_parser(
@@ -286,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repro-specific static analyzer (rules RL001-RL008)",
+        help="run the repro-specific static analyzer (rules RL001-RL010)",
     )
     lint.add_argument(
         "paths",
@@ -387,41 +401,44 @@ def _cmd_query(args: argparse.Namespace) -> int:
         raise ValidationError(f"shards must be >= 1, got {args.shards}")
     storage = SequenceDatabase.load(args.db)
     query = _parse_query(args.query)
-    facade = TimeWarpingDatabase.from_storage(
-        storage, backend=args.backend, shards=args.shards
-    )
-    if args.epsilon is not None:
-        if args.explain:
-            result = facade.search_detailed(query, args.epsilon)
-            matches = result.matches
-            candidates = len(result.candidate_ids)
-        else:
-            matches = facade.search(query, args.epsilon)
-            candidates = len(facade.last_candidate_ids)
-        print(
-            f"{len(matches)} match(es) within eps={args.epsilon} "
-            f"({candidates} candidate(s) examined)"
-        )
-        for match in matches:
-            print(f"  seq {match.seq_id}  D_tw={match.distance:.6g}")
-        if args.explain:
-            print()
-            print("pruning waterfall:")
-            stages = [
-                (stage.name, stage.n_in, stage.n_out)
-                for stage in result.stats.stages
-            ]
-            print(render_pruning_waterfall(stages, result.metrics))
-    else:
-        if args.explain:
-            raise ValidationError(
-                "--explain requires --epsilon (the pruning waterfall is "
-                "defined for tolerance search)"
+    with TimeWarpingDatabase.from_storage(
+        storage,
+        backend=args.backend,
+        shards=args.shards,
+        executor=args.executor,
+    ) as facade:
+        if args.epsilon is not None:
+            if args.explain:
+                result = facade.search_detailed(query, args.epsilon)
+                matches = result.matches
+                candidates = len(result.candidate_ids)
+            else:
+                matches = facade.search(query, args.epsilon)
+                candidates = len(facade.last_candidate_ids)
+            print(
+                f"{len(matches)} match(es) within eps={args.epsilon} "
+                f"({candidates} candidate(s) examined)"
             )
-        neighbours = facade.knn(query, args.knn)
-        print(f"{args.knn} nearest neighbour(s):")
-        for match in neighbours:
-            print(f"  seq {match.seq_id}  D_tw={match.distance:.6g}")
+            for match in matches:
+                print(f"  seq {match.seq_id}  D_tw={match.distance:.6g}")
+            if args.explain:
+                print()
+                print("pruning waterfall:")
+                stages = [
+                    (stage.name, stage.n_in, stage.n_out)
+                    for stage in result.stats.stages
+                ]
+                print(render_pruning_waterfall(stages, result.metrics))
+        else:
+            if args.explain:
+                raise ValidationError(
+                    "--explain requires --epsilon (the pruning waterfall is "
+                    "defined for tolerance search)"
+                )
+            neighbours = facade.knn(query, args.knn)
+            print(f"{args.knn} nearest neighbour(s):")
+            for match in neighbours:
+                print(f"  seq {match.seq_id}  D_tw={match.distance:.6g}")
     return 0
 
 
@@ -446,13 +463,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         raise ValidationError(f"shards must be >= 1, got {args.shards}")
     for backend in args.backend or ():
         factories.append(
-            lambda d, b=backend: EngineMethod(d, backend=b, shards=args.shards)
+            lambda d, b=backend: EngineMethod(
+                d, backend=b, shards=args.shards, executor=args.executor
+            )
         )
     runner = WorkloadRunner(db, factories)
     queries = QueryWorkload(
         sequences, n_queries=args.queries, seed=args.seed
     ).queries()
-    summary = runner.run(queries, args.epsilon)
+    try:
+        summary = runner.run(queries, args.epsilon)
+    finally:
+        for method in runner.methods:
+            if isinstance(method, EngineMethod):
+                method.close()
     rows = []
     for name in summary.methods():
         agg = summary[name]

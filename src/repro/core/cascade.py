@@ -195,33 +195,120 @@ class CascadeStats:
 class FeatureStore:
     """Precomputed per-sequence state the cascade's cheap tiers read.
 
-    Holds the sequences themselves, their ``(n, 4)`` feature matrix, and
-    (lazily) one ``(k, L)`` value matrix per distinct length ``L`` so
-    the envelope tier can run as a single matrix operation per group.
+    The store is *buffer-backed*: every per-sequence value lives in one
+    of five packed arrays — ``ids``/``lengths`` (``(n,)`` int64), the
+    ``(n, 4)`` float64 ``features`` matrix, the ``(n + 1,)`` int64
+    ``offsets`` prefix-sum, and the concatenated float64 ``values_flat``
+    element buffer.  ``sequences[row]`` is a zero-copy
+    :class:`~repro.types.Sequence` view into
+    ``values_flat[offsets[row]:offsets[row + 1]]``.  Because the whole
+    store is five flat buffers, it can be re-hosted on any backing
+    memory (notably a :mod:`multiprocessing.shared_memory` segment, via
+    :meth:`packed` / :meth:`from_packed`) without touching the cascade
+    kernels.  Per-length ``(k, L)`` value matrices for the envelope
+    tier are still materialized lazily.
     """
 
-    __slots__ = ("sequences", "ids", "features", "lengths", "_row_of", "_groups")
+    __slots__ = (
+        "sequences",
+        "ids",
+        "features",
+        "lengths",
+        "offsets",
+        "values_flat",
+        "_row_of",
+        "_groups",
+    )
+
+    #: The packed-array fields, in :meth:`packed` export order.
+    PACKED_FIELDS = ("ids", "features", "lengths", "offsets", "values_flat")
 
     def __init__(self, sequences: Iterable[SequenceLike]) -> None:
-        self.sequences: list[Sequence] = []
+        seqs: list[Sequence] = []
         for position, item in enumerate(sequences):
             seq = as_sequence(item)
             if len(seq) == 0:
                 raise ValidationError("cannot index an empty sequence")
             if seq.seq_id is None:
                 seq = as_sequence(seq.values, seq_id=position)
-            self.sequences.append(seq)
-        n = len(self.sequences)
-        self.ids = np.fromiter(
-            (seq.seq_id for seq in self.sequences), dtype=np.int64, count=n
+            seqs.append(seq)
+        n = len(seqs)
+        ids = np.fromiter(
+            (seq.seq_id for seq in seqs), dtype=np.int64, count=n
         )
-        self.features = np.empty((n, 4), dtype=np.float64)
-        self.lengths = np.empty(n, dtype=np.int64)
-        for row, seq in enumerate(self.sequences):
-            self.features[row] = extract_feature(seq.values).as_tuple()
-            self.lengths[row] = len(seq)
+        features = np.empty((n, 4), dtype=np.float64)
+        lengths = np.fromiter(
+            (len(seq) for seq in seqs), dtype=np.int64, count=n
+        )
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        values_flat = np.empty(int(offsets[-1]), dtype=np.float64)
+        for row, seq in enumerate(seqs):
+            features[row] = extract_feature(seq.values).as_tuple()
+            values_flat[offsets[row] : offsets[row + 1]] = seq.values
+        labels = [seq.label for seq in seqs]
+        self._adopt(ids, features, lengths, offsets, values_flat, labels)
+
+    def _adopt(
+        self,
+        ids: np.ndarray,
+        features: np.ndarray,
+        lengths: np.ndarray,
+        offsets: np.ndarray,
+        values_flat: np.ndarray,
+        labels: list[str | None] | None = None,
+    ) -> None:
+        """Bind the packed arrays and rebuild the zero-copy sequence views."""
+        values_flat.flags.writeable = False
+        self.ids = ids
+        self.features = features
+        self.lengths = lengths
+        self.offsets = offsets
+        self.values_flat = values_flat
+        self.sequences = [
+            Sequence(
+                values_flat[offsets[row] : offsets[row + 1]],
+                seq_id=int(ids[row]),
+                label=labels[row] if labels is not None else None,
+            )
+            for row in range(len(ids))
+        ]
         self._row_of: dict[int, int] | None = None
         self._groups: dict[int, np.ndarray] | None = None
+
+    def packed(self) -> dict[str, np.ndarray]:
+        """The five packed arrays, keyed by :attr:`PACKED_FIELDS` name.
+
+        The returned arrays *are* the store's buffers (no copy); callers
+        exporting them into a shared segment copy out themselves.
+        Sequence labels are not part of the packed form.
+        """
+        return {name: getattr(self, name) for name in self.PACKED_FIELDS}
+
+    @classmethod
+    def from_packed(
+        cls,
+        ids: np.ndarray,
+        features: np.ndarray,
+        lengths: np.ndarray,
+        offsets: np.ndarray,
+        values_flat: np.ndarray,
+    ) -> "FeatureStore":
+        """Re-host a store on existing packed arrays, zero-copy.
+
+        The arrays are adopted as-is (they may be views into a
+        :mod:`multiprocessing.shared_memory` buffer); no feature
+        extraction or concatenation runs.
+        """
+        self = cls.__new__(cls)
+        self._adopt(
+            np.asarray(ids, dtype=np.int64),
+            np.asarray(features, dtype=np.float64).reshape(len(ids), 4),
+            np.asarray(lengths, dtype=np.int64),
+            np.asarray(offsets, dtype=np.int64),
+            np.asarray(values_flat, dtype=np.float64),
+        )
+        return self
 
     @classmethod
     def from_database(cls, db: SequenceDatabase) -> "FeatureStore":

@@ -68,6 +68,11 @@ class TimeWarpingDatabase:
         Number of round-robin shards queried in parallel (>= 1).
     backend_options:
         Extra options forwarded to each shard's backend constructor.
+    executor:
+        Shard execution plane — ``"serial"``, ``"thread"`` or
+        ``"process"`` (default: the ``REPRO_EXECUTOR`` environment
+        variable, else ``"thread"``).  A runtime choice, not a stored
+        property: it is never persisted by :meth:`save`.
     """
 
     def __init__(
@@ -79,6 +84,7 @@ class TimeWarpingDatabase:
         backend: str = "rtree",
         shards: int = 1,
         backend_options: dict[str, object] | None = None,
+        executor: str | None = None,
     ) -> None:
         self._sharded = ShardedDatabase(
             page_size=page_size,
@@ -87,6 +93,7 @@ class TimeWarpingDatabase:
             backend=backend,
             shards=shards,
             backend_options=backend_options,
+            executor=executor,
         )
         self._labels: dict[int, str | None] = {}
 
@@ -99,6 +106,7 @@ class TimeWarpingDatabase:
         shards: int = 1,
         backend_options: dict[str, object] | None = None,
         labels: dict[int, str | None] | None = None,
+        executor: str | None = None,
     ) -> "TimeWarpingDatabase":
         """Index an existing storage under the chosen backend/sharding.
 
@@ -115,7 +123,10 @@ class TimeWarpingDatabase:
             engine = QueryEngine(storage, backend, backend_options=backend_options)
             engine.rebuild_index()
             instance._sharded = ShardedDatabase.adopt(
-                [engine], backend_name=backend, backend_options=backend_options
+                [engine],
+                backend_name=backend,
+                backend_options=backend_options,
+                executor=executor,
             )
             return instance
         engines = [
@@ -146,6 +157,7 @@ class TimeWarpingDatabase:
             backend_options=backend_options,
             assign=assign,
             next_gid=storage.next_id,
+            executor=executor,
         )
         return instance
 
@@ -209,6 +221,23 @@ class TimeWarpingDatabase:
     def n_shards(self) -> int:
         """Number of shards."""
         return self._sharded.n_shards
+
+    @property
+    def executor_name(self) -> str:
+        """Registry name of the shard execution plane."""
+        return self._sharded.executor_name
+
+    def close(self) -> None:
+        """Release the execution plane (pool threads, worker processes,
+        shared-memory segments).  Idempotent; safe on every executor,
+        required etiquette for ``executor="process"``."""
+        self._sharded.close()
+
+    def __enter__(self) -> "TimeWarpingDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def storage(self) -> SequenceDatabase:
@@ -422,6 +451,7 @@ class TimeWarpingDatabase:
         *,
         disk: DiskModel | None = None,
         buffer_pages: int = 0,
+        executor: str | None = None,
     ) -> "TimeWarpingDatabase":
         """Re-open a database persisted with :meth:`save`.
 
@@ -479,6 +509,7 @@ class TimeWarpingDatabase:
             # it to keep the gid==lid identity.  Sharded layouts keep
             # the persisted counter so gids are never reused.
             next_gid=next_gid if shards > 1 else None,
+            executor=executor,
         )
         instance._labels = labels
         return instance

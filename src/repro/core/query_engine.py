@@ -150,6 +150,12 @@ class QueryEngine:
         page size.
     backend_options:
         Extra constructor options when *backend* is a name.
+    cascade_factory:
+        How to (re)build the filter cascade when the store goes stale.
+        Defaults to :meth:`FilterCascade.from_database` (one charged
+        sequential scan); the process executor's workers inject a
+        factory that charges the same scan but adopts the published
+        shared-memory store, so counters stay bit-identical.
     """
 
     def __init__(
@@ -158,6 +164,8 @@ class QueryEngine:
         backend: IndexBackend | str = "rtree",
         *,
         backend_options: dict[str, object] | None = None,
+        cascade_factory: Callable[[SequenceDatabase], FilterCascade]
+        | None = None,
     ) -> None:
         if isinstance(backend, str):
             backend = make_backend(
@@ -171,6 +179,11 @@ class QueryEngine:
             )
         self._db = database
         self._backend = backend
+        self._cascade_factory: Callable[[SequenceDatabase], FilterCascade] = (
+            cascade_factory
+            if cascade_factory is not None
+            else FilterCascade.from_database
+        )
         self._cascade: FilterCascade | None = None
         self._cascade_lock = threading.Lock()
         self._metrics = MetricsRegistry()
@@ -299,7 +312,7 @@ class QueryEngine:
             with self._cascade_lock:
                 cascade = self._cascade
                 if cascade is None or not cascade.store.matches(self._db):
-                    cascade = FilterCascade.from_database(self._db)
+                    cascade = self._cascade_factory(self._db)
                     self._cascade = cascade
         return cascade
 

@@ -19,25 +19,30 @@ bit-identical to running the same workload on a single shard:
 * Stage counters merge by :meth:`CascadeStats.merge`, so ``n_in`` of
   the index stage sums to the global database size.
 
-With ``shards=1`` every call short-circuits to the single engine —
-no thread pool, no id translation (the gid and lid counters advance in
-lockstep, so they are provably equal).
+*How* the per-shard calls run is delegated to a pluggable
+:class:`~repro.exec.base.ShardExecutor` (``executor=`` /
+``REPRO_EXECUTOR``): ``serial`` runs shards inline, ``thread`` fans
+out on a persistent thread pool, ``process`` dispatches to spawned
+workers reading the feature store from shared memory.  The router's
+job is unchanged either way — it applies mutations to its own
+authoritative engines (mirroring them to executor replicas), fans
+queries out through the executor, and merges results in shard order,
+so answers and counters are bit-identical across executors.
 """
 
 from __future__ import annotations
 
-import contextvars
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator, TypeVar
+from typing import Any, Iterable, Iterator
 
 from ..exceptions import SequenceNotFoundError, ValidationError
+from ..exec import make_executor
+from ..exec.base import ShardExecutor
 from ..obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     active_registry,
-    use_registry,
 )
 from ..obs.tracing import maybe_span
 from ..storage.database import SequenceDatabase
@@ -47,8 +52,6 @@ from .cascade import CascadeStats
 from .query_engine import BatchResult, QueryEngine, QueryResult, SearchOutcome
 
 __all__ = ["ShardedDatabase"]
-
-T = TypeVar("T")
 
 
 class ShardedDatabase:
@@ -64,6 +67,10 @@ class ShardedDatabase:
         Number of shards (>= 1).
     backend_options:
         Extra options forwarded to each shard's backend constructor.
+    executor:
+        Shard execution plane: ``"serial"``, ``"thread"`` or
+        ``"process"`` (default: the ``REPRO_EXECUTOR`` environment
+        variable, else ``"thread"``).
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class ShardedDatabase:
         backend: str = "rtree",
         shards: int = 1,
         backend_options: dict[str, object] | None = None,
+        executor: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
@@ -98,6 +106,7 @@ class ShardedDatabase:
         self._next_gid = 0
         self._metrics = MetricsRegistry()
         self._last = threading.local()
+        self._executor: ShardExecutor = make_executor(executor, self._engines)
 
     @classmethod
     def adopt(
@@ -108,6 +117,7 @@ class ShardedDatabase:
         backend_options: dict[str, object] | None = None,
         assign: dict[int, tuple[int, int]] | None = None,
         next_gid: int | None = None,
+        executor: str | None = None,
     ) -> "ShardedDatabase":
         """Wrap pre-built engines (loaded or adopted storages).
 
@@ -143,6 +153,7 @@ class ShardedDatabase:
         self._next_gid = next_gid
         self._metrics = MetricsRegistry()
         self._last = threading.local()
+        self._executor = make_executor(executor, self._engines)
         return self
 
     # -- introspection -------------------------------------------------------
@@ -156,6 +167,16 @@ class ShardedDatabase:
     def backend_name(self) -> str:
         """Registry name of the per-shard index backend."""
         return self._backend_name
+
+    @property
+    def executor_name(self) -> str:
+        """Registry name of the shard execution plane."""
+        return self._executor.name
+
+    @property
+    def executor(self) -> ShardExecutor:
+        """The shard executor fanning queries out (shard order results)."""
+        return self._executor
 
     @property
     def engines(self) -> list[QueryEngine]:
@@ -247,12 +268,14 @@ class ShardedDatabase:
 
     def insert(self, sequence: SequenceLike) -> int:
         """Store one sequence on shard ``gid % N``; returns its gid."""
+        seq = as_sequence(sequence)
         gid = self._next_gid
         shard = gid % self._n
-        lid = self._engines[shard].insert(sequence)
+        lid = self._engines[shard].insert(seq)
         self._next_gid += 1
         self._assign[gid] = (shard, lid)
         self._rev[shard][lid] = gid
+        self._executor.mirror(shard, "insert", (seq,))
         return gid
 
     def bulk_load(self, sequences: Iterable[SequenceLike]) -> list[int]:
@@ -278,6 +301,7 @@ class ShardedDatabase:
             for gid, lid in zip(per_shard_gids[shard], lids):
                 self._assign[gid] = (shard, lid)
                 self._rev[shard][lid] = gid
+            self._executor.mirror(shard, "bulk_insert", (batch,))
         return gids
 
     def delete(self, gid: int) -> None:
@@ -286,6 +310,7 @@ class ShardedDatabase:
         self._engines[shard].delete(lid)
         del self._assign[gid]
         del self._rev[shard][lid]
+        self._executor.mirror(shard, "delete", (lid,))
 
     def get(self, gid: int) -> Sequence:
         """Fetch a stored sequence by gid (charges the shard's I/O)."""
@@ -307,34 +332,40 @@ class ShardedDatabase:
             gid, match.distance, self._as_global(gid, match.sequence)
         )
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the execution plane (pool threads, worker processes,
+        shared segments).  Idempotent; the database remains readable
+        through non-fanning paths (``get``, ``ids``) but further
+        queries raise :class:`~repro.exceptions.ExecutorError`."""
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- queries ----------------------------------------------------------------
 
-    def _run_shards(self, call: Callable[[QueryEngine], T]) -> list[T]:
-        """Run *call* on every shard engine; results in shard order.
+    def _run_shards(
+        self,
+        method: str,
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> list[Any]:
+        """Fan ``engine.<method>(*args)`` out via the executor.
 
-        Each worker task runs in a *copy* of the submitting thread's
-        :mod:`contextvars` context, so trace spans opened by the shard
-        engines parent correctly under the fan-out span.  The ambient
-        metrics registry is suppressed inside the workers: per-shard
-        charges travel back on the engines' return-path snapshots and
-        are merged in shard order — the deterministic, bit-exact
-        aggregation the parity guarantee needs (engine-level merging
-        from concurrent workers would be completion-ordered instead).
+        Results come back in shard order regardless of completion
+        order, and the ambient metrics registry is suppressed inside
+        the calls: per-shard charges travel back on the engines'
+        return-path snapshots and are merged in shard order — the
+        deterministic, bit-exact aggregation the parity guarantee
+        needs (engine-level merging from concurrent workers would be
+        completion-ordered instead).
         """
-
-        def isolated(engine: QueryEngine) -> T:
-            with use_registry(None):
-                return call(engine)
-
-        if self._n == 1:
-            return [isolated(self._engines[0])]
-        contexts = [contextvars.copy_context() for _ in self._engines]
-        with ThreadPoolExecutor(max_workers=self._n) as pool:
-            futures = [
-                pool.submit(context.run, isolated, engine)
-                for context, engine in zip(contexts, self._engines)
-            ]
-            return [future.result() for future in futures]
+        return self._executor.run(method, args, kwargs)
 
     @contextmanager
     def _query_scope(self) -> Iterator[MetricsRegistry]:
@@ -379,9 +410,7 @@ class ShardedDatabase:
         ):
             per_query.count("sharded.queries")
             shard_results = self._run_shards(
-                lambda engine: engine.search_detailed(
-                    query, epsilon, band_radius=band_radius
-                )
+                "search_detailed", (query, epsilon), {"band_radius": band_radius}
             )
             merged: list[SearchOutcome] = []
             candidate_gids: list[int] = []
@@ -434,9 +463,9 @@ class ShardedDatabase:
         ):
             per_query.count("sharded.queries", len(query_list))
             shard_results = self._run_shards(
-                lambda engine: engine.search_many_detailed(
-                    query_list, epsilon, band_radius=band_radius
-                )
+                "search_many_detailed",
+                (query_list, epsilon),
+                {"band_radius": band_radius},
             )
             for shard_result in shard_results:
                 per_query.merge(shard_result.metrics)
@@ -479,9 +508,7 @@ class ShardedDatabase:
             "sharded.knn", shards=self._n, backend=self._backend_name, k=k
         ):
             per_query.count("sharded.knn_queries")
-            shard_results = self._run_shards(
-                lambda engine: engine.knn_detailed(query, k)
-            )
+            shard_results = self._run_shards("knn_detailed", (query, k))
             merged: list[SearchOutcome] = []
             for shard, shard_result in enumerate(shard_results):
                 per_query.merge(shard_result.metrics)
@@ -501,5 +528,6 @@ class ShardedDatabase:
     def __repr__(self) -> str:
         return (
             f"ShardedDatabase({len(self)} sequences, "
-            f"{self._n} shard(s), backend={self._backend_name!r})"
+            f"{self._n} shard(s), backend={self._backend_name!r}, "
+            f"executor={self._executor.name!r})"
         )

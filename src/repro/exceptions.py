@@ -24,6 +24,7 @@ __all__ = [
     "ExperimentError",
     "BenchSchemaError",
     "NotBuiltError",
+    "ExecutorError",
 ]
 
 
@@ -102,4 +103,14 @@ class NotBuiltError(ReproError, RuntimeError):
 
     Subclasses :class:`RuntimeError` as well so existing callers that
     catch the historical ``RuntimeError`` keep working.
+    """
+
+
+class ExecutorError(ReproError, RuntimeError):
+    """A shard executor failed outside the query itself.
+
+    Raised when a worker process dies unexpectedly, a closed executor
+    is reused, or the execution plane otherwise breaks; query-level
+    errors (bad epsilon, unknown id) keep their own domain types and
+    propagate through the executor unchanged.
     """

@@ -1,0 +1,40 @@
+"""The serial executor: every shard runs inline, in shard order.
+
+This is the old ``shards == 1`` short-circuit generalized to any shard
+count — no pool, no context copying, no worker isolation beyond the
+ambient-registry suppression every executor applies.  It is the
+reference implementation the parity suite measures the parallel
+executors against, and the right choice for debugging and for
+single-shard databases embedded in larger pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..obs.metrics import use_registry
+from .base import ShardExecutor, register_executor
+
+__all__ = ["SerialExecutor"]
+
+
+@register_executor
+class SerialExecutor(ShardExecutor):
+    """Run the per-shard calls one after another in the calling thread."""
+
+    name = "serial"
+
+    def run(
+        self,
+        method: str,
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> list[Any]:
+        self._require_open()
+        kwargs = kwargs or {}
+        results: list[Any] = []
+        for engine in self._engines:
+            # Charges travel on the return path only, like every executor.
+            with use_registry(None):
+                results.append(getattr(engine, method)(*args, **kwargs))
+        return results

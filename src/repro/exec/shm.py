@@ -1,0 +1,130 @@
+"""Publishing a packed :class:`FeatureStore` into shared memory.
+
+The store is five flat arrays (:attr:`FeatureStore.PACKED_FIELDS`);
+:func:`publish_store` copies them back-to-back into one
+:mod:`multiprocessing.shared_memory` segment and returns a picklable
+:class:`SharedStoreHandle` describing the layout.  A worker process
+calls :func:`attach_store` with the handle and gets a read-only,
+**zero-copy** store — every cascade tier and every DTW verification in
+the worker reads sequence values straight out of the shared segment,
+so N workers share one copy of the database's feature state instead of
+N pickled replicas.
+
+Lifecycle: the *publisher* owns the segment — it keeps the returned
+:class:`~multiprocessing.shared_memory.SharedMemory` object and is
+responsible for ``close()`` + ``unlink()`` when the executor shuts
+down.  Attachers only ``close()`` (implicitly, at process exit).
+Pre-3.13 Pythons register *attachments* with the
+:mod:`multiprocessing.resource_tracker` as well; that is harmless
+here because spawned workers share the publisher's tracker process,
+whose name cache is a set — the duplicate register deduplicates and
+the publisher's ``unlink()`` unregisters exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.cascade import FeatureStore
+
+__all__ = ["ArraySpec", "SharedStoreHandle", "publish_store", "attach_store"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one packed array inside the shared segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedStoreHandle:
+    """A picklable description of a published feature store.
+
+    Attributes
+    ----------
+    segment:
+        The shared-memory segment name (attachable by any process).
+    size:
+        Segment size in bytes.
+    arrays:
+        Layout of the packed arrays, in :attr:`FeatureStore.PACKED_FIELDS`
+        order.
+    """
+
+    segment: str
+    size: int
+    arrays: tuple[ArraySpec, ...]
+
+
+def publish_store(
+    store: FeatureStore,
+) -> tuple[shared_memory.SharedMemory, SharedStoreHandle]:
+    """Copy *store*'s packed arrays into a fresh shared segment.
+
+    Returns the owning ``SharedMemory`` object (caller must ``close()``
+    and ``unlink()`` it eventually) and the layout handle to ship to
+    attachers.
+    """
+    packed = {
+        name: np.ascontiguousarray(array)
+        for name, array in store.packed().items()
+    }
+    specs: list[ArraySpec] = []
+    offset = 0
+    for name in FeatureStore.PACKED_FIELDS:
+        array = packed[name]
+        specs.append(
+            ArraySpec(name, str(array.dtype), tuple(array.shape), offset)
+        )
+        offset += array.nbytes
+    # Zero-byte segments are rejected by the OS; a store with no
+    # sequences still publishes its (single-element) offsets array, but
+    # guard anyway.
+    segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for spec in specs:
+        array = packed[spec.name]
+        if array.nbytes == 0:
+            continue
+        view: np.ndarray = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=segment.buf,
+            offset=spec.offset,
+        )
+        view[...] = array
+        del view  # keep no exported views: segment.close() must not block
+    return segment, SharedStoreHandle(
+        segment=segment.name, size=max(offset, 1), arrays=tuple(specs)
+    )
+
+
+def attach_store(
+    handle: SharedStoreHandle,
+) -> tuple[shared_memory.SharedMemory, FeatureStore]:
+    """Attach to a published store, zero-copy and read-only.
+
+    The caller must keep the returned ``SharedMemory`` object alive as
+    long as the store is in use (the store's arrays are views into its
+    buffer).
+    """
+    segment = shared_memory.SharedMemory(name=handle.segment, create=False)
+    views: dict[str, np.ndarray] = {}
+    for spec in handle.arrays:
+        dtype = np.dtype(spec.dtype)
+        count = int(np.prod(spec.shape, dtype=np.int64))
+        if count == 0:
+            view = np.empty(spec.shape, dtype=dtype)
+        else:
+            view = np.ndarray(
+                spec.shape, dtype=dtype, buffer=segment.buf, offset=spec.offset
+            )
+        view.flags.writeable = False
+        views[spec.name] = view
+    return segment, FeatureStore.from_packed(**views)

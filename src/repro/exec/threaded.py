@@ -1,0 +1,97 @@
+"""The thread executor: a persistent shard pool (one thread per shard).
+
+Historically ``ShardedDatabase`` built a fresh
+:class:`~concurrent.futures.ThreadPoolExecutor` inside every search
+call, paying N thread spawns per query.  The pool is now created
+lazily on the first multi-shard call and reused for the executor's
+lifetime; :meth:`close` shuts it down idempotently.
+
+Each task runs in a *copy* of the submitting thread's
+:mod:`contextvars` context, so trace spans opened by the shard engines
+parent correctly under the caller's fan-out span.  With a single
+engine the call runs inline — no pool is ever created, preserving the
+old single-shard fast path.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any
+
+from ..obs.metrics import use_registry
+from .base import ShardExecutor, register_executor
+
+if TYPE_CHECKING:
+    from ..core.query_engine import QueryEngine
+
+__all__ = ["ThreadExecutor"]
+
+
+@register_executor
+class ThreadExecutor(ShardExecutor):
+    """Fan out on a lazily-created, persistent thread pool."""
+
+    name = "thread"
+
+    def __init__(self, engines: list["QueryEngine"]) -> None:
+        super().__init__(engines)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def active_pool(self) -> ThreadPoolExecutor | None:
+        """The persistent pool, or ``None`` before the first fan-out.
+
+        Exposed so the reuse regression test can assert two consecutive
+        queries run on the *same* pool object.
+        """
+        return self._pool
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                self._require_open()
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=len(self._engines),
+                        thread_name_prefix="repro-shard",
+                    )
+                    self._pool = pool
+        return pool
+
+    def run(
+        self,
+        method: str,
+        args: tuple[Any, ...] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> list[Any]:
+        self._require_open()
+        kwargs = kwargs or {}
+
+        def isolated(engine: "QueryEngine") -> Any:
+            with use_registry(None):
+                return getattr(engine, method)(*args, **kwargs)
+
+        if len(self._engines) == 1:
+            return [isolated(self._engines[0])]
+        pool = self._ensure_pool()
+        contexts = [contextvars.copy_context() for _ in self._engines]
+        futures = [
+            pool.submit(context.run, isolated, engine)
+            for context, engine in zip(contexts, self._engines)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; in-flight tasks finish)."""
+        if self._closed:
+            return
+        with self._pool_lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)

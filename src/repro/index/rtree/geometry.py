@@ -50,6 +50,12 @@ class Rect:
         # the __setattr__ protocol requires AttributeError here
         raise AttributeError("Rect is immutable")  # repro-lint: disable=RL004
 
+    def __reduce__(self) -> tuple[type["Rect"], tuple[tuple[float, ...], ...]]:
+        # Default __slots__ pickling restores state through
+        # __setattr__, which immutability blocks; rebuild through the
+        # constructor instead (needed to ship indexes to shard workers).
+        return (Rect, (self.lows, self.highs))
+
     # -- constructors ---------------------------------------------------
 
     @classmethod

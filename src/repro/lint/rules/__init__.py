@@ -10,6 +10,7 @@ RL006     hot-path modules do not allocate inside per-cell loops
 RL007     no dead public exports (``__all__`` referenced nowhere)
 RL008     benchmark workload specs are explicitly seeded
 RL009     every DTW kernel is in the kernel-parity test registry
+RL010     process-worker functions avoid module-level mutable state
 ========  ==============================================================
 """
 
@@ -28,6 +29,7 @@ from .rl006_hot_loops import HotLoopAllocationRule
 from .rl007_dead_exports import DeadExportRule
 from .rl008_bench_seeds import BenchSeedRule
 from .rl009_kernel_manifest import KernelManifestRule
+from .rl010_spawn_safety import SpawnSafetyRule
 
 __all__ = [
     "ALL_RULES",
@@ -42,6 +44,7 @@ __all__ = [
     "DeadExportRule",
     "BenchSeedRule",
     "KernelManifestRule",
+    "SpawnSafetyRule",
 ]
 
 #: Every rule class, in code order.
@@ -55,6 +58,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     DeadExportRule,
     BenchSeedRule,
     KernelManifestRule,
+    SpawnSafetyRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

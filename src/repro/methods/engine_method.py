@@ -38,6 +38,11 @@ class EngineMethod(SearchMethod):
         Number of round-robin shards queried in parallel.
     backend_options:
         Extra options forwarded to each shard's backend constructor.
+    executor:
+        Shard execution plane (``serial``/``thread``/``process``);
+        ``None`` keeps the default resolution.  Answers and charges are
+        identical either way — the accounting below reads the
+        executor-invariant return-path metrics.
     """
 
     def __init__(
@@ -48,12 +53,14 @@ class EngineMethod(SearchMethod):
         shards: int = 1,
         backend_options: dict[str, object] | None = None,
         compute_distances: bool = False,
+        executor: str | None = None,
     ) -> None:
         super().__init__(database, compute_distances=compute_distances)
         self.name = f"Engine[{backend}x{shards}]"
         self._backend_name = backend
         self._shards = shards
         self._backend_options = backend_options
+        self._executor = executor
         self._engine_db: TimeWarpingDatabase | None = None
 
     @property
@@ -70,12 +77,18 @@ class EngineMethod(SearchMethod):
             for engine in self.engine.sharded.engines
         )
 
+    def close(self) -> None:
+        """Release the facade's execution plane (idempotent)."""
+        if self._engine_db is not None:
+            self._engine_db.close()
+
     def _build_impl(self) -> None:
         facade = TimeWarpingDatabase.from_storage(
             self._db,
             backend=self._backend_name,
             shards=self._shards,
             backend_options=self._backend_options,
+            executor=self._executor,
         )
         # from_storage charges the source scan on the outer database
         # (picked up by the build accounting); shard-local build I/O is
@@ -97,13 +110,14 @@ class EngineMethod(SearchMethod):
     ) -> tuple[list[int], dict[int, float], list[int]]:
         facade = self.engine
         stats.lower_bound_computations += 1
-        shard_engines = facade.sharded.engines
-        for engine in shard_engines:
-            engine.backend.access.mark("engine-method")
-        matches = facade.search(query.values, epsilon)
-        node_reads = sum(
-            engine.backend.access.delta("engine-method")[0]
-            for engine in shard_engines
+        result = facade.search_detailed(query.values, epsilon)
+        # Charges are read off the return-path snapshot, which is
+        # merged in shard order and bit-identical for every executor
+        # (the process executor's node reads and storage fetches happen
+        # in worker replicas, not on the parent's engines).
+        counters = result.metrics.counters
+        node_reads = int(
+            counters.get(f"index.{self._backend_name}.node_reads", 0)
         )
         stats.index_node_reads += node_reads
         stats.simulated_io_seconds += self._db.disk.random_read_time(
@@ -111,11 +125,13 @@ class EngineMethod(SearchMethod):
         )
         # The facade's storages are distinct from the outer database the
         # base class marks, so their per-query charges move over here.
-        stats.simulated_io_seconds += self._drain_shard_io(facade)
-        candidates = facade.last_candidate_ids
+        stats.simulated_io_seconds += float(
+            counters.get("storage.simulated_seconds", 0.0)
+        )
+        candidates = result.candidate_ids
         stats.sequences_read += len(candidates)
         stats.dtw_computations += len(candidates)
-        answers = [match.seq_id for match in matches]
-        distances = {match.seq_id: match.distance for match in matches}
-        self._last_cascade = facade.last_cascade_stats
+        answers = [match.seq_id for match in result.matches]
+        distances = {match.seq_id: match.distance for match in result.matches}
+        self._last_cascade = result.stats
         return answers, distances, candidates

@@ -26,6 +26,7 @@ the no-false-dismissal guarantee, enforced on every benchmark run.
 from __future__ import annotations
 
 import importlib
+import os
 import platform
 import time
 from contextlib import ExitStack
@@ -123,13 +124,20 @@ class _VariantRuntime:
         *,
         batch: Callable[[list[np.ndarray], float], list[frozenset[int]]] | None = None,
         gauges: Callable[[], dict[str, float]] | None = None,
+        close: Callable[[], None] | None = None,
     ) -> None:
         self.variant = variant
         self.name = variant.name
         self._search = search
         self._batch = batch
         self._gauges = gauges
+        self._close = close
         self._registry = MetricsRegistry() if variant.obs == "enabled" else None
+
+    def close(self) -> None:
+        """Release the variant's resources (shard executors), if any."""
+        if self._close is not None:
+            self._close()
 
     def _obs_scope(self, stack: ExitStack) -> None:
         """Enter the variant's ambient-registry mode for a timed pass."""
@@ -209,7 +217,10 @@ def _build_variant(
         )
     if variant.method == "engine":
         facade = TimeWarpingDatabase.from_storage(
-            db, backend=variant.backend or "rtree", shards=variant.shards
+            db,
+            backend=variant.backend or "rtree",
+            shards=variant.shards,
+            executor=variant.executor,
         )
         return _VariantRuntime(
             variant,
@@ -217,6 +228,7 @@ def _build_variant(
                 m.seq_id for m in facade.search(q, eps)
             ),
             gauges=lambda: dict(facade.metrics_snapshot().gauges),
+            close=facade.close,
         )
     method_cls = _METHOD_CLASSES.get(variant.method)
     if method_cls is None:
@@ -240,10 +252,27 @@ def _environment(smoke: bool) -> dict[str, object]:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.system().lower(),
+        "cpu_count": _usable_cpus(),
         "full_scale": full_scale(),
         "smoke": smoke,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    Wall-time series that compare executors are meaningless without
+    this: on a single usable core the ``process`` plane cannot beat
+    ``thread`` no matter how well it scales.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 
 def _run_workload(spec: BenchSpec, *, smoke: bool) -> BenchResult:
@@ -281,48 +310,62 @@ def _run_workload(spec: BenchSpec, *, smoke: bool) -> BenchResult:
     result.notes.append(
         f"N={n} sequences, {n_queries} queries, best-of-{repeats} repeats"
     )
-
-    # Warm caches (buffer pool, numpy, lazy feature stores) untimed.
-    with use_registry(None):
-        for runtime in runtimes:
-            runtime.timed_pass(queries, float(spec.epsilons[0]))
-
-    for eps in spec.epsilons:
-        samples: dict[str, list[list[float]]] = {r.name: [] for r in runtimes}
-        for _ in range(repeats):
-            for runtime in runtimes:  # interleaved round-robin
-                samples[runtime.name].append(runtime.timed_pass(queries, eps))
-        for runtime in runtimes:
-            best = sum(min(per_query) for per_query in zip(*samples[runtime.name]))
-            result.series.setdefault(runtime.name, []).append(best)
-
-    # Exact work counters: one untimed pass per variant over the whole
-    # grid, charged to a dedicated registry; parity-check the answers.
-    reference: list[list[frozenset[int]]] | None = None
-    for runtime in runtimes:
-        registry = MetricsRegistry()
-        answer_sets: list[list[frozenset[int]]] = []
-        with use_registry(registry):
-            for eps in spec.epsilons:
-                answer_sets.append(runtime.answers(queries, float(eps)))
-        snapshot = registry.snapshot()
-        result.counters[runtime.name] = _exact_counters(snapshot)
-        gauges = runtime.structure_gauges()
-        if gauges:
-            result.gauges[runtime.name] = dict(sorted(gauges.items()))
-        if spec.verify_parity:
-            if reference is None:
-                reference = answer_sets
-            elif answer_sets != reference:
-                raise ValidationError(
-                    f"bench {spec.name!r}: variant {runtime.name!r} returned "
-                    "different answers than the first variant (false "
-                    "dismissal or false hit)"
-                )
-    if spec.verify_parity and len(runtimes) > 1:
+    if (
+        any(v.executor is not None for v in spec.variants)
+        and _usable_cpus() == 1
+    ):
         result.notes.append(
-            "answer sets verified identical across all variants"
+            "single usable CPU: executor wall-time comparisons degenerate "
+            "(no hardware parallelism; process/thread overlap impossible)"
         )
+
+    try:
+        # Warm caches (buffer pool, numpy, lazy feature stores) untimed.
+        with use_registry(None):
+            for runtime in runtimes:
+                runtime.timed_pass(queries, float(spec.epsilons[0]))
+
+        for eps in spec.epsilons:
+            samples: dict[str, list[list[float]]] = {r.name: [] for r in runtimes}
+            for _ in range(repeats):
+                for runtime in runtimes:  # interleaved round-robin
+                    samples[runtime.name].append(runtime.timed_pass(queries, eps))
+            for runtime in runtimes:
+                best = sum(
+                    min(per_query) for per_query in zip(*samples[runtime.name])
+                )
+                result.series.setdefault(runtime.name, []).append(best)
+
+        # Exact work counters: one untimed pass per variant over the whole
+        # grid, charged to a dedicated registry; parity-check the answers.
+        reference: list[list[frozenset[int]]] | None = None
+        for runtime in runtimes:
+            registry = MetricsRegistry()
+            answer_sets: list[list[frozenset[int]]] = []
+            with use_registry(registry):
+                for eps in spec.epsilons:
+                    answer_sets.append(runtime.answers(queries, float(eps)))
+            snapshot = registry.snapshot()
+            result.counters[runtime.name] = _exact_counters(snapshot)
+            gauges = runtime.structure_gauges()
+            if gauges:
+                result.gauges[runtime.name] = dict(sorted(gauges.items()))
+            if spec.verify_parity:
+                if reference is None:
+                    reference = answer_sets
+                elif answer_sets != reference:
+                    raise ValidationError(
+                        f"bench {spec.name!r}: variant {runtime.name!r} returned "
+                        "different answers than the first variant (false "
+                        "dismissal or false hit)"
+                    )
+        if spec.verify_parity and len(runtimes) > 1:
+            result.notes.append(
+                "answer sets verified identical across all variants"
+            )
+    finally:
+        for runtime in runtimes:
+            runtime.close()
     return result
 
 

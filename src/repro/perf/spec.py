@@ -81,9 +81,13 @@ class VariantSpec:
     ``method`` keys into the runner's method table (``per_seq_scan``,
     ``cascade``, ``cascade_batch``, ``naive``, ``lb_scan``,
     ``cascade_scan``, ``tw_sim``, ``st_filter``, ``engine``).  The
-    ``engine`` method additionally honours ``backend``/``shards``; every
-    variant honours ``obs`` (ambient registry mode while *timing*:
-    ``off``, ``null`` sink, or ``enabled`` live collection).
+    ``engine`` method additionally honours ``backend``/``shards`` and
+    ``executor`` (the shard execution plane: ``serial``, ``thread`` or
+    ``process``; ``None`` keeps the engine default); every variant
+    honours ``obs`` (ambient registry mode while *timing*: ``off``,
+    ``null`` sink, or ``enabled`` live collection).  Work counters are
+    executor-invariant by construction, so swapping the executor moves
+    only the wall-clock series.
     """
 
     name: str
@@ -91,6 +95,7 @@ class VariantSpec:
     backend: str | None = None
     shards: int = 1
     obs: str = "off"
+    executor: str | None = None
 
     def __post_init__(self) -> None:
         if self.obs not in _OBS_MODES:
@@ -99,6 +104,16 @@ class VariantSpec:
             )
         if self.shards < 1:
             raise ValidationError(f"shards must be >= 1, got {self.shards}")
+        if self.executor is not None:
+            # Import here: spec is the schema layer and must stay
+            # importable without pulling the execution plane in first.
+            from ..exec import available_executors
+
+            if self.executor not in available_executors():
+                raise ValidationError(
+                    f"unknown executor {self.executor!r}; expected one of "
+                    f"{sorted(available_executors())}"
+                )
 
 
 @dataclass(frozen=True)

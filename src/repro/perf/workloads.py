@@ -78,16 +78,32 @@ def _workload_specs() -> list[BenchSpec]:
         ),
         BenchSpec(
             name="sharding",
-            title="Shard-parallel engine scaling",
+            title="Shard-parallel engine scaling and executor planes",
             dataset=walk,
-            epsilons=(0.2,),
+            # 0.2 is filter-heavy (the cascade prunes nearly everything);
+            # 6.0 is verify-heavy (most candidates reach DTW), which is
+            # where the executor choice moves wall-clock: the process
+            # plane sidesteps the GIL that serializes thread workers.
+            epsilons=(0.2, 6.0),
             variants=(
                 VariantSpec(name="shards1", method="engine", shards=1),
                 VariantSpec(name="shards2", method="engine", shards=2),
                 VariantSpec(name="shards4", method="engine", shards=4),
+                VariantSpec(
+                    name="serial4", method="engine", shards=4, executor="serial"
+                ),
+                VariantSpec(
+                    name="process4",
+                    method="engine",
+                    shards=4,
+                    executor="process",
+                ),
             ),
-            n_queries=6,
-            repeats=3,
+            # The verify-heavy tolerance makes passes expensive (every
+            # candidate reaches full DTW), so this spec samples fewer
+            # queries/repeats than the filter-bound ones.
+            n_queries=4,
+            repeats=2,
             smoke_n=150,
             smoke_queries=3,
         ),
@@ -149,9 +165,16 @@ WORKLOADS: dict[str, BenchSpec] = {
 }
 
 #: The CI smoke-tier subset: cheap, counter-rich, and covering the
-#: four subsystems the trajectory must guard (cascade pruning, index
-#: backends, observability overhead, DTW kernel parity + speedup).
-SMOKE_SUITE = ("cascade", "backends", "obs_overhead", "a6_dtw_kernels")
+#: five subsystems the trajectory must guard (cascade pruning, index
+#: backends, shard executors incl. the process plane, observability
+#: overhead, DTW kernel parity + speedup).
+SMOKE_SUITE = (
+    "cascade",
+    "backends",
+    "sharding",
+    "obs_overhead",
+    "a6_dtw_kernels",
+)
 
 
 def get_spec(name: str) -> BenchSpec:

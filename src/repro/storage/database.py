@@ -222,6 +222,18 @@ class SequenceDatabase:
             registry.count("storage.simulated_seconds", seconds)
         return self._heap.scan()
 
+    def contents(self) -> Iterator[Sequence]:
+        """Iterate the stored sequences without charging any I/O.
+
+        Replication/publication paths (e.g. shipping a shard's contents
+        to a worker process, or exporting the feature store into a
+        shared-memory segment) read the in-memory heap directly; the
+        simulated cost model only charges reads the *query pipeline*
+        performs, so charging here would break the bit-exact counter
+        parity between executors.
+        """
+        return self._heap.scan()
+
     # -- persistence ---------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:

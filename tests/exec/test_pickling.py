@@ -1,0 +1,109 @@
+"""Pickle round trips for everything that crosses the process boundary.
+
+The process executor ships engines *to* workers (storage, backend,
+geometry) and query results *back* (matches, cascade stats, metrics
+snapshots, trace spans).  A type silently losing state under pickle
+would corrupt merged results without failing loudly, so each round
+trip is pinned here.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.query_engine import QueryEngine
+from repro.index.backend import EXACT_BACKEND_NAMES
+from repro.index.rtree.geometry import Rect
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, use_tracer
+from repro.storage.database import SequenceDatabase
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+def _database(n: int = 10, seed: int = 9) -> SequenceDatabase:
+    rng = np.random.default_rng(seed)
+    db = SequenceDatabase(page_size=1024)
+    for _ in range(n):
+        db.insert(rng.normal(size=int(rng.integers(6, 20))).cumsum())
+    return db
+
+
+class TestRectPickle:
+    def test_round_trip_preserves_bounds(self):
+        rect = Rect((0.0, -1.5), (2.0, 3.25))
+        clone = _roundtrip(rect)
+        assert clone == rect
+        assert clone.lows == (0.0, -1.5)
+
+    def test_clone_stays_immutable(self):
+        clone = _roundtrip(Rect.from_point((1.0, 2.0)))
+        with pytest.raises(AttributeError):
+            clone.lows = (9.0,)
+
+
+class TestObservabilityPickle:
+    def test_metrics_snapshot_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("dtw.cells").inc(128)
+        registry.counter("storage.simulated_seconds").inc(0.25)
+        snapshot = registry.snapshot()
+        clone = _roundtrip(snapshot)
+        assert dict(clone.counters) == dict(snapshot.counters)
+
+    def test_span_tree_round_trip(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("query", shard=2):
+                with tracer.span("cascade"):
+                    pass
+        root = _roundtrip(tracer.roots[0])
+        assert root.name == "query"
+        assert root.attributes["shard"] == 2
+        assert [child.name for child in root.children] == ["cascade"]
+
+
+class TestEnginePartsPickle:
+    @pytest.mark.parametrize("backend", sorted(EXACT_BACKEND_NAMES))
+    def test_backend_round_trip_answers_identically(self, backend):
+        db = _database()
+        engine = QueryEngine(db, backend=backend)
+        engine.rebuild_index()
+        clone_db, clone_backend = _roundtrip((db, engine.backend))
+        rebuilt = QueryEngine(clone_db, backend=clone_backend)
+        rng = np.random.default_rng(31)
+        query = rng.normal(size=12).cumsum()
+        for epsilon in (0.0, 1.0, 4.0):
+            ours = engine.search_detailed(query, epsilon)
+            theirs = rebuilt.search_detailed(query, epsilon)
+            assert [(m.seq_id, m.distance) for m in theirs.matches] == [
+                (m.seq_id, m.distance) for m in ours.matches
+            ]
+            assert theirs.candidate_ids == ours.candidate_ids
+
+    def test_query_result_round_trip(self):
+        db = _database()
+        engine = QueryEngine(db, backend="rtree")
+        engine.rebuild_index()
+        rng = np.random.default_rng(13)
+        result = engine.search_detailed(rng.normal(size=10).cumsum(), 2.0)
+        clone = _roundtrip(result)
+        assert [(m.seq_id, m.distance) for m in clone.matches] == [
+            (m.seq_id, m.distance) for m in result.matches
+        ]
+        assert dict(clone.metrics.counters) == dict(result.metrics.counters)
+        assert [s.name for s in clone.stats.stages] == [
+            s.name for s in result.stats.stages
+        ]
+
+    def test_query_engine_itself_is_not_shipped(self):
+        # Engines hold locks and caches; workers rebuild them from the
+        # (database, backend) pair instead of unpickling the engine.
+        engine = QueryEngine(_database(), backend="rtree")
+        with pytest.raises(Exception):
+            pickle.dumps(engine)

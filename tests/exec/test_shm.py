@@ -1,0 +1,135 @@
+"""Shared-memory feature-store publication: pack, attach, equivalence.
+
+``publish_store`` flattens a :class:`FeatureStore` into one shared
+segment; ``attach_store`` rebuilds a read-only zero-copy view of it.
+These tests pin the packed layout round trip, the attached store's
+behavioural equivalence (same cascade answers, same stage stats), the
+zero-sequence edge case, and read-only enforcement on the views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import FeatureStore, FilterCascade
+from repro.exec import ArraySpec, attach_store, publish_store
+from repro.types import Sequence
+
+
+def _store(n: int = 12, seed: int = 3) -> FeatureStore:
+    rng = np.random.default_rng(seed)
+    sequences = [
+        Sequence(
+            rng.normal(size=int(rng.integers(5, 24))).cumsum(),
+            seq_id=i,
+            label=f"s{i}" if i % 3 == 0 else None,
+        )
+        for i in range(n)
+    ]
+    return FeatureStore(sequences)
+
+
+class TestPackedRoundTrip:
+    def test_from_packed_rebuilds_identical_store(self):
+        store = _store()
+        clone = FeatureStore.from_packed(**store.packed())
+        assert [s.seq_id for s in clone.sequences] == [
+            s.seq_id for s in store.sequences
+        ]
+        for ours, theirs in zip(store.sequences, clone.sequences):
+            np.testing.assert_array_equal(ours.values, theirs.values)
+        np.testing.assert_array_equal(clone.features, store.features)
+
+    def test_packed_fields_are_flat_arrays(self):
+        packed = _store().packed()
+        assert tuple(packed) == FeatureStore.PACKED_FIELDS
+        assert packed["features"].shape == (12, 4)
+        assert packed["offsets"][0] == 0
+        assert packed["offsets"][-1] == packed["values_flat"].size
+
+    def test_sequences_view_flat_buffer(self):
+        store = _store()
+        row = store.sequences[4]
+        assert row.values.base is not None  # zero-copy slice, not a copy
+
+    def test_labels_do_not_survive_packing(self):
+        # Labels are engine-side metadata; worker replicas carry them in
+        # the pickled storage instead, so the packed form drops them.
+        clone = FeatureStore.from_packed(**_store().packed())
+        assert all(s.label is None for s in clone.sequences)
+
+
+class TestSharedSegment:
+    def test_attached_store_answers_identically(self):
+        store = _store(n=20)
+        segment, handle = publish_store(store)
+        try:
+            attached_segment, attached = attach_store(handle)
+            try:
+                rng = np.random.default_rng(11)
+                query = rng.normal(size=14).cumsum()
+                for epsilon in (0.0, 0.8, 2.5):
+                    ours = FilterCascade(store).run(query, epsilon)
+                    theirs = FilterCascade(attached).run(query, epsilon)
+                    assert theirs.answer_ids == ours.answer_ids
+                    assert theirs.candidate_ids == ours.candidate_ids
+                    assert [
+                        (s.name, s.n_in, s.n_out)
+                        for s in theirs.stats.stages
+                    ] == [
+                        (s.name, s.n_in, s.n_out) for s in ours.stats.stages
+                    ]
+            finally:
+                attached_segment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_handle_layout_is_contiguous(self):
+        store = _store()
+        segment, handle = publish_store(store)
+        try:
+            assert [spec.name for spec in handle.arrays] == list(
+                FeatureStore.PACKED_FIELDS
+            )
+            offset = 0
+            for spec in handle.arrays:
+                assert isinstance(spec, ArraySpec)
+                assert spec.offset == offset
+                offset += int(
+                    np.prod(spec.shape, dtype=np.int64)
+                    * np.dtype(spec.dtype).itemsize
+                )
+            assert handle.size == max(offset, 1)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_empty_store_publishes(self):
+        store = FeatureStore([])
+        segment, handle = publish_store(store)
+        try:
+            attached_segment, attached = attach_store(handle)
+            try:
+                assert attached.sequences == []
+                outcome = FilterCascade(attached).run(np.arange(4.0), 1.0)
+                assert outcome.answer_ids == []
+            finally:
+                attached_segment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_attached_values_are_read_only(self):
+        segment, handle = publish_store(_store())
+        try:
+            attached_segment, attached = attach_store(handle)
+            try:
+                with pytest.raises(ValueError):
+                    attached.sequences[0].values[0] = 99.0
+            finally:
+                attached_segment.close()
+        finally:
+            segment.close()
+            segment.unlink()

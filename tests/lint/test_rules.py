@@ -18,6 +18,7 @@ from repro.lint.rules import (
     MetricNameRule,
     NfdRegistryRule,
     SharedStateRule,
+    SpawnSafetyRule,
 )
 
 from .conftest import by_rule, codes
@@ -26,7 +27,7 @@ from .conftest import by_rule, codes
 class TestRulePack:
     def test_all_rules_are_registered_by_code(self) -> None:
         assert [rule.code for rule in ALL_RULES] == [
-            f"RL{n:03d}" for n in range(1, 10)
+            f"RL{n:03d}" for n in range(1, 11)
         ]
         assert RULES_BY_CODE["RL001"] is NfdRegistryRule
         assert RULES_BY_CODE["RL002"] is SharedStateRule
@@ -37,6 +38,7 @@ class TestRulePack:
         assert RULES_BY_CODE["RL007"] is DeadExportRule
         assert RULES_BY_CODE["RL008"] is BenchSeedRule
         assert RULES_BY_CODE["RL009"] is KernelManifestRule
+        assert RULES_BY_CODE["RL010"] is SpawnSafetyRule
 
     def test_every_rule_declares_title_and_rationale(self) -> None:
         for rule in ALL_RULES:
@@ -560,3 +562,158 @@ class TestRL009KernelManifest:
             rules=["RL009"],
         )
         assert "string literal" in by_rule(report, "RL009")[0]
+
+
+class TestRL010SpawnSafety:
+    WORKER_WIRING = """\
+    import multiprocessing
+
+    _CACHE = {}
+
+    def _worker_main(conn):
+        _CACHE["pid"] = conn
+        conn.send("ok")
+
+    def start():
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=_worker_main, args=(None,))
+        proc.start()
+    """
+
+    def test_worker_touching_module_dict_is_flagged(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {"src/pkg/workers.py": self.WORKER_WIRING}, rules=["RL010"]
+        )
+        assert codes(report) == ["RL010"]
+        assert "_CACHE" in by_rule(report, "RL010")[0]
+
+    def test_transitively_called_helper_is_flagged(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {
+                "src/pkg/workers.py": """\
+                import multiprocessing
+
+                _SEEN = []
+
+                def _record(item):
+                    _SEEN.append(item)
+
+                def _worker_main(conn):
+                    _record(conn)
+
+                def start():
+                    p = multiprocessing.Process(
+                        target=_worker_main, args=(None,)
+                    )
+                    p.start()
+                """
+            },
+            rules=["RL010"],
+        )
+        assert codes(report) == ["RL010"]
+        assert "'_record'" in by_rule(report, "RL010")[0]
+
+    def test_state_passed_as_argument_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/workers.py": """\
+                import multiprocessing
+
+                _CACHE = {}
+
+                def _worker_main(conn, cache):
+                    cache["pid"] = conn
+
+                def start():
+                    p = multiprocessing.Process(
+                        target=_worker_main, args=(None, dict(_CACHE))
+                    )
+                    p.start()
+                """
+            },
+            rules=["RL010"],
+        )
+        assert codes(report) == []
+
+    def test_local_shadow_is_not_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/workers.py": """\
+                import multiprocessing
+
+                results = []
+
+                def _worker_main(conn):
+                    results = []
+                    results.append(conn)
+
+                def start():
+                    p = multiprocessing.Process(target=_worker_main)
+                    p.start()
+                """
+            },
+            rules=["RL010"],
+        )
+        assert codes(report) == []
+
+    def test_global_declaration_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/workers.py": """\
+                import multiprocessing
+
+                _STATE = {}
+
+                def _worker_main():
+                    global _STATE
+                    _STATE = {}
+
+                def start():
+                    p = multiprocessing.Process(target=_worker_main)
+                    p.start()
+                """
+            },
+            rules=["RL010"],
+        )
+        assert "RL010" in codes(report)
+
+    def test_non_worker_functions_are_out_of_scope(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {
+                "src/pkg/registry.py": """\
+                HANDLERS = {}
+
+                def register(name, fn):
+                    HANDLERS[name] = fn
+                """
+            },
+            rules=["RL010"],
+        )
+        assert codes(report) == []
+
+    def test_immutable_module_constants_pass(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/workers.py": """\
+                import multiprocessing
+
+                TIMEOUT = 5.0
+                NAMES = ("a", "b")
+
+                def _worker_main(conn):
+                    conn.send((TIMEOUT, NAMES))
+
+                def start():
+                    p = multiprocessing.Process(target=_worker_main)
+                    p.start()
+                """
+            },
+            rules=["RL010"],
+        )
+        assert codes(report) == []
