@@ -1,0 +1,164 @@
+"""**A7** — storage IO: simulated DiskModel cost vs real mapped reads.
+
+The storage plane promises two things at once: every store charges the
+*same* simulated ``storage.*`` costs (the heap oracle's logical byte
+arithmetic), while the physical cost of reading the bytes is the
+store's own business — RAM for ``heap``, page-cache-backed mapped
+reads for ``mmap``.  This bench pins both, side by side, over a
+database-size sweep:
+
+* **Simulated seconds** per full sequential scan and per random-fetch
+  batch, from the :class:`~repro.storage.diskmodel.DiskModel` — these
+  must be bit-identical between stores (a parity pass counts
+  mismatches; the count must be zero) and land in the counter gate.
+* **Real seconds** for the same operations per store, min across
+  repeats — the measured wall time of actually materialising every
+  value (page-cache warm, so this is the steady-state read path, not
+  cold-device latency).
+
+The committed baseline locks the simulated charges; the real-time
+series are machine-local context for the report.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import random_walk_dataset
+from repro.eval.experiments import ExperimentResult, full_scale
+from repro.storage import SequenceDatabase
+
+from ._shared import run_bench
+
+#: Stores whose series go into the committed artifact (every registered
+#: store: the parity claim is only meaningful over all of them).
+STORES = ("heap", "mmap")
+
+#: (n sequences, length) grid; small pages so records span pages.
+GRID = ((150, 64), (300, 64), (600, 64))
+FULL_SCALE_GRID = GRID + ((1200, 64),)
+
+PAGE_SIZE = 256
+REPEATS = 3
+N_FETCHES = 24
+
+
+def _consume_scan(db: SequenceDatabase) -> float:
+    """Materialise every stored value (forces real reads), charged."""
+    total = 0.0
+    for sequence in db.scan():
+        total += float(sequence.values.sum())
+    return total
+
+
+def _consume_fetches(db: SequenceDatabase, fetch_ids: np.ndarray) -> float:
+    total = 0.0
+    for seq_id in fetch_ids:
+        total += float(db.fetch(int(seq_id)).values.sum())
+    return total
+
+
+def _measure(
+    db: SequenceDatabase, fetch_ids: np.ndarray
+) -> tuple[float, float, float, float]:
+    """``(sim_scan, sim_fetch, real_scan, real_fetch)`` for one store."""
+    real_scan = real_fetch = float("inf")
+    for repeat in range(REPEATS):
+        db.io.mark("scan")
+        t0 = time.perf_counter()
+        _consume_scan(db)
+        real_scan = min(real_scan, time.perf_counter() - t0)
+        sim_scan = db.io.delta_seconds("scan")
+        db.io.mark("fetch")
+        t0 = time.perf_counter()
+        _consume_fetches(db, fetch_ids)
+        real_fetch = min(real_fetch, time.perf_counter() - t0)
+        sim_fetch = db.io.delta_seconds("fetch")
+    return sim_scan, sim_fetch, real_scan, real_fetch
+
+
+def _run() -> ExperimentResult:
+    grid = FULL_SCALE_GRID if full_scale() else GRID
+    sizes = [n for n, _ in grid]
+
+    result = ExperimentResult(
+        experiment_id="A7/storage-io",
+        title="Storage IO: simulated DiskModel cost vs real reads",
+        x_label="database size (sequences)",
+        y_label="seconds per pass (simulated vs measured, min of repeats)",
+        x_values=sizes,
+        log_y=True,
+    )
+
+    series: dict[str, list[float]] = {
+        "sim_scan": [],
+        "sim_fetch": [],
+    }
+    for store in STORES:
+        series[f"{store}_scan"] = []
+        series[f"{store}_fetch"] = []
+
+    mismatches = 0
+    for n, length in grid:
+        sequences = random_walk_dataset(n, length, seed=17 + n)
+        fetch_ids = np.random.default_rng(43 + n).integers(0, n, N_FETCHES)
+        simulated: dict[str, tuple[float, float]] = {}
+        for store in STORES:
+            with tempfile.TemporaryDirectory() as tmp:
+                db = SequenceDatabase(page_size=PAGE_SIZE, store=store)
+                db.insert_many([s.values for s in sequences])
+                db.save(Path(tmp) / "db.bin")
+                # Reload so the mmap store serves values from the file.
+                db = SequenceDatabase.load(Path(tmp) / "db.bin")
+                sim_scan, sim_fetch, real_scan, real_fetch = _measure(
+                    db, fetch_ids
+                )
+                simulated[store] = (sim_scan, sim_fetch)
+                series[f"{store}_scan"].append(real_scan)
+                series[f"{store}_fetch"].append(real_fetch)
+        baseline = simulated[STORES[0]]
+        if any(simulated[store] != baseline for store in STORES[1:]):
+            mismatches += 1
+        series["sim_scan"].append(baseline[0])
+        series["sim_fetch"].append(baseline[1])
+
+    if mismatches:
+        raise AssertionError(
+            f"store parity violated: simulated charges differ on "
+            f"{mismatches} grid cell(s)"
+        )
+    result.series.update(series)
+
+    top = sizes[-1]
+    result.notes.append(
+        f"parity: {len(STORES)} store(s) x {len(sizes)} size(s), "
+        "0 mismatches in simulated scan/fetch seconds"
+    )
+    result.notes.append(
+        f"simulated full scan at n={top}: {series['sim_scan'][-1]:.4f}s "
+        f"vs real {series['heap_scan'][-1] * 1e3:.2f}ms (heap) / "
+        f"{series['mmap_scan'][-1] * 1e3:.2f}ms (mmap, page-cache warm)"
+    )
+    result.notes.append(
+        f"stores registered: {', '.join(STORES)}; page_size={PAGE_SIZE}, "
+        f"{N_FETCHES} random fetches per batch"
+    )
+    return result
+
+
+def test_storage_io_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_bench("a7_storage", experiment_fn=_run),
+        rounds=1,
+        iterations=1,
+    )
+    # The simulated model must dominate the (page-cache warm) real cost
+    # by orders of magnitude — that gap is the paper's argument for
+    # counting pages instead of timing a device.
+    assert result.series["sim_scan"][-1] > 0.0
+    assert result.series["mmap_scan"][-1] > 0.0
+    assert any("0 mismatches" in note for note in result.notes)

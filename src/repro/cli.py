@@ -38,6 +38,7 @@ from .eval.harness import WorkloadRunner
 from .eval.reporting import format_table
 from .exceptions import ReproError, ValidationError
 from .exec import available_executors
+from .storage.store import available_stores
 from .index.backend import EXACT_BACKEND_NAMES
 from .obs.export import (
     render_metrics_table,
@@ -122,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--input", required=True, help="CSV dataset")
     build.add_argument("--out", required=True, help="database file path")
     build.add_argument("--page-size", type=int, default=1024)
+    build.add_argument(
+        "--store",
+        choices=sorted(available_stores()),
+        default=None,
+        help="sequence store layout (default: REPRO_STORE or 'heap'); "
+        "'mmap' writes a memory-mapped columnar data file read back "
+        "zero-copy; answers and counters are identical for every choice",
+    )
 
     info = sub.add_parser("info", help="describe a database file")
     info.add_argument("--db", required=True)
@@ -197,6 +206,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(available_executors()),
         default=None,
         help="shard execution plane for the --backend engine rows",
+    )
+    compare.add_argument(
+        "--store",
+        choices=sorted(available_stores()),
+        default=None,
+        help="sequence store holding the workload's database "
+        "(default: REPRO_STORE or 'heap')",
     )
 
     experiment = sub.add_parser(
@@ -300,7 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repro-specific static analyzer (rules RL001-RL010)",
+        help="run the repro-specific static analyzer (rules RL001-RL011)",
     )
     lint.add_argument(
         "paths",
@@ -363,12 +379,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     dataset = load_stock_csv(args.input)
-    db = SequenceDatabase(page_size=args.page_size)
+    db = SequenceDatabase(page_size=args.page_size, store=args.store)
     db.insert_many(dataset.sequences)
     db.save(args.out)
     print(
         f"built {args.out}: {len(db)} sequences, {db.total_pages} pages "
-        f"of {db.page_size} B"
+        f"of {db.page_size} B ({db.store_name} store)"
     )
     return 0
 
@@ -378,6 +394,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     lengths = [len(db.fetch(i)) for i in db.ids()]
     print(f"database: {args.db}")
     print(f"  sequences:      {len(db)}")
+    print(f"  store:          {db.store_name}")
     print(f"  page size:      {db.page_size} B")
     print(f"  data pages:     {db.total_pages}")
     print(f"  total elements: {sum(lengths)}")
@@ -447,7 +464,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         sequences = load_stock_csv(args.input).sequences
     else:
         sequences = synthetic_sp500(120, 60, seed=args.seed).sequences
-    db = SequenceDatabase()
+    db = SequenceDatabase(store=args.store)
     db.insert_many(sequences)
     factories = [
         lambda d: NaiveScan(d),

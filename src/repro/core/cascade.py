@@ -311,13 +311,74 @@ class FeatureStore:
         return self
 
     @classmethod
+    def from_arrays(
+        cls,
+        ids: np.ndarray,
+        lengths: np.ndarray,
+        offsets: np.ndarray,
+        values_flat: np.ndarray,
+    ) -> "FeatureStore":
+        """Build a store over an existing dense element buffer, zero-copy.
+
+        The ``(n, 4)`` feature matrix is computed with vectorized
+        reductions over *values_flat* (first/last by fancy-indexing the
+        record boundaries, greatest/smallest with ``reduceat``) — bit
+        identical to the per-sequence
+        :func:`~repro.core.features.extract_feature` path because
+        max/min are exact regardless of association order and stored
+        values are validated finite on insert.  *values_flat* is adopted
+        as-is; it may be a read-only ``numpy.memmap`` over a store's
+        data file.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        values_flat = np.asarray(values_flat, dtype=np.float64)
+        n = len(ids)
+        features = np.empty((n, 4), dtype=np.float64)
+        if n:
+            starts = offsets[:-1]
+            features[:, 0] = values_flat[starts]
+            features[:, 1] = values_flat[offsets[1:] - 1]
+            features[:, 2] = np.maximum.reduceat(values_flat, starts)
+            features[:, 3] = np.minimum.reduceat(values_flat, starts)
+        self = cls.__new__(cls)
+        self._adopt(ids, features, lengths, offsets, values_flat)
+        return self
+
+    @classmethod
     def from_database(cls, db: SequenceDatabase) -> "FeatureStore":
         """Build the store with one sequential scan of *db*.
 
         The scan charges the database's simulated I/O accounting once,
-        like any other index build pass.
+        like any other index build pass.  When the database's store can
+        serve its element buffer dense (see
+        :meth:`~repro.storage.database.SequenceDatabase.dense_arrays`),
+        the store is built zero-copy over it instead of re-concatenating
+        per-sequence copies — same charge, same arrays, no copies.
         """
-        return cls(db.scan())
+        scan = db.scan()  # charges the sequential read up front
+        dense = db.dense_arrays()
+        if dense is not None:
+            ids, lengths, offsets, values_flat = dense
+            return cls.from_arrays(ids, lengths, offsets, values_flat)
+        return cls(scan)
+
+    @classmethod
+    def from_contents(cls, db: SequenceDatabase) -> "FeatureStore":
+        """Build the store from *db* without charging any I/O.
+
+        The replication/publication counterpart of
+        :meth:`from_database` (see
+        :meth:`~repro.storage.database.SequenceDatabase.contents`):
+        used when shipping a shard's contents to worker processes,
+        where the simulated cost model must not see the read.
+        """
+        dense = db.dense_arrays()
+        if dense is not None:
+            ids, lengths, offsets, values_flat = dense
+            return cls.from_arrays(ids, lengths, offsets, values_flat)
+        return cls(db.contents())
 
     def __len__(self) -> int:
         return len(self.sequences)
@@ -716,4 +777,9 @@ def scan_cascade(
     scan = db.scan()  # charges the sequential read up front
     if cached is not None and cached.store.matches(db):
         return cached
+    dense = db.dense_arrays() if hasattr(db, "dense_arrays") else None
+    if dense is not None:
+        ids, lengths, offsets, values_flat = dense
+        store = FeatureStore.from_arrays(ids, lengths, offsets, values_flat)
+        return FilterCascade(store, tiers=tuple(tiers))
     return FilterCascade(FeatureStore(scan), tiers=tuple(tiers))

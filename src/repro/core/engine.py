@@ -73,6 +73,12 @@ class TimeWarpingDatabase:
         ``"process"`` (default: the ``REPRO_EXECUTOR`` environment
         variable, else ``"thread"``).  A runtime choice, not a stored
         property: it is never persisted by :meth:`save`.
+    store:
+        Sequence-store name applied to every shard — ``"heap"`` or
+        ``"mmap"`` (default: the ``REPRO_STORE`` environment variable,
+        else ``"heap"``).  A stored property: :meth:`save` persists it
+        and :meth:`load` sniffs each shard file's magic, so databases
+        round-trip under either store.
     """
 
     def __init__(
@@ -85,6 +91,7 @@ class TimeWarpingDatabase:
         shards: int = 1,
         backend_options: dict[str, object] | None = None,
         executor: str | None = None,
+        store: str | None = None,
     ) -> None:
         self._sharded = ShardedDatabase(
             page_size=page_size,
@@ -94,6 +101,7 @@ class TimeWarpingDatabase:
             shards=shards,
             backend_options=backend_options,
             executor=executor,
+            store=store,
         )
         self._labels: dict[int, str | None] = {}
 
@@ -131,7 +139,11 @@ class TimeWarpingDatabase:
             return instance
         engines = [
             QueryEngine(
-                SequenceDatabase(page_size=storage.page_size, disk=storage.disk),
+                SequenceDatabase(
+                    page_size=storage.page_size,
+                    disk=storage.disk,
+                    store=storage.store_name,
+                ),
                 backend,
                 backend_options=backend_options,
             )
@@ -226,6 +238,11 @@ class TimeWarpingDatabase:
     def executor_name(self) -> str:
         """Registry name of the shard execution plane."""
         return self._sharded.executor_name
+
+    @property
+    def store_name(self) -> str:
+        """Registry name of the per-shard sequence store."""
+        return self._sharded.store_name
 
     def close(self) -> None:
         """Release the execution plane (pool threads, worker processes,
@@ -418,6 +435,7 @@ class TimeWarpingDatabase:
             "backend": self._sharded.backend_name,
             "shards": self._sharded.n_shards,
             "next_gid": self._sharded.next_gid,
+            "store": self._sharded.store_name,
         }
         if self._sharded.n_shards == 1:
             engines[0].database.save(path)
@@ -466,11 +484,13 @@ class TimeWarpingDatabase:
         shards = 1
         next_gid: int | None = None
         assign: dict[int, tuple[int, int]] | None = None
+        store_name: str | None = None
         meta_path = path.with_name(path.name + ".meta")
         if meta_path.exists():
             meta = json.loads(meta_path.read_text())
             backend_name = meta.get("backend", "rtree")
             shards = int(meta.get("shards", 1))
+            store_name = meta.get("store")
             if "next_gid" in meta:
                 next_gid = int(meta["next_gid"])
             if "assign" in meta:
@@ -491,7 +511,10 @@ class TimeWarpingDatabase:
         engines: list[QueryEngine] = []
         for shard_path in shard_paths:
             db = SequenceDatabase.load(
-                shard_path, disk=disk, buffer_pages=buffer_pages
+                shard_path,
+                disk=disk,
+                buffer_pages=buffer_pages,
+                store=store_name,
             )
             engines.append(cls._load_engine(db, backend_name, shard_path))
         labels: dict[int, str | None] = {}

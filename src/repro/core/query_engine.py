@@ -229,6 +229,9 @@ class QueryEngine:
         """Cumulative counters plus current index/storage structure gauges."""
         self._metrics.set_gauge("storage.total_pages", self._db.total_pages)
         self._metrics.set_gauge("storage.sequences", len(self._db))
+        self._metrics.set_gauge(
+            "storage.buffer.hit_ratio", self._db.buffer.hit_ratio
+        )
         node_stats = self._backend.node_stats()
         prefix = f"index.{self._backend.name}"
         self._metrics.set_gauge(f"{prefix}.nodes", node_stats.nodes)

@@ -71,6 +71,10 @@ class ShardedDatabase:
         Shard execution plane: ``"serial"``, ``"thread"`` or
         ``"process"`` (default: the ``REPRO_EXECUTOR`` environment
         variable, else ``"thread"``).
+    store:
+        Sequence-store name applied to every shard (``heap``/``mmap``;
+        default: the ``REPRO_STORE`` environment variable, else
+        ``heap``).
     """
 
     def __init__(
@@ -83,6 +87,7 @@ class ShardedDatabase:
         shards: int = 1,
         backend_options: dict[str, object] | None = None,
         executor: str | None = None,
+        store: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
@@ -92,7 +97,10 @@ class ShardedDatabase:
         self._engines = [
             QueryEngine(
                 SequenceDatabase(
-                    page_size=page_size, disk=disk, buffer_pages=buffer_pages
+                    page_size=page_size,
+                    disk=disk,
+                    buffer_pages=buffer_pages,
+                    store=store,
                 ),
                 backend,
                 backend_options=backend_options,
@@ -169,6 +177,11 @@ class ShardedDatabase:
         return self._backend_name
 
     @property
+    def store_name(self) -> str:
+        """Registry name of the per-shard sequence store."""
+        return self._engines[0].database.store_name
+
+    @property
     def executor_name(self) -> str:
         """Registry name of the shard execution plane."""
         return self._executor.name
@@ -219,6 +232,12 @@ class ShardedDatabase:
             sum(e.database.total_pages for e in self._engines),
         )
         self._metrics.set_gauge("storage.sequences", len(self))
+        hits = sum(e.database.buffer.hits for e in self._engines)
+        misses = sum(e.database.buffer.misses for e in self._engines)
+        self._metrics.set_gauge(
+            "storage.buffer.hit_ratio",
+            hits / (hits + misses) if hits + misses else 0.0,
+        )
         node_stats = [e.backend.node_stats() for e in self._engines]
         prefix = f"index.{self._backend_name}"
         self._metrics.set_gauge(

@@ -17,7 +17,14 @@ from .base import (
 )
 from .process import ProcessExecutor
 from .serial import SerialExecutor
-from .shm import ArraySpec, SharedStoreHandle, attach_store, publish_store
+from .shm import (
+    ArraySpec,
+    MmapStoreHandle,
+    SharedStoreHandle,
+    attach_store,
+    publish_mmap,
+    publish_store,
+)
 from .threaded import ThreadExecutor
 
 __all__ = [
@@ -29,8 +36,10 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "ArraySpec",
+    "MmapStoreHandle",
     "SharedStoreHandle",
     "attach_store",
+    "publish_mmap",
     "publish_store",
     "available_executors",
     "make_executor",

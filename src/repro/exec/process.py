@@ -49,7 +49,13 @@ from ..exceptions import ExecutorError
 from ..obs.metrics import use_registry
 from ..obs.tracing import Span, Tracer, active_tracer, current_span, use_tracer
 from .base import ShardExecutor, register_executor
-from .shm import SharedStoreHandle, attach_store, publish_store
+from .shm import (
+    MmapStoreHandle,
+    SharedStoreHandle,
+    attach_store,
+    publish_mmap,
+    publish_store,
+)
 
 if TYPE_CHECKING:
     from multiprocessing.context import SpawnContext
@@ -73,19 +79,20 @@ class _WorkerInit:
     shard: int
     database: "SequenceDatabase"
     backend: "IndexBackend"
-    store: SharedStoreHandle | None
+    store: SharedStoreHandle | MmapStoreHandle | None
 
 
 def _shared_cascade_factory(
-    handle: SharedStoreHandle | None,
+    handle: SharedStoreHandle | MmapStoreHandle | None,
 ) -> "Callable[[SequenceDatabase], Any]":
     """A cascade factory that adopts the shared store when still valid.
 
     Charges one ``db.scan()`` exactly like
     :meth:`FilterCascade.from_database`, so the first query's counters
-    match the in-process executors bit-for-bit.  The shared-memory
-    attachment happens once and is cached (the ``SharedMemory`` object
-    must outlive the store views).
+    match the in-process executors bit-for-bit.  The attachment —
+    shared-memory segment or read-only file map, depending on the
+    handle — happens once and is cached (a ``SharedMemory`` object, if
+    any, must outlive the store views).
     """
     from ..core.cascade import FeatureStore, FilterCascade
 
@@ -222,9 +229,16 @@ class ProcessExecutor(ShardExecutor):
                 # Publish the shard's feature state charge-free: the
                 # cost model only charges reads the query pipeline
                 # performs, and the worker charges its own build scan.
-                store = FeatureStore(engine.database.contents())
-                segment, handle = publish_store(store)
-                segments.append(segment)
+                # A clean mmap-store shard publishes by file path —
+                # workers map the columnar data file read-only and no
+                # values are copied or pickled; otherwise fall back to
+                # copying the packed arrays into shared memory.
+                handle: SharedStoreHandle | MmapStoreHandle | None
+                handle = publish_mmap(engine.database)
+                if handle is None:
+                    store = FeatureStore.from_contents(engine.database)
+                    segment, handle = publish_store(store)
+                    segments.append(segment)
                 parent_conn, child_conn = self._ctx.Pipe()
                 proc = self._ctx.Process(
                     target=_worker_main,

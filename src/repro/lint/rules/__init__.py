@@ -11,6 +11,7 @@ RL007     no dead public exports (``__all__`` referenced nowhere)
 RL008     benchmark workload specs are explicitly seeded
 RL009     every DTW kernel is in the kernel-parity test registry
 RL010     process-worker functions avoid module-level mutable state
+RL011     every sequence store is in the store-parity test registry
 ========  ==============================================================
 """
 
@@ -30,6 +31,7 @@ from .rl007_dead_exports import DeadExportRule
 from .rl008_bench_seeds import BenchSeedRule
 from .rl009_kernel_manifest import KernelManifestRule
 from .rl010_spawn_safety import SpawnSafetyRule
+from .rl011_store_manifest import StoreManifestRule
 
 __all__ = [
     "ALL_RULES",
@@ -45,6 +47,7 @@ __all__ = [
     "BenchSeedRule",
     "KernelManifestRule",
     "SpawnSafetyRule",
+    "StoreManifestRule",
 ]
 
 #: Every rule class, in code order.
@@ -59,6 +62,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     BenchSeedRule,
     KernelManifestRule,
     SpawnSafetyRule,
+    StoreManifestRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,165 @@
+"""RL011 — every sequence store registration is in the parity registry.
+
+A store only earns its place in ``STORES`` by honouring the heap
+store's logical byte arithmetic — answers, page counts and every
+simulated ``storage.*`` charge must be bit-identical to the oracle
+across all backends, executors and shard counts.  That proof obligation
+lives in the store-parity suite, and this rule makes the link
+machine-checked, mirroring RL009's kernel manifest: a declared manifest
+(``tests/storage/store_manifest.py``) maps every registered store name
+to the test file exercising its parity contract, and the rule verifies
+the mapping is complete, the files exist, and each one actually
+references the store it vouches for.
+
+Registrations are found statically: classes decorated with
+``@register_store`` (the name is the class body's ``name`` ClassVar)
+and direct ``STORES[...] = ...`` assignments.  The store name must be
+a string literal in both forms — a computed name cannot be tied to a
+manifest entry, so it is a violation in itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import (
+    FileContext,
+    Project,
+    Rule,
+    Violation,
+    load_literal_dict_manifest,
+    manifest_entry_problem,
+    walk_assign_targets,
+)
+
+__all__ = ["StoreManifestRule"]
+
+
+def _literal_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _class_name_literal(cls: ast.ClassDef) -> str | None:
+    """The literal value of the class body's ``name`` attribute, if any."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "name":
+                return _literal_str(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "name":
+                    return _literal_str(stmt.value)
+    return None
+
+
+class StoreManifestRule(Rule):
+    code = "RL011"
+    title = "sequence stores must be in the store-parity test registry"
+    rationale = (
+        "an unregistered store could silently diverge from the heap "
+        "oracle's logical layout; the manifest ties every store to the "
+        "parity suite proving answers and storage.* charges bit-identical"
+    )
+
+    #: Repo-relative path of the declared manifest.
+    manifest_rel = "tests/storage/store_manifest.py"
+    manifest_var = "STORE_PARITY_REGISTRY"
+
+    #: Dotted-origin suffixes of the registration entry points.
+    register_call = "register_store"
+    registry_name = "STORES"
+
+    def _origin_matches(self, ctx: FileContext, node: ast.expr, tail: str) -> bool:
+        origin = ctx.qualified(node)
+        return origin is not None and origin.split(".")[-1] == tail
+
+    def _registrations(
+        self, project: Project
+    ) -> tuple[dict[str, tuple[FileContext, ast.AST]], list[Violation]]:
+        """Store name -> (file, anchor), plus non-literal-name findings."""
+        found: dict[str, tuple[FileContext, ast.AST]] = {}
+        non_literal: list[Violation] = []
+        for ctx in project.files:
+            if ctx.rel.replace("\\", "/").startswith("tests/"):
+                continue  # fixtures and suites may fake registrations
+            # The body of ``def register_store`` is the entry point's
+            # implementation — its internal ``STORES[cls.name] = cls``
+            # write is not a registration site.
+            internal: set[int] = set()
+            for fn in ast.walk(ctx.tree):
+                if (
+                    isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and fn.name == self.register_call
+                ):
+                    internal.update(id(inner) for inner in ast.walk(fn))
+            for node in ast.walk(ctx.tree):
+                if id(node) in internal:
+                    continue
+                if isinstance(node, ast.ClassDef) and any(
+                    self._origin_matches(ctx, deco, self.register_call)
+                    for deco in node.decorator_list
+                ):
+                    name = _class_name_literal(node)
+                    if name is None:
+                        non_literal.append(
+                            self.violation(
+                                ctx,
+                                node,
+                                f"@{self.register_call} class must declare "
+                                "its 'name' as a string literal so the "
+                                "registration can be tied to its "
+                                "store-parity manifest entry",
+                            )
+                        )
+                        continue
+                    found.setdefault(name, (ctx, node))
+                elif isinstance(node, ast.stmt):
+                    for target in walk_assign_targets(node):
+                        if not isinstance(target, ast.Subscript):
+                            continue
+                        if not self._origin_matches(
+                            ctx, target.value, self.registry_name
+                        ):
+                            continue
+                        name = _literal_str(target.slice)
+                        if name is None:
+                            non_literal.append(
+                                self.violation(
+                                    ctx,
+                                    node,
+                                    f"{self.registry_name}[...] key must be "
+                                    "a string literal so the registration "
+                                    "can be tied to its store-parity "
+                                    "manifest entry",
+                                )
+                            )
+                            continue
+                        found.setdefault(name, (ctx, node))
+        return found, non_literal
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        required, non_literal = self._registrations(project)
+        yield from non_literal
+        if not required:
+            return
+        registry, error = load_literal_dict_manifest(
+            project.root, self.manifest_rel, self.manifest_var
+        )
+        if registry is None:
+            for name, (ctx, node) in sorted(required.items()):
+                yield self.violation(
+                    ctx, node, f"store {name!r} cannot be verified: {error}"
+                )
+            return
+        for name, (ctx, node) in sorted(required.items()):
+            problem = manifest_entry_problem(
+                project.root, registry, name, self.manifest_rel
+            )
+            if problem is not None:
+                yield self.violation(ctx, node, f"store {name!r}: {problem}")
+        # As with RL009, stale manifest entries are the runtime suite's
+        # job: an extra manifest key is not an error here.

@@ -144,6 +144,7 @@ _EXPERIMENTS = (
     ("categories", "benchmarks.bench_ablation_categories:_run"),
     ("tw_sim_index_choice", "benchmarks.bench_tw_sim_index_choice:_run"),
     ("a6_dtw_kernels", "benchmarks.bench_dtw_kernels:_run"),
+    ("a7_storage", "benchmarks.bench_storage_io:_run"),
 )
 
 
@@ -165,15 +166,16 @@ WORKLOADS: dict[str, BenchSpec] = {
 }
 
 #: The CI smoke-tier subset: cheap, counter-rich, and covering the
-#: five subsystems the trajectory must guard (cascade pruning, index
+#: six subsystems the trajectory must guard (cascade pruning, index
 #: backends, shard executors incl. the process plane, observability
-#: overhead, DTW kernel parity + speedup).
+#: overhead, DTW kernel parity + speedup, storage-plane IO parity).
 SMOKE_SUITE = (
     "cascade",
     "backends",
     "sharding",
     "obs_overhead",
     "a6_dtw_kernels",
+    "a7_storage",
 )
 
 

@@ -39,6 +39,12 @@ class BufferPool:
         """Maximum resident pages."""
         return self._capacity
 
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that hit the pool (0.0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
     def __len__(self) -> int:
         return len(self._resident)
 
@@ -66,7 +72,18 @@ class BufferPool:
         return False
 
     def clear(self) -> None:
-        """Drop all resident pages and zero the counters."""
+        """Drop all resident pages; counters stay monotone.
+
+        Eviction (e.g. :meth:`SequenceDatabase.compact` invalidating
+        page numbers) is not un-counting: re-pinned pages were already
+        tallied once in both the pool and ``IOStats.buffer_hits``, and
+        zeroing one tracker but not the other made the two diverge and
+        any derived hit ratio over-count.  Use :meth:`reset_counters`
+        to start a fresh measurement window explicitly.
+        """
         self._resident.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (resident pages are kept)."""
         self.hits = 0
         self.misses = 0

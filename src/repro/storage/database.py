@@ -1,9 +1,13 @@
 """:class:`SequenceDatabase` — the storage façade all methods read through.
 
-Wraps the heap file, the buffer pool and the disk model, and accumulates
-the I/O statistics the experiments report: sequential pages (scans),
-random pages (candidate fetches by id), buffer hits, and the simulated
-disk time both kinds of access translate into.
+Wraps a registered :class:`~repro.storage.store.SequenceStore` (the
+``heap`` oracle or the memory-mapped ``mmap`` columnar layout), the
+buffer pool and the disk model, and accumulates the I/O statistics the
+experiments report: sequential pages (scans), random pages (candidate
+fetches by id), buffer hits, and the simulated disk time both kinds of
+access translate into.  Because every store honours the heap's logical
+byte arithmetic, the charging surface here is store-agnostic — counters
+are bit-identical whichever store holds the bytes.
 """
 
 from __future__ import annotations
@@ -12,12 +16,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from ..exceptions import ValidationError
 from ..obs.metrics import active_registry
 from ..types import Sequence, SequenceLike, as_sequence
 from .buffer import BufferPool
 from .diskmodel import DiskModel
-from .pages import SequenceHeapFile
+from .store import (
+    MmapSource,
+    STORES,
+    make_store,
+    resolve_store_name,
+    sniff_store_name,
+)
 
 __all__ = ["SequenceDatabase", "IOStats"]
 
@@ -73,6 +85,10 @@ class SequenceDatabase:
     buffer_pages:
         LRU buffer pool capacity; 0 (default) models the paper's
         cold-cache single-user runs.
+    store:
+        Registered sequence-store name (``heap``/``mmap``); ``None``
+        resolves via the ``REPRO_STORE`` environment variable, then the
+        ``heap`` default.
     """
 
     def __init__(
@@ -81,8 +97,9 @@ class SequenceDatabase:
         page_size: int = 1024,
         disk: DiskModel | None = None,
         buffer_pages: int = 0,
+        store: str | None = None,
     ) -> None:
-        self._heap = SequenceHeapFile(page_size=page_size)
+        self._store = make_store(store, page_size=page_size)
         self._disk = disk if disk is not None else DiskModel()
         self._buffer = BufferPool(buffer_pages)
         self._next_id = 0
@@ -91,9 +108,14 @@ class SequenceDatabase:
     # -- metadata -----------------------------------------------------------
 
     @property
+    def store_name(self) -> str:
+        """Registry name of the sequence store holding the bytes."""
+        return self._store.name
+
+    @property
     def page_size(self) -> int:
         """Bytes per page."""
-        return self._heap.page_size
+        return self._store.page_size
 
     @property
     def disk(self) -> DiskModel:
@@ -106,24 +128,24 @@ class SequenceDatabase:
         return self._buffer
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._store)
 
     def __contains__(self, seq_id: int) -> bool:
-        return seq_id in self._heap
+        return seq_id in self._store
 
     @property
     def total_pages(self) -> int:
         """Pages the data file occupies."""
-        return self._heap.total_pages
+        return self._store.total_pages
 
     @property
     def total_bytes(self) -> int:
         """Bytes of sequence data stored."""
-        return self._heap.total_bytes
+        return self._store.total_bytes
 
     def ids(self) -> list[int]:
         """All stored sequence ids in insertion order."""
-        return self._heap.ids()
+        return self._store.ids()
 
     @property
     def next_id(self) -> int:
@@ -139,7 +161,7 @@ class SequenceDatabase:
             raise ValidationError("cannot store an empty sequence")
         seq_id = self._next_id
         self._next_id += 1
-        self._heap.append(seq_id, seq.values)
+        self._store.append(seq_id, seq.values)
         return seq_id
 
     def insert_many(self, sequences: Iterable[SequenceLike]) -> list[int]:
@@ -152,14 +174,14 @@ class SequenceDatabase:
         Raises :class:`~repro.exceptions.SequenceNotFoundError` when the
         id is not stored.  Ids are never reused.
         """
-        self._heap.remove(seq_id)
+        self._store.remove(seq_id)
 
     def compact(self) -> int:
         """Reclaim tombstoned space; returns bytes freed.
 
         Also clears the buffer pool, since page numbers shift.
         """
-        freed = self._heap.compact()
+        freed = self._store.compact()
         self._buffer.clear()
         return freed
 
@@ -172,7 +194,7 @@ class SequenceDatabase:
         misses the buffer pool.
         """
         self.charge_fetch(seq_id)
-        return self._heap.read(seq_id)
+        return self._store.read(seq_id)
 
     def charge_fetch(self, seq_id: int) -> None:
         """Charge the I/O of :meth:`fetch` without materializing the record.
@@ -183,7 +205,7 @@ class SequenceDatabase:
         random-page counts and simulated disk seconds are identical to
         a real :meth:`fetch`.
         """
-        pages = self._heap.pages_of(seq_id)
+        pages = self._store.pages_of(seq_id)
         missed = 0
         hits = 0
         for page_no in pages:
@@ -211,7 +233,7 @@ class SequenceDatabase:
         how a real scan operator reads the file regardless of how many
         sequences the consumer actually keeps.
         """
-        pages = self._heap.total_pages
+        pages = self._store.total_pages
         self.io.sequential_pages += pages
         seconds = self._disk.sequential_read_time(pages, self.page_size)
         self.io.simulated_seconds += seconds
@@ -220,25 +242,41 @@ class SequenceDatabase:
             registry.count("storage.scans")
             registry.count("storage.sequential_pages", pages)
             registry.count("storage.simulated_seconds", seconds)
-        return self._heap.scan()
+        return self._store.scan()
 
     def contents(self) -> Iterator[Sequence]:
         """Iterate the stored sequences without charging any I/O.
 
         Replication/publication paths (e.g. shipping a shard's contents
         to a worker process, or exporting the feature store into a
-        shared-memory segment) read the in-memory heap directly; the
+        shared-memory segment) read the in-memory store directly; the
         simulated cost model only charges reads the *query pipeline*
         performs, so charging here would break the bit-exact counter
         parity between executors.
         """
-        return self._heap.scan()
+        return self._store.scan()
+
+    def dense_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """The store's zero-copy ``(ids, lengths, offsets, values_flat)``.
+
+        ``None`` unless the store can serve its whole element buffer as
+        one contiguous array (see
+        :meth:`repro.storage.store.SequenceStore.dense_arrays`).
+        Uncharged, like :meth:`contents`.
+        """
+        return self._store.dense_arrays()
+
+    def mmap_source(self) -> MmapSource | None:
+        """The on-disk value file behind :meth:`dense_arrays`, if any."""
+        return self._store.mmap_source()
 
     # -- persistence ---------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist the data file to *path*."""
-        self._heap.save(path)
+        """Persist the data file to *path* (plus any store sidecars)."""
+        self._store.save(path)
 
     @classmethod
     def load(
@@ -247,16 +285,27 @@ class SequenceDatabase:
         *,
         disk: DiskModel | None = None,
         buffer_pages: int = 0,
+        store: str | None = None,
     ) -> "SequenceDatabase":
-        """Re-open a database persisted with :meth:`save`."""
-        heap = SequenceHeapFile.load(path)
+        """Re-open a database persisted with :meth:`save`.
+
+        The store format is sniffed from the file's magic bytes when
+        *store* is ``None``; passing a name forces that implementation
+        (and fails with a domain error on a mismatched file).
+        """
+        if store is not None:
+            name = resolve_store_name(store)
+        else:
+            name = sniff_store_name(path)
+        loaded = STORES[name].load(path)
         db = cls(
-            page_size=heap.page_size,
+            page_size=loaded.page_size,
             disk=disk,
             buffer_pages=buffer_pages,
+            store=name,
         )
-        db._heap = heap
-        ids = heap.ids()
+        db._store = loaded
+        ids = loaded.ids()
         db._next_id = max(ids) + 1 if ids else 0
         return db
 

@@ -1,10 +1,13 @@
-"""Byte-level paged heap file for sequences.
+"""Byte-level paged heap store for sequences — the ``heap`` oracle.
 
 Sequences are serialized with a fixed binary layout and appended to a
 growing page file.  Records are *spanned*: a long sequence occupies a
 contiguous byte range that may cross page boundaries, and the page span
 of any record is derived from its byte offsets — this is what converts
-logical reads into page-access counts for the disk model.
+logical reads into page-access counts for the disk model.  Every other
+registered :class:`~repro.storage.store.SequenceStore` replicates this
+byte arithmetic logically, which is why the heap store doubles as the
+parity oracle.
 
 Record layout (little-endian)::
 
@@ -20,21 +23,26 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Iterator
+from typing import ClassVar, Iterator
 
 import numpy as np
 
 from ..exceptions import SequenceNotFoundError, StorageError, ValidationError
 from ..types import Sequence, as_array
+from .store import SequenceStore, register_store
 
-__all__ = ["SequenceHeapFile"]
+__all__ = ["HeapSequenceStore", "SequenceHeapFile"]
 
 _HEADER = struct.Struct("<QI")  # sequence id, element count
 _MAGIC = b"RPRS\x01"
 
 
-class SequenceHeapFile:
+@register_store
+class HeapSequenceStore(SequenceStore):
     """Append-only heap file of serialized sequences on fixed-size pages."""
+
+    name: ClassVar[str] = "heap"
+    magic: ClassVar[bytes] = _MAGIC
 
     def __init__(self, page_size: int = 1024) -> None:
         if page_size < _HEADER.size + 8:
@@ -178,26 +186,51 @@ class SequenceHeapFile:
             f.write(bytes(self._buf))
 
     @classmethod
-    def load(cls, path: str | Path) -> "SequenceHeapFile":
-        """Re-open a heap file written by :meth:`save`."""
+    def load(cls, path: str | Path) -> "HeapSequenceStore":
+        """Re-open a heap file written by :meth:`save`.
+
+        Corrupt or truncated files raise
+        :class:`~repro.exceptions.StorageError` with the path in the
+        message; low-level ``struct.error``/``OSError`` never escape.
+        """
         path = Path(path)
-        with open(path, "rb") as f:
-            data = f.read()
+        try:
+            with open(path, "rb") as f:
+                data = f.read()
+        except OSError as error:
+            raise StorageError(
+                f"cannot read heap store {path}: {error}"
+            ) from error
         if data[: len(_MAGIC)] != _MAGIC:
             raise StorageError(f"{path} is not a repro heap file")
-        pos = len(_MAGIC)
-        (page_size,) = struct.unpack_from("<I", data, pos)
-        pos += 4
-        (count,) = struct.unpack_from("<I", data, pos)
-        pos += 4
-        heap = cls(page_size=page_size)
-        entries = []
-        for _ in range(count):
-            seq_id, offset, length = struct.unpack_from("<QQQ", data, pos)
-            pos += 24
-            entries.append((seq_id, offset, length))
-        heap._buf = bytearray(data[pos:])
-        for seq_id, offset, length in entries:
-            heap._offsets[seq_id] = (offset, length)
-            heap._order.append(seq_id)
+        try:
+            pos = len(_MAGIC)
+            (page_size,) = struct.unpack_from("<I", data, pos)
+            pos += 4
+            (count,) = struct.unpack_from("<I", data, pos)
+            pos += 4
+            heap = cls(page_size=page_size)
+            entries = []
+            for _ in range(count):
+                seq_id, offset, length = struct.unpack_from("<QQQ", data, pos)
+                pos += 24
+                entries.append((seq_id, offset, length))
+            heap._buf = bytearray(data[pos:])
+            for seq_id, offset, length in entries:
+                if offset + length > len(heap._buf):
+                    raise StorageError(
+                        f"heap store {path} is truncated: record {seq_id} "
+                        f"ends at byte {offset + length} of a "
+                        f"{len(heap._buf)}-byte data section"
+                    )
+                heap._offsets[seq_id] = (offset, length)
+                heap._order.append(seq_id)
+        except struct.error as error:
+            raise StorageError(
+                f"heap store {path} is truncated or corrupt: {error}"
+            ) from error
         return heap
+
+
+#: Historical name of the heap store (pre store-registry API).
+SequenceHeapFile = HeapSequenceStore

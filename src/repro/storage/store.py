@@ -1,0 +1,244 @@
+"""The pluggable sequence-store plane: how sequence bytes are kept.
+
+:class:`~repro.storage.database.SequenceDatabase` owns the *cost
+accounting* — buffer-pool touches, page counts, simulated disk seconds.
+*Where the bytes live* is a separate concern, factored into a
+:class:`SequenceStore`:
+
+* ``heap`` — the original byte-level paged heap
+  (:class:`~repro.storage.pages.HeapSequenceStore`): records serialized
+  into one growing in-memory buffer, persisted as a single file.  Kept
+  as the oracle implementation.
+* ``mmap`` — the memory-mapped columnar layout
+  (:class:`~repro.storage.columnar.MmapColumnarStore`): one contiguous
+  float64 data file mapped read-only, an offset/length directory, a
+  versioned ``.meta`` sidecar and an append log so insert/delete
+  survives restart.  Reads are zero-copy views over the mapped array.
+
+Both are registered here by name; selection order is the explicit
+``store=`` argument, then the ``REPRO_STORE`` environment variable,
+then the ``heap`` default — the same resolution contract as the
+backend/executor/kernel registries.  The contract every store must
+honour is *logical-layout parity*: record offsets, lengths, page spans
+and therefore every simulated ``storage.*`` charge follow the heap's
+byte arithmetic (``12 + 8n`` bytes per record) regardless of the
+physical layout, so answers and counters are bit-identical across
+stores.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, Iterator, TypeVar
+
+import numpy as np
+
+from ..exceptions import StorageError, ValidationError
+from ..types import Sequence
+
+__all__ = [
+    "DEFAULT_STORE",
+    "ENV_STORE",
+    "STORES",
+    "MmapSource",
+    "SequenceStore",
+    "available_stores",
+    "make_store",
+    "register_store",
+    "resolve_store_name",
+    "sniff_store_name",
+]
+
+#: The store used when neither ``store=`` nor the environment selects one.
+DEFAULT_STORE = "heap"
+
+#: Environment variable consulted when no explicit store is passed.
+ENV_STORE = "REPRO_STORE"
+
+
+@dataclass(frozen=True)
+class MmapSource:
+    """Where a store's mapped value file lives (for zero-copy attach).
+
+    A store that can serve its concatenated element buffer straight
+    from a file on disk advertises it here; the process executor ships
+    this descriptor to workers instead of copying the values through a
+    shared-memory segment.
+
+    Attributes
+    ----------
+    path:
+        The contiguous float64 data file (little-endian, values
+        back-to-back in insertion order).
+    n_values:
+        Total float64 elements in the file.
+    epoch:
+        The store's save generation — attachments are only valid for
+        the generation they were taken from.
+    """
+
+    path: str
+    n_values: int
+    epoch: int
+
+
+class SequenceStore(ABC):
+    """Keeps sequence records; exposes the heap's logical page geometry.
+
+    Implementations serialize each record as the heap's
+    ``u64 id, u32 count, f64[count]`` layout *logically* — offsets,
+    lengths, and page spans are derived from that arithmetic even when
+    the physical bytes live elsewhere — so the disk model charges
+    identically for every store.
+    """
+
+    #: Registry name of the store (``heap``/``mmap``).
+    name: ClassVar[str]
+
+    #: Leading magic bytes of the store's persisted main file.
+    magic: ClassVar[bytes]
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def page_size(self) -> int:
+        """Bytes per page."""
+
+    @property
+    @abstractmethod
+    def total_bytes(self) -> int:
+        """Logical bytes currently stored (tombstoned space included)."""
+
+    @property
+    @abstractmethod
+    def total_pages(self) -> int:
+        """Pages the logical file occupies (ceiling of bytes / page size)."""
+
+    @abstractmethod
+    def pages_of(self, seq_id: int) -> range:
+        """The page numbers a stored record logically spans."""
+
+    # -- writes -------------------------------------------------------------
+
+    @abstractmethod
+    def append(self, seq_id: int, values: np.ndarray) -> range:
+        """Serialize and append one sequence; returns its page span."""
+
+    @abstractmethod
+    def remove(self, seq_id: int) -> int:
+        """Drop a record from the directory; returns the bytes tombstoned."""
+
+    @abstractmethod
+    def compact(self) -> int:
+        """Reclaim tombstoned logical space; returns bytes freed."""
+
+    # -- reads --------------------------------------------------------------
+
+    @abstractmethod
+    def __contains__(self, seq_id: int) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def ids(self) -> list[int]:
+        """Stored ids in physical (insertion) order."""
+
+    @abstractmethod
+    def read(self, seq_id: int) -> Sequence:
+        """Materialize one sequence by id."""
+
+    @abstractmethod
+    def scan(self) -> Iterator[Sequence]:
+        """Iterate all sequences in physical order (a sequential scan)."""
+
+    def dense_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """``(ids, lengths, offsets, values_flat)`` when served zero-copy.
+
+        A store whose live element values sit contiguously, in
+        insertion order and with no interleaved tombstones can hand the
+        cascade its whole value buffer as one array: *offsets* is the
+        ``(n + 1,)`` element prefix-sum into *values_flat*.  Stores (or
+        states) that cannot return ``None`` and callers fall back to
+        the per-sequence :meth:`scan` copy path.
+        """
+        return None
+
+    def mmap_source(self) -> MmapSource | None:
+        """The on-disk value file behind :meth:`dense_arrays`, if any.
+
+        ``None`` for purely in-memory stores or dirty states; when set,
+        the file's contents equal the ``values_flat`` of
+        :meth:`dense_arrays` and other processes may map it read-only.
+        """
+        return None
+
+    # -- persistence --------------------------------------------------------
+
+    @abstractmethod
+    def save(self, path: str | Path) -> None:
+        """Persist the store to *path* (plus any sidecar files)."""
+
+    @classmethod
+    @abstractmethod
+    def load(cls, path: str | Path) -> "SequenceStore":
+        """Re-open a store persisted with :meth:`save`."""
+
+
+_S = TypeVar("_S", bound=type[SequenceStore])
+
+#: Registered store classes, keyed by :attr:`SequenceStore.name`.
+STORES: dict[str, type[SequenceStore]] = {}
+
+
+def register_store(cls: _S) -> _S:
+    """Class decorator adding *cls* to the :data:`STORES` registry."""
+    STORES[cls.name] = cls
+    return cls
+
+
+def available_stores() -> tuple[str, ...]:
+    """The registered store names, sorted."""
+    return tuple(sorted(STORES))
+
+
+def resolve_store_name(name: str | None = None) -> str:
+    """Resolve the store to use and validate it.
+
+    Explicit *name* wins; ``None`` falls back to the ``REPRO_STORE``
+    environment variable, then to :data:`DEFAULT_STORE`.
+    """
+    if name is None:
+        name = os.environ.get(ENV_STORE) or DEFAULT_STORE
+    if name not in STORES:
+        known = ", ".join(available_stores())
+        raise ValidationError(f"unknown store {name!r}; registered: {known}")
+    return name
+
+
+def make_store(name: str | None, *, page_size: int = 1024) -> SequenceStore:
+    """Construct the store *name* (resolved per :func:`resolve_store_name`)."""
+    return STORES[resolve_store_name(name)](page_size=page_size)  # type: ignore[call-arg]
+
+
+def sniff_store_name(path: str | Path) -> str:
+    """Identify which registered store persisted *path* by its magic."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as f:
+            head = f.read(8)
+    except OSError as error:
+        raise StorageError(f"cannot read store file {path}: {error}") from error
+    for name, cls in sorted(STORES.items()):
+        if head.startswith(cls.magic):
+            return name
+    raise StorageError(
+        f"{path} is not a persisted sequence store (unrecognized magic "
+        f"{head[:5]!r}; known stores: {', '.join(available_stores())})"
+    )

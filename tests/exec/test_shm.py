@@ -13,7 +13,16 @@ import numpy as np
 import pytest
 
 from repro.core.cascade import FeatureStore, FilterCascade
-from repro.exec import ArraySpec, attach_store, publish_store
+from repro.core.engine import TimeWarpingDatabase
+from repro.exceptions import StorageError
+from repro.exec import (
+    ArraySpec,
+    MmapStoreHandle,
+    attach_store,
+    publish_mmap,
+    publish_store,
+)
+from repro.storage import SequenceDatabase
 from repro.types import Sequence
 
 
@@ -133,3 +142,123 @@ class TestSharedSegment:
         finally:
             segment.close()
             segment.unlink()
+
+
+def _saved_db(tmp_path, n: int = 16, seed: int = 9) -> SequenceDatabase:
+    rng = np.random.default_rng(seed)
+    db = SequenceDatabase(store="mmap")
+    db.insert_many(
+        [rng.normal(size=int(rng.integers(5, 24))).cumsum() for _ in range(n)]
+    )
+    db.save(tmp_path / "db.bin")
+    return db
+
+
+class TestMmapTransport:
+    """The copy-free alternative: workers map the columnar data file."""
+
+    def test_publish_requires_a_clean_mmap_store(self, tmp_path):
+        heap_db = SequenceDatabase(store="heap")
+        heap_db.insert([1.0, 2.0])
+        assert publish_mmap(heap_db) is None
+        dirty = SequenceDatabase(store="mmap")
+        dirty.insert([1.0, 2.0])
+        assert publish_mmap(dirty) is None  # never saved
+        clean = _saved_db(tmp_path)
+        handle = publish_mmap(clean)
+        assert isinstance(handle, MmapStoreHandle)
+        clean.insert([3.0])
+        assert publish_mmap(clean) is None  # dirty again
+
+    def test_attached_store_answers_identically(self, tmp_path):
+        db = _saved_db(tmp_path, n=20)
+        handle = publish_mmap(db)
+        assert handle is not None
+        segment, attached = attach_store(handle)
+        assert segment is None  # no shared-memory lifecycle to manage
+        oracle = FeatureStore(list(db.contents()))
+        rng = np.random.default_rng(11)
+        query = rng.normal(size=14).cumsum()
+        for epsilon in (0.0, 0.8, 2.5):
+            ours = FilterCascade(oracle).run(query, epsilon)
+            theirs = FilterCascade(attached).run(query, epsilon)
+            assert theirs.answer_ids == ours.answer_ids
+            assert theirs.candidate_ids == ours.candidate_ids
+            assert [
+                (s.name, s.n_in, s.n_out) for s in theirs.stats.stages
+            ] == [(s.name, s.n_in, s.n_out) for s in ours.stats.stages]
+
+    def test_attached_values_view_the_mapped_file(self, tmp_path):
+        handle = publish_mmap(_saved_db(tmp_path))
+        assert handle is not None
+        _segment, attached = attach_store(handle)
+        values = attached.sequences[0].values
+        base: np.ndarray = values
+        while base.base is not None and isinstance(base.base, np.ndarray):
+            base = base.base
+        assert isinstance(base, np.memmap)
+        with pytest.raises(ValueError):
+            values[0] = 99.0
+
+    def test_handle_does_not_pin_the_publisher_map(self, tmp_path):
+        db = _saved_db(tmp_path)
+        handle = publish_mmap(db)
+        assert handle is not None
+        for array in (handle.ids, handle.lengths, handle.offsets):
+            assert not isinstance(array, np.memmap)
+            assert array.base is None or not isinstance(
+                array.base, np.memmap
+            )
+
+    def test_attach_missing_file_raises_storage_error(self, tmp_path):
+        handle = MmapStoreHandle(
+            path=str(tmp_path / "gone.dat"),
+            n_values=8,
+            epoch=1,
+            ids=np.array([0], dtype=np.int64),
+            lengths=np.array([8], dtype=np.int64),
+            offsets=np.array([0, 8], dtype=np.int64),
+        )
+        with pytest.raises(StorageError, match="gone.dat"):
+            attach_store(handle)
+
+    def test_empty_store_attaches(self, tmp_path):
+        db = SequenceDatabase(store="mmap")
+        db.save(tmp_path / "db.bin")
+        handle = publish_mmap(db)
+        assert handle is not None
+        _segment, attached = attach_store(handle)
+        assert attached.sequences == []
+
+
+class TestProcessExecutorZeroCopy:
+    """A loaded mmap database spawns workers without any shm segment."""
+
+    def test_no_segments_published_for_mmap_store(self, tmp_path):
+        rng = np.random.default_rng(21)
+        arrays = [
+            rng.normal(size=int(rng.integers(8, 24))).cumsum()
+            for _ in range(18)
+        ]
+        path = tmp_path / "db.bin"
+        with TimeWarpingDatabase(store="mmap", shards=2) as built:
+            built.bulk_load(arrays)
+            built.save(path)
+        with TimeWarpingDatabase.load(path, executor="process") as facade:
+            matches = facade.search(arrays[0], 0.5)
+            assert any(m.seq_id == 0 for m in matches)
+            assert facade.sharded.executor._segments == []
+
+    def test_segments_still_published_for_heap_store(self, tmp_path):
+        rng = np.random.default_rng(22)
+        arrays = [
+            rng.normal(size=int(rng.integers(8, 24))).cumsum()
+            for _ in range(12)
+        ]
+        path = tmp_path / "db.bin"
+        with TimeWarpingDatabase(store="heap", shards=2) as built:
+            built.bulk_load(arrays)
+            built.save(path)
+        with TimeWarpingDatabase.load(path, executor="process") as facade:
+            facade.search(arrays[0], 0.5)
+            assert len(facade.sharded.executor._segments) == 2

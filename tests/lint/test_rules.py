@@ -19,6 +19,7 @@ from repro.lint.rules import (
     NfdRegistryRule,
     SharedStateRule,
     SpawnSafetyRule,
+    StoreManifestRule,
 )
 
 from .conftest import by_rule, codes
@@ -27,7 +28,7 @@ from .conftest import by_rule, codes
 class TestRulePack:
     def test_all_rules_are_registered_by_code(self) -> None:
         assert [rule.code for rule in ALL_RULES] == [
-            f"RL{n:03d}" for n in range(1, 11)
+            f"RL{n:03d}" for n in range(1, 12)
         ]
         assert RULES_BY_CODE["RL001"] is NfdRegistryRule
         assert RULES_BY_CODE["RL002"] is SharedStateRule
@@ -39,6 +40,7 @@ class TestRulePack:
         assert RULES_BY_CODE["RL008"] is BenchSeedRule
         assert RULES_BY_CODE["RL009"] is KernelManifestRule
         assert RULES_BY_CODE["RL010"] is SpawnSafetyRule
+        assert RULES_BY_CODE["RL011"] is StoreManifestRule
 
     def test_every_rule_declares_title_and_rationale(self) -> None:
         for rule in ALL_RULES:
@@ -562,6 +564,129 @@ class TestRL009KernelManifest:
             rules=["RL009"],
         )
         assert "string literal" in by_rule(report, "RL009")[0]
+
+
+class TestRL011StoreManifest:
+    STORE_SRC = (
+        "from pkg.registry import register_store\n"
+        "@register_store\n"
+        "class ColdStore:\n"
+        '    name = "cold"\n'
+    )
+
+    def test_unregistered_store_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {"src/pkg/cold.py": self.STORE_SRC},
+            rules=["RL011"],
+        )
+        assert codes(report) == ["RL011"]
+        assert "manifest" in report.violations[0].message
+
+    def test_registered_and_referenced_store_passes(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/cold.py": self.STORE_SRC,
+                "tests/storage/store_manifest.py": (
+                    'STORE_PARITY_REGISTRY = {"cold": "tests/test_s.py"}\n'
+                ),
+                "tests/test_s.py": 'def test_cold_parity():\n    assert "cold"\n',
+            },
+            rules=["RL011"],
+        )
+        assert codes(report) == []
+
+    def test_mapped_test_must_reference_the_store(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/cold.py": self.STORE_SRC,
+                "tests/storage/store_manifest.py": (
+                    'STORE_PARITY_REGISTRY = {"cold": "tests/test_s.py"}\n'
+                ),
+                "tests/test_s.py": "def test_unrelated():\n    pass\n",
+            },
+            rules=["RL011"],
+        )
+        assert "never references" in by_rule(report, "RL011")[0]
+
+    def test_missing_mapped_file_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/cold.py": self.STORE_SRC,
+                "tests/storage/store_manifest.py": (
+                    'STORE_PARITY_REGISTRY = {"cold": "tests/test_gone.py"}\n'
+                ),
+            },
+            rules=["RL011"],
+        )
+        assert "missing test file" in by_rule(report, "RL011")[0]
+
+    def test_annotated_name_classvar_is_found(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/cold.py": (
+                    "from pkg.registry import register_store\n"
+                    "@register_store\n"
+                    "class ColdStore:\n"
+                    '    name: str = "cold"\n'
+                ),
+            },
+            rules=["RL011"],
+        )
+        assert codes(report) == ["RL011"]
+        assert "cold" in report.violations[0].message
+
+    def test_non_literal_name_classvar_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/cold.py": (
+                    "from pkg.registry import register_store\n"
+                    'COLD = "cold"\n'
+                    "@register_store\n"
+                    "class ColdStore:\n"
+                    "    name = COLD\n"
+                ),
+                "tests/storage/store_manifest.py": (
+                    "STORE_PARITY_REGISTRY = {}\n"
+                ),
+            },
+            rules=["RL011"],
+        )
+        assert "string literal" in by_rule(report, "RL011")[0]
+
+    def test_direct_registry_assignment_requires_manifest_entry(
+        self, lint_project
+    ) -> None:
+        report = lint_project(
+            {
+                "src/pkg/cold.py": (
+                    "from pkg.registry import STORES\n"
+                    'STORES["direct"] = object()\n'
+                ),
+                "tests/storage/store_manifest.py": (
+                    "STORE_PARITY_REGISTRY = {}\n"
+                ),
+            },
+            rules=["RL011"],
+        )
+        assert "direct" in by_rule(report, "RL011")[0]
+
+    def test_register_store_body_is_not_a_registration_site(
+        self, lint_project
+    ) -> None:
+        # The entry point's own ``STORES[cls.name] = cls`` write must
+        # not be flagged as a (non-literal) registration.
+        report = lint_project(
+            {
+                "src/pkg/registry.py": (
+                    "STORES = {}\n"
+                    "def register_store(cls):\n"
+                    "    STORES[cls.name] = cls\n"
+                    "    return cls\n"
+                ),
+            },
+            rules=["RL011"],
+        )
+        assert codes(report) == []
 
 
 class TestRL010SpawnSafety:

@@ -144,8 +144,9 @@ class TestRegistry:
 
     def test_smoke_suite_subset_of_registry(self):
         assert set(SMOKE_SUITE) <= set(WORKLOADS)
-        assert len(SMOKE_SUITE) == 5
+        assert len(SMOKE_SUITE) == 6
         assert "a6_dtw_kernels" in SMOKE_SUITE
+        assert "a7_storage" in SMOKE_SUITE
         assert "sharding" in SMOKE_SUITE
 
     def test_get_spec_unknown_name(self):

@@ -1,0 +1,23 @@
+"""The store-parity manifest: every registered sequence store, pinned.
+
+Two consumers read this file:
+
+* ``repro lint`` rule RL011 parses it statically (it must stay a plain
+  literal dict readable by ``ast.literal_eval`` — no imports, no
+  computed keys) and verifies that every ``@register_store`` class in
+  ``src/`` has an entry naming an existing test file that references
+  the store by name.
+* The parity suite itself imports :data:`STORE_PARITY_REGISTRY` to
+  assert it exercises exactly the stores the registry exposes at
+  runtime, so a store cannot register without the heap-oracle parity
+  proof running against it.
+
+Map: store registry name -> repo-relative test file pinning its
+answers, cascade stats and ``storage.*``/``index.*`` counters
+bit-identical to the ``heap`` oracle.
+"""
+
+STORE_PARITY_REGISTRY: dict[str, str] = {
+    "heap": "tests/storage/test_store_parity.py",
+    "mmap": "tests/storage/test_store_parity.py",
+}

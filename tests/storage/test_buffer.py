@@ -41,13 +41,37 @@ class TestBufferPool:
         with pytest.raises(ValidationError):
             BufferPool(-1)
 
-    def test_clear_resets(self):
+    def test_clear_evicts_but_keeps_counters(self):
+        # clear() models dropping the cache contents, not forgetting the
+        # workload history: IOStats keeps its buffer_hits forever, so the
+        # pool's own counters must stay monotone too or the two trackers
+        # of the same events diverge.
         pool = BufferPool(2)
         pool.access(1)
         pool.access(1)
         pool.clear()
         assert len(pool) == 0
+        assert (pool.hits, pool.misses) == (1, 1)
+        assert not pool.access(1)  # cold again after eviction
+
+    def test_reset_counters(self):
+        pool = BufferPool(2)
+        pool.access(1)
+        pool.access(1)
+        pool.reset_counters()
         assert (pool.hits, pool.misses) == (0, 0)
+        assert 1 in pool  # residency untouched
+
+    def test_hit_ratio(self):
+        pool = BufferPool(2)
+        assert pool.hit_ratio == 0.0
+        pool.access(1)
+        assert pool.hit_ratio == 0.0
+        pool.access(1)
+        assert pool.hit_ratio == 0.5
+        pool.access(1)
+        pool.access(1)
+        assert pool.hit_ratio == 0.75
 
     def test_contains(self):
         pool = BufferPool(1)

@@ -1,0 +1,358 @@
+"""The mmap columnar store: layout, durability, corruption handling.
+
+Three groups:
+
+* **Logical parity** — the columnar store must keep the heap store's
+  byte arithmetic exactly (offsets, lengths, page spans, tombstones,
+  compaction), because every simulated ``storage.*`` charge derives
+  from it.
+* **Durability** — save/load round trips, append-log replay of
+  mutations made after a save, and pickling for process-executor
+  replicas (including the deleted-records map-length regression).
+* **Corruption** — every malformed on-disk state raises
+  :class:`StorageError` naming the offending file: truncated data
+  file, stale or missing sidecar, missing or mangled append log.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    SequenceNotFoundError,
+    StorageError,
+    ValidationError,
+)
+from repro.storage import (
+    HeapSequenceStore,
+    MmapColumnarStore,
+    SequenceDatabase,
+    sniff_store_name,
+)
+
+
+def _values(seed: int, n: int) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=n)
+
+
+def _populated(tmp_path, *, save: bool = True) -> MmapColumnarStore:
+    store = MmapColumnarStore(page_size=64)
+    for seq_id, n in enumerate([5, 20, 3, 11]):
+        store.append(seq_id, _values(seq_id, n))
+    if save:
+        store.save(tmp_path / "db.bin")
+    return store
+
+
+class TestLogicalParity:
+    """Same byte arithmetic as the heap store, mutation for mutation."""
+
+    def test_geometry_tracks_heap_through_mutations(self):
+        heap = HeapSequenceStore(page_size=64)
+        cols = MmapColumnarStore(page_size=64)
+        for seq_id, n in enumerate([5, 20, 3, 11, 7]):
+            values = _values(seq_id, n)
+            assert cols.append(seq_id, values) == heap.append(seq_id, values)
+            assert cols.total_bytes == heap.total_bytes
+        assert cols.remove(1) == heap.remove(1)
+        assert cols.remove(3) == heap.remove(3)
+        assert cols.total_bytes == heap.total_bytes  # tombstones persist
+        assert cols.total_pages == heap.total_pages
+        for seq_id in (0, 2, 4):
+            assert cols.pages_of(seq_id) == heap.pages_of(seq_id)
+        assert cols.compact() == heap.compact()
+        assert cols.total_bytes == heap.total_bytes
+        for seq_id in (0, 2, 4):
+            assert cols.pages_of(seq_id) == heap.pages_of(seq_id)
+
+    def test_read_and_scan_match_heap(self):
+        heap = HeapSequenceStore(page_size=64)
+        cols = MmapColumnarStore(page_size=64)
+        for seq_id in range(6):
+            values = _values(seq_id, 4 + seq_id)
+            heap.append(seq_id, values)
+            cols.append(seq_id, values)
+        assert cols.ids() == heap.ids()
+        for seq_id in range(6):
+            np.testing.assert_array_equal(
+                cols.read(seq_id).values, heap.read(seq_id).values
+            )
+        for ours, theirs in zip(cols.scan(), heap.scan()):
+            assert ours.seq_id == theirs.seq_id
+            np.testing.assert_array_equal(ours.values, theirs.values)
+
+    def test_validation_matches_heap_contract(self):
+        store = MmapColumnarStore(page_size=64)
+        store.append(0, [1.0, 2.0])
+        with pytest.raises(StorageError):
+            store.append(0, [3.0])  # duplicate id
+        with pytest.raises(ValidationError):
+            store.append(-1, [1.0])
+        with pytest.raises(ValidationError):
+            store.append(1, [])
+        with pytest.raises(SequenceNotFoundError):
+            store.read(99)
+        with pytest.raises(SequenceNotFoundError):
+            store.remove(99)
+        with pytest.raises(ValidationError):
+            MmapColumnarStore(page_size=4)  # smaller than a record header
+
+    def test_reads_are_zero_copy_and_frozen(self, tmp_path):
+        store = _populated(tmp_path)
+        view = store.read(1).values
+        assert isinstance(view.base, np.memmap)  # a slice of the map
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+        store.append(9, [1.0, 2.0])
+        tail_view = store.read(9).values
+        assert tail_view.base is not None  # slice of the tail buffer
+        with pytest.raises(ValueError):
+            tail_view[0] = 99.0
+
+
+class TestDurability:
+    def test_save_load_round_trip(self, tmp_path):
+        store = _populated(tmp_path)
+        loaded = MmapColumnarStore.load(tmp_path / "db.bin")
+        assert loaded.page_size == store.page_size
+        assert loaded.ids() == store.ids()
+        assert loaded.total_bytes == store.total_bytes
+        assert loaded.epoch == store.epoch == 1
+        for seq_id in store.ids():
+            np.testing.assert_array_equal(
+                loaded.read(seq_id).values, store.read(seq_id).values
+            )
+
+    def test_magic_sniffing_dispatches_load(self, tmp_path):
+        _populated(tmp_path)
+        assert sniff_store_name(tmp_path / "db.bin") == "mmap"
+        db = SequenceDatabase.load(tmp_path / "db.bin")
+        assert db.store_name == "mmap"
+        assert len(db) == 4
+
+    def test_log_replays_mutations_after_save(self, tmp_path):
+        store = _populated(tmp_path)
+        store.append(10, [1.0, 2.0, 3.0])
+        store.remove(1)
+        expected_pages = {sid: store.pages_of(sid) for sid in store.ids()}
+        # No save: the mutations exist only in the append log.
+        loaded = MmapColumnarStore.load(tmp_path / "db.bin")
+        assert loaded.ids() == store.ids()
+        assert loaded.total_bytes == store.total_bytes
+        assert {sid: loaded.pages_of(sid) for sid in loaded.ids()} == (
+            expected_pages
+        )
+        np.testing.assert_array_equal(
+            loaded.read(10).values, np.array([1.0, 2.0, 3.0])
+        )
+        # Replay does not re-log: a second reload sees the same state.
+        again = MmapColumnarStore.load(tmp_path / "db.bin")
+        assert again.ids() == loaded.ids()
+        assert again.total_bytes == loaded.total_bytes
+
+    def test_log_replays_compaction(self, tmp_path):
+        store = _populated(tmp_path)
+        store.remove(0)
+        store.compact()
+        loaded = MmapColumnarStore.load(tmp_path / "db.bin")
+        assert loaded.total_bytes == store.total_bytes
+        assert {sid: loaded.pages_of(sid) for sid in loaded.ids()} == {
+            sid: store.pages_of(sid) for sid in store.ids()
+        }
+
+    def test_save_truncates_log_and_bumps_epoch(self, tmp_path):
+        store = _populated(tmp_path)
+        store.append(10, [4.0])
+        log = (tmp_path / "db.bin.log").stat().st_size
+        store.save(tmp_path / "db.bin")
+        assert store.epoch == 2
+        assert (tmp_path / "db.bin.log").stat().st_size < log
+        loaded = MmapColumnarStore.load(tmp_path / "db.bin")
+        assert loaded.epoch == 2
+        assert 10 in loaded
+
+    def test_save_compacts_data_file_but_not_logical_layout(self, tmp_path):
+        store = _populated(tmp_path)
+        removed_bytes = store.remove(1)
+        before = store.total_bytes
+        store.save(tmp_path / "db2.bin")
+        # Physical file holds live values only...
+        live = sum(store.read(sid).values.size for sid in store.ids())
+        assert (tmp_path / "db2.bin.dat").stat().st_size == live * 8
+        # ...while the logical tombstone persists until compact().
+        assert store.total_bytes == before
+        assert store.compact() == removed_bytes
+
+    def test_empty_store_round_trip(self, tmp_path):
+        store = MmapColumnarStore(page_size=64)
+        store.save(tmp_path / "db.bin")
+        loaded = MmapColumnarStore.load(tmp_path / "db.bin")
+        assert len(loaded) == 0
+        assert loaded.total_bytes == 0
+        assert loaded.total_pages == 0
+
+    def test_all_deleted_then_compacted_round_trip(self, tmp_path):
+        store = _populated(tmp_path)
+        for seq_id in list(store.ids()):
+            store.remove(seq_id)
+        store.compact()
+        loaded = MmapColumnarStore.load(tmp_path / "db.bin")
+        assert len(loaded) == 0
+        assert loaded.total_bytes == 0
+        store.save(tmp_path / "db.bin")
+        assert MmapColumnarStore.load(tmp_path / "db.bin").ids() == []
+
+
+class TestPickling:
+    def test_clean_store_round_trips(self, tmp_path):
+        store = _populated(tmp_path)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.ids() == store.ids()
+        for seq_id in store.ids():
+            np.testing.assert_array_equal(
+                clone.read(seq_id).values, store.read(seq_id).values
+            )
+        assert clone.dense_arrays() is not None
+
+    def test_replica_remaps_full_file_after_deletes(self, tmp_path):
+        # Regression: the replica must re-open the map at the *save-time*
+        # length — after deletes the live-record total shrinks but the
+        # survivors' spans keep their original positions in the file.
+        store = _populated(tmp_path)
+        store.remove(0)
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.ids() == store.ids()
+        for seq_id in store.ids():
+            np.testing.assert_array_equal(
+                clone.read(seq_id).values, store.read(seq_id).values
+            )
+
+    def test_dirty_tail_travels_with_the_pickle(self, tmp_path):
+        store = _populated(tmp_path)
+        store.append(10, [7.0, 8.0])
+        clone = pickle.loads(pickle.dumps(store))
+        np.testing.assert_array_equal(
+            clone.read(10).values, np.array([7.0, 8.0])
+        )
+
+    def test_unsaved_store_pickles_without_paths(self):
+        store = MmapColumnarStore(page_size=64)
+        store.append(0, [1.0, 2.0])
+        clone = pickle.loads(pickle.dumps(store))
+        np.testing.assert_array_equal(
+            clone.read(0).values, np.array([1.0, 2.0])
+        )
+
+    def test_replica_mutations_never_touch_the_log(self, tmp_path):
+        store = _populated(tmp_path)
+        clone = pickle.loads(pickle.dumps(store))
+        log_size = (tmp_path / "db.bin.log").stat().st_size
+        clone.append(10, [1.0])
+        clone.remove(0)
+        assert (tmp_path / "db.bin.log").stat().st_size == log_size
+
+
+class TestCorruption:
+    """Satellite regressions: every bad file is a StorageError with a path."""
+
+    def test_truncated_data_file(self, tmp_path):
+        _populated(tmp_path)
+        dat = tmp_path / "db.bin.dat"
+        dat.write_bytes(dat.read_bytes()[:-8])
+        with pytest.raises(StorageError, match=r"truncated.*db\.bin\.dat|db\.bin\.dat.*truncated"):
+            MmapColumnarStore.load(tmp_path / "db.bin")
+
+    def test_stale_sidecar_epoch(self, tmp_path):
+        _populated(tmp_path)
+        meta = tmp_path / "db.bin.store.meta"
+        doc = json.loads(meta.read_text())
+        doc["epoch"] = 99
+        meta.write_text(json.dumps(doc))
+        with pytest.raises(StorageError, match="stale sidecar"):
+            MmapColumnarStore.load(tmp_path / "db.bin")
+
+    def test_missing_sidecar(self, tmp_path):
+        _populated(tmp_path)
+        (tmp_path / "db.bin.store.meta").unlink()
+        with pytest.raises(StorageError, match="missing .meta sidecar"):
+            MmapColumnarStore.load(tmp_path / "db.bin")
+
+    def test_unsupported_sidecar_version(self, tmp_path):
+        _populated(tmp_path)
+        meta = tmp_path / "db.bin.store.meta"
+        doc = json.loads(meta.read_text())
+        doc["version"] = 999
+        meta.write_text(json.dumps(doc))
+        with pytest.raises(StorageError, match="version"):
+            MmapColumnarStore.load(tmp_path / "db.bin")
+
+    def test_missing_append_log(self, tmp_path):
+        _populated(tmp_path)
+        (tmp_path / "db.bin.log").unlink()
+        with pytest.raises(StorageError, match="missing append log"):
+            MmapColumnarStore.load(tmp_path / "db.bin")
+
+    def test_truncated_append_record(self, tmp_path):
+        store = _populated(tmp_path)
+        store.append(10, [1.0, 2.0, 3.0])
+        log = tmp_path / "db.bin.log"
+        log.write_bytes(log.read_bytes()[:-8])
+        with pytest.raises(StorageError, match="truncated append record"):
+            MmapColumnarStore.load(tmp_path / "db.bin")
+
+    def test_stale_log_epoch(self, tmp_path):
+        _populated(tmp_path)
+        log = tmp_path / "db.bin.log"
+        data = bytearray(log.read_bytes())
+        data[5:13] = struct.pack("<Q", 42)
+        log.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="stale append log"):
+            MmapColumnarStore.load(tmp_path / "db.bin")
+
+    def test_unknown_log_opcode(self, tmp_path):
+        _populated(tmp_path)
+        log = tmp_path / "db.bin.log"
+        log.write_bytes(log.read_bytes() + b"Z")
+        with pytest.raises(StorageError, match="unknown log opcode"):
+            MmapColumnarStore.load(tmp_path / "db.bin")
+
+    def test_bad_directory_magic(self, tmp_path):
+        _populated(tmp_path)
+        main = tmp_path / "db.bin"
+        main.write_bytes(b"XXXXX" + main.read_bytes()[5:])
+        with pytest.raises(StorageError, match="bad magic"):
+            MmapColumnarStore.load(main)
+
+    def test_truncated_directory(self, tmp_path):
+        _populated(tmp_path)
+        main = tmp_path / "db.bin"
+        main.write_bytes(main.read_bytes()[:-4])
+        with pytest.raises(StorageError, match="truncated or corrupt"):
+            MmapColumnarStore.load(main)
+
+    def test_impossible_record_length(self, tmp_path):
+        _populated(tmp_path)
+        main = tmp_path / "db.bin"
+        data = bytearray(main.read_bytes())
+        # First directory entry's length field (magic + header + id + offset).
+        pos = 5 + 24 + 8 + 8
+        data[pos : pos + 8] = struct.pack("<Q", 13)  # not 12 + 8n
+        main.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="impossible length"):
+            MmapColumnarStore.load(main)
+
+    def test_missing_directory_file(self, tmp_path):
+        with pytest.raises(StorageError, match="cannot read"):
+            MmapColumnarStore.load(tmp_path / "nope.bin")
+
+    def test_errors_carry_the_offending_path(self, tmp_path):
+        _populated(tmp_path)
+        (tmp_path / "db.bin.log").unlink()
+        with pytest.raises(StorageError) as excinfo:
+            MmapColumnarStore.load(tmp_path / "db.bin")
+        assert str(tmp_path / "db.bin.log") in str(excinfo.value)

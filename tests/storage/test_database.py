@@ -62,7 +62,7 @@ class TestIOAccounting:
         sid = db.insert(np.ones(50))
         db.io.reset()
         db.fetch(sid)
-        assert db.io.random_pages == len(list(db._heap.pages_of(sid)))
+        assert db.io.random_pages == len(list(db._store.pages_of(sid)))
         assert db.io.sequential_pages == 0
 
     def test_buffer_pool_absorbs_repeat_fetches(self):

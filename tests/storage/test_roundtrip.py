@@ -1,0 +1,154 @@
+"""Facade persistence round trips across stores, backends, executors.
+
+Satellite coverage for the store plane: a saved database must reload
+to bit-identical answers on every registered store, under every index
+backend and executor, and keep doing so through a mutate → save →
+reload cycle.  The mmap store additionally makes *unsaved* mutations
+durable through its append log — a reload without an intervening save
+still sees them — which the heap store (whole-file rewrite on save)
+does not promise and these tests do not demand of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TimeWarpingDatabase
+from repro.storage import SequenceDatabase
+
+ALL_STORES = ("heap", "mmap")
+
+
+def _workload(seed: int, n: int = 24) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.normal(size=int(rng.integers(8, 30))).cumsum() for _ in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def arrays() -> list[np.ndarray]:
+    return _workload(7)
+
+
+@pytest.fixture(scope="module")
+def queries() -> list[np.ndarray]:
+    return _workload(13, n=3)
+
+
+def _answers(facade, queries):
+    return [
+        [(m.seq_id, m.distance) for m in facade.search(query, 1.8)]
+        for query in queries
+    ]
+
+
+class TestSaveMutateReload:
+    @pytest.mark.parametrize("backend", ["rtree", "rstar", "linear"])
+    @pytest.mark.parametrize("store", ALL_STORES)
+    def test_round_trip_per_backend(
+        self, tmp_path, arrays, queries, store, backend
+    ):
+        path = tmp_path / "db.bin"
+        with TimeWarpingDatabase(
+            store=store, backend=backend, shards=2
+        ) as built:
+            built.bulk_load(arrays[:20])
+            built.save(path)
+            expected = _answers(built, queries)
+        with TimeWarpingDatabase.load(path) as loaded:
+            assert loaded.store_name == store
+            assert loaded.backend_name == backend
+            assert _answers(loaded, queries) == expected
+            # Mutate the reloaded database, save, reload again.
+            loaded.delete(3)
+            loaded.delete(11)
+            new_ids = [loaded.insert(a) for a in arrays[20:22]]
+            loaded.save(path)
+            mutated = _answers(loaded, queries)
+        with TimeWarpingDatabase.load(path) as again:
+            assert _answers(again, queries) == mutated
+            for seq_id in new_ids:
+                assert seq_id in again
+            assert 3 not in again and 11 not in again
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    @pytest.mark.parametrize("store", ALL_STORES)
+    def test_round_trip_per_executor(
+        self, tmp_path, arrays, queries, store, executor
+    ):
+        path = tmp_path / "db.bin"
+        with TimeWarpingDatabase(store=store, shards=2) as built:
+            built.bulk_load(arrays[:20])
+            built.save(path)
+            expected = _answers(built, queries)
+        with TimeWarpingDatabase.load(path, executor=executor) as loaded:
+            assert loaded.executor_name == executor
+            assert _answers(loaded, queries) == expected
+            loaded.delete(5)
+            loaded.insert(arrays[20])
+            loaded.save(path)
+            mutated = _answers(loaded, queries)
+        with TimeWarpingDatabase.load(path, executor=executor) as again:
+            assert _answers(again, queries) == mutated
+
+    @pytest.mark.parametrize("store", ALL_STORES)
+    def test_all_deleted_then_compacted(self, tmp_path, arrays, store):
+        path = tmp_path / "db.bin"
+        with TimeWarpingDatabase(store=store, shards=2) as facade:
+            ids = facade.bulk_load(arrays[:8])
+            facade.save(path)
+            for seq_id in ids:
+                facade.delete(seq_id)
+            for storage in facade.shard_storages:
+                storage.compact()
+                assert storage.total_bytes == 0
+            facade.save(path)
+        with TimeWarpingDatabase.load(path) as loaded:
+            assert len(loaded) == 0
+            assert loaded.search(arrays[0], 5.0) == []
+            # The emptied database still accepts new inserts.
+            new_id = loaded.insert(arrays[9])
+            assert loaded.knn(arrays[9], 1)[0].seq_id == new_id
+
+
+class TestMmapLogDurability:
+    """Storage mutations after a save survive reload *without* another save.
+
+    This is a storage-plane guarantee: the append log makes
+    insert/delete durable at the :class:`SequenceDatabase` level.  The
+    facade's own metadata (gid assignment, saved indexes) is only as
+    fresh as the last facade ``save`` — so the assertions here reload
+    the shard heaps directly rather than through the facade.
+    """
+
+    def test_unsaved_mutations_survive_reload(self, tmp_path, arrays):
+        path = tmp_path / "db.bin"
+        db = SequenceDatabase(store="mmap")
+        db.insert_many(arrays[:6])
+        db.save(path)
+        db.delete(2)
+        new_id = db.insert(arrays[6])
+        # No second save: the append log is the only durable record.
+        reloaded = SequenceDatabase.load(path)
+        assert sorted(reloaded.ids()) == sorted(db.ids())
+        assert 2 not in reloaded
+        np.testing.assert_array_equal(
+            reloaded.fetch(new_id).values, arrays[6]
+        )
+        for seq_id in reloaded.ids():
+            np.testing.assert_array_equal(
+                reloaded.fetch(seq_id).values, db.fetch(seq_id).values
+            )
+
+    def test_heap_requires_a_save(self, tmp_path, arrays):
+        # The contrast case, pinning the documented difference: the
+        # heap store's whole-file rewrite only persists on save().
+        path = tmp_path / "db.bin"
+        db = SequenceDatabase(store="heap")
+        db.insert_many(arrays[:6])
+        db.save(path)
+        db.delete(2)
+        reloaded = SequenceDatabase.load(path)
+        assert 2 in reloaded
