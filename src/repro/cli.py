@@ -13,6 +13,7 @@ Subcommands::
     repro explain     show the optimal warping between a query and a sequence
     repro bench       run named benchmarks, track BENCH_*.json, gate regressions
     repro lint        run the domain-aware static analyzer over the tree
+    repro profile     trace a query workload, render flamegraphs/timelines
 
 Every subcommand is importable and testable through :func:`main`, which
 accepts an argv list and returns a process exit code.
@@ -41,14 +42,18 @@ from .exec import available_executors
 from .storage.store import available_stores
 from .index.backend import EXACT_BACKEND_NAMES
 from .obs.export import (
+    render_flamegraph_svg,
     render_metrics_table,
     render_pruning_waterfall,
+    render_span_timeline,
     render_span_tree,
     snapshot_to_json,
+    spans_to_folded,
     spans_to_json,
 )
 from .obs.metrics import MetricsRegistry, use_registry
-from .obs.tracing import Tracer, use_tracer
+from .obs.querylog import QueryLogWriter, load_querylog, use_querylog
+from .obs.tracing import Tracer, active_tracer, use_tracer
 from .methods import (
     CascadeScan,
     EngineMethod,
@@ -168,7 +173,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print this query's pruning waterfall (per-tier candidates, "
-        "node reads, DTW cells, early-abandon depth); needs --epsilon",
+        "node reads, DTW cells, early-abandon depth) and a span timeline; "
+        "needs --epsilon",
+    )
+    query.add_argument(
+        "--querylog",
+        metavar="PATH",
+        help="append this query's structured JSONL record to PATH",
+    )
+    query.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="with --querylog, only write the record when the query "
+        "took at least MS milliseconds (slow-query log)",
     )
 
     compare = sub.add_parser(
@@ -314,9 +333,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat wall-time drift beyond the band as failure, not warning",
     )
 
+    profile = sub.add_parser(
+        "profile",
+        help="run a traced query workload; emit flamegraphs, timelines "
+        "and a structured query log",
+    )
+    profile.add_argument("--db", help="database file to query")
+    profile.add_argument(
+        "--queries", type=int, default=5, help="number of workload queries"
+    )
+    profile.add_argument("--epsilon", type=float, default=1.0)
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument(
+        "--backend",
+        choices=sorted(EXACT_BACKEND_NAMES),
+        default="rtree",
+    )
+    profile.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the database across N shards",
+    )
+    profile.add_argument(
+        "--executor",
+        choices=sorted(available_executors()),
+        default=None,
+        help="shard execution plane (default: REPRO_EXECUTOR or 'thread')",
+    )
+    profile.add_argument(
+        "--svg",
+        metavar="PATH",
+        help="write a flamegraph SVG of the traced spans to PATH",
+    )
+    profile.add_argument(
+        "--folded",
+        metavar="PATH",
+        help="write folded stacks (flamegraph.pl format) to PATH",
+    )
+    profile.add_argument(
+        "--querylog",
+        metavar="PATH",
+        help="write one structured JSONL record per query to PATH",
+    )
+    profile.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="with --querylog, only log queries at least MS ms slow",
+    )
+    profile.add_argument(
+        "--validate",
+        metavar="PATH",
+        help="instead of running queries, load PATH as a query log and "
+        "validate every record against the current schema",
+    )
+
     lint = sub.add_parser(
         "lint",
-        help="run the repro-specific static analyzer (rules RL001-RL011)",
+        help="run the repro-specific static analyzer (rules RL001-RL012)",
     )
     lint.add_argument(
         "paths",
@@ -413,17 +489,50 @@ def _parse_query(text: str) -> np.ndarray:
     return np.array([float(v) for v in text.split(",") if v.strip()])
 
 
+def _querylog_writer(args: argparse.Namespace) -> QueryLogWriter | None:
+    """A writer for the --querylog/--slow-ms flags (None when unused)."""
+    if not getattr(args, "querylog", None):
+        if getattr(args, "slow_ms", None) is not None:
+            raise ValidationError("--slow-ms requires --querylog PATH")
+        return None
+    threshold = args.slow_ms / 1000.0 if args.slow_ms is not None else None
+    return QueryLogWriter(args.querylog, slow_threshold_seconds=threshold)
+
+
+def _report_querylog(writer: QueryLogWriter | None) -> None:
+    if writer is None:
+        return
+    line = f"query log: {writer.written} record(s) -> {writer.path}"
+    if writer.skipped:
+        line += f" ({writer.skipped} under the slow-query threshold)"
+    print(line)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.shards < 1:
         raise ValidationError(f"shards must be >= 1, got {args.shards}")
     storage = SequenceDatabase.load(args.db)
     query = _parse_query(args.query)
-    with TimeWarpingDatabase.from_storage(
-        storage,
-        backend=args.backend,
-        shards=args.shards,
-        executor=args.executor,
-    ) as facade:
+    writer = _querylog_writer(args)
+    # --explain gets its own tracer when none is ambient, so the span
+    # timeline works without requiring the global --trace flag.
+    tracer = active_tracer()
+    own_tracer = args.explain and tracer is None
+    if own_tracer:
+        tracer = Tracer()
+    with ExitStack() as scopes:
+        if writer is not None:
+            scopes.enter_context(use_querylog(writer))
+        if own_tracer:
+            scopes.enter_context(use_tracer(tracer))
+        facade = scopes.enter_context(
+            TimeWarpingDatabase.from_storage(
+                storage,
+                backend=args.backend,
+                shards=args.shards,
+                executor=args.executor,
+            )
+        )
         if args.epsilon is not None:
             if args.explain:
                 result = facade.search_detailed(query, args.epsilon)
@@ -446,6 +555,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     for stage in result.stats.stages
                 ]
                 print(render_pruning_waterfall(stages, result.metrics))
+                if tracer is not None:
+                    print()
+                    print("span timeline:")
+                    print(render_span_timeline(tracer.roots))
         else:
             if args.explain:
                 raise ValidationError(
@@ -456,6 +569,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"{args.knn} nearest neighbour(s):")
             for match in neighbours:
                 print(f"  seq {match.seq_id}  D_tw={match.distance:.6g}")
+    _report_querylog(writer)
     return 0
 
 
@@ -688,6 +802,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.validate:
+        records = load_querylog(args.validate)
+        kinds: dict[str, int] = {}
+        for record in records:
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+        detail = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+        suffix = f" ({detail})" if detail else ""
+        print(f"{args.validate}: {len(records)} valid record(s){suffix}")
+        return 0
+    if args.shards < 1:
+        raise ValidationError(f"shards must be >= 1, got {args.shards}")
+    if args.db:
+        storage = SequenceDatabase.load(args.db)
+        sequences = [storage.fetch(i) for i in storage.ids()]
+    else:
+        sequences = synthetic_sp500(60, 40, seed=args.seed).sequences
+        storage = SequenceDatabase()
+        storage.insert_many(sequences)
+    queries = QueryWorkload(
+        sequences, n_queries=args.queries, seed=args.seed
+    ).queries()
+    tracer = Tracer()
+    writer = _querylog_writer(args)
+    total_matches = 0
+    with ExitStack() as scopes:
+        scopes.enter_context(use_tracer(tracer))
+        if writer is not None:
+            scopes.enter_context(use_querylog(writer))
+        facade = scopes.enter_context(
+            TimeWarpingDatabase.from_storage(
+                storage,
+                backend=args.backend,
+                shards=args.shards,
+                executor=args.executor,
+            )
+        )
+        for query in queries:
+            total_matches += len(facade.search(query, args.epsilon))
+    roots = tracer.roots
+    print(
+        f"profiled {len(queries)} query(ies) at eps={args.epsilon}: "
+        f"{total_matches} total match(es), {len(roots)} root span(s)"
+    )
+    print()
+    print("span timeline:")
+    print(render_span_timeline(roots))
+    if args.folded:
+        folded = Path(args.folded)
+        folded.parent.mkdir(parents=True, exist_ok=True)
+        folded.write_text(spans_to_folded(roots) + "\n")
+        print(f"wrote folded stacks to {args.folded}")
+    if args.svg:
+        svg = Path(args.svg)
+        svg.parent.mkdir(parents=True, exist_ok=True)
+        svg.write_text(render_flamegraph_svg(roots))
+        print(f"wrote flamegraph SVG to {args.svg}")
+    _report_querylog(writer)
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import apply_suppressions, run_lint
 
@@ -725,6 +900,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "explain": _cmd_explain,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
     "lint": _cmd_lint,
 }
 

@@ -50,7 +50,7 @@ from ..distance.dtw import (
 )
 from ..distance.lb_keogh import lb_keogh_batch, warping_envelope
 from ..exceptions import ValidationError
-from ..obs.metrics import active_registry
+from ..obs.metrics import active_registry, timed
 from ..storage.database import SequenceDatabase
 from ..types import Sequence, SequenceLike, as_array, as_sequence
 from .features import extract_feature
@@ -458,11 +458,12 @@ def verify_stage(
     """
     answers: list[int] = []
     distances: dict[int, float] = {}
-    for candidate in candidates:
-        distance = verifier(candidate)
-        if distance <= epsilon:
-            answers.append(candidate)
-            distances[candidate] = distance
+    with timed("dtw.verify.seconds"):
+        for candidate in candidates:
+            distance = verifier(candidate)
+            if distance <= epsilon:
+                answers.append(candidate)
+                distances[candidate] = distance
     registry = active_registry()
     if registry is not None:
         registry.count("dtw.verifications", len(candidates))
@@ -544,15 +545,19 @@ class FilterCascade:
         stages: list[StageStats] = []
         for tier in self._tiers:
             n_in = int(rows.size)
-            if tier in _TIER_COLUMNS:
-                cols = list(_TIER_COLUMNS[tier])
-                diffs = np.abs(
-                    self._store.features[np.ix_(rows, cols)] - query_feature[cols]
-                )
-                keep = (diffs <= cutoffs[cols]).all(axis=1)
-                rows = rows[keep]
-            elif band_radius is not None:
-                rows = self._keogh_tier(rows, query_arr, epsilon, band_radius)
+            with timed(f"cascade.{tier}.seconds"):
+                if tier in _TIER_COLUMNS:
+                    cols = list(_TIER_COLUMNS[tier])
+                    diffs = np.abs(
+                        self._store.features[np.ix_(rows, cols)]
+                        - query_feature[cols]
+                    )
+                    keep = (diffs <= cutoffs[cols]).all(axis=1)
+                    rows = rows[keep]
+                elif band_radius is not None:
+                    rows = self._keogh_tier(
+                        rows, query_arr, epsilon, band_radius
+                    )
             stages.append(charged_stage(tier, n_in, int(rows.size)))
         return rows, stages
 
@@ -733,19 +738,23 @@ class FilterCascade:
                 mask[:] = True
                 for tier in self._tiers:
                     n_in = int(mask.sum())
-                    if tier in _TIER_COLUMNS:
-                        cols = _TIER_COLUMNS[tier]
-                        mask &= admitted[i - start][:, cols].all(axis=1)
-                        n_out = int(mask.sum())
-                    elif band_radius is not None:
-                        rows = self._keogh_tier(
-                            np.flatnonzero(mask), query_arrs[i], epsilon, band_radius
-                        )
-                        mask[:] = False
-                        mask[rows] = True
-                        n_out = int(rows.size)
-                    else:
-                        n_out = n_in
+                    with timed(f"cascade.{tier}.seconds"):
+                        if tier in _TIER_COLUMNS:
+                            cols = _TIER_COLUMNS[tier]
+                            mask &= admitted[i - start][:, cols].all(axis=1)
+                            n_out = int(mask.sum())
+                        elif band_radius is not None:
+                            rows = self._keogh_tier(
+                                np.flatnonzero(mask),
+                                query_arrs[i],
+                                epsilon,
+                                band_radius,
+                            )
+                            mask[:] = False
+                            mask[rows] = True
+                            n_out = int(rows.size)
+                        else:
+                            n_out = n_in
                     stages.append(charged_stage(tier, n_in, n_out))
                 outcomes.append(
                     self._verified_outcome(

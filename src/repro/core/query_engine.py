@@ -27,8 +27,10 @@ from ..obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     active_registry,
+    timed,
     use_registry,
 )
+from ..obs.querylog import record_query
 from ..obs.tracing import maybe_span
 from ..storage.database import SequenceDatabase
 from ..types import Sequence, SequenceLike, as_sequence
@@ -366,40 +368,60 @@ class QueryEngine:
         with self._query_scope() as per_query, maybe_span(
             "engine.search", backend=self._backend.name, epsilon=epsilon
         ):
-            candidate_ids = sorted(self._backend.range_search(q.values, epsilon))
-            cascade = self._active_cascade()
-            rows = cascade.store.rows_for(candidate_ids)
-            stages = [
-                charged_stage(self._backend.name, len(self._db), int(rows.size))
-            ]
-            surviving, tier_stages = cascade.filter(
-                q.values, epsilon, rows=rows, band_radius=band_radius
-            )
-            stages.extend(tier_stages)
-            ids = cascade.store.ids
-            survivor_ids = [int(ids[row]) for row in surviving]
-            matches: list[SearchOutcome] = []
-            for row in surviving:
-                seq_id = int(ids[row])
-                stored = cascade.store.sequences[int(row)]
-                self._db.charge_fetch(seq_id)
-                distance = self._verify_distance(
-                    stored.values, q.values, epsilon, band_radius
+            with timed("engine.search.seconds"):
+                candidate_ids = sorted(
+                    self._backend.range_search(q.values, epsilon)
                 )
-                if distance <= epsilon:
-                    matches.append(SearchOutcome(seq_id, distance, stored))
-            stages.append(
-                charged_stage(STAGE_DTW, int(surviving.size), len(matches))
-            )
-            per_query.count("engine.queries")
-            per_query.count("engine.candidates", len(survivor_ids))
-            per_query.count("engine.answers", len(matches))
-            matches.sort(key=lambda m: (m.distance, m.seq_id))
+                cascade = self._active_cascade()
+                rows = cascade.store.rows_for(candidate_ids)
+                stages = [
+                    charged_stage(
+                        self._backend.name, len(self._db), int(rows.size)
+                    )
+                ]
+                surviving, tier_stages = cascade.filter(
+                    q.values, epsilon, rows=rows, band_radius=band_radius
+                )
+                stages.extend(tier_stages)
+                ids = cascade.store.ids
+                survivor_ids = [int(ids[row]) for row in surviving]
+                matches: list[SearchOutcome] = []
+                with timed("dtw.verify.seconds"):
+                    for row in surviving:
+                        seq_id = int(ids[row])
+                        stored = cascade.store.sequences[int(row)]
+                        self._db.charge_fetch(seq_id)
+                        distance = self._verify_distance(
+                            stored.values, q.values, epsilon, band_radius
+                        )
+                        if distance <= epsilon:
+                            matches.append(
+                                SearchOutcome(seq_id, distance, stored)
+                            )
+                stages.append(
+                    charged_stage(STAGE_DTW, int(surviving.size), len(matches))
+                )
+                per_query.count("engine.queries")
+                per_query.count("engine.candidates", len(survivor_ids))
+                per_query.count("engine.answers", len(matches))
+                matches.sort(key=lambda m: (m.distance, m.seq_id))
             result = QueryResult(
                 matches=matches,
                 stats=CascadeStats(stages),
                 candidate_ids=survivor_ids,
                 metrics=per_query.snapshot(),
+            )
+            record_query(
+                kind="range",
+                epsilon=epsilon,
+                backend=self._backend.name,
+                executor="inline",
+                store=self._db.store_name,
+                shards=1,
+                stages=[(s.name, s.n_in, s.n_out) for s in stages],
+                snapshot=result.metrics,
+                result_count=len(matches),
+                total_metric="engine.search.seconds",
             )
         self._last.stats = result.stats
         self._last.candidate_ids = result.candidate_ids
@@ -447,34 +469,53 @@ class QueryEngine:
             backend=self._backend.name,
             queries=len(query_seqs),
         ):
-            cascade = self._active_cascade()
-            batch = cascade.run_many(
-                [q.values for q in query_seqs], epsilon, band_radius=band_radius
-            )
-            results: list[list[SearchOutcome]] = []
-            for outcome in batch:
-                rows = cascade.store.rows_for(outcome.answer_ids)
-                matches = [
-                    SearchOutcome(
-                        seq_id,
-                        outcome.distances[seq_id],
-                        cascade.store.sequences[int(row)],
-                    )
-                    for seq_id, row in zip(outcome.answer_ids, rows)
-                ]
-                matches.sort(key=lambda m: (m.distance, m.seq_id))
-                results.append(matches)
-            stats = (
-                CascadeStats.merge(o.stats for o in batch) if batch else None
-            )
-            per_query.count("engine.queries", len(query_seqs))
-            per_query.count(
-                "engine.candidates",
-                sum(len(o.candidate_ids) for o in batch),
-            )
-            per_query.count("engine.answers", sum(len(r) for r in results))
+            with timed("engine.search_many.seconds"):
+                cascade = self._active_cascade()
+                batch = cascade.run_many(
+                    [q.values for q in query_seqs],
+                    epsilon,
+                    band_radius=band_radius,
+                )
+                results: list[list[SearchOutcome]] = []
+                for outcome in batch:
+                    rows = cascade.store.rows_for(outcome.answer_ids)
+                    matches = [
+                        SearchOutcome(
+                            seq_id,
+                            outcome.distances[seq_id],
+                            cascade.store.sequences[int(row)],
+                        )
+                        for seq_id, row in zip(outcome.answer_ids, rows)
+                    ]
+                    matches.sort(key=lambda m: (m.distance, m.seq_id))
+                    results.append(matches)
+                stats = (
+                    CascadeStats.merge(o.stats for o in batch) if batch else None
+                )
+                per_query.count("engine.queries", len(query_seqs))
+                per_query.count(
+                    "engine.candidates",
+                    sum(len(o.candidate_ids) for o in batch),
+                )
+                per_query.count("engine.answers", sum(len(r) for r in results))
             result = BatchResult(
                 results=results, stats=stats, metrics=per_query.snapshot()
+            )
+            record_query(
+                kind="range_batch",
+                epsilon=epsilon,
+                backend=self._backend.name,
+                executor="inline",
+                store=self._db.store_name,
+                shards=1,
+                n_queries=len(query_seqs),
+                stages=[
+                    (s.name, s.n_in, s.n_out)
+                    for s in (stats.stages if stats is not None else [])
+                ],
+                snapshot=result.metrics,
+                result_count=sum(len(r) for r in results),
+                total_metric="engine.search_many.seconds",
             )
         if result.stats is not None:
             self._last.stats = result.stats
@@ -502,30 +543,45 @@ class QueryEngine:
         with self._query_scope() as per_query, maybe_span(
             "engine.knn", backend=self._backend.name, k=k
         ):
-            found: list[SearchOutcome] = []
-            examined = 0
-            for lb, seq_id in self._backend.knn_iter(q.values):
-                if len(found) >= k and lb > found[k - 1].distance:
-                    break
-                threshold = (
-                    found[k - 1].distance if len(found) >= k else float("inf")
-                )
-                stored = self._db.fetch(seq_id)
-                distance = dtw_max_early_abandon(
-                    stored.values, q.values, threshold
-                )
-                examined += 1
-                if distance <= threshold:
-                    found.append(SearchOutcome(seq_id, distance, stored))
-                    found.sort(key=lambda m: (m.distance, m.seq_id))
-                    del found[k:]
-            per_query.count("engine.knn_queries")
-            per_query.count("engine.knn_examined", examined)
+            with timed("engine.knn.seconds"):
+                found: list[SearchOutcome] = []
+                examined = 0
+                for lb, seq_id in self._backend.knn_iter(q.values):
+                    if len(found) >= k and lb > found[k - 1].distance:
+                        break
+                    threshold = (
+                        found[k - 1].distance
+                        if len(found) >= k
+                        else float("inf")
+                    )
+                    stored = self._db.fetch(seq_id)
+                    distance = dtw_max_early_abandon(
+                        stored.values, q.values, threshold
+                    )
+                    examined += 1
+                    if distance <= threshold:
+                        found.append(SearchOutcome(seq_id, distance, stored))
+                        found.sort(key=lambda m: (m.distance, m.seq_id))
+                        del found[k:]
+                per_query.count("engine.knn_queries")
+                per_query.count("engine.knn_examined", examined)
             result = QueryResult(
                 matches=found,
                 stats=CascadeStats([]),
                 candidate_ids=[],
                 metrics=per_query.snapshot(),
+            )
+            record_query(
+                kind="knn",
+                k=k,
+                backend=self._backend.name,
+                executor="inline",
+                store=self._db.store_name,
+                shards=1,
+                stages=[],
+                snapshot=result.metrics,
+                result_count=len(found),
+                total_metric="engine.knn.seconds",
             )
         return result
 

@@ -44,6 +44,7 @@ from ..obs.metrics import (
     MetricsSnapshot,
     active_registry,
 )
+from ..obs.querylog import record_query
 from ..obs.tracing import maybe_span
 from ..storage.database import SequenceDatabase
 from ..storage.diskmodel import DiskModel
@@ -427,27 +428,45 @@ class ShardedDatabase:
         with self._query_scope() as per_query, maybe_span(
             "sharded.search", shards=self._n, backend=self._backend_name
         ):
-            per_query.count("sharded.queries")
-            shard_results = self._run_shards(
-                "search_detailed", (query, epsilon), {"band_radius": band_radius}
-            )
-            merged: list[SearchOutcome] = []
-            candidate_gids: list[int] = []
-            for shard, shard_result in enumerate(shard_results):
-                per_query.merge(shard_result.metrics)
-                merged.extend(
-                    self._translate(shard, match)
-                    for match in shard_result.matches
+            with per_query.timer("sharded.search.seconds"):
+                per_query.count("sharded.queries")
+                shard_results = self._run_shards(
+                    "search_detailed",
+                    (query, epsilon),
+                    {"band_radius": band_radius},
                 )
-                candidate_gids.extend(
-                    self._rev[shard][lid] for lid in shard_result.candidate_ids
-                )
-            merged.sort(key=lambda m: (m.distance, m.seq_id))
+                merged: list[SearchOutcome] = []
+                candidate_gids: list[int] = []
+                for shard, shard_result in enumerate(shard_results):
+                    per_query.merge(shard_result.metrics)
+                    merged.extend(
+                        self._translate(shard, match)
+                        for match in shard_result.matches
+                    )
+                    candidate_gids.extend(
+                        self._rev[shard][lid]
+                        for lid in shard_result.candidate_ids
+                    )
+                merged.sort(key=lambda m: (m.distance, m.seq_id))
             result = QueryResult(
                 matches=merged,
                 stats=CascadeStats.merge(r.stats for r in shard_results),
                 candidate_ids=sorted(candidate_gids),
                 metrics=per_query.snapshot(),
+            )
+            record_query(
+                kind="range",
+                epsilon=epsilon,
+                backend=self._backend_name,
+                executor=self._executor.name,
+                store=self.store_name,
+                shards=self._n,
+                stages=[
+                    (s.name, s.n_in, s.n_out) for s in result.stats.stages
+                ],
+                snapshot=result.metrics,
+                result_count=len(merged),
+                total_metric="sharded.search.seconds",
             )
         self._last.stats = result.stats
         self._last.candidate_ids = result.candidate_ids
@@ -480,31 +499,50 @@ class ShardedDatabase:
             backend=self._backend_name,
             queries=len(query_list),
         ):
-            per_query.count("sharded.queries", len(query_list))
-            shard_results = self._run_shards(
-                "search_many_detailed",
-                (query_list, epsilon),
-                {"band_radius": band_radius},
-            )
-            for shard_result in shard_results:
-                per_query.merge(shard_result.metrics)
-            merged: list[list[SearchOutcome]] = []
-            for query_index in range(len(query_list)):
-                combined: list[SearchOutcome] = []
-                for shard, shard_result in enumerate(shard_results):
-                    combined.extend(
-                        self._translate(shard, match)
-                        for match in shard_result.results[query_index]
-                    )
-                combined.sort(key=lambda m: (m.distance, m.seq_id))
-                merged.append(combined)
-            shard_stats = [
-                r.stats for r in shard_results if r.stats is not None
-            ]
+            with per_query.timer("sharded.search_many.seconds"):
+                per_query.count("sharded.queries", len(query_list))
+                shard_results = self._run_shards(
+                    "search_many_detailed",
+                    (query_list, epsilon),
+                    {"band_radius": band_radius},
+                )
+                for shard_result in shard_results:
+                    per_query.merge(shard_result.metrics)
+                merged: list[list[SearchOutcome]] = []
+                for query_index in range(len(query_list)):
+                    combined: list[SearchOutcome] = []
+                    for shard, shard_result in enumerate(shard_results):
+                        combined.extend(
+                            self._translate(shard, match)
+                            for match in shard_result.results[query_index]
+                        )
+                    combined.sort(key=lambda m: (m.distance, m.seq_id))
+                    merged.append(combined)
+                shard_stats = [
+                    r.stats for r in shard_results if r.stats is not None
+                ]
             result = BatchResult(
                 results=merged,
                 stats=CascadeStats.merge(shard_stats) if shard_stats else None,
                 metrics=per_query.snapshot(),
+            )
+            record_query(
+                kind="range_batch",
+                epsilon=epsilon,
+                backend=self._backend_name,
+                executor=self._executor.name,
+                store=self.store_name,
+                shards=self._n,
+                n_queries=len(query_list),
+                stages=[
+                    (s.name, s.n_in, s.n_out)
+                    for s in (
+                        result.stats.stages if result.stats is not None else []
+                    )
+                ],
+                snapshot=result.metrics,
+                result_count=sum(len(r) for r in merged),
+                total_metric="sharded.search_many.seconds",
             )
         if result.stats is not None:
             self._last.stats = result.stats
@@ -526,21 +564,34 @@ class ShardedDatabase:
         with self._query_scope() as per_query, maybe_span(
             "sharded.knn", shards=self._n, backend=self._backend_name, k=k
         ):
-            per_query.count("sharded.knn_queries")
-            shard_results = self._run_shards("knn_detailed", (query, k))
-            merged: list[SearchOutcome] = []
-            for shard, shard_result in enumerate(shard_results):
-                per_query.merge(shard_result.metrics)
-                merged.extend(
-                    self._translate(shard, match)
-                    for match in shard_result.matches
-                )
-            merged.sort(key=lambda m: (m.distance, m.seq_id))
+            with per_query.timer("sharded.knn.seconds"):
+                per_query.count("sharded.knn_queries")
+                shard_results = self._run_shards("knn_detailed", (query, k))
+                merged: list[SearchOutcome] = []
+                for shard, shard_result in enumerate(shard_results):
+                    per_query.merge(shard_result.metrics)
+                    merged.extend(
+                        self._translate(shard, match)
+                        for match in shard_result.matches
+                    )
+                merged.sort(key=lambda m: (m.distance, m.seq_id))
             result = QueryResult(
                 matches=merged[:k],
                 stats=CascadeStats([]),
                 candidate_ids=[],
                 metrics=per_query.snapshot(),
+            )
+            record_query(
+                kind="knn",
+                k=k,
+                backend=self._backend_name,
+                executor=self._executor.name,
+                store=self.store_name,
+                shards=self._n,
+                stages=[],
+                snapshot=result.metrics,
+                result_count=len(result.matches),
+                total_metric="sharded.knn.seconds",
             )
         return result
 

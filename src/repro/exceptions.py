@@ -23,6 +23,7 @@ __all__ = [
     "CategorizationError",
     "ExperimentError",
     "BenchSchemaError",
+    "QueryLogSchemaError",
     "NotBuiltError",
     "ExecutorError",
 ]
@@ -95,6 +96,15 @@ class BenchSchemaError(ReproError):
 
     Raised when a benchmark result file is missing required keys or was
     written under an unsupported ``schema_version``.
+    """
+
+
+class QueryLogSchemaError(ReproError):
+    """A query-log JSONL record failed schema validation.
+
+    Raised when a loaded record is missing required fields, carries an
+    unsupported ``schema_version``, or is not valid JSON at all (unless
+    the loader was asked to skip corrupt lines).
     """
 
 

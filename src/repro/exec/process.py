@@ -47,7 +47,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from ..exceptions import ExecutorError
 from ..obs.metrics import use_registry
-from ..obs.tracing import Span, Tracer, active_tracer, current_span, use_tracer
+from ..obs.tracing import Span, SpanGrafter, Tracer, active_tracer, use_tracer
 from .base import ShardExecutor, register_executor
 from .shm import (
     MmapStoreHandle,
@@ -303,14 +303,16 @@ class ProcessExecutor(ShardExecutor):
         for status, payload, _ in replies:
             if status == "err":
                 raise payload
-        parent = current_span()
+        # Graft the workers' span trees under the fan-out span in shard
+        # order with shard tags — the same deterministic shape the
+        # serial and thread executors produce.
+        grafter = SpanGrafter(len(conns))
         results: list[Any] = []
-        for status, payload, spans in replies:
-            if parent is not None and spans:
-                # Graft the worker's span trees under the fan-out span,
-                # preserving the shape the thread executor produces.
-                parent.children.extend(spans)
+        for shard, (status, payload, spans) in enumerate(replies):
+            if spans:
+                grafter.add(shard, spans)
             results.append(payload)
+        grafter.graft()
         return results
 
     def mirror(

@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Any
 
 from ..obs.metrics import use_registry
+from ..obs.querylog import use_querylog
+from ..obs.tracing import SpanGrafter, attach_to
 from .base import ShardExecutor, register_executor
 
 __all__ = ["SerialExecutor"]
@@ -32,9 +34,15 @@ class SerialExecutor(ShardExecutor):
     ) -> list[Any]:
         self._require_open()
         kwargs = kwargs or {}
+        grafter = SpanGrafter(len(self._engines))
         results: list[Any] = []
-        for engine in self._engines:
-            # Charges travel on the return path only, like every executor.
-            with use_registry(None):
+        for shard, engine in enumerate(self._engines):
+            # Charges travel on the return path only, like every executor;
+            # the query record is emitted once at the router, and spans
+            # collect under a detached holder to graft in shard order.
+            with use_registry(None), use_querylog(None), attach_to(
+                grafter.holder(shard)
+            ):
                 results.append(getattr(engine, method)(*args, **kwargs))
+        grafter.graft()
         return results

@@ -21,6 +21,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
 
 from ..obs.metrics import use_registry
+from ..obs.querylog import use_querylog
+from ..obs.tracing import Span, SpanGrafter, attach_to
 from .base import ShardExecutor, register_executor
 
 if TYPE_CHECKING:
@@ -71,20 +73,29 @@ class ThreadExecutor(ShardExecutor):
     ) -> list[Any]:
         self._require_open()
         kwargs = kwargs or {}
+        grafter = SpanGrafter(len(self._engines))
 
-        def isolated(engine: "QueryEngine") -> Any:
-            with use_registry(None):
+        def isolated(engine: "QueryEngine", holder: Span | None) -> Any:
+            # Spans park under a detached per-shard holder; the grafter
+            # re-attaches them in shard order after every future resolves,
+            # so completion-order scheduling never leaks into the trace.
+            with use_registry(None), use_querylog(None), attach_to(holder):
                 return getattr(engine, method)(*args, **kwargs)
 
         if len(self._engines) == 1:
-            return [isolated(self._engines[0])]
-        pool = self._ensure_pool()
-        contexts = [contextvars.copy_context() for _ in self._engines]
-        futures = [
-            pool.submit(context.run, isolated, engine)
-            for context, engine in zip(contexts, self._engines)
-        ]
-        return [future.result() for future in futures]
+            results = [isolated(self._engines[0], grafter.holder(0))]
+        else:
+            pool = self._ensure_pool()
+            contexts = [contextvars.copy_context() for _ in self._engines]
+            futures = [
+                pool.submit(context.run, isolated, engine, grafter.holder(shard))
+                for shard, (context, engine) in enumerate(
+                    zip(contexts, self._engines)
+                )
+            ]
+            results = [future.result() for future in futures]
+        grafter.graft()
+        return results
 
     def close(self) -> None:
         """Shut the pool down (idempotent; in-flight tasks finish)."""

@@ -12,6 +12,7 @@ RL008     benchmark workload specs are explicitly seeded
 RL009     every DTW kernel is in the kernel-parity test registry
 RL010     process-worker functions avoid module-level mutable state
 RL011     every sequence store is in the store-parity test registry
+RL012     every QueryRecord field is in the query-log schema manifest
 ========  ==============================================================
 """
 
@@ -32,6 +33,7 @@ from .rl008_bench_seeds import BenchSeedRule
 from .rl009_kernel_manifest import KernelManifestRule
 from .rl010_spawn_safety import SpawnSafetyRule
 from .rl011_store_manifest import StoreManifestRule
+from .rl012_querylog_schema import QuerylogSchemaRule
 
 __all__ = [
     "ALL_RULES",
@@ -48,6 +50,7 @@ __all__ = [
     "KernelManifestRule",
     "SpawnSafetyRule",
     "StoreManifestRule",
+    "QuerylogSchemaRule",
 ]
 
 #: Every rule class, in code order.
@@ -63,6 +66,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     KernelManifestRule,
     SpawnSafetyRule,
     StoreManifestRule,
+    QuerylogSchemaRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

@@ -197,6 +197,7 @@ class DeterminismRule(Rule):
     exempt_suffixes = (
         "obs/metrics.py",
         "obs/tracing.py",
+        "obs/querylog.py",
         "methods/base.py",
         "methods/cascade_scan.py",
         "eval/experiments.py",

@@ -1,0 +1,95 @@
+"""RL012 — every QueryRecord field is in the query-log schema manifest.
+
+The structured query log (:mod:`repro.obs.querylog`) is a persistence
+format: records written today must load under tomorrow's
+``SCHEMA_VERSION`` checks, so every field of :class:`QueryRecord` is a
+schema commitment.  Mirroring RL009/RL011, a declared manifest
+(``tests/obs/querylog_manifest.py``) maps each field name to the test
+file exercising its round-trip, and this rule verifies the mapping is
+complete, the files exist, and each one actually references the field
+it vouches for.  Adding a field without a manifest entry — i.e.
+without a test pinning its serialization — is a violation at the
+field's definition site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import (
+    FileContext,
+    Project,
+    Rule,
+    Violation,
+    load_literal_dict_manifest,
+    manifest_entry_problem,
+)
+
+__all__ = ["QuerylogSchemaRule"]
+
+
+class QuerylogSchemaRule(Rule):
+    code = "RL012"
+    title = "QueryRecord fields must be in the query-log schema manifest"
+    rationale = (
+        "query-log records are a persisted, schema-versioned format; a "
+        "field without a manifest-registered round-trip test can change "
+        "shape silently and break every stored log on load"
+    )
+
+    #: Repo-relative path of the declared manifest.
+    manifest_rel = "tests/obs/querylog_manifest.py"
+    manifest_var = "QUERYRECORD_FIELDS"
+
+    #: Module (suffix) and class whose fields form the schema.
+    schema_module = "obs/querylog.py"
+    schema_class = "QueryRecord"
+
+    def _record_fields(
+        self, project: Project
+    ) -> list[tuple[str, FileContext, ast.AST]]:
+        """Every annotated field of the schema dataclass, in order."""
+        fields: list[tuple[str, FileContext, ast.AST]] = []
+        for ctx in project.files:
+            rel = ctx.rel.replace("\\", "/")
+            if rel.startswith("tests/") or not rel.endswith(self.schema_module):
+                continue
+            for node in ast.walk(ctx.tree):
+                if (
+                    not isinstance(node, ast.ClassDef)
+                    or node.name != self.schema_class
+                ):
+                    continue
+                for stmt in node.body:
+                    if not isinstance(stmt, ast.AnnAssign):
+                        continue
+                    target = stmt.target
+                    if isinstance(target, ast.Name):
+                        fields.append((target.id, ctx, stmt))
+        return fields
+
+    def finalize(self, project: Project) -> Iterator[Violation]:
+        fields = self._record_fields(project)
+        if not fields:
+            return
+        registry, error = load_literal_dict_manifest(
+            project.root, self.manifest_rel, self.manifest_var
+        )
+        if registry is None:
+            for name, ctx, node in fields:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"QueryRecord field {name!r} cannot be verified: {error}",
+                )
+            return
+        for name, ctx, node in fields:
+            problem = manifest_entry_problem(
+                project.root, registry, name, self.manifest_rel
+            )
+            if problem is not None:
+                yield self.violation(
+                    ctx, node, f"QueryRecord field {name!r}: {problem}"
+                )
+        # Stale manifest keys are the runtime suite's job, as in RL011.

@@ -28,6 +28,7 @@ here first.
 
 from __future__ import annotations
 
+import math
 import re
 import threading
 import time
@@ -54,7 +55,12 @@ __all__ = [
     "count",
     "observe",
     "set_gauge",
+    "timed",
     "merge_snapshots",
+    "bucket_index",
+    "bucket_upper_bound",
+    "NONPOSITIVE_BUCKET",
+    "BUCKETS_PER_OCTAVE",
 ]
 
 #: Legal instrument names: dotted lowercase segments, digits, ``_``,
@@ -116,38 +122,138 @@ class Gauge:
         return self._value
 
 
+#: Log-bucket resolution: each power-of-two octave is split into this
+#: many sub-buckets, giving boundaries at ``2 ** (i / 4)`` — a ~19%
+#: relative width, tight enough for latency/work quantiles while the
+#: integer bucket counts stay bit-exact under N-shard merging.
+BUCKETS_PER_OCTAVE = 4
+
+#: Bucket index collecting every non-positive observation.  Real
+#: ``frexp`` exponents are bounded by the float range (|index| < 5000),
+#: so this sentinel can never collide with a value-derived index.
+NONPOSITIVE_BUCKET = -(1 << 20)
+
+#: Mantissa-doubling thresholds ``2 ** (i / 4)`` for i in 1..3; a
+#: normalised mantissa in ``[1, 2)`` is compared against these to pick
+#: the sub-bucket within its octave.
+_SUB_BOUNDS = tuple(2.0 ** (i / BUCKETS_PER_OCTAVE) for i in range(1, BUCKETS_PER_OCTAVE))
+
+
+def bucket_index(value: float) -> int:
+    """The fixed log-bucket index covering *value*.
+
+    Bucket ``i`` covers ``[2**(i/4), 2**((i+1)/4))``; non-positive
+    values (and NaN) fall into :data:`NONPOSITIVE_BUCKET`.  The mapping
+    uses only ``frexp`` and exact boundary comparisons, so it is
+    bit-stable across platforms and partitionings.
+    """
+    if not value > 0.0:  # catches 0, negatives and NaN
+        return NONPOSITIVE_BUCKET
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    doubled = mantissa * 2.0  # in [1, 2)
+    sub = 0
+    for bound in _SUB_BOUNDS:
+        if doubled >= bound:
+            sub += 1
+    return (exponent - 1) * BUCKETS_PER_OCTAVE + sub
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Exclusive upper boundary of bucket *index* (0.0 for the sentinel)."""
+    if index == NONPOSITIVE_BUCKET:
+        return 0.0
+    return 2.0 ** ((index + 1) / BUCKETS_PER_OCTAVE)
+
+
 @dataclass(frozen=True)
 class HistogramSummary:
-    """Immutable summary of one histogram's observations."""
+    """Immutable summary of one histogram's observations.
+
+    ``buckets`` is a sorted tuple of ``(bucket_index, count)`` pairs
+    over the fixed log-bucket grid (see :func:`bucket_index`).  Because
+    the per-bucket counts are integers, merging N per-shard summaries
+    sums them exactly — the merged bucket vector, and therefore every
+    quantile read from it, is identical however the work was
+    partitioned.
+    """
 
     count: int
     total: float
     minimum: float
     maximum: float
+    buckets: tuple[tuple[int, int], ...] = ()
 
     @property
     def mean(self) -> float:
         """Average observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile estimated from the bucket vector.
+
+        Walks the cumulative bucket counts to the bucket holding the
+        ceil(q * count)-th observation and reports that bucket's upper
+        boundary clamped into ``[minimum, maximum]`` — a deterministic
+        function of (buckets, minimum, maximum), hence partition
+        invariant.  Falls back to the exact extrema when the summary
+        predates bucket tracking (empty ``buckets``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile fraction must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if not self.buckets:
+            return self.maximum if q >= 0.5 else self.minimum
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket_count in self.buckets:
+            cumulative += bucket_count
+            if cumulative >= target:
+                estimate = bucket_upper_bound(index)
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum
+
+    @property
+    def p50(self) -> float:
+        """Median estimate (see :meth:`quantile`)."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile estimate (see :meth:`quantile`)."""
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile estimate (see :meth:`quantile`)."""
+        return self.quantile(0.99)
+
     def merged(self, other: "HistogramSummary") -> "HistogramSummary":
-        """Combine two summaries (counts/totals sum, extrema widen)."""
+        """Combine two summaries (counts/totals/buckets sum, extrema widen).
+
+        Merging an empty summary (count 0) is an identity in either
+        order — its 0.0 min/max sentinels never reach the result.
+        """
         if self.count == 0:
             return other
         if other.count == 0:
             return self
+        merged_buckets: dict[int, int] = dict(self.buckets)
+        for index, bucket_count in other.buckets:
+            merged_buckets[index] = merged_buckets.get(index, 0) + bucket_count
         return HistogramSummary(
             count=self.count + other.count,
             total=self.total + other.total,
             minimum=min(self.minimum, other.minimum),
             maximum=max(self.maximum, other.maximum),
+            buckets=tuple(sorted(merged_buckets.items())),
         )
 
 
 class Histogram:
-    """Streaming count/total/min/max over observed values."""
+    """Streaming count/total/min/max plus fixed log-bucket counts."""
 
-    __slots__ = ("name", "_count", "_total", "_min", "_max", "_lock")
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_buckets", "_lock")
 
     def __init__(self, name: str, lock: threading.RLock) -> None:
         self.name = name
@@ -155,10 +261,12 @@ class Histogram:
         self._total = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._buckets: dict[int, int] = {}
         self._lock = lock
 
     def observe(self, value: float) -> None:
         """Record one observation."""
+        index = bucket_index(value)
         with self._lock:
             self._count += 1
             self._total += value
@@ -166,17 +274,27 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            self._buckets[index] = self._buckets.get(index, 0) + 1
 
     def summary(self) -> HistogramSummary:
         """The current :class:`HistogramSummary`."""
         with self._lock:
             if self._count == 0:
                 return HistogramSummary(0, 0.0, 0.0, 0.0)
-            return HistogramSummary(self._count, self._total, self._min, self._max)
+            return HistogramSummary(
+                self._count,
+                self._total,
+                self._min,
+                self._max,
+                tuple(sorted(self._buckets.items())),
+            )
 
 
 class Timer:
     """Context manager observing elapsed wall seconds into a histogram.
+
+    With no histogram attached (the null-sink path) the clock is never
+    read, keeping disabled-observability overhead at a branch.
 
     >>> registry = MetricsRegistry()
     >>> with registry.timer("engine.search.seconds"):
@@ -190,7 +308,8 @@ class Timer:
         self._start = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._histogram is not None:
+            self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -381,6 +500,9 @@ class MetricsRegistry:
                         histogram._min = summary.minimum
                     if summary.maximum > histogram._max:
                         histogram._max = summary.maximum
+                    buckets = histogram._buckets
+                    for index, bucket_count in summary.buckets:
+                        buckets[index] = buckets.get(index, 0) + bucket_count
 
     def reset(self) -> None:
         """Drop every instrument (names are forgotten, not zeroed)."""
@@ -480,3 +602,19 @@ def set_gauge(name: str, value: float) -> None:
     registry = _ACTIVE.get()
     if registry is not None:
         registry.set_gauge(name, value)
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Time the with-block into histogram *name* on the ambient registry.
+
+    The wall-clock entry point instrumented code uses: when no registry
+    is active (or the null sink is) the clock is never read, so the
+    disabled path stays a context-variable read and a ``None`` check.
+    """
+    registry = _ACTIVE.get()
+    if registry is None:
+        yield
+        return
+    with registry.timer(name):
+        yield

@@ -27,14 +27,28 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 
 __all__ = [
+    "AttrValue",
     "Span",
+    "SpanGrafter",
     "Tracer",
     "SpanHook",
     "active_tracer",
     "use_tracer",
     "current_span",
+    "attach_to",
     "maybe_span",
 ]
+
+#: Attribute values a span may carry — the JSON-safe scalar types, so
+#: exported traces (flamegraphs, query logs) serialize without surprises.
+AttrValue = str | int | float | bool | None
+
+
+def _coerce_attr(value: object) -> AttrValue:
+    """Clamp *value* to :data:`AttrValue` (repr anything exotic)."""
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    return repr(value)
 
 
 @dataclass
@@ -46,18 +60,25 @@ class Span:
     name:
         Dotted region name (``sharded.search``, ``engine.search``).
     attributes:
-        Small key/value payload (backend name, shard index, epsilon).
+        Small typed key/value payload (backend name, shard index,
+        epsilon) — values are clamped to JSON-safe scalars.
     start / end:
         ``time.perf_counter`` stamps; *end* is ``None`` while open.
+        Only meaningful relative to each other within one process.
+    wall_start:
+        ``time.time`` stamp taken when the span opened — comparable
+        across processes, which is what lets worker span trees line up
+        on one timeline after the process executor grafts them back.
     children:
         Spans opened (possibly on other threads) while this one was
         the context's current span.
     """
 
     name: str
-    attributes: dict[str, object] = field(default_factory=dict)
+    attributes: dict[str, AttrValue] = field(default_factory=dict)
     start: float = 0.0
     end: float | None = None
+    wall_start: float = 0.0
     children: list["Span"] = field(default_factory=list)
 
     @property
@@ -66,6 +87,10 @@ class Span:
         if self.end is None:
             return 0.0
         return self.end - self.start
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach *key* = *value* (clamped to a JSON-safe scalar)."""
+        self.attributes[key] = _coerce_attr(value)
 
     def walk(self) -> Iterator["Span"]:
         """This span and every descendant, depth-first."""
@@ -115,11 +140,15 @@ class Tracer:
     def span(self, name: str, **attributes: object) -> Iterator[Span]:
         """Open a span under the context's current span."""
         parent = _CURRENT_SPAN.get()
-        span = Span(name=name, attributes=dict(attributes))
+        span = Span(
+            name=name,
+            attributes={key: _coerce_attr(value) for key, value in attributes.items()},
+        )
         if parent is not None:
             with self._lock:
                 parent.children.append(span)
         token = _CURRENT_SPAN.set(span)
+        span.wall_start = time.time()
         span.start = time.perf_counter()
         try:
             yield span
@@ -174,3 +203,63 @@ def maybe_span(name: str, **attributes: object) -> Iterator[Span | None]:
         return
     with tracer.span(name, **attributes) as span:
         yield span
+
+
+@contextmanager
+def attach_to(span: Span | None) -> Iterator[None]:
+    """Make *span* the context's current span for the with-block.
+
+    The span is not timed or re-parented — this only redirects where
+    child spans opened inside the block attach.  Passing ``None``
+    detaches the block from any enclosing span.
+    """
+    token = _CURRENT_SPAN.set(span)
+    try:
+        yield
+    finally:
+        _CURRENT_SPAN.reset(token)
+
+
+class SpanGrafter:
+    """Deterministic shard-order grafting of fan-out span subtrees.
+
+    Shard executors complete work in whatever order the pool schedules
+    it; appending child spans at *open* time therefore interleaves
+    nondeterministically.  A grafter instead hands each shard a
+    detached holder span to parent under (via :func:`attach_to`), then
+    :meth:`graft` re-attaches every collected subtree under the
+    submitting context's current span strictly in shard order, tagging
+    each subtree root with its ``shard`` index.
+    """
+
+    __slots__ = ("_parent", "_holders")
+
+    def __init__(self, n_shards: int) -> None:
+        self._parent = _CURRENT_SPAN.get()
+        self._holders: list[Span] = [Span(name="detached") for _ in range(n_shards)]
+
+    @property
+    def enabled(self) -> bool:
+        """Whether there is a fan-out span to graft under."""
+        return self._parent is not None
+
+    def holder(self, shard: int) -> Span | None:
+        """The detached holder for *shard* (None when tracing is off)."""
+        if self._parent is None:
+            return None
+        return self._holders[shard]
+
+    def add(self, shard: int, spans: Iterator[Span] | list[Span]) -> None:
+        """Record already-detached *spans* (e.g. worker replies) for *shard*."""
+        if self._parent is not None:
+            self._holders[shard].children.extend(spans)
+
+    def graft(self) -> None:
+        """Attach every collected subtree under the parent, shard order."""
+        parent = self._parent
+        if parent is None:
+            return
+        for shard, holder in enumerate(self._holders):
+            for root in holder.children:
+                root.attributes.setdefault("shard", shard)
+                parent.children.append(root)

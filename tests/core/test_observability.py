@@ -24,6 +24,7 @@ from repro.core.engine import TimeWarpingDatabase
 from repro.core.streaming import StreamMonitor
 from repro.core.subsequence import SubsequenceIndex
 from repro.exceptions import ValidationError
+from repro.exec import available_executors
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot, use_registry
 from repro.obs.tracing import Tracer, use_tracer
 
@@ -47,6 +48,31 @@ def _invariant(snapshot: MetricsSnapshot) -> dict[str, float]:
         name: value
         for name, value in snapshot.counters.items()
         if name.startswith(INVARIANT_PREFIXES) or name in INVARIANT_NAMES
+    }
+
+
+def _work_histograms(snapshot: MetricsSnapshot) -> dict[str, tuple]:
+    """The partition-invariant face of every work-derived histogram.
+
+    Timing histograms (a ``seconds`` name segment) measure wall clock
+    and are excluded; for the rest the integer bucket vector, exact
+    extrema, count, and the quantiles derived from them must be
+    bit-identical however the database is sharded.  (``total`` is a
+    float sum whose addition order is partition-dependent, so it is
+    deliberately not compared.)
+    """
+    return {
+        name: (
+            summary.buckets,
+            summary.count,
+            summary.minimum,
+            summary.maximum,
+            summary.p50,
+            summary.p95,
+            summary.p99,
+        )
+        for name, summary in snapshot.histograms.items()
+        if "seconds" not in name.split(".")
     }
 
 
@@ -157,6 +183,86 @@ class TestCumulativeRegistry:
         (root,) = tracer.roots
         assert root.name == "sharded.search"
         assert len(root.find("engine.search")) == 3
+
+
+class TestHistogramShardParity:
+    """Acceptance: 1-shard and N-shard runs produce identical bucket
+    vectors and p50/p95/p99 for every work-derived histogram, on every
+    executor plane."""
+
+    @pytest.mark.parametrize(
+        "executor", sorted(available_executors())
+    )
+    def test_per_query_histograms_match(self, arrays, executor) -> None:
+        epsilon = 2.0
+        with TimeWarpingDatabase(backend="rtree", shards=1) as single, (
+            TimeWarpingDatabase(backend="rtree", shards=3, executor=executor)
+        ) as sharded:
+            for values in arrays:
+                single.insert(values)
+                sharded.insert(values)
+            for query in arrays[:4]:
+                left = single.search_detailed(query, epsilon).metrics
+                right = sharded.search_detailed(query, epsilon).metrics
+                histograms = _work_histograms(left)
+                assert histograms == _work_histograms(right)
+                assert histograms, "no work-derived histograms recorded"
+
+    def test_cumulative_histograms_match(self, arrays) -> None:
+        with TimeWarpingDatabase(backend="rtree", shards=1) as single, (
+            TimeWarpingDatabase(backend="rtree", shards=3)
+        ) as sharded:
+            for values in arrays:
+                single.insert(values)
+                sharded.insert(values)
+            for query in arrays[:5]:
+                single.search(query, 1.5)
+                sharded.search(query, 1.5)
+            left = _work_histograms(single.metrics_snapshot())
+            right = _work_histograms(sharded.metrics_snapshot())
+        assert left == right
+        assert "dtw.abandon_depth" in left
+
+    def test_timing_histograms_recorded_per_tier(self, arrays) -> None:
+        """Each cascade tier, the verify stage, and the end-to-end
+        search charge a timing histogram on the per-query snapshot."""
+        with TimeWarpingDatabase(backend="rtree", shards=2) as db:
+            for values in arrays:
+                db.insert(values)
+            metrics = db.search_detailed(arrays[0], 2.0).metrics
+        names = set(metrics.histograms)
+        assert "sharded.search.seconds" in names
+        assert "engine.search.seconds" in names
+        assert any(name.startswith("cascade.") and name.endswith(".seconds")
+                   for name in names)
+
+
+class TestSpanGraftOrder:
+    """Satellite: fan-out span children attach in shard order on every
+    executor, however the pool schedules completions."""
+
+    @pytest.mark.parametrize(
+        "executor", sorted(available_executors())
+    )
+    def test_children_in_shard_order(self, arrays, executor) -> None:
+        with TimeWarpingDatabase(
+            backend="rtree", shards=3, executor=executor
+        ) as db:
+            for values in arrays:
+                db.insert(values)
+            tracer = Tracer()
+            with use_tracer(tracer):
+                for _ in range(3):
+                    db.search(arrays[0], 1.5)
+            for root in tracer.roots:
+                assert root.name == "sharded.search"
+                children = [
+                    span for span in root.children
+                    if span.name == "engine.search"
+                ]
+                assert [
+                    span.attributes.get("shard") for span in children
+                ] == [0, 1, 2]
 
 
 class TestConcurrentQueries:

@@ -241,5 +241,5 @@ class TestShippedTree:
         doc = json.loads(capsys.readouterr().out)
         assert code == 0, doc["violations"]
         assert doc["summary"]["violations"] == 0
-        assert doc["rules"] == [f"RL{n:03d}" for n in range(1, 12)]
+        assert doc["rules"] == [f"RL{n:03d}" for n in range(1, 13)]
         assert doc["files_checked"] > 50

@@ -18,6 +18,7 @@ from repro.lint.rules import (
     MetricNameRule,
     NfdRegistryRule,
     SharedStateRule,
+    QuerylogSchemaRule,
     SpawnSafetyRule,
     StoreManifestRule,
 )
@@ -28,7 +29,7 @@ from .conftest import by_rule, codes
 class TestRulePack:
     def test_all_rules_are_registered_by_code(self) -> None:
         assert [rule.code for rule in ALL_RULES] == [
-            f"RL{n:03d}" for n in range(1, 12)
+            f"RL{n:03d}" for n in range(1, 13)
         ]
         assert RULES_BY_CODE["RL001"] is NfdRegistryRule
         assert RULES_BY_CODE["RL002"] is SharedStateRule
@@ -41,6 +42,7 @@ class TestRulePack:
         assert RULES_BY_CODE["RL009"] is KernelManifestRule
         assert RULES_BY_CODE["RL010"] is SpawnSafetyRule
         assert RULES_BY_CODE["RL011"] is StoreManifestRule
+        assert RULES_BY_CODE["RL012"] is QuerylogSchemaRule
 
     def test_every_rule_declares_title_and_rationale(self) -> None:
         for rule in ALL_RULES:
@@ -840,5 +842,103 @@ class TestRL010SpawnSafety:
                 """
             },
             rules=["RL010"],
+        )
+        assert codes(report) == []
+
+
+class TestRL012QuerylogSchema:
+    RECORD_SRC = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class QueryRecord:\n"
+        "    schema_version: int\n"
+        "    result_count: int\n"
+    )
+    MANIFEST = (
+        "QUERYRECORD_FIELDS = {\n"
+        '    "schema_version": "tests/test_q.py",\n'
+        '    "result_count": "tests/test_q.py",\n'
+        "}\n"
+    )
+
+    def test_missing_manifest_flags_every_field(self, lint_project) -> None:
+        report = lint_project(
+            {"src/pkg/obs/querylog.py": self.RECORD_SRC},
+            rules=["RL012"],
+        )
+        assert codes(report) == ["RL012", "RL012"]
+        assert "not found" in report.violations[0].message
+
+    def test_registered_and_referenced_fields_pass(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/obs/querylog.py": self.RECORD_SRC,
+                "tests/obs/querylog_manifest.py": self.MANIFEST,
+                "tests/test_q.py": (
+                    "def test_round_trip():\n"
+                    '    assert "schema_version" and "result_count"\n'
+                ),
+            },
+            rules=["RL012"],
+        )
+        assert codes(report) == []
+
+    def test_unregistered_field_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/obs/querylog.py": (
+                    self.RECORD_SRC + "    surprise_field: str\n"
+                ),
+                "tests/obs/querylog_manifest.py": self.MANIFEST,
+                "tests/test_q.py": (
+                    "def test_round_trip():\n"
+                    '    assert "schema_version" and "result_count"\n'
+                ),
+            },
+            rules=["RL012"],
+        )
+        messages = by_rule(report, "RL012")
+        assert len(messages) == 1
+        assert "surprise_field" in messages[0]
+        assert "not registered" in messages[0]
+
+    def test_mapped_test_must_reference_the_field(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/obs/querylog.py": self.RECORD_SRC,
+                "tests/obs/querylog_manifest.py": self.MANIFEST,
+                "tests/test_q.py": (
+                    "def test_partial():\n"
+                    '    assert "schema_version"\n'
+                ),
+            },
+            rules=["RL012"],
+        )
+        messages = by_rule(report, "RL012")
+        assert len(messages) == 1
+        assert "result_count" in messages[0]
+        assert "never references" in messages[0]
+
+    def test_missing_mapped_file_is_flagged(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/obs/querylog.py": self.RECORD_SRC,
+                "tests/obs/querylog_manifest.py": self.MANIFEST,
+            },
+            rules=["RL012"],
+        )
+        messages = by_rule(report, "RL012")
+        assert len(messages) == 2
+        assert all("missing test file" in message for message in messages)
+
+    def test_other_classes_in_module_ignored(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/obs/querylog.py": (
+                    "class QueryLogWriter:\n"
+                    "    path: str\n"
+                ),
+            },
+            rules=["RL012"],
         )
         assert codes(report) == []

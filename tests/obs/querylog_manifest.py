@@ -1,0 +1,25 @@
+"""The query-log schema manifest RL012 checks against.
+
+Every field of :class:`repro.obs.querylog.QueryRecord` must map to the
+test file pinning its serialization round-trip.  Adding a field to the
+dataclass without extending this manifest (and the referenced test) is
+a lint violation — the record is a persisted, schema-versioned format.
+"""
+
+QUERYRECORD_FIELDS = {
+    "schema_version": "tests/obs/test_querylog.py",
+    "query_id": "tests/obs/test_querylog.py",
+    "timestamp": "tests/obs/test_querylog.py",
+    "kind": "tests/obs/test_querylog.py",
+    "epsilon": "tests/obs/test_querylog.py",
+    "k": "tests/obs/test_querylog.py",
+    "backend": "tests/obs/test_querylog.py",
+    "executor": "tests/obs/test_querylog.py",
+    "store": "tests/obs/test_querylog.py",
+    "shards": "tests/obs/test_querylog.py",
+    "n_queries": "tests/obs/test_querylog.py",
+    "stages": "tests/obs/test_querylog.py",
+    "charges": "tests/obs/test_querylog.py",
+    "latency": "tests/obs/test_querylog.py",
+    "result_count": "tests/obs/test_querylog.py",
+}

@@ -8,18 +8,21 @@ import json
 
 from repro.obs.export import (
     json_file_hook,
+    render_flamegraph_svg,
     render_metrics_table,
     render_pruning_waterfall,
+    render_span_timeline,
     render_span_tree,
     snapshot_to_csv,
     snapshot_to_dict,
     snapshot_to_json,
     span_json_file_hook,
     span_to_dict,
+    spans_to_folded,
     spans_to_json,
 )
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import Span, Tracer
 
 
 def _sample_snapshot() -> MetricsSnapshot:
@@ -42,6 +45,9 @@ class TestMetricsExport:
         assert payload["gauges"] == {"index.rtree.height": 3}
         histogram = payload["histograms"]["dtw.abandon_depth"]
         assert histogram["count"] == 2 and histogram["mean"] == 1.0
+        # Quantile plane: percentiles plus the raw bucket vector.
+        assert {"p50", "p95", "p99", "buckets"} <= set(histogram)
+        assert sum(count for _, count in histogram["buckets"]) == 2
 
     def test_json_roundtrips(self) -> None:
         document = snapshot_to_json(_sample_snapshot())
@@ -123,6 +129,11 @@ class TestSpanExport:
     def test_render_empty(self) -> None:
         assert render_span_tree([]) == "(no spans recorded)"
 
+    def test_span_to_dict_carries_wall_start(self) -> None:
+        (root,) = self._trace().roots
+        payload = span_to_dict(root)
+        assert payload["wall_start"] > 0.0
+
     def test_span_json_file_hook_appends(self, tmp_path) -> None:
         target = tmp_path / "spans.jsonl"
         tracer = Tracer()
@@ -133,3 +144,109 @@ class TestSpanExport:
             pass
         lines = target.read_text().splitlines()
         assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+
+class TestPruningWaterfallEdgeCases:
+    """Satellite: the waterfall must render degenerate queries cleanly."""
+
+    def _engine_stages(self, n_sequences: int, epsilon: float):
+        import numpy as np
+
+        from repro.core.query_engine import QueryEngine
+        from repro.storage.database import SequenceDatabase
+
+        rng = np.random.default_rng(3)
+        engine = QueryEngine(SequenceDatabase(), backend="rtree")
+        engine.bulk_insert(
+            [rng.normal(size=10).cumsum() for _ in range(n_sequences)]
+        )
+        result = engine.search_detailed(rng.normal(size=8).cumsum(), epsilon)
+        stages = [(s.name, s.n_in, s.n_out) for s in result.stats.stages]
+        return stages, result
+
+    def test_empty_database(self) -> None:
+        stages, result = self._engine_stages(0, 1.0)
+        assert stages[0] == ("rtree", 0, 0)
+        text = render_pruning_waterfall(stages, result.metrics)
+        # Zero-entrant stages render a placeholder, not a ZeroDivision.
+        assert "rtree" in text and "-" in text
+        assert result.matches == []
+
+    def test_eps_zero_all_pruned_at_tier_one(self) -> None:
+        stages, result = self._engine_stages(12, 0.0)
+        name, n_in, n_out = stages[0]
+        assert (name, n_in, n_out) == ("rtree", 12, 0)
+        assert all(s[1] == 0 for s in stages[1:])
+        text = render_pruning_waterfall(stages, result.metrics)
+        assert "0.0%" in text
+        assert result.matches == []
+
+    def test_all_pruned_mid_cascade(self) -> None:
+        stages = [("rtree", 50, 8), ("lb_kim", 8, 0), ("dtw", 0, 0)]
+        text = render_pruning_waterfall(stages, MetricsSnapshot())
+        assert "lb_kim" in text and "0.0%" in text
+
+
+class TestSpanTimeline:
+    def _fanout(self) -> list:
+        tracer = Tracer()
+        with tracer.span("sharded.search"):
+            with tracer.span("engine.search", shard=0):
+                pass
+            with tracer.span("engine.search", shard=1):
+                pass
+        return tracer.roots
+
+    def test_rows_align_and_scale(self) -> None:
+        text = render_span_timeline(self._fanout())
+        lines = text.splitlines()
+        assert lines[0].lstrip().startswith("sharded.search")
+        assert lines[1].startswith("  engine.search")
+        assert all("ms" in line and "|" in line for line in lines)
+        # Every row closes its axis at the same column — aligned bars.
+        assert len({line.rindex("|") for line in lines}) == 1
+
+    def test_empty(self) -> None:
+        assert render_span_timeline([]) == "(no spans recorded)"
+
+    def test_unstamped_spans_sit_at_origin(self) -> None:
+        root = Span(name="hand.built", start=0.0, end=0.5)
+        text = render_span_timeline([root])
+        assert "hand.built" in text and "500.000 ms" in text
+
+
+class TestFoldedStacks:
+    def test_paths_aggregate_self_time(self) -> None:
+        parent = Span(name="root", start=0.0, end=1.0)
+        parent.children.append(Span(name="child", start=0.1, end=0.4))
+        parent.children.append(Span(name="child", start=0.5, end=0.8))
+        folded = spans_to_folded([parent])
+        lines = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in folded.splitlines()
+        )
+        # Self time: root 1.0 - 0.6 = 0.4s; the two child visits merge.
+        assert lines["root"] == 400000
+        assert lines["root;child"] == 600000
+
+    def test_empty(self) -> None:
+        assert spans_to_folded([]) == ""
+
+
+class TestFlamegraphSvg:
+    def test_renders_frames_with_tooltips(self) -> None:
+        parent = Span(name="sharded.search", start=0.0, end=2.0)
+        parent.attributes["backend"] = "rtree"
+        parent.children.append(Span(name="engine.search", start=0.0, end=1.0))
+        svg = render_flamegraph_svg([parent])
+        assert svg.startswith("<svg")
+        assert "sharded.search" in svg and "engine.search" in svg
+        assert "<title>" in svg and "backend=rtree" in svg
+
+    def test_deterministic_output(self) -> None:
+        span = Span(name="a.b", start=0.0, end=1.0)
+        assert render_flamegraph_svg([span]) == render_flamegraph_svg([span])
+
+    def test_empty_is_valid_svg(self) -> None:
+        svg = render_flamegraph_svg([])
+        assert svg.startswith("<svg") and "no spans recorded" in svg

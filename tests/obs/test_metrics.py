@@ -6,16 +6,22 @@ import threading
 
 import pytest
 
+from repro.exceptions import ValidationError
 from repro.obs.metrics import (
+    BUCKETS_PER_OCTAVE,
+    NONPOSITIVE_BUCKET,
     NULL_REGISTRY,
     HistogramSummary,
     MetricsRegistry,
     MetricsSnapshot,
     active_registry,
+    bucket_index,
+    bucket_upper_bound,
     count,
     merge_snapshots,
     observe,
     set_gauge,
+    timed,
     use_registry,
 )
 
@@ -88,6 +94,141 @@ class TestInstruments:
         for thread in threads:
             thread.join()
         assert registry.snapshot().counter("hits") == 8000
+
+
+class TestLogBuckets:
+    """The fixed-boundary log-bucket grid behind quantile estimation."""
+
+    def test_octave_boundaries(self) -> None:
+        # Bucket i covers [2^(i/4), 2^((i+1)/4)): powers of two land on
+        # bucket BUCKETS_PER_OCTAVE * log2(v) exactly.
+        assert bucket_index(1.0) == 0
+        assert bucket_index(2.0) == BUCKETS_PER_OCTAVE
+        assert bucket_index(4.0) == 2 * BUCKETS_PER_OCTAVE
+        assert bucket_index(0.5) == -BUCKETS_PER_OCTAVE
+
+    def test_sub_octave_resolution(self) -> None:
+        # Four sub-buckets per octave between 1.0 and 2.0.
+        indices = [bucket_index(v) for v in (1.0, 1.2, 1.45, 1.7, 1.99)]
+        assert indices == [0, 1, 2, 3, 3]
+
+    def test_upper_bound_covers_index(self) -> None:
+        for value in (0.001, 0.7, 1.0, 3.14159, 1e6):
+            index = bucket_index(value)
+            assert bucket_upper_bound(index - 1) <= value
+            assert value < bucket_upper_bound(index)
+
+    def test_nonpositive_sentinel(self) -> None:
+        assert bucket_index(0.0) == NONPOSITIVE_BUCKET
+        assert bucket_index(-5.0) == NONPOSITIVE_BUCKET
+        assert bucket_index(float("nan")) == NONPOSITIVE_BUCKET
+        assert bucket_upper_bound(NONPOSITIVE_BUCKET) == 0.0
+
+    def test_histogram_collects_bucket_counts(self) -> None:
+        registry = MetricsRegistry()
+        for value in (1.0, 1.0, 2.0, 0.0):
+            registry.observe("dtw.abandon_depth", value)
+        summary = registry.snapshot().histograms["dtw.abandon_depth"]
+        assert dict(summary.buckets) == {
+            NONPOSITIVE_BUCKET: 1,
+            0: 2,
+            BUCKETS_PER_OCTAVE: 1,
+        }
+        assert sum(count for _, count in summary.buckets) == summary.count
+
+
+class TestQuantiles:
+    def _summary(self, values: list[float]) -> HistogramSummary:
+        registry = MetricsRegistry()
+        for value in values:
+            registry.observe("h", value)
+        return registry.snapshot().histograms["h"]
+
+    def test_empty_summary_quantile_is_zero(self) -> None:
+        assert HistogramSummary(0, 0.0, 0.0, 0.0).quantile(0.5) == 0.0
+
+    def test_quantile_range_validated(self) -> None:
+        summary = self._summary([1.0])
+        with pytest.raises(ValidationError, match="quantile"):
+            summary.quantile(-0.1)
+        with pytest.raises(ValidationError, match="quantile"):
+            summary.quantile(1.1)
+
+    def test_extremes_clamp_to_min_max(self) -> None:
+        summary = self._summary([0.3, 1.7, 42.0])
+        # Estimates are bucket upper bounds clamped into [min, max].
+        assert summary.minimum <= summary.quantile(0.0)
+        assert summary.quantile(1.0) == summary.maximum
+        assert summary.p50 >= summary.minimum
+        assert summary.p95 <= summary.maximum
+
+    def test_median_lands_in_right_bucket(self) -> None:
+        # 99 small values, 1 huge one: p50 must stay small, p99 large.
+        summary = self._summary([1.0] * 99 + [1000.0])
+        assert summary.p50 < 2.0
+        assert summary.p99 >= summary.p95 >= summary.p50
+        assert summary.quantile(1.0) == 1000.0
+
+    def test_quantile_is_deterministic_function_of_buckets(self) -> None:
+        left = self._summary([0.1, 0.5, 2.5, 2.5, 7.0])
+        right = self._summary([0.5, 2.5, 7.0, 0.1, 2.5])  # other order
+        assert left == right
+        assert (left.p50, left.p95, left.p99) == (
+            right.p50,
+            right.p95,
+            right.p99,
+        )
+
+    def test_merge_is_bit_exact_partition_invariant(self) -> None:
+        values = [0.2, 0.9, 1.1, 1.6, 3.3, 3.4, 8.0, 25.0]
+        whole = self._summary(values)
+        for cut in (1, 3, 5, 7):
+            merged = self._summary(values[:cut]).merged(
+                self._summary(values[cut:])
+            )
+            assert merged == whole
+            assert merged.buckets == whole.buckets
+            assert (merged.p50, merged.p95, merged.p99) == (
+                whole.p50,
+                whole.p95,
+                whole.p99,
+            )
+
+    def test_merge_empty_identity_both_orders(self) -> None:
+        summary = self._summary([1.0, 4.0])
+        empty = HistogramSummary(0, 0.0, 0.0, 0.0)
+        assert summary.merged(empty) == summary
+        assert empty.merged(summary) == summary
+        assert empty.merged(empty) == empty
+
+    def test_registry_merge_preserves_buckets(self) -> None:
+        source = MetricsRegistry()
+        sink = MetricsRegistry()
+        for value in (1.0, 3.0):
+            source.observe("h", value)
+        sink.observe("h", 9.0)
+        sink.merge(source.snapshot())
+        direct = MetricsRegistry()
+        for value in (9.0, 1.0, 3.0):
+            direct.observe("h", value)
+        assert (
+            sink.snapshot().histograms["h"]
+            == direct.snapshot().histograms["h"]
+        )
+
+
+class TestTimedHelper:
+    def test_timed_records_to_ambient_registry(self) -> None:
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with timed("engine.search.seconds"):
+                pass
+        summary = registry.snapshot().histograms["engine.search.seconds"]
+        assert summary.count == 1
+
+    def test_timed_is_noop_without_registry(self) -> None:
+        with timed("engine.search.seconds"):
+            pass  # must not raise, must not record anywhere
 
 
 class TestSnapshot:

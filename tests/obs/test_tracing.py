@@ -6,9 +6,12 @@ import contextvars
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.obs.tracing import (
+    AttrValue,
     Span,
+    SpanGrafter,
     Tracer,
     active_tracer,
+    attach_to,
     current_span,
     maybe_span,
     use_tracer,
@@ -124,3 +127,105 @@ class TestAmbientTracer:
             thread.start()
             thread.join()
         assert seen == [None]
+
+
+class TestAttributes:
+    def test_set_attribute_clamps_to_attrvalue(self) -> None:
+        """Exotic values are clamped to the JSON-safe AttrValue scalars
+        (str | int | float | bool | None) via repr."""
+        span = Span(name="a")
+        span.set_attribute("backend", "rtree")
+        span.set_attribute("shards", 3)
+        span.set_attribute("epsilon", 1.5)
+        span.set_attribute("hit", True)
+        span.set_attribute("missing", None)
+        span.set_attribute("exotic", {1, 2})
+        scalars: tuple[type, ...] = (str, int, float, bool, type(None))
+        values: list[AttrValue] = list(span.attributes.values())
+        assert all(isinstance(value, scalars) for value in values)
+        assert span.attributes["exotic"] == repr({1, 2})
+
+    def test_tracer_span_coerces_kwargs(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root", payload=[1, 2]) as span:
+            assert span.attributes["payload"] == "[1, 2]"
+
+    def test_wall_start_stamped_on_open(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.wall_start > 0.0
+        assert inner.wall_start >= outer.wall_start
+
+
+class TestSpanGrafter:
+    def test_graft_attaches_in_shard_order(self) -> None:
+        tracer = Tracer()
+        with use_tracer(tracer), tracer.span("sharded.search"):
+            grafter = SpanGrafter(3)
+            assert grafter.enabled
+            # Complete shards out of order: 2, 0, 1.
+            for shard in (2, 0, 1):
+                with attach_to(grafter.holder(shard)):
+                    with tracer.span("engine.search"):
+                        pass
+            grafter.graft()
+        (root,) = tracer.roots
+        assert [
+            child.attributes["shard"] for child in root.children
+        ] == [0, 1, 2]
+
+    def test_grafter_disabled_without_parent_span(self) -> None:
+        grafter = SpanGrafter(2)
+        assert not grafter.enabled
+        assert grafter.holder(0) is None
+        grafter.graft()  # must be a no-op, not a crash
+
+    def test_add_grafts_detached_worker_spans(self) -> None:
+        """The process-executor path: already-finished span trees from
+        worker replies re-attach under the fan-out span."""
+        tracer = Tracer()
+        worker_root = Span(name="engine.search", start=0.0, end=1.0)
+        with use_tracer(tracer), tracer.span("sharded.search"):
+            grafter = SpanGrafter(1)
+            grafter.add(0, [worker_root])
+            grafter.graft()
+        (root,) = tracer.roots
+        assert root.children == [worker_root]
+        assert worker_root.attributes["shard"] == 0
+
+    def test_graft_preserves_existing_shard_attribute(self) -> None:
+        tracer = Tracer()
+        tagged = Span(name="engine.search", attributes={"shard": 7})
+        with use_tracer(tracer), tracer.span("sharded.search"):
+            grafter = SpanGrafter(1)
+            grafter.add(0, [tagged])
+            grafter.graft()
+        (root,) = tracer.roots
+        assert root.children[0].attributes["shard"] == 7
+
+
+class TestAttachTo:
+    def test_attach_to_redirects_children(self) -> None:
+        tracer = Tracer()
+        holder = Span(name="holder")
+        with use_tracer(tracer):
+            with attach_to(holder):
+                with tracer.span("child"):
+                    pass
+        assert [span.name for span in holder.children] == ["child"]
+        # The child never reached the tracer's root list.
+        assert tracer.roots == []
+
+    def test_attach_to_none_detaches(self) -> None:
+        tracer = Tracer()
+        with use_tracer(tracer), tracer.span("outer"):
+            with attach_to(None):
+                assert current_span() is None
+                with tracer.span("orphan"):
+                    pass
+        # Completion order: the detached orphan finishes first.
+        (orphan, outer) = tracer.roots
+        assert outer.name == "outer" and orphan.name == "orphan"
+        assert outer.children == []

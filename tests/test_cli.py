@@ -178,3 +178,104 @@ class TestParser:
         rc = main(["experiment", "a3"])
         assert rc == 0
         assert "bulk" in capsys.readouterr().out.lower()
+
+
+class TestQueryDiagnostics:
+    def _target(self, database_file, seq_id: int = 4) -> str:
+        db = SequenceDatabase.load(database_file)
+        return ",".join(str(v) for v in db.fetch(seq_id).values)
+
+    def test_explain_prints_waterfall_and_timeline(
+        self, database_file, capsys
+    ):
+        rc = main(
+            ["query", "--db", str(database_file), "--query",
+             self._target(database_file), "--epsilon", "0.5", "--explain"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pruning waterfall:" in out
+        assert "span timeline:" in out
+        assert "engine.search" in out and "ms" in out
+
+    def test_querylog_flag_writes_record(self, database_file, tmp_path, capsys):
+        from repro.obs.querylog import load_querylog
+
+        log = tmp_path / "queries.jsonl"
+        rc = main(
+            ["query", "--db", str(database_file), "--query",
+             self._target(database_file), "--epsilon", "0.5",
+             "--querylog", str(log)]
+        )
+        assert rc == 0
+        assert "query log: 1 record(s)" in capsys.readouterr().out
+        (record,) = load_querylog(log)
+        assert record.kind == "range" and record.epsilon == 0.5
+
+    def test_slow_ms_without_querylog_rejected(self, database_file, capsys):
+        rc = main(
+            ["query", "--db", str(database_file), "--query", "1,2,3",
+             "--epsilon", "1.0", "--slow-ms", "5"]
+        )
+        assert rc == 1
+        assert "--slow-ms requires --querylog" in capsys.readouterr().err
+
+    def test_slow_ms_filters_fast_queries(self, database_file, tmp_path, capsys):
+        log = tmp_path / "slow.jsonl"
+        rc = main(
+            ["query", "--db", str(database_file), "--query",
+             self._target(database_file), "--epsilon", "0.5",
+             "--querylog", str(log), "--slow-ms", "60000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 record(s)" in out and "under the slow-query threshold" in out
+
+
+class TestProfile:
+    def test_profile_writes_artifacts(self, database_file, tmp_path, capsys):
+        from repro.obs.querylog import load_querylog
+
+        svg = tmp_path / "flame.svg"
+        folded = tmp_path / "stacks.folded"
+        log = tmp_path / "profile.jsonl"
+        rc = main(
+            ["profile", "--db", str(database_file), "--queries", "3",
+             "--epsilon", "1.0", "--shards", "2",
+             "--svg", str(svg), "--folded", str(folded),
+             "--querylog", str(log)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profiled 3 query(ies)" in out
+        assert "span timeline:" in out
+        assert svg.read_text().startswith("<svg")
+        assert "sharded.search" in folded.read_text()
+        records = load_querylog(log)
+        assert len(records) == 3
+        assert all(r.shards == 2 for r in records)
+
+    def test_profile_synthetic_fallback(self, capsys):
+        rc = main(["profile", "--queries", "2", "--epsilon", "0.5"])
+        assert rc == 0
+        assert "profiled 2 query(ies)" in capsys.readouterr().out
+
+    def test_profile_validate_accepts_good_log(
+        self, database_file, tmp_path, capsys
+    ):
+        log = tmp_path / "v.jsonl"
+        main(
+            ["profile", "--db", str(database_file), "--queries", "2",
+             "--epsilon", "1.0", "--querylog", str(log)]
+        )
+        capsys.readouterr()
+        rc = main(["profile", "--validate", str(log)])
+        assert rc == 0
+        assert "2 valid record(s)" in capsys.readouterr().out
+
+    def test_profile_validate_rejects_corrupt_log(self, tmp_path, capsys):
+        log = tmp_path / "bad.jsonl"
+        log.write_text('{"schema_version": 99}\n')
+        rc = main(["profile", "--validate", str(log)])
+        assert rc == 1
+        assert "schema_version" in capsys.readouterr().err
