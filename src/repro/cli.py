@@ -392,7 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repro-specific static analyzer (rules RL001-RL012)",
+        help="run the repro-specific static analyzer (rules RL001-RL016)",
     )
     lint.add_argument(
         "paths",
@@ -418,7 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--fix-suppressions",
         action="store_true",
         help="append '# repro-lint: disable=CODE' to each violating line "
-        "instead of failing",
+        "(merging codes into an existing disable comment) instead of "
+        "failing",
+    )
+    lint.add_argument(
+        "--prune-suppressions",
+        action="store_true",
+        help="delete stale 'repro-lint: disable=' waivers (comments whose "
+        "rule no longer fires on that line/file) instead of failing",
+    )
+    lint.add_argument(
+        "--graph",
+        default=None,
+        metavar="OUT",
+        help="also export the semantic call graph to OUT (.json or .dot, "
+        "chosen by extension)",
     )
     lint.add_argument(
         "--project-root",
@@ -864,21 +878,41 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .lint import apply_suppressions, run_lint
+    from .lint import apply_suppressions, prune_suppressions, run_lint
 
     rules = None
     if args.rules:
         rules = [code.strip() for code in args.rules.split(",") if code.strip()]
     root = Path(args.project_root) if args.project_root else None
     report = run_lint(
-        [Path(p) for p in args.paths], rules=rules, root=root
+        [Path(p) for p in args.paths],
+        rules=rules,
+        root=root,
+        want_graph=args.graph is not None,
     )
+    if args.graph is not None:
+        from .lint.semantics import render_dot, render_json
+
+        out = Path(args.graph)
+        render = render_dot if out.suffix == ".dot" else render_json
+        assert report.graph is not None
+        out.write_text(render(report.graph))
+        print(f"wrote call graph to {out}")
     if args.fix_suppressions:
         changed = apply_suppressions(report)
         for path in changed:
             print(f"suppressed: {path}")
         print(
             f"added suppressions for {len(report.violations)} violation(s) "
+            f"across {len(changed)} file(s)"
+        )
+        return 0
+    if args.prune_suppressions:
+        changed = prune_suppressions(report)
+        for path in changed:
+            print(f"pruned: {path}")
+        print(
+            f"removed {len(report.stale)} stale waiver(s) "
             f"across {len(changed)} file(s)"
         )
         return 0

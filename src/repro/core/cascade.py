@@ -37,6 +37,7 @@ per block.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence as TypingSequence
 
@@ -218,6 +219,7 @@ class FeatureStore:
         "values_flat",
         "_row_of",
         "_groups",
+        "_cache_lock",
     )
 
     #: The packed-array fields, in :meth:`packed` export order.
@@ -275,6 +277,23 @@ class FeatureStore:
         ]
         self._row_of: dict[int, int] | None = None
         self._groups: dict[int, np.ndarray] | None = None
+        # Shard thread pools share one store; the lazy row/group caches
+        # build under this lock so concurrent queries never double-build.
+        self._cache_lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, object]:
+        # Slots class: pickle everything except the lock, which is
+        # per-process state and recreated on load.
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "_cache_lock"
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._cache_lock = threading.Lock()
 
     def packed(self) -> dict[str, np.ndarray]:
         """The five packed arrays, keyed by :attr:`PACKED_FIELDS` name.
@@ -396,22 +415,34 @@ class FeatureStore:
 
     def rows_for(self, seq_ids: Iterable[int]) -> np.ndarray:
         """Store rows of the given sequence ids (unknown ids are skipped)."""
-        if self._row_of is None:
-            self._row_of = {int(sid): row for row, sid in enumerate(self.ids)}
-        rows = [self._row_of[sid] for sid in seq_ids if sid in self._row_of]
+        row_of = self._row_of
+        if row_of is None:
+            with self._cache_lock:
+                row_of = self._row_of
+                if row_of is None:
+                    row_of = {
+                        int(sid): row for row, sid in enumerate(self.ids)
+                    }
+                    self._row_of = row_of
+        rows = [row_of[sid] for sid in seq_ids if sid in row_of]
         return np.asarray(rows, dtype=np.int64)
 
     def groups_by_length(self) -> dict[int, np.ndarray]:
         """``{length: row indices}`` for every distinct sequence length."""
-        if self._groups is None:
-            groups: dict[int, list[int]] = {}
-            for row, length in enumerate(self.lengths):
-                groups.setdefault(int(length), []).append(row)
-            self._groups = {
-                length: np.asarray(rows, dtype=np.int64)
-                for length, rows in groups.items()
-            }
-        return self._groups
+        result = self._groups
+        if result is None:
+            with self._cache_lock:
+                result = self._groups
+                if result is None:
+                    groups: dict[int, list[int]] = {}
+                    for row, length in enumerate(self.lengths):
+                        groups.setdefault(int(length), []).append(row)
+                    result = {
+                        length: np.asarray(rows, dtype=np.int64)
+                        for length, rows in groups.items()
+                    }
+                    self._groups = result
+        return result
 
     def value_matrix(self, length: int) -> tuple[np.ndarray, np.ndarray]:
         """``(rows, matrix)`` of all sequences with exactly *length* elements."""

@@ -135,7 +135,9 @@ def charged_candidates(
     stats.simulated_io_seconds += seconds
     registry = active_registry()
     if registry is not None:
-        registry.count(f"index.{backend.name}.io_seconds", seconds)
+        # ``.seconds`` final segment: timing series, parity-excluded by
+        # convention (RL014).
+        registry.count(f"index.{backend.name}.io.seconds", seconds)
     return candidate_ids
 
 

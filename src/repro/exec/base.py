@@ -29,6 +29,7 @@ return values, which the router merges in shard order.
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any, ClassVar, TypeVar
 
@@ -75,6 +76,9 @@ class ShardExecutor(ABC):
             raise ValidationError("at least one shard engine is required")
         self._engines = list(engines)
         self._closed = False
+        # Serializes lifecycle transitions (lazy start, close) against
+        # concurrent callers; never held during query execution.
+        self._lifecycle_lock = threading.Lock()
 
     # -- introspection -------------------------------------------------------
 
@@ -129,7 +133,8 @@ class ShardExecutor(ABC):
 
     def close(self) -> None:
         """Release executor resources (idempotent)."""
-        self._closed = True
+        with self._lifecycle_lock:
+            self._closed = True
 
     def __enter__(self) -> "ShardExecutor":
         return self

@@ -216,61 +216,64 @@ class ProcessExecutor(ShardExecutor):
     # -- lifecycle -----------------------------------------------------------
 
     def _ensure_started(self) -> list[Connection]:
-        self._require_open()
-        if self._conns is not None:
-            return self._conns
-        from ..core.cascade import FeatureStore
+        with self._lifecycle_lock:
+            self._require_open()
+            if self._conns is not None:
+                return self._conns
+            from ..core.cascade import FeatureStore
 
-        conns: list[Connection] = []
-        procs: list["BaseProcess"] = []
-        segments: list["SharedMemory"] = []
-        try:
-            for shard, engine in enumerate(self._engines):
-                # Publish the shard's feature state charge-free: the
-                # cost model only charges reads the query pipeline
-                # performs, and the worker charges its own build scan.
-                # A clean mmap-store shard publishes by file path —
-                # workers map the columnar data file read-only and no
-                # values are copied or pickled; otherwise fall back to
-                # copying the packed arrays into shared memory.
-                handle: SharedStoreHandle | MmapStoreHandle | None
-                handle = publish_mmap(engine.database)
-                if handle is None:
-                    store = FeatureStore.from_contents(engine.database)
-                    segment, handle = publish_store(store)
-                    segments.append(segment)
-                parent_conn, child_conn = self._ctx.Pipe()
-                proc = self._ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        child_conn,
-                        _WorkerInit(
-                            shard, engine.database, engine.backend, handle
+            conns: list[Connection] = []
+            procs: list["BaseProcess"] = []
+            segments: list["SharedMemory"] = []
+            try:
+                for shard, engine in enumerate(self._engines):
+                    # Publish the shard's feature state charge-free: the
+                    # cost model only charges reads the query pipeline
+                    # performs, and the worker charges its own build scan.
+                    # A clean mmap-store shard publishes by file path —
+                    # workers map the columnar data file read-only and no
+                    # values are copied or pickled; otherwise fall back to
+                    # copying the packed arrays into shared memory.
+                    handle: SharedStoreHandle | MmapStoreHandle | None
+                    handle = publish_mmap(engine.database)
+                    if handle is None:
+                        store = FeatureStore.from_contents(engine.database)
+                        segment, handle = publish_store(store)
+                        segments.append(segment)
+                    parent_conn, child_conn = self._ctx.Pipe()
+                    proc = self._ctx.Process(
+                        target=_worker_main,
+                        args=(
+                            child_conn,
+                            _WorkerInit(
+                                shard, engine.database, engine.backend, handle
+                            ),
                         ),
-                    ),
-                    name=f"repro-shard-{shard}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                conns.append(parent_conn)
-                procs.append(proc)
-        except BaseException:
-            _release(conns, procs, segments)
-            raise
-        self._conns, self._procs, self._segments = conns, procs, segments
-        self._finalizer = weakref.finalize(
-            self, _release, conns, procs, segments
-        )
-        return conns
+                        name=f"repro-shard-{shard}",
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()
+                    conns.append(parent_conn)
+                    procs.append(proc)
+            except BaseException:
+                _release(conns, procs, segments)
+                raise
+            self._conns, self._procs, self._segments = conns, procs, segments
+            self._finalizer = weakref.finalize(
+                self, _release, conns, procs, segments
+            )
+            return conns
 
     def close(self) -> None:
         """Shut workers down and unlink the shared segments (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._finalizer is not None:
-            self._finalizer()
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            finalizer = self._finalizer
+        if finalizer is not None:
+            finalizer()
 
     # -- execution -----------------------------------------------------------
 

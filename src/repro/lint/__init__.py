@@ -22,8 +22,10 @@ from .engine import (
     LintReport,
     Project,
     Rule,
+    StaleSuppression,
     Violation,
     apply_suppressions,
+    prune_suppressions,
     run_lint,
 )
 from .rules import ALL_RULES, RULES_BY_CODE, make_rules
@@ -35,8 +37,10 @@ __all__ = [
     "LintReport",
     "Project",
     "Rule",
+    "StaleSuppression",
     "Violation",
     "apply_suppressions",
     "make_rules",
+    "prune_suppressions",
     "run_lint",
 ]

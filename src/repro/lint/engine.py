@@ -3,9 +3,13 @@
 Stdlib-only static analysis: every checked file is parsed once into an
 :class:`ast.Module` (plus a :mod:`tokenize` pass for suppression
 comments) and handed to each active rule.  Rules are small classes with
-two hooks — :meth:`Rule.check_file` for per-file checks and
+three hooks — :meth:`Rule.check_file` for per-file checks,
 :meth:`Rule.finalize` for whole-project checks that need to see every
-file (dead exports, the no-false-dismissal registry cross-reference).
+file (dead exports, the no-false-dismissal registry cross-reference),
+and :meth:`Rule.check_project` for rules that opt into the semantic
+core (:mod:`repro.lint.semantics`): the import/module graph, symbol
+table and conservative call graph are built once per run, lazily, and
+shared by every opted-in rule.
 
 Suppressions are per-line comments::
 
@@ -14,7 +18,10 @@ Suppressions are per-line comments::
 
 ``disable=all`` / ``disable-file=all`` silence every rule.  Suppressed
 findings are still collected (reported separately) so ``--format json``
-artifacts show what was waived, not just what fired.
+artifacts show what was waived, not just what fired.  Waivers whose
+rule no longer fires on their line are reported in the ``stale``
+section and removable with :func:`prune_suppressions`
+(``--prune-suppressions``).
 """
 
 from __future__ import annotations
@@ -27,18 +34,24 @@ import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..exceptions import ValidationError
 from ..obs.export import render_table
 
+if TYPE_CHECKING:
+    from .semantics import SemanticGraph
+
 __all__ = [
     "Violation",
+    "StaleSuppression",
     "FileContext",
     "Project",
     "Rule",
     "LintReport",
     "run_lint",
     "apply_suppressions",
+    "prune_suppressions",
     "load_literal_dict_manifest",
     "manifest_entry_problem",
 ]
@@ -81,14 +94,14 @@ class Violation:
 
 def _parse_suppressions(
     source: str,
-) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
-    """``(line -> codes, file-level codes)`` from suppression comments."""
+) -> tuple[dict[int, frozenset[str]], dict[str, int]]:
+    """``(line -> codes, file-level code -> declaring line)``."""
     per_line: dict[int, frozenset[str]] = {}
-    whole_file: set[str] = set()
+    whole_file: dict[str, int] = {}
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return per_line, frozenset()
+        return per_line, whole_file
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue
@@ -101,11 +114,12 @@ def _parse_suppressions(
             if code.strip()
         )
         if match.group(1) == "disable-file":
-            whole_file.update(codes)
+            for code in codes:
+                whole_file.setdefault(code, token.start[0])
         else:
             line = token.start[0]
             per_line[line] = per_line.get(line, frozenset()) | codes
-    return per_line, frozenset(whole_file)
+    return per_line, whole_file
 
 
 class FileContext:
@@ -116,9 +130,10 @@ class FileContext:
         self.rel = rel
         self.source = source
         self.tree = tree
-        suppressions, file_suppressions = _parse_suppressions(source)
+        suppressions, file_suppression_lines = _parse_suppressions(source)
         self.suppressions = suppressions
-        self.file_suppressions = file_suppressions
+        self.file_suppression_lines = file_suppression_lines
+        self.file_suppressions = frozenset(file_suppression_lines)
         self._imports: dict[str, str] | None = None
 
     # -- suppression lookup --------------------------------------------------
@@ -196,8 +211,11 @@ class Project:
 
     def __init__(self, root: Path, files: list[FileContext]) -> None:
         self.root = root
-        self.files = files
-        self._by_rel = {ctx.rel: ctx for ctx in files}
+        # Sorted by repo-relative path so every downstream consumer —
+        # rule anchors, the semantic graph, the JSON report — is
+        # independent of file-discovery order.
+        self.files = sorted(files, key=lambda ctx: ctx.rel)
+        self._by_rel = {ctx.rel: ctx for ctx in self.files}
         self._reference_identifiers: dict[str, frozenset[str]] | None = None
 
     def file(self, rel: str) -> FileContext | None:
@@ -241,7 +259,10 @@ class Rule:
 
     Subclasses set :attr:`code` (``RL0xx``), :attr:`title` (a short
     imperative label) and :attr:`rationale` (one sentence tying the rule
-    to the invariant it protects), then override one or both hooks.
+    to the invariant it protects), then override one or more hooks.
+    Overriding :meth:`check_project` opts the rule into the semantic
+    core — the engine builds the module/symbol/call graph once, lazily,
+    only when an active rule asks for it.
     """
 
     code: str = "RL0XX"
@@ -258,6 +279,17 @@ class Rule:
         """Whole-project findings, after every file was seen."""
         return iter(())
 
+    def check_project(
+        self, graph: "SemanticGraph", project: Project
+    ) -> Iterator[Violation]:
+        """Whole-program findings over the semantic graph (opt-in)."""
+        return iter(())
+
+    @classmethod
+    def uses_semantics(cls) -> bool:
+        """True when the rule overrides :meth:`check_project`."""
+        return cls.check_project is not Rule.check_project
+
     def violation(
         self, ctx_or_rel: FileContext | str, node: ast.AST | None, message: str
     ) -> Violation:
@@ -266,6 +298,24 @@ class Rule:
         line = getattr(node, "lineno", 1) if node is not None else 1
         col = getattr(node, "col_offset", 0) if node is not None else 0
         return Violation(rel, int(line), int(col) + 1, self.code, message)
+
+
+@dataclass(frozen=True, order=True)
+class StaleSuppression:
+    """A waiver comment whose rule no longer fires on its line."""
+
+    path: str
+    line: int
+    rule: str
+    scope: str  # "line" | "file"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "scope": self.scope,
+        }
 
 
 @dataclass
@@ -277,6 +327,12 @@ class LintReport:
     rules: list[str]
     violations: list[Violation] = field(default_factory=list)
     suppressed: list[Violation] = field(default_factory=list)
+    stale: list[StaleSuppression] = field(default_factory=list)
+    #: The semantic graph, present when a semantic rule ran (or the
+    #: caller requested it); never serialized into the JSON report.
+    graph: "SemanticGraph | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def exit_code(self) -> int:
@@ -293,9 +349,11 @@ class LintReport:
                 "summary": {
                     "violations": len(self.violations),
                     "suppressed": len(self.suppressed),
+                    "stale": len(self.stale),
                 },
                 "violations": [v.to_dict() for v in self.violations],
                 "suppressed": [v.to_dict() for v in self.suppressed],
+                "stale": [s.to_dict() for s in self.stale],
             },
             indent=indent,
             sort_keys=True,
@@ -318,6 +376,7 @@ class LintReport:
         lines.append(
             f"repro lint: {len(self.violations)} violation(s), "
             f"{len(self.suppressed)} suppressed, "
+            f"{len(self.stale)} stale waiver(s), "
             f"{self.files_checked} file(s) checked, "
             f"rules: {', '.join(self.rules)}"
         )
@@ -357,17 +416,60 @@ def _relative(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _stale_suppressions(
+    project: Project, findings: Sequence[Violation], executed: frozenset[str]
+) -> list[StaleSuppression]:
+    """Waivers whose rule ran but produced nothing on their anchor.
+
+    *findings* is the pre-suppression set: a waiver that silences a
+    still-firing finding is live, not stale.  Codes outside *executed*
+    (the rules this run actually exercised, plus RL000) are never
+    reported stale — a restricted ``--rules`` run cannot tell whether
+    the waived rule would fire.
+    """
+    by_line: dict[tuple[str, int], set[str]] = {}
+    by_file: dict[str, set[str]] = {}
+    for violation in findings:
+        by_line.setdefault((violation.path, violation.line), set()).add(
+            violation.rule
+        )
+        by_file.setdefault(violation.path, set()).add(violation.rule)
+    stale: list[StaleSuppression] = []
+    for ctx in project.files:
+        for line in sorted(ctx.suppressions):
+            fired = by_line.get((ctx.rel, line), set())
+            for code in sorted(ctx.suppressions[line]):
+                if code == "all":
+                    if not fired:
+                        stale.append(
+                            StaleSuppression(ctx.rel, line, code, "line")
+                        )
+                elif code in executed and code not in fired:
+                    stale.append(StaleSuppression(ctx.rel, line, code, "line"))
+        file_fired = by_file.get(ctx.rel, set())
+        for code, line in sorted(ctx.file_suppression_lines.items()):
+            if code == "all":
+                if not file_fired:
+                    stale.append(StaleSuppression(ctx.rel, line, code, "file"))
+            elif code in executed and code not in file_fired:
+                stale.append(StaleSuppression(ctx.rel, line, code, "file"))
+    return sorted(stale)
+
+
 def run_lint(
     paths: Sequence[str | Path],
     *,
     rules: Sequence[str] | None = None,
     root: str | Path | None = None,
+    want_graph: bool = False,
 ) -> LintReport:
     """Run the rule pack over *paths*; returns the :class:`LintReport`.
 
     *rules* restricts the pack to the given codes (case-insensitive);
     *root* overrides project-root autodetection (the nearest ancestor
-    of the first path holding a ``pyproject.toml``).
+    of the first path holding a ``pyproject.toml``).  *want_graph*
+    forces the semantic graph onto the report even when no active rule
+    needs it (the ``--graph`` export path).
     """
     from .rules import make_rules  # deferred: rules import this module
 
@@ -402,27 +504,68 @@ def run_lint(
         contexts.append(FileContext(path, rel, source, tree))
     project = Project(project_root, contexts)
 
+    graph: SemanticGraph | None = None
+    if want_graph or any(rule.uses_semantics() for rule in active_rules):
+        # Deferred import: the semantic core is only paid for when a
+        # whole-program rule is active (or --graph asked for it).
+        from .semantics import build_graph
+
+        graph = build_graph(project)
+
     raw: list[Violation] = list(parse_failures)
     for rule in active_rules:
-        for ctx in contexts:
+        for ctx in project.files:
             raw.extend(rule.check_file(ctx, project))
         raw.extend(rule.finalize(project))
+        if graph is not None and rule.uses_semantics():
+            raw.extend(rule.check_project(graph, project))
 
+    ordered = sorted(set(raw))
     active: list[Violation] = []
     suppressed: list[Violation] = []
-    for violation in sorted(set(raw)):
+    for violation in ordered:
         ctx = project.file(violation.path)
         if ctx is not None and ctx.is_suppressed(violation.line, violation.rule):
             suppressed.append(violation)
         else:
             active.append(violation)
+    executed = frozenset(
+        {rule.code for rule in active_rules} | {PARSE_ERROR_CODE}
+    )
     return LintReport(
         root=project_root,
         files_checked=len(contexts) + len(parse_failures),
         rules=[rule.code for rule in active_rules],
         violations=active,
         suppressed=suppressed,
+        stale=_stale_suppressions(project, ordered, executed),
+        graph=graph,
     )
+
+
+_DISABLE_INLINE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_*,\s]+|all)"
+)
+
+
+def _merge_disable_comment(line: str, codes: set[str]) -> str | None:
+    """*line* with *codes* merged into its ``disable=`` list, or None.
+
+    Returns ``None`` when the line carries no inline ``disable=``
+    comment to merge into (``disable-file=`` directives are left for a
+    human — a line code does not belong in a file-wide waiver).
+    """
+    match = _DISABLE_INLINE_RE.search(line)
+    if match is None:
+        return None
+    listed = match.group(1)
+    stripped = listed.rstrip()
+    existing = {code.strip() for code in stripped.split(",") if code.strip()}
+    if "all" in existing:
+        return line
+    merged = sorted({code.upper() for code in existing} | codes)
+    end = match.start(1) + len(stripped)
+    return line[: match.start(1)] + ",".join(merged) + line[end:]
 
 
 def apply_suppressions(report: LintReport) -> list[Path]:
@@ -430,9 +573,10 @@ def apply_suppressions(report: LintReport) -> list[Path]:
 
     The ``--fix-suppressions`` escape hatch for landing the analyzer on
     a tree with known, accepted debt: each unsuppressed finding gets an
-    inline waiver (one comment per line, codes merged).  Lines that
-    already carry a ``repro-lint:`` comment are left untouched.  Returns
-    the modified files.
+    inline waiver (one comment per line, codes merged).  A line that
+    already carries a ``disable=`` comment gets the new codes merged
+    into its existing list (deduped, sorted) rather than a second
+    appended comment.  Returns the modified files.
     """
     by_file: dict[str, dict[int, set[str]]] = {}
     for violation in report.violations:
@@ -450,12 +594,17 @@ def apply_suppressions(report: LintReport) -> list[Path]:
             continue
         source_lines = text.splitlines()
         modified = False
-        for lineno, codes in lines.items():
+        for lineno, codes in sorted(lines.items()):
             index = lineno - 1
             if index >= len(source_lines):
                 continue
             line = source_lines[index]
             if "repro-lint:" in line:
+                merged = _merge_disable_comment(line, codes)
+                if merged is None or merged == line:
+                    continue
+                source_lines[index] = merged
+                modified = True
                 continue
             joined = ",".join(sorted(codes))
             source_lines[index] = f"{line}  # repro-lint: disable={joined}"
@@ -463,6 +612,79 @@ def apply_suppressions(report: LintReport) -> list[Path]:
         if modified:
             trailing = "\n" if text.endswith("\n") else ""
             path.write_text("\n".join(source_lines) + trailing)
+            changed.append(path)
+    return changed
+
+
+def _prune_line(line: str, codes: set[str]) -> str | None:
+    """*line* with the stale *codes* pruned; ``None`` deletes the line.
+
+    When every code in the directive is stale the whole comment goes —
+    including any trailing justification text, which belongs to the
+    waiver it explained.
+    """
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return line
+    listed = [
+        code.strip() for code in match.group(2).split(",") if code.strip()
+    ]
+    kept = sorted(
+        code
+        for code in listed
+        if (code if code == "all" else code.upper()) not in codes
+    )
+    if kept:
+        stripped = match.group(2).rstrip()
+        end = match.start(2) + len(stripped)
+        return line[: match.start(2)] + ",".join(kept) + line[end:]
+    remainder = line[: match.start()].rstrip()
+    return remainder if remainder else None
+
+
+def prune_suppressions(report: LintReport) -> list[Path]:
+    """Remove every stale waiver the report found; returns changed files.
+
+    The ``--prune-suppressions`` counterpart of
+    :func:`apply_suppressions`: stale codes are dropped from their
+    ``disable=`` / ``disable-file=`` lists, a directive left empty is
+    removed outright, and a line holding nothing but the directive is
+    deleted.
+    """
+    by_file: dict[str, dict[int, set[str]]] = {}
+    for item in report.stale:
+        by_file.setdefault(item.path, {}).setdefault(item.line, set()).add(
+            item.rule
+        )
+    changed: list[Path] = []
+    for rel, lines in sorted(by_file.items()):
+        path = report.root / rel
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        source_lines = text.splitlines()
+        modified = False
+        deleted: set[int] = set()
+        for lineno, codes in sorted(lines.items()):
+            index = lineno - 1
+            if index >= len(source_lines):
+                continue
+            pruned = _prune_line(source_lines[index], codes)
+            if pruned is None:
+                deleted.add(index)
+                modified = True
+            elif pruned != source_lines[index]:
+                source_lines[index] = pruned
+                modified = True
+        if modified:
+            kept_lines = [
+                line
+                for index, line in enumerate(source_lines)
+                if index not in deleted
+            ]
+            trailing = "\n" if text.endswith("\n") else ""
+            path.write_text("\n".join(kept_lines) + trailing)
             changed.append(path)
     return changed
 

@@ -13,7 +13,15 @@ RL009     every DTW kernel is in the kernel-parity test registry
 RL010     process-worker functions avoid module-level mutable state
 RL011     every sequence store is in the store-parity test registry
 RL012     every QueryRecord field is in the query-log schema manifest
+RL013     concurrent-closure writes are lock-guarded or per-query-local
+RL014     charged metrics resolve to a test, bench baseline or manifest
+RL015     public API raise-sets are ReproError-only, closed over calls
+RL016     cascade tiers are reachable from run() and NFD-covered
 ========  ==============================================================
+
+RL013-RL016 are whole-program rules: they opt into the engine's
+``check_project`` hook and share one :mod:`~repro.lint.semantics`
+graph per run.
 """
 
 from __future__ import annotations
@@ -34,6 +42,10 @@ from .rl009_kernel_manifest import KernelManifestRule
 from .rl010_spawn_safety import SpawnSafetyRule
 from .rl011_store_manifest import StoreManifestRule
 from .rl012_querylog_schema import QuerylogSchemaRule
+from .rl013_lock_discipline import LockDisciplineRule
+from .rl014_charge_accounting import ChargeAccountingRule
+from .rl015_exception_contract import ExceptionContractRule
+from .rl016_exactness_reachability import ExactnessReachabilityRule
 
 __all__ = [
     "ALL_RULES",
@@ -51,6 +63,10 @@ __all__ = [
     "SpawnSafetyRule",
     "StoreManifestRule",
     "QuerylogSchemaRule",
+    "LockDisciplineRule",
+    "ChargeAccountingRule",
+    "ExceptionContractRule",
+    "ExactnessReachabilityRule",
 ]
 
 #: Every rule class, in code order.
@@ -67,6 +83,10 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SpawnSafetyRule,
     StoreManifestRule,
     QuerylogSchemaRule,
+    LockDisciplineRule,
+    ChargeAccountingRule,
+    ExceptionContractRule,
+    ExactnessReachabilityRule,
 )
 
 RULES_BY_CODE: dict[str, type[Rule]] = {rule.code: rule for rule in ALL_RULES}

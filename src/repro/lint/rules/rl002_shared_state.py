@@ -100,6 +100,13 @@ class _WriteCollector(ast.NodeVisitor):
             self.lock_depth -= 1
 
     def _check_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_target(target.value)
+            return
         root = _root_self_attr(target)
         if root is None:
             return

@@ -1,0 +1,122 @@
+"""RL015 — the public API's transitive raise-set is ReproError-only.
+
+RL004 flags a bare builtin ``raise`` where it stands, but the contract
+it protects is a property of *paths*, not lines: a caller of
+:mod:`repro`'s facade must be able to catch every library failure as
+:class:`~repro.exceptions.ReproError`.  This rule closes RL004 over
+the call graph.  Roots are the package facade — every name exported by
+``src/repro/__init__.py``'s ``__all__``, expanded to all public
+methods (plus ``__init__``) for exported classes.  Every function in
+the call-graph closure of those roots is then checked:
+
+* a raise of a builtin exception type is a contract break (same
+  builtin set as RL004),
+* a raise of a *project* exception class that does not subclass
+  ``ReproError`` is one too — a case RL004's per-file view cannot see,
+  since the class definition may live in another module.
+
+Deliberate protocol raises (``KeyError`` from a mapping ``__getitem__``,
+``AttributeError`` from an immutability guard) stay waivable in place —
+the same lines typically already carry an RL004 waiver, and
+``--fix-suppressions`` merges the codes into one comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..engine import Project, Rule, Violation, dotted_all_entries
+from .rl004_exceptions import _BUILTIN_EXCEPTIONS
+
+if TYPE_CHECKING:
+    from ..semantics import SemanticGraph
+
+__all__ = ["ExceptionContractRule"]
+
+#: The package whose ``__all__`` defines the public facade.
+_FACADE_MODULE = "repro"
+
+#: The root of the sanctioned exception hierarchy.
+_DOMAIN_BASE = "ReproError"
+
+
+class ExceptionContractRule(Rule):
+    code = "RL015"
+    title = "public API paths raise only ReproError subclasses"
+    rationale = (
+        "callers catch ReproError at the facade; any transitive raise "
+        "of a builtin or an off-hierarchy class escapes that net"
+    )
+
+    def _facade_roots(self, graph: "SemanticGraph") -> list[str]:
+        """Call-graph roots: the resolved ``__all__`` of the facade."""
+        from ..semantics import ClassSymbol, FunctionSymbol
+
+        ctx = graph.modules.file_of(_FACADE_MODULE)
+        if ctx is None:
+            return []
+        roots: set[str] = set()
+        for name, _node in dotted_all_entries(ctx.tree):
+            symbol = graph.symbols.resolve(_FACADE_MODULE, name)
+            if isinstance(symbol, FunctionSymbol):
+                roots.add(symbol.key)
+            elif isinstance(symbol, ClassSymbol):
+                for owner in graph.symbols.mro(symbol):
+                    for stmt in owner.node.body:
+                        if not isinstance(
+                            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            continue
+                        if (
+                            stmt.name.startswith("_")
+                            and stmt.name != "__init__"
+                        ):
+                            continue
+                        roots.add(
+                            f"{owner.module}:{owner.name}.{stmt.name}"
+                        )
+        return sorted(roots)
+
+    def check_project(
+        self, graph: "SemanticGraph", project: Project
+    ) -> Iterator[Violation]:
+        from ..semantics import ClassSymbol
+
+        closure = graph.calls.reachable_from(self._facade_roots(graph))
+        for key in sorted(closure):
+            fn = graph.calls.nodes.get(key)
+            if fn is None:
+                continue
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                exc = node.exc
+                name_node: ast.expr = (
+                    exc.func if isinstance(exc, ast.Call) else exc
+                )
+                if not isinstance(name_node, ast.Name):
+                    continue
+                resolved = graph.symbols.resolve(fn.module, name_node.id)
+                if isinstance(resolved, ClassSymbol):
+                    if not graph.symbols.is_subclass(resolved, _DOMAIN_BASE):
+                        yield self.violation(
+                            fn.ctx,
+                            node,
+                            f"{fn.qualname} (reachable from the public "
+                            f"API) raises {name_node.id}, a project "
+                            f"class outside the {_DOMAIN_BASE} "
+                            "hierarchy — callers catching "
+                            f"{_DOMAIN_BASE} at the facade miss it",
+                        )
+                elif resolved is None and name_node.id in _BUILTIN_EXCEPTIONS:
+                    yield self.violation(
+                        fn.ctx,
+                        node,
+                        f"{fn.qualname} (reachable from the public API) "
+                        f"raises builtin {name_node.id} — the facade "
+                        f"contract promises every failure is a "
+                        f"{_DOMAIN_BASE}; raise a domain subclass or "
+                        "waive a documented protocol raise",
+                    )

@@ -1,0 +1,166 @@
+"""RL016 — every registered cascade tier is wired in and NFD-covered.
+
+The paper's exactness argument is per-tier: each lower bound in the
+cascade must underestimate the true time-warping distance, and the
+no-false-dismissal property suite proves it for each *registered* tier
+name.  Two failure modes can silently void that argument as the
+cascade grows:
+
+* a tier constant is declared (``TIER_LEMIRE = "lb_lemire"``) and
+  validated by the constructor, but the evaluation machinery reachable
+  from :meth:`FilterCascade.run` / :meth:`run_many` never touches it —
+  a wired-but-dead tier that filters nothing while claiming coverage;
+* a tier is evaluated but its name is missing from the
+  ``tests/nfd_manifest.py`` registry, so nothing property-tests its
+  bound — a latent false dismissal.
+
+This rule checks both, whole-program.  *Registered tiers* are the
+module-level ``TIER_*`` string constants in the module defining
+``FilterCascade``.  *Reachable* means the constant's name is
+referenced in the body (or signature) of a function in the call-graph
+closure of ``run`` / ``run_many`` — with the cascade constructor
+included as an implicit root (no instance reaches ``run`` without it)
+and one hop of module-global expansion, so a tier referenced only
+through a dispatch table like ``_TIER_COLUMNS`` still counts.
+*Covered* means :func:`manifest_entry_problem` accepts the tier's
+string value against ``NO_FALSE_DISMISSAL_REGISTRY`` — the same
+liveness bar RL001 sets for the bound functions themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from ..engine import (
+    Project,
+    Rule,
+    Violation,
+    load_literal_dict_manifest,
+    manifest_entry_problem,
+)
+
+if TYPE_CHECKING:
+    from ..semantics import SemanticGraph
+
+__all__ = ["ExactnessReachabilityRule"]
+
+_CASCADE_CLASS = "FilterCascade"
+_RUN_METHODS = ("run", "run_many")
+_TIER_NAME_RE = re.compile(r"^TIER_[A-Z0-9_]+$")
+
+_MANIFEST_REL = "tests/nfd_manifest.py"
+_MANIFEST_VAR = "NO_FALSE_DISMISSAL_REGISTRY"
+
+
+def _referenced_names(node: ast.AST) -> set[str]:
+    """Every identifier loaded anywhere under *node*."""
+    return {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)
+    }
+
+
+class ExactnessReachabilityRule(Rule):
+    code = "RL016"
+    title = "cascade tiers must be reachable from run() and NFD-covered"
+    rationale = (
+        "a tier constant the cascade never evaluates, or one missing "
+        "from the no-false-dismissal registry, silently voids the "
+        "paper's exactness guarantee"
+    )
+
+    def check_project(
+        self, graph: "SemanticGraph", project: Project
+    ) -> Iterator[Violation]:
+        from ..semantics import ClassSymbol, ValueSymbol
+
+        cascade: ClassSymbol | None = None
+        for cls in graph.symbols.classes:
+            if cls.name == _CASCADE_CLASS:
+                cascade = cls
+                break
+        if cascade is None:
+            return  # nothing to check: the project has no cascade
+
+        roots: list[str] = []
+        missing_runs: list[str] = []
+        for method_name in _RUN_METHODS:
+            method = graph.symbols.find_method(cascade, method_name)
+            if method is None:
+                missing_runs.append(method_name)
+            else:
+                roots.append(method.key)
+        if missing_runs:
+            yield self.violation(
+                cascade.ctx,
+                cascade.node,
+                f"{_CASCADE_CLASS} defines no "
+                f"{'/'.join(missing_runs)} method — the exactness "
+                "reachability check has no entry point",
+            )
+        if not roots:
+            return
+        init = graph.symbols.find_method(cascade, "__init__")
+        if init is not None:
+            roots.append(init.key)
+
+        # Names referenced by the closure, plus one hop through
+        # module-global dispatch tables (e.g. _TIER_COLUMNS values).
+        referenced: set[str] = set()
+        for key in sorted(graph.calls.reachable_from(roots)):
+            fn = graph.calls.nodes.get(key)
+            if fn is not None and fn.module == cascade.module:
+                referenced |= _referenced_names(fn.node)
+        members = graph.symbols.members_of(cascade.module)
+        for name in sorted(referenced & set(members)):
+            member = members[name]
+            if isinstance(member, ValueSymbol) and member.value is not None:
+                referenced |= _referenced_names(member.value)
+
+        registry, manifest_error = load_literal_dict_manifest(
+            project.root, _MANIFEST_REL, _MANIFEST_VAR
+        )
+        for name in sorted(members):
+            member = members[name]
+            if not isinstance(member, ValueSymbol):
+                continue
+            if not _TIER_NAME_RE.match(name):
+                continue
+            value = member.value
+            if not (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                continue
+            tier = value.value
+            if name not in referenced:
+                yield self.violation(
+                    cascade.ctx,
+                    member.node,
+                    f"registered tier {name} ({tier!r}) is never "
+                    f"referenced by code reachable from "
+                    f"{_CASCADE_CLASS}.run/run_many — the cascade "
+                    "claims a tier it cannot evaluate",
+                )
+            if registry is None:
+                yield self.violation(
+                    cascade.ctx,
+                    member.node,
+                    f"tier {name} ({tier!r}) cannot be NFD-checked: "
+                    f"{manifest_error}",
+                )
+            else:
+                problem = manifest_entry_problem(
+                    project.root, registry, tier, _MANIFEST_REL
+                )
+                if problem is not None:
+                    yield self.violation(
+                        cascade.ctx,
+                        member.node,
+                        f"tier {name} ({tier!r}) is not covered by the "
+                        f"no-false-dismissal registry: {problem}",
+                    )

@@ -1,0 +1,411 @@
+"""The conservative project call graph and its reachability queries.
+
+Nodes are every top-level function and class method in the project
+(keyed ``module:qualname``).  Edges come from four resolution
+strategies, applied in order to each call (and each bare function
+*reference*, so callbacks handed to thread pools and ``target=``
+keywords count as potential calls):
+
+1. **Direct names** — ``f(...)`` resolves through the symbol table
+   (imports, aliases, re-exports).  A class name adds an edge to its
+   ``__init__`` and records the instantiation site.
+2. **Module attributes** — ``metrics.count(...)`` where ``metrics`` is
+   a bound module resolves to that module's member.
+3. **Typed receivers** — ``self.m()``, ``self.attr.m()``, ``x.m()``
+   resolve through inferred types: the enclosing class's MRO, the
+   class attribute-type table (``self._cascade = FilterCascade(...)``),
+   parameter/return annotations, and local constructor assignments.
+   Method edges fan out to every override in project subclasses of the
+   resolved class — virtual dispatch is over-approximated, never
+   narrowed.
+4. **Unique-name fallback** — an attribute call whose receiver type is
+   unknown links to the project method of that bare name **iff exactly
+   one exists**; ambiguous names are recorded as unresolved call sites
+   instead of guessing (see DESIGN.md §16 for the soundness caveats).
+
+Nested functions and lambdas are folded into their enclosing node: a
+closure's calls belong to the function that created it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..engine import Project
+from .entrypoints import EntryPoint, find_entry_points
+from .modules import ModuleGraph
+from .symbols import (
+    ClassSymbol,
+    ExternalSymbol,
+    FunctionSymbol,
+    ModuleSymbol,
+    Symbol,
+    SymbolTable,
+)
+
+__all__ = ["CallGraph", "CallSite", "SemanticGraph", "build_graph"]
+
+
+@dataclass(frozen=True, order=True)
+class CallSite:
+    """An attribute call the resolver could not pin to one target."""
+
+    caller: str
+    attr: str
+    line: int
+
+
+@dataclass
+class _FunctionFacts:
+    """Everything one pass extracts from a single function body."""
+
+    callees: set[str] = field(default_factory=set)
+    instantiates: set[str] = field(default_factory=set)
+    unresolved: list[CallSite] = field(default_factory=list)
+
+
+class _BodyVisitor(ast.NodeVisitor):
+    """Collects call/reference edges for one function node.
+
+    Nested function and lambda bodies are visited as part of the
+    enclosing function; nested *class* bodies are skipped (their
+    methods are their own nodes).
+    """
+
+    def __init__(
+        self,
+        graph: "CallGraph",
+        fn: FunctionSymbol,
+        local_types: dict[str, str],
+    ) -> None:
+        self.graph = graph
+        self.table = graph.symbols
+        self.fn = fn
+        self.facts = _FunctionFacts()
+        self.local_types = local_types
+
+    # -- scope handling ------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return None
+
+    # -- reference edges -----------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            symbol = self.table.resolve(self.fn.module, node.id)
+            if isinstance(symbol, FunctionSymbol):
+                self.facts.callees.add(symbol.key)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._resolve_call(node)
+        # Children are visited generically: argument expressions carry
+        # callback references, receivers may nest further calls.
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # A bare method reference (``pool.submit(self._task)``) is a
+        # potential call of that method.
+        if isinstance(node.ctx, ast.Load):
+            targets = self._receiver_methods(node, reference_only=True)
+            if targets:
+                self.facts.callees.update(targets)
+        self.generic_visit(node)
+
+    # -- call resolution -----------------------------------------------------
+
+    def _resolve_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            symbol = self.table.resolve(self.fn.module, func.id)
+            self._link_symbol(symbol)
+            return
+        if isinstance(func, ast.Attribute):
+            targets = self._receiver_methods(func, reference_only=False)
+            if targets is None:
+                return  # known-external receiver: numpy, stdlib, ...
+            if targets:
+                self.facts.callees.update(targets)
+            else:
+                self._fallback(func)
+            return
+        # Anything else (call of a call, subscript, lambda) is opaque.
+
+    def _link_symbol(self, symbol: Symbol | None) -> None:
+        if isinstance(symbol, FunctionSymbol):
+            self.facts.callees.add(symbol.key)
+        elif isinstance(symbol, ClassSymbol):
+            self.facts.instantiates.add(symbol.key)
+            init = self.table.find_method(symbol, "__init__")
+            if init is not None:
+                self.facts.callees.add(init.key)
+
+    def _receiver_methods(
+        self, func: ast.Attribute, *, reference_only: bool
+    ) -> set[str] | None:
+        """Method node keys an attribute expression may denote.
+
+        ``None`` means the receiver is *known external* (numpy, the
+        stdlib): the call leaves the project and is neither an edge nor
+        an unresolved site.
+        """
+        attr = func.attr
+        receiver = func.value
+        # self.m / cls.m / self.attr.m
+        own = self._self_receiver_classes(receiver)
+        if own is not None:
+            return self._methods_on(own, attr)
+        # module.member or Class.member through the symbol table
+        resolved = self.table.resolve_expr(self.fn.module, receiver)
+        if isinstance(resolved, ExternalSymbol):
+            return None
+        if isinstance(resolved, ModuleSymbol):
+            member = self.table.resolve(resolved.module, attr)
+            found: set[str] = set()
+            if isinstance(member, FunctionSymbol):
+                found.add(member.key)
+            elif isinstance(member, ClassSymbol) and not reference_only:
+                self.facts.instantiates.add(member.key)
+                init = self.table.find_method(member, "__init__")
+                if init is not None:
+                    found.add(init.key)
+            return found
+        if isinstance(resolved, ClassSymbol):
+            # ``SomeClass.method`` — unbound reference or classmethod.
+            return self._methods_on([resolved.key], attr)
+        # Locally typed receiver: ``x = Engine(...); x.search(...)``
+        if isinstance(receiver, ast.Name):
+            local = self.local_types.get(receiver.id)
+            if local is not None:
+                return self._methods_on([local], attr)
+        # ``super().m(...)`` — the base-class implementation.
+        if (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Name)
+            and receiver.func.id == "super"
+            and self.fn.owner is not None
+        ):
+            owner = self.table.class_named(
+                f"{self.fn.module}:{self.fn.owner}"
+            )
+            if owner is not None:
+                inherited: set[str] = set()
+                for base in self.table.bases_of(owner):
+                    method = self.table.find_method(base, attr)
+                    if method is not None:
+                        inherited.add(method.key)
+                return inherited
+            return set()
+        # Chained call receiver: ``active_kernel().max_matrix(...)``
+        if isinstance(receiver, ast.Call):
+            inferred = self.table.infer_call_type(self.fn.module, receiver)
+            if inferred is not None:
+                return self._methods_on([inferred], attr)
+        return set()
+
+    def _self_receiver_classes(
+        self, receiver: ast.expr
+    ) -> list[str] | None:
+        """Candidate class keys when the receiver is rooted at self/cls."""
+        owner = self.fn.owner
+        if owner is None:
+            return None
+        own_key = f"{self.fn.module}:{owner}"
+        if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+            return [own_key]
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in ("self", "cls")
+        ):
+            cls = self.table.class_named(own_key)
+            if cls is None:
+                return None
+            candidates = self.table.attr_types(cls).get(receiver.attr)
+            return list(candidates) if candidates else []
+        return None
+
+    def _methods_on(self, class_keys: list[str], attr: str) -> set[str]:
+        """Resolved method keys on the classes plus dispatch fan-out.
+
+        Virtual dispatch is over-approximated: subclass overrides are
+        always included, and a receiver typed as a ``typing.Protocol``
+        fans out to every structural implementor in the project.
+        """
+        found: set[str] = set()
+        for key in class_keys:
+            cls = self.table.class_named(key)
+            if cls is None:
+                continue
+            method = self.table.find_method(cls, attr)
+            if method is not None:
+                found.add(method.key)
+            impls = (
+                self.table.implementors_of(cls)
+                if self.table.is_protocol(cls)
+                else []
+            )
+            for candidate in [*self.table.subclasses_of(cls), *impls]:
+                override = self.table.find_method(
+                    candidate, attr, inherited=False
+                )
+                if override is not None:
+                    found.add(override.key)
+        return found
+
+    def _fallback(self, func: ast.Attribute) -> None:
+        """Unique-name resolution for untyped attribute calls."""
+        methods = self.table.methods_named(func.attr)
+        if len(methods) == 1:
+            self.facts.callees.add(methods[0].key)
+        else:
+            self.facts.unresolved.append(
+                CallSite(self.fn.key, func.attr, func.lineno)
+            )
+
+
+def _local_types(
+    table: SymbolTable, fn: FunctionSymbol
+) -> dict[str, str]:
+    """Name -> class key for locals with inferable types, one pass.
+
+    Parameters with project-class annotations, ``x = ClassName(...)``
+    constructor assignments, ``x = factory(...)`` through return
+    annotations, and ``x = self.attr`` through the class attribute-type
+    table (only when unambiguous).
+    """
+    types: dict[str, str] = {}
+    args = fn.node.args
+    for arg in (
+        args.posonlyargs + args.args + args.kwonlyargs
+    ):
+        if arg.annotation is not None:
+            resolved = table.resolve_expr(fn.module, arg.annotation)
+            if isinstance(resolved, ClassSymbol):
+                types[arg.arg] = resolved.key
+    owner_cls = (
+        table.class_named(f"{fn.module}:{fn.owner}")
+        if fn.owner is not None
+        else None
+    )
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        inferred = table.infer_call_type(fn.module, node.value)
+        if inferred is None and owner_cls is not None:
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                candidates = table.attr_types(owner_cls).get(value.attr, ())
+                if len(candidates) == 1:
+                    inferred = candidates[0]
+        if inferred is not None:
+            types[target.id] = inferred
+    return types
+
+
+class CallGraph:
+    """Edges and reachability over every project function/method."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self.nodes: dict[str, FunctionSymbol] = {
+            fn.key: fn for fn in symbols.functions
+        }
+        self._edges: dict[str, tuple[str, ...]] = {}
+        self._instantiations: dict[str, tuple[str, ...]] = {}
+        self.unresolved: list[CallSite] = []
+        instantiated_by: dict[str, set[str]] = {}
+        for key in sorted(self.nodes):
+            fn = self.nodes[key]
+            visitor = _BodyVisitor(self, fn, _local_types(symbols, fn))
+            for stmt in fn.node.body:
+                visitor.visit(stmt)
+            facts = visitor.facts
+            self._edges[key] = tuple(
+                sorted(k for k in facts.callees if k in self.nodes)
+            )
+            for cls_key in facts.instantiates:
+                instantiated_by.setdefault(cls_key, set()).add(key)
+            self.unresolved.extend(facts.unresolved)
+        self._instantiations = {
+            cls_key: tuple(sorted(callers))
+            for cls_key, callers in sorted(instantiated_by.items())
+        }
+        self.unresolved.sort()
+
+    def callees_of(self, key: str) -> tuple[str, ...]:
+        """Possible direct callees of the node, sorted."""
+        return self._edges.get(key, ())
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        """Every (caller, callee) pair, sorted."""
+        return [
+            (caller, callee)
+            for caller in sorted(self._edges)
+            for callee in self._edges[caller]
+        ]
+
+    def instantiators_of(self, class_key: str) -> tuple[str, ...]:
+        """Function nodes that construct instances of the class."""
+        return self._instantiations.get(class_key, ())
+
+    def reachable_from(self, roots: list[str]) -> frozenset[str]:
+        """Transitive closure of the call edges from *roots*."""
+        seen: set[str] = set()
+        frontier = [key for key in roots if key in self.nodes]
+        while frontier:
+            key = frontier.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            frontier.extend(
+                callee
+                for callee in self._edges.get(key, ())
+                if callee not in seen
+            )
+        return frozenset(seen)
+
+
+@dataclass
+class SemanticGraph:
+    """The bundled semantic core one lint run shares across rules."""
+
+    project: Project
+    modules: ModuleGraph
+    symbols: SymbolTable
+    calls: CallGraph
+    entry_points: list[EntryPoint]
+
+    def entry_keys(self, *kinds: str) -> list[str]:
+        """Node keys of the entry points of the given kinds (or all)."""
+        wanted = set(kinds)
+        return sorted(
+            {
+                ep.key
+                for ep in self.entry_points
+                if not wanted or ep.kind in wanted
+            }
+        )
+
+    def reachable_from_entries(self, *kinds: str) -> frozenset[str]:
+        """Call-graph closure from the selected entry-point kinds."""
+        return self.calls.reachable_from(self.entry_keys(*kinds))
+
+
+def build_graph(project: Project) -> SemanticGraph:
+    """Build the full semantic core for *project* (deterministic)."""
+    modules = ModuleGraph(project)
+    symbols = SymbolTable(modules)
+    calls = CallGraph(symbols)
+    entry_points = find_entry_points(modules, symbols)
+    return SemanticGraph(project, modules, symbols, calls, entry_points)

@@ -1,0 +1,138 @@
+"""Declared entry points: where outside control flow enters the code.
+
+The reachability rules all start from the same root set, discovered
+structurally (never configured per-file, so a new executor or CLI verb
+is picked up automatically):
+
+* ``query`` — ``search*`` / ``knn*`` methods of classes named
+  ``QueryEngine`` or ``ShardedDatabase``: the paths the shard thread
+  pool runs concurrently.
+* ``api`` — every other public method of those classes (build,
+  insert/delete, persistence).
+* ``executor`` — public methods of ``ShardExecutor`` and its project
+  subclasses: the fan-out surface each executor implementation exposes.
+* ``worker`` — functions wired as ``target=`` of a ``*Process(...)``
+  call: spawn-side worker loops that run in a fresh interpreter.
+* ``cli`` — ``main`` and ``_cmd_*`` functions of ``cli`` /
+  ``__main__`` modules: the verbs a shell invocation reaches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .modules import ModuleGraph
+from .symbols import ClassSymbol, FunctionSymbol, SymbolTable
+
+__all__ = ["EntryPoint", "find_entry_points"]
+
+#: Classes whose methods the shard executors drive concurrently.
+_QUERY_CLASSES = frozenset({"QueryEngine", "ShardedDatabase"})
+
+#: Method-name prefixes that mark the concurrent query path.
+_QUERY_PREFIXES = ("search", "knn")
+
+#: Base class naming the executor fan-out protocol.
+_EXECUTOR_BASE = "ShardExecutor"
+
+
+@dataclass(frozen=True, order=True)
+class EntryPoint:
+    """One declared entry point: a call-graph root with its kind."""
+
+    kind: str
+    key: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"kind": self.kind, "key": self.key}
+
+
+def _class_entry_points(
+    table: SymbolTable, cls: ClassSymbol
+) -> list[EntryPoint]:
+    found: list[EntryPoint] = []
+    if cls.name in _QUERY_CLASSES:
+        for stmt in cls.node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            kind = (
+                "query"
+                if stmt.name.startswith(_QUERY_PREFIXES)
+                else "api"
+            )
+            found.append(
+                EntryPoint(kind, f"{cls.module}:{cls.name}.{stmt.name}")
+            )
+    if cls.name == _EXECUTOR_BASE or table.is_subclass(cls, _EXECUTOR_BASE):
+        for stmt in cls.node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            found.append(
+                EntryPoint(
+                    "executor", f"{cls.module}:{cls.name}.{stmt.name}"
+                )
+            )
+    return found
+
+
+def _worker_entry_points(
+    modules: ModuleGraph, table: SymbolTable
+) -> list[EntryPoint]:
+    found: list[EntryPoint] = []
+    for module in modules.modules:
+        ctx = modules.file_of(module)
+        if ctx is None:
+            continue
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            callee_name = (
+                callee.attr
+                if isinstance(callee, ast.Attribute)
+                else callee.id
+                if isinstance(callee, ast.Name)
+                else None
+            )
+            if callee_name is None or not callee_name.endswith("Process"):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "target":
+                    continue
+                target = table.resolve_expr(module, keyword.value)
+                if isinstance(target, FunctionSymbol):
+                    found.append(EntryPoint("worker", target.key))
+    return found
+
+
+def _cli_entry_points(
+    modules: ModuleGraph, table: SymbolTable
+) -> list[EntryPoint]:
+    found: list[EntryPoint] = []
+    for module in modules.modules:
+        leaf = module.rsplit(".", 1)[-1]
+        if leaf not in ("cli", "__main__"):
+            continue
+        for name, symbol in table.members_of(module).items():
+            if not isinstance(symbol, FunctionSymbol) or symbol.owner:
+                continue
+            if name == "main" or name.startswith("_cmd_"):
+                found.append(EntryPoint("cli", symbol.key))
+    return found
+
+
+def find_entry_points(
+    modules: ModuleGraph, table: SymbolTable
+) -> list[EntryPoint]:
+    """Every declared entry point of the project, sorted."""
+    found: list[EntryPoint] = []
+    for cls in table.classes:
+        found.extend(_class_entry_points(table, cls))
+    found.extend(_worker_entry_points(modules, table))
+    found.extend(_cli_entry_points(modules, table))
+    return sorted(set(found))

@@ -1,0 +1,86 @@
+"""Deterministic call-graph export: the ``repro lint --graph`` artifact.
+
+Two formats, chosen by file extension at the CLI: JSON (the CI
+artifact, schema below) and Graphviz DOT (for eyeballs).  Both are
+byte-stable across runs — every collection is emitted in sorted order
+and nothing touches the clock.
+
+JSON schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "modules": ["repro.core.cascade", ...],
+      "imports": [["repro.core.cascade", "repro.obs.metrics"], ...],
+      "nodes": [{"key": "m:C.f", "module": "m", "qualname": "C.f",
+                 "entry": "query" | null}, ...],
+      "edges": [["caller key", "callee key"], ...],
+      "entry_points": [{"kind": "query", "key": ...}, ...],
+      "unresolved": [{"caller": ..., "attr": ..., "line": ...}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from .callgraph import SemanticGraph
+
+__all__ = ["GRAPH_SCHEMA_VERSION", "graph_to_dict", "render_dot", "render_json"]
+
+#: Bumped when the JSON artifact layout changes shape.
+GRAPH_SCHEMA_VERSION = 1
+
+
+def graph_to_dict(graph: SemanticGraph) -> dict[str, object]:
+    """The JSON-ready plain-data form of the semantic graph."""
+    entry_kind = {ep.key: ep.kind for ep in sorted(graph.entry_points)}
+    nodes = [
+        {
+            "key": key,
+            "module": graph.calls.nodes[key].module,
+            "qualname": graph.calls.nodes[key].qualname,
+            "entry": entry_kind.get(key),
+        }
+        for key in sorted(graph.calls.nodes)
+    ]
+    return {
+        "schema_version": GRAPH_SCHEMA_VERSION,
+        "modules": graph.modules.modules,
+        "imports": sorted(
+            {(e.importer, e.imported) for e in graph.modules.edges}
+        ),
+        "nodes": nodes,
+        "edges": graph.calls.edges,
+        "entry_points": [
+            ep.to_dict() for ep in sorted(set(graph.entry_points))
+        ],
+        "unresolved": [
+            {"caller": site.caller, "attr": site.attr, "line": site.line}
+            for site in graph.calls.unresolved
+        ],
+    }
+
+
+def render_json(graph: SemanticGraph, *, indent: int = 2) -> str:
+    """The JSON artifact text (sorted keys, stable bytes)."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def _dot_quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def render_dot(graph: SemanticGraph) -> str:
+    """A Graphviz digraph of the call graph, entry points highlighted."""
+    entry_kind = {ep.key: ep.kind for ep in sorted(graph.entry_points)}
+    lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box];"]
+    for key in sorted(graph.calls.nodes):
+        attrs = ""
+        kind = entry_kind.get(key)
+        if kind is not None:
+            attrs = f' [style=filled, fillcolor=lightblue, xlabel="{kind}"]'
+        lines.append(f"  {_dot_quote(key)}{attrs};")
+    for caller, callee in graph.calls.edges:
+        lines.append(f"  {_dot_quote(caller)} -> {_dot_quote(callee)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

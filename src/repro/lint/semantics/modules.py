@@ -1,0 +1,183 @@
+"""The project import/module graph.
+
+Maps every checked file to a dotted module name (``src/`` layouts lose
+the layout prefix: ``src/repro/core/cascade.py`` ->
+``repro.core.cascade``; ``__init__.py`` names the package itself),
+resolves every import statement — absolute and relative — against that
+namespace, and exposes the result two ways:
+
+* ``imports_of(module)`` — the module-level dependency edges, for graph
+  export and cycle-free traversals;
+* ``bindings_of(module)`` — the local-name binding table each importing
+  module ends up with (``from ..obs import metrics`` binds ``metrics``
+  to the ``repro.obs.metrics`` module), which the symbol table chains
+  through when resolving cross-module names.
+
+Only modules inside the analyzed :class:`~repro.lint.engine.Project`
+resolve to files; anything else (numpy, stdlib) stays an opaque
+external name, which downstream layers treat as "unknown, assume
+nothing" — the conservative default.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..engine import FileContext, Project
+
+__all__ = ["ImportEdge", "ModuleGraph", "module_name_for"]
+
+#: Path prefixes that are layout, not namespace (``src/repro/...`` is
+#: importable as ``repro...``).
+_LAYOUT_PREFIXES = ("src",)
+
+
+def module_name_for(rel: str) -> str:
+    """Dotted module name of the repo-relative posix path *rel*.
+
+    ``src/repro/core/cascade.py`` -> ``repro.core.cascade``;
+    ``src/repro/obs/__init__.py`` -> ``repro.obs``;
+    ``tests/lint/conftest.py`` -> ``tests.lint.conftest``.
+    """
+    parts = rel.split("/")
+    if len(parts) > 1 and parts[0] in _LAYOUT_PREFIXES:
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved: *importer* depends on *imported*."""
+
+    importer: str
+    imported: str
+    line: int
+
+
+class ModuleGraph:
+    """Dotted-name namespace plus import edges over one project."""
+
+    def __init__(self, project: Project) -> None:
+        self._by_module: dict[str, FileContext] = {}
+        self._package_of: dict[str, str] = {}
+        for ctx in project.files:
+            name = module_name_for(ctx.rel)
+            if not name:
+                continue
+            # First (lexicographically smallest rel) definition wins so
+            # the mapping is independent of file-discovery order.
+            existing = self._by_module.get(name)
+            if existing is None or ctx.rel < existing.rel:
+                self._by_module[name] = ctx
+        for name, ctx in self._by_module.items():
+            is_package = ctx.rel.endswith("__init__.py")
+            self._package_of[name] = (
+                name if is_package else name.rpartition(".")[0]
+            )
+        self._edges: list[ImportEdge] | None = None
+        self._bindings: dict[str, dict[str, tuple[str, str | None]]] = {}
+
+    # -- namespace lookups ---------------------------------------------------
+
+    @property
+    def modules(self) -> list[str]:
+        """Every known dotted module name, sorted."""
+        return sorted(self._by_module)
+
+    def file_of(self, module: str) -> FileContext | None:
+        """The file defining *module*, if it is part of the project."""
+        return self._by_module.get(module)
+
+    def package_of(self, module: str) -> str:
+        """The package *module* lives in (itself, for packages)."""
+        return self._package_of.get(module, module.rpartition(".")[0])
+
+    # -- import resolution ---------------------------------------------------
+
+    def resolve_import(
+        self, importer: str, level: int, target: str | None
+    ) -> str:
+        """Absolute dotted name of a ``from``-import's source module.
+
+        *level* is the number of leading dots (0 for absolute imports);
+        *target* the module text after them (may be ``None`` for
+        ``from . import x``).
+        """
+        if level == 0:
+            return target or ""
+        base = self.package_of(importer)
+        for _ in range(level - 1):
+            base = base.rpartition(".")[0]
+        if target:
+            return f"{base}.{target}" if base else target
+        return base
+
+    def bindings_of(self, module: str) -> dict[str, tuple[str, str | None]]:
+        """Local name -> ``(source module, source name | None)``.
+
+        ``(m, None)`` binds the module object itself (``import m`` /
+        ``from pkg import submodule``); ``(m, "f")`` binds a member.
+        ``from pkg import name`` is ambiguous between a submodule and a
+        member of ``pkg``'s ``__init__``; when ``pkg.name`` is a known
+        project module the submodule reading wins, matching the runtime
+        only when ``__init__`` does not shadow it — a deliberate,
+        documented approximation.
+        """
+        cached = self._bindings.get(module)
+        if cached is not None:
+            return cached
+        table: dict[str, tuple[str, str | None]] = {}
+        ctx = self._by_module.get(module)
+        if ctx is not None:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        local = alias.asname or alias.name.split(".")[0]
+                        # ``import a.b`` binds ``a``; with asname the
+                        # full dotted module is bound.
+                        bound = alias.name if alias.asname else local
+                        table[local] = (bound, None)
+                elif isinstance(node, ast.ImportFrom):
+                    source = self.resolve_import(
+                        module, node.level, node.module
+                    )
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        local = alias.asname or alias.name
+                        submodule = f"{source}.{alias.name}"
+                        if submodule in self._by_module:
+                            table[local] = (submodule, None)
+                        else:
+                            table[local] = (source, alias.name)
+        self._bindings[module] = table
+        return table
+
+    @property
+    def edges(self) -> list[ImportEdge]:
+        """Every resolved import edge, sorted for determinism."""
+        if self._edges is None:
+            found: set[ImportEdge] = set()
+            for module in sorted(self._by_module):
+                ctx = self._by_module[module]
+                for node in ast.walk(ctx.tree):
+                    if isinstance(node, ast.Import):
+                        for alias in node.names:
+                            found.add(
+                                ImportEdge(module, alias.name, node.lineno)
+                            )
+                    elif isinstance(node, ast.ImportFrom):
+                        source = self.resolve_import(
+                            module, node.level, node.module
+                        )
+                        if source:
+                            found.add(ImportEdge(module, source, node.lineno))
+            self._edges = sorted(
+                found, key=lambda e: (e.importer, e.imported, e.line)
+            )
+        return self._edges

@@ -8,7 +8,9 @@ separation keeps the cost accounting honest without duplicating data.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from typing import Any
 
 from ..exceptions import ValidationError
 from ..obs.metrics import count as _charge
@@ -31,8 +33,22 @@ class BufferPool:
             )
         self._capacity = capacity_pages
         self._resident: OrderedDict[int, None] = OrderedDict()
+        # Shard thread pools touch one pool concurrently; the LRU dict
+        # and the counters mutate together, so one lock covers both.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Pickled into spawned shard workers as part of the database;
+        # the lock is per-process state, so each side gets its own.
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def capacity(self) -> int:
@@ -57,19 +73,20 @@ class BufferPool:
         Misses admit the page, evicting the least recently used page
         when at capacity.
         """
-        if page_no in self._resident:
-            self._resident.move_to_end(page_no)
-            self.hits += 1
-            _charge("storage.buffer.hits")
-            return True
-        self.misses += 1
-        _charge("storage.buffer.misses")
-        if self._capacity == 0:
+        with self._lock:
+            if page_no in self._resident:
+                self._resident.move_to_end(page_no)
+                self.hits += 1
+                _charge("storage.buffer.hits")
+                return True
+            self.misses += 1
+            _charge("storage.buffer.misses")
+            if self._capacity == 0:
+                return False
+            if len(self._resident) >= self._capacity:
+                self._resident.popitem(last=False)
+            self._resident[page_no] = None
             return False
-        if len(self._resident) >= self._capacity:
-            self._resident.popitem(last=False)
-        self._resident[page_no] = None
-        return False
 
     def clear(self) -> None:
         """Drop all resident pages; counters stay monotone.
@@ -81,9 +98,11 @@ class BufferPool:
         any derived hit ratio over-count.  Use :meth:`reset_counters`
         to start a fresh measurement window explicitly.
         """
-        self._resident.clear()
+        with self._lock:
+            self._resident.clear()
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters (resident pages are kept)."""
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0

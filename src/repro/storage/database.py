@@ -12,9 +12,10 @@ are bit-identical whichever store holds the bytes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -103,7 +104,24 @@ class SequenceDatabase:
         self._disk = disk if disk is not None else DiskModel()
         self._buffer = BufferPool(buffer_pages)
         self._next_id = 0
+        # Concurrent shard queries charge I/O through one database; the
+        # multi-field IOStats updates must land atomically per charge.
+        self._io_lock = threading.Lock()
         self.io = IOStats()
+
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Process executors pickle the database into spawned workers; the
+        # lock is per-process state and cannot cross, so each side gets
+        # its own.
+        state = dict(self.__dict__)
+        del state["_io_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._io_lock = threading.Lock()
 
     # -- metadata -----------------------------------------------------------
 
@@ -213,11 +231,12 @@ class SequenceDatabase:
                 hits += 1
             else:
                 missed += 1
-        self.io.buffer_hits += hits
-        self.io.random_pages += missed
         # The record's pages are contiguous: one seek, then transfer.
         seconds = self._disk.record_read_time(missed, self.page_size)
-        self.io.simulated_seconds += seconds
+        with self._io_lock:
+            self.io.buffer_hits += hits
+            self.io.random_pages += missed
+            self.io.simulated_seconds += seconds
         # Buffer hit/miss counters are charged per page by the pool
         # itself (storage.buffer.*); only the fetch-level costs here.
         registry = active_registry()
@@ -234,9 +253,10 @@ class SequenceDatabase:
         sequences the consumer actually keeps.
         """
         pages = self._store.total_pages
-        self.io.sequential_pages += pages
         seconds = self._disk.sequential_read_time(pages, self.page_size)
-        self.io.simulated_seconds += seconds
+        with self._io_lock:
+            self.io.sequential_pages += pages
+            self.io.simulated_seconds += seconds
         registry = active_registry()
         if registry is not None:
             registry.count("storage.scans")

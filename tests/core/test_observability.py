@@ -135,6 +135,26 @@ class TestShardMergeParity:
         ] == [[m.seq_id for m in matches] for matches in result_3.results]
         assert _invariant(result_1.metrics) == _invariant(result_3.metrics)
 
+    def test_knn_counters_merge_across_shards(self, arrays) -> None:
+        """kNN charges its own counters: one ``sharded.knn_queries`` per
+        facade call, one ``engine.knn_queries`` per shard engine, and
+        ``engine.knn_examined`` for the refined candidates.  Examined
+        counts are structure-dependent (per-shard candidate order), so
+        only the invocation counters are compared exactly."""
+        single = _build(arrays, "rtree", 1)
+        sharded = _build(arrays, "rtree", 3)
+        assert [m.seq_id for m in single.knn(arrays[3], 3)] == [
+            m.seq_id for m in sharded.knn(arrays[3], 3)
+        ]
+        left = single.metrics_snapshot()
+        right = sharded.metrics_snapshot()
+        assert left.counter("sharded.knn_queries") == 1
+        assert right.counter("sharded.knn_queries") == 1
+        assert left.counter("engine.knn_queries") == 1
+        assert right.counter("engine.knn_queries") == 3
+        assert left.counter("engine.knn_examined") > 0
+        assert right.counter("engine.knn_examined") > 0
+
     def test_merge_order_is_shard_order(self, arrays) -> None:
         """Repeating the same query yields the same snapshot — no
         completion-order nondeterminism in the merge."""

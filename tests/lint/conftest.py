@@ -35,6 +35,34 @@ def lint_project(tmp_path):
     return run
 
 
+@pytest.fixture
+def graph_project(tmp_path):
+    """``graph_project(files)`` -> SemanticGraph over a tmp tree.
+
+    Runs the real engine with ``want_graph=True`` (restricted to one
+    cheap rule) so the graph is built exactly the way ``--graph`` and
+    the semantic rules see it.
+    """
+
+    def build(files: dict[str, str]):
+        (tmp_path / "pyproject.toml").write_text('[project]\nname = "fx"\n')
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        report = run_lint(
+            [tmp_path / "src"],
+            rules=["RL001"],
+            root=tmp_path,
+            want_graph=True,
+        )
+        assert report.graph is not None
+        return report.graph
+
+    build.root = tmp_path  # type: ignore[attr-defined]
+    return build
+
+
 def codes(report: LintReport) -> list[str]:
     return [violation.rule for violation in report.violations]
 

@@ -14,9 +14,15 @@ import pytest
 
 from repro.cli import main as repro_main
 from repro.exceptions import ValidationError
-from repro.lint import LintReport, run_lint
+from repro.lint import (
+    LintReport,
+    StaleSuppression,
+    apply_suppressions,
+    prune_suppressions,
+    run_lint,
+)
 from repro.lint.cli import main as lint_main
-from repro.lint.engine import PARSE_ERROR_CODE, apply_suppressions
+from repro.lint.engine import PARSE_ERROR_CODE
 
 from .conftest import codes
 
@@ -126,7 +132,7 @@ class TestEngineBehaviour:
     def test_report_json_shape(self, lint_project) -> None:
         report = lint_project({"src/pkg/mod.py": _BARE_RAISE}, rules=["RL004"])
         doc = json.loads(report.to_json())
-        assert doc["summary"] == {"violations": 1, "suppressed": 0}
+        assert doc["summary"] == {"violations": 1, "suppressed": 0, "stale": 0}
         assert doc["rules"] == ["RL004"]
         (entry,) = doc["violations"]
         assert entry["rule"] == "RL004"
@@ -159,14 +165,183 @@ class TestApplySuppressions:
         assert again.exit_code == 0
         assert [v.rule for v in again.suppressed] == ["RL004"]
 
-    def test_existing_waiver_lines_are_untouched(self, lint_project) -> None:
+    def test_existing_waiver_comment_gains_the_new_code(
+        self, lint_project
+    ) -> None:
         source = """\
         def f(x):
-            raise ValueError(x)  # repro-lint: disable=RL003
+            raise ValueError(x)  # repro-lint: disable=RL003 -- perf probe
         """
         report = lint_project({"src/pkg/mod.py": source}, rules=["RL004"])
         assert report.exit_code == 1
-        assert apply_suppressions(report) == []
+        changed = apply_suppressions(report)
+        assert [p.name for p in changed] == ["mod.py"]
+        text = (report.root / "src/pkg/mod.py").read_text()
+        # Codes are merged into the one existing comment — deduped,
+        # sorted — with the justification tail preserved.
+        assert "# repro-lint: disable=RL003,RL004 -- perf probe" in text
+        assert text.count("repro-lint") == 1
+        again = run_lint(
+            [report.root / "src"], rules=["RL004"], root=report.root
+        )
+        assert again.exit_code == 0
+        assert [v.rule for v in again.suppressed] == ["RL004"]
+
+
+class TestStaleSuppressions:
+    def test_stale_line_waiver_is_reported(self, lint_project) -> None:
+        report = lint_project(
+            {"src/pkg/mod.py": "X = 1  # repro-lint: disable=RL004\n"},
+            rules=["RL004"],
+        )
+        assert codes(report) == []
+        (stale,) = report.stale
+        assert stale == StaleSuppression("src/pkg/mod.py", 1, "RL004", "line")
+        doc = json.loads(report.to_json())
+        assert doc["summary"]["stale"] == 1
+        assert doc["stale"] == [
+            {
+                "path": "src/pkg/mod.py",
+                "line": 1,
+                "rule": "RL004",
+                "scope": "line",
+            }
+        ]
+        assert "1 stale waiver(s)" in report.render()
+
+    def test_live_waiver_is_not_stale(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": """\
+                def f(x):
+                    raise ValueError(x)  # repro-lint: disable=RL004
+                """
+            },
+            rules=["RL004"],
+        )
+        assert report.stale == []
+
+    def test_stale_file_waiver_is_reported(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": (
+                    "# repro-lint: disable-file=RL004\nX = 1\n"
+                )
+            },
+            rules=["RL004"],
+        )
+        (stale,) = report.stale
+        assert stale.scope == "file"
+        assert (stale.rule, stale.line) == ("RL004", 1)
+
+    def test_unexecuted_rule_code_is_never_stale(self, lint_project) -> None:
+        # RL013 did not run, so its waiver cannot be judged stale; the
+        # made-up RL999 is outside the pack entirely and also skipped.
+        report = lint_project(
+            {
+                "src/pkg/mod.py": (
+                    "X = 1  # repro-lint: disable=RL013,RL999\n"
+                )
+            },
+            rules=["RL004"],
+        )
+        assert report.stale == []
+
+
+class TestPruneSuppressions:
+    def test_stale_comment_is_removed(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": (
+                    "X = 1  # repro-lint: disable=RL004 -- old reason\n"
+                )
+            },
+            rules=["RL004"],
+        )
+        changed = prune_suppressions(report)
+        assert [p.name for p in changed] == ["mod.py"]
+        assert (report.root / "src/pkg/mod.py").read_text() == "X = 1\n"
+
+    def test_live_code_survives_partial_prune(self, lint_project) -> None:
+        source = """\
+        def f(x):
+            raise ValueError(x)  # repro-lint: disable=RL003,RL004
+        """
+        report = lint_project(
+            {"src/pkg/mod.py": source}, rules=["RL003", "RL004"]
+        )
+        assert [s.rule for s in report.stale] == ["RL003"]
+        prune_suppressions(report)
+        text = (report.root / "src/pkg/mod.py").read_text()
+        assert "# repro-lint: disable=RL004" in text
+        assert "RL003" not in text
+
+    def test_whole_line_directive_is_deleted(self, lint_project) -> None:
+        report = lint_project(
+            {
+                "src/pkg/mod.py": (
+                    "# repro-lint: disable-file=RL004\nX = 1\n"
+                )
+            },
+            rules=["RL004"],
+        )
+        prune_suppressions(report)
+        assert (report.root / "src/pkg/mod.py").read_text() == "X = 1\n"
+
+    def test_prune_then_relint_reports_nothing_stale(self, lint_project) -> None:
+        report = lint_project(
+            {"src/pkg/mod.py": "X = 1  # repro-lint: disable=RL004\n"},
+            rules=["RL004"],
+        )
+        prune_suppressions(report)
+        again = run_lint(
+            [report.root / "src"], rules=["RL004"], root=report.root
+        )
+        assert again.stale == []
+        assert again.exit_code == 0
+
+
+class TestDeterminism:
+    _FILES = {
+        "src/pkg/__init__.py": "",
+        "src/pkg/engine.py": """\
+        from .cascade import Cascade
+
+        class QueryEngine:
+            def __init__(self):
+                self._cascade = Cascade()
+
+            def search(self, q):
+                return self._cascade.run(q)
+        """,
+        "src/pkg/cascade.py": """\
+        class Cascade:
+            def __init__(self):
+                self._hits = 0
+
+            def run(self, q):
+                self._hits += 1
+                raise ValueError(q)
+        """,
+    }
+
+    def test_two_runs_emit_identical_json_bytes(self, lint_project) -> None:
+        first = lint_project(self._FILES)
+        second = lint_project(self._FILES)
+        assert first.violations  # semantic + per-file findings present
+        assert first.to_json() == second.to_json()
+
+    def test_report_is_independent_of_path_order(self, lint_project) -> None:
+        report = lint_project(self._FILES)
+        root = report.root
+        paths = [
+            root / "src/pkg/cascade.py",
+            root / "src/pkg/engine.py",
+            root / "src/pkg/__init__.py",
+        ]
+        forward = run_lint(paths, root=root)
+        reverse = run_lint(list(reversed(paths)), root=root)
+        assert forward.to_json() == reverse.to_json()
 
 
 class TestCli:
@@ -218,6 +393,52 @@ class TestCli:
         assert "added suppressions for 1 violation(s)" in capsys.readouterr().out
         assert "disable=RL004" in (root / "src" / "pkg" / "mod.py").read_text()
 
+    def test_prune_suppressions_flag(self, tmp_path, capsys) -> None:
+        root = self._project(
+            tmp_path, "X = 1  # repro-lint: disable=RL004\n"
+        )
+        code = repro_main(
+            [
+                "lint",
+                str(root / "src"),
+                "--rules",
+                "RL004",
+                "--prune-suppressions",
+            ]
+        )
+        assert code == 0
+        assert "removed 1 stale waiver(s)" in capsys.readouterr().out
+        text = (root / "src" / "pkg" / "mod.py").read_text()
+        assert "repro-lint" not in text
+
+    def test_graph_flag_writes_json_artifact(self, tmp_path, capsys) -> None:
+        root = self._project(tmp_path, "def f():\n    return 1\n")
+        out = tmp_path / "graph.json"
+        code = repro_main(
+            [
+                "lint",
+                str(root / "src"),
+                "--rules",
+                "RL001",
+                "--graph",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert f"wrote call graph to {out}" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == 1
+        assert any(node["key"] == "pkg.mod:f" for node in doc["nodes"])
+
+    def test_graph_flag_writes_dot_by_extension(self, tmp_path, capsys) -> None:
+        root = self._project(tmp_path, "def f():\n    return 1\n")
+        out = tmp_path / "graph.dot"
+        code = repro_main(
+            ["lint", str(root / "src"), "--rules", "RL001", "--graph", str(out)]
+        )
+        assert code == 0
+        assert out.read_text().startswith("digraph callgraph {")
+
     def test_standalone_entry_point_delegates(self, tmp_path, capsys) -> None:
         root = self._project(tmp_path, _BARE_RAISE)
         code = lint_main([str(root / "src"), "--rules", "RL004"])
@@ -241,5 +462,6 @@ class TestShippedTree:
         doc = json.loads(capsys.readouterr().out)
         assert code == 0, doc["violations"]
         assert doc["summary"]["violations"] == 0
-        assert doc["rules"] == [f"RL{n:03d}" for n in range(1, 13)]
+        assert doc["rules"] == [f"RL{n:03d}" for n in range(1, 17)]
+        assert doc["summary"]["stale"] == 0
         assert doc["files_checked"] > 50

@@ -29,7 +29,7 @@ from .conftest import by_rule, codes
 class TestRulePack:
     def test_all_rules_are_registered_by_code(self) -> None:
         assert [rule.code for rule in ALL_RULES] == [
-            f"RL{n:03d}" for n in range(1, 13)
+            f"RL{n:03d}" for n in range(1, 17)
         ]
         assert RULES_BY_CODE["RL001"] is NfdRegistryRule
         assert RULES_BY_CODE["RL002"] is SharedStateRule

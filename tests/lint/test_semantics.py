@@ -1,0 +1,273 @@
+"""Unit coverage for the semantic core behind the whole-program rules.
+
+Each test builds a small cross-module fixture project and inspects the
+:class:`~repro.lint.semantics.SemanticGraph` the engine hands to rules:
+module naming and import resolution, cross-module symbol lookup, call
+edges (including inferred receivers, ``super()`` and dispatch fan-out),
+entry-point discovery, the ``--graph`` export formats, and the
+determinism guarantee every downstream consumer leans on.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import random
+from pathlib import Path
+
+from repro.lint.engine import FileContext, Project
+from repro.lint.semantics import (
+    CallGraph,
+    CallSite,
+    GRAPH_SCHEMA_VERSION,
+    ImportBinding,
+    ImportEdge,
+    SemanticGraph,
+    build_graph,
+    graph_to_dict,
+    module_name_for,
+    render_dot,
+    render_json,
+)
+
+#: A small app: helper module, a class hierarchy, and a query engine
+#: whose attribute type the resolver must infer across modules.
+_APP = {
+    "src/pkg/__init__.py": "",
+    "src/pkg/helpers.py": """\
+        def shout(text):
+            return text.upper()
+        """,
+    "src/pkg/models.py": """\
+        from .helpers import shout
+
+        class Base:
+            def describe(self):
+                return shout("base")
+
+        class Child(Base):
+            def describe(self):
+                return super().describe() + "!"
+        """,
+    "src/pkg/engine.py": """\
+        from . import models
+
+        class QueryEngine:
+            def __init__(self):
+                self._model = models.Child()
+
+            def search(self, q):
+                return self._model.describe()
+
+            def rebuild(self):
+                return None
+        """,
+}
+
+
+class TestModuleGraph:
+    def test_module_name_for_strips_layout_and_init(self) -> None:
+        assert module_name_for("src/pkg/engine.py") == "pkg.engine"
+        assert module_name_for("src/pkg/__init__.py") == "pkg"
+        assert module_name_for("tests/lint/conftest.py") == "tests.lint.conftest"
+
+    def test_modules_and_relative_imports_resolve(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        assert graph.modules.modules == [
+            "pkg",
+            "pkg.engine",
+            "pkg.helpers",
+            "pkg.models",
+        ]
+        edges = {(e.importer, e.imported) for e in graph.modules.edges}
+        assert ("pkg.models", "pkg.helpers") in edges
+        assert ("pkg.engine", "pkg") in edges
+        assert all(isinstance(e, ImportEdge) for e in graph.modules.edges)
+
+    def test_import_bindings_distinguish_modules_from_members(
+        self, graph_project
+    ) -> None:
+        graph = graph_project(_APP)
+        assert graph.symbols.import_bindings("pkg.models") == [
+            ImportBinding("shout", "pkg.helpers", "shout")
+        ]
+        # ``from . import models`` binds the submodule object itself.
+        (binding,) = graph.symbols.import_bindings("pkg.engine")
+        assert binding == ImportBinding("models", "pkg.models", None)
+
+
+class TestSymbolTable:
+    def test_resolve_follows_import_chain(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        symbol = graph.symbols.resolve("pkg.models", "shout")
+        assert symbol is not None and symbol.key == "pkg.helpers:shout"
+
+    def test_hierarchy_queries(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        child = graph.symbols.class_named("pkg.models:Child")
+        assert child is not None
+        assert [c.key for c in graph.symbols.mro(child)] == [
+            "pkg.models:Child",
+            "pkg.models:Base",
+        ]
+        base = graph.symbols.class_named("pkg.models:Base")
+        assert base is not None
+        assert [c.key for c in graph.symbols.subclasses_of(base)] == [
+            "pkg.models:Child"
+        ]
+
+
+class TestCallGraph:
+    def test_cross_module_edges(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        calls = graph.calls
+        assert isinstance(calls, CallGraph)
+        # Direct call through an import binding.
+        assert "pkg.helpers:shout" in calls.callees_of("pkg.models:Base.describe")
+        # super() resolves to the base implementation.
+        assert "pkg.models:Base.describe" in calls.callees_of(
+            "pkg.models:Child.describe"
+        )
+        # self._model is typed Child via the attribute-type table.
+        assert "pkg.models:Child.describe" in calls.callees_of(
+            "pkg.engine:QueryEngine.search"
+        )
+
+    def test_instantiation_sites_are_recorded(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        assert graph.calls.instantiators_of("pkg.models:Child") == (
+            "pkg.engine:QueryEngine.__init__",
+        )
+
+    def test_reachability_closure(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        reach = graph.calls.reachable_from(["pkg.engine:QueryEngine.search"])
+        assert "pkg.helpers:shout" in reach
+        assert "pkg.engine:QueryEngine.rebuild" not in reach
+
+    def test_ambiguous_attribute_call_is_unresolved(self, graph_project) -> None:
+        graph = graph_project(
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/a.py": "class A:\n    def ping(self):\n        return 1\n",
+                "src/pkg/b.py": "class B:\n    def ping(self):\n        return 2\n",
+                "src/pkg/use.py": "def poke(thing):\n    return thing.ping()\n",
+            }
+        )
+        assert graph.calls.unresolved == [CallSite("pkg.use:poke", "ping", 2)]
+        assert graph.calls.callees_of("pkg.use:poke") == ()
+
+    def test_unique_name_fallback_links_the_only_candidate(
+        self, graph_project
+    ) -> None:
+        graph = graph_project(
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/a.py": "class A:\n    def ping(self):\n        return 1\n",
+                "src/pkg/use.py": "def poke(thing):\n    return thing.ping()\n",
+            }
+        )
+        assert graph.calls.unresolved == []
+        assert graph.calls.callees_of("pkg.use:poke") == ("pkg.a:A.ping",)
+
+
+class TestEntryPoints:
+    def test_query_and_api_kinds(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        assert isinstance(graph, SemanticGraph)
+        kinds = {(ep.kind, ep.key) for ep in graph.entry_points}
+        assert ("query", "pkg.engine:QueryEngine.search") in kinds
+        assert ("api", "pkg.engine:QueryEngine.rebuild") in kinds
+        assert graph.entry_keys("query") == ["pkg.engine:QueryEngine.search"]
+
+    def test_executor_worker_and_cli_kinds(self, graph_project) -> None:
+        graph = graph_project(
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/base.py": """\
+                    class ShardExecutor:
+                        def run(self, fn):
+                            return fn()
+                    """,
+                "src/pkg/procs.py": """\
+                    import multiprocessing as mp
+
+                    from .base import ShardExecutor
+
+                    def _worker_loop(conn):
+                        return conn.recv()
+
+                    class ProcessExecutor(ShardExecutor):
+                        def run(self, fn):
+                            return mp.Process(target=_worker_loop, args=(fn,))
+                    """,
+                "src/pkg/cli.py": """\
+                    def main(argv=None):
+                        return _cmd_run(argv)
+
+                    def _cmd_run(argv):
+                        return 0
+                    """,
+            }
+        )
+        by_kind: dict[str, set[str]] = {}
+        for ep in graph.entry_points:
+            by_kind.setdefault(ep.kind, set()).add(ep.key)
+        assert by_kind["worker"] == {"pkg.procs:_worker_loop"}
+        assert by_kind["executor"] == {
+            "pkg.base:ShardExecutor.run",
+            "pkg.procs:ProcessExecutor.run",
+        }
+        assert by_kind["cli"] == {"pkg.cli:main", "pkg.cli:_cmd_run"}
+
+
+class TestExport:
+    def test_graph_to_dict_shape(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        doc = graph_to_dict(graph)
+        assert doc["schema_version"] == GRAPH_SCHEMA_VERSION
+        assert "pkg.engine" in doc["modules"]
+        entry = {node["key"]: node["entry"] for node in doc["nodes"]}
+        assert entry["pkg.engine:QueryEngine.search"] == "query"
+        assert entry["pkg.helpers:shout"] is None
+        assert ("pkg.models:Base.describe", "pkg.helpers:shout") in doc["edges"]
+
+    def test_render_json_is_valid_and_stable(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        text = render_json(graph)
+        doc = json.loads(text)
+        assert doc["schema_version"] == GRAPH_SCHEMA_VERSION
+        assert text == render_json(graph)
+
+    def test_render_dot_highlights_entry_points(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        dot = render_dot(graph)
+        assert dot.startswith("digraph callgraph {")
+        assert (
+            '"pkg.engine:QueryEngine.search" [style=filled, '
+            'fillcolor=lightblue, xlabel="query"];' in dot
+        )
+        assert (
+            '"pkg.models:Base.describe" -> "pkg.helpers:shout";' in dot
+        )
+
+
+def _contexts(root: Path) -> list[FileContext]:
+    contexts: list[FileContext] = []
+    for path in sorted((root / "src").rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        source = path.read_text()
+        contexts.append(FileContext(path, rel, source, ast.parse(source)))
+    return contexts
+
+
+class TestDeterminism:
+    def test_graph_is_independent_of_file_order(self, graph_project) -> None:
+        graph = graph_project(_APP)
+        root = graph.project.root
+        contexts = _contexts(root)
+        shuffled = list(contexts)
+        random.Random(7).shuffle(shuffled)
+        baseline = render_json(build_graph(Project(root, contexts)))
+        assert render_json(build_graph(Project(root, shuffled))) == baseline
+        assert render_json(graph) == baseline

@@ -1,0 +1,66 @@
+"""The semantic core at repo scale: a ~50-module generated project.
+
+The fixture is a chain of modules where every call and import edge is
+known by construction, so the assertions pin *exact* node/edge counts —
+any resolver regression (dropped import chain, phantom fan-out, missed
+reference edge) shifts a count.  The wall-time bound keeps the graph
+build honest as the analyzed tree grows: building and linting 100+
+functions across 50 modules must stay interactive.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Modules in the generated chain.
+N_MODULES = 50
+
+
+def _fixture() -> dict[str, str]:
+    """``mod_i`` defines ``entry_i`` -> ``leaf_i`` and ``entry_{i+1}``.
+
+    Per module: one import edge to the next module (except the last),
+    one call edge ``entry_i -> leaf_i``, one call edge
+    ``entry_i -> entry_{i+1}`` (except the last).
+    """
+    files = {"src/big/__init__.py": ""}
+    for i in range(N_MODULES):
+        lines: list[str] = []
+        if i + 1 < N_MODULES:
+            lines += [f"from .mod_{i + 1:03d} import entry_{i + 1}", ""]
+        lines += [
+            f"def leaf_{i}(x):",
+            "    return x + 1",
+            "",
+            f"def entry_{i}(x):",
+        ]
+        if i + 1 < N_MODULES:
+            lines.append(f"    return entry_{i + 1}(leaf_{i}(x))")
+        else:
+            lines.append(f"    return leaf_{i}(x)")
+        files[f"src/big/mod_{i:03d}.py"] = "\n".join(lines) + "\n"
+    return files
+
+
+def test_scale_counts_and_wall_time(graph_project) -> None:
+    start = time.perf_counter()
+    graph = graph_project(_fixture())
+    elapsed = time.perf_counter() - start
+
+    # Exact inventory: 2 functions per module, plus the package module.
+    assert len(graph.modules.modules) == N_MODULES + 1
+    assert len(graph.calls.nodes) == 2 * N_MODULES
+    # Import chain: one edge per module except the last.
+    assert len(graph.modules.edges) == N_MODULES - 1
+    # Call edges: entry->leaf per module, entry->entry along the chain.
+    assert len(graph.calls.edges) == 2 * N_MODULES - 1
+    assert graph.calls.unresolved == []
+
+    # The whole chain is reachable from its head.
+    reach = graph.calls.reachable_from(["big.mod_000:entry_0"])
+    assert len(reach) == 2 * N_MODULES
+
+    # Build + lint of the synthetic tree stays interactive.  The bound
+    # is deliberately loose (CI machines vary) but low enough to catch
+    # accidental quadratic blowups in resolution or linking.
+    assert elapsed < 20.0
